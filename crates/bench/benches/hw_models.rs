@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the analytic hardware models: full-network
+//! evaluation cost for the GPU roofline, recursive-FPGA and pipelined-FPGA
+//! models, plus the implementation tuners. These run inside the search's
+//! inner loop, so their cost matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edd_hw::gpu::GpuPrecision;
+use edd_hw::{
+    eval_gpu, eval_pipelined, eval_recursive, tune_pipelined, tune_recursive, FpgaDevice, GpuDevice,
+};
+use std::hint::black_box;
+
+fn bench_gpu_eval(c: &mut Criterion) {
+    let net = edd_zoo::edd_net_1();
+    let device = GpuDevice::titan_rtx();
+    c.bench_function("gpu_roofline_eval_eddnet1", |b| {
+        b.iter(|| black_box(eval_gpu(&net, GpuPrecision::Fp16, &device)));
+    });
+}
+
+fn bench_recursive_eval(c: &mut Criterion) {
+    let net = edd_zoo::edd_net_2();
+    let device = FpgaDevice::zcu102();
+    let imp = tune_recursive(&net, 16, &device);
+    c.bench_function("fpga_recursive_eval_eddnet2", |b| {
+        b.iter(|| black_box(eval_recursive(&net, &imp, &device).unwrap()));
+    });
+}
+
+fn bench_pipelined_eval(c: &mut Criterion) {
+    let net = edd_zoo::edd_net_3();
+    let device = FpgaDevice::zc706();
+    let imp = tune_pipelined(&net, 16, &device);
+    c.bench_function("fpga_pipelined_eval_eddnet3", |b| {
+        b.iter(|| black_box(eval_pipelined(&net, &imp, &device).unwrap()));
+    });
+}
+
+fn bench_tuners(c: &mut Criterion) {
+    let rec_net = edd_zoo::mobilenet_v2();
+    let pipe_net = edd_zoo::vgg16();
+    let zcu = FpgaDevice::zcu102();
+    let zc7 = FpgaDevice::zc706();
+    c.bench_function("tune_recursive_mobilenetv2", |b| {
+        b.iter(|| black_box(tune_recursive(&rec_net, 16, &zcu)));
+    });
+    c.bench_function("tune_pipelined_vgg16", |b| {
+        b.iter(|| black_box(tune_pipelined(&pipe_net, 16, &zc7)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gpu_eval,
+    bench_recursive_eval,
+    bench_pipelined_eval,
+    bench_tuners
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmark: cost of the differentiable performance estimate
+//! (Eq. 2-10 graph construction + backward) as the number of supernet
+//! blocks N grows — the search-side scalability the paper's 12-GPU-hour
+//! budget rests on. Expected: linear in N·M·Q.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edd_core::{estimate, ArchParams, DeviceTarget, PerfTables, SearchSpace};
+use edd_hw::FpgaDevice;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_estimate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_estimate_vs_blocks");
+    group.sample_size(20);
+    for n in [5usize, 10, 20] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = SearchSpace::tiny(n, 16, 4, vec![4, 8, 16]);
+        let target = DeviceTarget::FpgaPipelined(FpgaDevice::zc706());
+        let arch = ArchParams::init(&space, &target, &mut rng);
+        let tables = PerfTables::build(&space, &target).expect("tables");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let est =
+                    estimate(&arch, &tables, &space, &target, 1.0, &mut rng).expect("estimate");
+                let total = est.perf.add(&est.res).expect("scalars");
+                total.backward();
+                black_box(total.item())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate_scaling);
+criterion_main!(benches);

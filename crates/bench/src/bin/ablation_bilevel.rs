@@ -1,0 +1,86 @@
+//! Ablation for the bilevel optimization scheme (paper §5): updating the
+//! architecture variables on the *validation* split (DARTS-style bilevel)
+//! vs updating them on the training split (single-level).
+//!
+//! Runs the same co-search twice with identical seeds and budgets,
+//! differing only in the `bilevel` flag, and compares the derived
+//! architectures' from-scratch generalization.
+//!
+//! Run: `cargo run --release -p edd-bench --bin ablation_bilevel [--quick]`
+
+use edd_bench::print_header;
+use edd_core::{CoSearch, CoSearchConfig, DerivedArch, DeviceTarget, SearchSpace};
+use edd_data::{SynthConfig, SynthDataset};
+use edd_hw::FpgaDevice;
+use edd_nn::{evaluate, train_epoch, Batch, Module};
+use edd_tensor::optim::Sgd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(bilevel: bool, epochs: usize, train: &[Batch], val: &[Batch]) -> (DerivedArch, f32) {
+    let mut rng = StdRng::seed_from_u64(0xB17E7);
+    let space = SearchSpace::tiny(4, 16, 6, vec![4, 8, 16]);
+    let target = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+    let config = CoSearchConfig {
+        epochs,
+        warmup_epochs: 1,
+        bilevel,
+        ..CoSearchConfig::default()
+    };
+    let mut search = CoSearch::new(space, target, config, &mut rng).expect("valid");
+    let outcome = search.run(train, val, &mut rng).expect("runs");
+    let final_val = outcome.history.last().expect("history").val_acc;
+    (outcome.derived, final_val)
+}
+
+fn retrain(arch: &DerivedArch, train: &[Batch], test: &[Batch], epochs: usize) -> f32 {
+    let mut rng = StdRng::seed_from_u64(500);
+    let model = arch.build_model(&mut rng);
+    let mut opt = Sgd::new(model.parameters(), 0.05, 0.9, 1e-4);
+    for _ in 0..epochs {
+        train_epoch(&model, &mut opt, train).expect("training");
+    }
+    evaluate(&model, test).expect("eval").top1
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (search_epochs, retrain_epochs, tb, vb) = if quick { (3, 2, 3, 2) } else { (10, 8, 8, 4) };
+
+    let data = SynthDataset::new(SynthConfig {
+        num_classes: 6,
+        image_size: 16,
+        ..SynthConfig::default()
+    });
+    let train = data.split(tb, 16, 1);
+    let val = data.split(vb, 16, 2);
+    let test = data.split(vb, 16, 3);
+
+    print_header("Ablation: bilevel (arch step on validation) vs single-level (on train)");
+
+    let (arch_bi, val_bi) = run(true, search_epochs, &train, &val);
+    let (arch_si, val_si) = run(false, search_epochs, &train, &val);
+
+    println!("bilevel      — search val acc {val_bi:.3}");
+    print!("{}", arch_bi.summary());
+    println!("\nsingle-level — search val acc {val_si:.3}");
+    print!("{}", arch_si.summary());
+
+    let acc_bi = retrain(&arch_bi, &train, &test, retrain_epochs);
+    let acc_si = retrain(&arch_si, &train, &test, retrain_epochs);
+    println!("\nfrom-scratch test accuracy: bilevel {acc_bi:.3} vs single-level {acc_si:.3}");
+
+    print_header("Shape checks");
+    println!(
+        "[{}] both schemes produce trainable architectures (> chance 0.167)",
+        if acc_bi > 0.167 && acc_si > 0.167 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    println!(
+        "[INFO] bilevel - single-level test-accuracy gap: {:+.3} (the paper adopts\n       bilevel following DARTS; at this scale the gap is noisy but the\n       mechanism — arch gradients from held-out data — is exercised)",
+        acc_bi - acc_si
+    );
+}

@@ -1,0 +1,116 @@
+//! Ablation for the Gumbel-Softmax temperature schedule: fixed-high,
+//! fixed-low and annealed temperature co-searches with identical budgets.
+//!
+//! High temperature keeps sampling near-uniform (exploration, diffuse
+//! architecture weights); low temperature commits early (exploitation,
+//! possibly to a bad op); annealing — the schedule the co-search uses —
+//! transitions from the first regime to the second. The harness reports
+//! the entropy of the final operator distributions under each schedule.
+//!
+//! Run: `cargo run --release -p edd-bench --bin ablation_tau [--quick]`
+
+use edd_bench::print_header;
+use edd_core::{CoSearch, CoSearchConfig, DeviceTarget, SearchSpace};
+use edd_data::{SynthConfig, SynthDataset};
+use edd_hw::FpgaDevice;
+use edd_tensor::softmax_last_axis;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean entropy (nats) of the per-block operator distributions.
+fn theta_entropy(search: &CoSearch) -> f32 {
+    let mut total = 0.0;
+    let mut n = 0;
+    for t in &search.arch().theta {
+        let p = softmax_last_axis(&t.value_clone());
+        total += -p
+            .data()
+            .iter()
+            .map(|&v| if v > 0.0 { v * v.ln() } else { 0.0 })
+            .sum::<f32>();
+        n += 1;
+    }
+    total / n as f32
+}
+
+fn run(tau_start: f32, tau_end: f32, epochs: usize) -> (f32, f32) {
+    let mut rng = StdRng::seed_from_u64(0x7A0);
+    let space = SearchSpace::tiny(4, 16, 4, vec![4, 8, 16]);
+    let target = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+    let config = CoSearchConfig {
+        epochs,
+        warmup_epochs: 1,
+        tau_start,
+        tau_end,
+        // Aggressive architecture learning rate so schedule differences are
+        // visible within the short budget.
+        arch_lr: 0.15,
+        ..CoSearchConfig::default()
+    };
+    let data = SynthDataset::new(SynthConfig::tiny());
+    let train = data.split(3, 16, 1);
+    let val = data.split(2, 16, 2);
+    let mut search = CoSearch::new(space, target, config, &mut rng).expect("valid");
+    let outcome = search.run(&train, &val, &mut rng).expect("runs");
+    let final_val = outcome.history.last().expect("history").val_acc;
+    (theta_entropy(&search), final_val)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let epochs = if quick { 3 } else { 8 };
+    let max_entropy = (9.0f32).ln();
+
+    print_header("Ablation: Gumbel-Softmax temperature schedule");
+    println!(
+        "{:<22} {:>14} {:>10}  (max entropy = ln 9 = {:.2})",
+        "schedule", "theta entropy", "val acc", max_entropy
+    );
+    println!("{}", "-".repeat(60));
+
+    let (e_high, v_high) = run(5.0, 5.0, epochs);
+    println!(
+        "{:<22} {:>14.3} {:>10.2}",
+        "fixed high (tau=5)", e_high, v_high
+    );
+    let (e_low, v_low) = run(0.1, 0.1, epochs);
+    println!(
+        "{:<22} {:>14.3} {:>10.2}",
+        "fixed low (tau=0.1)", e_low, v_low
+    );
+    let (e_ann, v_ann) = run(5.0, 0.1, epochs);
+    println!(
+        "{:<22} {:>14.3} {:>10.2}",
+        "annealed (5 -> 0.1)", e_ann, v_ann
+    );
+
+    print_header("Shape checks");
+    println!(
+        "[{}] all schedules leave the logits learnable (entropy below the uniform maximum)",
+        if e_high <= max_entropy + 1e-3 && e_low <= max_entropy + 1e-3 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    println!(
+        "[INFO] final theta entropies: high {e_high:.3} / low {e_low:.3} / annealed {e_ann:.3}"
+    );
+    // Annealing should not underperform the worse of the two fixed
+    // schedules — the robust version of "explore then commit wins".
+    let worst_fixed = v_high.min(v_low);
+    println!(
+        "[{}] annealed schedule matches or beats the weaker fixed schedule \
+         (annealed {v_ann:.2} vs worst fixed {worst_fixed:.2})",
+        if v_ann >= worst_fixed - 0.05 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    println!(
+        "[INFO] val acc across schedules: high {v_high:.2} / low {v_low:.2} / annealed {v_ann:.2}\n\
+         (at laptop scale differences are noisy; the paper inherits annealing from\n\
+         the Gumbel-Softmax literature)"
+    );
+}

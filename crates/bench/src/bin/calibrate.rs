@@ -1,0 +1,46 @@
+//! Calibration probe: prints modeled vs published latencies for every
+//! Table 1 network so the device constants in `edd-hw` can be tuned.
+
+use edd_bench::{compare_line, fpga_recursive_latency_ms, gpu_latency_ms, print_header};
+use edd_hw::gpu::GpuPrecision;
+use edd_hw::{FpgaDevice, GpuDevice};
+use edd_zoo as zoo;
+
+fn main() {
+    let rtx = GpuDevice::titan_rtx();
+    let zcu = FpgaDevice::zcu102();
+    let nets: Vec<(edd_hw::NetworkShape, GpuPrecision)> = vec![
+        (zoo::googlenet(), GpuPrecision::Fp32),
+        (zoo::mobilenet_v2(), GpuPrecision::Fp32),
+        (zoo::shufflenet_v2(), GpuPrecision::Fp32),
+        (zoo::resnet18(), GpuPrecision::Fp32),
+        (zoo::mnasnet_a1(), GpuPrecision::Fp32),
+        (zoo::fbnet_c(), GpuPrecision::Fp32),
+        (zoo::proxyless_cpu(), GpuPrecision::Fp32),
+        (zoo::proxyless_mobile(), GpuPrecision::Fp32),
+        (zoo::proxyless_gpu(), GpuPrecision::Fp32),
+        (zoo::edd_net_1(), GpuPrecision::Fp16),
+        (zoo::edd_net_2(), GpuPrecision::Fp16),
+    ];
+    print_header("GPU (Titan RTX)");
+    for ((net, prec), row) in nets.iter().zip(zoo::TABLE_1.iter()) {
+        let modeled = gpu_latency_ms(net, *prec, &rtx);
+        println!(
+            "{}  ops={} mmacs={:.0}",
+            compare_line(row.name, modeled, row.gpu_ms.unwrap() as f64),
+            net.ops.len(),
+            net.total_work() / 1e6
+        );
+    }
+    print_header("FPGA recursive (ZCU102, 16-bit)");
+    for ((net, _), row) in nets.iter().zip(zoo::TABLE_1.iter()) {
+        if let Some(pub_ms) = row.fpga_ms {
+            let modeled = fpga_recursive_latency_ms(net, 16, &zcu);
+            println!(
+                "{}  classes={}",
+                compare_line(row.name, modeled, pub_ms as f64),
+                net.ip_classes().len()
+            );
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The §6 co-search experiment at laptop scale: runs the full EDD
+//! co-search on SynthImageNet against the recursive-FPGA target, prints
+//! the epoch history (the "12 GPU-hour search" analogue), trains the
+//! derived architecture from scratch (the paper's final-training stage),
+//! and compares it against uniformly random architectures from the same
+//! space on the (accuracy, modeled latency) plane — the search must
+//! dominate or tie the random baseline.
+//!
+//! Run: `cargo run -p edd-bench --bin exp_search [--quick]`
+
+use edd_bench::print_header;
+use edd_core::{CoSearch, CoSearchConfig, DerivedArch, DeviceTarget, QatModel, SearchSpace};
+use edd_data::{SynthConfig, SynthDataset};
+use edd_hw::{eval_recursive, tune_recursive, FpgaDevice};
+use edd_nn::{evaluate, train_epoch, Batch, Module};
+use edd_tensor::optim::{cosine_lr, Optimizer, Sgd};
+use edd_zoo::random_arch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Trains `arch` from scratch — quantization-aware, with each block's
+/// weights on its searched bit-width grid (the paper's §5 final stage) —
+/// and returns its test accuracy.
+fn train_from_scratch(
+    arch: &DerivedArch,
+    train: &[Batch],
+    test: &[Batch],
+    epochs: usize,
+    seed: u64,
+) -> f32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = QatModel::new(arch, &mut rng);
+    let mut opt = Sgd::new(model.parameters(), 0.05, 0.9, 1e-4);
+    for e in 0..epochs {
+        opt.set_lr(cosine_lr(0.05, 0.005, e, epochs));
+        train_epoch(&model, &mut opt, train).expect("training");
+    }
+    evaluate(&model, test).expect("eval").top1
+}
+
+/// Modeled recursive-FPGA latency of a derived architecture at its
+/// searched (majority) precision.
+fn modeled_latency(arch: &DerivedArch, device: &FpgaDevice) -> f64 {
+    let net = arch.to_network_shape();
+    // Majority vote over per-block searched bit-widths.
+    let mut counts = std::collections::BTreeMap::new();
+    for b in &arch.blocks {
+        *counts.entry(b.quant_bits).or_insert(0usize) += 1;
+    }
+    let bits = counts
+        .into_iter()
+        .max_by_key(|&(_, c)| c)
+        .map_or(16, |(b, _)| b);
+    let imp = tune_recursive(&net, bits.max(8), device);
+    eval_recursive(&net, &imp, device)
+        .expect("classes covered")
+        .latency_ms
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n_blocks, search_epochs, train_epochs, tb, vb, n_random) = if quick {
+        (3, 3, 2, 3, 2, 1)
+    } else {
+        (5, 10, 8, 8, 4, 3)
+    };
+
+    let device = FpgaDevice::zcu102();
+    let target = DeviceTarget::FpgaRecursive(device.clone());
+    let space = SearchSpace::tiny(n_blocks, 16, 6, vec![4, 8, 16]);
+    let data = SynthDataset::new(SynthConfig {
+        num_classes: 6,
+        image_size: 16,
+        ..SynthConfig::default()
+    });
+    let train = data.split(tb, 16, 1);
+    let val = data.split(vb, 16, 2);
+    let test = data.split(vb, 16, 3);
+
+    print_header("EDD co-search on SynthImageNet (recursive FPGA target)");
+    let mut rng = StdRng::seed_from_u64(0xEDD);
+    let config = CoSearchConfig {
+        epochs: search_epochs,
+        warmup_epochs: 1,
+        ..CoSearchConfig::default()
+    };
+    let start = Instant::now();
+    let mut search =
+        CoSearch::new(space.clone(), target.clone(), config, &mut rng).expect("valid target");
+    let outcome = search.run(&train, &val, &mut rng).expect("search runs");
+    let search_time = start.elapsed();
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>9} {:>12} {:>10} {:>6}",
+        "epoch", "train loss", "train acc", "val acc", "E[perf] ms", "E[res]", "tau"
+    );
+    for h in &outcome.history {
+        println!(
+            "{:>6} {:>10.3} {:>10.2} {:>9.2} {:>12.4} {:>10.0} {:>6.2}",
+            h.epoch, h.train_loss, h.train_acc, h.val_acc, h.expected_perf, h.expected_res, h.tau
+        );
+    }
+    println!(
+        "\nsearch wall time: {:.1}s (the paper reports 12 GPU-hours at ImageNet scale)",
+        search_time.as_secs_f32()
+    );
+    // Optional CSV export of the search curves.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        if let Some(path) = args.get(i + 1) {
+            std::fs::write(path, outcome.history_csv()).expect("csv writable");
+            println!("wrote search history to {path}");
+        }
+    }
+    println!("\nDerived architecture:\n{}", outcome.derived.summary());
+
+    print_header("Final training from scratch (paper §5 last step)");
+    let searched_acc = train_from_scratch(&outcome.derived, &train, &test, train_epochs, 1);
+    let searched_lat = modeled_latency(&outcome.derived, &device);
+    println!("searched:  test acc {searched_acc:.3}, modeled ZCU102 latency {searched_lat:.3} ms");
+
+    let mut rand_results = Vec::new();
+    let mut rrng = StdRng::seed_from_u64(555);
+    for i in 0..n_random {
+        let arch = random_arch(&space, &target, &mut rrng);
+        let acc = train_from_scratch(&arch, &train, &test, train_epochs, 100 + i as u64);
+        let lat = modeled_latency(&arch, &device);
+        println!("random #{i}: test acc {acc:.3}, modeled ZCU102 latency {lat:.3} ms");
+        rand_results.push((acc, lat));
+    }
+
+    print_header("Shape checks");
+    // Resource feasibility of the search's expectation.
+    let final_res = outcome.history.last().expect("history").expected_res;
+    println!(
+        "[{}] expected resource stays within the 2520-DSP ZCU102 budget ({final_res:.0})",
+        if f64::from(final_res) <= 2520.0 * 1.1 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    // Pareto check: no random arch both more accurate and faster.
+    let dominated = rand_results
+        .iter()
+        .any(|&(acc, lat)| acc > searched_acc + 0.02 && lat < searched_lat * 0.98);
+    println!(
+        "[{}] no random architecture strictly dominates the searched one on (acc, latency)",
+        if dominated { "FAIL" } else { "PASS" }
+    );
+    // Learning happened.
+    let first = outcome.history.first().expect("history");
+    let last = outcome.history.last().expect("history");
+    println!(
+        "[{}] supernet training loss decreased over the search ({:.3} -> {:.3})",
+        if last.train_loss < first.train_loss {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        first.train_loss,
+        last.train_loss
+    );
+}

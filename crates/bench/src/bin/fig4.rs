@@ -1,0 +1,105 @@
+//! Regenerates paper **Fig. 4**: the architectures of the three EDD-Net
+//! models, printed block-by-block in the figure's `MB e k×k` notation —
+//! and then *reproduces the search itself* at laptop scale: one co-search
+//! per device target on SynthImageNet, printing the three searched
+//! architectures next to the transcribed published ones.
+//!
+//! Run: `cargo run -p edd-bench --bin fig4 [--quick]`
+
+use edd_bench::print_header;
+use edd_core::{CoSearch, CoSearchConfig, DeviceTarget, SearchSpace};
+use edd_data::{SynthConfig, SynthDataset};
+use edd_hw::{FpgaDevice, GpuDevice};
+use edd_zoo::edd_nets::{EDD_NET_1_BLOCKS, EDD_NET_2_BLOCKS, EDD_NET_3_BLOCKS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn print_published(name: &str, blocks: &[(usize, usize, usize, usize)]) {
+    println!("\n{name} (transcribed from paper Fig. 4):");
+    let mut line = String::from("  ");
+    for (i, &(e, k, c, s)) in blocks.iter().enumerate() {
+        line.push_str(&format!(
+            "MB{e} {k}x{k}/{c}{}",
+            if s == 2 { "*" } else { "" }
+        ));
+        if (i + 1) % 5 == 0 {
+            println!("{line}");
+            line = String::from("  ");
+        } else {
+            line.push_str("  ");
+        }
+    }
+    if line.trim().is_empty() {
+        return;
+    }
+    println!("{line}");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    print_header("Fig. 4 (a): published EDD-Net architectures (* = stride 2)");
+    print_published("EDD-Net-1 [GPU]", &EDD_NET_1_BLOCKS);
+    print_published("EDD-Net-2 [recursive FPGA]", &EDD_NET_2_BLOCKS);
+    print_published("EDD-Net-3 [pipelined FPGA]", &EDD_NET_3_BLOCKS);
+
+    print_header("Fig. 4 (b): laptop-scale co-search reproduction (SynthImageNet)");
+    let (blocks_n, epochs, tbatches, vbatches) = if quick { (3, 3, 2, 1) } else { (5, 8, 6, 3) };
+    let data = SynthDataset::new(SynthConfig {
+        num_classes: 6,
+        image_size: 16,
+        ..SynthConfig::default()
+    });
+    let train = data.split(tbatches, 16, 1);
+    let val = data.split(vbatches, 16, 2);
+
+    let targets: Vec<(&str, DeviceTarget, Vec<u32>)> = vec![
+        (
+            "EDD-Tiny-1 [GPU]",
+            DeviceTarget::Gpu(GpuDevice::titan_rtx()),
+            vec![8, 16, 32],
+        ),
+        (
+            "EDD-Tiny-2 [recursive FPGA]",
+            DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+            vec![4, 8, 16],
+        ),
+        (
+            "EDD-Tiny-3 [pipelined FPGA]",
+            DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+            vec![4, 8, 16],
+        ),
+    ];
+
+    for (label, target, quants) in targets {
+        let mut rng = StdRng::seed_from_u64(0xF16);
+        let space = SearchSpace::tiny(blocks_n, 16, 6, quants);
+        let config = CoSearchConfig {
+            epochs,
+            warmup_epochs: 1,
+            ..CoSearchConfig::default()
+        };
+        let mut search =
+            CoSearch::new(space, target, config, &mut rng).expect("quant menu fits target");
+        let outcome = search.run(&train, &val, &mut rng).expect("search runs");
+        println!("\n{label}:");
+        print!("{}", outcome.derived.summary());
+        let last = outcome.history.last().expect("at least one epoch");
+        println!(
+            "  search: {} epochs, final train acc {:.2}, val acc {:.2}, E[perf] {:.3} ms, E[res] {:.0}",
+            outcome.history.len(),
+            last.train_acc,
+            last.val_acc,
+            last.expected_perf,
+            last.expected_res
+        );
+    }
+
+    print_header("Shape note");
+    println!(
+        "The paper observes EDD-Net-3 (pipelined target) is shallower with larger\n\
+         kernels/channels, and EDD-Net-2 (recursive target) concentrates on few op\n\
+         types. At laptop scale the analogous signal is the per-target divergence of\n\
+         the searched kernel/expansion/quantization histograms above."
+    );
+}

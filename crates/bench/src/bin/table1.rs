@@ -1,0 +1,141 @@
+//! Regenerates paper **Table 1**: "Comparisons with existing NAS solutions"
+//! — test error, GPU latency (Titan RTX) and FPGA latency (ZCU102,
+//! CHaiDNN-style recursive accelerator, 16-bit) for four baselines, five
+//! hardware-aware NAS models and the two EDD-Nets.
+//!
+//! Test errors are the paper's published ImageNet numbers (ImageNet is not
+//! available offline; see DESIGN.md §2). Latencies are *modeled*: the GPU
+//! roofline and the recursive-FPGA analytic model (Eq. 11–13) with
+//! post-search-tuned parallel factors. EDD nets run the GPU at their
+//! searched 16-bit precision; all other models run fp32 on GPU and every
+//! model runs 16-bit on FPGA, as in the paper.
+//!
+//! Run: `cargo run -p edd-bench --bin table1`
+
+use edd_bench::{fpga_recursive_latency_ms, gpu_latency_ms, print_header, ranking_agreement};
+use edd_hw::gpu::GpuPrecision;
+use edd_hw::{FpgaDevice, GpuDevice, NetworkShape};
+use edd_zoo::{self as zoo, TABLE_1};
+
+fn models() -> Vec<(NetworkShape, GpuPrecision)> {
+    vec![
+        (zoo::googlenet(), GpuPrecision::Fp32),
+        (zoo::mobilenet_v2(), GpuPrecision::Fp32),
+        (zoo::shufflenet_v2(), GpuPrecision::Fp32),
+        (zoo::resnet18(), GpuPrecision::Fp32),
+        (zoo::mnasnet_a1(), GpuPrecision::Fp32),
+        (zoo::fbnet_c(), GpuPrecision::Fp32),
+        (zoo::proxyless_cpu(), GpuPrecision::Fp32),
+        (zoo::proxyless_mobile(), GpuPrecision::Fp32),
+        (zoo::proxyless_gpu(), GpuPrecision::Fp32),
+        (zoo::edd_net_1(), GpuPrecision::Fp16),
+        (zoo::edd_net_2(), GpuPrecision::Fp16),
+    ]
+}
+
+fn main() {
+    let rtx = GpuDevice::titan_rtx();
+    let zcu = FpgaDevice::zcu102();
+    let models = models();
+
+    print_header("Table 1: Comparisons with existing NAS solutions (modeled vs published)");
+    println!(
+        "{:<18} {:>6} {:>6} | {:>9} {:>9} | {:>9} {:>9}",
+        "Model", "Top-1", "Top-5", "GPU model", "GPU paper", "FPGA modl", "FPGA papr"
+    );
+    println!("{}", "-".repeat(78));
+
+    let mut gpu_modeled = Vec::new();
+    let mut gpu_published = Vec::new();
+    let mut fpga_modeled = Vec::new();
+    let mut fpga_published = Vec::new();
+
+    for ((net, prec), row) in models.iter().zip(TABLE_1.iter()) {
+        let gpu = gpu_latency_ms(net, *prec, &rtx);
+        let fpga = row
+            .fpga_ms
+            .map(|_| fpga_recursive_latency_ms(net, 16, &zcu));
+        println!(
+            "{:<18} {:>6.1} {:>6} | {:>7.2}ms {:>7.2}ms | {:>9} {:>9}",
+            row.name,
+            row.top1_err,
+            row.top5_err.map_or("NA".into(), |v| format!("{v:.1}")),
+            gpu,
+            row.gpu_ms.unwrap_or(f32::NAN),
+            fpga.map_or("NA".into(), |v| format!("{v:7.2}ms")),
+            row.fpga_ms.map_or("NA".into(), |v| format!("{v:7.2}ms")),
+        );
+        if let Some(p) = row.gpu_ms {
+            gpu_modeled.push(gpu);
+            gpu_published.push(f64::from(p));
+        }
+        if let (Some(m), Some(p)) = (fpga, row.fpga_ms) {
+            fpga_modeled.push(m);
+            fpga_published.push(f64::from(p));
+        }
+    }
+
+    print_header("Shape checks");
+    // 1. EDD-Net-1 is faster on GPU than every *existing* (non-EDD)
+    //    hardware-aware NAS model — the paper's headline comparison.
+    let edd1_gpu = gpu_latency_ms(&models[9].0, models[9].1, &rtx);
+    let mut fastest = true;
+    for (i, row) in TABLE_1.iter().enumerate() {
+        if row.is_nas && !row.name.starts_with("EDD") {
+            let l = gpu_latency_ms(&models[i].0, models[i].1, &rtx);
+            if l < edd1_gpu {
+                fastest = false;
+            }
+        }
+    }
+    println!(
+        "[{}] EDD-Net-1 is faster on GPU than every existing hardware-aware NAS model",
+        if fastest { "PASS" } else { "FAIL" }
+    );
+
+    // 2. Speedup vs Proxyless-gpu ~1.40x (paper claim).
+    let pg_gpu = gpu_latency_ms(&models[8].0, models[8].1, &rtx);
+    let speedup = pg_gpu / edd1_gpu;
+    println!(
+        "[{}] EDD-Net-1 vs Proxyless-gpu speedup: modeled {:.2}x, paper {:.2}x",
+        if (1.2..=1.7).contains(&speedup) {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        speedup,
+        zoo::published::claims::GPU_SPEEDUP
+    );
+
+    // 3. EDD-Net-2 beats every Proxyless variant and FBNet on FPGA.
+    let edd2_fpga = fpga_recursive_latency_ms(&models[10].0, 16, &zcu);
+    let mut beats_all = true;
+    for i in [5usize, 6, 7, 8] {
+        let l = fpga_recursive_latency_ms(&models[i].0, 16, &zcu);
+        if l < edd2_fpga {
+            beats_all = false;
+        }
+    }
+    let pg_fpga = fpga_recursive_latency_ms(&models[8].0, 16, &zcu);
+    println!(
+        "[{}] EDD-Net-2 beats FBNet-C and all Proxyless variants on recursive FPGA",
+        if beats_all { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "       EDD-Net-2 vs Proxyless-gpu: modeled {:.2}x, paper {:.2}x",
+        pg_fpga / edd2_fpga,
+        zoo::published::claims::FPGA_LATENCY_GAIN
+    );
+
+    // 4. Ranking agreement.
+    let gpu_tau = ranking_agreement(&gpu_modeled, &gpu_published);
+    let fpga_tau = ranking_agreement(&fpga_modeled, &fpga_published);
+    println!(
+        "[{}] GPU latency ranking agreement with paper: {:.2} (>= 0.75)",
+        if gpu_tau >= 0.75 { "PASS" } else { "FAIL" },
+        gpu_tau
+    );
+    println!(
+        "[INFO] FPGA latency ranking agreement with paper: {fpga_tau:.2} (board-level effects\n       on CHaiDNN are outside the analytic Eq. 11-13 model; see EXPERIMENTS.md)"
+    );
+}

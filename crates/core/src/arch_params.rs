@@ -1,0 +1,395 @@
+//! The searched variables of the fused space `{A, I}`: operator logits `Θ`,
+//! quantization logits `Φ` and parallel factors `pf` (paper §3.1–3.2,
+//! Fig. 2).
+//!
+//! The *structure* of `Φ` and `pf` depends on the device target:
+//!
+//! * pipelined FPGA — per-(block, op) `Φ` (`N×M×Q`) and `pf` (`N×M`);
+//! * recursive FPGA — shared per op class (`M×Q` and `M`), enforcing the
+//!   sharing constraint `Iᵢᵐ = Iⱼᵐ`;
+//! * GPU — one global `Φ` (`Q`) for uniform network precision, no `pf`.
+
+use crate::space::SearchSpace;
+use crate::target::DeviceTarget;
+use edd_hw::{initial_pf_pipelined, initial_pf_recursive};
+use edd_tensor::{Array, Tensor};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Plain-data snapshot of [`ArchParams`] for checkpointing a search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchCheckpoint {
+    /// Per-block operator logits.
+    pub theta: Vec<Vec<f32>>,
+    /// Quantization logits in the layout's natural order (per-op row-major,
+    /// per-class, or the single global vector).
+    pub phi: Vec<Vec<f32>>,
+    /// Parallel factors in the layout's natural order (empty when the
+    /// target has none).
+    pub pf: Vec<f32>,
+}
+
+/// Quantization-logit layout per target.
+#[derive(Debug)]
+pub enum PhiParams {
+    /// `N×M` vectors of `Q` logits (pipelined FPGA).
+    PerOp(Vec<Vec<Tensor>>),
+    /// `M` vectors of `Q` logits shared across blocks (recursive FPGA).
+    PerClass(Vec<Tensor>),
+    /// One global vector of `Q` logits (GPU uniform precision).
+    Global(Tensor),
+}
+
+/// Parallel-factor layout per target.
+#[derive(Debug)]
+pub enum PfParams {
+    /// `N×M` scalars (pipelined FPGA).
+    PerOp(Vec<Vec<Tensor>>),
+    /// `M` scalars shared across blocks (recursive FPGA).
+    PerClass(Vec<Tensor>),
+    /// No parallel factors (GPU).
+    None,
+}
+
+/// All differentiable architecture/implementation variables of one search.
+#[derive(Debug)]
+pub struct ArchParams {
+    /// Per-block operator logits `θᵢ` (each of length `M`).
+    pub theta: Vec<Tensor>,
+    /// Quantization logits `Φ`.
+    pub phi: PhiParams,
+    /// Parallel factors `pf` (log₂ of parallelism).
+    pub pf: PfParams,
+}
+
+impl ArchParams {
+    /// Initializes the variables for `space` under `target`:
+    /// logits near zero (uniform sampling) with small symmetry-breaking
+    /// noise, and `pf` at the paper's §5 budget-splitting values.
+    #[must_use]
+    pub fn init<R: Rng + ?Sized>(space: &SearchSpace, target: &DeviceTarget, rng: &mut R) -> Self {
+        let n = space.num_blocks();
+        let m = space.num_ops();
+        let q = space.num_quant();
+        let noise = 0.01;
+        let theta = (0..n)
+            .map(|_| Tensor::param(Array::randn(&[m], noise, rng)))
+            .collect();
+        let phi = match target {
+            DeviceTarget::Gpu(_) => {
+                PhiParams::Global(Tensor::param(Array::randn(&[q], noise, rng)))
+            }
+            DeviceTarget::Dedicated(_) => PhiParams::PerOp(
+                (0..n)
+                    .map(|_| {
+                        (0..m)
+                            .map(|_| Tensor::param(Array::randn(&[q], noise, rng)))
+                            .collect()
+                    })
+                    .collect(),
+            ),
+            DeviceTarget::FpgaRecursive(_) => PhiParams::PerClass(
+                (0..m)
+                    .map(|_| Tensor::param(Array::randn(&[q], noise, rng)))
+                    .collect(),
+            ),
+            DeviceTarget::FpgaPipelined(_) => PhiParams::PerOp(
+                (0..n)
+                    .map(|_| {
+                        (0..m)
+                            .map(|_| Tensor::param(Array::randn(&[q], noise, rng)))
+                            .collect()
+                    })
+                    .collect(),
+            ),
+        };
+        let pf = match target {
+            DeviceTarget::Gpu(_) | DeviceTarget::Dedicated(_) => PfParams::None,
+            DeviceTarget::FpgaRecursive(d) => {
+                let pf0 = initial_pf_recursive(d.dsp_budget, m);
+                PfParams::PerClass(
+                    (0..m)
+                        .map(|_| Tensor::param(Array::scalar(pf0 as f32)))
+                        .collect(),
+                )
+            }
+            DeviceTarget::FpgaPipelined(d) => {
+                let pf0 = initial_pf_pipelined(d.dsp_budget, m, n);
+                PfParams::PerOp(
+                    (0..n)
+                        .map(|_| {
+                            (0..m)
+                                .map(|_| Tensor::param(Array::scalar(pf0 as f32)))
+                                .collect()
+                        })
+                        .collect(),
+                )
+            }
+        };
+        ArchParams { theta, phi, pf }
+    }
+
+    /// The quantization logits governing op `m` of block `i`.
+    #[must_use]
+    pub fn phi_logits(&self, i: usize, m: usize) -> &Tensor {
+        match &self.phi {
+            PhiParams::PerOp(v) => &v[i][m],
+            PhiParams::PerClass(v) => &v[m],
+            PhiParams::Global(t) => t,
+        }
+    }
+
+    /// The parallel factor governing op `m` of block `i`, if the target has
+    /// parallel factors.
+    #[must_use]
+    pub fn pf(&self, i: usize, m: usize) -> Option<&Tensor> {
+        match &self.pf {
+            PfParams::PerOp(v) => Some(&v[i][m]),
+            PfParams::PerClass(v) => Some(&v[m]),
+            PfParams::None => None,
+        }
+    }
+
+    /// Every trainable architecture/implementation tensor, for the
+    /// architecture optimizer.
+    #[must_use]
+    pub fn all_params(&self) -> Vec<Tensor> {
+        let mut out: Vec<Tensor> = self.theta.clone();
+        match &self.phi {
+            PhiParams::PerOp(v) => out.extend(v.iter().flatten().cloned()),
+            PhiParams::PerClass(v) => out.extend(v.iter().cloned()),
+            PhiParams::Global(t) => out.push(t.clone()),
+        }
+        match &self.pf {
+            PfParams::PerOp(v) => out.extend(v.iter().flatten().cloned()),
+            PfParams::PerClass(v) => out.extend(v.iter().cloned()),
+            PfParams::None => {}
+        }
+        out
+    }
+
+    /// Captures the current variable values as a serializable checkpoint.
+    #[must_use]
+    pub fn checkpoint(&self) -> ArchCheckpoint {
+        let theta = self
+            .theta
+            .iter()
+            .map(|t| t.value().data().to_vec())
+            .collect();
+        let phi = match &self.phi {
+            PhiParams::PerOp(v) => v
+                .iter()
+                .flatten()
+                .map(|t| t.value().data().to_vec())
+                .collect(),
+            PhiParams::PerClass(v) => v.iter().map(|t| t.value().data().to_vec()).collect(),
+            PhiParams::Global(t) => vec![t.value().data().to_vec()],
+        };
+        let pf = match &self.pf {
+            PfParams::PerOp(v) => v.iter().flatten().map(Tensor::item).collect(),
+            PfParams::PerClass(v) => v.iter().map(Tensor::item).collect(),
+            PfParams::None => Vec::new(),
+        };
+        ArchCheckpoint { theta, phi, pf }
+    }
+
+    /// Restores variable values from a checkpoint taken on an identically
+    /// structured `ArchParams`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the checkpoint's layout does not match.
+    pub fn restore(&self, ckpt: &ArchCheckpoint) -> edd_tensor::Result<()> {
+        use edd_tensor::TensorError;
+        let mismatch = |what: &str| {
+            TensorError::InvalidArgument(format!("checkpoint layout mismatch: {what}"))
+        };
+        if ckpt.theta.len() != self.theta.len() {
+            return Err(mismatch("theta count"));
+        }
+        for (t, v) in self.theta.iter().zip(&ckpt.theta) {
+            if t.value().len() != v.len() {
+                return Err(mismatch("theta length"));
+            }
+            t.set_value(Array::from_vec(v.clone(), &[v.len()])?);
+        }
+        let phi_tensors: Vec<&Tensor> = match &self.phi {
+            PhiParams::PerOp(v) => v.iter().flatten().collect(),
+            PhiParams::PerClass(v) => v.iter().collect(),
+            PhiParams::Global(t) => vec![t],
+        };
+        if phi_tensors.len() != ckpt.phi.len() {
+            return Err(mismatch("phi count"));
+        }
+        for (t, v) in phi_tensors.into_iter().zip(&ckpt.phi) {
+            if t.value().len() != v.len() {
+                return Err(mismatch("phi length"));
+            }
+            t.set_value(Array::from_vec(v.clone(), &[v.len()])?);
+        }
+        let pf_tensors: Vec<&Tensor> = match &self.pf {
+            PfParams::PerOp(v) => v.iter().flatten().collect(),
+            PfParams::PerClass(v) => v.iter().collect(),
+            PfParams::None => Vec::new(),
+        };
+        if pf_tensors.len() != ckpt.pf.len() {
+            return Err(mismatch("pf count"));
+        }
+        for (t, &v) in pf_tensors.into_iter().zip(&ckpt.pf) {
+            t.set_value(Array::scalar(v));
+        }
+        Ok(())
+    }
+
+    /// Argmax operator choice per block.
+    #[must_use]
+    pub fn argmax_ops(&self) -> Vec<usize> {
+        self.theta
+            .iter()
+            .map(|t| t.value().argmax().expect("non-empty logits"))
+            .collect()
+    }
+
+    /// Argmax quantization index for op `m` of block `i`.
+    #[must_use]
+    pub fn argmax_quant(&self, i: usize, m: usize) -> usize {
+        self.phi_logits(i, m)
+            .value()
+            .argmax()
+            .expect("non-empty logits")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edd_hw::{FpgaDevice, GpuDevice};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::tiny(4, 16, 4, vec![4, 8, 16])
+    }
+
+    #[test]
+    fn gpu_layout() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ArchParams::init(
+            &space(),
+            &DeviceTarget::Gpu(GpuDevice::titan_rtx()),
+            &mut rng,
+        );
+        assert_eq!(p.theta.len(), 4);
+        assert!(matches!(p.phi, PhiParams::Global(_)));
+        assert!(matches!(p.pf, PfParams::None));
+        assert!(p.pf(0, 0).is_none());
+        // theta (4) + phi (1) = 5 parameter tensors.
+        assert_eq!(p.all_params().len(), 5);
+        // Global phi: same tensor for every (i, m).
+        let a = p.phi_logits(0, 0) as *const Tensor;
+        let b = p.phi_logits(3, 8) as *const Tensor;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recursive_layout_shares_per_class() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = ArchParams::init(
+            &space(),
+            &DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+            &mut rng,
+        );
+        assert!(matches!(p.phi, PhiParams::PerClass(_)));
+        assert!(matches!(p.pf, PfParams::PerClass(_)));
+        // 4 theta + 9 phi + 9 pf
+        assert_eq!(p.all_params().len(), 4 + 9 + 9);
+        // Blocks 0 and 3 share the class-m phi.
+        let a = p.phi_logits(0, 5) as *const Tensor;
+        let b = p.phi_logits(3, 5) as *const Tensor;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pipelined_layout_per_op() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = ArchParams::init(
+            &space(),
+            &DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+            &mut rng,
+        );
+        assert!(matches!(p.phi, PhiParams::PerOp(_)));
+        // 4 theta + 36 phi + 36 pf
+        assert_eq!(p.all_params().len(), 4 + 36 + 36);
+        let a = p.phi_logits(0, 5) as *const Tensor;
+        let b = p.phi_logits(3, 5) as *const Tensor;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pf_initialized_to_paper_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = FpgaDevice::zcu102();
+        let p = ArchParams::init(&space(), &DeviceTarget::FpgaRecursive(d.clone()), &mut rng);
+        let expect = (d.dsp_budget / 9.0).log2() as f32;
+        let got = p.pf(0, 0).unwrap().item();
+        assert!((got - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_helpers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = ArchParams::init(
+            &space(),
+            &DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+            &mut rng,
+        );
+        let ops = p.argmax_ops();
+        assert_eq!(ops.len(), 4);
+        assert!(ops.iter().all(|&m| m < 9));
+        assert!(p.argmax_quant(0, 0) < 3);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_values() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let target = DeviceTarget::FpgaPipelined(FpgaDevice::zc706());
+        let a = ArchParams::init(&space(), &target, &mut rng);
+        let b = ArchParams::init(&space(), &target, &mut rng);
+        let ckpt = a.checkpoint();
+        // JSON round trip.
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: ArchCheckpoint = serde_json::from_str(&json).unwrap();
+        b.restore(&back).unwrap();
+        for (x, y) in a.all_params().iter().zip(b.all_params()) {
+            assert_eq!(x.value().data(), y.value().data());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_layout() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let rec = ArchParams::init(
+            &space(),
+            &DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+            &mut rng,
+        );
+        let pipe = ArchParams::init(
+            &space(),
+            &DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+            &mut rng,
+        );
+        let ckpt = rec.checkpoint();
+        assert!(pipe.restore(&ckpt).is_err());
+    }
+
+    #[test]
+    fn all_params_require_grad() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = ArchParams::init(
+            &space(),
+            &DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+            &mut rng,
+        );
+        assert!(p.all_params().iter().all(Tensor::requires_grad));
+    }
+}

@@ -1,0 +1,166 @@
+//! The fused objective of paper Eq. 1:
+//!
+//! ```text
+//! L = Acc_loss(A, I) · Perf_loss(I) + β · C^(RES(I) − RES_ub)
+//! ```
+//!
+//! `α` (inside `Perf_loss`, Eq. 6–7) scales the performance term to the
+//! magnitude of the accuracy loss; `β` and the base `C` control the
+//! resource-violation penalty. For numerical stability the exponent is
+//! computed on the *normalized* overshoot `(RES − RES_ub)/RES_ub` scaled by
+//! a sharpness `κ` (documented deviation: the paper's raw DSP-count
+//! exponent overflows `f32` for C > 1 at realistic budgets; the normalized
+//! form preserves the "large penalty when violated" semantics).
+
+use edd_tensor::{Result, Tensor};
+
+/// Hyperparameters of the fused loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossConfig {
+    /// Scale of the performance term (`α` in Eq. 6–7).
+    pub alpha: f32,
+    /// Weight of the resource penalty (`β` in Eq. 1).
+    pub beta: f32,
+    /// Sharpness `κ` of the exponential penalty on normalized overshoot.
+    pub penalty_sharpness: f32,
+}
+
+impl Default for LossConfig {
+    fn default() -> Self {
+        LossConfig {
+            alpha: 1.0,
+            beta: 1.0,
+            penalty_sharpness: 8.0,
+        }
+    }
+}
+
+/// Assembles the total loss from the accuracy loss, the Stage-4 performance
+/// term, the Stage-4 resource usage and the bound `res_ub`.
+///
+/// When `res_ub` is infinite (GPU targets) the penalty vanishes.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors (all inputs must be scalars).
+pub fn edd_loss(
+    acc_loss: &Tensor,
+    perf: &Tensor,
+    res: &Tensor,
+    res_ub: f64,
+    cfg: &LossConfig,
+) -> Result<Tensor> {
+    let perf_loss = perf.mul_scalar(cfg.alpha);
+    let product = acc_loss.mul(&perf_loss)?;
+    if !res_ub.is_finite() {
+        return Ok(product);
+    }
+    // exp(κ·(RES/RES_ub − 1)). For stability the exponential is linearized
+    // past a knee: exp(min(e, K)) + exp(K)·max(e − K, 0). A hard clamp
+    // would zero the gradient exactly when the budget is most violated —
+    // the linear tail keeps pushing resources down.
+    const KNEE: f32 = 20.0;
+    let overshoot = res
+        .mul_scalar(1.0 / res_ub as f32)
+        .add_scalar(-1.0)
+        .mul_scalar(cfg.penalty_sharpness);
+    let capped = overshoot.clamp(-KNEE, KNEE).exp();
+    let tail = overshoot.add_scalar(-KNEE).relu().mul_scalar(KNEE.exp());
+    let penalty = capped.add(&tail)?.mul_scalar(cfg.beta);
+    product.add(&penalty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplicative_form() {
+        let acc = Tensor::scalar(2.0);
+        let perf = Tensor::scalar(3.0);
+        let res = Tensor::scalar(0.0);
+        let cfg = LossConfig {
+            alpha: 0.5,
+            beta: 0.0,
+            penalty_sharpness: 8.0,
+        };
+        let l = edd_loss(&acc, &perf, &res, 100.0, &cfg).unwrap();
+        // 2 * (3 * 0.5) + 0
+        assert!((l.item() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn penalty_small_under_budget_large_over() {
+        let acc = Tensor::scalar(1.0);
+        let perf = Tensor::scalar(1.0);
+        let cfg = LossConfig::default();
+        let under = edd_loss(&acc, &perf, &Tensor::scalar(50.0), 100.0, &cfg)
+            .unwrap()
+            .item();
+        let over = edd_loss(&acc, &perf, &Tensor::scalar(200.0), 100.0, &cfg)
+            .unwrap()
+            .item();
+        assert!(under < 1.1, "under-budget penalty should be tiny: {under}");
+        assert!(over > 100.0, "over-budget penalty should dominate: {over}");
+    }
+
+    #[test]
+    fn penalty_at_budget_equals_beta() {
+        let acc = Tensor::scalar(0.0);
+        let perf = Tensor::scalar(0.0);
+        let cfg = LossConfig {
+            alpha: 1.0,
+            beta: 3.0,
+            penalty_sharpness: 8.0,
+        };
+        let l = edd_loss(&acc, &perf, &Tensor::scalar(100.0), 100.0, &cfg).unwrap();
+        assert!((l.item() - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn infinite_budget_drops_penalty() {
+        let acc = Tensor::scalar(1.0);
+        let perf = Tensor::scalar(1.0);
+        let l = edd_loss(
+            &acc,
+            &perf,
+            &Tensor::scalar(1e9),
+            f64::INFINITY,
+            &LossConfig::default(),
+        )
+        .unwrap();
+        assert!((l.item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_flows_to_all_inputs() {
+        use edd_tensor::Array;
+        let acc = Tensor::param(Array::scalar(1.0));
+        let perf = Tensor::param(Array::scalar(2.0));
+        let res = Tensor::param(Array::scalar(150.0));
+        let l = edd_loss(&acc, &perf, &res, 100.0, &LossConfig::default()).unwrap();
+        l.backward();
+        assert!(acc.grad().is_some());
+        assert!(perf.grad().is_some());
+        let rg = res.grad().unwrap().item();
+        assert!(
+            rg > 0.0,
+            "over budget: pressure to reduce resources, got {rg}"
+        );
+    }
+
+    #[test]
+    fn extreme_overshoot_does_not_overflow() {
+        let acc = Tensor::scalar(1.0);
+        let perf = Tensor::scalar(1.0);
+        let l = edd_loss(
+            &acc,
+            &perf,
+            &Tensor::scalar(1e12),
+            100.0,
+            &LossConfig::default(),
+        )
+        .unwrap();
+        assert!(l.item().is_finite());
+    }
+}

@@ -1,0 +1,505 @@
+//! Differentiable performance/resource formulation — Stages 1–4 of paper
+//! §3.2 (Eq. 2–10), built as autodiff expressions over the architecture
+//! parameters.
+//!
+//! Stage-1 per-`(op, q)` coefficients come from the analytic `edd-hw`
+//! models ([`PerfTables`]); the parallel factor enters the graph as
+//! `2^{±pf} = exp(±pf·ln 2)` so it stays continuous and differentiable.
+//! Stage-2/3 are Gumbel-Softmax expectations over `Φ` and `Θ`; Stage-4
+//! aggregates with a sum (latency, Eq. 6) or Log-Sum-Exp smooth max
+//! (throughput, Eq. 7), and counts resources with (Eq. 8) or without
+//! (Eq. 9–10, `tanh` sharing suppression) duplication.
+
+use crate::arch_params::ArchParams;
+use crate::space::SearchSpace;
+use crate::target::{DeviceTarget, PerfObjective};
+use edd_hw::accel::op_latency_ms as accel_op_latency;
+use edd_hw::calib::{phi as phi_cal, psi as psi_cal};
+use edd_hw::gpu::{op_latency_ms as gpu_op_latency, GpuPrecision};
+use edd_tensor::{gumbel_softmax, Array, Result, Tensor, TensorError};
+use rand::Rng;
+
+const LN2: f32 = std::f32::consts::LN_2;
+
+/// Φ normalization so 16-bit is the reference precision — must match
+/// `edd_hw::fpga`.
+const PHI_NORM: f64 = 16.0;
+
+/// Precomputed Stage-1 coefficient tables for a `(space, target)` pair.
+///
+/// * FPGA targets: `lat[i][m][qi]` is the op latency (ms) at parallelism 1;
+///   the differentiable expression multiplies by `2^{-pf}`. `psi_q[qi]`
+///   gives DSPs per unit parallelism; resource multiplies by `2^{pf}`.
+/// * GPU targets: `lat[i][m][qi]` is the absolute roofline latency (ms) and
+///   there are no parallel factors or resource terms.
+#[derive(Debug, Clone)]
+pub struct PerfTables {
+    /// Per-(block, op, quant) latency coefficients (ms).
+    pub lat: Vec<Vec<Vec<f32>>>,
+    /// DSP cost per unit parallelism per quant index (empty for GPU).
+    pub psi_q: Vec<f32>,
+    /// Whether parallel factors scale latency/resource.
+    pub uses_pf: bool,
+}
+
+impl PerfTables {
+    /// Builds the coefficient tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a GPU target is paired with a bit-width outside
+    /// `{8, 16, 32}` (TensorRT support, paper §4.2).
+    pub fn build(space: &SearchSpace, target: &DeviceTarget) -> Result<Self> {
+        let n = space.num_blocks();
+        let m = space.num_ops();
+        let mut lat = vec![vec![vec![0.0f32; space.num_quant()]; m]; n];
+        match target {
+            DeviceTarget::Gpu(device) => {
+                for (i, row) in lat.iter_mut().enumerate() {
+                    for (mm, cell) in row.iter_mut().enumerate() {
+                        let op = space.op_shape(i, mm);
+                        for (qi, &bits) in space.quant_bits.iter().enumerate() {
+                            let prec = GpuPrecision::from_bits(bits).ok_or_else(|| {
+                                TensorError::InvalidArgument(format!(
+                                    "GPU target does not support {bits}-bit"
+                                ))
+                            })?;
+                            cell[qi] = gpu_op_latency(&op, prec, device) as f32;
+                        }
+                    }
+                }
+                Ok(PerfTables {
+                    lat,
+                    psi_q: Vec::new(),
+                    uses_pf: false,
+                })
+            }
+            DeviceTarget::Dedicated(device) => {
+                for (i, row) in lat.iter_mut().enumerate() {
+                    for (mm, cell) in row.iter_mut().enumerate() {
+                        let op = space.op_shape(i, mm);
+                        for (qi, &bits) in space.quant_bits.iter().enumerate() {
+                            cell[qi] = accel_op_latency(&op, bits, device) as f32;
+                        }
+                    }
+                }
+                Ok(PerfTables {
+                    lat,
+                    psi_q: Vec::new(),
+                    uses_pf: false,
+                })
+            }
+            DeviceTarget::FpgaRecursive(device) | DeviceTarget::FpgaPipelined(device) => {
+                for (i, row) in lat.iter_mut().enumerate() {
+                    for (mm, cell) in row.iter_mut().enumerate() {
+                        let op = space.op_shape(i, mm);
+                        for (qi, &bits) in space.quant_bits.iter().enumerate() {
+                            cell[qi] = (phi_cal(bits) / PHI_NORM * op.work()
+                                / device.cycles_per_ms())
+                                as f32;
+                        }
+                    }
+                }
+                let psi_q = space
+                    .quant_bits
+                    .iter()
+                    .map(|&b| psi_cal(b) as f32)
+                    .collect();
+                Ok(PerfTables {
+                    lat,
+                    psi_q,
+                    uses_pf: true,
+                })
+            }
+        }
+    }
+}
+
+impl PerfTables {
+    /// Builds Stage-1 coefficients for the **model-size** objective that
+    /// Eq. 6 also admits ("end-to-end latency, total energy or model
+    /// size"): the per-`(op, q)` coefficient is the op's weight storage in
+    /// megabytes at `q`-bit precision. Device-independent, no parallel
+    /// factors; pair with any latency-objective target when calling
+    /// [`estimate`].
+    #[must_use]
+    pub fn model_size(space: &SearchSpace) -> Self {
+        let n = space.num_blocks();
+        let m = space.num_ops();
+        let mut lat = vec![vec![vec![0.0f32; space.num_quant()]; m]; n];
+        for (i, row) in lat.iter_mut().enumerate() {
+            for (mm, cell) in row.iter_mut().enumerate() {
+                let op = space.op_shape(i, mm);
+                for (qi, &bits) in space.quant_bits.iter().enumerate() {
+                    cell[qi] = (op.params() * f64::from(bits) / 8.0 / 1e6) as f32;
+                }
+            }
+        }
+        PerfTables {
+            lat,
+            psi_q: Vec::new(),
+            uses_pf: false,
+        }
+    }
+}
+
+/// The differentiable Stage-4 outputs plus scalar snapshots for logging.
+#[derive(Debug)]
+pub struct PerfEstimate {
+    /// Stage-4 performance term (ms for latency targets; smooth-max block
+    /// latency for throughput targets). Differentiable w.r.t. `Θ`, `Φ`,
+    /// `pf`.
+    pub perf: Tensor,
+    /// Stage-4 resource usage (DSPs). Differentiable; constant 0 for GPU.
+    pub res: Tensor,
+    /// Per-block expected latency values (ms), for logging.
+    pub block_latency_ms: Vec<f32>,
+}
+
+/// Builds the differentiable performance/resource estimate for the current
+/// architecture parameters.
+///
+/// `tau` is the Gumbel-Softmax temperature; sampling is *soft* here (the
+/// expectation form of Eq. 2–5).
+///
+/// # Errors
+///
+/// Propagates shape errors (internal invariants; should not occur for
+/// well-formed inputs).
+pub fn estimate<R: Rng + ?Sized>(
+    arch: &ArchParams,
+    tables: &PerfTables,
+    space: &SearchSpace,
+    target: &DeviceTarget,
+    tau: f32,
+    rng: &mut R,
+) -> Result<PerfEstimate> {
+    let n = space.num_blocks();
+    let m = space.num_ops();
+    let q = space.num_quant();
+
+    // Soft Θ samples per block (Stage-3 weights).
+    let gs_theta: Vec<Tensor> = arch
+        .theta
+        .iter()
+        .map(|t| gumbel_softmax(t, tau, false, rng))
+        .collect::<Result<_>>()?;
+
+    // Soft Φ samples. Key by the tensor identity so shared layouts
+    // (recursive per-class, GPU global) sample exactly once.
+    let mut phi_cache: Vec<(usize, Tensor)> = Vec::new();
+    let mut phi_sample = |logits: &Tensor, rng: &mut R| -> Result<Tensor> {
+        let key = logits.node_id();
+        if let Some((_, t)) = phi_cache.iter().find(|(k, _)| *k == key) {
+            return Ok(t.clone());
+        }
+        let s = gumbel_softmax(logits, tau, false, rng)?;
+        phi_cache.push((key, s.clone()));
+        Ok(s)
+    };
+
+    // 2^{±pf} helper.
+    let two_pow = |pf: &Tensor, sign: f32| pf.mul_scalar(sign * LN2).exp();
+
+    // Stage-2: per-(i, m) expected perf and res over quantizations.
+    let mut op_perf: Vec<Vec<Tensor>> = Vec::with_capacity(n);
+    let mut op_res: Vec<Vec<Option<Tensor>>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row_perf = Vec::with_capacity(m);
+        let mut row_res = Vec::with_capacity(m);
+        for mm in 0..m {
+            let gs_phi = phi_sample(arch.phi_logits(i, mm), rng)?;
+            let lat_const = Tensor::constant(
+                Array::from_vec(tables.lat[i][mm].clone(), &[q]).expect("table sized"),
+            );
+            // Perf^q · GS(φ) summed over q (Eq. 2).
+            let mut perf = gs_phi.mul(&lat_const)?.sum();
+            if tables.uses_pf {
+                let pf = arch.pf(i, mm).expect("FPGA targets have pf");
+                perf = perf.mul(&two_pow(pf, -1.0))?;
+                // Res^q · GS(φ) summed over q (Eq. 3), times 2^{pf}.
+                let psi_const = Tensor::constant(
+                    Array::from_vec(tables.psi_q.clone(), &[q]).expect("table sized"),
+                );
+                let res = gs_phi.mul(&psi_const)?.sum().mul(&two_pow(pf, 1.0))?;
+                row_res.push(Some(res));
+            } else {
+                row_res.push(None);
+            }
+            row_perf.push(perf);
+        }
+        op_perf.push(row_perf);
+        op_res.push(row_res);
+    }
+
+    // Stage-3: per-block expected perf over ops (Eq. 4).
+    let mut block_perf = Vec::with_capacity(n);
+    for i in 0..n {
+        let stacked = Tensor::stack_scalars(&op_perf[i])?;
+        block_perf.push(gs_theta[i].mul(&stacked)?.sum());
+    }
+    let block_latency_ms: Vec<f32> = block_perf.iter().map(Tensor::item).collect();
+
+    // Stage-4 performance (Eq. 6 / Eq. 7).
+    let perf = match target.objective() {
+        PerfObjective::Latency => {
+            let stacked = Tensor::stack_scalars(&block_perf)?;
+            stacked.sum()
+        }
+        PerfObjective::Throughput => {
+            let stacked = Tensor::stack_scalars(&block_perf)?;
+            stacked.logsumexp()
+        }
+    };
+
+    // Stage-4 resource (Eq. 8 / Eq. 9–10).
+    let res = if !tables.uses_pf {
+        Tensor::scalar(0.0)
+    } else if target.shares_resource() {
+        // Recursive: for each op class m, usage share tanh(Σᵢ GS(θᵢ)ₘ)
+        // suppresses duplicate counting; the class resource uses the shared
+        // pf/φ (any block index works; use block 0).
+        let mut class_terms = Vec::with_capacity(m);
+        #[allow(clippy::needless_range_loop)] // lockstep multi-array indexing
+        for mm in 0..m {
+            let mut selects = Vec::with_capacity(n);
+            for gs in gs_theta.iter().take(n) {
+                selects.push(gs.select(mm)?);
+            }
+            let share = Tensor::stack_scalars(&selects)?.sum().tanh();
+            let res_m = op_res[0][mm].clone().expect("FPGA has res");
+            class_terms.push(share.mul(&res_m)?);
+        }
+        Tensor::stack_scalars(&class_terms)?.sum()
+    } else {
+        // Pipelined: weighted sum over every (i, m) (Eq. 5 + Eq. 8).
+        let mut terms = Vec::with_capacity(n);
+        for i in 0..n {
+            let ress: Vec<Tensor> = op_res[i]
+                .iter()
+                .map(|r| r.clone().expect("FPGA has res"))
+                .collect();
+            let stacked = Tensor::stack_scalars(&ress)?;
+            terms.push(gs_theta[i].mul(&stacked)?.sum());
+        }
+        Tensor::stack_scalars(&terms)?.sum()
+    };
+
+    Ok(PerfEstimate {
+        perf,
+        res,
+        block_latency_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edd_hw::{FpgaDevice, GpuDevice};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::tiny(3, 16, 4, vec![4, 8, 16])
+    }
+
+    fn gpu_space() -> SearchSpace {
+        SearchSpace::tiny(3, 16, 4, vec![8, 16, 32])
+    }
+
+    #[test]
+    fn tables_build_for_all_targets() {
+        let s = space();
+        let rec =
+            PerfTables::build(&s, &DeviceTarget::FpgaRecursive(FpgaDevice::zcu102())).unwrap();
+        assert!(rec.uses_pf);
+        assert_eq!(rec.psi_q, vec![0.0, 0.5, 1.0]);
+        let gpu =
+            PerfTables::build(&gpu_space(), &DeviceTarget::Gpu(GpuDevice::titan_rtx())).unwrap();
+        assert!(!gpu.uses_pf);
+        assert!(gpu.psi_q.is_empty());
+    }
+
+    #[test]
+    fn gpu_rejects_unsupported_bits() {
+        let s = space(); // has 4-bit
+        assert!(PerfTables::build(&s, &DeviceTarget::Gpu(GpuDevice::titan_rtx())).is_err());
+    }
+
+    #[test]
+    fn fpga_latency_table_scales_with_bits() {
+        let s = space();
+        let t = PerfTables::build(&s, &DeviceTarget::FpgaPipelined(FpgaDevice::zc706())).unwrap();
+        // Φ(q) = q: 16-bit coefficient is 4x the 4-bit one.
+        let c4 = t.lat[0][0][0];
+        let c16 = t.lat[0][0][2];
+        assert!((c16 / c4 - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn estimate_differentiable_wrt_all_vars() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = space();
+        let target = DeviceTarget::FpgaPipelined(FpgaDevice::zc706());
+        let arch = ArchParams::init(&s, &target, &mut rng);
+        let tables = PerfTables::build(&s, &target).unwrap();
+        let est = estimate(&arch, &tables, &s, &target, 1.0, &mut rng).unwrap();
+        let total = est.perf.add(&est.res).unwrap();
+        total.backward();
+        for p in arch.all_params() {
+            assert!(p.grad().is_some(), "missing grad on an arch param");
+        }
+    }
+
+    #[test]
+    fn latency_objective_sums_blocks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = space();
+        let target = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+        let arch = ArchParams::init(&s, &target, &mut rng);
+        let tables = PerfTables::build(&s, &target).unwrap();
+        let est = estimate(&arch, &tables, &s, &target, 1.0, &mut rng).unwrap();
+        let sum: f32 = est.block_latency_ms.iter().sum();
+        assert!((est.perf.item() - sum).abs() < 1e-5);
+    }
+
+    #[test]
+    fn throughput_objective_is_smooth_max() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = space();
+        let target = DeviceTarget::FpgaPipelined(FpgaDevice::zc706());
+        let arch = ArchParams::init(&s, &target, &mut rng);
+        let tables = PerfTables::build(&s, &target).unwrap();
+        let est = estimate(&arch, &tables, &s, &target, 1.0, &mut rng).unwrap();
+        let max = est
+            .block_latency_ms
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
+        let n = est.block_latency_ms.len() as f32;
+        assert!(est.perf.item() >= max - 1e-5);
+        assert!(est.perf.item() <= max + n.ln() + 1e-5);
+    }
+
+    #[test]
+    fn recursive_res_counts_classes_once() {
+        // With uniform theta the share factor tanh(Σ GS) saturates near
+        // tanh(1)=0.76 per class; resource must be far below the pipelined
+        // (per-block) count.
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = space();
+        let rec_t = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+        let rec_arch = ArchParams::init(&s, &rec_t, &mut rng);
+        let rec_tables = PerfTables::build(&s, &rec_t).unwrap();
+        let rec_est = estimate(&rec_arch, &rec_tables, &s, &rec_t, 1.0, &mut rng).unwrap();
+        // Upper bound: M classes × psi(16) × 2^pf0 where 2^pf0 = budget/M.
+        let budget = 2520.0f32;
+        assert!(
+            rec_est.res.item() <= budget * 1.05,
+            "res {}",
+            rec_est.res.item()
+        );
+        assert!(rec_est.res.item() > 0.0);
+    }
+
+    #[test]
+    fn gpu_res_is_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = gpu_space();
+        let target = DeviceTarget::Gpu(GpuDevice::titan_rtx());
+        let arch = ArchParams::init(&s, &target, &mut rng);
+        let tables = PerfTables::build(&s, &target).unwrap();
+        let est = estimate(&arch, &tables, &s, &target, 1.0, &mut rng).unwrap();
+        assert_eq!(est.res.item(), 0.0);
+    }
+
+    #[test]
+    fn dedicated_tables_scale_with_weight_bits() {
+        use edd_hw::AccelDevice;
+        let s = SearchSpace::tiny(2, 16, 4, vec![2, 4, 8, 16]);
+        let target = DeviceTarget::Dedicated(AccelDevice::loom_like());
+        let t = PerfTables::build(&s, &target).unwrap();
+        assert!(!t.uses_pf);
+        // Loom property: latency proportional to weight bits.
+        let l2 = t.lat[0][0][0];
+        let l16 = t.lat[0][0][3];
+        assert!((l16 / l2 - 8.0).abs() < 1e-4, "{l16} vs {l2}");
+    }
+
+    #[test]
+    fn dedicated_estimate_differentiable_and_resource_free() {
+        use edd_hw::AccelDevice;
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = SearchSpace::tiny(2, 16, 4, vec![2, 4, 8, 16]);
+        let target = DeviceTarget::Dedicated(AccelDevice::loom_like());
+        let arch = ArchParams::init(&s, &target, &mut rng);
+        let tables = PerfTables::build(&s, &target).unwrap();
+        let est = estimate(&arch, &tables, &s, &target, 1.0, &mut rng).unwrap();
+        assert_eq!(est.res.item(), 0.0);
+        est.perf.backward();
+        for t in &arch.theta {
+            assert!(t.grad().is_some());
+        }
+        assert!(arch.phi_logits(0, 0).grad().is_some());
+    }
+
+    #[test]
+    fn model_size_tables_scale_with_bits_and_params() {
+        let s = space();
+        let t = PerfTables::model_size(&s);
+        assert!(!t.uses_pf);
+        // 16-bit weights take 4x the storage of 4-bit.
+        assert!((t.lat[0][0][2] / t.lat[0][0][0] - 4.0).abs() < 1e-4);
+        // e6 candidates store more than e4 at equal kernel (indices 2 vs 0
+        // share kernel 3 with expansions 6 vs 4).
+        assert!(t.lat[0][2][1] > t.lat[0][0][1]);
+    }
+
+    #[test]
+    fn model_size_estimate_prefers_low_bits() {
+        // Under the model-size objective, the gradient on phi favors fewer
+        // bits: d perf / d phi_low < 0 relative to phi_high.
+        let mut rng = StdRng::seed_from_u64(17);
+        let s = space();
+        let target = DeviceTarget::Gpu(edd_hw::GpuDevice::titan_rtx());
+        // GPU target shapes phi as a single global vector over Q = 3.
+        let arch = ArchParams::init(&s, &target, &mut rng);
+        let tables = PerfTables::model_size(&s);
+        let est = estimate(&arch, &tables, &s, &target, 1.0, &mut rng).unwrap();
+        est.perf.backward();
+        let g = arch.phi_logits(0, 0).grad().expect("phi grad");
+        // Raising the low-bit logit lowers expected size; raising the
+        // high-bit logit raises it.
+        assert!(
+            g.data()[0] < g.data()[2],
+            "low-bit grad {} should be below high-bit grad {}",
+            g.data()[0],
+            g.data()[2]
+        );
+    }
+
+    #[test]
+    fn increasing_pf_decreases_latency_increases_res() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = space();
+        let target = DeviceTarget::FpgaPipelined(FpgaDevice::zc706());
+        let arch = ArchParams::init(&s, &target, &mut rng);
+        let tables = PerfTables::build(&s, &target).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let before = estimate(&arch, &tables, &s, &target, 1.0, &mut rng_a).unwrap();
+        // Bump every pf by +1 (double parallelism).
+        for i in 0..s.num_blocks() {
+            for m in 0..s.num_ops() {
+                let pf = arch.pf(i, m).unwrap();
+                let v = pf.item();
+                pf.update_value(|a| a.data_mut()[0] = v + 1.0);
+            }
+        }
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let after = estimate(&arch, &tables, &s, &target, 1.0, &mut rng_b).unwrap();
+        assert!(after.perf.item() < before.perf.item());
+        assert!(after.res.item() > before.res.item());
+        // Exactly 2x with identical noise.
+        assert!((after.res.item() / before.res.item() - 2.0).abs() < 1e-3);
+    }
+}

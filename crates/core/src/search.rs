@@ -1,0 +1,449 @@
+//! The EDD co-search algorithm (paper §5): bilevel stochastic gradient
+//! descent over the fused space `{A, I}`.
+//!
+//! Each epoch alternates:
+//!
+//! 1. **Weight steps** — fix `Θ, Φ, pf`, update DNN weights `ω` by
+//!    minimizing the training cross-entropy along sampled single paths.
+//! 2. **Architecture steps** — fix `ω`, update `Θ, Φ, pf` by descending the
+//!    fused loss (Eq. 1) on the *validation* split: sampled-path accuracy
+//!    loss × differentiable performance loss + resource penalty.
+//!
+//! The Gumbel-Softmax temperature anneals geometrically from `tau_start` to
+//! `tau_end`. After the final epoch the argmax architecture is derived
+//! (paper: the searched DNN is then trained from scratch).
+
+use crate::arch_params::ArchParams;
+use crate::derive::DerivedArch;
+use crate::loss::{edd_loss, LossConfig};
+use crate::perf_model::{estimate, PerfTables};
+use crate::space::SearchSpace;
+use crate::supernet::SuperNet;
+use crate::target::DeviceTarget;
+use edd_nn::Batch;
+use edd_tensor::optim::{Adam, Optimizer, Sgd};
+use edd_tensor::{accuracy, Result, Tensor};
+use rand::Rng;
+
+/// Hyperparameters of a co-search run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoSearchConfig {
+    /// Number of search epochs (the paper runs 50).
+    pub epochs: usize,
+    /// SGD learning rate for DNN weights.
+    pub weight_lr: f32,
+    /// SGD momentum for DNN weights.
+    pub weight_momentum: f32,
+    /// Adam learning rate for `Θ, Φ, pf`.
+    pub arch_lr: f32,
+    /// Initial Gumbel-Softmax temperature.
+    pub tau_start: f32,
+    /// Final Gumbel-Softmax temperature.
+    pub tau_end: f32,
+    /// Epochs of weight-only warm-up before architecture updates begin.
+    pub warmup_epochs: usize,
+    /// If false, architecture steps use the training batches too
+    /// (single-level ablation of the bilevel scheme).
+    pub bilevel: bool,
+    /// Optional global-norm clip applied to the DNN weight gradients each
+    /// step (`None` = no clipping).
+    pub clip_grad_norm: Option<f32>,
+    /// Fused-loss hyperparameters.
+    pub loss: LossConfig,
+}
+
+impl CoSearchConfig {
+    /// The paper's §6 search hyperparameters: 50 epochs of bilevel search
+    /// ("We run for fixed 50 epochs during the EDD search"), DARTS-style
+    /// learning rates, temperature annealed over the full run. Intended for
+    /// the full-scale space; laptop experiments use the shorter default.
+    #[must_use]
+    pub fn paper() -> Self {
+        CoSearchConfig {
+            epochs: 50,
+            weight_lr: 0.025,
+            weight_momentum: 0.9,
+            arch_lr: 3e-3,
+            tau_start: 5.0,
+            tau_end: 0.1,
+            warmup_epochs: 5,
+            bilevel: true,
+            clip_grad_norm: Some(5.0),
+            loss: LossConfig::default(),
+        }
+    }
+}
+
+impl Default for CoSearchConfig {
+    fn default() -> Self {
+        CoSearchConfig {
+            epochs: 12,
+            weight_lr: 0.05,
+            weight_momentum: 0.9,
+            arch_lr: 0.02,
+            tau_start: 3.0,
+            tau_end: 0.3,
+            warmup_epochs: 2,
+            bilevel: true,
+            clip_grad_norm: Some(5.0),
+            loss: LossConfig::default(),
+        }
+    }
+}
+
+/// Metrics recorded after each search epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean sampled-path training loss.
+    pub train_loss: f32,
+    /// Mean sampled-path training accuracy.
+    pub train_acc: f32,
+    /// Validation accuracy of the current argmax architecture.
+    pub val_acc: f32,
+    /// Expected Stage-4 performance term (ms).
+    pub expected_perf: f32,
+    /// Expected Stage-4 resource usage (DSPs; 0 on GPU).
+    pub expected_res: f32,
+    /// Temperature used this epoch.
+    pub tau: f32,
+}
+
+/// Result of a finished co-search.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// The derived (argmax) architecture at the end of the run.
+    pub derived: DerivedArch,
+    /// Per-epoch metric history.
+    pub history: Vec<EpochRecord>,
+    /// The architecture derived at the epoch with the highest validation
+    /// accuracy (early-stopping candidate; equals `derived` when the last
+    /// epoch was the best).
+    pub best_derived: DerivedArch,
+    /// Epoch index of `best_derived`.
+    pub best_epoch: usize,
+}
+
+impl SearchOutcome {
+    /// Serializes the epoch history as CSV (header + one row per epoch),
+    /// for plotting search curves.
+    #[must_use]
+    pub fn history_csv(&self) -> String {
+        let mut out =
+            String::from("epoch,train_loss,train_acc,val_acc,expected_perf,expected_res,tau\n");
+        for h in &self.history {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                h.epoch,
+                h.train_loss,
+                h.train_acc,
+                h.val_acc,
+                h.expected_perf,
+                h.expected_res,
+                h.tau
+            ));
+        }
+        out
+    }
+}
+
+/// A configured co-search: supernet + architecture parameters + coefficient
+/// tables + optimizers.
+pub struct CoSearch {
+    space: SearchSpace,
+    target: DeviceTarget,
+    config: CoSearchConfig,
+    supernet: SuperNet,
+    arch: ArchParams,
+    tables: PerfTables,
+}
+
+impl std::fmt::Debug for CoSearch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoSearch")
+            .field("space", &self.space.name)
+            .field("target", &self.target.label())
+            .field("epochs", &self.config.epochs)
+            .finish()
+    }
+}
+
+impl CoSearch {
+    /// Creates a co-search for `space` on `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the space's quantization menu is unsupported by
+    /// the target (e.g. 4-bit on GPU).
+    pub fn new<R: Rng + ?Sized>(
+        space: SearchSpace,
+        target: DeviceTarget,
+        config: CoSearchConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let tables = PerfTables::build(&space, &target)?;
+        let supernet = SuperNet::new(&space, rng);
+        let arch = ArchParams::init(&space, &target, rng);
+        Ok(CoSearch {
+            space,
+            target,
+            config,
+            supernet,
+            arch,
+            tables,
+        })
+    }
+
+    /// The supernet under search.
+    #[must_use]
+    pub fn supernet(&self) -> &SuperNet {
+        &self.supernet
+    }
+
+    /// The current architecture parameters.
+    #[must_use]
+    pub fn arch(&self) -> &ArchParams {
+        &self.arch
+    }
+
+    /// The device target.
+    #[must_use]
+    pub fn target(&self) -> &DeviceTarget {
+        &self.target
+    }
+
+    /// Temperature at `epoch` (geometric annealing).
+    #[must_use]
+    pub fn tau_at(&self, epoch: usize) -> f32 {
+        let e = self.config.epochs.max(2) - 1;
+        let t = (epoch.min(e)) as f32 / e as f32;
+        self.config.tau_start * (self.config.tau_end / self.config.tau_start).powf(t)
+    }
+
+    /// Runs the full co-search over the given train/validation splits and
+    /// derives the final architecture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the supernet or the performance model.
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        train: &[Batch],
+        val: &[Batch],
+        rng: &mut R,
+    ) -> Result<SearchOutcome> {
+        let mut w_opt = Sgd::new(
+            self.supernet.weight_params(),
+            self.config.weight_lr,
+            self.config.weight_momentum,
+            1e-4,
+        );
+        let mut a_opt = Adam::new(self.arch.all_params(), self.config.arch_lr);
+        let mut history = Vec::with_capacity(self.config.epochs);
+        let mut best: Option<(usize, f32, DerivedArch)> = None;
+        for epoch in 0..self.config.epochs {
+            let tau = self.tau_at(epoch);
+            self.supernet.set_training(true);
+            let mut train_loss = 0.0;
+            let mut train_acc = 0.0;
+            let mut seen = 0usize;
+            for batch in train {
+                w_opt.zero_grad();
+                a_opt.zero_grad();
+                let x = Tensor::constant(batch.images.clone());
+                let (logits, _) = self.supernet.forward_sampled(&x, &self.arch, tau, rng)?;
+                let loss = logits.cross_entropy(&batch.labels)?;
+                loss.backward();
+                if let Some(max_norm) = self.config.clip_grad_norm {
+                    edd_tensor::optim::clip_grad_norm(w_opt.params(), max_norm);
+                }
+                w_opt.step();
+                let b = batch.labels.len();
+                train_loss += loss.item() * b as f32;
+                train_acc += accuracy(&logits.value_clone(), &batch.labels) * b as f32;
+                seen += b;
+            }
+            // Architecture step on the validation split (bilevel) or the
+            // training split (single-level ablation).
+            let mut expected_perf = 0.0;
+            let mut expected_res = 0.0;
+            if epoch >= self.config.warmup_epochs {
+                let arch_batches = if self.config.bilevel { val } else { train };
+                let mut arch_steps = 0usize;
+                for batch in arch_batches {
+                    w_opt.zero_grad();
+                    a_opt.zero_grad();
+                    let x = Tensor::constant(batch.images.clone());
+                    let (logits, _) = self.supernet.forward_sampled(&x, &self.arch, tau, rng)?;
+                    let acc_loss = logits.cross_entropy(&batch.labels)?;
+                    let est = estimate(
+                        &self.arch,
+                        &self.tables,
+                        &self.space,
+                        &self.target,
+                        tau,
+                        rng,
+                    )?;
+                    let total = edd_loss(
+                        &acc_loss,
+                        &est.perf,
+                        &est.res,
+                        self.target.resource_bound(),
+                        &self.config.loss,
+                    )?;
+                    total.backward();
+                    a_opt.step();
+                    expected_perf += est.perf.item();
+                    expected_res += est.res.item();
+                    arch_steps += 1;
+                }
+                if arch_steps > 0 {
+                    expected_perf /= arch_steps as f32;
+                    expected_res /= arch_steps as f32;
+                }
+            }
+            // Validation accuracy of the current argmax architecture.
+            self.supernet.set_training(false);
+            let mut val_acc = 0.0;
+            let mut val_seen = 0usize;
+            for batch in val {
+                let x = Tensor::constant(batch.images.clone());
+                let logits = self.supernet.forward_argmax(&x, &self.arch)?;
+                val_acc +=
+                    accuracy(&logits.value_clone(), &batch.labels) * batch.labels.len() as f32;
+                val_seen += batch.labels.len();
+            }
+            let epoch_val_acc = val_acc / val_seen.max(1) as f32;
+            if best.as_ref().is_none_or(|(_, acc, _)| epoch_val_acc > *acc) {
+                best = Some((
+                    epoch,
+                    epoch_val_acc,
+                    DerivedArch::from_params(&self.space, &self.target, &self.arch),
+                ));
+            }
+            history.push(EpochRecord {
+                epoch,
+                train_loss: train_loss / seen.max(1) as f32,
+                train_acc: train_acc / seen.max(1) as f32,
+                val_acc: epoch_val_acc,
+                expected_perf,
+                expected_res,
+                tau,
+            });
+        }
+        let derived = DerivedArch::from_params(&self.space, &self.target, &self.arch);
+        let (best_epoch, _, best_derived) =
+            best.unwrap_or((self.config.epochs.saturating_sub(1), 0.0, derived.clone()));
+        Ok(SearchOutcome {
+            derived,
+            history,
+            best_derived,
+            best_epoch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edd_data::{SynthConfig, SynthDataset};
+    use edd_hw::FpgaDevice;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_search(bilevel: bool) -> (CoSearch, Vec<Batch>, Vec<Batch>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let space = SearchSpace::tiny(3, 16, 4, vec![4, 8, 16]);
+        let target = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+        let config = CoSearchConfig {
+            epochs: 3,
+            warmup_epochs: 1,
+            bilevel,
+            ..CoSearchConfig::default()
+        };
+        let search = CoSearch::new(space, target, config, &mut rng).unwrap();
+        let data = SynthDataset::new(SynthConfig::tiny());
+        let train = data.split(3, 8, 1);
+        let val = data.split(2, 8, 2);
+        (search, train, val, rng)
+    }
+
+    #[test]
+    fn new_rejects_incompatible_quant_menu() {
+        // 4-bit weights are not representable on the GPU target (TensorRT
+        // floor is 8-bit); construction must fail up front.
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = SearchSpace::tiny(2, 16, 4, vec![4, 8, 16]);
+        let target = crate::target::DeviceTarget::Gpu(edd_hw::GpuDevice::titan_rtx());
+        assert!(CoSearch::new(space, target, CoSearchConfig::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn tau_anneals_geometrically() {
+        let (search, _, _, _) = tiny_search(true);
+        assert!((search.tau_at(0) - 3.0).abs() < 1e-5);
+        assert!((search.tau_at(2) - 0.3).abs() < 1e-5);
+        assert!(search.tau_at(1) < search.tau_at(0));
+        assert!(search.tau_at(1) > search.tau_at(2));
+    }
+
+    #[test]
+    fn run_produces_history_and_architecture() {
+        let (mut search, train, val, mut rng) = tiny_search(true);
+        let outcome = search.run(&train, &val, &mut rng).unwrap();
+        assert_eq!(outcome.history.len(), 3);
+        assert_eq!(outcome.derived.blocks.len(), 3);
+        // Warmup epoch must not have arch updates -> zero expected perf.
+        assert_eq!(outcome.history[0].expected_perf, 0.0);
+        // Post-warmup epochs estimate performance.
+        assert!(outcome.history[2].expected_perf > 0.0);
+        assert!(outcome.history[2].expected_res > 0.0);
+        // Losses should be finite and positive.
+        assert!(outcome.history.iter().all(|h| h.train_loss.is_finite()));
+    }
+
+    #[test]
+    fn best_epoch_tracks_peak_validation() {
+        let (mut search, train, val, mut rng) = tiny_search(true);
+        let outcome = search.run(&train, &val, &mut rng).unwrap();
+        assert!(outcome.best_epoch < outcome.history.len());
+        let best_acc = outcome.history[outcome.best_epoch].val_acc;
+        for h in &outcome.history {
+            assert!(h.val_acc <= best_acc + 1e-6);
+        }
+        assert_eq!(outcome.best_derived.blocks.len(), 3);
+    }
+
+    #[test]
+    fn single_level_ablation_runs() {
+        let (mut search, train, val, mut rng) = tiny_search(false);
+        let outcome = search.run(&train, &val, &mut rng).unwrap();
+        assert_eq!(outcome.history.len(), 3);
+    }
+
+    #[test]
+    fn debug_format_mentions_target() {
+        let (search, _, _, _) = tiny_search(true);
+        assert!(format!("{search:?}").contains("FPGA-recursive"));
+    }
+
+    #[test]
+    fn paper_config_matches_section6() {
+        let c = CoSearchConfig::paper();
+        assert_eq!(c.epochs, 50);
+        assert!(c.bilevel);
+        assert!(c.tau_start > c.tau_end);
+    }
+
+    #[test]
+    fn history_exports_as_csv() {
+        let (mut search, train, val, mut rng) = tiny_search(true);
+        let outcome = search.run(&train, &val, &mut rng).unwrap();
+        let csv = outcome.history_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + outcome.history.len());
+        assert!(lines[0].starts_with("epoch,train_loss"));
+        assert_eq!(lines[1].split(',').count(), 7);
+    }
+}

@@ -1,0 +1,252 @@
+//! The fused EDD search space definition (paper §3, Fig. 1–2).
+//!
+//! A [`SearchSpace`] fixes everything that is *not* searched: the macro
+//! skeleton (N blocks with a channel/stride plan, stem and head), the
+//! candidate-operation menu (`M = |kernels| × |expansions|` MBConv variants
+//! per block) and the quantization menu (`Q` bit-widths). The searched
+//! variables — operator logits `Θ`, quantization logits `Φ` and parallel
+//! factors `pf` — live in [`crate::arch_params::ArchParams`].
+
+use edd_hw::shapes::OpShape;
+use serde::{Deserialize, Serialize};
+
+/// Fixed plan of one supernet block: output channels and stride.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockPlan {
+    /// Output channel count of the block.
+    pub out_channels: usize,
+    /// Stride of the block's depthwise stage (1 or 2).
+    pub stride: usize,
+}
+
+/// The static skeleton of the supernet plus the per-block candidate menus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Human-readable name.
+    pub name: String,
+    /// Input image channels (3 for RGB).
+    pub input_channels: usize,
+    /// Input image side length.
+    pub image_size: usize,
+    /// Classifier output classes.
+    pub num_classes: usize,
+    /// Stem convolution output channels.
+    pub stem_channels: usize,
+    /// Stem convolution stride.
+    pub stem_stride: usize,
+    /// Per-block channel/stride plan (length `N`).
+    pub blocks: Vec<BlockPlan>,
+    /// Candidate depthwise kernel sizes (paper: `{3, 5, 7}`).
+    pub kernel_choices: Vec<usize>,
+    /// Candidate channel expansion ratios (paper: `{4, 5, 6}`).
+    pub expansion_choices: Vec<usize>,
+    /// Candidate weight bit-widths (`Q` entries; device-dependent).
+    pub quant_bits: Vec<u32>,
+    /// Head (final 1×1 conv) channels before global pooling.
+    pub head_channels: usize,
+}
+
+impl SearchSpace {
+    /// Number of blocks `N`.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of candidate operations per block,
+    /// `M = |kernels| × |expansions|`.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.kernel_choices.len() * self.expansion_choices.len()
+    }
+
+    /// Number of quantization choices `Q`.
+    #[must_use]
+    pub fn num_quant(&self) -> usize {
+        self.quant_bits.len()
+    }
+
+    /// Decodes candidate index `m` into `(kernel, expansion)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= num_ops()`.
+    #[must_use]
+    pub fn op_choice(&self, m: usize) -> (usize, usize) {
+        assert!(m < self.num_ops(), "op index {m} out of range");
+        let e = self.expansion_choices.len();
+        (self.kernel_choices[m / e], self.expansion_choices[m % e])
+    }
+
+    /// Input channels of block `i` (stem output for the first block).
+    #[must_use]
+    pub fn block_in_channels(&self, i: usize) -> usize {
+        if i == 0 {
+            self.stem_channels
+        } else {
+            self.blocks[i - 1].out_channels
+        }
+    }
+
+    /// Spatial side length at the *input* of block `i` (after the stem and
+    /// all preceding strides).
+    #[must_use]
+    pub fn spatial_at_block(&self, i: usize) -> usize {
+        let mut s = self.image_size.div_ceil(self.stem_stride);
+        for b in &self.blocks[..i] {
+            s = s.div_ceil(b.stride);
+        }
+        s
+    }
+
+    /// The [`OpShape`] (for the hardware models) of candidate `m` in block
+    /// `i`.
+    #[must_use]
+    pub fn op_shape(&self, i: usize, m: usize) -> OpShape {
+        let (k, e) = self.op_choice(m);
+        let cin = self.block_in_channels(i);
+        let plan = self.blocks[i];
+        let s = self.spatial_at_block(i);
+        OpShape::mbconv(cin, plan.out_channels, k, e, s, s, plan.stride)
+    }
+
+    /// The paper's ImageNet space: 20 MBConv blocks, kernels `{3,5,7}`,
+    /// expansions `{4,5,6}` (`M = 9`), 224×224 input, 1000 classes. The
+    /// channel plan follows the published EDD-Net skeletons (Fig. 4).
+    #[must_use]
+    pub fn paper_imagenet(quant_bits: Vec<u32>) -> Self {
+        let channels = [
+            32, 32, 32, 40, 40, 40, 80, 80, 80, 80, 96, 96, 96, 96, 192, 192, 192, 192, 192, 320,
+        ];
+        let strides = [1, 1, 2, 1, 1, 2, 1, 1, 1, 2, 1, 1, 1, 1, 2, 1, 1, 1, 1, 1];
+        SearchSpace {
+            name: "edd-imagenet".into(),
+            input_channels: 3,
+            image_size: 224,
+            num_classes: 1000,
+            stem_channels: 32,
+            stem_stride: 2,
+            blocks: channels
+                .iter()
+                .zip(strides)
+                .map(|(&c, s)| BlockPlan {
+                    out_channels: c,
+                    stride: s,
+                })
+                .collect(),
+            kernel_choices: vec![3, 5, 7],
+            expansion_choices: vec![4, 5, 6],
+            quant_bits,
+            head_channels: 1280,
+        }
+    }
+
+    /// A laptop-scale space for the SynthImageNet experiments: `n` blocks on
+    /// small images. Keeps the full `M = 9` candidate menu so the search
+    /// dynamics match the paper.
+    #[must_use]
+    pub fn tiny(n: usize, image_size: usize, num_classes: usize, quant_bits: Vec<u32>) -> Self {
+        assert!(n >= 1, "need at least one block");
+        let mut blocks = Vec::with_capacity(n);
+        let mut c = 16;
+        for i in 0..n {
+            // Double channels and stride every third block.
+            let stride = if i > 0 && i % 3 == 0 { 2 } else { 1 };
+            if stride == 2 {
+                c *= 2;
+            }
+            blocks.push(BlockPlan {
+                out_channels: c,
+                stride,
+            });
+        }
+        SearchSpace {
+            name: format!("edd-tiny-{n}"),
+            input_channels: 3,
+            image_size,
+            num_classes,
+            stem_channels: 16,
+            stem_stride: 1,
+            blocks,
+            kernel_choices: vec![3, 5, 7],
+            expansion_choices: vec![4, 5, 6],
+            quant_bits,
+            head_channels: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_dimensions() {
+        let s = SearchSpace::paper_imagenet(vec![4, 8, 16]);
+        assert_eq!(s.num_blocks(), 20);
+        assert_eq!(s.num_ops(), 9);
+        assert_eq!(s.num_quant(), 3);
+        assert_eq!(s.num_classes, 1000);
+    }
+
+    #[test]
+    fn op_choice_decodes_row_major() {
+        let s = SearchSpace::paper_imagenet(vec![16]);
+        assert_eq!(s.op_choice(0), (3, 4));
+        assert_eq!(s.op_choice(1), (3, 5));
+        assert_eq!(s.op_choice(2), (3, 6));
+        assert_eq!(s.op_choice(3), (5, 4));
+        assert_eq!(s.op_choice(8), (7, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn op_choice_bounds() {
+        let s = SearchSpace::paper_imagenet(vec![16]);
+        let _ = s.op_choice(9);
+    }
+
+    #[test]
+    fn spatial_tracks_strides() {
+        let s = SearchSpace::paper_imagenet(vec![16]);
+        // Stem stride 2: 224 -> 112 at block 0.
+        assert_eq!(s.spatial_at_block(0), 112);
+        // After the first stride-2 block (index 2), block 3 sees 56.
+        assert_eq!(s.spatial_at_block(3), 56);
+    }
+
+    #[test]
+    fn block_in_channels_chains() {
+        let s = SearchSpace::paper_imagenet(vec![16]);
+        assert_eq!(s.block_in_channels(0), 32);
+        assert_eq!(s.block_in_channels(3), 32);
+        assert_eq!(s.block_in_channels(19), 192);
+    }
+
+    #[test]
+    fn op_shape_respects_choice() {
+        let s = SearchSpace::tiny(4, 16, 4, vec![4, 8, 16]);
+        let a = s.op_shape(0, 0); // k3 e4
+        let b = s.op_shape(0, 8); // k7 e6
+        assert!(b.work() > a.work());
+        assert!(a.ip_class.contains("k3_e4"));
+        assert!(b.ip_class.contains("k7_e6"));
+    }
+
+    #[test]
+    fn tiny_space_strides_double_channels() {
+        let s = SearchSpace::tiny(7, 32, 10, vec![8]);
+        assert_eq!(s.blocks[2].out_channels, 16);
+        assert_eq!(s.blocks[3].stride, 2);
+        assert_eq!(s.blocks[3].out_channels, 32);
+        assert_eq!(s.blocks[6].out_channels, 64);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = SearchSpace::tiny(3, 16, 4, vec![8, 16]);
+        let j = serde_json::to_string(&s).unwrap();
+        let back: SearchSpace = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

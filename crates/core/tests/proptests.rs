@@ -1,0 +1,159 @@
+//! Property-based tests of the co-search machinery: structural invariants
+//! of the search space, architecture parameters, performance estimate and
+//! derived architectures across randomly drawn configurations.
+
+use edd_core::{
+    edd_loss, estimate, ArchParams, DerivedArch, DeviceTarget, LossConfig, PerfTables, SearchSpace,
+};
+use edd_hw::{AccelDevice, FpgaDevice, GpuDevice};
+use edd_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: any of the four device targets.
+fn arb_target() -> impl Strategy<Value = DeviceTarget> {
+    prop::sample::select(vec![0usize, 1, 2, 3]).prop_map(|i| match i {
+        0 => DeviceTarget::Gpu(GpuDevice::titan_rtx()),
+        1 => DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+        2 => DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+        _ => DeviceTarget::Dedicated(AccelDevice::loom_like()),
+    })
+}
+
+/// Quantization menu compatible with the given target.
+fn menu_for(target: &DeviceTarget) -> Vec<u32> {
+    target.default_quant_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn space_indexing_is_total(n in 1usize..7, img in prop::sample::select(vec![8usize, 16, 32])) {
+        let space = SearchSpace::tiny(n, img, 4, vec![4, 8, 16]);
+        prop_assert_eq!(space.num_blocks(), n);
+        for i in 0..n {
+            prop_assert!(space.spatial_at_block(i) >= 1);
+            prop_assert!(space.block_in_channels(i) >= 1);
+            for m in 0..space.num_ops() {
+                let op = space.op_shape(i, m);
+                prop_assert!(op.work() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn arch_params_layout_consistent(target in arb_target(), n in 1usize..5, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = SearchSpace::tiny(n, 16, 4, menu_for(&target));
+        let arch = ArchParams::init(&space, &target, &mut rng);
+        prop_assert_eq!(arch.theta.len(), n);
+        for i in 0..n {
+            for m in 0..space.num_ops() {
+                prop_assert_eq!(arch.phi_logits(i, m).shape(), vec![space.num_quant()]);
+                prop_assert_eq!(arch.pf(i, m).is_some(), target.has_parallel_factors());
+            }
+        }
+        // Every parameter requires grad and appears exactly once.
+        let params = arch.all_params();
+        prop_assert!(params.iter().all(Tensor::requires_grad));
+        let mut ids: Vec<usize> = params.iter().map(Tensor::node_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), params.len(), "duplicate params in all_params");
+    }
+
+    #[test]
+    fn estimate_finite_positive_for_all_targets(target in arb_target(), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = SearchSpace::tiny(3, 16, 4, menu_for(&target));
+        let arch = ArchParams::init(&space, &target, &mut rng);
+        let tables = PerfTables::build(&space, &target).unwrap();
+        let est = estimate(&arch, &tables, &space, &target, 1.0, &mut rng).unwrap();
+        prop_assert!(est.perf.item().is_finite());
+        prop_assert!(est.perf.item() > 0.0);
+        prop_assert!(est.res.item().is_finite());
+        prop_assert!(est.res.item() >= 0.0);
+        prop_assert!(est.block_latency_ms.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn loss_positive_and_finite(
+        acc in 0.01f32..10.0,
+        perf in 0.01f32..100.0,
+        res in 0.0f32..10_000.0,
+        beta in 0.0f32..5.0,
+    ) {
+        let cfg = LossConfig { alpha: 1.0, beta, penalty_sharpness: 8.0 };
+        let l = edd_loss(
+            &Tensor::scalar(acc),
+            &Tensor::scalar(perf),
+            &Tensor::scalar(res),
+            2520.0,
+            &cfg,
+        )
+        .unwrap();
+        prop_assert!(l.item().is_finite());
+        prop_assert!(l.item() > 0.0);
+        // Loss is monotone in resource usage (fixed everything else).
+        let l2 = edd_loss(
+            &Tensor::scalar(acc),
+            &Tensor::scalar(perf),
+            &Tensor::scalar(res + 500.0),
+            2520.0,
+            &cfg,
+        )
+        .unwrap();
+        prop_assert!(l2.item() >= l.item() - 1e-6);
+    }
+
+    #[test]
+    fn derived_arch_always_valid(target in arb_target(), n in 1usize..5, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = SearchSpace::tiny(n, 16, 4, menu_for(&target));
+        let arch = ArchParams::init(&space, &target, &mut rng);
+        let derived = DerivedArch::from_params(&space, &target, &arch);
+        prop_assert_eq!(derived.blocks.len(), n);
+        for b in &derived.blocks {
+            prop_assert!(space.kernel_choices.contains(&b.kernel));
+            prop_assert!(space.expansion_choices.contains(&b.expansion));
+            prop_assert!(space.quant_bits.contains(&b.quant_bits));
+        }
+        // Shape export has stem + blocks + head.
+        let net = derived.to_network_shape();
+        prop_assert_eq!(net.ops.len(), n + 2);
+        // JSON round trip.
+        let back = DerivedArch::from_json(&derived.to_json().unwrap()).unwrap();
+        prop_assert_eq!(back, derived);
+    }
+
+    #[test]
+    fn gpu_uniform_precision_invariant(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = DeviceTarget::Gpu(GpuDevice::titan_rtx());
+        let space = SearchSpace::tiny(4, 16, 4, vec![8, 16, 32]);
+        let arch = ArchParams::init(&space, &target, &mut rng);
+        let derived = DerivedArch::from_params(&space, &target, &arch);
+        let q0 = derived.blocks[0].quant_bits;
+        prop_assert!(derived.blocks.iter().all(|b| b.quant_bits == q0));
+    }
+
+    #[test]
+    fn recursive_sharing_invariant(seed in 0u64..500) {
+        // Same (kernel, expansion) class -> same quantization and pf.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+        let space = SearchSpace::tiny(5, 16, 4, vec![4, 8, 16]);
+        let arch = ArchParams::init(&space, &target, &mut rng);
+        let derived = DerivedArch::from_params(&space, &target, &arch);
+        for a in &derived.blocks {
+            for b in &derived.blocks {
+                if (a.kernel, a.expansion) == (b.kernel, b.expansion) {
+                    prop_assert_eq!(a.quant_bits, b.quant_bits);
+                    prop_assert_eq!(a.parallel_factor, b.parallel_factor);
+                }
+            }
+        }
+    }
+}

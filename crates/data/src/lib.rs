@@ -1,0 +1,27 @@
+//! # edd-data
+//!
+//! Synthetic dataset substrate for the EDD reproduction.
+//!
+//! The paper searches on ImageNet-100 and trains on ImageNet-1k; neither is
+//! available offline, so this crate generates **SynthImageNet** — a seeded,
+//! procedural image-classification dataset whose difficulty scales with the
+//! class count and noise level. See `DESIGN.md` §2 for the substitution
+//! rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use edd_data::{SynthConfig, SynthDataset};
+//!
+//! let dataset = SynthDataset::new(SynthConfig::tiny());
+//! let train = dataset.split(4, 16, 1); // 4 batches of 16, split seed 1
+//! let val = dataset.split(2, 16, 2);
+//! assert_eq!(train.len(), 4);
+//! assert_eq!(val[0].images.shape(), &[16, 3, 16, 16]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod synth;
+
+pub use synth::{SynthConfig, SynthDataset};

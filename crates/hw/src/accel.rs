@@ -1,0 +1,177 @@
+//! Dedicated bit-flexible accelerator model (paper §4.3).
+//!
+//! The paper names Stripes, Loom and Bit-Fusion as ASIC accelerators whose
+//! "computation latency and energy of convolution layers scale inversely
+//! and almost proportionally with the precisions of weights and
+//! activations", and notes EDD applies directly "by formulating the
+//! latency and energy of an operation proportionally to data precision",
+//! leaving it as future work. This module implements that formulation:
+//!
+//! * latency ∝ `q_w · q_a / lanes` per MAC (bit-serial × bit-serial);
+//! * energy per MAC ∝ `q_w · q_a`, plus a per-byte memory energy;
+//! * fixed silicon — no resource variable, so the search degenerates to
+//!   `{Θ, Φ}` with per-op mixed precision fully supported.
+
+use crate::shapes::{NetworkShape, OpShape};
+use serde::{Deserialize, Serialize};
+
+/// A Loom/Bit-Fusion-class bit-flexible DNN accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelDevice {
+    /// Device name.
+    pub name: String,
+    /// Peak MACs/s at the reference 16×16-bit precision.
+    pub peak_macs_16x16: f64,
+    /// Activation bit-width (fixed by the deployment; the search variable
+    /// is the weight precision, matching the paper's FPGA setting).
+    pub activation_bits: u32,
+    /// Energy per 16×16-bit MAC (pJ).
+    pub energy_per_mac_pj: f64,
+    /// Energy per byte of off-chip traffic (pJ).
+    pub energy_per_byte_pj: f64,
+}
+
+impl AccelDevice {
+    /// A Loom-class accelerator (DAC 2018): bit-serial weight × activation
+    /// processing, modeled at 2 TMAC/s for 16×16-bit.
+    #[must_use]
+    pub fn loom_like() -> Self {
+        AccelDevice {
+            name: "Loom-like".into(),
+            peak_macs_16x16: 2.0e12,
+            activation_bits: 16,
+            energy_per_mac_pj: 1.0,
+            energy_per_byte_pj: 40.0,
+        }
+    }
+
+    /// Effective MACs/s at `q_w`-bit weights: throughput scales inversely
+    /// with the precision product.
+    #[must_use]
+    pub fn macs_per_s(&self, q_w: u32) -> f64 {
+        let ref_product = 16.0 * 16.0;
+        let product = f64::from(q_w.max(1)) * f64::from(self.activation_bits.max(1));
+        self.peak_macs_16x16 * ref_product / product
+    }
+}
+
+/// Latency (ms) of one operation at `q_w`-bit weights.
+#[must_use]
+pub fn op_latency_ms(op: &OpShape, q_w: u32, device: &AccelDevice) -> f64 {
+    op.work() / device.macs_per_s(q_w) * 1e3
+}
+
+/// Energy (µJ) of one operation at `q_w`-bit weights: compute energy
+/// scales with the precision product; memory energy with the weight bytes
+/// plus activation traffic at the fixed activation precision.
+#[must_use]
+pub fn op_energy_uj(op: &OpShape, q_w: u32, device: &AccelDevice) -> f64 {
+    let product = f64::from(q_w.max(1)) * f64::from(device.activation_bits.max(1));
+    let compute_pj = op.work() * device.energy_per_mac_pj * product / (16.0 * 16.0);
+    let bytes = op.params() * f64::from(q_w) / 8.0
+        + 2.0 * op.activations() * f64::from(device.activation_bits) / 8.0;
+    let memory_pj = bytes * device.energy_per_byte_pj;
+    (compute_pj + memory_pj) / 1e6
+}
+
+/// Evaluation result for a dedicated accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelReport {
+    /// End-to-end latency (ms).
+    pub latency_ms: f64,
+    /// End-to-end energy (µJ).
+    pub energy_uj: f64,
+    /// Per-op latency breakdown.
+    pub per_op_latency_ms: Vec<f64>,
+}
+
+/// Evaluates a network with per-op weight precisions (`None` in
+/// `q_per_op` positions ⇒ 16-bit).
+///
+/// # Panics
+///
+/// Panics if `q_per_op` has a different length than the network's op list.
+#[must_use]
+pub fn eval_accel(net: &NetworkShape, q_per_op: &[u32], device: &AccelDevice) -> AccelReport {
+    assert_eq!(
+        q_per_op.len(),
+        net.ops.len(),
+        "one precision per op required"
+    );
+    let mut latency = 0.0;
+    let mut energy = 0.0;
+    let mut per_op = Vec::with_capacity(net.ops.len());
+    for (op, &q) in net.ops.iter().zip(q_per_op) {
+        let l = op_latency_ms(op, q, device);
+        per_op.push(l);
+        latency += l;
+        energy += op_energy_uj(op, q, device);
+    }
+    AccelReport {
+        latency_ms: latency,
+        energy_uj: energy,
+        per_op_latency_ms: per_op,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> OpShape {
+        OpShape::mbconv(32, 32, 3, 4, 16, 16, 1)
+    }
+
+    #[test]
+    fn throughput_scales_inversely_with_precision_product() {
+        let d = AccelDevice::loom_like();
+        // Halving weight bits doubles throughput (Loom's headline property).
+        assert!((d.macs_per_s(8) / d.macs_per_s(16) - 2.0).abs() < 1e-9);
+        assert!((d.macs_per_s(4) / d.macs_per_s(16) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_proportional_to_weight_bits() {
+        let d = AccelDevice::loom_like();
+        let l16 = op_latency_ms(&op(), 16, &d);
+        let l4 = op_latency_ms(&op(), 4, &d);
+        assert!((l16 / l4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_has_memory_floor() {
+        // Compute energy shrinks with bits but memory traffic at fixed
+        // activation precision does not vanish.
+        let d = AccelDevice::loom_like();
+        let e16 = op_energy_uj(&op(), 16, &d);
+        let e2 = op_energy_uj(&op(), 2, &d);
+        assert!(e2 < e16);
+        assert!(e2 > 0.1 * e16, "memory floor should prevent free energy");
+    }
+
+    #[test]
+    fn eval_supports_mixed_precision() {
+        let d = AccelDevice::loom_like();
+        let net = NetworkShape {
+            name: "t".into(),
+            ops: vec![op(), op(), op()],
+        };
+        let uniform = eval_accel(&net, &[8, 8, 8], &d);
+        let mixed = eval_accel(&net, &[4, 8, 16], &d);
+        assert_eq!(mixed.per_op_latency_ms.len(), 3);
+        // Mixed 4/8/16 sums to (0.5 + 1 + 2)x the 8-bit op latency.
+        let l8 = uniform.per_op_latency_ms[0];
+        assert!((mixed.latency_ms - (0.5 + 1.0 + 2.0) * l8).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one precision per op")]
+    fn eval_rejects_wrong_length() {
+        let d = AccelDevice::loom_like();
+        let net = NetworkShape {
+            name: "t".into(),
+            ops: vec![op()],
+        };
+        let _ = eval_accel(&net, &[8, 8], &d);
+    }
+}

@@ -1,0 +1,83 @@
+//! Bit-width calibration functions Φ(q) and Ψ(q) from paper §4.1.
+//!
+//! * `Φ(q)` calibrates latency under `q`-bit precision. The paper lets
+//!   `Φ(q) = q` — smaller bit-widths move less off-chip data and compute
+//!   faster.
+//! * `Ψ(q)` calibrates DSP cost per unit parallelism. On Xilinx devices one
+//!   DSP48 computes one ≥9-bit multiplication, two ≤8-bit multiplications,
+//!   and ≤4-bit multiplications are moved to LUTs entirely:
+//!   `Ψ(q) = 1` for `9 ≤ q ≤ 16`, `Ψ(q) = 1/2` for `5 ≤ q ≤ 8`,
+//!   `Ψ(q) = 0` for `q ≤ 4`.
+
+/// Latency calibration `Φ(q) = q` (paper §4.1.1).
+#[must_use]
+pub fn phi(q: u32) -> f64 {
+    f64::from(q)
+}
+
+/// DSP-per-parallelism calibration `Ψ(q)` (paper §4.1.2).
+///
+/// Values of `q` above 16 are treated as 16-bit-class (1 DSP per multiply);
+/// the paper's search space never exceeds 16-bit on FPGA.
+#[must_use]
+pub fn psi(q: u32) -> f64 {
+    match q {
+        0..=4 => 0.0,
+        5..=8 => 0.5,
+        _ => 1.0,
+    }
+}
+
+/// LUT cost per unit parallelism for precisions that fall off the DSP cliff
+/// (`q ≤ 4`). The paper only notes that such multiplies are computed in
+/// LUTs; we model a small constant per-multiplier LUT cost so that 4-bit
+/// designs are not free.
+#[must_use]
+pub fn lut_per_mult(q: u32) -> f64 {
+    match q {
+        0 => 0.0,
+        1..=4 => 16.0 * f64::from(q), // bit-serial-ish LUT multiplier
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_is_identity() {
+        assert_eq!(phi(4), 4.0);
+        assert_eq!(phi(8), 8.0);
+        assert_eq!(phi(16), 16.0);
+    }
+
+    #[test]
+    fn psi_piecewise_matches_paper() {
+        for q in 9..=16 {
+            assert_eq!(psi(q), 1.0, "q={q}");
+        }
+        for q in 5..=8 {
+            assert_eq!(psi(q), 0.5, "q={q}");
+        }
+        for q in 1..=4 {
+            assert_eq!(psi(q), 0.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn psi_monotone_nondecreasing() {
+        for q in 1..16 {
+            assert!(psi(q) <= psi(q + 1));
+        }
+    }
+
+    #[test]
+    fn lut_cost_only_below_dsp_cliff() {
+        assert!(lut_per_mult(4) > 0.0);
+        assert!(lut_per_mult(3) > 0.0);
+        assert_eq!(lut_per_mult(8), 0.0);
+        assert_eq!(lut_per_mult(16), 0.0);
+        assert_eq!(lut_per_mult(0), 0.0);
+    }
+}

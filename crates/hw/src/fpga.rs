@@ -1,0 +1,544 @@
+//! Analytic FPGA accelerator models (paper §4.1).
+//!
+//! Two accelerator architectures are modeled:
+//!
+//! * **Recursive** (CHaiDNN-style, paper refs \[8, 9\]): one customizable IP
+//!   per *operation class*; every layer of the same type reuses it.
+//!   Objective: end-to-end latency (Eq. 6); resource counts each shared IP
+//!   once (Eq. 9–10).
+//! * **Pipelined** (DNNBuilder-style, paper ref \[2\]): one accelerator stage
+//!   per operation, no sharing. Objective: throughput = 1 / slowest stage
+//!   (Eq. 7); resource is the plain sum (Eq. 8).
+//!
+//! Per-operation latency and DSP usage follow Eq. 11–13 with `Φ(q) = q` and
+//! the piecewise DSP calibration `Ψ(q)`.
+
+use crate::calib::{lut_per_mult, phi, psi};
+use crate::shapes::{NetworkShape, OpShape};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Φ normalization: 16-bit is the reference precision (CHaiDNN/DNNBuilder
+/// both report 16-bit fixed-point numbers), so `Φ(16)/PHI_NORM = 1`.
+const PHI_NORM: f64 = 16.0;
+
+/// An FPGA device: DSP/LUT budgets and accelerator clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Device name.
+    pub name: String,
+    /// Number of DSP slices available to the accelerator.
+    pub dsp_budget: f64,
+    /// LUTs available for multiplier duty (only consumed when `q ≤ 4`).
+    pub lut_budget: f64,
+    /// Accelerator clock in MHz.
+    pub clock_mhz: f64,
+    /// MACs sustained per DSP per cycle. Below 1 models memory stalls and
+    /// control overhead; above 1 models DSP double-pumping (DSP clocked at
+    /// 2× fabric clock, as DNNBuilder does) plus LUT-side multipliers.
+    /// Calibrated against the published CHaiDNN/DNNBuilder numbers.
+    pub efficiency: f64,
+    /// Per-compute-layer IP invocation overhead (ms) in the recursive
+    /// architecture (weight reload, descriptor setup — CHaiDNN-style
+    /// layer-by-layer execution).
+    pub per_layer_overhead_ms: f64,
+    /// Fixed DSP-equivalent cost per pipeline stage in the pipelined
+    /// architecture (line buffers, address generation, control). This is
+    /// the mechanism behind the paper's §6 remark that more blocks require
+    /// more resource and memory control logic in pipelined designs.
+    pub per_stage_dsp_overhead: f64,
+}
+
+impl FpgaDevice {
+    /// Xilinx ZCU102 (Zynq UltraScale+): 2520 DSPs. The paper runs CHaiDNN
+    /// on this board for Table 1.
+    #[must_use]
+    pub fn zcu102() -> Self {
+        FpgaDevice {
+            name: "ZCU102".into(),
+            dsp_budget: 2520.0,
+            lut_budget: 274_080.0,
+            clock_mhz: 250.0,
+            efficiency: 0.50,
+            per_layer_overhead_ms: 0.08,
+            per_stage_dsp_overhead: 8.0,
+        }
+    }
+
+    /// Xilinx ZC706 (Zynq-7045): 900 DSPs. The paper compares against
+    /// DNNBuilder on this board for Table 3.
+    #[must_use]
+    pub fn zc706() -> Self {
+        FpgaDevice {
+            name: "ZC706".into(),
+            dsp_budget: 900.0,
+            lut_budget: 218_600.0,
+            clock_mhz: 200.0,
+            efficiency: 3.3,
+            per_layer_overhead_ms: 0.10,
+            per_stage_dsp_overhead: 15.15,
+        }
+    }
+
+    /// Effective cycles per millisecond after the efficiency derating.
+    #[must_use]
+    pub fn cycles_per_ms(&self) -> f64 {
+        self.clock_mhz * 1e3 * self.efficiency
+    }
+}
+
+/// Latency in milliseconds of one operation at `q` bits with `parallelism`
+/// concurrent multipliers (the paper's `2^pf`), per Eq. 11–12.
+///
+/// # Panics
+///
+/// Panics if `parallelism` is not positive.
+#[must_use]
+pub fn op_latency_ms(op: &OpShape, q: u32, parallelism: f64, device: &FpgaDevice) -> f64 {
+    assert!(parallelism > 0.0, "parallelism must be positive");
+    phi(q) / PHI_NORM * op.work() / parallelism / device.cycles_per_ms()
+}
+
+/// DSPs consumed by one IP with `parallelism` multipliers at `q` bits
+/// (Eq. 13).
+#[must_use]
+pub fn ip_dsps(q: u32, parallelism: f64) -> f64 {
+    psi(q) * parallelism
+}
+
+/// LUTs consumed by one IP with `parallelism` multipliers at `q` bits
+/// (nonzero only below the DSP cliff, `q ≤ 4`).
+#[must_use]
+pub fn ip_luts(q: u32, parallelism: f64) -> f64 {
+    lut_per_mult(q) * parallelism
+}
+
+/// A concrete recursive-accelerator implementation: one parallelism value
+/// per IP class, single network-wide precision per class is permitted to
+/// differ, but the common case (and the paper's resource-sharing
+/// constraint `Iᵢᵐ = Iⱼᵐ`) keys everything by IP class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecursiveImpl {
+    /// Bit-width per IP class.
+    pub q_per_class: BTreeMap<String, u32>,
+    /// Parallelism (`2^pf`, continuous) per IP class.
+    pub parallelism_per_class: BTreeMap<String, f64>,
+}
+
+/// A concrete pipelined-accelerator implementation: per-stage precision and
+/// parallelism, one stage per operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelinedImpl {
+    /// Bit-width per stage (same length as the network's op list).
+    pub q_per_stage: Vec<u32>,
+    /// Parallelism per stage.
+    pub parallelism_per_stage: Vec<f64>,
+}
+
+/// Evaluation result of an FPGA implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaReport {
+    /// End-to-end single-image latency (ms).
+    pub latency_ms: f64,
+    /// Steady-state throughput (frames/s). For the recursive architecture
+    /// this is simply `1000 / latency`; for the pipelined architecture it is
+    /// `1000 / max stage latency`.
+    pub throughput_fps: f64,
+    /// DSP slices used.
+    pub dsps: f64,
+    /// LUTs used as multipliers.
+    pub luts: f64,
+    /// Per-operation latency breakdown (ms).
+    pub per_op_latency_ms: Vec<f64>,
+}
+
+/// Errors from FPGA model evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpgaError {
+    /// An op's IP class has no entry in the implementation maps.
+    MissingClass(String),
+    /// Implementation vector length does not match the network.
+    StageCountMismatch {
+        /// Ops in the network.
+        ops: usize,
+        /// Stages provided.
+        stages: usize,
+    },
+}
+
+impl std::fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FpgaError::MissingClass(c) => write!(f, "no implementation for IP class `{c}`"),
+            FpgaError::StageCountMismatch { ops, stages } => {
+                write!(f, "pipelined impl has {stages} stages for {ops} ops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FpgaError {}
+
+/// Evaluates a network on a recursive accelerator: layers execute
+/// sequentially on shared IPs; each IP's resource is counted once.
+///
+/// # Errors
+///
+/// Returns [`FpgaError::MissingClass`] when an op's IP class is absent from
+/// `imp`.
+pub fn eval_recursive(
+    net: &NetworkShape,
+    imp: &RecursiveImpl,
+    device: &FpgaDevice,
+) -> Result<FpgaReport, FpgaError> {
+    let mut latency = 0.0;
+    let mut per_op = Vec::with_capacity(net.ops.len());
+    for op in &net.ops {
+        let q = *imp
+            .q_per_class
+            .get(&op.ip_class)
+            .ok_or_else(|| FpgaError::MissingClass(op.ip_class.clone()))?;
+        let p = *imp
+            .parallelism_per_class
+            .get(&op.ip_class)
+            .ok_or_else(|| FpgaError::MissingClass(op.ip_class.clone()))?;
+        // Each compute layer is one invocation of the shared IP: it pays the
+        // device's per-layer setup/weight-reload overhead.
+        let l = op_latency_ms(op, q, p, device)
+            + op.compute_layer_count() as f64 * device.per_layer_overhead_ms;
+        per_op.push(l);
+        latency += l;
+    }
+    // Resource: one IP per class actually used by the network.
+    let mut dsps = 0.0;
+    let mut luts = 0.0;
+    for class in net.ip_classes() {
+        let q = imp.q_per_class[&class];
+        let p = imp.parallelism_per_class[&class];
+        dsps += ip_dsps(q, p);
+        luts += ip_luts(q, p);
+    }
+    Ok(FpgaReport {
+        latency_ms: latency,
+        throughput_fps: 1000.0 / latency,
+        dsps,
+        luts,
+        per_op_latency_ms: per_op,
+    })
+}
+
+/// Evaluates a network on a pipelined accelerator: one stage per op, no
+/// sharing; throughput set by the slowest stage, single-image latency is the
+/// sum of stage latencies.
+///
+/// # Errors
+///
+/// Returns [`FpgaError::StageCountMismatch`] when `imp` has the wrong number
+/// of stages.
+pub fn eval_pipelined(
+    net: &NetworkShape,
+    imp: &PipelinedImpl,
+    device: &FpgaDevice,
+) -> Result<FpgaReport, FpgaError> {
+    if imp.q_per_stage.len() != net.ops.len() || imp.parallelism_per_stage.len() != net.ops.len() {
+        return Err(FpgaError::StageCountMismatch {
+            ops: net.ops.len(),
+            stages: imp.q_per_stage.len().min(imp.parallelism_per_stage.len()),
+        });
+    }
+    let mut per_op = Vec::with_capacity(net.ops.len());
+    let mut dsps = 0.0;
+    let mut luts = 0.0;
+    for (i, op) in net.ops.iter().enumerate() {
+        let q = imp.q_per_stage[i];
+        let p = imp.parallelism_per_stage[i];
+        per_op.push(op_latency_ms(op, q, p, device));
+        // Every pipeline stage (one per compute layer) carries a fixed
+        // DSP-equivalent cost for buffering and control.
+        dsps += ip_dsps(q, p) + op.compute_layer_count() as f64 * device.per_stage_dsp_overhead;
+        luts += ip_luts(q, p);
+    }
+    let max_stage = per_op.iter().copied().fold(0.0f64, f64::max);
+    let latency: f64 = per_op.iter().sum();
+    Ok(FpgaReport {
+        latency_ms: latency,
+        throughput_fps: 1000.0 / max_stage,
+        dsps,
+        luts,
+        per_op_latency_ms: per_op,
+    })
+}
+
+/// Optimally tunes a recursive implementation at uniform precision `q`:
+/// distributes the DSP budget across IP classes minimizing total latency.
+///
+/// With latency `Σ_c W_c / p_c` and budget `Σ_c Ψ(q)·p_c = B`, the optimum
+/// is `p_c ∝ √W_c` (Cauchy–Schwarz). For `q ≤ 4` (DSP-free multiplies) the
+/// LUT budget takes the DSP budget's role. This mirrors the paper's remark
+/// that implementation variables are re-tuned after the search (§5).
+#[must_use]
+pub fn tune_recursive(net: &NetworkShape, q: u32, device: &FpgaDevice) -> RecursiveImpl {
+    // Work per class.
+    let mut work: BTreeMap<String, f64> = BTreeMap::new();
+    for op in &net.ops {
+        *work.entry(op.ip_class.clone()).or_insert(0.0) += op.work();
+    }
+    let unit_cost = if psi(q) > 0.0 {
+        psi(q)
+    } else {
+        lut_per_mult(q).max(1e-9)
+    };
+    let budget = if psi(q) > 0.0 {
+        device.dsp_budget
+    } else {
+        device.lut_budget
+    };
+    let sqrt_sum: f64 = work.values().map(|w| w.sqrt()).sum();
+    let mut parallelism = BTreeMap::new();
+    let mut qs = BTreeMap::new();
+    for (class, w) in &work {
+        let p = (budget / unit_cost) * w.sqrt() / sqrt_sum;
+        parallelism.insert(class.clone(), p.max(1.0));
+        qs.insert(class.clone(), q);
+    }
+    RecursiveImpl {
+        q_per_class: qs,
+        parallelism_per_class: parallelism,
+    }
+}
+
+/// Optimally tunes a pipelined implementation at uniform precision `q`:
+/// parallelism proportional to stage work (equalizing stage latencies),
+/// scaled to the resource budget.
+#[must_use]
+pub fn tune_pipelined(net: &NetworkShape, q: u32, device: &FpgaDevice) -> PipelinedImpl {
+    let works: Vec<f64> = net.ops.iter().map(OpShape::work).collect();
+    let total: f64 = works.iter().sum();
+    let unit_cost = if psi(q) > 0.0 {
+        psi(q)
+    } else {
+        lut_per_mult(q).max(1e-9)
+    };
+    let budget = if psi(q) > 0.0 {
+        device.dsp_budget
+    } else {
+        device.lut_budget
+    };
+    // Deep pipelines pay a fixed per-stage cost before any compute: the
+    // remaining budget shrinks with depth (floored at 4% so extremely deep
+    // nets degrade rather than divide by zero).
+    let stage_cost = if psi(q) > 0.0 {
+        net.total_compute_layers() as f64 * device.per_stage_dsp_overhead
+    } else {
+        0.0
+    };
+    let effective = (budget - stage_cost).max(budget * 0.04);
+    let parallelism: Vec<f64> = works
+        .iter()
+        .map(|w| ((effective / unit_cost) * w / total).max(1.0))
+        .collect();
+    PipelinedImpl {
+        q_per_stage: vec![q; net.ops.len()],
+        parallelism_per_stage: parallelism,
+    }
+}
+
+/// The paper's §5 initialization of the parallel factor for a recursive
+/// accelerator: `pf₀ = log₂(RES_ub / M)` with `M` operation candidates.
+#[must_use]
+pub fn initial_pf_recursive(dsp_budget: f64, num_ops: usize) -> f64 {
+    (dsp_budget / num_ops as f64).log2()
+}
+
+/// The paper's §5 initialization for a pipelined accelerator:
+/// `pf₀ = log₂(RES_ub / (M·N))`.
+#[must_use]
+pub fn initial_pf_pipelined(dsp_budget: f64, num_ops: usize, num_blocks: usize) -> f64 {
+    (dsp_budget / (num_ops * num_blocks) as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_net() -> NetworkShape {
+        NetworkShape {
+            name: "toy".into(),
+            ops: vec![
+                OpShape::mbconv(16, 16, 3, 4, 16, 16, 1),
+                OpShape::mbconv(16, 16, 3, 4, 16, 16, 1),
+                OpShape::mbconv(16, 32, 5, 4, 16, 16, 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn latency_scales_inverse_with_parallelism() {
+        let op = OpShape::mbconv(8, 8, 3, 4, 8, 8, 1);
+        let d = FpgaDevice::zcu102();
+        let l1 = op_latency_ms(&op, 16, 64.0, &d);
+        let l2 = op_latency_ms(&op, 16, 128.0, &d);
+        assert!((l1 / l2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_scales_with_bits() {
+        let op = OpShape::mbconv(8, 8, 3, 4, 8, 8, 1);
+        let d = FpgaDevice::zcu102();
+        let l16 = op_latency_ms(&op, 16, 64.0, &d);
+        let l8 = op_latency_ms(&op, 8, 64.0, &d);
+        assert!(
+            (l16 / l8 - 2.0).abs() < 1e-9,
+            "Φ(q)=q halves latency at 8-bit"
+        );
+    }
+
+    #[test]
+    fn dsp_cost_follows_psi() {
+        assert_eq!(ip_dsps(16, 100.0), 100.0);
+        assert_eq!(ip_dsps(8, 100.0), 50.0);
+        assert_eq!(ip_dsps(4, 100.0), 0.0);
+        assert!(ip_luts(4, 100.0) > 0.0);
+        assert_eq!(ip_luts(16, 100.0), 0.0);
+    }
+
+    #[test]
+    fn recursive_shares_resources() {
+        let net = toy_net();
+        let d = FpgaDevice::zcu102();
+        let imp = tune_recursive(&net, 16, &d);
+        let report = eval_recursive(&net, &imp, &d).unwrap();
+        // Two ops share the k3_e4 IP: only 2 IP classes worth of DSPs.
+        assert!(report.dsps <= d.dsp_budget * 1.001);
+        assert_eq!(report.per_op_latency_ms.len(), 3);
+        assert!(report.latency_ms > 0.0);
+        // First two ops share a class -> identical latency.
+        assert!((report.per_op_latency_ms[0] - report.per_op_latency_ms[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recursive_missing_class_errors() {
+        let net = toy_net();
+        let d = FpgaDevice::zcu102();
+        let imp = RecursiveImpl {
+            q_per_class: BTreeMap::new(),
+            parallelism_per_class: BTreeMap::new(),
+        };
+        assert!(matches!(
+            eval_recursive(&net, &imp, &d),
+            Err(FpgaError::MissingClass(_))
+        ));
+    }
+
+    #[test]
+    fn pipelined_uses_budget_and_balances() {
+        let net = toy_net();
+        let d = FpgaDevice::zc706();
+        let imp = tune_pipelined(&net, 16, &d);
+        let report = eval_pipelined(&net, &imp, &d).unwrap();
+        assert!(report.dsps <= d.dsp_budget * 1.01);
+        // Balanced stages: max/min stage latency ratio near 1.
+        let max = report.per_op_latency_ms.iter().copied().fold(0.0, f64::max);
+        let min = report
+            .per_op_latency_ms
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(max / min < 1.5, "stages unbalanced: {max} vs {min}");
+        assert!(report.throughput_fps > 0.0);
+    }
+
+    #[test]
+    fn pipelined_stage_mismatch_errors() {
+        let net = toy_net();
+        let d = FpgaDevice::zc706();
+        let imp = PipelinedImpl {
+            q_per_stage: vec![16; 2],
+            parallelism_per_stage: vec![64.0; 2],
+        };
+        assert!(matches!(
+            eval_pipelined(&net, &imp, &d),
+            Err(FpgaError::StageCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tuned_recursive_beats_uniform_split() {
+        // sqrt-proportional allocation should beat a uniform allocation.
+        let net = toy_net();
+        let d = FpgaDevice::zcu102();
+        let tuned = tune_recursive(&net, 16, &d);
+        let classes = net.ip_classes();
+        let uniform_p = d.dsp_budget / psi(16) / classes.len() as f64;
+        let uniform = RecursiveImpl {
+            q_per_class: classes.iter().map(|c| (c.clone(), 16)).collect(),
+            parallelism_per_class: classes.iter().map(|c| (c.clone(), uniform_p)).collect(),
+        };
+        let lt = eval_recursive(&net, &tuned, &d).unwrap().latency_ms;
+        let lu = eval_recursive(&net, &uniform, &d).unwrap().latency_ms;
+        assert!(lt <= lu * 1.0001, "tuned {lt} vs uniform {lu}");
+    }
+
+    #[test]
+    fn lower_precision_is_faster_at_same_budget() {
+        // 8-bit: Φ halves *and* Ψ halves -> 4x compute-latency improvement
+        // at equal DSP budget (measured with invocation overhead disabled).
+        let net = toy_net();
+        let mut d = FpgaDevice::zcu102();
+        d.per_layer_overhead_ms = 0.0;
+        let r16 = eval_recursive(&net, &tune_recursive(&net, 16, &d), &d).unwrap();
+        let r8 = eval_recursive(&net, &tune_recursive(&net, 8, &d), &d).unwrap();
+        let ratio = r16.latency_ms / r8.latency_ms;
+        assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn recursive_overhead_adds_per_layer() {
+        let net = toy_net();
+        let mut d0 = FpgaDevice::zcu102();
+        d0.per_layer_overhead_ms = 0.0;
+        let mut d1 = d0.clone();
+        d1.per_layer_overhead_ms = 0.1;
+        let imp = tune_recursive(&net, 16, &d0);
+        let l0 = eval_recursive(&net, &imp, &d0).unwrap().latency_ms;
+        let l1 = eval_recursive(&net, &imp, &d1).unwrap().latency_ms;
+        let layers = net.total_compute_layers() as f64;
+        assert!((l1 - l0 - 0.1 * layers).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_depth_tax_shrinks_effective_budget() {
+        // A deep network of small ops gets less compute parallelism than a
+        // shallow one with the same per-op structure.
+        let shallow = NetworkShape {
+            name: "shallow".into(),
+            ops: vec![OpShape::mbconv(64, 64, 3, 4, 32, 32, 1)],
+        };
+        let deep = NetworkShape {
+            name: "deep".into(),
+            ops: (0..24)
+                .map(|_| OpShape::mbconv(16, 16, 3, 4, 16, 16, 1))
+                .collect(),
+        };
+        let d = FpgaDevice::zc706();
+        let imp_s = tune_pipelined(&shallow, 16, &d);
+        let imp_d = tune_pipelined(&deep, 16, &d);
+        let p_s: f64 = imp_s.parallelism_per_stage.iter().sum();
+        let p_d: f64 = imp_d.parallelism_per_stage.iter().sum();
+        assert!(p_s > p_d, "shallow {p_s} should out-parallelize deep {p_d}");
+    }
+
+    #[test]
+    fn initial_pf_matches_paper() {
+        assert!((initial_pf_recursive(2520.0, 9) - (2520.0f64 / 9.0).log2()).abs() < 1e-12);
+        assert!((initial_pf_pipelined(900.0, 9, 20) - (900.0f64 / 180.0).log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_latency_consistent_recursive() {
+        let net = toy_net();
+        let d = FpgaDevice::zcu102();
+        let r = eval_recursive(&net, &tune_recursive(&net, 16, &d), &d).unwrap();
+        assert!((r.throughput_fps - 1000.0 / r.latency_ms).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,363 @@
+//! Layer and operation shape descriptions, and the work terms of paper
+//! Eq. 12.
+//!
+//! An *operation* (`opᵢᵐ` in the paper) is a short sequence of layers — for
+//! MBConv: expand `conv-1×1`, `dwconv-k×k`, project `conv-1×1`, plus
+//! normalization/activation — whose latency and resource are summed
+//! (paper §3.2.1: "the latency and resource are the summation of all
+//! layers").
+
+use serde::{Deserialize, Serialize};
+
+/// The compute class of one layer, mirroring the three cases of Eq. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Standard convolution: work `k²·h·w·cin·cout`.
+    Conv {
+        /// Square kernel size.
+        k: usize,
+        /// Input channels.
+        cin: usize,
+        /// Output channels.
+        cout: usize,
+    },
+    /// Depthwise convolution: work `k²·h·w·cin`.
+    DwConv {
+        /// Square kernel size.
+        k: usize,
+        /// Channels.
+        c: usize,
+    },
+    /// Everything else (batch-norm, activation, pooling, elementwise):
+    /// work `h·w·cin`.
+    Other {
+        /// Channels.
+        c: usize,
+    },
+    /// Fully-connected layer: work `cin·cout` (spatial dims 1).
+    Linear {
+        /// Input features.
+        cin: usize,
+        /// Output features.
+        cout: usize,
+    },
+}
+
+/// One layer of an operation: a compute class plus its output spatial size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerShape {
+    /// Compute class.
+    pub kind: LayerKind,
+    /// Output height.
+    pub h: usize,
+    /// Output width.
+    pub w: usize,
+}
+
+impl LayerShape {
+    /// The bracketed work term of Eq. 12 (number of multiply-accumulates for
+    /// compute layers; element count for `Other`).
+    #[must_use]
+    pub fn work(&self) -> f64 {
+        let hw = (self.h * self.w) as f64;
+        match self.kind {
+            LayerKind::Conv { k, cin, cout } => (k * k) as f64 * hw * cin as f64 * cout as f64,
+            LayerKind::DwConv { k, c } => (k * k) as f64 * hw * c as f64,
+            LayerKind::Other { c } => hw * c as f64,
+            LayerKind::Linear { cin, cout } => cin as f64 * cout as f64,
+        }
+    }
+
+    /// Number of weight parameters contributed by this layer.
+    #[must_use]
+    pub fn params(&self) -> f64 {
+        match self.kind {
+            LayerKind::Conv { k, cin, cout } => (k * k * cin * cout) as f64,
+            LayerKind::DwConv { k, c } => (k * k * c) as f64,
+            LayerKind::Other { c } => 2.0 * c as f64, // bn gamma/beta-style
+            LayerKind::Linear { cin, cout } => (cin * cout + cout) as f64,
+        }
+    }
+
+    /// Output activation element count.
+    #[must_use]
+    pub fn activations(&self) -> f64 {
+        let hw = (self.h * self.w) as f64;
+        match self.kind {
+            LayerKind::Conv { cout, .. } => hw * cout as f64,
+            LayerKind::DwConv { c, .. } | LayerKind::Other { c } => hw * c as f64,
+            LayerKind::Linear { cout, .. } => cout as f64,
+        }
+    }
+}
+
+/// One searchable operation: a named sequence of layers plus an *IP class*
+/// label used for resource sharing in recursive FPGA accelerators (ops with
+/// equal `ip_class` share one IP instance; paper Fig. 2/3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpShape {
+    /// Human-readable name, e.g. `"mbconv_k3_e4"`.
+    pub name: String,
+    /// IP-sharing class. Ops in different blocks with the same class reuse
+    /// the same hardware IP in a recursive accelerator.
+    pub ip_class: String,
+    /// The layers executed by this operation, in order.
+    pub layers: Vec<LayerShape>,
+}
+
+impl OpShape {
+    /// Total work of the operation (summed over layers, paper Eq. 11).
+    #[must_use]
+    pub fn work(&self) -> f64 {
+        self.layers.iter().map(LayerShape::work).sum()
+    }
+
+    /// Total parameter count of the operation.
+    #[must_use]
+    pub fn params(&self) -> f64 {
+        self.layers.iter().map(LayerShape::params).sum()
+    }
+
+    /// Total output activations of the operation.
+    #[must_use]
+    pub fn activations(&self) -> f64 {
+        self.layers.iter().map(LayerShape::activations).sum()
+    }
+
+    /// Number of *compute* layers (convolutions and linear layers; the
+    /// `Other` layers fuse into them on real hardware and carry no
+    /// invocation overhead).
+    #[must_use]
+    pub fn compute_layer_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| !matches!(l.kind, LayerKind::Other { .. }))
+            .count()
+    }
+
+    /// Builds the layer sequence of an MBConv operation with kernel `k`,
+    /// expansion `e`, input `cin`, output `cout`, input spatial size
+    /// `h×w` and `stride` (layers after the depthwise stage run at the
+    /// strided resolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the stride is zero.
+    #[must_use]
+    pub fn mbconv(
+        cin: usize,
+        cout: usize,
+        k: usize,
+        e: usize,
+        h: usize,
+        w: usize,
+        stride: usize,
+    ) -> OpShape {
+        assert!(
+            cin > 0 && cout > 0 && k > 0 && e > 0 && h > 0 && w > 0 && stride > 0,
+            "mbconv dimensions must be positive"
+        );
+        let mid = cin * e;
+        let (oh, ow) = (h.div_ceil(stride), w.div_ceil(stride));
+        let mut layers = Vec::new();
+        if e > 1 {
+            layers.push(LayerShape {
+                kind: LayerKind::Conv {
+                    k: 1,
+                    cin,
+                    cout: mid,
+                },
+                h,
+                w,
+            });
+            layers.push(LayerShape {
+                kind: LayerKind::Other { c: mid },
+                h,
+                w,
+            });
+        }
+        layers.push(LayerShape {
+            kind: LayerKind::DwConv { k, c: mid },
+            h: oh,
+            w: ow,
+        });
+        layers.push(LayerShape {
+            kind: LayerKind::Other { c: mid },
+            h: oh,
+            w: ow,
+        });
+        layers.push(LayerShape {
+            kind: LayerKind::Conv {
+                k: 1,
+                cin: mid,
+                cout,
+            },
+            h: oh,
+            w: ow,
+        });
+        layers.push(LayerShape {
+            kind: LayerKind::Other { c: cout },
+            h: oh,
+            w: ow,
+        });
+        OpShape {
+            name: format!("mbconv_k{k}_e{e}_c{cin}x{cout}_s{stride}"),
+            ip_class: format!("mbconv_k{k}_e{e}"),
+            layers,
+        }
+    }
+}
+
+/// A whole network as a sequence of operations — the unit evaluated by the
+/// FPGA and GPU models, and the exchange format between search, zoo and
+/// benchmark harnesses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkShape {
+    /// Network name.
+    pub name: String,
+    /// Operations in execution order.
+    pub ops: Vec<OpShape>,
+}
+
+impl NetworkShape {
+    /// Total multiply-accumulate work of the network.
+    #[must_use]
+    pub fn total_work(&self) -> f64 {
+        self.ops.iter().map(OpShape::work).sum()
+    }
+
+    /// Total parameter count.
+    #[must_use]
+    pub fn total_params(&self) -> f64 {
+        self.ops.iter().map(OpShape::params).sum()
+    }
+
+    /// Total number of compute layers across all operations.
+    #[must_use]
+    pub fn total_compute_layers(&self) -> usize {
+        self.ops.iter().map(OpShape::compute_layer_count).sum()
+    }
+
+    /// The distinct IP classes of this network, in first-appearance order.
+    #[must_use]
+    pub fn ip_classes(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            if !seen.contains(&op.ip_class) {
+                seen.push(op.ip_class.clone());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_work_matches_formula() {
+        let l = LayerShape {
+            kind: LayerKind::Conv {
+                k: 3,
+                cin: 16,
+                cout: 32,
+            },
+            h: 8,
+            w: 8,
+        };
+        assert_eq!(l.work(), 9.0 * 64.0 * 16.0 * 32.0);
+    }
+
+    #[test]
+    fn dwconv_work_drops_cout() {
+        let l = LayerShape {
+            kind: LayerKind::DwConv { k: 5, c: 16 },
+            h: 4,
+            w: 4,
+        };
+        assert_eq!(l.work(), 25.0 * 16.0 * 16.0);
+    }
+
+    #[test]
+    fn other_work_is_elementwise() {
+        let l = LayerShape {
+            kind: LayerKind::Other { c: 8 },
+            h: 2,
+            w: 3,
+        };
+        assert_eq!(l.work(), 48.0);
+    }
+
+    #[test]
+    fn linear_work() {
+        let l = LayerShape {
+            kind: LayerKind::Linear { cin: 128, cout: 10 },
+            h: 1,
+            w: 1,
+        };
+        assert_eq!(l.work(), 1280.0);
+    }
+
+    #[test]
+    fn mbconv_op_structure() {
+        let op = OpShape::mbconv(16, 24, 5, 4, 32, 32, 2);
+        // expand conv + bn + dw + bn + project + bn = 6 layers
+        assert_eq!(op.layers.len(), 6);
+        assert_eq!(op.ip_class, "mbconv_k5_e4");
+        // Depthwise runs at strided resolution 16x16.
+        assert_eq!(op.layers[2].h, 16);
+        // Expand conv dominates: k=1, 16->64 at 32x32.
+        assert!(op.work() > 0.0);
+    }
+
+    #[test]
+    fn mbconv_expansion1_omits_expand() {
+        let op = OpShape::mbconv(16, 16, 3, 1, 8, 8, 1);
+        assert_eq!(op.layers.len(), 4);
+    }
+
+    #[test]
+    fn larger_kernel_more_work() {
+        let w3 = OpShape::mbconv(16, 16, 3, 4, 16, 16, 1).work();
+        let w7 = OpShape::mbconv(16, 16, 7, 4, 16, 16, 1).work();
+        assert!(w7 > w3);
+    }
+
+    #[test]
+    fn larger_expansion_more_work_and_params() {
+        let a = OpShape::mbconv(16, 16, 3, 4, 16, 16, 1);
+        let b = OpShape::mbconv(16, 16, 3, 6, 16, 16, 1);
+        assert!(b.work() > a.work());
+        assert!(b.params() > a.params());
+    }
+
+    #[test]
+    fn network_aggregates_and_ip_classes() {
+        let net = NetworkShape {
+            name: "t".into(),
+            ops: vec![
+                OpShape::mbconv(8, 8, 3, 4, 8, 8, 1),
+                OpShape::mbconv(8, 8, 3, 4, 8, 8, 1),
+                OpShape::mbconv(8, 8, 5, 4, 8, 8, 1),
+            ],
+        };
+        assert_eq!(net.ip_classes(), vec!["mbconv_k3_e4", "mbconv_k5_e4"]);
+        assert!(net.total_work() > 0.0);
+        assert!(net.total_params() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn mbconv_rejects_zero_stride() {
+        let _ = OpShape::mbconv(8, 8, 3, 4, 8, 8, 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let op = OpShape::mbconv(8, 16, 3, 4, 8, 8, 2);
+        let json = serde_json::to_string(&op).unwrap();
+        let back: OpShape = serde_json::from_str(&json).unwrap();
+        assert_eq!(op, back);
+    }
+}

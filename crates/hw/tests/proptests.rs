@@ -1,0 +1,144 @@
+//! Property-based tests of the hardware models: monotonicities and budget
+//! feasibility across randomly drawn operation shapes and implementations.
+
+use edd_hw::accel::{op_energy_uj, op_latency_ms as accel_latency, AccelDevice};
+use edd_hw::calib::{phi, psi};
+use edd_hw::fpga::op_latency_ms as fpga_latency;
+use edd_hw::gpu::{op_latency_ms as gpu_latency, GpuPrecision};
+use edd_hw::{
+    eval_pipelined, eval_recursive, tune_pipelined, tune_recursive, FpgaDevice, GpuDevice,
+    NetworkShape, OpShape,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random MBConv op shape.
+fn arb_op() -> impl Strategy<Value = OpShape> {
+    (
+        prop::sample::select(vec![8usize, 16, 32]),
+        prop::sample::select(vec![8usize, 16, 32]),
+        prop::sample::select(vec![3usize, 5, 7]),
+        prop::sample::select(vec![4usize, 5, 6]),
+        prop::sample::select(vec![8usize, 16, 32]),
+        1usize..3,
+    )
+        .prop_map(|(cin, cout, k, e, hw, s)| OpShape::mbconv(cin, cout, k, e, hw, hw, s))
+}
+
+/// Strategy: a random small network.
+fn arb_net() -> impl Strategy<Value = NetworkShape> {
+    prop::collection::vec(arb_op(), 2..8).prop_map(|ops| NetworkShape {
+        name: "prop".into(),
+        ops,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fpga_latency_monotone_in_parallelism(op in arb_op(), p in 2.0f64..512.0) {
+        let d = FpgaDevice::zcu102();
+        let l1 = fpga_latency(&op, 16, p, &d);
+        let l2 = fpga_latency(&op, 16, p * 2.0, &d);
+        prop_assert!(l2 < l1);
+    }
+
+    #[test]
+    fn fpga_latency_monotone_in_bits(op in arb_op(), p in 2.0f64..512.0) {
+        let d = FpgaDevice::zcu102();
+        prop_assert!(fpga_latency(&op, 8, p, &d) <= fpga_latency(&op, 16, p, &d));
+        prop_assert!(fpga_latency(&op, 4, p, &d) <= fpga_latency(&op, 8, p, &d));
+    }
+
+    #[test]
+    fn gpu_latency_monotone_in_precision(op in arb_op()) {
+        for device in [GpuDevice::titan_rtx(), GpuDevice::gtx_1080_ti(), GpuDevice::p100()] {
+            let l32 = gpu_latency(&op, GpuPrecision::Fp32, &device);
+            let l16 = gpu_latency(&op, GpuPrecision::Fp16, &device);
+            let l8 = gpu_latency(&op, GpuPrecision::Int8, &device);
+            prop_assert!(l32 >= l16 && l16 >= l8, "{}: {l32} {l16} {l8}", device.name);
+        }
+    }
+
+    #[test]
+    fn tuned_recursive_respects_budget(net in arb_net(), q in prop::sample::select(vec![8u32, 16])) {
+        let d = FpgaDevice::zcu102();
+        let imp = tune_recursive(&net, q, &d);
+        let report = eval_recursive(&net, &imp, &d).unwrap();
+        // The sqrt allocation can exceed only via the max(1.0) clamp on
+        // vanishing classes; allow 1% slack.
+        prop_assert!(report.dsps <= d.dsp_budget * 1.01, "dsps {}", report.dsps);
+        prop_assert!(report.latency_ms.is_finite() && report.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn tuned_pipelined_respects_budget(net in arb_net()) {
+        let d = FpgaDevice::zc706();
+        let imp = tune_pipelined(&net, 16, &d);
+        let report = eval_pipelined(&net, &imp, &d).unwrap();
+        prop_assert!(report.dsps <= d.dsp_budget * 1.05, "dsps {}", report.dsps);
+        prop_assert!(report.throughput_fps > 0.0);
+        // Single-image latency >= slowest stage.
+        let max_stage = report.per_op_latency_ms.iter().copied().fold(0.0, f64::max);
+        prop_assert!(report.latency_ms >= max_stage - 1e-12);
+    }
+
+    #[test]
+    fn recursive_latency_sums_per_op(net in arb_net()) {
+        let d = FpgaDevice::zcu102();
+        let imp = tune_recursive(&net, 16, &d);
+        let report = eval_recursive(&net, &imp, &d).unwrap();
+        let sum: f64 = report.per_op_latency_ms.iter().sum();
+        prop_assert!((report.latency_ms - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_parallel_classes_never_reduce_shared_resource(net in arb_net()) {
+        // Resource of the recursive impl counts each class once: evaluating
+        // the same impl on a net with duplicated ops must not change DSPs.
+        let d = FpgaDevice::zcu102();
+        let imp = tune_recursive(&net, 16, &d);
+        let before = eval_recursive(&net, &imp, &d).unwrap().dsps;
+        let mut doubled = net.clone();
+        doubled.ops.extend(net.ops.iter().cloned());
+        let after = eval_recursive(&doubled, &imp, &d).unwrap().dsps;
+        prop_assert!((before - after).abs() < 1e-9, "sharing must dedupe: {before} vs {after}");
+    }
+
+    #[test]
+    fn accel_latency_proportional_to_bits(op in arb_op(), q in prop::sample::select(vec![2u32, 4, 8])) {
+        let d = AccelDevice::loom_like();
+        let l_q = accel_latency(&op, q, &d);
+        let l_2q = accel_latency(&op, 2 * q, &d);
+        prop_assert!((l_2q / l_q - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accel_energy_monotone_in_bits(op in arb_op()) {
+        let d = AccelDevice::loom_like();
+        let mut last = 0.0;
+        for q in [2u32, 4, 8, 16] {
+            let e = op_energy_uj(&op, q, &d);
+            prop_assert!(e >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn calibration_functions_sane(q in 1u32..17) {
+        prop_assert!(phi(q) > 0.0);
+        prop_assert!(psi(q) >= 0.0 && psi(q) <= 1.0);
+    }
+
+    #[test]
+    fn work_positive_and_scales_with_resolution(op_small in arb_op()) {
+        prop_assert!(op_small.work() > 0.0);
+        let mut layers = op_small.layers.clone();
+        for l in &mut layers {
+            l.h *= 2;
+            l.w *= 2;
+        }
+        let big = OpShape { name: "big".into(), ip_class: "big".into(), layers };
+        prop_assert!(big.work() > op_small.work());
+    }
+}

@@ -1,0 +1,75 @@
+//! Serde round-trip tests for every public data type of the hardware
+//! models — these types are the JSON exchange surface between the search,
+//! external tooling, and saved experiment artifacts.
+
+use edd_hw::{
+    eval_pipelined, eval_recursive, tune_pipelined, tune_recursive, AccelDevice, FpgaDevice,
+    GpuDevice, NetworkShape, OpShape,
+};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("parses")
+}
+
+#[test]
+fn devices_roundtrip() {
+    for d in [
+        GpuDevice::titan_rtx(),
+        GpuDevice::gtx_1080_ti(),
+        GpuDevice::p100(),
+    ] {
+        assert_eq!(roundtrip(&d), d);
+    }
+    for d in [FpgaDevice::zcu102(), FpgaDevice::zc706()] {
+        assert_eq!(roundtrip(&d), d);
+    }
+    let a = AccelDevice::loom_like();
+    assert_eq!(roundtrip(&a), a);
+}
+
+#[test]
+fn network_shapes_roundtrip() {
+    let net = NetworkShape {
+        name: "probe".into(),
+        ops: vec![
+            OpShape::mbconv(16, 24, 3, 4, 32, 32, 2),
+            OpShape::mbconv(24, 24, 5, 6, 16, 16, 1),
+        ],
+    };
+    let back = roundtrip(&net);
+    assert_eq!(back, net);
+    assert_eq!(back.total_work(), net.total_work());
+}
+
+#[test]
+fn implementations_and_reports_roundtrip() {
+    let net = NetworkShape {
+        name: "probe".into(),
+        ops: vec![OpShape::mbconv(16, 16, 3, 4, 16, 16, 1)],
+    };
+    let zcu = FpgaDevice::zcu102();
+    let imp = tune_recursive(&net, 16, &zcu);
+    assert_eq!(roundtrip(&imp), imp);
+    let report = eval_recursive(&net, &imp, &zcu).expect("classes covered");
+    assert_eq!(roundtrip(&report), report);
+
+    let zc7 = FpgaDevice::zc706();
+    let pimp = tune_pipelined(&net, 16, &zc7);
+    assert_eq!(roundtrip(&pimp), pimp);
+    let preport = eval_pipelined(&net, &pimp, &zc7).expect("stages");
+    assert_eq!(roundtrip(&preport), preport);
+}
+
+#[test]
+fn modified_budget_survives_roundtrip() {
+    let mut d = FpgaDevice::zcu102();
+    d.dsp_budget = 1234.0;
+    d.per_layer_overhead_ms = 0.05;
+    let back = roundtrip(&d);
+    assert_eq!(back.dsp_budget, 1234.0);
+    assert_eq!(back.per_layer_overhead_ms, 0.05);
+}

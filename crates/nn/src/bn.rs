@@ -1,0 +1,175 @@
+//! 2-D batch normalization layer with running statistics.
+
+use crate::module::Module;
+use edd_tensor::{Array, Result, Tensor};
+use std::cell::{Cell, RefCell};
+
+/// Batch normalization over NCHW activations.
+///
+/// In training mode (the default) the layer normalizes with batch statistics
+/// and updates exponential running estimates; in evaluation mode it
+/// normalizes with the stored running statistics (differentiably with
+/// respect to `gamma`/`beta` and the input).
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: RefCell<Array>,
+    running_var: RefCell<Array>,
+    momentum: f32,
+    eps: f32,
+    training: Cell<bool>,
+    channels: usize,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` channels with the usual
+    /// defaults (`momentum = 0.1`, `eps = 1e-5`).
+    #[must_use]
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::param(Array::ones(&[channels])),
+            beta: Tensor::param(Array::zeros(&[channels])),
+            running_mean: RefCell::new(Array::zeros(&[channels])),
+            running_var: RefCell::new(Array::ones(&[channels])),
+            momentum: 0.1,
+            eps: 1e-5,
+            training: Cell::new(true),
+            channels,
+        }
+    }
+
+    /// Current running mean estimate.
+    #[must_use]
+    pub fn running_mean(&self) -> Array {
+        self.running_mean.borrow().clone()
+    }
+
+    /// Current running variance estimate.
+    #[must_use]
+    pub fn running_var(&self) -> Array {
+        self.running_var.borrow().clone()
+    }
+
+    /// Whether the layer is in training mode.
+    #[must_use]
+    pub fn is_training(&self) -> bool {
+        self.training.get()
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        if self.training.get() {
+            let bn = x.batch_norm2d_train(&self.gamma, &self.beta, self.eps)?;
+            // Exponential moving average of batch statistics.
+            {
+                let mut rm = self.running_mean.borrow_mut();
+                let mut rv = self.running_var.borrow_mut();
+                for c in 0..self.channels {
+                    rm.data_mut()[c] = (1.0 - self.momentum) * rm.data()[c]
+                        + self.momentum * bn.batch_mean.data()[c];
+                    rv.data_mut()[c] = (1.0 - self.momentum) * rv.data()[c]
+                        + self.momentum * bn.batch_var.data()[c];
+                }
+            }
+            Ok(bn.output)
+        } else {
+            // y = gamma * (x - mean) / sqrt(var + eps) + beta, with running
+            // statistics as constants, composed from broadcast primitives.
+            let c = self.channels;
+            let bshape = [1, c, 1, 1];
+            let mean = Tensor::constant(self.running_mean.borrow().reshape(&bshape)?);
+            let var = self.running_var.borrow().clone();
+            let inv_std =
+                Tensor::constant(var.map(|v| 1.0 / (v + self.eps).sqrt()).reshape(&bshape)?);
+            let gamma = self.gamma.reshape(&bshape)?;
+            let beta = self.beta.reshape(&bshape)?;
+            x.sub(&mean)?.mul(&inv_std)?.mul(&gamma)?.add(&beta)
+        }
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+
+    fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_mode_normalizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bn = BatchNorm2d::new(3);
+        let x = Tensor::constant(Array::randn(&[4, 3, 5, 5], 3.0, &mut rng));
+        let y = bn.forward(&x).unwrap();
+        let v = y.value();
+        let mean: f32 = v.data().iter().sum::<f32>() / v.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bn = BatchNorm2d::new(1);
+        // Input with mean ~5.
+        let x = Tensor::constant(Array::randn(&[8, 1, 4, 4], 1.0, &mut rng).map(|v| v + 5.0));
+        for _ in 0..50 {
+            bn.forward(&x).unwrap();
+        }
+        let rm = bn.running_mean();
+        assert!(
+            (rm.data()[0] - 5.0).abs() < 0.3,
+            "running mean {}",
+            rm.data()[0]
+        );
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bn = BatchNorm2d::new(2);
+        let x = Tensor::constant(Array::randn(&[4, 2, 3, 3], 2.0, &mut rng));
+        for _ in 0..100 {
+            bn.forward(&x).unwrap();
+        }
+        bn.set_training(false);
+        assert!(!bn.is_training());
+        // In eval mode, the same distribution normalizes to ~zero mean.
+        let y = bn.forward(&x).unwrap();
+        let v = y.value();
+        let mean: f32 = v.data().iter().sum::<f32>() / v.len() as f32;
+        assert!(mean.abs() < 0.2, "eval mean {mean}");
+        // And eval mode must not further update running stats.
+        let before = bn.running_mean();
+        bn.forward(&x).unwrap();
+        assert_eq!(before.data(), bn.running_mean().data());
+    }
+
+    #[test]
+    fn gamma_beta_are_trainable() {
+        let bn = BatchNorm2d::new(4);
+        assert_eq!(bn.parameters().len(), 2);
+        assert_eq!(bn.num_parameters(), 8);
+        assert!(bn.parameters().iter().all(Tensor::requires_grad));
+    }
+
+    #[test]
+    fn eval_mode_differentiable_wrt_gamma() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bn = BatchNorm2d::new(2);
+        bn.set_training(false);
+        let x = Tensor::constant(Array::randn(&[1, 2, 2, 2], 1.0, &mut rng));
+        let y = bn.forward(&x).unwrap();
+        y.sum().backward();
+        assert!(bn.parameters()[0].grad().is_some());
+        assert!(bn.parameters()[1].grad().is_some());
+    }
+}

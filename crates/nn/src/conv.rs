@@ -1,0 +1,239 @@
+//! Convolution layers: standard [`Conv2d`] and depthwise [`DwConv2d`].
+
+use crate::init::{kaiming_conv, kaiming_dwconv};
+use crate::module::{maybe_quantize, Module, QuantSpec, QuantizableModule};
+use edd_tensor::{Array, Result, Tensor};
+use rand::Rng;
+
+/// A standard 2-D convolution layer (NCHW), square kernel, optional bias.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    stride: usize,
+    padding: usize,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        Conv2d {
+            weight: Tensor::param(kaiming_conv(out_c, in_c, kernel, rng)),
+            bias: bias.then(|| Tensor::param(Array::zeros(&[out_c]))),
+            stride,
+            padding,
+        }
+    }
+
+    /// Creates a "same" padded convolution (`padding = kernel / 2`).
+    #[must_use]
+    pub fn same<R: Rng + ?Sized>(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(in_c, out_c, kernel, stride, kernel / 2, false, rng)
+    }
+
+    /// The weight tensor `[out_c, in_c, k, k]`.
+    #[must_use]
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Kernel size.
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.weight.shape()[2]
+    }
+
+    /// Stride.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        x.conv2d(&self.weight, self.bias.as_ref(), self.stride, self.padding)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+impl QuantizableModule for Conv2d {
+    fn forward_quantized(&self, x: &Tensor, quant: Option<QuantSpec>) -> Result<Tensor> {
+        let w = maybe_quantize(&self.weight, quant);
+        x.conv2d(&w, self.bias.as_ref(), self.stride, self.padding)
+    }
+}
+
+/// A depthwise 2-D convolution layer (one `k×k` filter per channel).
+#[derive(Debug)]
+pub struct DwConv2d {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    stride: usize,
+    padding: usize,
+}
+
+impl DwConv2d {
+    /// Creates a Kaiming-initialized depthwise convolution with "same"
+    /// padding (`kernel / 2`).
+    #[must_use]
+    pub fn same<R: Rng + ?Sized>(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        DwConv2d {
+            weight: Tensor::param(kaiming_dwconv(channels, kernel, rng)),
+            bias: None,
+            stride,
+            padding: kernel / 2,
+        }
+    }
+
+    /// The weight tensor `[c, k, k]`.
+    #[must_use]
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Module for DwConv2d {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        x.dwconv2d(&self.weight, self.bias.as_ref(), self.stride, self.padding)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+impl QuantizableModule for DwConv2d {
+    fn forward_quantized(&self, x: &Tensor, quant: Option<QuantSpec>) -> Result<Tensor> {
+        let w = maybe_quantize(&self.weight, quant);
+        x.dwconv2d(&w, self.bias.as_ref(), self.stride, self.padding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2d::same(3, 16, 3, 2, &mut rng);
+        let x = Tensor::constant(Array::zeros(&[2, 3, 32, 32]));
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![2, 16, 16, 16]);
+        assert_eq!(conv.kernel(), 3);
+        assert_eq!(conv.stride(), 2);
+    }
+
+    #[test]
+    fn conv_param_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = Conv2d::new(3, 8, 3, 1, 1, true, &mut rng);
+        // weight 8*3*3*3 + bias 8
+        assert_eq!(conv.num_parameters(), 8 * 27 + 8);
+        assert_eq!(conv.parameters().len(), 2);
+    }
+
+    #[test]
+    fn conv_trains_toward_target() {
+        use edd_tensor::optim::{Optimizer, Sgd};
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::new(1, 1, 1, 1, 0, false, &mut rng);
+        let mut opt = Sgd::new(conv.parameters(), 0.05, 0.0, 0.0);
+        // learn to double the input
+        let x = Tensor::constant(Array::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap());
+        let t = Tensor::constant(Array::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[1, 1, 2, 2]).unwrap());
+        for _ in 0..100 {
+            opt.zero_grad();
+            let y = conv.forward(&x).unwrap();
+            let loss = y.sub(&t).unwrap().square().mean();
+            loss.backward();
+            opt.step();
+        }
+        let w = conv.weight().value().data()[0];
+        assert!((w - 2.0).abs() < 0.05, "weight {w}");
+    }
+
+    #[test]
+    fn quantized_forward_changes_low_bits_only() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = Conv2d::same(2, 4, 3, 1, &mut rng);
+        let x = Tensor::constant(Array::randn(&[1, 2, 8, 8], 1.0, &mut rng));
+        let full = conv.forward(&x).unwrap();
+        let q16 = conv
+            .forward_quantized(&x, Some(QuantSpec::bits(16)))
+            .unwrap();
+        let q2 = conv
+            .forward_quantized(&x, Some(QuantSpec::bits(2)))
+            .unwrap();
+        let diff16: f32 = full
+            .value()
+            .data()
+            .iter()
+            .zip(q16.value().data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let diff2: f32 = full
+            .value()
+            .data()
+            .iter()
+            .zip(q2.value().data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(
+            diff16 < diff2,
+            "16-bit ({diff16}) should be closer than 2-bit ({diff2})"
+        );
+    }
+
+    #[test]
+    fn dwconv_preserves_channels() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dw = DwConv2d::same(6, 5, 1, &mut rng);
+        let x = Tensor::constant(Array::zeros(&[1, 6, 10, 10]));
+        let y = dw.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![1, 6, 10, 10]);
+    }
+
+    #[test]
+    fn dwconv_quantized_runs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dw = DwConv2d::same(3, 3, 2, &mut rng);
+        let x = Tensor::constant(Array::randn(&[1, 3, 8, 8], 1.0, &mut rng));
+        let y = dw.forward_quantized(&x, Some(QuantSpec::bits(8))).unwrap();
+        assert_eq!(y.shape(), vec![1, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Inverted dropout with train/eval modes.
+
+use crate::module::Module;
+use edd_tensor::{Array, Result, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::{Cell, RefCell};
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; evaluation is the
+/// identity. Used by the classifier heads of the final-training stage
+/// (GoogLeNet/VGG-style heads use dropout 0.4–0.5).
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    training: Cell<bool>,
+    rng: RefCell<StdRng>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a fixed RNG
+    /// seed (deterministic training runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    #[must_use]
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            training: Cell::new(true),
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The drop probability.
+    #[must_use]
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        if !self.training.get() || self.p == 0.0 {
+            return Ok(x.clone());
+        }
+        let shape = x.shape();
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut rng = self.rng.borrow_mut();
+        let mask_data: Vec<f32> = (0..x.value().len())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::constant(Array::from_vec(mask_data, &shape)?);
+        x.mul(&mask)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5, 1);
+        d.set_training(false);
+        let x = Tensor::constant(Array::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap());
+        let y = d.forward(&x).unwrap();
+        assert_eq!(y.value().data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn training_mode_zeroes_and_rescales() {
+        let d = Dropout::new(0.5, 2);
+        let x = Tensor::constant(Array::ones(&[10_000]));
+        let y = d.forward(&x).unwrap();
+        let v = y.value_clone();
+        let zeros = v.data().iter().filter(|&&e| e == 0.0).count();
+        let frac = zeros as f32 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "drop fraction {frac}");
+        // Survivors are scaled to preserve the expectation.
+        let mean = v.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        for &e in v.data() {
+            assert!(e == 0.0 || (e - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let d = Dropout::new(0.0, 3);
+        let x = Tensor::constant(Array::from_vec(vec![4.0, 5.0], &[2]).unwrap());
+        assert_eq!(d.forward(&x).unwrap().value().data(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn gradient_respects_mask() {
+        let d = Dropout::new(0.5, 4);
+        let x = Tensor::param(Array::ones(&[64]));
+        let y = d.forward(&x).unwrap();
+        y.sum().backward();
+        let g = x.grad().unwrap();
+        let yv = y.value_clone();
+        for (ge, ye) in g.data().iter().zip(yv.data()) {
+            // Gradient is the mask value (0 or 1/keep).
+            assert!((ge - ye).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_p_one() {
+        let _ = Dropout::new(1.0, 5);
+    }
+}

@@ -1,0 +1,71 @@
+//! Weight initialization schemes.
+
+use edd_tensor::Array;
+use rand::Rng;
+
+/// Kaiming (He) normal initialization for a convolution weight
+/// `[out_c, in_c, k, k]`: `std = sqrt(2 / fan_in)` with `fan_in = in_c·k²`.
+#[must_use]
+pub fn kaiming_conv<R: Rng + ?Sized>(out_c: usize, in_c: usize, k: usize, rng: &mut R) -> Array {
+    let fan_in = (in_c * k * k) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    Array::randn(&[out_c, in_c, k, k], std, rng)
+}
+
+/// Kaiming normal initialization for a depthwise convolution weight
+/// `[c, k, k]` (`fan_in = k²`).
+#[must_use]
+pub fn kaiming_dwconv<R: Rng + ?Sized>(c: usize, k: usize, rng: &mut R) -> Array {
+    let fan_in = (k * k) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    Array::randn(&[c, k, k], std, rng)
+}
+
+/// Xavier (Glorot) normal initialization for a linear weight
+/// `[in_f, out_f]`: `std = sqrt(2 / (in_f + out_f))`.
+#[must_use]
+pub fn xavier_linear<R: Rng + ?Sized>(in_f: usize, out_f: usize, rng: &mut R) -> Array {
+    let std = (2.0 / (in_f + out_f) as f32).sqrt();
+    Array::randn(&[in_f, out_f], std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_conv_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = kaiming_conv(64, 64, 3, &mut rng);
+        let mean = w.mean();
+        let var = w
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / w.len() as f32;
+        let expect = 2.0 / (64.0 * 9.0);
+        assert!(
+            (var - expect).abs() < expect * 0.2,
+            "var {var} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn shapes_are_right() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(kaiming_conv(8, 4, 3, &mut rng).shape(), &[8, 4, 3, 3]);
+        assert_eq!(kaiming_dwconv(8, 5, &mut rng).shape(), &[8, 5, 5]);
+        assert_eq!(xavier_linear(10, 20, &mut rng).shape(), &[10, 20]);
+    }
+
+    #[test]
+    fn xavier_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = xavier_linear(100, 100, &mut rng);
+        let var = w.data().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        assert!((var - 0.01).abs() < 0.003, "var {var}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Fully-connected layer.
+
+use crate::init::xavier_linear;
+use crate::module::{maybe_quantize, Module, QuantSpec, QuantizableModule};
+use edd_tensor::{Array, Result, Tensor};
+use rand::Rng;
+
+/// A fully-connected layer `y = x W + b` over `[batch, in_features]` inputs.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialized linear layer.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Linear {
+            weight: Tensor::param(xavier_linear(in_features, out_features, rng)),
+            bias: Tensor::param(Array::zeros(&[out_features])),
+        }
+    }
+
+    /// The weight tensor `[in_features, out_features]`.
+    #[must_use]
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        x.matmul(&self.weight)?.add(&self.bias)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+impl QuantizableModule for Linear {
+    fn forward_quantized(&self, x: &Tensor, quant: Option<QuantSpec>) -> Result<Tensor> {
+        let w = maybe_quantize(&self.weight, quant);
+        x.matmul(&w)?.add(&self.bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(10, 4, &mut rng);
+        let x = Tensor::constant(Array::zeros(&[3, 10]));
+        let y = lin.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![3, 4]);
+        assert_eq!(lin.num_parameters(), 44);
+    }
+
+    #[test]
+    fn learns_linear_map() {
+        use edd_tensor::optim::{Adam, Optimizer};
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::new(2, 1, &mut rng);
+        let mut opt = Adam::new(lin.parameters(), 0.1);
+        // target: y = 3a - b + 0.5
+        let xs = Array::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0], &[4, 2]).unwrap();
+        let ts = Array::from_vec(vec![3.5, -0.5, 2.5, 7.5], &[4, 1]).unwrap();
+        for _ in 0..1500 {
+            opt.zero_grad();
+            let y = lin.forward(&Tensor::constant(xs.clone())).unwrap();
+            let loss = y
+                .sub(&Tensor::constant(ts.clone()))
+                .unwrap()
+                .square()
+                .mean();
+            loss.backward();
+            opt.step();
+        }
+        let y = lin.forward(&Tensor::constant(xs.clone())).unwrap();
+        let err: f32 = y
+            .value()
+            .data()
+            .iter()
+            .zip(ts.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(err < 0.2, "err {err}");
+    }
+
+    #[test]
+    fn quantized_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lin = Linear::new(5, 7, &mut rng);
+        let x = Tensor::constant(Array::randn(&[2, 5], 1.0, &mut rng));
+        let y = lin.forward_quantized(&x, Some(QuantSpec::bits(4))).unwrap();
+        assert_eq!(y.shape(), vec![2, 7]);
+    }
+}

@@ -1,0 +1,137 @@
+//! The [`Module`] abstraction shared by all layers: a differentiable
+//! forward function plus a parameter list.
+
+use edd_tensor::{Result, Tensor};
+
+/// Quantization applied to a layer's weights during a forward pass.
+///
+/// `None` bits means full precision. The range is the symmetric clip range of
+/// the straight-through fake quantizer; layers typically derive it from the
+/// current weight magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantSpec {
+    /// Bit-width of the symmetric fixed-point grid.
+    pub bits: u32,
+    /// Optional explicit clip range; when `None` the layer uses the max
+    /// absolute value of its weights (min-max calibration).
+    pub range: Option<f32>,
+}
+
+impl QuantSpec {
+    /// Creates a spec with min-max calibrated range.
+    #[must_use]
+    pub fn bits(bits: u32) -> Self {
+        QuantSpec { bits, range: None }
+    }
+}
+
+/// A neural-network layer: maps an input tensor to an output tensor and owns
+/// trainable parameters.
+///
+/// Layers use interior mutability for mode switches (train/eval) so that
+/// `forward` can take `&self` and modules can be freely shared.
+pub trait Module {
+    /// Runs the layer on `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `x` has an incompatible shape.
+    fn forward(&self, x: &Tensor) -> Result<Tensor>;
+
+    /// All trainable parameters of this layer (and its children).
+    fn parameters(&self) -> Vec<Tensor>;
+
+    /// Switches between training mode (batch statistics, etc.) and
+    /// evaluation mode. Default: no-op.
+    fn set_training(&self, _training: bool) {}
+
+    /// Number of scalar parameters.
+    fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.value().len()).sum()
+    }
+}
+
+/// A layer whose weights can be fake-quantized on the fly — the hook used by
+/// the EDD supernet to evaluate an operation under a sampled bit-width.
+pub trait QuantizableModule: Module {
+    /// Runs the layer with weights pushed through a straight-through fake
+    /// quantizer at `quant` precision (`None` = full precision).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `x` has an incompatible shape.
+    fn forward_quantized(&self, x: &Tensor, quant: Option<QuantSpec>) -> Result<Tensor>;
+}
+
+/// Derives the symmetric quantization range for a weight tensor: an explicit
+/// range if given, otherwise the max absolute weight value (never below a
+/// small epsilon so the grid stays valid for all-zero weights).
+#[must_use]
+pub fn resolve_range(weight: &Tensor, spec: QuantSpec) -> f32 {
+    spec.range.unwrap_or_else(|| {
+        let v = weight.value();
+        v.data()
+            .iter()
+            .fold(0.0f32, |acc, &x| acc.max(x.abs()))
+            .max(1e-6)
+    })
+}
+
+/// Applies `spec` to `weight` (straight-through), or returns the weight
+/// unchanged when `spec` is `None`.
+#[must_use]
+pub fn maybe_quantize(weight: &Tensor, spec: Option<QuantSpec>) -> Tensor {
+    match spec {
+        Some(q) => weight.fake_quantize(q.bits, resolve_range(weight, q)),
+        None => weight.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edd_tensor::Array;
+
+    #[test]
+    fn resolve_range_uses_max_abs() {
+        let w = Tensor::param(Array::from_vec(vec![0.5, -2.0, 1.0], &[3]).unwrap());
+        assert_eq!(resolve_range(&w, QuantSpec::bits(8)), 2.0);
+        assert_eq!(
+            resolve_range(
+                &w,
+                QuantSpec {
+                    bits: 8,
+                    range: Some(4.0)
+                }
+            ),
+            4.0
+        );
+    }
+
+    #[test]
+    fn resolve_range_floor_for_zero_weights() {
+        let w = Tensor::param(Array::zeros(&[4]));
+        assert!(resolve_range(&w, QuantSpec::bits(8)) > 0.0);
+    }
+
+    #[test]
+    fn maybe_quantize_none_is_identity_node() {
+        let w = Tensor::param(Array::from_vec(vec![0.33], &[1]).unwrap());
+        let q = maybe_quantize(&w, None);
+        assert_eq!(q.value().data(), &[0.33]);
+    }
+
+    #[test]
+    fn maybe_quantize_snaps_to_grid() {
+        let w = Tensor::param(Array::from_vec(vec![0.3, -0.8], &[2]).unwrap());
+        let q = maybe_quantize(
+            &w,
+            Some(QuantSpec {
+                bits: 2,
+                range: Some(1.0),
+            }),
+        );
+        // 2-bit symmetric: step 0.5.
+        assert_eq!(q.value().data(), &[0.5, -1.0]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Squeeze-and-Excitation channel attention (Hu et al., CVPR 2018) — the
+//! block MnasNet-A1 attaches to its MBConv stages.
+
+use crate::init::xavier_linear;
+use crate::module::Module;
+use edd_tensor::{Array, Result, Tensor};
+use rand::Rng;
+
+/// Squeeze-and-Excitation: global-average-pools to channel descriptors,
+/// passes them through a two-layer bottleneck (`C → C/r → C`) and rescales
+/// the input channels by the resulting sigmoid gates.
+#[derive(Debug)]
+pub struct SqueezeExcite {
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+    channels: usize,
+}
+
+impl SqueezeExcite {
+    /// Creates an SE block for `channels` channels with reduction ratio
+    /// `reduction` (the bottleneck has `max(channels / reduction, 1)`
+    /// units).
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(channels: usize, reduction: usize, rng: &mut R) -> Self {
+        let mid = (channels / reduction.max(1)).max(1);
+        SqueezeExcite {
+            w1: Tensor::param(xavier_linear(channels, mid, rng)),
+            b1: Tensor::param(Array::zeros(&[mid])),
+            w2: Tensor::param(xavier_linear(mid, channels, rng)),
+            b2: Tensor::param(Array::zeros(&[channels])),
+            channels,
+        }
+    }
+
+    /// Channel count this block was built for.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Module for SqueezeExcite {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let shape = x.shape();
+        if shape.len() != 4 || shape[1] != self.channels {
+            return Err(edd_tensor::TensorError::InvalidShape {
+                shape,
+                reason: format!("SqueezeExcite expects NCHW with {} channels", self.channels),
+            });
+        }
+        let b = shape[0];
+        // Squeeze: [b, c].
+        let s = x.global_avg_pool()?;
+        // Excite: two-layer bottleneck with swish then sigmoid gate.
+        let h = s.matmul(&self.w1)?.add(&self.b1)?.swish();
+        let gates = h.matmul(&self.w2)?.add(&self.b2)?.sigmoid();
+        // Scale: broadcast [b, c, 1, 1] over the spatial dims.
+        let gates = gates.reshape(&[b, self.channels, 1, 1])?;
+        x.mul(&gates)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![
+            self.w1.clone(),
+            self.b1.clone(),
+            self.w2.clone(),
+            self.b2.clone(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let se = SqueezeExcite::new(8, 4, &mut rng);
+        let x = Tensor::constant(Array::randn(&[2, 8, 5, 5], 1.0, &mut rng));
+        let y = se.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![2, 8, 5, 5]);
+        assert_eq!(se.channels(), 8);
+    }
+
+    #[test]
+    fn gates_bound_output_by_input() {
+        // Sigmoid gates are in (0, 1): |y| <= |x| elementwise.
+        let mut rng = StdRng::seed_from_u64(2);
+        let se = SqueezeExcite::new(4, 2, &mut rng);
+        let x = Tensor::constant(Array::randn(&[1, 4, 3, 3], 1.0, &mut rng));
+        let y = se.forward(&x).unwrap();
+        for (xi, yi) in x.value().data().iter().zip(y.value().data()) {
+            assert!(yi.abs() <= xi.abs() + 1e-6, "{yi} vs {xi}");
+        }
+    }
+
+    #[test]
+    fn gradients_reach_all_params() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let se = SqueezeExcite::new(6, 4, &mut rng);
+        let x = Tensor::param(Array::randn(&[2, 6, 4, 4], 1.0, &mut rng));
+        let y = se.forward(&x).unwrap();
+        y.square().sum().backward();
+        for (i, p) in se.parameters().iter().enumerate() {
+            assert!(p.grad().is_some(), "param {i} missing grad");
+        }
+        assert!(x.grad().is_some());
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let se = SqueezeExcite::new(8, 4, &mut rng);
+        let x = Tensor::constant(Array::zeros(&[1, 4, 3, 3]));
+        assert!(se.forward(&x).is_err());
+    }
+
+    #[test]
+    fn bottleneck_reduction_floor() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // reduction > channels: bottleneck floors at 1 unit.
+        let se = SqueezeExcite::new(2, 16, &mut rng);
+        let x = Tensor::constant(Array::randn(&[1, 2, 2, 2], 1.0, &mut rng));
+        assert!(se.forward(&x).is_ok());
+    }
+}

@@ -1,0 +1,252 @@
+//! Container and functional layers: [`Sequential`], activations, pooling and
+//! flatten adapters.
+
+use crate::module::Module;
+use edd_tensor::{Result, Tensor};
+
+/// A chain of layers applied in order.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("len", &self.layers.len())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    #[must_use]
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn add(&mut self, layer: Box<dyn Module>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the chain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h)?;
+        }
+        Ok(h)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+
+    fn set_training(&self, training: bool) {
+        for l in &self.layers {
+            l.set_training(training);
+        }
+    }
+}
+
+/// Activation function layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `max(x, 0)`.
+    Relu,
+    /// `min(max(x, 0), 6)`.
+    Relu6,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Swish / SiLU `x · σ(x)`.
+    Swish,
+}
+
+impl Module for Activation {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        Ok(match self {
+            Activation::Relu => x.relu(),
+            Activation::Relu6 => x.relu6(),
+            Activation::Tanh => x.tanh(),
+            Activation::Swish => x.swish(),
+        })
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Global average pooling `[b, c, h, w] -> [b, c]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalAvgPool;
+
+impl Module for GlobalAvgPool {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        x.global_avg_pool()
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Average pooling layer with square window and stride.
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPool2d {
+    /// Window size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl Module for AvgPool2d {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        x.avg_pool2d(self.kernel, self.stride)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Max pooling layer with square window and stride.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2d {
+    /// Window size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl Module for MaxPool2d {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        x.max_pool2d(self.kernel, self.stride)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Flattens `[b, ...] -> [b, prod(rest)]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Flatten;
+
+impl Module for Flatten {
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let shape = x.shape();
+        if shape.is_empty() {
+            return Err(edd_tensor::TensorError::InvalidShape {
+                shape,
+                reason: "flatten requires rank >= 1".into(),
+            });
+        }
+        let b = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        x.reshape(&[b, rest])
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Conv2d;
+    use crate::linear::Linear;
+    use edd_tensor::Array;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_chains_layers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Sequential::new()
+            .push(Conv2d::same(3, 8, 3, 2, &mut rng))
+            .push(Activation::Relu6)
+            .push(GlobalAvgPool)
+            .push(Linear::new(8, 5, &mut rng));
+        let x = Tensor::constant(Array::randn(&[2, 3, 16, 16], 1.0, &mut rng));
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![2, 5]);
+        assert_eq!(net.len(), 4);
+        assert!(!net.is_empty());
+        assert!(net.num_parameters() > 0);
+    }
+
+    #[test]
+    fn activations_apply() {
+        let x = Tensor::constant(Array::from_vec(vec![-1.0, 7.0], &[2]).unwrap());
+        assert_eq!(
+            Activation::Relu.forward(&x).unwrap().value().data(),
+            &[0.0, 7.0]
+        );
+        assert_eq!(
+            Activation::Relu6.forward(&x).unwrap().value().data(),
+            &[0.0, 6.0]
+        );
+        let t = Activation::Tanh.forward(&x).unwrap();
+        assert!(t.value().data()[1] < 1.0);
+        let s = Activation::Swish.forward(&x).unwrap();
+        assert!(s.value().data()[0] < 0.0 && s.value().data()[0] > -0.5);
+    }
+
+    #[test]
+    fn flatten_reshapes() {
+        let x = Tensor::constant(Array::zeros(&[2, 3, 4, 4]));
+        let y = Flatten.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![2, 48]);
+    }
+
+    #[test]
+    fn pool_layers_forward() {
+        let x = Tensor::constant(Array::zeros(&[1, 2, 8, 8]));
+        let y = AvgPool2d {
+            kernel: 2,
+            stride: 2,
+        }
+        .forward(&x)
+        .unwrap();
+        assert_eq!(y.shape(), vec![1, 2, 4, 4]);
+        let z = MaxPool2d {
+            kernel: 2,
+            stride: 2,
+        }
+        .forward(&x)
+        .unwrap();
+        assert_eq!(z.shape(), vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let net = Sequential::new();
+        let x = Tensor::constant(Array::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.value().data(), &[1.0, 2.0]);
+        assert!(net.is_empty());
+    }
+}

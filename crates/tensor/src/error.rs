@@ -1,0 +1,89 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor and array operations.
+///
+/// All fallible operations in this crate return [`TensorError`] rather than
+/// panicking, so callers can surface shape problems with context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (exactly or via broadcasting)
+    /// did not.
+    ShapeMismatch {
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A shape was structurally invalid for the requested operation
+    /// (wrong rank, zero dimension where disallowed, etc.).
+    InvalidShape {
+        /// The offending shape.
+        shape: Vec<usize>,
+        /// Human-readable description of the requirement that was violated.
+        reason: String,
+    },
+    /// An argument outside of shapes was invalid (e.g. an axis out of range).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::InvalidShape { shape, reason } => {
+                write!(f, "invalid shape {shape:?}: {reason}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias for results with [`TensorError`].
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4],
+            op: "add",
+        };
+        let s = e.to_string();
+        assert!(s.contains("add"));
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[4]"));
+    }
+
+    #[test]
+    fn display_invalid_shape() {
+        let e = TensorError::InvalidShape {
+            shape: vec![0],
+            reason: "zero dim".into(),
+        };
+        assert!(e.to_string().contains("zero dim"));
+    }
+
+    #[test]
+    fn display_invalid_argument() {
+        let e = TensorError::InvalidArgument("axis 7 out of range".into());
+        assert!(e.to_string().contains("axis 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&TensorError::InvalidArgument("x".into()));
+    }
+}

@@ -1,0 +1,116 @@
+//! Finite-difference gradient checking used by the test suites of every
+//! crate that builds differentiable expressions on `edd-tensor`.
+
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: the worst relative error over all checked
+/// coordinates, plus where it occurred.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Maximum relative error encountered.
+    pub max_rel_error: f32,
+    /// Parameter index (into the slice passed to [`check_gradients`]) of the
+    /// worst coordinate.
+    pub worst_param: usize,
+    /// Flat element index of the worst coordinate.
+    pub worst_index: usize,
+}
+
+/// Verifies analytic gradients of `f` (a scalar-valued function of `params`)
+/// against central finite differences.
+///
+/// For efficiency only every `stride`-th coordinate of each parameter is
+/// perturbed (use `stride = 1` to check everything).
+///
+/// # Panics
+///
+/// Panics if `f` returns a non-scalar tensor.
+pub fn check_gradients(
+    params: &[Tensor],
+    f: impl Fn() -> Tensor,
+    eps: f32,
+    stride: usize,
+) -> GradCheckReport {
+    let stride = stride.max(1);
+    for p in params {
+        p.zero_grad();
+    }
+    let loss = f();
+    assert_eq!(
+        loss.value().len(),
+        1,
+        "gradient check requires a scalar loss"
+    );
+    loss.backward();
+    let analytic: Vec<Option<crate::array::Array>> = params.iter().map(Tensor::grad).collect();
+
+    let mut report = GradCheckReport {
+        max_rel_error: 0.0,
+        worst_param: 0,
+        worst_index: 0,
+    };
+    for (pi, p) in params.iter().enumerate() {
+        let n = p.value().len();
+        for idx in (0..n).step_by(stride) {
+            let orig = p.value().data()[idx];
+            p.update_value(|a| a.data_mut()[idx] = orig + eps);
+            let lp = f().item();
+            p.update_value(|a| a.data_mut()[idx] = orig - eps);
+            let lm = f().item();
+            p.update_value(|a| a.data_mut()[idx] = orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let ana = analytic[pi].as_ref().map_or(0.0, |g| g.data()[idx]);
+            let rel = (numeric - ana).abs() / numeric.abs().max(ana.abs()).max(1.0);
+            if rel > report.max_rel_error {
+                report = GradCheckReport {
+                    max_rel_error: rel,
+                    worst_param: pi,
+                    worst_index: idx,
+                };
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Array;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn passes_for_correct_gradient() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Tensor::param(Array::randn(&[6], 1.0, &mut rng));
+        let xr = x.clone();
+        let report = check_gradients(&[x], move || xr.square().sum(), 1e-2, 1);
+        assert!(report.max_rel_error < 1e-2, "{report:?}");
+    }
+
+    #[test]
+    fn composite_expression_checks() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = Tensor::param(Array::randn(&[3, 4], 0.5, &mut rng));
+        let b = Tensor::param(Array::randn(&[4, 2], 0.5, &mut rng));
+        let (ar, br) = (a.clone(), b.clone());
+        let report = check_gradients(
+            &[a, b],
+            move || ar.matmul(&br).unwrap().tanh().square().sum(),
+            1e-2,
+            1,
+        );
+        assert!(report.max_rel_error < 2e-2, "{report:?}");
+    }
+
+    #[test]
+    fn detects_blocked_gradient() {
+        // detach() blocks gradient flow: analytic grad is None (0) while the
+        // numeric gradient is clearly nonzero.
+        let x = Tensor::param(Array::scalar(2.0));
+        let xr = x.clone();
+        let report = check_gradients(&[x], move || xr.detach().square().sum(), 1e-2, 1);
+        assert!(report.max_rel_error > 0.5, "{report:?}");
+    }
+}

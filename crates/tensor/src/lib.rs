@@ -1,0 +1,57 @@
+//! # edd-tensor
+//!
+//! A from-scratch reverse-mode automatic-differentiation tensor engine,
+//! built as the training substrate for the EDD (Efficient Differentiable
+//! DNN architecture and implementation co-search, DAC 2020) reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`Array`] — dense row-major `f32` storage with NumPy-style broadcasting,
+//!   GEMM, and `im2col`/`col2im` convolution lowering;
+//! * [`Tensor`] — a define-by-run autodiff graph node with operations
+//!   covering everything the EDD supernet needs: convolutions (standard and
+//!   depthwise), batch normalization, pooling, softmax / cross-entropy,
+//!   Gumbel-Softmax sampling, straight-through fake quantization, smooth
+//!   maximum (Log-Sum-Exp), and elementwise math;
+//! * [`optim`] — SGD (momentum) and Adam optimizers plus gradient clipping
+//!   and a cosine learning-rate schedule;
+//! * [`gradcheck`] — finite-difference gradient verification used across the
+//!   workspace's test suites.
+//!
+//! # Example
+//!
+//! ```
+//! use edd_tensor::{Array, Tensor};
+//! use edd_tensor::optim::{Optimizer, Sgd};
+//!
+//! // Fit y = 2x with a single weight.
+//! let w = Tensor::param(Array::scalar(0.0));
+//! let mut opt = Sgd::new(vec![w.clone()], 0.1, 0.0, 0.0);
+//! for _ in 0..100 {
+//!     opt.zero_grad();
+//!     let x = Tensor::scalar(3.0);
+//!     let target = Tensor::scalar(6.0);
+//!     let pred = w.mul(&x).unwrap();
+//!     let loss = pred.sub(&target).unwrap().square().sum();
+//!     loss.backward();
+//!     opt.step();
+//! }
+//! assert!((w.item() - 2.0).abs() < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod array;
+mod error;
+pub mod gradcheck;
+mod ops;
+pub mod optim;
+pub mod shape;
+mod tensor;
+
+pub use array::{col2im, im2col, Array, Conv2dGeometry};
+pub use error::{Result, TensorError};
+pub use ops::gumbel::{gumbel_noise, gumbel_softmax, softmax_selection};
+pub use ops::softmax::{accuracy, softmax_last_axis, top_k_accuracy};
+pub use ops::{quantization_error, BatchNormOutput};
+pub use tensor::Tensor;

@@ -1,0 +1,278 @@
+//! Elementwise arithmetic ops (broadcasting) and their gradients.
+
+#[cfg(test)]
+use crate::array::Array;
+use crate::error::Result;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Elementwise addition with NumPy broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the operand shapes do not broadcast.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        let value = self.value().add(&other.value())?;
+        let (a, b) = (self.clone(), other.clone());
+        let (sa, sb) = (self.shape(), other.shape());
+        Ok(Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    a.accumulate_grad(&g.reduce_to(&sa).expect("broadcast-checked"));
+                }
+                if b.requires_grad() {
+                    b.accumulate_grad(&g.reduce_to(&sb).expect("broadcast-checked"));
+                }
+            }),
+        ))
+    }
+
+    /// Elementwise subtraction with NumPy broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the operand shapes do not broadcast.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        let value = self.value().sub(&other.value())?;
+        let (a, b) = (self.clone(), other.clone());
+        let (sa, sb) = (self.shape(), other.shape());
+        Ok(Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    a.accumulate_grad(&g.reduce_to(&sa).expect("broadcast-checked"));
+                }
+                if b.requires_grad() {
+                    let neg = g.map(|v| -v);
+                    b.accumulate_grad(&neg.reduce_to(&sb).expect("broadcast-checked"));
+                }
+            }),
+        ))
+    }
+
+    /// Elementwise multiplication with NumPy broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the operand shapes do not broadcast.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        let value = self.value().mul(&other.value())?;
+        let (a, b) = (self.clone(), other.clone());
+        let (sa, sb) = (self.shape(), other.shape());
+        let (va, vb) = (self.value_clone(), other.value_clone());
+        Ok(Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let ga = g.mul(&vb).expect("broadcast-checked");
+                    a.accumulate_grad(&ga.reduce_to(&sa).expect("broadcast-checked"));
+                }
+                if b.requires_grad() {
+                    let gb = g.mul(&va).expect("broadcast-checked");
+                    b.accumulate_grad(&gb.reduce_to(&sb).expect("broadcast-checked"));
+                }
+            }),
+        ))
+    }
+
+    /// Elementwise division with NumPy broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the operand shapes do not broadcast.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        let value = self.value().div(&other.value())?;
+        let (a, b) = (self.clone(), other.clone());
+        let (sa, sb) = (self.shape(), other.shape());
+        let (va, vb) = (self.value_clone(), other.value_clone());
+        Ok(Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let ga = g.div(&vb).expect("broadcast-checked");
+                    a.accumulate_grad(&ga.reduce_to(&sa).expect("broadcast-checked"));
+                }
+                if b.requires_grad() {
+                    // d/db (a/b) = -a / b^2
+                    let b2 = vb.mul(&vb).expect("same-shape");
+                    let gb = g
+                        .mul(&va)
+                        .expect("broadcast-checked")
+                        .div(&b2)
+                        .expect("broadcast-checked")
+                        .map(|v| -v);
+                    b.accumulate_grad(&gb.reduce_to(&sb).expect("broadcast-checked"));
+                }
+            }),
+        ))
+    }
+
+    /// Elementwise negation.
+    #[must_use]
+    pub fn neg(&self) -> Tensor {
+        let value = self.value().map(|v| -v);
+        let a = self.clone();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    a.accumulate_grad(&g.map(|v| -v));
+                }
+            }),
+        )
+    }
+
+    /// Adds a scalar constant to every element.
+    #[must_use]
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        let value = self.value().map(|v| v + s);
+        let a = self.clone();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    a.accumulate_grad(g);
+                }
+            }),
+        )
+    }
+
+    /// Multiplies every element by a scalar constant.
+    #[must_use]
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        let value = self.value().map(|v| v * s);
+        let a = self.clone();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    a.accumulate_grad(&g.map(|v| v * s));
+                }
+            }),
+        )
+    }
+
+    /// Raises every element to the power `p` (elementwise `v^p`).
+    ///
+    /// Gradients use `p * v^(p-1)`; for non-integer `p` the input should be
+    /// positive.
+    #[must_use]
+    pub fn powf(&self, p: f32) -> Tensor {
+        let value = self.value().map(|v| v.powf(p));
+        let a = self.clone();
+        let va = self.value_clone();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let dv = va.map(|v| p * v.powf(p - 1.0));
+                    a.accumulate_grad(&g.mul(&dv).expect("same-shape"));
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+        Tensor::param(Array::from_vec(v, s).unwrap())
+    }
+
+    #[test]
+    fn add_grad_both_sides() {
+        let a = t(vec![1.0, 2.0], &[2]);
+        let b = t(vec![3.0, 4.0], &[2]);
+        let y = a.add(&b).unwrap().sum();
+        y.backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(b.grad().unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn add_broadcast_grad_reduces() {
+        // [2,3] + [3]: bias grad sums over the batch axis.
+        let a = t(vec![0.0; 6], &[2, 3]);
+        let b = t(vec![0.0; 3], &[3]);
+        let y = a.add(&b).unwrap().sum();
+        y.backward();
+        assert_eq!(b.grad().unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn sub_grad_signs() {
+        let a = t(vec![5.0], &[1]);
+        let b = t(vec![3.0], &[1]);
+        let y = a.sub(&b).unwrap().sum();
+        y.backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.0]);
+        assert_eq!(b.grad().unwrap().data(), &[-1.0]);
+    }
+
+    #[test]
+    fn mul_grad_cross() {
+        let a = t(vec![2.0], &[1]);
+        let b = t(vec![7.0], &[1]);
+        let y = a.mul(&b).unwrap().sum();
+        y.backward();
+        assert_eq!(a.grad().unwrap().data(), &[7.0]);
+        assert_eq!(b.grad().unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn div_grad() {
+        let a = t(vec![6.0], &[1]);
+        let b = t(vec![3.0], &[1]);
+        let y = a.div(&b).unwrap().sum();
+        y.backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.0 / 3.0]);
+        assert!((b.grad().unwrap().data()[0] - (-6.0 / 9.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neg_grad() {
+        let a = t(vec![4.0], &[1]);
+        let y = a.neg().sum();
+        y.backward();
+        assert_eq!(a.grad().unwrap().data(), &[-1.0]);
+    }
+
+    #[test]
+    fn scalar_ops_grad() {
+        let a = t(vec![3.0], &[1]);
+        let y = a.mul_scalar(5.0).add_scalar(1.0).sum();
+        y.backward();
+        assert_eq!(y.item(), 16.0);
+        assert_eq!(a.grad().unwrap().data(), &[5.0]);
+    }
+
+    #[test]
+    fn powf_grad() {
+        let a = t(vec![2.0], &[1]);
+        let y = a.powf(3.0).sum();
+        y.backward();
+        assert_eq!(y.item(), 8.0);
+        assert_eq!(a.grad().unwrap().data(), &[12.0]); // 3 * 2^2
+    }
+
+    #[test]
+    fn constant_branch_gets_no_grad() {
+        let a = t(vec![1.0], &[1]);
+        let c = Tensor::scalar(2.0);
+        let y = a.mul(&c).unwrap().sum();
+        y.backward();
+        assert_eq!(a.grad().unwrap().data(), &[2.0]);
+        assert!(c.grad().is_none());
+    }
+}

@@ -1,0 +1,497 @@
+//! 2-D convolution ops (standard and depthwise) in NCHW layout, with
+//! GEMM-lowered forward (`im2col`) and hand-derived backward passes.
+
+use crate::array::{col2im, im2col, Array, Conv2dGeometry};
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Validates NCHW input and returns `(batch, channels, h, w)`.
+fn nchw(shape: &[usize], op: &'static str) -> Result<(usize, usize, usize, usize)> {
+    if shape.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            shape: shape.to_vec(),
+            reason: format!("{op} expects NCHW rank-4 input"),
+        });
+    }
+    Ok((shape[0], shape[1], shape[2], shape[3]))
+}
+
+impl Tensor {
+    /// Standard 2-D convolution.
+    ///
+    /// * `self` — input `[batch, in_c, h, w]`
+    /// * `weight` — `[out_c, in_c, k, k]`
+    /// * `bias` — optional `[out_c]`
+    ///
+    /// Lowered to GEMM via `im2col`; the backward pass recomputes the column
+    /// matrix rather than caching it, trading FLOPs for memory (the graphs
+    /// built by the EDD supernet hold many convolution nodes alive at once).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/shape mismatches or a kernel larger than the
+    /// padded input.
+    pub fn conv2d(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Tensor> {
+        let x_shape = self.shape();
+        let w_shape = weight.shape();
+        let (b, in_c, h, w) = nchw(&x_shape, "conv2d")?;
+        if w_shape.len() != 4 || w_shape[1] != in_c || w_shape[2] != w_shape[3] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: x_shape.clone(),
+                rhs: w_shape.clone(),
+                op: "conv2d",
+            });
+        }
+        let (out_c, k) = (w_shape[0], w_shape[2]);
+        if stride == 0 {
+            return Err(TensorError::InvalidArgument("stride must be >= 1".into()));
+        }
+        if h + 2 * padding < k || w + 2 * padding < k {
+            return Err(TensorError::InvalidShape {
+                shape: x_shape.clone(),
+                reason: format!("kernel {k} larger than padded input {h}x{w}+{padding}"),
+            });
+        }
+        if let Some(bt) = bias {
+            if bt.shape() != [out_c] {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: bt.shape(),
+                    rhs: vec![out_c],
+                    op: "conv2d bias",
+                });
+            }
+        }
+        let geom = Conv2dGeometry {
+            in_channels: in_c,
+            in_h: h,
+            in_w: w,
+            kernel: k,
+            stride,
+            padding,
+        };
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let w2 = weight.value().reshape(&[out_c, in_c * k * k])?;
+        let xval = self.value_clone();
+        let img = in_c * h * w;
+        let mut out = Array::zeros(&[b, out_c, oh, ow]);
+        for bi in 0..b {
+            let cols = im2col(&xval.data()[bi * img..(bi + 1) * img], &geom);
+            let y = w2.matmul(&cols)?; // [out_c, oh*ow]
+            let dst = &mut out.data_mut()[bi * out_c * oh * ow..(bi + 1) * out_c * oh * ow];
+            dst.copy_from_slice(y.data());
+        }
+        if let Some(bt) = bias {
+            let bv = bt.value_clone();
+            let plane = oh * ow;
+            for bi in 0..b {
+                for c in 0..out_c {
+                    let base = (bi * out_c + c) * plane;
+                    let bval = bv.data()[c];
+                    for v in &mut out.data_mut()[base..base + plane] {
+                        *v += bval;
+                    }
+                }
+            }
+        }
+
+        let x_t = self.clone();
+        let w_t = weight.clone();
+        let b_t = bias.cloned();
+        let w2_saved = w2;
+        let mut parents = vec![self.clone(), weight.clone()];
+        if let Some(bt) = bias {
+            parents.push(bt.clone());
+        }
+        Ok(Tensor::from_op(
+            out,
+            parents,
+            Box::new(move |g| {
+                let plane = oh * ow;
+                // Bias gradient: sum over batch and spatial dims.
+                if let Some(bt) = &b_t {
+                    if bt.requires_grad() {
+                        let mut db = Array::zeros(&[out_c]);
+                        for bi in 0..b {
+                            for c in 0..out_c {
+                                let base = (bi * out_c + c) * plane;
+                                db.data_mut()[c] +=
+                                    g.data()[base..base + plane].iter().sum::<f32>();
+                            }
+                        }
+                        bt.accumulate_grad(&db);
+                    }
+                }
+                let need_x = x_t.requires_grad();
+                let need_w = w_t.requires_grad();
+                if !need_x && !need_w {
+                    return;
+                }
+                let mut dw2 = Array::zeros(&[out_c, in_c * k * k]);
+                let mut dx = Array::zeros(&[b, in_c, h, w]);
+                let w2t = w2_saved.transpose2d().expect("rank-2");
+                for bi in 0..b {
+                    let gy = Array::from_vec(
+                        g.data()[bi * out_c * plane..(bi + 1) * out_c * plane].to_vec(),
+                        &[out_c, plane],
+                    )
+                    .expect("grad slice");
+                    // Recompute the column matrix for this image.
+                    let cols = im2col(&xval.data()[bi * img..(bi + 1) * img], &geom);
+                    if need_w {
+                        let colst = cols.transpose2d().expect("rank-2");
+                        let d = gy.matmul(&colst).expect("shapes consistent");
+                        dw2.add_scaled_assign(&d, 1.0);
+                    }
+                    if need_x {
+                        let dcols = w2t.matmul(&gy).expect("shapes consistent");
+                        col2im(&dcols, &geom, &mut dx.data_mut()[bi * img..(bi + 1) * img]);
+                    }
+                }
+                if need_w {
+                    w_t.accumulate_grad(
+                        &dw2.reshape(&[out_c, in_c, k, k]).expect("weight reshape"),
+                    );
+                }
+                if need_x {
+                    x_t.accumulate_grad(&dx);
+                }
+            }),
+        ))
+    }
+
+    /// Depthwise 2-D convolution: each channel is convolved with its own
+    /// `k×k` filter.
+    ///
+    /// * `self` — input `[batch, c, h, w]`
+    /// * `weight` — `[c, k, k]`
+    /// * `bias` — optional `[c]`
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/shape mismatches.
+    pub fn dwconv2d(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Tensor> {
+        let x_shape = self.shape();
+        let w_shape = weight.shape();
+        let (b, c, h, w) = nchw(&x_shape, "dwconv2d")?;
+        if w_shape.len() != 3 || w_shape[0] != c || w_shape[1] != w_shape[2] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: x_shape.clone(),
+                rhs: w_shape.clone(),
+                op: "dwconv2d",
+            });
+        }
+        let k = w_shape[1];
+        if stride == 0 {
+            return Err(TensorError::InvalidArgument("stride must be >= 1".into()));
+        }
+        if h + 2 * padding < k || w + 2 * padding < k {
+            return Err(TensorError::InvalidShape {
+                shape: x_shape.clone(),
+                reason: "kernel larger than padded input".into(),
+            });
+        }
+        if let Some(bt) = bias {
+            if bt.shape() != [c] {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: bt.shape(),
+                    rhs: vec![c],
+                    op: "dwconv2d bias",
+                });
+            }
+        }
+        let oh = (h + 2 * padding - k) / stride + 1;
+        let ow = (w + 2 * padding - k) / stride + 1;
+        let xval = self.value_clone();
+        let wval = weight.value_clone();
+        let mut out = Array::zeros(&[b, c, oh, ow]);
+        let pad = padding as isize;
+        for bi in 0..b {
+            for ci in 0..c {
+                let src = &xval.data()[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
+                let ker = &wval.data()[ci * k * k..(ci + 1) * k * k];
+                let dst = &mut out.data_mut()[(bi * c + ci) * oh * ow..(bi * c + ci + 1) * oh * ow];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..k {
+                            let sy = (oy * stride) as isize + ky as isize - pad;
+                            if sy < 0 || sy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let sx = (ox * stride) as isize + kx as isize - pad;
+                                if sx >= 0 && sx < w as isize {
+                                    acc += src[sy as usize * w + sx as usize] * ker[ky * k + kx];
+                                }
+                            }
+                        }
+                        dst[oy * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        if let Some(bt) = bias {
+            let bv = bt.value_clone();
+            let plane = oh * ow;
+            for bi in 0..b {
+                for ci in 0..c {
+                    let base = (bi * c + ci) * plane;
+                    let bval = bv.data()[ci];
+                    for v in &mut out.data_mut()[base..base + plane] {
+                        *v += bval;
+                    }
+                }
+            }
+        }
+
+        let x_t = self.clone();
+        let w_t = weight.clone();
+        let b_t = bias.cloned();
+        let mut parents = vec![self.clone(), weight.clone()];
+        if let Some(bt) = bias {
+            parents.push(bt.clone());
+        }
+        Ok(Tensor::from_op(
+            out,
+            parents,
+            Box::new(move |g| {
+                let plane = oh * ow;
+                if let Some(bt) = &b_t {
+                    if bt.requires_grad() {
+                        let mut db = Array::zeros(&[c]);
+                        for bi in 0..b {
+                            for ci in 0..c {
+                                let base = (bi * c + ci) * plane;
+                                db.data_mut()[ci] +=
+                                    g.data()[base..base + plane].iter().sum::<f32>();
+                            }
+                        }
+                        bt.accumulate_grad(&db);
+                    }
+                }
+                let need_x = x_t.requires_grad();
+                let need_w = w_t.requires_grad();
+                if !need_x && !need_w {
+                    return;
+                }
+                let mut dx = Array::zeros(&[b, c, h, w]);
+                let mut dw = Array::zeros(&[c, k, k]);
+                for bi in 0..b {
+                    for ci in 0..c {
+                        let src = &xval.data()[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
+                        let ker = &wval.data()[ci * k * k..(ci + 1) * k * k];
+                        let gy = &g.data()[(bi * c + ci) * plane..(bi * c + ci + 1) * plane];
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let go = gy[oy * ow + ox];
+                                if go == 0.0 {
+                                    continue;
+                                }
+                                for ky in 0..k {
+                                    let sy = (oy * stride) as isize + ky as isize - pad;
+                                    if sy < 0 || sy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..k {
+                                        let sx = (ox * stride) as isize + kx as isize - pad;
+                                        if sx >= 0 && sx < w as isize {
+                                            let si = sy as usize * w + sx as usize;
+                                            if need_w {
+                                                dw.data_mut()[ci * k * k + ky * k + kx] +=
+                                                    go * src[si];
+                                            }
+                                            if need_x {
+                                                dx.data_mut()[(bi * c + ci) * h * w + si] +=
+                                                    go * ker[ky * k + kx];
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if need_w {
+                    w_t.accumulate_grad(&dw);
+                }
+                if need_x {
+                    x_t.accumulate_grad(&dx);
+                }
+            }),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv1x1_is_channel_mixing() {
+        // A 1x1 conv with identity-ish weights passes channels through.
+        let x = Tensor::param(
+            Array::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap(),
+        );
+        // weight [2,2,1,1] = identity
+        let w = Tensor::param(Array::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]).unwrap());
+        let y = x.conv2d(&w, None, 1, 0).unwrap();
+        assert_eq!(y.value().data(), x.value().data());
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 1 channel 3x3 input, 2x2 kernel of ones, stride 1, no padding:
+        // each output = sum of 2x2 window.
+        let x = Tensor::param(
+            Array::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap(),
+        );
+        let w = Tensor::param(Array::ones(&[1, 1, 2, 2]));
+        let y = x.conv2d(&w, None, 1, 0).unwrap();
+        assert_eq!(y.shape(), vec![1, 1, 2, 2]);
+        assert_eq!(y.value().data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv2d_bias_adds_per_channel() {
+        let x = Tensor::param(Array::zeros(&[1, 1, 2, 2]));
+        let w = Tensor::param(Array::ones(&[3, 1, 1, 1]));
+        let bias = Tensor::param(Array::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap());
+        let y = x.conv2d(&w, Some(&bias), 1, 0).unwrap();
+        let v = y.value();
+        assert_eq!(&v.data()[0..4], &[1.0; 4]);
+        assert_eq!(&v.data()[4..8], &[2.0; 4]);
+        assert_eq!(&v.data()[8..12], &[3.0; 4]);
+    }
+
+    #[test]
+    fn conv2d_stride_and_padding_shapes() {
+        let x = Tensor::param(Array::zeros(&[2, 3, 32, 32]));
+        let w = Tensor::param(Array::zeros(&[8, 3, 3, 3]));
+        let y = x.conv2d(&w, None, 2, 1).unwrap();
+        assert_eq!(y.shape(), vec![2, 8, 16, 16]);
+    }
+
+    #[test]
+    fn conv2d_validates_shapes() {
+        let x = Tensor::param(Array::zeros(&[1, 3, 8, 8]));
+        let w_bad_in = Tensor::param(Array::zeros(&[4, 2, 3, 3]));
+        assert!(x.conv2d(&w_bad_in, None, 1, 1).is_err());
+        let w = Tensor::param(Array::zeros(&[4, 3, 3, 3]));
+        let b_bad = Tensor::param(Array::zeros(&[5]));
+        assert!(x.conv2d(&w, Some(&b_bad), 1, 1).is_err());
+        assert!(x.conv2d(&w, None, 0, 1).is_err());
+        let x3 = Tensor::param(Array::zeros(&[3, 8, 8]));
+        assert!(x3.conv2d(&w, None, 1, 1).is_err());
+    }
+
+    #[test]
+    fn conv2d_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::param(Array::randn(&[1, 2, 5, 5], 1.0, &mut rng));
+        let w = Tensor::param(Array::randn(&[3, 2, 3, 3], 0.5, &mut rng));
+        let bias = Tensor::param(Array::randn(&[3], 0.5, &mut rng));
+        let f =
+            |x: &Tensor, w: &Tensor, b: &Tensor| x.conv2d(w, Some(b), 2, 1).unwrap().square().sum();
+        let loss = f(&x, &w, &bias);
+        loss.backward();
+        // Check a few weight entries by central differences.
+        let eps = 1e-2;
+        for idx in [0usize, 7, 20] {
+            let orig = w.value().data()[idx];
+            w.update_value(|a| a.data_mut()[idx] = orig + eps);
+            let lp = f(&x, &w, &bias).item();
+            w.update_value(|a| a.data_mut()[idx] = orig - eps);
+            let lm = f(&x, &w, &bias).item();
+            w.update_value(|a| a.data_mut()[idx] = orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = w.grad().unwrap().data()[idx];
+            assert!(
+                (num - ana).abs() / num.abs().max(1.0) < 5e-2,
+                "idx {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+        // And an input entry.
+        let idx = 12;
+        let orig = x.value().data()[idx];
+        x.update_value(|a| a.data_mut()[idx] = orig + eps);
+        let lp = f(&x, &w, &bias).item();
+        x.update_value(|a| a.data_mut()[idx] = orig - eps);
+        let lm = f(&x, &w, &bias).item();
+        x.update_value(|a| a.data_mut()[idx] = orig);
+        let num = (lp - lm) / (2.0 * eps);
+        let ana = x.grad().unwrap().data()[idx];
+        assert!((num - ana).abs() / num.abs().max(1.0) < 5e-2);
+    }
+
+    #[test]
+    fn dwconv_known_values() {
+        // 2 channels, k=1 kernels [2],[3] scale channels independently.
+        let x = Tensor::param(
+            Array::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap(),
+        );
+        let w = Tensor::param(Array::from_vec(vec![2.0, 3.0], &[2, 1, 1]).unwrap());
+        let y = x.dwconv2d(&w, None, 1, 0).unwrap();
+        assert_eq!(
+            y.value().data(),
+            &[0.0, 2.0, 4.0, 6.0, 12.0, 15.0, 18.0, 21.0]
+        );
+    }
+
+    #[test]
+    fn dwconv_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Tensor::param(Array::randn(&[2, 3, 6, 6], 1.0, &mut rng));
+        let w = Tensor::param(Array::randn(&[3, 3, 3], 0.5, &mut rng));
+        let f = |x: &Tensor, w: &Tensor| x.dwconv2d(w, None, 2, 1).unwrap().square().sum();
+        let loss = f(&x, &w);
+        loss.backward();
+        let eps = 1e-2;
+        for idx in [0usize, 13, 26] {
+            let orig = w.value().data()[idx];
+            w.update_value(|a| a.data_mut()[idx] = orig + eps);
+            let lp = f(&x, &w).item();
+            w.update_value(|a| a.data_mut()[idx] = orig - eps);
+            let lm = f(&x, &w).item();
+            w.update_value(|a| a.data_mut()[idx] = orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = w.grad().unwrap().data()[idx];
+            assert!(
+                (num - ana).abs() / num.abs().max(1.0) < 5e-2,
+                "idx {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn dwconv_validates_shapes() {
+        let x = Tensor::param(Array::zeros(&[1, 3, 8, 8]));
+        let w_bad = Tensor::param(Array::zeros(&[2, 3, 3]));
+        assert!(x.dwconv2d(&w_bad, None, 1, 1).is_err());
+        let w = Tensor::param(Array::zeros(&[3, 3, 3]));
+        assert!(x.dwconv2d(&w, None, 0, 1).is_err());
+        let b_bad = Tensor::param(Array::zeros(&[4]));
+        assert!(x.dwconv2d(&w, Some(&b_bad), 1, 1).is_err());
+    }
+
+    #[test]
+    fn dwconv_stride_downsamples() {
+        let x = Tensor::param(Array::zeros(&[1, 4, 16, 16]));
+        let w = Tensor::param(Array::zeros(&[4, 5, 5]));
+        let y = x.dwconv2d(&w, None, 2, 2).unwrap();
+        assert_eq!(y.shape(), vec![1, 4, 8, 8]);
+    }
+}

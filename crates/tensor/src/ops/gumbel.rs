@@ -1,0 +1,185 @@
+//! Gumbel-Softmax sampling — the differentiable discrete-choice primitive
+//! used by EDD for both operator selection (`Θ`) and quantization selection
+//! (`Φ`).
+//!
+//! `gumbel_softmax(logits, τ)` draws Gumbel noise `g_i = −ln(−ln u_i)` and
+//! returns `softmax((logits + g) / τ)`. As `τ → 0` the samples approach
+//! one-hot; the *hard* variant forwards an exact one-hot via the
+//! straight-through estimator while backpropagating through the soft sample.
+
+use crate::array::Array;
+use crate::error::Result;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Draws standard Gumbel(0,1) noise with the given shape.
+#[must_use]
+pub fn gumbel_noise<R: Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Array {
+    let n = crate::shape::num_elements(shape);
+    let data = (0..n)
+        .map(|_| {
+            let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+            -(-u.ln()).ln()
+        })
+        .collect();
+    Array::from_vec(data, shape).expect("length matches shape")
+}
+
+/// Differentiable Gumbel-Softmax sample over the last axis of `logits`.
+///
+/// * `tau` — temperature; smaller is closer to one-hot.
+/// * `hard` — if true, forward an exact one-hot (argmax of the soft sample)
+///   with straight-through gradients; if false, forward the soft sample.
+///
+/// Composed from primitive differentiable ops, so gradients flow to
+/// `logits` automatically. The Gumbel noise is treated as a constant.
+///
+/// # Errors
+///
+/// Returns an error for rank-0 logits.
+pub fn gumbel_softmax<R: Rng + ?Sized>(
+    logits: &Tensor,
+    tau: f32,
+    hard: bool,
+    rng: &mut R,
+) -> Result<Tensor> {
+    let shape = logits.shape();
+    let noise = Tensor::constant(gumbel_noise(&shape, rng));
+    let soft = logits.add(&noise)?.mul_scalar(1.0 / tau).softmax()?;
+    if !hard {
+        return Ok(soft);
+    }
+    // Straight-through: y = onehot − detach(soft) + soft.
+    let sval = soft.value_clone();
+    let c = *shape.last().expect("rank >= 1 checked by softmax");
+    let rows = sval.len() / c;
+    let mut onehot = Array::zeros(&shape);
+    for r in 0..rows {
+        let row = &sval.data()[r * c..(r + 1) * c];
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        onehot.data_mut()[r * c + best] = 1.0;
+    }
+    let hard_const = Tensor::constant(onehot);
+    hard_const.sub(&soft.detach())?.add(&soft)
+}
+
+/// Deterministic softmax selection (no Gumbel noise) — the plain DARTS-style
+/// mixture used as an ablation against Gumbel-Softmax sampling.
+///
+/// # Errors
+///
+/// Returns an error for rank-0 logits.
+pub fn softmax_selection(logits: &Tensor, tau: f32) -> Result<Tensor> {
+    logits.mul_scalar(1.0 / tau).softmax()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_has_gumbel_mean() {
+        // Gumbel(0,1) mean is the Euler–Mascheroni constant ~0.5772.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = gumbel_noise(&[20_000], &mut rng);
+        assert!((g.mean() - 0.5772).abs() < 0.02, "mean {}", g.mean());
+    }
+
+    #[test]
+    fn soft_sample_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let logits = Tensor::param(Array::from_vec(vec![1.0, 0.0, -1.0], &[3]).unwrap());
+        let y = gumbel_softmax(&logits, 1.0, false, &mut rng).unwrap();
+        assert!((y.value().data().iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn hard_sample_is_one_hot() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let logits = Tensor::param(Array::from_vec(vec![2.0, 0.0, -2.0], &[3]).unwrap());
+        let y = gumbel_softmax(&logits, 0.5, true, &mut rng).unwrap();
+        let v = y.value();
+        let ones = v.data().iter().filter(|&&x| (x - 1.0).abs() < 1e-6).count();
+        let zeros = v.data().iter().filter(|&&x| x.abs() < 1e-6).count();
+        assert_eq!(ones, 1);
+        assert_eq!(zeros, 2);
+    }
+
+    #[test]
+    fn hard_sample_backprops_to_logits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let logits = Tensor::param(Array::from_vec(vec![1.0, 0.5, 0.0], &[3]).unwrap());
+        let y = gumbel_softmax(&logits, 1.0, true, &mut rng).unwrap();
+        let w = Tensor::constant(Array::from_vec(vec![3.0, 2.0, 1.0], &[3]).unwrap());
+        y.mul(&w).unwrap().sum().backward();
+        let g = logits.grad().unwrap();
+        assert!(
+            g.data().iter().any(|&v| v != 0.0),
+            "gradient must reach logits"
+        );
+        // softmax-style gradients sum to ~0 per row
+        assert!(g.data().iter().sum::<f32>().abs() < 1e-5);
+    }
+
+    #[test]
+    fn low_temperature_concentrates() {
+        // With a strong logit gap and low tau, the dominant class is picked
+        // nearly always.
+        let mut rng = StdRng::seed_from_u64(4);
+        let logits = Tensor::param(Array::from_vec(vec![4.0, 0.0], &[2]).unwrap());
+        let mut wins = 0;
+        for _ in 0..200 {
+            let y = gumbel_softmax(&logits, 0.1, true, &mut rng).unwrap();
+            if y.value().data()[0] > 0.5 {
+                wins += 1;
+            }
+        }
+        assert!(wins > 180, "dominant class won only {wins}/200");
+    }
+
+    #[test]
+    fn sampling_frequency_tracks_logits() {
+        // Empirical selection frequencies follow softmax(logits).
+        let mut rng = StdRng::seed_from_u64(5);
+        let logits = Tensor::param(Array::from_vec(vec![1.0, 0.0], &[2]).unwrap());
+        let trials = 2000;
+        let mut first = 0;
+        for _ in 0..trials {
+            let y = gumbel_softmax(&logits, 1.0, true, &mut rng).unwrap();
+            if y.value().data()[0] > 0.5 {
+                first += 1;
+            }
+        }
+        let p = first as f32 / trials as f32;
+        let expect = 1.0f32.exp() / (1.0f32.exp() + 1.0);
+        assert!((p - expect).abs() < 0.05, "freq {p} vs softmax {expect}");
+    }
+
+    #[test]
+    fn softmax_selection_is_deterministic() {
+        let logits = Tensor::param(Array::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let a = softmax_selection(&logits, 1.0).unwrap();
+        let b = softmax_selection(&logits, 1.0).unwrap();
+        assert_eq!(a.value().data(), b.value().data());
+    }
+
+    #[test]
+    fn batched_rows_each_one_hot() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let logits = Tensor::param(Array::zeros(&[4, 3]));
+        let y = gumbel_softmax(&logits, 0.5, true, &mut rng).unwrap();
+        let v = y.value();
+        for r in 0..4 {
+            let row = &v.data()[r * 3..(r + 1) * 3];
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            assert_eq!(row.iter().filter(|&&x| (x - 1.0).abs() < 1e-6).count(), 1);
+        }
+    }
+}

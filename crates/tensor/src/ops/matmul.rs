@@ -1,0 +1,60 @@
+//! Matrix multiplication with gradients.
+
+use crate::error::Result;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// 2-D matrix multiplication `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Gradients: `dA = dY · Bᵀ`, `dB = Aᵀ · dY`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank-2 with matching inner
+    /// dimensions.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let value = self.value().matmul(&other.value())?;
+        let (a, b) = (self.clone(), other.clone());
+        let (va, vb) = (self.value_clone(), other.value_clone());
+        Ok(Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let bt = vb.transpose2d().expect("rank-2 checked");
+                    a.accumulate_grad(&g.matmul(&bt).expect("shapes consistent"));
+                }
+                if b.requires_grad() {
+                    let at = va.transpose2d().expect("rank-2 checked");
+                    b.accumulate_grad(&at.matmul(g).expect("shapes consistent"));
+                }
+            }),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Array;
+
+    #[test]
+    fn matmul_forward_and_grads() {
+        let a = Tensor::param(Array::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let b = Tensor::param(Array::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap());
+        let y = a.matmul(&b).unwrap();
+        assert_eq!(y.value().data(), &[19.0, 22.0, 43.0, 50.0]);
+        y.sum().backward();
+        // dA = ones(2,2) @ B^T
+        assert_eq!(a.grad().unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        // dB = A^T @ ones(2,2)
+        assert_eq!(b.grad().unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_shape_errors_propagate() {
+        let a = Tensor::param(Array::ones(&[2, 3]));
+        let b = Tensor::param(Array::ones(&[2, 3]));
+        assert!(a.matmul(&b).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Differentiable operations on [`crate::Tensor`], grouped by family.
+
+mod arith;
+mod conv;
+pub mod gumbel;
+mod matmul;
+mod norm;
+mod pool;
+mod reduce;
+mod shape_ops;
+pub mod softmax;
+mod unary;
+
+pub use norm::BatchNormOutput;
+pub use unary::quantization_error;

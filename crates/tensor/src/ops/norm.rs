@@ -1,0 +1,272 @@
+//! Fused 2-D batch normalization (training mode) with hand-derived backward.
+//!
+//! Inference-mode normalization is composed from broadcast primitives in the
+//! `edd-nn` layer; the fused op here handles the batch-statistics path where
+//! the mean/variance themselves depend on the input.
+
+use crate::array::Array;
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Output of [`Tensor::batch_norm2d_train`]: the normalized activations plus
+/// the batch statistics needed to update running estimates.
+#[derive(Debug, Clone)]
+pub struct BatchNormOutput {
+    /// Normalized, scaled and shifted activations (same shape as the input).
+    pub output: Tensor,
+    /// Per-channel batch mean `[c]`.
+    pub batch_mean: Array,
+    /// Per-channel (biased) batch variance `[c]`.
+    pub batch_var: Array,
+}
+
+impl Tensor {
+    /// Training-mode batch normalization over an NCHW input using batch
+    /// statistics computed over the `(batch, h, w)` axes.
+    ///
+    /// `gamma` and `beta` are per-channel scale and shift `[c]`. Gradients
+    /// flow to the input, `gamma` and `beta`, including the dependence of
+    /// the batch statistics on the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the input is rank-4 and `gamma`/`beta` have
+    /// shape `[c]`.
+    pub fn batch_norm2d_train(
+        &self,
+        gamma: &Tensor,
+        beta: &Tensor,
+        eps: f32,
+    ) -> Result<BatchNormOutput> {
+        let shape = self.shape();
+        if shape.len() != 4 {
+            return Err(TensorError::InvalidShape {
+                shape,
+                reason: "batch_norm2d expects NCHW".into(),
+            });
+        }
+        let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        if gamma.shape() != [c] || beta.shape() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: gamma.shape(),
+                rhs: vec![c],
+                op: "batch_norm2d gamma/beta",
+            });
+        }
+        let n = (b * h * w) as f32;
+        let plane = h * w;
+        let xval = self.value_clone();
+        let gval = gamma.value_clone();
+        let bval = beta.value_clone();
+
+        let mut mean = Array::zeros(&[c]);
+        let mut var = Array::zeros(&[c]);
+        for ci in 0..c {
+            let mut acc = 0.0f32;
+            for bi in 0..b {
+                let base = (bi * c + ci) * plane;
+                acc += xval.data()[base..base + plane].iter().sum::<f32>();
+            }
+            let mu = acc / n;
+            mean.data_mut()[ci] = mu;
+            let mut vacc = 0.0f32;
+            for bi in 0..b {
+                let base = (bi * c + ci) * plane;
+                for &v in &xval.data()[base..base + plane] {
+                    let d = v - mu;
+                    vacc += d * d;
+                }
+            }
+            var.data_mut()[ci] = vacc / n;
+        }
+
+        // Normalized activations (saved for backward).
+        let mut xhat = Array::zeros(&shape);
+        let mut out = Array::zeros(&shape);
+        for ci in 0..c {
+            let mu = mean.data()[ci];
+            let inv_std = 1.0 / (var.data()[ci] + eps).sqrt();
+            let ga = gval.data()[ci];
+            let be = bval.data()[ci];
+            for bi in 0..b {
+                let base = (bi * c + ci) * plane;
+                for i in base..base + plane {
+                    let xh = (xval.data()[i] - mu) * inv_std;
+                    xhat.data_mut()[i] = xh;
+                    out.data_mut()[i] = ga * xh + be;
+                }
+            }
+        }
+
+        let x_t = self.clone();
+        let g_t = gamma.clone();
+        let b_t = beta.clone();
+        let var_saved = var.clone();
+        let xhat_saved = xhat;
+        let gval_saved = gval;
+        let output = Tensor::from_op(
+            out,
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            Box::new(move |g| {
+                // Per-channel reductions of the output gradient.
+                let mut dbeta = Array::zeros(&[c]);
+                let mut dgamma = Array::zeros(&[c]);
+                for ci in 0..c {
+                    let mut sb = 0.0f32;
+                    let mut sg = 0.0f32;
+                    for bi in 0..b {
+                        let base = (bi * c + ci) * plane;
+                        for i in base..base + plane {
+                            sb += g.data()[i];
+                            sg += g.data()[i] * xhat_saved.data()[i];
+                        }
+                    }
+                    dbeta.data_mut()[ci] = sb;
+                    dgamma.data_mut()[ci] = sg;
+                }
+                if b_t.requires_grad() {
+                    b_t.accumulate_grad(&dbeta);
+                }
+                if g_t.requires_grad() {
+                    g_t.accumulate_grad(&dgamma);
+                }
+                if x_t.requires_grad() {
+                    // dx = gamma * inv_std / n * (n*g - sum(g) - xhat * sum(g*xhat))
+                    let mut dx = Array::zeros(&[b, c, h, w]);
+                    for ci in 0..c {
+                        let inv_std = 1.0 / (var_saved.data()[ci] + eps).sqrt();
+                        let ga = gval_saved.data()[ci];
+                        let sg = dbeta.data()[ci];
+                        let sgx = dgamma.data()[ci];
+                        let k = ga * inv_std / n;
+                        for bi in 0..b {
+                            let base = (bi * c + ci) * plane;
+                            for i in base..base + plane {
+                                dx.data_mut()[i] =
+                                    k * (n * g.data()[i] - sg - xhat_saved.data()[i] * sgx);
+                            }
+                        }
+                    }
+                    x_t.accumulate_grad(&dx);
+                }
+            }),
+        );
+        Ok(BatchNormOutput {
+            output,
+            batch_mean: mean,
+            batch_var: var,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes_to_zero_mean_unit_var() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::param(Array::randn(&[4, 2, 3, 3], 2.0, &mut rng));
+        let gamma = Tensor::param(Array::ones(&[2]));
+        let beta = Tensor::param(Array::zeros(&[2]));
+        let bn = x.batch_norm2d_train(&gamma, &beta, 1e-5).unwrap();
+        let v = bn.output.value();
+        // per-channel mean ~0, var ~1
+        let n = 4 * 3 * 3;
+        for ci in 0..2 {
+            let mut acc = 0.0f32;
+            let mut acc2 = 0.0f32;
+            for bi in 0..4 {
+                let base = (bi * 2 + ci) * 9;
+                for &val in &v.data()[base..base + 9] {
+                    acc += val;
+                    acc2 += val * val;
+                }
+            }
+            let mean = acc / n as f32;
+            let var = acc2 / n as f32 - mean * mean;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_scale_shift() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::param(Array::randn(&[2, 1, 2, 2], 1.0, &mut rng));
+        let gamma = Tensor::param(Array::from_vec(vec![3.0], &[1]).unwrap());
+        let beta = Tensor::param(Array::from_vec(vec![5.0], &[1]).unwrap());
+        let bn = x.batch_norm2d_train(&gamma, &beta, 1e-5).unwrap();
+        let v = bn.output.value();
+        let mean: f32 = v.data().iter().sum::<f32>() / 8.0;
+        assert!((mean - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn batch_stats_reported() {
+        let x = Tensor::param(Array::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap());
+        let gamma = Tensor::param(Array::ones(&[1]));
+        let beta = Tensor::param(Array::zeros(&[1]));
+        let bn = x.batch_norm2d_train(&gamma, &beta, 1e-5).unwrap();
+        assert!((bn.batch_mean.data()[0] - 2.5).abs() < 1e-6);
+        assert!((bn.batch_var.data()[0] - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::param(Array::randn(&[2, 2, 3, 3], 1.0, &mut rng));
+        let gamma = Tensor::param(Array::rand_uniform(&[2], 0.5, 1.5, &mut rng));
+        let beta = Tensor::param(Array::randn(&[2], 0.3, &mut rng));
+        // Weighted loss so gradients differ per element.
+        let wts = Tensor::constant(Array::randn(&[2, 2, 3, 3], 1.0, &mut rng));
+        let f = |x: &Tensor, ga: &Tensor, be: &Tensor| {
+            x.batch_norm2d_train(ga, be, 1e-5)
+                .unwrap()
+                .output
+                .mul(&wts)
+                .unwrap()
+                .sum()
+        };
+        f(&x, &gamma, &beta).backward();
+        let eps = 1e-2;
+        // input entry
+        for idx in [0usize, 17, 30] {
+            let orig = x.value().data()[idx];
+            x.update_value(|a| a.data_mut()[idx] = orig + eps);
+            let lp = f(&x, &gamma, &beta).item();
+            x.update_value(|a| a.data_mut()[idx] = orig - eps);
+            let lm = f(&x, &gamma, &beta).item();
+            x.update_value(|a| a.data_mut()[idx] = orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = x.grad().unwrap().data()[idx];
+            assert!(
+                (num - ana).abs() < 5e-2 * num.abs().max(1.0),
+                "x[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // gamma entry
+        let orig = gamma.value().data()[0];
+        gamma.update_value(|a| a.data_mut()[0] = orig + eps);
+        let lp = f(&x, &gamma, &beta).item();
+        gamma.update_value(|a| a.data_mut()[0] = orig - eps);
+        let lm = f(&x, &gamma, &beta).item();
+        gamma.update_value(|a| a.data_mut()[0] = orig);
+        let num = (lp - lm) / (2.0 * eps);
+        let ana = gamma.grad().unwrap().data()[0];
+        assert!((num - ana).abs() < 5e-2 * num.abs().max(1.0));
+    }
+
+    #[test]
+    fn validates_shapes() {
+        let x = Tensor::param(Array::zeros(&[2, 3, 4, 4]));
+        let g_bad = Tensor::param(Array::zeros(&[2]));
+        let b_ok = Tensor::param(Array::zeros(&[3]));
+        assert!(x.batch_norm2d_train(&g_bad, &b_ok, 1e-5).is_err());
+        let x3 = Tensor::param(Array::zeros(&[3, 4, 4]));
+        let g3 = Tensor::param(Array::zeros(&[4]));
+        assert!(x3.batch_norm2d_train(&g3, &g3, 1e-5).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Structural ops: concatenation, narrowing (slicing) and zero-padding,
+//! with gradients.
+
+use crate::array::Array;
+use crate::error::{Result, TensorError};
+use crate::shape::check_axis;
+use crate::tensor::Tensor;
+
+/// Copies a block-contiguous region along `axis`.
+///
+/// Both arrays must agree on all dims except `axis`.
+fn copy_along_axis(dst: &mut Array, dst_offset: usize, src: &Array, axis: usize) {
+    let dst_shape = dst.shape().to_vec();
+    let src_shape = src.shape().to_vec();
+    let outer: usize = src_shape[..axis].iter().product();
+    let inner: usize = src_shape[axis + 1..].iter().product();
+    let src_axis = src_shape[axis];
+    let dst_axis = dst_shape[axis];
+    for o in 0..outer {
+        for a in 0..src_axis {
+            let s_base = (o * src_axis + a) * inner;
+            let d_base = (o * dst_axis + dst_offset + a) * inner;
+            dst.data_mut()[d_base..d_base + inner]
+                .copy_from_slice(&src.data()[s_base..s_base + inner]);
+        }
+    }
+}
+
+/// Extracts a block along `axis` (the adjoint of [`copy_along_axis`]).
+fn slice_along_axis(src: &Array, axis: usize, start: usize, len: usize) -> Array {
+    let src_shape = src.shape().to_vec();
+    let mut out_shape = src_shape.clone();
+    out_shape[axis] = len;
+    let mut out = Array::zeros(&out_shape);
+    let outer: usize = src_shape[..axis].iter().product();
+    let inner: usize = src_shape[axis + 1..].iter().product();
+    let src_axis = src_shape[axis];
+    for o in 0..outer {
+        for a in 0..len {
+            let s_base = (o * src_axis + start + a) * inner;
+            let d_base = (o * len + a) * inner;
+            out.data_mut()[d_base..d_base + inner]
+                .copy_from_slice(&src.data()[s_base..s_base + inner]);
+        }
+    }
+    out
+}
+
+impl Tensor {
+    /// Concatenates tensors along `axis`. All inputs must agree on every
+    /// other dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty input list, an out-of-range axis, or
+    /// mismatched shapes.
+    pub fn concat(tensors: &[Tensor], axis: usize) -> Result<Tensor> {
+        let Some(first) = tensors.first() else {
+            return Err(TensorError::InvalidArgument(
+                "concat of empty tensor list".into(),
+            ));
+        };
+        let base_shape = first.shape();
+        check_axis(axis, base_shape.len())?;
+        let mut axis_total = 0usize;
+        for t in tensors {
+            let s = t.shape();
+            if s.len() != base_shape.len()
+                || s.iter()
+                    .zip(&base_shape)
+                    .enumerate()
+                    .any(|(i, (a, b))| i != axis && a != b)
+            {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: base_shape.clone(),
+                    rhs: s,
+                    op: "concat",
+                });
+            }
+            axis_total += s[axis];
+        }
+        let mut out_shape = base_shape.clone();
+        out_shape[axis] = axis_total;
+        let mut value = Array::zeros(&out_shape);
+        let mut offset = 0usize;
+        let mut offsets = Vec::with_capacity(tensors.len());
+        for t in tensors {
+            copy_along_axis(&mut value, offset, &t.value(), axis);
+            offsets.push(offset);
+            offset += t.shape()[axis];
+        }
+        let captured: Vec<Tensor> = tensors.to_vec();
+        Ok(Tensor::from_op(
+            value,
+            tensors.to_vec(),
+            Box::new(move |g| {
+                for (t, &off) in captured.iter().zip(&offsets) {
+                    if t.requires_grad() {
+                        let len = t.shape()[axis];
+                        t.accumulate_grad(&slice_along_axis(g, axis, off, len));
+                    }
+                }
+            }),
+        ))
+    }
+
+    /// Returns the sub-tensor of `len` entries along `axis` starting at
+    /// `start` (a contiguous slice; gradients scatter back into place).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the axis or range is out of bounds or `len`
+    /// is zero.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Result<Tensor> {
+        let shape = self.shape();
+        check_axis(axis, shape.len())?;
+        if len == 0 || start + len > shape[axis] {
+            return Err(TensorError::InvalidArgument(format!(
+                "narrow range {start}..{} out of bounds for axis of size {}",
+                start + len,
+                shape[axis]
+            )));
+        }
+        let value = slice_along_axis(&self.value(), axis, start, len);
+        let a = self.clone();
+        Ok(Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let in_shape = a.value().shape().to_vec();
+                    let mut ga = Array::zeros(&in_shape);
+                    copy_along_axis(&mut ga, start, g, axis);
+                    a.accumulate_grad(&ga);
+                }
+            }),
+        ))
+    }
+
+    /// Zero-pads the last two (spatial) axes of an NCHW tensor by `pad` on
+    /// every side.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the tensor is rank-4.
+    pub fn pad2d(&self, pad: usize) -> Result<Tensor> {
+        let shape = self.shape();
+        if shape.len() != 4 {
+            return Err(TensorError::InvalidShape {
+                shape,
+                reason: "pad2d expects NCHW".into(),
+            });
+        }
+        let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = (h + 2 * pad, w + 2 * pad);
+        let xv = self.value_clone();
+        let mut out = Array::zeros(&[b, c, oh, ow]);
+        for bc in 0..b * c {
+            for y in 0..h {
+                let src = &xv.data()[bc * h * w + y * w..bc * h * w + (y + 1) * w];
+                let d_base = bc * oh * ow + (y + pad) * ow + pad;
+                out.data_mut()[d_base..d_base + w].copy_from_slice(src);
+            }
+        }
+        let a = self.clone();
+        Ok(Tensor::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                if !a.requires_grad() {
+                    return;
+                }
+                let mut ga = Array::zeros(&[b, c, h, w]);
+                for bc in 0..b * c {
+                    for y in 0..h {
+                        let s_base = bc * oh * ow + (y + pad) * ow + pad;
+                        let d = &mut ga.data_mut()[bc * h * w + y * w..bc * h * w + (y + 1) * w];
+                        d.copy_from_slice(&g.data()[s_base..s_base + w]);
+                    }
+                }
+                a.accumulate_grad(&ga);
+            }),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+        Tensor::param(Array::from_vec(v, s).unwrap())
+    }
+
+    #[test]
+    fn concat_axis0_values_and_grads() {
+        let a = t(vec![1.0, 2.0], &[1, 2]);
+        let b = t(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let c = Tensor::concat(&[a.clone(), b.clone()], 0).unwrap();
+        assert_eq!(c.shape(), vec![3, 2]);
+        assert_eq!(c.value().data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let w = Tensor::constant(
+            Array::from_vec((1..=6).map(|v| v as f32).collect(), &[3, 2]).unwrap(),
+        );
+        c.mul(&w).unwrap().sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.0, 2.0]);
+        assert_eq!(b.grad().unwrap().data(), &[3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_axis1_channels() {
+        // The inception-style channel concat.
+        let a = t(vec![1.0; 4], &[1, 1, 2, 2]);
+        let b = t(vec![2.0; 8], &[1, 2, 2, 2]);
+        let c = Tensor::concat(&[a, b], 1).unwrap();
+        assert_eq!(c.shape(), vec![1, 3, 2, 2]);
+        assert_eq!(&c.value().data()[..4], &[1.0; 4]);
+        assert_eq!(&c.value().data()[4..], &[2.0; 8]);
+    }
+
+    #[test]
+    fn concat_validates() {
+        assert!(Tensor::concat(&[], 0).is_err());
+        let a = t(vec![0.0; 4], &[2, 2]);
+        let b = t(vec![0.0; 6], &[2, 3]);
+        assert!(Tensor::concat(&[a.clone(), b], 0).is_err());
+        assert!(Tensor::concat(&[a], 5).is_err());
+    }
+
+    #[test]
+    fn narrow_extracts_and_scatters_grad() {
+        let a = t((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let s = a.narrow(1, 1, 2).unwrap();
+        assert_eq!(s.shape(), vec![2, 2]);
+        assert_eq!(s.value().data(), &[1.0, 2.0, 4.0, 5.0]);
+        s.sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn narrow_validates() {
+        let a = t(vec![0.0; 6], &[2, 3]);
+        assert!(a.narrow(1, 2, 2).is_err());
+        assert!(a.narrow(1, 0, 0).is_err());
+        assert!(a.narrow(2, 0, 1).is_err());
+    }
+
+    #[test]
+    fn narrow_then_concat_roundtrip() {
+        let a = t((0..12).map(|v| v as f32).collect(), &[2, 6]);
+        let left = a.narrow(1, 0, 3).unwrap();
+        let right = a.narrow(1, 3, 3).unwrap();
+        let back = Tensor::concat(&[left, right], 1).unwrap();
+        assert_eq!(back.value().data(), a.value().data());
+    }
+
+    #[test]
+    fn pad2d_centers_input() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let p = a.pad2d(1).unwrap();
+        assert_eq!(p.shape(), vec![1, 1, 4, 4]);
+        let v = p.value_clone();
+        assert_eq!(v.data()[5], 1.0);
+        assert_eq!(v.data()[6], 2.0);
+        assert_eq!(v.data()[0], 0.0);
+        assert_eq!(v.sum(), 10.0);
+        p.sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn pad2d_rejects_non_nchw() {
+        let a = t(vec![0.0; 4], &[2, 2]);
+        assert!(a.pad2d(1).is_err());
+    }
+}

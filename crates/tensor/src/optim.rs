@@ -1,0 +1,318 @@
+//! First-order optimizers over collections of parameter [`Tensor`]s.
+
+use crate::array::Array;
+use crate::tensor::Tensor;
+
+/// Common interface of the optimizers in this crate.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated on
+    /// the tracked parameters. Parameters with no gradient are skipped.
+    fn step(&mut self);
+
+    /// Clears the gradients of all tracked parameters.
+    fn zero_grad(&self);
+
+    /// The parameters tracked by this optimizer.
+    fn params(&self) -> &[Tensor];
+
+    /// Sets the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Stochastic gradient descent with classical momentum and decoupled weight
+/// decay.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Option<Array>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params`.
+    #[must_use]
+    pub fn new(params: Vec<Tensor>, lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        let n = params.len();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            weight_decay,
+            velocity: vec![None; n],
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(mut g) = p.grad() else { continue };
+            if self.weight_decay != 0.0 {
+                let v = p.value_clone();
+                g.add_scaled_assign(&v, self.weight_decay);
+            }
+            let update = if self.momentum != 0.0 {
+                let vel = self.velocity[i].get_or_insert_with(|| Array::zeros(g.shape()));
+                // v <- mu * v + g
+                for (v, &gv) in vel.data_mut().iter_mut().zip(g.data()) {
+                    *v = self.momentum * *v + gv;
+                }
+                vel.clone()
+            } else {
+                g
+            };
+            let lr = self.lr;
+            p.update_value(|val| val.add_scaled_assign(&update, -lr));
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with optional decoupled weight decay
+/// (AdamW-style when `weight_decay > 0`).
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Tensor>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    m: Vec<Option<Array>>,
+    v: Vec<Option<Array>>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard defaults
+    /// `beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`.
+    #[must_use]
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        Self::with_config(params, lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Creates an Adam optimizer with explicit hyperparameters.
+    #[must_use]
+    pub fn with_config(
+        params: Vec<Tensor>,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Self {
+        let n = params.len();
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            m: vec![None; n],
+            v: vec![None; n],
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = p.grad() else { continue };
+            let m = self.m[i].get_or_insert_with(|| Array::zeros(g.shape()));
+            let v = self.v[i].get_or_insert_with(|| Array::zeros(g.shape()));
+            for ((mv, vv), &gv) in m.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            }
+            let lr = self.lr;
+            let eps = self.eps;
+            let wd = self.weight_decay;
+            let m_ref = &*m;
+            let v_ref = &*v;
+            p.update_value(|val| {
+                for ((x, &mv), &vv) in val
+                    .data_mut()
+                    .iter_mut()
+                    .zip(m_ref.data())
+                    .zip(v_ref.data())
+                {
+                    let mhat = mv / bc1;
+                    let vhat = vv / bc2;
+                    *x -= lr * (mhat / (vhat.sqrt() + eps) + wd * *x);
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Clips the global L2 norm of the gradients on `params` to `max_norm`.
+///
+/// Returns the pre-clip global norm.
+pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for p in params {
+        if let Some(g) = p.grad() {
+            total += g.data().iter().map(|v| v * v).sum::<f32>();
+        }
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(mut g) = p.grad() {
+                g.map_inplace(|v| v * scale);
+                p.zero_grad();
+                p.accumulate_grad(&g);
+            }
+        }
+    }
+    norm
+}
+
+/// Cosine learning-rate schedule from `lr_max` to `lr_min` over
+/// `total_steps`; step counts from 0.
+#[must_use]
+pub fn cosine_lr(lr_max: f32, lr_min: f32, step: usize, total_steps: usize) -> f32 {
+    if total_steps <= 1 {
+        return lr_min;
+    }
+    let t = (step.min(total_steps - 1)) as f32 / (total_steps - 1) as f32;
+    lr_min + 0.5 * (lr_max - lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 and checks convergence.
+    fn quadratic_converges(opt: &mut dyn Optimizer) {
+        for _ in 0..200 {
+            opt.zero_grad();
+            let x = &opt.params()[0];
+            let loss = x.add_scalar(-3.0).square().sum();
+            loss.backward();
+            opt.step();
+        }
+        let x = opt.params()[0].item();
+        assert!((x - 3.0).abs() < 1e-2, "converged to {x}");
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = Tensor::param(Array::scalar(0.0));
+        let mut opt = Sgd::new(vec![x], 0.1, 0.0, 0.0);
+        quadratic_converges(&mut opt);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = Tensor::param(Array::scalar(-5.0));
+        let mut opt = Sgd::new(vec![x], 0.05, 0.9, 0.0);
+        quadratic_converges(&mut opt);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = Tensor::param(Array::scalar(10.0));
+        let mut opt = Adam::new(vec![x], 0.3);
+        quadratic_converges(&mut opt);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let x = Tensor::param(Array::scalar(1.0));
+        let mut opt = Sgd::new(vec![x.clone()], 0.1, 0.0, 0.5);
+        // Zero loss gradient: only decay acts.
+        opt.zero_grad();
+        x.accumulate_grad(&Array::scalar(0.0));
+        opt.step();
+        assert!(x.item() < 1.0);
+    }
+
+    #[test]
+    fn skip_params_without_grad() {
+        let x = Tensor::param(Array::scalar(2.0));
+        let mut opt = Sgd::new(vec![x.clone()], 0.1, 0.0, 0.0);
+        opt.step(); // no grad accumulated
+        assert_eq!(x.item(), 2.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales() {
+        let x = Tensor::param(Array::from_vec(vec![3.0, 4.0], &[2]).unwrap());
+        x.accumulate_grad(&Array::from_vec(vec![3.0, 4.0], &[2]).unwrap());
+        let pre = clip_grad_norm(std::slice::from_ref(&x), 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let g = x.grad().unwrap();
+        let post = (g.data()[0].powi(2) + g.data()[1].powi(2)).sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_below_threshold() {
+        let x = Tensor::param(Array::from_vec(vec![0.3, 0.4], &[2]).unwrap());
+        x.accumulate_grad(&Array::from_vec(vec![0.3, 0.4], &[2]).unwrap());
+        clip_grad_norm(std::slice::from_ref(&x), 10.0);
+        assert_eq!(x.grad().unwrap().data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        assert!((cosine_lr(1.0, 0.0, 0, 100) - 1.0).abs() < 1e-6);
+        assert!(cosine_lr(1.0, 0.0, 99, 100) < 1e-3);
+        let mid = cosine_lr(1.0, 0.0, 50, 101);
+        assert!((mid - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn set_lr_roundtrip() {
+        let mut opt = Adam::new(vec![], 0.1);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+    }
+}

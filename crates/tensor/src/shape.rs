@@ -1,0 +1,148 @@
+//! Shape arithmetic: sizes, strides and NumPy-style broadcasting rules.
+
+use crate::error::{Result, TensorError};
+
+/// Returns the number of elements implied by `shape`.
+///
+/// The empty shape `[]` denotes a scalar and has one element.
+#[must_use]
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Returns row-major (C order) strides for `shape`.
+///
+/// The stride of the last axis is 1; each preceding axis strides over the
+/// product of the trailing dimensions.
+#[must_use]
+pub fn row_major_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Computes the broadcast shape of two operand shapes using NumPy rules:
+/// shapes are right-aligned; a dimension broadcasts if it equals the other
+/// or is 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when a pair of aligned dimensions
+/// are unequal and neither is 1.
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize], op: &'static str) -> Result<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; rank];
+    #[allow(clippy::needless_range_loop)] // lockstep multi-array indexing
+    for i in 0..rank {
+        let l = dim_right(lhs, rank - 1 - i);
+        let r = dim_right(rhs, rank - 1 - i);
+        out[i] = if l == r {
+            l
+        } else if l == 1 {
+            r
+        } else if r == 1 {
+            l
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+                op,
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Dimension of `shape` counting `k` axes from the right (k = 0 is the last
+/// axis), treating out-of-range axes as 1.
+#[must_use]
+pub fn dim_right(shape: &[usize], k: usize) -> usize {
+    if k < shape.len() {
+        shape[shape.len() - 1 - k]
+    } else {
+        1
+    }
+}
+
+/// Checks that `axis < rank`, returning a descriptive error otherwise.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when the axis is out of range.
+pub fn check_axis(axis: usize, rank: usize) -> Result<()> {
+    if axis >= rank {
+        return Err(TensorError::InvalidArgument(format!(
+            "axis {axis} out of range for rank {rank}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_scalar_is_one() {
+        assert_eq!(num_elements(&[]), 1);
+    }
+
+    #[test]
+    fn num_elements_products() {
+        assert_eq!(num_elements(&[2, 3, 4]), 24);
+        assert_eq!(num_elements(&[7]), 7);
+        assert_eq!(num_elements(&[5, 0]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(row_major_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(row_major_strides(&[5]), vec![1]);
+        assert_eq!(row_major_strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3], "t").unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[], "t").unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[4], "t").unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn broadcast_trailing() {
+        assert_eq!(broadcast_shapes(&[8, 16], &[16], "t").unwrap(), vec![8, 16]);
+        assert_eq!(
+            broadcast_shapes(&[4, 1, 5], &[3, 1], "t").unwrap(),
+            vec![4, 3, 5]
+        );
+    }
+
+    #[test]
+    fn broadcast_mismatch_errors() {
+        let err = broadcast_shapes(&[2, 3], &[4], "myop").unwrap_err();
+        match err {
+            TensorError::ShapeMismatch { op, .. } => assert_eq!(op, "myop"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dim_right_pads_with_ones() {
+        assert_eq!(dim_right(&[2, 3], 0), 3);
+        assert_eq!(dim_right(&[2, 3], 1), 2);
+        assert_eq!(dim_right(&[2, 3], 2), 1);
+        assert_eq!(dim_right(&[], 0), 1);
+    }
+
+    #[test]
+    fn check_axis_bounds() {
+        assert!(check_axis(1, 2).is_ok());
+        assert!(check_axis(2, 2).is_err());
+    }
+}

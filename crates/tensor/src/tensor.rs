@@ -1,0 +1,396 @@
+//! Reverse-mode automatic differentiation core.
+//!
+//! A [`Tensor`] is a shared handle to a node in a dynamically-built compute
+//! graph. Operations eagerly compute their value ([`Array`]) and record a
+//! backward closure; [`Tensor::backward`] runs a reverse topological sweep
+//! that accumulates gradients into every node with `requires_grad`.
+
+use crate::array::Array;
+use crate::error::Result;
+use std::cell::{Ref, RefCell};
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// Backward closure: receives the gradient of the loss with respect to this
+/// node's output and accumulates into the node's parents.
+pub(crate) type BackwardFn = Box<dyn Fn(&Array)>;
+
+struct Inner {
+    value: Array,
+    grad: Option<Array>,
+    requires_grad: bool,
+    parents: Vec<Tensor>,
+    backward: Option<BackwardFn>,
+}
+
+/// A node in the autodiff graph: a value plus (optionally) the recipe for
+/// propagating gradients to its parents.
+///
+/// `Tensor` is a cheap reference-counted handle; cloning it aliases the same
+/// node. Graphs are rebuilt each forward pass (define-by-run), so leaf
+/// parameters persist across iterations while intermediate nodes are freed
+/// when the loss handle is dropped.
+///
+/// # Examples
+///
+/// ```
+/// use edd_tensor::{Array, Tensor};
+/// let x = Tensor::param(Array::from_vec(vec![2.0], &[1]).unwrap());
+/// let y = x.mul(&x).unwrap().sum(); // y = x^2
+/// y.backward();
+/// assert_eq!(x.grad().unwrap().data(), &[4.0]); // dy/dx = 2x
+/// ```
+#[derive(Clone)]
+pub struct Tensor {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Tensor")
+            .field("shape", &inner.value.shape())
+            .field("requires_grad", &inner.requires_grad)
+            .field("has_grad", &inner.grad.is_some())
+            .finish()
+    }
+}
+
+impl Tensor {
+    /// Creates a trainable leaf (a parameter) from `value`.
+    #[must_use]
+    pub fn param(value: Array) -> Tensor {
+        Tensor {
+            inner: Rc::new(RefCell::new(Inner {
+                value,
+                grad: None,
+                requires_grad: true,
+                parents: Vec::new(),
+                backward: None,
+            })),
+        }
+    }
+
+    /// Creates a non-trainable leaf (a constant input) from `value`.
+    #[must_use]
+    pub fn constant(value: Array) -> Tensor {
+        Tensor {
+            inner: Rc::new(RefCell::new(Inner {
+                value,
+                grad: None,
+                requires_grad: false,
+                parents: Vec::new(),
+                backward: None,
+            })),
+        }
+    }
+
+    /// Creates a constant rank-0 tensor.
+    #[must_use]
+    pub fn scalar(v: f32) -> Tensor {
+        Tensor::constant(Array::scalar(v))
+    }
+
+    /// Internal constructor for op results.
+    ///
+    /// The backward closure is kept only when at least one parent requires
+    /// gradients; otherwise the node is a dead end for backprop.
+    pub(crate) fn from_op(value: Array, parents: Vec<Tensor>, backward: BackwardFn) -> Tensor {
+        let requires_grad = parents.iter().any(Tensor::requires_grad);
+        Tensor {
+            inner: Rc::new(RefCell::new(Inner {
+                value,
+                grad: None,
+                requires_grad,
+                parents: if requires_grad { parents } else { Vec::new() },
+                backward: if requires_grad { Some(backward) } else { None },
+            })),
+        }
+    }
+
+    /// Whether gradients flow into this node.
+    #[must_use]
+    pub fn requires_grad(&self) -> bool {
+        self.inner.borrow().requires_grad
+    }
+
+    /// A stable identity for this graph node (two handles compare equal iff
+    /// they alias the same node).
+    #[must_use]
+    pub fn node_id(&self) -> usize {
+        Rc::as_ptr(&self.inner) as usize
+    }
+
+    /// Borrows the node's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node's value is already mutably borrowed (only possible
+    /// from inside optimizer update closures).
+    #[must_use]
+    pub fn value(&self) -> Ref<'_, Array> {
+        Ref::map(self.inner.borrow(), |i| &i.value)
+    }
+
+    /// Clones the node's value out of the graph.
+    #[must_use]
+    pub fn value_clone(&self) -> Array {
+        self.inner.borrow().value.clone()
+    }
+
+    /// The node's shape.
+    #[must_use]
+    pub fn shape(&self) -> Vec<usize> {
+        self.inner.borrow().value.shape().to_vec()
+    }
+
+    /// The single element of a scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node holds more than one element.
+    #[must_use]
+    pub fn item(&self) -> f32 {
+        self.inner.borrow().value.item()
+    }
+
+    /// Clones the accumulated gradient, if any.
+    #[must_use]
+    pub fn grad(&self) -> Option<Array> {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.inner.borrow_mut().grad = None;
+    }
+
+    /// Overwrites the node's value in place (used by optimizers and
+    /// running-statistic updates). Does not touch the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_value` has a different shape than the current value.
+    pub fn set_value(&self, new_value: Array) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(
+            inner.value.shape(),
+            new_value.shape(),
+            "set_value must preserve shape"
+        );
+        inner.value = new_value;
+    }
+
+    /// Applies `f` to the value in place (optimizer hot path).
+    pub fn update_value(&self, f: impl FnOnce(&mut Array)) {
+        let mut inner = self.inner.borrow_mut();
+        f(&mut inner.value);
+    }
+
+    /// Returns a new constant leaf sharing a copy of this node's value;
+    /// gradients do not flow through the result.
+    #[must_use]
+    pub fn detach(&self) -> Tensor {
+        Tensor::constant(self.value_clone())
+    }
+
+    /// Accumulates `g` into this node's gradient buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s shape differs from the node's value shape.
+    pub fn accumulate_grad(&self, g: &Array) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(
+            inner.value.shape(),
+            g.shape(),
+            "gradient shape must match value shape"
+        );
+        match &mut inner.grad {
+            Some(acc) => acc.add_scaled_assign(g, 1.0),
+            slot @ None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from this node, seeding with a
+    /// gradient of all-ones (so for a scalar loss this computes `dL/dx` for
+    /// every reachable parameter).
+    ///
+    /// Gradients accumulate across calls; call [`Tensor::zero_grad`] (or an
+    /// optimizer's `zero_grad`) between steps.
+    pub fn backward(&self) {
+        let shape = self.shape();
+        self.backward_with(Array::ones(&shape));
+    }
+
+    /// Runs reverse-mode differentiation seeding this node's gradient with
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed`'s shape differs from this node's shape.
+    pub fn backward_with(&self, seed: Array) {
+        self.accumulate_grad(&seed);
+        let order = self.topo_order();
+        for node in order.iter().rev() {
+            let inner = node.inner.borrow();
+            if inner.backward.is_none() {
+                continue;
+            }
+            let Some(grad) = inner.grad.clone() else {
+                continue;
+            };
+            // Call the closure while holding only an immutable borrow of this
+            // node; the closure mutably borrows *parents*, which are distinct
+            // RefCells.
+            if let Some(bw) = &inner.backward {
+                bw(&grad);
+            }
+        }
+        // Free intermediate gradients: nodes with parents are op results and
+        // their gradients are not useful after the sweep (leaves keep theirs).
+        for node in order {
+            let mut inner = node.inner.borrow_mut();
+            if !inner.parents.is_empty() {
+                inner.grad = None;
+            }
+        }
+    }
+
+    /// Iterative DFS topological order (parents before children).
+    fn topo_order(&self) -> Vec<Tensor> {
+        let mut order = Vec::new();
+        let mut visited: HashSet<usize> = HashSet::new();
+        // Stack of (node, parents_pushed) frames.
+        let mut stack: Vec<(Tensor, bool)> = vec![(self.clone(), false)];
+        while let Some((node, expanded)) = stack.pop() {
+            let key = Rc::as_ptr(&node.inner) as usize;
+            if expanded {
+                order.push(node);
+                continue;
+            }
+            if visited.contains(&key) {
+                continue;
+            }
+            visited.insert(key);
+            stack.push((node.clone(), true));
+            for p in &node.inner.borrow().parents {
+                let pk = Rc::as_ptr(&p.inner) as usize;
+                if !visited.contains(&pk) {
+                    stack.push((p.clone(), false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Builds a constant one-hot vector tensor of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `index >= n`.
+    pub fn one_hot(index: usize, n: usize) -> Result<Tensor> {
+        if index >= n {
+            return Err(crate::error::TensorError::InvalidArgument(format!(
+                "one_hot index {index} out of range {n}"
+            )));
+        }
+        let mut a = Array::zeros(&[n]);
+        a.data_mut()[index] = 1.0;
+        Ok(Tensor::constant(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_requires_grad_constant_does_not() {
+        let p = Tensor::param(Array::scalar(1.0));
+        let c = Tensor::constant(Array::scalar(1.0));
+        assert!(p.requires_grad());
+        assert!(!c.requires_grad());
+    }
+
+    #[test]
+    fn clone_aliases_same_node() {
+        let p = Tensor::param(Array::scalar(5.0));
+        let q = p.clone();
+        p.update_value(|a| a.data_mut()[0] = 9.0);
+        assert_eq!(q.item(), 9.0);
+    }
+
+    #[test]
+    fn accumulate_grad_adds() {
+        let p = Tensor::param(Array::zeros(&[2]));
+        p.accumulate_grad(&Array::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        p.accumulate_grad(&Array::from_vec(vec![10.0, 20.0], &[2]).unwrap());
+        assert_eq!(p.grad().unwrap().data(), &[11.0, 22.0]);
+        p.zero_grad();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape")]
+    fn accumulate_grad_shape_checked() {
+        let p = Tensor::param(Array::zeros(&[2]));
+        p.accumulate_grad(&Array::zeros(&[3]));
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let p = Tensor::param(Array::scalar(3.0));
+        let d = p.detach();
+        assert!(!d.requires_grad());
+        assert_eq!(d.item(), 3.0);
+    }
+
+    #[test]
+    fn one_hot_constructs() {
+        let t = Tensor::one_hot(2, 4).unwrap();
+        assert_eq!(t.value().data(), &[0.0, 0.0, 1.0, 0.0]);
+        assert!(Tensor::one_hot(4, 4).is_err());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let p = Tensor::param(Array::zeros(&[2, 2]));
+        let s = format!("{p:?}");
+        assert!(s.contains("Tensor"));
+        assert!(s.contains("shape"));
+    }
+
+    #[test]
+    fn backward_through_diamond_graph() {
+        // y = (x + x) uses x twice; dy/dx = 2.
+        let x = Tensor::param(Array::scalar(1.5));
+        let y = x.add(&x).unwrap();
+        y.backward();
+        assert_eq!(x.grad().unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let x = Tensor::param(Array::scalar(1.0));
+        let y = x.mul_scalar(3.0);
+        y.backward();
+        let y2 = x.mul_scalar(3.0);
+        y2.backward();
+        assert_eq!(x.grad().unwrap().item(), 6.0);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 20k-deep chain exercises the iterative topo sort.
+        let x = Tensor::param(Array::scalar(0.0));
+        let mut y = x.clone();
+        for _ in 0..20_000 {
+            y = y.add_scalar(1.0);
+        }
+        y.backward();
+        assert_eq!(x.grad().unwrap().item(), 1.0);
+        assert_eq!(y.item(), 20_000.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Shape descriptions of the comparison networks of paper Tables 1 and 3.
+//!
+//! The classic nets (GoogleNet, MobileNet-V2, ShuffleNet-V2, ResNet18,
+//! VGG16) follow their published configurations exactly. The hardware-aware
+//! NAS nets (MnasNet-A1, FBNet-C, the three ProxylessNAS variants) follow
+//! the block tables of their papers, with squeeze-excite modules omitted
+//! (they contribute negligibly to MACs and are not modeled by Eq. 12).
+
+use crate::builders::ShapeBuilder;
+use edd_hw::shapes::NetworkShape;
+
+/// MobileNet-V2 (1.0×, 224²) — Sandler et al., CVPR 2018.
+#[must_use]
+pub fn mobilenet_v2() -> NetworkShape {
+    let mut b = ShapeBuilder::new("MobileNet-V2", 224, 3)
+        .conv("stem", 3, 32, 2)
+        .mbconv(3, 1, 16, 1);
+    // (expansion, channels, repeats, first-stride)
+    for &(e, c, n, s) in &[
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ] {
+        for i in 0..n {
+            b = b.mbconv(3, e, c, if i == 0 { s } else { 1 });
+        }
+    }
+    b.conv("head", 1, 1280, 1).linear("fc", 1000).build()
+}
+
+/// ResNet-18 (224²) — He et al., CVPR 2016.
+#[must_use]
+pub fn resnet18() -> NetworkShape {
+    let mut b = ShapeBuilder::new("ResNet18", 224, 3)
+        .conv("stem", 7, 64, 2)
+        .pool("maxpool", 2);
+    for &(c, s) in &[
+        (64, 1),
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+    ] {
+        b = b.basic_block(c, s);
+    }
+    b.linear("fc", 1000).build()
+}
+
+/// GoogLeNet (Inception v1, 224²) — Szegedy et al., CVPR 2015.
+#[must_use]
+pub fn googlenet() -> NetworkShape {
+    ShapeBuilder::new("GoogleNet", 224, 3)
+        .conv("stem7x7", 7, 64, 2)
+        .pool("pool1", 2)
+        .conv("reduce", 1, 64, 1)
+        .conv("conv3x3", 3, 192, 1)
+        .pool("pool2", 2)
+        .inception("3a", 64, 96, 128, 16, 32, 32)
+        .inception("3b", 128, 128, 192, 32, 96, 64)
+        .pool("pool3", 2)
+        .inception("4a", 192, 96, 208, 16, 48, 64)
+        .inception("4b", 160, 112, 224, 24, 64, 64)
+        .inception("4c", 128, 128, 256, 24, 64, 64)
+        .inception("4d", 112, 144, 288, 32, 64, 64)
+        .inception("4e", 256, 160, 320, 32, 128, 128)
+        .pool("pool4", 2)
+        .inception("5a", 256, 160, 320, 32, 128, 128)
+        .inception("5b", 384, 192, 384, 48, 128, 128)
+        .linear("fc", 1000)
+        .build()
+}
+
+/// ShuffleNet-V2 1.0× (224²) — Ma et al., ECCV 2018.
+#[must_use]
+pub fn shufflenet_v2() -> NetworkShape {
+    let mut b = ShapeBuilder::new("ShuffleNet-V2", 224, 3)
+        .conv("stem", 3, 24, 2)
+        .pool("maxpool", 2);
+    for &(c, n) in &[(116, 4), (232, 8), (464, 4)] {
+        for i in 0..n {
+            b = b.shuffle_unit(c, if i == 0 { 2 } else { 1 });
+        }
+    }
+    b.conv("head", 1, 1024, 1).linear("fc", 1000).build()
+}
+
+/// VGG-16 (224²) — Simonyan & Zisserman, ICLR 2015. The DNNBuilder baseline
+/// of paper Table 3.
+#[must_use]
+pub fn vgg16() -> NetworkShape {
+    ShapeBuilder::new("VGG16", 224, 3)
+        .conv("conv1_1", 3, 64, 1)
+        .conv("conv1_2", 3, 64, 1)
+        .pool("pool1", 2)
+        .conv("conv2_1", 3, 128, 1)
+        .conv("conv2_2", 3, 128, 1)
+        .pool("pool2", 2)
+        .conv("conv3_1", 3, 256, 1)
+        .conv("conv3_2", 3, 256, 1)
+        .conv("conv3_3", 3, 256, 1)
+        .pool("pool3", 2)
+        .conv("conv4_1", 3, 512, 1)
+        .conv("conv4_2", 3, 512, 1)
+        .conv("conv4_3", 3, 512, 1)
+        .pool("pool4", 2)
+        .conv("conv5_1", 3, 512, 1)
+        .conv("conv5_2", 3, 512, 1)
+        .conv("conv5_3", 3, 512, 1)
+        .pool("pool5", 2)
+        .linear_flatten("fc6", 4096)
+        .linear("fc7", 4096)
+        .linear("fc8", 1000)
+        .build()
+}
+
+/// MnasNet-A1 (224²) — Tan et al., CVPR 2019 (squeeze-excite omitted).
+#[must_use]
+pub fn mnasnet_a1() -> NetworkShape {
+    let mut b = ShapeBuilder::new("MnasNet-A1", 224, 3)
+        .conv("stem", 3, 32, 2)
+        .sepconv(3, 16, 1);
+    for &(e, k, c, n, s) in &[
+        (6, 3, 24, 2, 2),
+        (3, 5, 40, 3, 2),
+        (6, 3, 80, 4, 2),
+        (6, 3, 112, 2, 1),
+        (6, 5, 160, 3, 2),
+        (6, 3, 320, 1, 1),
+    ] {
+        for i in 0..n {
+            b = b.mbconv(k, e, c, if i == 0 { s } else { 1 });
+        }
+    }
+    b.conv("head", 1, 1280, 1).linear("fc", 1000).build()
+}
+
+/// FBNet-C (224²) — Wu et al., CVPR 2019, per-block config from the paper's
+/// searched architecture table.
+#[must_use]
+pub fn fbnet_c() -> NetworkShape {
+    let mut b = ShapeBuilder::new("FBNet-C", 224, 3)
+        .conv("stem", 3, 16, 2)
+        .mbconv(3, 1, 16, 1);
+    // (expansion, kernel, channels, stride)
+    for &(e, k, c, s) in &[
+        (6, 3, 24, 2),
+        (1, 3, 24, 1),
+        (1, 3, 24, 1),
+        (6, 3, 24, 1),
+        (6, 5, 32, 2),
+        (3, 5, 32, 1),
+        (6, 5, 32, 1),
+        (6, 3, 32, 1),
+        (6, 5, 64, 2),
+        (3, 5, 64, 1),
+        (6, 5, 64, 1),
+        (6, 5, 64, 1),
+        (6, 3, 112, 1),
+        (6, 5, 112, 1),
+        (6, 5, 112, 1),
+        (3, 5, 112, 1),
+        (6, 5, 184, 2),
+        (6, 5, 184, 1),
+        (6, 5, 184, 1),
+        (6, 5, 184, 1),
+        (6, 3, 352, 1),
+    ] {
+        b = b.mbconv(k, e, c, s);
+    }
+    b.conv("head", 1, 1984, 1).linear("fc", 1000).build()
+}
+
+/// ProxylessNAS-GPU (224²) — Cai et al., ICLR 2019. The GPU-specialized
+/// variant is shallow and wide.
+#[must_use]
+pub fn proxyless_gpu() -> NetworkShape {
+    let mut b = ShapeBuilder::new("Proxyless-gpu", 224, 3)
+        .conv("stem", 3, 40, 2)
+        .mbconv(3, 1, 24, 1);
+    for &(e, k, c, s) in &[
+        (6, 5, 32, 2),
+        (3, 3, 32, 1),
+        (6, 7, 56, 2),
+        (3, 3, 56, 1),
+        (6, 7, 112, 2),
+        (3, 5, 112, 1),
+        (6, 5, 128, 1),
+        (3, 5, 128, 1),
+        (6, 7, 256, 2),
+        (6, 7, 256, 1),
+        (6, 7, 256, 1),
+        (6, 5, 432, 1),
+    ] {
+        b = b.mbconv(k, e, c, s);
+    }
+    b.conv("head", 1, 1728, 1).linear("fc", 1000).build()
+}
+
+/// ProxylessNAS-Mobile (224²) — deeper, narrower, mixed kernels.
+#[must_use]
+pub fn proxyless_mobile() -> NetworkShape {
+    let mut b = ShapeBuilder::new("Proxyless-Mobile", 224, 3)
+        .conv("stem", 3, 32, 2)
+        .mbconv(3, 1, 16, 1);
+    for &(e, k, c, s) in &[
+        (3, 5, 24, 2),
+        (3, 3, 24, 1),
+        (3, 3, 24, 1),
+        (3, 3, 24, 1),
+        (3, 7, 40, 2),
+        (3, 3, 40, 1),
+        (3, 5, 40, 1),
+        (3, 5, 40, 1),
+        (6, 7, 80, 2),
+        (3, 5, 80, 1),
+        (3, 5, 80, 1),
+        (3, 5, 80, 1),
+        (6, 5, 96, 1),
+        (3, 5, 96, 1),
+        (3, 5, 96, 1),
+        (3, 5, 96, 1),
+        (6, 7, 192, 2),
+        (6, 7, 192, 1),
+        (3, 7, 192, 1),
+        (3, 7, 192, 1),
+        (6, 7, 320, 1),
+    ] {
+        b = b.mbconv(k, e, c, s);
+    }
+    b.conv("head", 1, 1280, 1).linear("fc", 1000).build()
+}
+
+/// ProxylessNAS-CPU (224²) — kernel-3-heavy variant.
+#[must_use]
+pub fn proxyless_cpu() -> NetworkShape {
+    let mut b = ShapeBuilder::new("Proxyless-cpu", 224, 3)
+        .conv("stem", 3, 40, 2)
+        .mbconv(3, 1, 24, 1);
+    for &(e, k, c, s) in &[
+        (6, 3, 32, 2),
+        (3, 3, 32, 1),
+        (3, 3, 32, 1),
+        (3, 3, 32, 1),
+        (6, 3, 48, 2),
+        (3, 3, 48, 1),
+        (3, 3, 48, 1),
+        (3, 3, 48, 1),
+        (6, 3, 88, 2),
+        (3, 3, 88, 1),
+        (3, 5, 104, 1),
+        (3, 3, 104, 1),
+        (3, 3, 104, 1),
+        (3, 3, 104, 1),
+        (6, 5, 216, 2),
+        (3, 5, 216, 1),
+        (3, 5, 216, 1),
+        (3, 5, 216, 1),
+        (6, 5, 360, 1),
+    ] {
+        b = b.mbconv(k, e, c, s);
+    }
+    b.conv("head", 1, 1432, 1).linear("fc", 1000).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published MAC counts (multiply-accumulates) for sanity-checking the
+    /// shape descriptions, in millions, with generous tolerance.
+    fn assert_macs(net: &NetworkShape, expect_mmacs: f64, tol: f64) {
+        // Count only conv/dw/linear work, not the elementwise Other terms.
+        let macs: f64 = net
+            .ops
+            .iter()
+            .flat_map(|op| &op.layers)
+            .filter(|l| !matches!(l.kind, edd_hw::shapes::LayerKind::Other { .. }))
+            .map(edd_hw::shapes::LayerShape::work)
+            .sum();
+        let got = macs / 1e6;
+        assert!(
+            (got - expect_mmacs).abs() / expect_mmacs < tol,
+            "{}: {got:.0} MMACs vs published ~{expect_mmacs:.0}",
+            net.name
+        );
+    }
+
+    #[test]
+    fn mobilenet_v2_macs_match_published() {
+        assert_macs(&mobilenet_v2(), 300.0, 0.15);
+    }
+
+    #[test]
+    fn resnet18_macs_match_published() {
+        assert_macs(&resnet18(), 1800.0, 0.15);
+    }
+
+    #[test]
+    fn googlenet_macs_match_published() {
+        assert_macs(&googlenet(), 1500.0, 0.15);
+    }
+
+    #[test]
+    fn shufflenet_macs_match_published() {
+        assert_macs(&shufflenet_v2(), 146.0, 0.25);
+    }
+
+    #[test]
+    fn vgg16_macs_match_published() {
+        assert_macs(&vgg16(), 15_500.0, 0.10);
+    }
+
+    #[test]
+    fn mnasnet_macs_match_published() {
+        assert_macs(&mnasnet_a1(), 312.0, 0.20);
+    }
+
+    #[test]
+    fn fbnet_c_macs_match_published() {
+        assert_macs(&fbnet_c(), 375.0, 0.20);
+    }
+
+    #[test]
+    fn proxyless_variants_build() {
+        for net in [proxyless_gpu(), proxyless_mobile(), proxyless_cpu()] {
+            assert!(net.ops.len() > 10, "{} too shallow", net.name);
+            assert!(net.total_work() > 1e8, "{} too small", net.name);
+        }
+    }
+
+    #[test]
+    fn gpu_variant_is_shallower_than_mobile() {
+        assert!(proxyless_gpu().ops.len() < proxyless_mobile().ops.len());
+    }
+
+    #[test]
+    fn vgg_dwarfs_mobilenets() {
+        assert!(vgg16().total_work() > 10.0 * mobilenet_v2().total_work());
+    }
+}

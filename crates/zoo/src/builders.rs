@@ -1,0 +1,416 @@
+//! Helpers for assembling [`NetworkShape`] descriptions of classic CNNs.
+
+use edd_hw::shapes::{LayerKind, LayerShape, NetworkShape, OpShape};
+
+/// Tracks spatial resolution while stacking layers top-down.
+#[derive(Debug, Clone)]
+pub struct ShapeBuilder {
+    name: String,
+    ops: Vec<OpShape>,
+    hw: usize,
+    channels: usize,
+}
+
+impl ShapeBuilder {
+    /// Starts a builder at `input_hw` resolution with `input_channels`.
+    #[must_use]
+    pub fn new(name: &str, input_hw: usize, input_channels: usize) -> Self {
+        ShapeBuilder {
+            name: name.to_string(),
+            ops: Vec::new(),
+            hw: input_hw,
+            channels: input_channels,
+        }
+    }
+
+    /// Current spatial side length.
+    #[must_use]
+    pub fn hw(&self) -> usize {
+        self.hw
+    }
+
+    /// Current channel count.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Adds a standard convolution (+BN/activation) op.
+    #[must_use]
+    pub fn conv(mut self, name: &str, k: usize, cout: usize, stride: usize) -> Self {
+        let out_hw = self.hw.div_ceil(stride);
+        self.ops.push(OpShape {
+            name: name.into(),
+            ip_class: format!("conv{k}x{k}"),
+            layers: vec![
+                LayerShape {
+                    kind: LayerKind::Conv {
+                        k,
+                        cin: self.channels,
+                        cout,
+                    },
+                    h: out_hw,
+                    w: out_hw,
+                },
+                LayerShape {
+                    kind: LayerKind::Other { c: cout },
+                    h: out_hw,
+                    w: out_hw,
+                },
+            ],
+        });
+        self.hw = out_hw;
+        self.channels = cout;
+        self
+    }
+
+    /// Adds a pooling op (spatial downsample, channel-preserving).
+    #[must_use]
+    pub fn pool(mut self, name: &str, stride: usize) -> Self {
+        let out_hw = self.hw.div_ceil(stride);
+        self.ops.push(OpShape {
+            name: name.into(),
+            ip_class: "pool".into(),
+            layers: vec![LayerShape {
+                kind: LayerKind::Other { c: self.channels },
+                h: out_hw,
+                w: out_hw,
+            }],
+        });
+        self.hw = out_hw;
+        self
+    }
+
+    /// Adds an MBConv op (kernel `k`, expansion `e`).
+    #[must_use]
+    pub fn mbconv(mut self, k: usize, e: usize, cout: usize, stride: usize) -> Self {
+        let op = OpShape::mbconv(self.channels, cout, k, e, self.hw, self.hw, stride);
+        self.hw = self.hw.div_ceil(stride);
+        self.channels = cout;
+        self.ops.push(op);
+        self
+    }
+
+    /// Adds a depthwise-separable conv op (`dw-k×k` + `1×1`), as in
+    /// MobileNet stems and ShuffleNet units.
+    #[must_use]
+    pub fn sepconv(mut self, k: usize, cout: usize, stride: usize) -> Self {
+        let out_hw = self.hw.div_ceil(stride);
+        self.ops.push(OpShape {
+            name: format!("sep{k}x{k}_c{cout}"),
+            ip_class: format!("sep{k}x{k}"),
+            layers: vec![
+                LayerShape {
+                    kind: LayerKind::DwConv {
+                        k,
+                        c: self.channels,
+                    },
+                    h: out_hw,
+                    w: out_hw,
+                },
+                LayerShape {
+                    kind: LayerKind::Other { c: self.channels },
+                    h: out_hw,
+                    w: out_hw,
+                },
+                LayerShape {
+                    kind: LayerKind::Conv {
+                        k: 1,
+                        cin: self.channels,
+                        cout,
+                    },
+                    h: out_hw,
+                    w: out_hw,
+                },
+                LayerShape {
+                    kind: LayerKind::Other { c: cout },
+                    h: out_hw,
+                    w: out_hw,
+                },
+            ],
+        });
+        self.hw = out_hw;
+        self.channels = cout;
+        self
+    }
+
+    /// Adds a ResNet basic block (two 3×3 convs; a 1×1 projection when the
+    /// stride or width changes).
+    #[must_use]
+    pub fn basic_block(mut self, cout: usize, stride: usize) -> Self {
+        let out_hw = self.hw.div_ceil(stride);
+        let mut layers = vec![
+            LayerShape {
+                kind: LayerKind::Conv {
+                    k: 3,
+                    cin: self.channels,
+                    cout,
+                },
+                h: out_hw,
+                w: out_hw,
+            },
+            LayerShape {
+                kind: LayerKind::Other { c: cout },
+                h: out_hw,
+                w: out_hw,
+            },
+            LayerShape {
+                kind: LayerKind::Conv {
+                    k: 3,
+                    cin: cout,
+                    cout,
+                },
+                h: out_hw,
+                w: out_hw,
+            },
+            LayerShape {
+                kind: LayerKind::Other { c: cout },
+                h: out_hw,
+                w: out_hw,
+            },
+        ];
+        if stride != 1 || cout != self.channels {
+            layers.push(LayerShape {
+                kind: LayerKind::Conv {
+                    k: 1,
+                    cin: self.channels,
+                    cout,
+                },
+                h: out_hw,
+                w: out_hw,
+            });
+        }
+        self.ops.push(OpShape {
+            name: format!("basic_c{cout}_s{stride}"),
+            ip_class: "basic_block".into(),
+            layers,
+        });
+        self.hw = out_hw;
+        self.channels = cout;
+        self
+    }
+
+    /// Adds a GoogLeNet inception module with the classic six parameters
+    /// `(n1x1, n3x3red, n3x3, n5x5red, n5x5, pool_proj)`.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // mirrors the GoogLeNet table columns
+    pub fn inception(
+        mut self,
+        name: &str,
+        n1: usize,
+        n3r: usize,
+        n3: usize,
+        n5r: usize,
+        n5: usize,
+        pp: usize,
+    ) -> Self {
+        let hw = self.hw;
+        let cin = self.channels;
+        let mk = |k: usize, cin: usize, cout: usize| LayerShape {
+            kind: LayerKind::Conv { k, cin, cout },
+            h: hw,
+            w: hw,
+        };
+        let layers = vec![
+            mk(1, cin, n1),
+            mk(1, cin, n3r),
+            mk(3, n3r, n3),
+            mk(1, cin, n5r),
+            mk(5, n5r, n5),
+            mk(1, cin, pp),
+            LayerShape {
+                kind: LayerKind::Other {
+                    c: n1 + n3 + n5 + pp,
+                },
+                h: hw,
+                w: hw,
+            },
+        ];
+        self.ops.push(OpShape {
+            name: name.into(),
+            ip_class: "inception".into(),
+            layers,
+        });
+        self.channels = n1 + n3 + n5 + pp;
+        self
+    }
+
+    /// Adds a ShuffleNet-V2 unit: half the channels pass through a
+    /// `1×1 → dw3×3 → 1×1` branch (stride-2 units process all channels in
+    /// two branches).
+    #[must_use]
+    pub fn shuffle_unit(mut self, cout: usize, stride: usize) -> Self {
+        let out_hw = self.hw.div_ceil(stride);
+        let branch_c = cout / 2;
+        let cin_branch = if stride == 1 { branch_c } else { self.channels };
+        let mut layers = vec![
+            LayerShape {
+                kind: LayerKind::Conv {
+                    k: 1,
+                    cin: cin_branch,
+                    cout: branch_c,
+                },
+                h: self.hw,
+                w: self.hw,
+            },
+            LayerShape {
+                kind: LayerKind::DwConv { k: 3, c: branch_c },
+                h: out_hw,
+                w: out_hw,
+            },
+            LayerShape {
+                kind: LayerKind::Conv {
+                    k: 1,
+                    cin: branch_c,
+                    cout: branch_c,
+                },
+                h: out_hw,
+                w: out_hw,
+            },
+        ];
+        if stride == 2 {
+            // Second branch: dw3x3 + 1x1 on the full input.
+            layers.push(LayerShape {
+                kind: LayerKind::DwConv {
+                    k: 3,
+                    c: self.channels,
+                },
+                h: out_hw,
+                w: out_hw,
+            });
+            layers.push(LayerShape {
+                kind: LayerKind::Conv {
+                    k: 1,
+                    cin: self.channels,
+                    cout: branch_c,
+                },
+                h: out_hw,
+                w: out_hw,
+            });
+        }
+        layers.push(LayerShape {
+            kind: LayerKind::Other { c: cout },
+            h: out_hw,
+            w: out_hw,
+        });
+        self.ops.push(OpShape {
+            name: format!("shuffle_c{cout}_s{stride}"),
+            ip_class: "shuffle_unit".into(),
+            layers,
+        });
+        self.hw = out_hw;
+        self.channels = cout;
+        self
+    }
+
+    /// Adds a fully-connected classifier op.
+    #[must_use]
+    pub fn linear(mut self, name: &str, cout: usize) -> Self {
+        self.ops.push(OpShape {
+            name: name.into(),
+            ip_class: "fc".into(),
+            layers: vec![LayerShape {
+                kind: LayerKind::Linear {
+                    cin: self.channels,
+                    cout,
+                },
+                h: 1,
+                w: 1,
+            }],
+        });
+        self.channels = cout;
+        self
+    }
+
+    /// Adds a fully-connected op whose input is the flattened feature map
+    /// (`cin = channels·h·w`), as in VGG's first FC layer.
+    #[must_use]
+    pub fn linear_flatten(mut self, name: &str, cout: usize) -> Self {
+        let cin = self.channels * self.hw * self.hw;
+        self.ops.push(OpShape {
+            name: name.into(),
+            ip_class: "fc".into(),
+            layers: vec![LayerShape {
+                kind: LayerKind::Linear { cin, cout },
+                h: 1,
+                w: 1,
+            }],
+        });
+        self.channels = cout;
+        self.hw = 1;
+        self
+    }
+
+    /// Finishes the network.
+    #[must_use]
+    pub fn build(self) -> NetworkShape {
+        NetworkShape {
+            name: self.name,
+            ops: self.ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_tracks_resolution_and_channels() {
+        let b = ShapeBuilder::new("t", 224, 3).conv("stem", 7, 64, 2);
+        assert_eq!(b.hw(), 112);
+        assert_eq!(b.channels(), 64);
+    }
+
+    #[test]
+    fn mbconv_chain() {
+        let net = ShapeBuilder::new("t", 32, 16)
+            .mbconv(3, 4, 24, 2)
+            .mbconv(5, 6, 24, 1)
+            .build();
+        assert_eq!(net.ops.len(), 2);
+        assert!(net.ops[0].ip_class.contains("k3_e4"));
+    }
+
+    #[test]
+    fn basic_block_adds_projection_only_when_needed() {
+        let same = ShapeBuilder::new("t", 56, 64).basic_block(64, 1).build();
+        assert_eq!(same.ops[0].layers.len(), 4);
+        let proj = ShapeBuilder::new("t", 56, 64).basic_block(128, 2).build();
+        assert_eq!(proj.ops[0].layers.len(), 5);
+    }
+
+    #[test]
+    fn inception_output_channels_sum_branches() {
+        let b = ShapeBuilder::new("g", 28, 192).inception("3a", 64, 96, 128, 16, 32, 32);
+        assert_eq!(b.channels(), 256);
+    }
+
+    #[test]
+    fn shuffle_unit_stride2_has_second_branch() {
+        let s1 = ShapeBuilder::new("t", 28, 116).shuffle_unit(116, 1).build();
+        let s2 = ShapeBuilder::new("t", 56, 24).shuffle_unit(116, 2).build();
+        assert!(s2.ops[0].layers.len() > s1.ops[0].layers.len());
+    }
+
+    #[test]
+    fn linear_flatten_uses_spatial_volume() {
+        let net = ShapeBuilder::new("v", 7, 512)
+            .linear_flatten("fc1", 4096)
+            .build();
+        match net.ops[0].layers[0].kind {
+            LayerKind::Linear { cin, cout } => {
+                assert_eq!(cin, 512 * 49);
+                assert_eq!(cout, 4096);
+            }
+            _ => panic!("expected linear"),
+        }
+    }
+
+    #[test]
+    fn pool_preserves_channels() {
+        let b = ShapeBuilder::new("t", 56, 192).pool("p", 2);
+        assert_eq!(b.hw(), 28);
+        assert_eq!(b.channels(), 192);
+    }
+}

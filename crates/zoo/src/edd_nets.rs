@@ -1,0 +1,187 @@
+//! The three published EDD-Net architectures, transcribed from paper
+//! Fig. 4.
+//!
+//! The figure is a block diagram; kernel/expansion labels were extracted
+//! from its text as faithfully as possible (the arXiv source renders block
+//! labels like `MB 4 5x5` with the channel count underneath). Where the
+//! OCR of the figure was ambiguous the transcription preserves the figure's
+//! clearly-stated *trends*: EDD-Net-1 (GPU) mixes large expansions and
+//! kernels late in the network; EDD-Net-2 (recursive FPGA) concentrates on
+//! expansion-4 / kernel-3 blocks (fewer distinct IPs to share); EDD-Net-3
+//! (pipelined FPGA) is shallower with wider channels and larger kernels.
+
+use crate::builders::ShapeBuilder;
+use edd_hw::shapes::NetworkShape;
+
+/// Block list of EDD-Net-1 (GPU target): `(expansion, kernel, channels,
+/// stride)` after the stem (Conv3×3-32 s2, Sep3×3→16, Conv1×1→32).
+pub const EDD_NET_1_BLOCKS: [(usize, usize, usize, usize); 20] = [
+    (5, 3, 32, 2),
+    (4, 5, 32, 1),
+    (6, 5, 32, 1),
+    (4, 5, 40, 2),
+    (4, 5, 40, 1),
+    (4, 3, 40, 1),
+    (5, 5, 80, 2),
+    (6, 5, 80, 1),
+    (5, 5, 80, 1),
+    (5, 5, 80, 1),
+    (6, 3, 96, 1),
+    (5, 3, 96, 1),
+    (5, 3, 96, 1),
+    (4, 5, 96, 1),
+    (6, 5, 192, 2),
+    (6, 3, 192, 1),
+    (6, 5, 192, 1),
+    (6, 5, 192, 1),
+    (6, 5, 192, 1),
+    (4, 3, 320, 1),
+];
+
+/// Block list of EDD-Net-2 (recursive FPGA target). Dominated by small
+/// expansion-4 kernel-3 blocks, minimizing the number of distinct shared
+/// IPs.
+pub const EDD_NET_2_BLOCKS: [(usize, usize, usize, usize); 20] = [
+    (4, 5, 24, 2),
+    (4, 3, 24, 1),
+    (4, 3, 24, 1),
+    (4, 3, 40, 2),
+    (4, 3, 40, 1),
+    (4, 5, 40, 1),
+    (4, 3, 80, 2),
+    (4, 3, 80, 1),
+    (4, 5, 80, 1),
+    (4, 3, 80, 1),
+    (4, 5, 96, 1),
+    (4, 3, 96, 1),
+    (4, 3, 96, 1),
+    (4, 3, 96, 1),
+    (4, 5, 192, 2),
+    (4, 5, 192, 1),
+    (4, 3, 192, 1),
+    (4, 5, 192, 1),
+    (4, 3, 192, 1),
+    (6, 3, 320, 1),
+];
+
+/// Block list of EDD-Net-3 (pipelined FPGA target): shallower (17 blocks)
+/// with wider channels and larger kernels, as Fig. 4 and §6 describe.
+pub const EDD_NET_3_BLOCKS: [(usize, usize, usize, usize); 17] = [
+    (5, 5, 32, 2),
+    (6, 5, 32, 1),
+    (4, 5, 48, 2),
+    (4, 5, 48, 1),
+    (5, 3, 48, 1),
+    (4, 5, 96, 2),
+    (5, 5, 96, 1),
+    (6, 5, 96, 1),
+    (6, 5, 96, 1),
+    (6, 5, 128, 1),
+    (4, 3, 128, 1),
+    (4, 3, 128, 1),
+    (4, 5, 256, 2),
+    (4, 3, 256, 1),
+    (4, 3, 256, 1),
+    (4, 3, 256, 1),
+    (6, 5, 320, 1),
+];
+
+fn edd_net(name: &str, blocks: &[(usize, usize, usize, usize)], head: usize) -> NetworkShape {
+    let mut b = ShapeBuilder::new(name, 224, 3)
+        .conv("stem", 3, 32, 2)
+        .sepconv(3, 16, 1)
+        .conv("stem_pw", 1, 32, 1);
+    for &(e, k, c, s) in blocks {
+        b = b.mbconv(k, e, c, s);
+    }
+    b.conv("head", 1, head, 1).linear("fc", 1000).build()
+}
+
+/// EDD-Net-1: the GPU-targeted model (searched precision: 16-bit weights,
+/// paper §6 "the algorithm suggests the 16-bit precision").
+#[must_use]
+pub fn edd_net_1() -> NetworkShape {
+    edd_net("EDD-Net-1", &EDD_NET_1_BLOCKS, 1280)
+}
+
+/// EDD-Net-2: the recursive-FPGA-targeted model (evaluated with CHaiDNN on
+/// ZCU102 at 16-bit in Table 1).
+#[must_use]
+pub fn edd_net_2() -> NetworkShape {
+    edd_net("EDD-Net-2", &EDD_NET_2_BLOCKS, 1280)
+}
+
+/// EDD-Net-3: the pipelined-FPGA-targeted model (compared against
+/// DNNBuilder on ZC706 at 16-bit fixed point in Table 3).
+#[must_use]
+pub fn edd_net_3() -> NetworkShape {
+    edd_net("EDD-Net-3", &EDD_NET_3_BLOCKS, 1280)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nets_build_with_expected_depths() {
+        // stem(3 ops) + blocks + head + fc
+        assert_eq!(edd_net_1().ops.len(), 3 + 20 + 2);
+        assert_eq!(edd_net_2().ops.len(), 3 + 20 + 2);
+        assert_eq!(edd_net_3().ops.len(), 3 + 17 + 2);
+    }
+
+    #[test]
+    fn net3_is_shallower_but_wider() {
+        let n1 = edd_net_1();
+        let n3 = edd_net_3();
+        assert!(n3.ops.len() < n1.ops.len());
+        // Wider: more total work despite fewer blocks.
+        assert!(n3.total_work() > 0.8 * n1.total_work());
+    }
+
+    #[test]
+    fn net2_has_fewer_ip_classes_than_net1() {
+        // The recursive-FPGA net should concentrate on fewer distinct
+        // MBConv types (resource sharing pressure).
+        let classes = |n: &NetworkShape| {
+            n.ip_classes()
+                .into_iter()
+                .filter(|c| c.starts_with("mbconv"))
+                .count()
+        };
+        assert!(
+            classes(&edd_net_2()) <= classes(&edd_net_1()),
+            "net2 {} vs net1 {}",
+            classes(&edd_net_2()),
+            classes(&edd_net_1())
+        );
+    }
+
+    #[test]
+    fn choices_within_search_menus() {
+        for blocks in [
+            &EDD_NET_1_BLOCKS[..],
+            &EDD_NET_2_BLOCKS[..],
+            &EDD_NET_3_BLOCKS[..],
+        ] {
+            for &(e, k, _, s) in blocks {
+                assert!([4, 5, 6].contains(&e));
+                assert!([3, 5, 7].contains(&k));
+                assert!([1, 2].contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn macs_in_mobile_regime() {
+        // EDD-Nets are MobileNet-class models: a few hundred MMACs.
+        for net in [edd_net_1(), edd_net_2(), edd_net_3()] {
+            let mmacs = net.total_work() / 1e6;
+            assert!(
+                (200.0..2500.0).contains(&mmacs),
+                "{}: {mmacs:.0} MMACs",
+                net.name
+            );
+        }
+    }
+}

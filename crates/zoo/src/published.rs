@@ -1,0 +1,239 @@
+//! Published numbers from the paper's evaluation (Tables 1–3), echoed by
+//! the benchmark harnesses next to the modeled values so that every row of
+//! every table can be compared paper-vs-reproduction.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of paper Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Model name as printed in the paper.
+    pub name: &'static str,
+    /// Top-1 test error (%) on ImageNet.
+    pub top1_err: f32,
+    /// Top-5 test error (%) on ImageNet (`None` where the paper marks NA).
+    pub top5_err: Option<f32>,
+    /// Titan RTX latency (ms).
+    pub gpu_ms: Option<f32>,
+    /// ZCU102 (CHaiDNN) latency (ms); `None` where unsupported.
+    pub fpga_ms: Option<f32>,
+    /// Whether the row is a hardware-aware NAS model (vs. baseline).
+    pub is_nas: bool,
+}
+
+/// Paper Table 1: comparisons with existing NAS solutions.
+pub const TABLE_1: [Table1Row; 11] = [
+    Table1Row {
+        name: "GoogleNet",
+        top1_err: 30.22,
+        top5_err: Some(10.47),
+        gpu_ms: Some(27.75),
+        fpga_ms: Some(13.25),
+        is_nas: false,
+    },
+    Table1Row {
+        name: "MobileNet-V2",
+        top1_err: 28.1,
+        top5_err: Some(9.7),
+        gpu_ms: Some(17.87),
+        fpga_ms: Some(10.85),
+        is_nas: false,
+    },
+    Table1Row {
+        name: "ShuffleNet-V2",
+        top1_err: 30.6,
+        top5_err: Some(11.7),
+        gpu_ms: Some(21.91),
+        fpga_ms: None,
+        is_nas: false,
+    },
+    Table1Row {
+        name: "ResNet18",
+        top1_err: 30.2,
+        top5_err: Some(10.9),
+        gpu_ms: Some(9.71),
+        fpga_ms: Some(10.15),
+        is_nas: false,
+    },
+    Table1Row {
+        name: "MnasNet-A1",
+        top1_err: 24.8,
+        top5_err: Some(7.5),
+        gpu_ms: Some(17.94),
+        fpga_ms: Some(8.78),
+        is_nas: true,
+    },
+    Table1Row {
+        name: "FBNet-C",
+        top1_err: 24.9,
+        top5_err: Some(7.6),
+        gpu_ms: Some(22.54),
+        fpga_ms: Some(12.21),
+        is_nas: true,
+    },
+    Table1Row {
+        name: "Proxyless-cpu",
+        top1_err: 24.7,
+        top5_err: Some(7.6),
+        gpu_ms: Some(21.34),
+        fpga_ms: Some(10.81),
+        is_nas: true,
+    },
+    Table1Row {
+        name: "Proxyless-Mobile",
+        top1_err: 25.4,
+        top5_err: Some(7.8),
+        gpu_ms: Some(21.23),
+        fpga_ms: Some(10.78),
+        is_nas: true,
+    },
+    Table1Row {
+        name: "Proxyless-gpu",
+        top1_err: 24.9,
+        top5_err: Some(7.5),
+        gpu_ms: Some(15.72),
+        fpga_ms: Some(10.79),
+        is_nas: true,
+    },
+    Table1Row {
+        name: "EDD-Net-1",
+        top1_err: 25.3,
+        top5_err: Some(7.7),
+        gpu_ms: Some(11.17),
+        fpga_ms: Some(11.15),
+        is_nas: true,
+    },
+    Table1Row {
+        name: "EDD-Net-2",
+        top1_err: 25.4,
+        top5_err: Some(7.9),
+        gpu_ms: Some(13.00),
+        fpga_ms: Some(7.96),
+        is_nas: true,
+    },
+];
+
+/// One column of paper Table 2 (EDD-Net-1 on a GTX 1080 Ti under TensorRT).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2Entry {
+    /// Precision label.
+    pub precision: &'static str,
+    /// Bit-width.
+    pub bits: u32,
+    /// Top-1 test error (%).
+    pub test_err: f32,
+    /// Latency (ms).
+    pub latency_ms: f32,
+}
+
+/// Paper Table 2: EDD-Net-1 accuracy and latency on a 1080 Ti.
+pub const TABLE_2: [Table2Entry; 3] = [
+    Table2Entry {
+        precision: "32-bit Floating",
+        bits: 32,
+        test_err: 25.5,
+        latency_ms: 2.83,
+    },
+    Table2Entry {
+        precision: "16-bit Floating",
+        bits: 16,
+        test_err: 25.3,
+        latency_ms: 2.29,
+    },
+    Table2Entry {
+        precision: "8-bit Integer",
+        bits: 8,
+        test_err: 26.4,
+        latency_ms: 1.74,
+    },
+];
+
+/// One row of paper Table 3 (pipelined FPGA on ZC706, 16-bit fixed point).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Model name.
+    pub name: &'static str,
+    /// Top-1 error (%).
+    pub top1_err: f32,
+    /// Top-5 error (%).
+    pub top5_err: f32,
+    /// Throughput on ZC706 (fps).
+    pub throughput_fps: f32,
+}
+
+/// Paper Table 3: EDD-Net-3 vs DNNBuilder's VGG16 on ZC706 (900 DSPs).
+pub const TABLE_3: [Table3Row; 2] = [
+    Table3Row {
+        name: "VGG16",
+        top1_err: 29.5,
+        top5_err: 10.0,
+        throughput_fps: 27.7,
+    },
+    Table3Row {
+        name: "EDD-Net-3",
+        top1_err: 25.6,
+        top5_err: 7.7,
+        throughput_fps: 40.2,
+    },
+];
+
+/// Headline speedups claimed in the abstract.
+pub mod claims {
+    /// EDD-Net-1 vs Proxyless-gpu on Titan RTX.
+    pub const GPU_SPEEDUP: f32 = 1.40;
+    /// EDD-Net-3 vs DNNBuilder VGG16 on ZC706.
+    pub const FPGA_THROUGHPUT_GAIN: f32 = 1.45;
+    /// EDD-Net-2 vs Proxyless on ZCU102 (CHaiDNN).
+    pub const FPGA_LATENCY_GAIN: f32 = 1.37;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eleven_rows() {
+        assert_eq!(TABLE_1.len(), 11);
+        assert_eq!(TABLE_1.iter().filter(|r| r.is_nas).count(), 7);
+    }
+
+    #[test]
+    fn edd_net_1_is_fastest_nas_gpu_row() {
+        let edd1 = TABLE_1.iter().find(|r| r.name == "EDD-Net-1").unwrap();
+        for r in TABLE_1.iter().filter(|r| r.is_nas && r.name != "EDD-Net-1") {
+            assert!(edd1.gpu_ms.unwrap() <= r.gpu_ms.unwrap());
+        }
+    }
+
+    #[test]
+    fn edd_net_2_is_fastest_fpga_row() {
+        let edd2 = TABLE_1.iter().find(|r| r.name == "EDD-Net-2").unwrap();
+        for r in &TABLE_1 {
+            if let Some(f) = r.fpga_ms {
+                assert!(edd2.fpga_ms.unwrap() <= f, "{} beats EDD-Net-2", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn claimed_gpu_speedup_consistent_with_table() {
+        let edd1 = TABLE_1.iter().find(|r| r.name == "EDD-Net-1").unwrap();
+        let pg = TABLE_1.iter().find(|r| r.name == "Proxyless-gpu").unwrap();
+        let ratio = pg.gpu_ms.unwrap() / edd1.gpu_ms.unwrap();
+        assert!((ratio - claims::GPU_SPEEDUP).abs() < 0.02);
+    }
+
+    #[test]
+    fn table2_monotone_latency() {
+        assert!(TABLE_2[0].latency_ms > TABLE_2[1].latency_ms);
+        assert!(TABLE_2[1].latency_ms > TABLE_2[2].latency_ms);
+        // 8-bit costs accuracy.
+        assert!(TABLE_2[2].test_err > TABLE_2[1].test_err);
+    }
+
+    #[test]
+    fn table3_claim_consistent() {
+        let ratio = TABLE_3[1].throughput_fps / TABLE_3[0].throughput_fps;
+        assert!((ratio - claims::FPGA_THROUGHPUT_GAIN).abs() < 0.01);
+    }
+}

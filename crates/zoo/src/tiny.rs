@@ -1,0 +1,188 @@
+//! Laptop-scale trainable counterparts used by the SynthImageNet
+//! experiments: a tiny MobileNet-V2-style baseline and random-architecture
+//! sampling from an EDD search space (the random-search control).
+
+use edd_core::{BlockChoice, DerivedArch, DeviceTarget, SearchSpace};
+use edd_nn::{
+    Activation, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, MbConv,
+    Sequential,
+};
+use rand::Rng;
+
+/// A small MobileNet-V2-style classifier for `image_size²` RGB inputs:
+/// stem 3×3 → three MBConv stages → 1×1 head → GAP → linear.
+#[must_use]
+pub fn tiny_mobilenet_v2<R: Rng + ?Sized>(
+    image_size: usize,
+    num_classes: usize,
+    rng: &mut R,
+) -> Sequential {
+    let _ = image_size; // fully convolutional; kept for call-site clarity
+    Sequential::new()
+        .push(Conv2d::same(3, 16, 3, 1, rng))
+        .push(BatchNorm2d::new(16))
+        .push(Activation::Relu6)
+        .push(MbConv::new(16, 16, 3, 1, 1, rng))
+        .push(MbConv::new(16, 24, 3, 6, 2, rng))
+        .push(MbConv::new(24, 24, 3, 6, 1, rng))
+        .push(MbConv::new(24, 32, 3, 6, 2, rng))
+        .push(MbConv::new(32, 32, 3, 6, 1, rng))
+        .push(Conv2d::new(32, 64, 1, 1, 0, false, rng))
+        .push(BatchNorm2d::new(64))
+        .push(Activation::Relu6)
+        .push(GlobalAvgPool)
+        .push(Flatten)
+        .push(Linear::new(64, num_classes, rng))
+}
+
+/// A small ResNet-style classifier: stem 3×3 → three conv stages (each two
+/// 3×3 convs with batch norm) → GAP → linear. Plain (non-residual) stacking
+/// — the `Sequential` container has no skip connections — but the same
+/// depth/width profile as a ResNet-10 scaled to small inputs.
+#[must_use]
+pub fn tiny_resnet<R: Rng + ?Sized>(
+    image_size: usize,
+    num_classes: usize,
+    rng: &mut R,
+) -> Sequential {
+    let _ = image_size;
+    let stage = |net: Sequential, cin: usize, cout: usize, stride: usize, rng: &mut R| {
+        net.push(Conv2d::same(cin, cout, 3, stride, rng))
+            .push(BatchNorm2d::new(cout))
+            .push(Activation::Relu)
+            .push(Conv2d::same(cout, cout, 3, 1, rng))
+            .push(BatchNorm2d::new(cout))
+            .push(Activation::Relu)
+    };
+    let mut net = Sequential::new()
+        .push(Conv2d::same(3, 16, 3, 1, rng))
+        .push(BatchNorm2d::new(16))
+        .push(Activation::Relu);
+    net = stage(net, 16, 16, 1, rng);
+    net = stage(net, 16, 32, 2, rng);
+    net = stage(net, 32, 64, 2, rng);
+    net.push(GlobalAvgPool)
+        .push(Flatten)
+        .push(Linear::new(64, num_classes, rng))
+}
+
+/// A small VGG-style classifier: conv-conv-pool blocks with a dropout
+/// classifier head (mirrors the VGG16 topology at laptop width/depth).
+#[must_use]
+pub fn tiny_vgg<R: Rng + ?Sized>(image_size: usize, num_classes: usize, rng: &mut R) -> Sequential {
+    let _ = image_size;
+    Sequential::new()
+        .push(Conv2d::same(3, 16, 3, 1, rng))
+        .push(Activation::Relu)
+        .push(Conv2d::same(16, 16, 3, 1, rng))
+        .push(Activation::Relu)
+        .push(MaxPool2d {
+            kernel: 2,
+            stride: 2,
+        })
+        .push(Conv2d::same(16, 32, 3, 1, rng))
+        .push(Activation::Relu)
+        .push(Conv2d::same(32, 32, 3, 1, rng))
+        .push(Activation::Relu)
+        .push(MaxPool2d {
+            kernel: 2,
+            stride: 2,
+        })
+        .push(GlobalAvgPool)
+        .push(Flatten)
+        .push(Dropout::new(0.3, 0xD0))
+        .push(Linear::new(32, num_classes, rng))
+}
+
+/// Samples a uniformly random architecture from `space` — the
+/// random-search control against which the co-search's Pareto front is
+/// compared.
+#[must_use]
+pub fn random_arch<R: Rng + ?Sized>(
+    space: &SearchSpace,
+    target: &DeviceTarget,
+    rng: &mut R,
+) -> DerivedArch {
+    let blocks = space
+        .blocks
+        .iter()
+        .map(|plan| {
+            let m = rng.gen_range(0..space.num_ops());
+            let (kernel, expansion) = space.op_choice(m);
+            let q = space.quant_bits[rng.gen_range(0..space.num_quant())];
+            BlockChoice {
+                kernel,
+                expansion,
+                out_channels: plan.out_channels,
+                stride: plan.stride,
+                quant_bits: q,
+                parallel_factor: None,
+            }
+        })
+        .collect();
+    DerivedArch {
+        name: format!("random-{}", space.name),
+        target: target.label(),
+        blocks,
+        space: space.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edd_hw::FpgaDevice;
+    use edd_nn::Module;
+    use edd_tensor::{Array, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tiny_mobilenet_classifies_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = tiny_mobilenet_v2(16, 4, &mut rng);
+        let x = Tensor::constant(Array::randn(&[2, 3, 16, 16], 1.0, &mut rng));
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![2, 4]);
+    }
+
+    #[test]
+    fn tiny_resnet_and_vgg_classify() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for net in [tiny_resnet(16, 5, &mut rng), tiny_vgg(16, 5, &mut rng)] {
+            let x = Tensor::constant(Array::randn(&[2, 3, 16, 16], 1.0, &mut rng));
+            let y = net.forward(&x).unwrap();
+            assert_eq!(y.shape(), vec![2, 5]);
+            // Gradients flow end to end.
+            y.cross_entropy(&[0, 1]).unwrap().backward();
+            assert!(net.parameters()[0].grad().is_some());
+        }
+    }
+
+    #[test]
+    fn random_arch_within_space() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let space = SearchSpace::tiny(5, 16, 4, vec![4, 8, 16]);
+        let target = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+        let arch = random_arch(&space, &target, &mut rng);
+        assert_eq!(arch.blocks.len(), 5);
+        for b in &arch.blocks {
+            assert!(space.kernel_choices.contains(&b.kernel));
+            assert!(space.expansion_choices.contains(&b.expansion));
+            assert!(space.quant_bits.contains(&b.quant_bits));
+        }
+        // Buildable and evaluable.
+        let net = arch.to_network_shape();
+        assert!(net.total_work() > 0.0);
+    }
+
+    #[test]
+    fn random_archs_differ() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let space = SearchSpace::tiny(8, 16, 4, vec![4, 8, 16]);
+        let target = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+        let a = random_arch(&space, &target, &mut rng);
+        let b = random_arch(&space, &target, &mut rng);
+        assert_ne!(a.blocks, b.blocks);
+    }
+}

@@ -1,0 +1,57 @@
+//! Deployment-budget exploration: how the best achievable latency and the
+//! tuned implementation change as the FPGA's DSP budget shrinks — the
+//! question an embedded-systems engineer asks when choosing a part.
+//!
+//! Sweeps DSP budgets from a large UltraScale+ down to a small Zynq for
+//! EDD-Net-2 on the recursive accelerator model, at both 16-bit and 8-bit
+//! precision, showing (a) latency scales inversely with budget until the
+//! per-layer overhead floor, and (b) 8-bit halves the DSP cost per
+//! multiplier (Ψ(8) = ½) so it dominates at tight budgets.
+//!
+//! Run: `cargo run --release --example budget_sweep`
+
+use edd::hw::{eval_recursive, tune_recursive, FpgaDevice};
+use edd::zoo::edd_net_2;
+
+fn main() {
+    let net = edd_net_2();
+    println!(
+        "EDD-Net-2 on recursive accelerators ({:.0} MMACs, {} compute layers)\n",
+        net.total_work() / 1e6,
+        net.total_compute_layers()
+    );
+    println!(
+        "{:>10} | {:>12} {:>12} | {:>10}",
+        "DSPs", "16-bit ms", "8-bit ms", "8b speedup"
+    );
+    println!("{}", "-".repeat(54));
+
+    let mut last16 = 0.0f64;
+    for budget in [2520.0, 1800.0, 1200.0, 900.0, 600.0, 360.0, 220.0] {
+        let mut device = FpgaDevice::zcu102();
+        device.dsp_budget = budget;
+        let r16 = eval_recursive(&net, &tune_recursive(&net, 16, &device), &device)
+            .expect("classes covered");
+        let r8 = eval_recursive(&net, &tune_recursive(&net, 8, &device), &device)
+            .expect("classes covered");
+        println!(
+            "{budget:>10.0} | {:>10.2}ms {:>10.2}ms | {:>9.2}x",
+            r16.latency_ms,
+            r8.latency_ms,
+            r16.latency_ms / r8.latency_ms
+        );
+        assert!(
+            r16.latency_ms >= last16 - 1e-9,
+            "smaller budgets must not be faster"
+        );
+        assert!(r8.latency_ms <= r16.latency_ms + 1e-9);
+        last16 = r16.latency_ms;
+    }
+
+    println!(
+        "\nAt large budgets the per-layer invocation overhead dominates and extra\n\
+         DSPs stop helping; at tight budgets the compute term dominates and the\n\
+         8-bit advantage approaches the ideal 4x (Φ and Ψ each halve). This is\n\
+         the trade-off surface the EDD search variables {{Φ, pf}} navigate."
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: run a miniature EDD co-search end-to-end in under a minute.
+//!
+//! Builds a small search space (4 blocks × 9 MBConv candidates × 3
+//! bit-widths), searches it against a recursive FPGA accelerator model on
+//! the synthetic SynthImageNet dataset, and prints the derived
+//! architecture with its modeled latency and resource usage.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use edd::core::{CoSearch, CoSearchConfig, DeviceTarget, SearchSpace};
+use edd::data::{SynthConfig, SynthDataset};
+use edd::hw::{eval_recursive, tune_recursive, FpgaDevice};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 1. The fused search space {A, I}: operator choices x quantization
+    //    choices (4/8/16-bit weights, the paper's FPGA menu).
+    let space = SearchSpace::tiny(4, 16, 6, vec![4, 8, 16]);
+    println!(
+        "search space: {} blocks x {} ops x {} quantizations",
+        space.num_blocks(),
+        space.num_ops(),
+        space.num_quant()
+    );
+
+    // 2. The hardware target: a CHaiDNN-style recursive accelerator on a
+    //    Xilinx ZCU102 (2520 DSPs), latency objective with IP sharing.
+    let device = FpgaDevice::zcu102();
+    let target = DeviceTarget::FpgaRecursive(device.clone());
+
+    // 3. Data: seeded synthetic image classification.
+    let data = SynthDataset::new(SynthConfig {
+        num_classes: 6,
+        image_size: 16,
+        ..SynthConfig::default()
+    });
+    let train = data.split(4, 16, 1);
+    let val = data.split(2, 16, 2);
+
+    // 4. Co-search: bilevel SGD over weights and {Θ, Φ, pf}.
+    let config = CoSearchConfig {
+        epochs: 5,
+        warmup_epochs: 1,
+        ..CoSearchConfig::default()
+    };
+    let mut search = CoSearch::new(space, target, config, &mut rng).expect("valid target");
+    let outcome = search.run(&train, &val, &mut rng).expect("search runs");
+
+    for h in &outcome.history {
+        println!(
+            "epoch {}: train acc {:.2}, val acc {:.2}, E[latency] {:.3} ms, E[DSPs] {:.0}",
+            h.epoch, h.train_acc, h.val_acc, h.expected_perf, h.expected_res
+        );
+    }
+
+    // 5. The derived architecture and its tuned hardware implementation.
+    println!("\n{}", outcome.derived.summary());
+    let net = outcome.derived.to_network_shape();
+    let imp = tune_recursive(&net, 16, &device);
+    let report = eval_recursive(&net, &imp, &device).expect("classes covered");
+    println!(
+        "modeled on {}: latency {:.3} ms, {:.0} DSPs (budget {:.0})",
+        device.name, report.latency_ms, report.dsps, device.dsp_budget
+    );
+}

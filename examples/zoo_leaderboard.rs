@@ -1,0 +1,67 @@
+//! Evaluate the whole model zoo on every hardware model: GPU roofline
+//! latency (Titan RTX, fp32/fp16/int8), recursive-FPGA latency (ZCU102,
+//! 16-bit), and pipelined-FPGA throughput (ZC706, 16-bit) — a one-screen
+//! leaderboard exercising the `edd-hw` + `edd-zoo` public API.
+//!
+//! Run: `cargo run --release --example zoo_leaderboard`
+
+use edd::hw::gpu::GpuPrecision;
+use edd::hw::{
+    eval_gpu, eval_pipelined, eval_recursive, tune_pipelined, tune_recursive, FpgaDevice,
+    GpuDevice, NetworkShape,
+};
+use edd::zoo;
+
+fn main() {
+    let nets: Vec<NetworkShape> = vec![
+        zoo::googlenet(),
+        zoo::mobilenet_v2(),
+        zoo::shufflenet_v2(),
+        zoo::resnet18(),
+        zoo::vgg16(),
+        zoo::mnasnet_a1(),
+        zoo::fbnet_c(),
+        zoo::proxyless_cpu(),
+        zoo::proxyless_mobile(),
+        zoo::proxyless_gpu(),
+        zoo::edd_net_1(),
+        zoo::edd_net_2(),
+        zoo::edd_net_3(),
+    ];
+    let rtx = GpuDevice::titan_rtx();
+    let zcu = FpgaDevice::zcu102();
+    let zc7 = FpgaDevice::zc706();
+
+    println!(
+        "{:<18} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>10} | {:>10}",
+        "Model", "MMACs", "Mparams", "fp32 ms", "fp16 ms", "int8 ms", "ZCU102 ms", "ZC706 fps"
+    );
+    println!("{}", "-".repeat(100));
+    for net in &nets {
+        let fp32 = eval_gpu(net, GpuPrecision::Fp32, &rtx).latency_ms;
+        let fp16 = eval_gpu(net, GpuPrecision::Fp16, &rtx).latency_ms;
+        let int8 = eval_gpu(net, GpuPrecision::Int8, &rtx).latency_ms;
+        let rec = eval_recursive(net, &tune_recursive(net, 16, &zcu), &zcu)
+            .expect("classes covered")
+            .latency_ms;
+        let pipe = eval_pipelined(net, &tune_pipelined(net, 16, &zc7), &zc7)
+            .expect("stage counts")
+            .throughput_fps;
+        println!(
+            "{:<18} {:>8.0} {:>8.1} | {:>8.2} {:>8.2} {:>8.2} | {:>10.2} | {:>10.1}",
+            net.name,
+            net.total_work() / 1e6,
+            net.total_params() / 1e6,
+            fp32,
+            fp16,
+            int8,
+            rec,
+            pipe,
+        );
+    }
+    println!(
+        "\nGPU: Titan RTX roofline, batch 1. ZCU102: recursive accelerator, 16-bit,\n\
+         sqrt-work-optimal DSP split. ZC706: pipelined accelerator, 16-bit,\n\
+         work-proportional stage split with per-stage overhead."
+    );
+}

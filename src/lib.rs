@@ -1,0 +1,23 @@
+//! # edd
+//!
+//! Umbrella crate for the EDD reproduction ("EDD: Efficient Differentiable
+//! DNN Architecture and Implementation Co-search for Embedded AI Solutions",
+//! DAC 2020). Re-exports every workspace crate under one roof so examples
+//! and downstream users can depend on a single package.
+//!
+//! * [`tensor`] — reverse-mode autodiff engine ([`edd_tensor`]).
+//! * [`nn`] — neural-network layers ([`edd_nn`]).
+//! * [`data`] — synthetic dataset generator ([`edd_data`]).
+//! * [`hw`] — analytic hardware performance/resource models ([`edd_hw`]).
+//! * [`core`] — the EDD co-search itself ([`edd_core`]).
+//! * [`zoo`] — baseline and published-EDD architecture descriptors
+//!   ([`edd_zoo`]).
+
+#![warn(missing_docs)]
+
+pub use edd_core as core;
+pub use edd_data as data;
+pub use edd_hw as hw;
+pub use edd_nn as nn;
+pub use edd_tensor as tensor;
+pub use edd_zoo as zoo;

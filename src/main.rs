@@ -1,0 +1,317 @@
+//! `edd` — command-line front-end for the EDD co-search reproduction.
+//!
+//! ```text
+//! edd search  --target fpga-recursive --blocks 4 --classes 6 --epochs 8 --out arch.json
+//! edd eval    --arch arch.json
+//! edd zoo
+//! edd devices
+//! ```
+//!
+//! `search` runs the co-search on SynthImageNet and writes the derived
+//! architecture as JSON; `eval` loads such a JSON artifact and reports its
+//! modeled latency/throughput/resources on every hardware model; `zoo`
+//! prints the model-zoo leaderboard; `devices` lists the built-in device
+//! descriptors.
+
+use edd::core::{CoSearch, CoSearchConfig, DerivedArch, DeviceTarget, SearchSpace};
+use edd::data::{SynthConfig, SynthDataset};
+use edd::hw::gpu::GpuPrecision;
+use edd::hw::{
+    eval_gpu, eval_pipelined, eval_recursive, tune_pipelined, tune_recursive, AccelDevice,
+    FpgaDevice, GpuDevice,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Parsed command-line options: positional subcommand + `--key value`
+/// flags.
+#[derive(Debug, Default)]
+struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+/// Parses `argv`-style input. Flags must be `--key value` pairs; bare
+/// `--key` (no value) is treated as `"true"`.
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut iter = argv.iter().peekable();
+    if let Some(cmd) = iter.next() {
+        args.command = cmd.clone();
+    }
+    while let Some(token) = iter.next() {
+        let Some(key) = token.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument `{token}`"));
+        };
+        let value = match iter.peek() {
+            Some(v) if !v.starts_with("--") => iter.next().expect("peeked").clone(),
+            _ => "true".to_string(),
+        };
+        args.flags.insert(key.to_string(), value);
+    }
+    Ok(args)
+}
+
+impl Args {
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        }
+    }
+
+    fn get_str(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+/// Resolves a target name to a [`DeviceTarget`].
+fn parse_target(name: &str) -> Result<DeviceTarget, String> {
+    match name {
+        "gpu" => Ok(DeviceTarget::Gpu(GpuDevice::titan_rtx())),
+        "fpga-recursive" => Ok(DeviceTarget::FpgaRecursive(FpgaDevice::zcu102())),
+        "fpga-pipelined" => Ok(DeviceTarget::FpgaPipelined(FpgaDevice::zc706())),
+        "dedicated" => Ok(DeviceTarget::Dedicated(AccelDevice::loom_like())),
+        other => Err(format!(
+            "unknown target `{other}` (expected gpu | fpga-recursive | fpga-pipelined | dedicated)"
+        )),
+    }
+}
+
+fn cmd_search(args: &Args) -> Result<(), String> {
+    let target = parse_target(&args.get_str("target", "fpga-recursive"))?;
+    let blocks = args.get_usize("blocks", 4)?;
+    let classes = args.get_usize("classes", 6)?;
+    let epochs = args.get_usize("epochs", 8)?;
+    let seed = args.get_usize("seed", 42)? as u64;
+    let out = args.get_str("out", "edd_arch.json");
+
+    let space = SearchSpace::tiny(blocks, 16, classes, target.default_quant_bits());
+    println!(
+        "searching {} blocks x {} ops x {} quantizations for {} ({} epochs)...",
+        space.num_blocks(),
+        space.num_ops(),
+        space.num_quant(),
+        target.label(),
+        epochs
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = CoSearchConfig {
+        epochs,
+        warmup_epochs: (epochs / 5).max(1),
+        ..CoSearchConfig::default()
+    };
+    let data = SynthDataset::new(SynthConfig {
+        num_classes: classes,
+        image_size: 16,
+        ..SynthConfig::default()
+    });
+    let train = data.split(6, 16, 1);
+    let val = data.split(3, 16, 2);
+    let mut search = CoSearch::new(space, target, config, &mut rng).map_err(|e| e.to_string())?;
+    let outcome = search
+        .run(&train, &val, &mut rng)
+        .map_err(|e| e.to_string())?;
+    for h in &outcome.history {
+        println!(
+            "  epoch {:>2}: train acc {:.2}, val acc {:.2}, E[perf] {:.4}, E[res] {:.0}",
+            h.epoch, h.train_acc, h.val_acc, h.expected_perf, h.expected_res
+        );
+    }
+    println!("\n{}", outcome.derived.summary());
+    let json = outcome.derived.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out} ({} bytes)", json.len());
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let path = args
+        .flags
+        .get("arch")
+        .ok_or("eval requires --arch <file.json>")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let arch = DerivedArch::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    println!("{}", arch.summary());
+    let net = arch.to_network_shape();
+    println!(
+        "work: {:.1} MMACs, params: {:.2} M, compute layers: {}",
+        net.total_work() / 1e6,
+        net.total_params() / 1e6,
+        net.total_compute_layers()
+    );
+
+    let rtx = GpuDevice::titan_rtx();
+    for p in GpuPrecision::all() {
+        let r = eval_gpu(&net, p, &rtx);
+        println!("GPU ({}) @ {:?}: {:.3} ms", rtx.name, p, r.latency_ms);
+    }
+    let zcu = FpgaDevice::zcu102();
+    let rec =
+        eval_recursive(&net, &tune_recursive(&net, 16, &zcu), &zcu).map_err(|e| e.to_string())?;
+    println!(
+        "FPGA recursive ({}) @16b: {:.3} ms, {:.0} DSPs",
+        zcu.name, rec.latency_ms, rec.dsps
+    );
+    let zc7 = FpgaDevice::zc706();
+    let pipe =
+        eval_pipelined(&net, &tune_pipelined(&net, 16, &zc7), &zc7).map_err(|e| e.to_string())?;
+    println!(
+        "FPGA pipelined ({}) @16b: {:.1} fps, {:.0} DSPs",
+        zc7.name, pipe.throughput_fps, pipe.dsps
+    );
+    Ok(())
+}
+
+fn cmd_zoo() {
+    let nets = [
+        edd::zoo::googlenet(),
+        edd::zoo::mobilenet_v2(),
+        edd::zoo::shufflenet_v2(),
+        edd::zoo::resnet18(),
+        edd::zoo::vgg16(),
+        edd::zoo::mnasnet_a1(),
+        edd::zoo::fbnet_c(),
+        edd::zoo::proxyless_cpu(),
+        edd::zoo::proxyless_mobile(),
+        edd::zoo::proxyless_gpu(),
+        edd::zoo::edd_net_1(),
+        edd::zoo::edd_net_2(),
+        edd::zoo::edd_net_3(),
+    ];
+    let rtx = GpuDevice::titan_rtx();
+    let zcu = FpgaDevice::zcu102();
+    println!(
+        "{:<18} {:>9} {:>9} {:>11} {:>12}",
+        "model", "MMACs", "Mparams", "GPU fp32", "ZCU102 16b"
+    );
+    for net in &nets {
+        let gpu = eval_gpu(net, GpuPrecision::Fp32, &rtx).latency_ms;
+        let rec = eval_recursive(net, &tune_recursive(net, 16, &zcu), &zcu)
+            .expect("tuned")
+            .latency_ms;
+        println!(
+            "{:<18} {:>9.0} {:>9.1} {:>9.2}ms {:>10.2}ms",
+            net.name,
+            net.total_work() / 1e6,
+            net.total_params() / 1e6,
+            gpu,
+            rec
+        );
+    }
+}
+
+fn cmd_devices() {
+    println!("GPUs:");
+    for d in [
+        GpuDevice::titan_rtx(),
+        GpuDevice::gtx_1080_ti(),
+        GpuDevice::p100(),
+    ] {
+        println!(
+            "  {:<14} {:>5.1} fp32 TMAC/s, {:>5.0} GB/s, {:.2} ms/layer",
+            d.name, d.peak_tmacs_fp32, d.mem_bw_gbs, d.per_layer_overhead_ms
+        );
+    }
+    println!("FPGAs:");
+    for d in [FpgaDevice::zcu102(), FpgaDevice::zc706()] {
+        println!(
+            "  {:<14} {:>5.0} DSPs @ {:.0} MHz (eff {:.2})",
+            d.name, d.dsp_budget, d.clock_mhz, d.efficiency
+        );
+    }
+    let a = AccelDevice::loom_like();
+    println!("Dedicated:");
+    println!(
+        "  {:<14} {:>5.1} TMAC/s @16x16b, {}-bit activations",
+        a.name,
+        a.peak_macs_16x16 / 1e12,
+        a.activation_bits
+    );
+}
+
+const USAGE: &str = "usage: edd <search|eval|zoo|devices> [--flags]\n\
+  search  --target gpu|fpga-recursive|fpga-pipelined|dedicated \\\n          --blocks N --classes C --epochs E --seed S --out FILE\n\
+  eval    --arch FILE\n\
+  zoo\n\
+  devices";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "search" => cmd_search(&args),
+        "eval" => cmd_eval(&args),
+        "zoo" => {
+            cmd_zoo();
+            Ok(())
+        }
+        "devices" => {
+            cmd_devices();
+            Ok(())
+        }
+        "" | "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|v| (*v).to_string()).collect()
+    }
+
+    #[test]
+    fn parse_basic_flags() {
+        let a = parse_args(&argv(&["search", "--blocks", "5", "--quick"])).unwrap();
+        assert_eq!(a.command, "search");
+        assert_eq!(a.get_usize("blocks", 0).unwrap(), 5);
+        assert_eq!(a.get_str("quick", "false"), "true");
+        assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn parse_rejects_positional() {
+        assert!(parse_args(&argv(&["search", "oops"])).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_number() {
+        let a = parse_args(&argv(&["search", "--blocks", "many"])).unwrap();
+        assert!(a.get_usize("blocks", 0).is_err());
+    }
+
+    #[test]
+    fn target_names_resolve() {
+        assert!(parse_target("gpu").is_ok());
+        assert!(parse_target("fpga-recursive").is_ok());
+        assert!(parse_target("fpga-pipelined").is_ok());
+        assert!(parse_target("dedicated").is_ok());
+        assert!(parse_target("tpu").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Integration test: checkpointing the search variables mid-run and
+//! restoring them into a fresh `ArchParams` reproduces the same derived
+//! architecture and the same differentiable estimates.
+
+use edd::core::{
+    estimate, ArchCheckpoint, ArchParams, DerivedArch, DeviceTarget, PerfTables, SearchSpace,
+};
+use edd::hw::FpgaDevice;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (SearchSpace, DeviceTarget) {
+    (
+        SearchSpace::tiny(4, 16, 4, vec![4, 8, 16]),
+        DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+    )
+}
+
+#[test]
+fn checkpoint_survives_json_and_reproduces_derivation() {
+    let (space, target) = setup();
+    let mut rng = StdRng::seed_from_u64(21);
+    let original = ArchParams::init(&space, &target, &mut rng);
+    // Perturb the variables so the checkpoint is non-trivial.
+    for (i, t) in original.theta.iter().enumerate() {
+        t.update_value(|a| a.data_mut()[i % 9] = 5.0);
+    }
+    let ckpt = original.checkpoint();
+    let json = serde_json::to_string(&ckpt).expect("serializes");
+
+    // Restore into a freshly initialized (different) parameter set.
+    let mut rng2 = StdRng::seed_from_u64(999);
+    let restored = ArchParams::init(&space, &target, &mut rng2);
+    let parsed: ArchCheckpoint = serde_json::from_str(&json).expect("parses");
+    restored.restore(&parsed).expect("layouts match");
+
+    let d1 = DerivedArch::from_params(&space, &target, &original);
+    let d2 = DerivedArch::from_params(&space, &target, &restored);
+    assert_eq!(d1.blocks, d2.blocks);
+}
+
+#[test]
+fn restored_params_give_identical_estimates() {
+    let (space, target) = setup();
+    let mut rng = StdRng::seed_from_u64(22);
+    let a = ArchParams::init(&space, &target, &mut rng);
+    let tables = PerfTables::build(&space, &target).expect("tables");
+    let ckpt = a.checkpoint();
+
+    let mut rng_b = StdRng::seed_from_u64(777);
+    let b = ArchParams::init(&space, &target, &mut rng_b);
+    b.restore(&ckpt).expect("layouts match");
+
+    // Same noise seed -> identical stochastic estimates.
+    let mut n1 = StdRng::seed_from_u64(5);
+    let mut n2 = StdRng::seed_from_u64(5);
+    let e1 = estimate(&a, &tables, &space, &target, 1.0, &mut n1).expect("estimate");
+    let e2 = estimate(&b, &tables, &space, &target, 1.0, &mut n2).expect("estimate");
+    assert_eq!(e1.perf.item(), e2.perf.item());
+    assert_eq!(e1.res.item(), e2.res.item());
+}
+
+#[test]
+fn checkpoint_is_compact_json() {
+    let (space, target) = setup();
+    let mut rng = StdRng::seed_from_u64(23);
+    let a = ArchParams::init(&space, &target, &mut rng);
+    let json = serde_json::to_string(&a.checkpoint()).expect("serializes");
+    // 4 theta x 9 + 36 phi x 3 + 36 pf floats — well under 16 KiB of JSON.
+    assert!(
+        json.len() < 16_384,
+        "checkpoint unexpectedly large: {}",
+        json.len()
+    );
+}

@@ -1,0 +1,93 @@
+//! End-to-end smoke tests of the `edd` CLI binary: a search run writes a
+//! JSON artifact that `eval` then consumes; informational subcommands
+//! print what they promise; bad input fails with a nonzero exit code.
+
+use std::process::Command;
+
+fn edd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_edd"))
+}
+
+#[test]
+fn devices_lists_all_platforms() {
+    let out = edd().arg("devices").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["Titan RTX", "GTX 1080 Ti", "ZCU102", "ZC706", "Loom"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn zoo_prints_thirteen_models() {
+    let out = edd().arg("zoo").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["GoogleNet", "VGG16", "EDD-Net-1", "EDD-Net-2", "EDD-Net-3"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn search_then_eval_roundtrip() {
+    let out_path = std::env::temp_dir().join("edd_cli_smoke_arch.json");
+    let out = edd()
+        .args([
+            "search",
+            "--target",
+            "fpga-pipelined",
+            "--blocks",
+            "2",
+            "--classes",
+            "4",
+            "--epochs",
+            "2",
+            "--out",
+        ])
+        .arg(&out_path)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "search failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out_path.exists());
+
+    let eval = edd()
+        .args(["eval", "--arch"])
+        .arg(&out_path)
+        .output()
+        .expect("runs");
+    assert!(eval.status.success());
+    let text = String::from_utf8_lossy(&eval.stdout);
+    assert!(text.contains("FPGA pipelined"));
+    assert!(text.contains("GPU (Titan RTX)"));
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = edd().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bad_target_fails_with_message() {
+    let out = edd()
+        .args(["search", "--target", "abacus"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown target"), "stderr: {err}");
+}
+
+#[test]
+fn eval_missing_file_fails() {
+    let out = edd()
+        .args(["eval", "--arch", "/nonexistent/void.json"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+}

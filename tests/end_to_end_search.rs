@@ -1,0 +1,148 @@
+//! End-to-end integration tests: the full co-search pipeline (supernet
+//! training → architecture step → derivation → final training →
+//! hardware evaluation) for each of the paper's three device targets.
+
+use edd::core::{CoSearch, CoSearchConfig, DerivedArch, DeviceTarget, SearchSpace};
+use edd::data::{SynthConfig, SynthDataset};
+use edd::hw::{
+    eval_gpu, eval_pipelined, eval_recursive, tune_pipelined, tune_recursive, FpgaDevice, GpuDevice,
+};
+use edd::nn::{evaluate, train_epoch, Module};
+use edd::tensor::optim::Sgd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_search(target: DeviceTarget, quants: Vec<u32>, seed: u64) -> DerivedArch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = SearchSpace::tiny(3, 16, 4, quants);
+    let config = CoSearchConfig {
+        epochs: 3,
+        warmup_epochs: 1,
+        ..CoSearchConfig::default()
+    };
+    let data = SynthDataset::new(SynthConfig::tiny());
+    let train = data.split(2, 8, 1);
+    let val = data.split(1, 8, 2);
+    let mut search = CoSearch::new(space, target, config, &mut rng).expect("target valid");
+    search
+        .run(&train, &val, &mut rng)
+        .expect("search runs")
+        .derived
+}
+
+#[test]
+fn gpu_target_end_to_end() {
+    let arch = run_search(
+        DeviceTarget::Gpu(GpuDevice::titan_rtx()),
+        vec![8, 16, 32],
+        1,
+    );
+    assert_eq!(arch.blocks.len(), 3);
+    // GPU: uniform precision across blocks (φ is global).
+    let q0 = arch.blocks[0].quant_bits;
+    assert!(arch.blocks.iter().all(|b| b.quant_bits == q0));
+    assert!(arch.blocks.iter().all(|b| b.parallel_factor.is_none()));
+    // Evaluable on the GPU model.
+    let report = eval_gpu(
+        &arch.to_network_shape(),
+        edd::hw::GpuPrecision::from_bits(q0).expect("menu bits"),
+        &GpuDevice::titan_rtx(),
+    );
+    assert!(report.latency_ms > 0.0 && report.latency_ms.is_finite());
+}
+
+#[test]
+fn recursive_fpga_target_end_to_end() {
+    let device = FpgaDevice::zcu102();
+    let arch = run_search(
+        DeviceTarget::FpgaRecursive(device.clone()),
+        vec![4, 8, 16],
+        2,
+    );
+    // Recursive: shared implementation per op class — blocks choosing the
+    // same (kernel, expansion) must agree on quantization and pf.
+    for a in &arch.blocks {
+        for b in &arch.blocks {
+            if a.kernel == b.kernel && a.expansion == b.expansion {
+                assert_eq!(a.quant_bits, b.quant_bits);
+                assert_eq!(a.parallel_factor, b.parallel_factor);
+            }
+        }
+    }
+    let net = arch.to_network_shape();
+    let imp = tune_recursive(&net, 16, &device);
+    let report = eval_recursive(&net, &imp, &device).expect("classes covered");
+    assert!(report.dsps <= device.dsp_budget * 1.001);
+}
+
+#[test]
+fn pipelined_fpga_target_end_to_end() {
+    let device = FpgaDevice::zc706();
+    let arch = run_search(
+        DeviceTarget::FpgaPipelined(device.clone()),
+        vec![4, 8, 16],
+        3,
+    );
+    assert!(arch.blocks.iter().all(|b| b.parallel_factor.is_some()));
+    let net = arch.to_network_shape();
+    let imp = tune_pipelined(&net, 16, &device);
+    let report = eval_pipelined(&net, &imp, &device).expect("stage counts");
+    assert!(report.throughput_fps > 0.0);
+    assert!(report.dsps <= device.dsp_budget * 1.001);
+}
+
+#[test]
+fn derived_architecture_trains_above_chance() {
+    let arch = run_search(
+        DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+        vec![4, 8, 16],
+        4,
+    );
+    let mut rng = StdRng::seed_from_u64(10);
+    let model = arch.build_model(&mut rng);
+    let data = SynthDataset::new(SynthConfig::tiny());
+    let train = data.split(6, 16, 5);
+    let test = data.split(3, 16, 6);
+    let mut opt = Sgd::new(model.parameters(), 0.05, 0.9, 1e-4);
+    for _ in 0..6 {
+        train_epoch(&model, &mut opt, &train).expect("training");
+    }
+    let stats = evaluate(&model, &test).expect("eval");
+    // 4 classes -> chance is 0.25; require clear learning.
+    assert!(stats.top1 > 0.5, "top1 {} not above chance", stats.top1);
+}
+
+#[test]
+fn derived_architecture_json_roundtrip_through_file() {
+    let arch = run_search(
+        DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+        vec![4, 8, 16],
+        5,
+    );
+    let json = arch.to_json().expect("serializes");
+    let path = std::env::temp_dir().join("edd_integration_arch.json");
+    std::fs::write(&path, &json).expect("temp write");
+    let loaded = std::fs::read_to_string(&path).expect("temp read");
+    let back = DerivedArch::from_json(&loaded).expect("parses");
+    assert_eq!(back, arch);
+    // The reloaded artifact still builds a working model.
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = back.build_model(&mut rng);
+    assert!(model.num_parameters() > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn search_is_deterministic_given_seed() {
+    let a = run_search(
+        DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+        vec![4, 8, 16],
+        77,
+    );
+    let b = run_search(
+        DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+        vec![4, 8, 16],
+        77,
+    );
+    assert_eq!(a, b);
+}

@@ -1,0 +1,179 @@
+//! Cross-crate gradient-flow tests: finite-difference verification of the
+//! differentiable performance/resource formulation (Eq. 2–10) with frozen
+//! Gumbel noise, and end-to-end gradient reachability through the fused
+//! loss (Eq. 1).
+
+use edd::core::{
+    edd_loss, estimate, ArchParams, DeviceTarget, LossConfig, PerfTables, SearchSpace,
+};
+use edd::hw::FpgaDevice;
+use edd::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Evaluates perf + res at the current parameters with a *fixed* noise
+/// seed, making the stochastic estimate a deterministic function of the
+/// architecture parameters (so central differences are valid).
+fn frozen_loss(
+    arch: &ArchParams,
+    tables: &PerfTables,
+    space: &SearchSpace,
+    target: &DeviceTarget,
+    noise_seed: u64,
+) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(noise_seed);
+    let est = estimate(arch, tables, space, target, 1.0, &mut rng).expect("estimate");
+    edd_loss(
+        &Tensor::scalar(1.0),
+        &est.perf,
+        &est.res,
+        target.resource_bound(),
+        &LossConfig::default(),
+    )
+    .expect("loss")
+}
+
+fn check_param_gradient(
+    param: &Tensor,
+    index: usize,
+    arch: &ArchParams,
+    tables: &PerfTables,
+    space: &SearchSpace,
+    target: &DeviceTarget,
+) -> (f32, f32) {
+    for p in arch.all_params() {
+        p.zero_grad();
+    }
+    let loss = frozen_loss(arch, tables, space, target, 99);
+    loss.backward();
+    let analytic = param.grad().map_or(0.0, |g| g.data()[index]);
+    let eps = 1e-2;
+    let orig = param.value().data()[index];
+    param.update_value(|a| a.data_mut()[index] = orig + eps);
+    let lp = frozen_loss(arch, tables, space, target, 99).item();
+    param.update_value(|a| a.data_mut()[index] = orig - eps);
+    let lm = frozen_loss(arch, tables, space, target, 99).item();
+    param.update_value(|a| a.data_mut()[index] = orig);
+    ((lp - lm) / (2.0 * eps), analytic)
+}
+
+#[test]
+fn perf_model_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let space = SearchSpace::tiny(3, 16, 4, vec![4, 8, 16]);
+    let target = DeviceTarget::FpgaPipelined(FpgaDevice::zc706());
+    let arch = ArchParams::init(&space, &target, &mut rng);
+    let tables = PerfTables::build(&space, &target).expect("tables");
+
+    // Theta of block 1, element 4.
+    let (num, ana) = check_param_gradient(&arch.theta[1], 4, &arch, &tables, &space, &target);
+    assert!(
+        (num - ana).abs() < 0.05 * num.abs().max(ana.abs()).max(1e-3),
+        "theta: numeric {num} vs analytic {ana}"
+    );
+
+    // Phi of (block 2, op 3), element 1.
+    let phi = arch.phi_logits(2, 3).clone();
+    let (num, ana) = check_param_gradient(&phi, 1, &arch, &tables, &space, &target);
+    assert!(
+        (num - ana).abs() < 0.05 * num.abs().max(ana.abs()).max(1e-3),
+        "phi: numeric {num} vs analytic {ana}"
+    );
+
+    // Parallel factor of (block 0, op 0).
+    let pf = arch.pf(0, 0).expect("pipelined has pf").clone();
+    let (num, ana) = check_param_gradient(&pf, 0, &arch, &tables, &space, &target);
+    assert!(
+        (num - ana).abs() < 0.07 * num.abs().max(ana.abs()).max(1e-3),
+        "pf: numeric {num} vs analytic {ana}"
+    );
+}
+
+#[test]
+fn recursive_target_gradients_match_too() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let space = SearchSpace::tiny(3, 16, 4, vec![4, 8, 16]);
+    let target = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+    let arch = ArchParams::init(&space, &target, &mut rng);
+    let tables = PerfTables::build(&space, &target).expect("tables");
+
+    let (num, ana) = check_param_gradient(&arch.theta[0], 0, &arch, &tables, &space, &target);
+    assert!(
+        (num - ana).abs() < 0.05 * num.abs().max(ana.abs()).max(1e-3),
+        "theta: numeric {num} vs analytic {ana}"
+    );
+    // Shared pf (class 2).
+    let pf = arch.pf(1, 2).expect("recursive has pf").clone();
+    let (num, ana) = check_param_gradient(&pf, 0, &arch, &tables, &space, &target);
+    assert!(
+        (num - ana).abs() < 0.07 * num.abs().max(ana.abs()).max(1e-3),
+        "shared pf: numeric {num} vs analytic {ana}"
+    );
+}
+
+#[test]
+fn pf_gradient_signs_encode_the_tradeoff() {
+    // Under the fused loss, increasing pf lowers latency (good) but raises
+    // resource (bad near the budget). Far below budget the latency term
+    // dominates: d loss / d pf < 0.
+    let mut rng = StdRng::seed_from_u64(7);
+    let space = SearchSpace::tiny(2, 16, 4, vec![4, 8, 16]);
+    let target = DeviceTarget::FpgaPipelined(FpgaDevice::zc706());
+    let arch = ArchParams::init(&space, &target, &mut rng);
+    let tables = PerfTables::build(&space, &target).expect("tables");
+
+    // Push pf low so resources are far under budget.
+    for i in 0..2 {
+        for m in 0..9 {
+            arch.pf(i, m)
+                .expect("pf")
+                .update_value(|a| a.data_mut()[0] = 2.0);
+        }
+    }
+    for p in arch.all_params() {
+        p.zero_grad();
+    }
+    let mut rng2 = StdRng::seed_from_u64(1);
+    let est = estimate(&arch, &tables, &space, &target, 1.0, &mut rng2).expect("estimate");
+    // Use a pure latency loss to isolate the sign.
+    est.perf.backward();
+    let g = arch.pf(0, 0).expect("pf").grad().expect("grad").item();
+    assert!(g < 0.0, "latency gradient should push pf upward (grad {g})");
+}
+
+#[test]
+fn resource_penalty_pushes_pf_down_when_over_budget() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let space = SearchSpace::tiny(2, 16, 4, vec![8, 16, 16]);
+    let target = DeviceTarget::FpgaPipelined(FpgaDevice::zc706());
+    let arch = ArchParams::init(&space, &target, &mut rng);
+    let tables = PerfTables::build(&space, &target).expect("tables");
+
+    // Push pf so high that resources vastly exceed the 900-DSP budget.
+    for i in 0..2 {
+        for m in 0..9 {
+            arch.pf(i, m)
+                .expect("pf")
+                .update_value(|a| a.data_mut()[0] = 12.0);
+        }
+    }
+    for p in arch.all_params() {
+        p.zero_grad();
+    }
+    let mut rng2 = StdRng::seed_from_u64(1);
+    let est = estimate(&arch, &tables, &space, &target, 1.0, &mut rng2).expect("estimate");
+    let loss = edd_loss(
+        &Tensor::scalar(1.0),
+        &est.perf,
+        &est.res,
+        target.resource_bound(),
+        &LossConfig::default(),
+    )
+    .expect("loss");
+    loss.backward();
+    let g = arch.pf(0, 0).expect("pf").grad().expect("grad").item();
+    assert!(
+        g > 0.0,
+        "over budget the penalty must push pf down (grad {g})"
+    );
+}

@@ -1,0 +1,113 @@
+//! Integration tests at the paper's true scale: the N = 20, M = 9, Q = 3
+//! ImageNet search space (224²). The supernet itself is too heavy to train
+//! in CI, but everything around it — coefficient tables, architecture
+//! parameters, derivation, hardware evaluation — must work at this scale.
+
+use edd::core::{ArchParams, DerivedArch, DeviceTarget, PerfTables, SearchSpace};
+use edd::hw::{eval_recursive, tune_recursive, AccelDevice, FpgaDevice, GpuDevice};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn paper_space_tables_build_for_all_targets() {
+    let fpga_space = SearchSpace::paper_imagenet(vec![4, 8, 16]);
+    let gpu_space = SearchSpace::paper_imagenet(vec![8, 16, 32]);
+    let ded_space = SearchSpace::paper_imagenet(vec![2, 4, 8, 16]);
+
+    for (space, target) in [
+        (
+            &fpga_space,
+            DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+        ),
+        (
+            &fpga_space,
+            DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+        ),
+        (&gpu_space, DeviceTarget::Gpu(GpuDevice::titan_rtx())),
+        (
+            &ded_space,
+            DeviceTarget::Dedicated(AccelDevice::loom_like()),
+        ),
+    ] {
+        let tables =
+            PerfTables::build(space, &target).unwrap_or_else(|e| panic!("{}: {e}", target.label()));
+        assert_eq!(tables.lat.len(), 20);
+        assert_eq!(tables.lat[0].len(), 9);
+        for row in &tables.lat {
+            for cell in row {
+                for &v in cell {
+                    assert!(
+                        v.is_finite() && v > 0.0,
+                        "{}: bad coeff {v}",
+                        target.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_space_derived_network_is_imagenet_class() {
+    let space = SearchSpace::paper_imagenet(vec![4, 8, 16]);
+    let target = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+    let mut rng = StdRng::seed_from_u64(3);
+    let arch = ArchParams::init(&space, &target, &mut rng);
+    let derived = DerivedArch::from_params(&space, &target, &arch);
+    let net = derived.to_network_shape();
+    // MobileNet-class compute: hundreds of MMACs, millions of params.
+    let mmacs = net.total_work() / 1e6;
+    assert!(
+        (100.0..3000.0).contains(&mmacs),
+        "derived paper-space net at {mmacs:.0} MMACs"
+    );
+    // Evaluable on the hardware model in the latency range the paper's
+    // Table 1 reports (single-digit to tens of ms).
+    let d = FpgaDevice::zcu102();
+    let report = eval_recursive(&net, &tune_recursive(&net, 16, &d), &d).expect("tuned");
+    assert!(
+        (1.0..100.0).contains(&report.latency_ms),
+        "latency {:.1} ms",
+        report.latency_ms
+    );
+}
+
+#[test]
+fn paper_space_arch_params_sizes() {
+    let space = SearchSpace::paper_imagenet(vec![4, 8, 16]);
+    let mut rng = StdRng::seed_from_u64(4);
+    // Pipelined: theta N + phi N*M + pf N*M tensors.
+    let pipe = ArchParams::init(
+        &space,
+        &DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+        &mut rng,
+    );
+    assert_eq!(pipe.all_params().len(), 20 + 180 + 180);
+    // Recursive sharing collapses phi/pf to M each.
+    let rec = ArchParams::init(
+        &space,
+        &DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+        &mut rng,
+    );
+    assert_eq!(rec.all_params().len(), 20 + 9 + 9);
+}
+
+#[test]
+fn paper_space_pf_initialization_magnitudes() {
+    // §5: recursive pf0 = log2(2520/9) ≈ 8.13; pipelined pf0 =
+    // log2(900/180) ≈ 2.32.
+    let space = SearchSpace::paper_imagenet(vec![4, 8, 16]);
+    let mut rng = StdRng::seed_from_u64(5);
+    let rec = ArchParams::init(
+        &space,
+        &DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+        &mut rng,
+    );
+    assert!((rec.pf(0, 0).unwrap().item() - 8.13).abs() < 0.01);
+    let pipe = ArchParams::init(
+        &space,
+        &DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+        &mut rng,
+    );
+    assert!((pipe.pf(0, 0).unwrap().item() - 2.32).abs() < 0.01);
+}
