@@ -31,6 +31,17 @@ fn bench_sampled_forward(c: &mut Criterion) {
     });
 }
 
+fn bench_sampled_forward_batch8(c: &mut Criterion) {
+    // Larger batch: the conv paths thread over images, so this is the case
+    // that scales with EDD_NUM_THREADS on multi-core hosts.
+    let (_, net, arch, _, _) = setup();
+    let mut rng = StdRng::seed_from_u64(11);
+    let x = Tensor::constant(Array::randn(&[8, 3, 16, 16], 1.0, &mut rng));
+    c.bench_function("supernet_sampled_forward_b8", |b| {
+        b.iter(|| black_box(net.forward_sampled(&x, &arch, 1.0, &mut rng).unwrap()));
+    });
+}
+
 fn bench_weight_step(c: &mut Criterion) {
     let (_, net, arch, _, _) = setup();
     let mut rng = StdRng::seed_from_u64(12);
@@ -81,6 +92,7 @@ fn bench_arch_step(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_sampled_forward,
+    bench_sampled_forward_batch8,
     bench_weight_step,
     bench_perf_estimate,
     bench_arch_step

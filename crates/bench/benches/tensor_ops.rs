@@ -21,6 +21,21 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_matmul_naive(c: &mut Criterion) {
+    // The scalar reference oracle, kept as the "before" baseline so the
+    // blocked kernel's win stays measurable from the same bench run.
+    let mut group = c.benchmark_group("matmul_naive");
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [32usize, 64, 128] {
+        let a = Array::randn(&[n, n], 1.0, &mut rng);
+        let b = Array::randn(&[n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_naive(&b).unwrap()));
+        });
+    }
+    group.finish();
+}
+
 fn bench_conv_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv2d_forward");
     let mut rng = StdRng::seed_from_u64(2);
@@ -78,6 +93,7 @@ fn bench_batchnorm(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_matmul_naive,
     bench_conv_forward,
     bench_conv_backward,
     bench_dwconv,

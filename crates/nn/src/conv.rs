@@ -1,4 +1,9 @@
 //! Convolution layers: standard [`Conv2d`] and depthwise [`DwConv2d`].
+//!
+//! Both lower onto `edd-tensor`'s blocked kernel layer: im2col + tiled
+//! GEMM for [`Conv2d`], shifted-row accumulation for [`DwConv2d`], with
+//! the batch dimension threaded across `EDD_NUM_THREADS` workers
+//! (bitwise-deterministic in the thread count).
 
 use crate::init::{kaiming_conv, kaiming_dwconv};
 use crate::module::{maybe_quantize, Module, QuantSpec, QuantizableModule};

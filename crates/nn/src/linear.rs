@@ -1,4 +1,9 @@
 //! Fully-connected layer.
+//!
+//! Forward and backward run on `edd-tensor`'s blocked GEMM kernel layer:
+//! the matmul uses the register-tiled kernel and the backward pass the
+//! transpose-free `AᵀB` / `ABᵀ` variants, with the bias add taking the
+//! rank-1 broadcast fast path.
 
 use crate::init::xavier_linear;
 use crate::module::{maybe_quantize, Module, QuantSpec, QuantizableModule};

@@ -141,7 +141,7 @@ mod tests {
                 let class = rng.gen_range(0..2usize);
                 let center = if class == 0 { -1.0 } else { 1.0 };
                 for _ in 0..4 {
-                    images.push(center + rng.gen_range(-0.3..0.3));
+                    images.push(center + rng.gen_range(-0.3f32..0.3));
                 }
                 labels.push(class);
             }

@@ -239,6 +239,20 @@ impl Array {
             let a = self.data[0];
             return Ok(other.map(|b| f(a, b)));
         }
+        // Fast path: rank-1 rhs broadcast along the last axis (the bias-add
+        // pattern `[m, n] + [n]`), avoiding the odometer loop below.
+        if other.shape.len() == 1 && other.shape[0] > 0 && self.shape.last() == Some(&other.shape[0])
+        {
+            let n = other.shape[0];
+            let mut data = Vec::with_capacity(self.data.len());
+            for row in self.data.chunks_exact(n) {
+                data.extend(row.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+            }
+            return Ok(Array {
+                shape: self.shape.clone(),
+                data,
+            });
+        }
         let out_shape = broadcast_shapes(&self.shape, &other.shape, op)?;
         let rank = out_shape.len();
         let out_strides = row_major_strides(&out_shape);
@@ -434,13 +448,9 @@ impl Array {
         Ok(cur)
     }
 
-    /// 2-D matrix multiplication: `[m, k] x [k, n] -> [m, n]`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error unless both operands are rank-2 with matching inner
-    /// dimensions.
-    pub fn matmul(&self, other: &Array) -> Result<Array> {
+    /// Validates rank-2 operands whose dimension `self.shape[ai]` must
+    /// equal `other.shape[bi]` (the contraction axes of a GEMM variant).
+    fn gemm_dims(&self, other: &Array, ai: usize, bi: usize, op: &'static str) -> Result<()> {
         if self.shape.len() != 2 || other.shape.len() != 2 {
             return Err(TensorError::InvalidShape {
                 shape: if self.shape.len() != 2 {
@@ -448,33 +458,90 @@ impl Array {
                 } else {
                     other.shape.clone()
                 },
-                reason: "matmul requires rank-2 operands".into(),
+                reason: format!("{op} requires rank-2 operands"),
             });
         }
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
-        if k != k2 {
+        if self.shape[ai] != other.shape[bi] {
             return Err(TensorError::ShapeMismatch {
                 lhs: self.shape.clone(),
                 rhs: other.shape.clone(),
-                op: "matmul",
+                op,
             });
         }
+        Ok(())
+    }
+
+    /// 2-D matrix multiplication: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Runs on the blocked, register-tiled kernel layer ([`crate::kernel`]);
+    /// large products are threaded over output row blocks with bitwise
+    /// thread-count-independent results.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank-2 with matching inner
+    /// dimensions.
+    pub fn matmul(&self, other: &Array) -> Result<Array> {
+        self.gemm_dims(other, 1, 0, "matmul")?;
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
         let mut out = Array::zeros(&[m, n]);
-        // i-k-j loop order: streams rhs rows, cache friendly for row-major.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernel::matmul_into(&mut out.data, &self.data, &other.data, m, k, n);
+        Ok(out)
+    }
+
+    /// Reference scalar matrix multiplication (the unblocked i-k-j loop),
+    /// kept as the oracle the optimized [`Array::matmul`] path is tested
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank-2 with matching inner
+    /// dimensions.
+    pub fn matmul_naive(&self, other: &Array) -> Result<Array> {
+        self.gemm_dims(other, 1, 0, "matmul")?;
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        let data = crate::kernel::matmul_naive(&self.data, &other.data, m, k, n);
+        Ok(Array {
+            shape: vec![m, n],
+            data,
+        })
+    }
+
+    /// Transpose-free `selfᵀ · other`: `[k, m]ᵀ x [k, n] -> [m, n]`.
+    ///
+    /// Equivalent to `self.transpose2d()?.matmul(other)` without
+    /// materializing the transpose; used by backward passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank-2 with matching
+    /// leading dimensions.
+    pub fn matmul_at_b(&self, other: &Array) -> Result<Array> {
+        self.gemm_dims(other, 0, 0, "matmul_at_b")?;
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        let mut out = Array::zeros(&[m, n]);
+        crate::kernel::matmul_at_b_into(&mut out.data, &self.data, &other.data, k, m, n);
+        Ok(out)
+    }
+
+    /// Transpose-free `self · otherᵀ`: `[m, k] x [n, k]ᵀ -> [m, n]`.
+    ///
+    /// Equivalent to `self.matmul(&other.transpose2d()?)` without
+    /// materializing the transpose; used by backward passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank-2 with matching
+    /// trailing dimensions.
+    pub fn matmul_a_bt(&self, other: &Array) -> Result<Array> {
+        self.gemm_dims(other, 1, 1, "matmul_a_bt")?;
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[0];
+        let mut out = Array::zeros(&[m, n]);
+        crate::kernel::matmul_a_bt_into(&mut out.data, &self.data, &other.data, m, k, n);
         Ok(out)
     }
 
@@ -577,35 +644,61 @@ impl Conv2dGeometry {
 pub fn im2col(input: &[f32], geom: &Conv2dGeometry) -> Array {
     let (c, k) = (geom.in_channels, geom.kernel);
     let (oh, ow) = (geom.out_h(), geom.out_w());
+    let mut out = Array::zeros(&[c * k * k, oh * ow]);
+    im2col_into(&mut out.data, input, geom);
+    out
+}
+
+/// Allocation-free [`im2col`]: lowers one image into a caller-provided
+/// column buffer of length `c*k*k * out_h*out_w` (overwritten). Reusing one
+/// buffer across a batch is what keeps the threaded convolution paths free
+/// of per-image allocations.
+///
+/// # Panics
+///
+/// Panics if `out` or `input` have the wrong length for `geom`.
+pub fn im2col_into(out: &mut [f32], input: &[f32], geom: &Conv2dGeometry) {
+    let (c, k) = (geom.in_channels, geom.kernel);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
     let rows = c * k * k;
     let cols = oh * ow;
-    let mut out = Array::zeros(&[rows, cols]);
+    assert_eq!(out.len(), rows * cols, "im2col_into: bad out length");
+    assert_eq!(
+        input.len(),
+        c * geom.in_h * geom.in_w,
+        "im2col_into: bad input length"
+    );
     let (ih, iw) = (geom.in_h, geom.in_w);
-    let pad = geom.padding as isize;
-    let stride = geom.stride;
+    let (pad, stride) = (geom.padding, geom.stride);
     for row in 0..rows {
         let ch = row / (k * k);
         let ky = (row / k) % k;
         let kx = row % k;
+        // Valid output columns/rows for this kernel tap; everything outside
+        // samples padding. Each destination element is written exactly once
+        // (zeros for the padded region), so no upfront fill is needed.
+        let (oy0, oy1) = crate::kernel::valid_out_range(ky, pad, stride, ih, oh);
+        let (ox0, ox1) = crate::kernel::valid_out_range(kx, pad, stride, iw, ow);
+        let sx0 = ox0 * stride + kx - pad;
         let src_c = &input[ch * ih * iw..(ch + 1) * ih * iw];
-        let dst = &mut out.data[row * cols..(row + 1) * cols];
-        for oy in 0..oh {
-            let sy = oy as isize * stride as isize + ky as isize - pad;
-            if sy < 0 || sy >= ih as isize {
-                continue;
-            }
-            let src_row = &src_c[sy as usize * iw..(sy as usize + 1) * iw];
+        let dst = &mut out[row * cols..(row + 1) * cols];
+        dst[..oy0 * ow].fill(0.0);
+        dst[oy1 * ow..].fill(0.0);
+        for oy in oy0..oy1 {
+            let sy = oy * stride + ky - pad;
+            let src_row = &src_c[sy * iw..(sy + 1) * iw];
             let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
-            #[allow(clippy::needless_range_loop)] // lockstep multi-array indexing
-            for ox in 0..ow {
-                let sx = ox as isize * stride as isize + kx as isize - pad;
-                if sx >= 0 && sx < iw as isize {
-                    dst_row[ox] = src_row[sx as usize];
+            dst_row[..ox0].fill(0.0);
+            dst_row[ox1..].fill(0.0);
+            if stride == 1 {
+                dst_row[ox0..ox1].copy_from_slice(&src_row[sx0..sx0 + (ox1 - ox0)]);
+            } else {
+                for (i, d) in dst_row[ox0..ox1].iter_mut().enumerate() {
+                    *d = src_row[sx0 + i * stride];
                 }
             }
         }
     }
-    out
 }
 
 /// Inverse of [`im2col`]: scatters a column-matrix gradient
@@ -618,31 +711,61 @@ pub fn im2col(input: &[f32], geom: &Conv2dGeometry) -> Array {
 pub fn col2im(cols: &Array, geom: &Conv2dGeometry, out: &mut [f32]) {
     let (c, k) = (geom.in_channels, geom.kernel);
     let (oh, ow) = (geom.out_h(), geom.out_w());
+    assert_eq!(
+        cols.shape(),
+        &[c * k * k, oh * ow],
+        "col2im: bad cols shape"
+    );
+    col2im_into(cols.data(), geom, out);
+}
+
+/// Slice-based [`col2im`]: scatters a flat column-matrix gradient
+/// (`c*k*k * out_h*out_w` elements) back onto an image gradient,
+/// accumulating into `out`. Lets the threaded convolution backward reuse
+/// one `dcols` buffer per worker instead of allocating per image.
+///
+/// # Panics
+///
+/// Panics if `cols` or `out` have inconsistent lengths for `geom`.
+pub fn col2im_into(cols: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
+    let (c, k) = (geom.in_channels, geom.kernel);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
     let rows = c * k * k;
-    assert_eq!(cols.shape(), &[rows, oh * ow], "col2im: bad cols shape");
+    assert_eq!(cols.len(), rows * oh * ow, "col2im_into: bad cols length");
     assert_eq!(
         out.len(),
         c * geom.in_h * geom.in_w,
-        "col2im: bad out length"
+        "col2im_into: bad out length"
     );
     let (ih, iw) = (geom.in_h, geom.in_w);
-    let pad = geom.padding as isize;
-    let stride = geom.stride;
+    let (pad, stride) = (geom.padding, geom.stride);
     for row in 0..rows {
         let ch = row / (k * k);
         let ky = (row / k) % k;
         let kx = row % k;
-        let src = &cols.data()[row * oh * ow..(row + 1) * oh * ow];
+        // Contributions outside the valid ranges land in padding and are
+        // dropped; inside them the scatter is accumulated in the same
+        // ascending (oy, ox) order as the branchy loop it replaces, so
+        // results stay bitwise identical.
+        let (oy0, oy1) = crate::kernel::valid_out_range(ky, pad, stride, ih, oh);
+        let (ox0, ox1) = crate::kernel::valid_out_range(kx, pad, stride, iw, ow);
+        let sx0 = ox0 * stride + kx - pad;
+        let src = &cols[row * oh * ow..(row + 1) * oh * ow];
         let dst_c = &mut out[ch * ih * iw..(ch + 1) * ih * iw];
-        for oy in 0..oh {
-            let sy = oy as isize * stride as isize + ky as isize - pad;
-            if sy < 0 || sy >= ih as isize {
-                continue;
-            }
-            for ox in 0..ow {
-                let sx = ox as isize * stride as isize + kx as isize - pad;
-                if sx >= 0 && sx < iw as isize {
-                    dst_c[sy as usize * iw + sx as usize] += src[oy * ow + ox];
+        for oy in oy0..oy1 {
+            let sy = oy * stride + ky - pad;
+            let src_row = &src[oy * ow..(oy + 1) * ow];
+            let dst_row = &mut dst_c[sy * iw..(sy + 1) * iw];
+            if stride == 1 {
+                for (d, s) in dst_row[sx0..sx0 + (ox1 - ox0)]
+                    .iter_mut()
+                    .zip(&src_row[ox0..ox1])
+                {
+                    *d += s;
+                }
+            } else {
+                for (i, s) in src_row[ox0..ox1].iter().enumerate() {
+                    dst_row[sx0 + i * stride] += s;
                 }
             }
         }

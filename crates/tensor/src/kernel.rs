@@ -1,0 +1,718 @@
+//! Cache-blocked, register-tiled f32 GEMM kernels with scoped-thread
+//! parallelism, plus the batch-partitioning helpers the convolution ops
+//! build on.
+//!
+//! # Blocking scheme
+//!
+//! The blocked GEMM streams panels of the right-hand matrix through an
+//! `MR = 4`-row register tile: each pass over a `B` row updates four output
+//! rows at once, quartering `B` traffic versus the scalar loop, and the
+//! branch-free inner loop over columns auto-vectorizes. Columns are
+//! processed in blocks of `NC` so the active output tile and `B` panel stay
+//! cache-resident for wide matrices.
+//!
+//! Two transpose-free variants serve the backward passes without
+//! materializing transposed operands:
+//!
+//! * [`matmul_at_b_into`] — `C = Aᵀ·B` with `A` stored `[k, m]`
+//!   (weight/`dB`-style gradients);
+//! * [`matmul_a_bt_into`] — `C = A·Bᵀ` with `B` stored `[n, k]`
+//!   (input/`dA`-style gradients), computed as fixed-association
+//!   eight-lane dot products.
+//!
+//! # Threading model
+//!
+//! Large GEMMs split the *output rows* into contiguous blocks, one scoped
+//! thread (`std::thread::scope`, no dependencies) per block. Convolutions
+//! parallelize over the batch dimension via [`par_batch2_with`]. In both
+//! cases every output element is produced by exactly one thread with a
+//! thread-count-independent operation order, so results are **bitwise
+//! identical** for any `EDD_NUM_THREADS` setting — see [`num_threads`].
+//!
+//! The scalar triple loop is kept as [`matmul_naive`], the reference
+//! oracle the property-based suites compare the blocked kernels against.
+
+use std::ops::Range;
+
+/// Rows per register tile in the blocked kernels.
+pub const MR: usize = 4;
+
+/// Columns per register tile: each of the `MR` rows keeps an `NR`-lane
+/// accumulator live across the whole `k` loop (maps onto one 256-bit SIMD
+/// register per row), so every output element is stored exactly once.
+pub const NR: usize = 8;
+
+/// Below this many multiply-adds a GEMM runs single-threaded; spawn
+/// overhead dominates for smaller problems.
+const PAR_MIN_MULADDS: usize = 1 << 18;
+
+/// Worker-thread count for kernel operations.
+///
+/// Reads `EDD_NUM_THREADS` on every call (so tests and embedding processes
+/// can change it at runtime); unset, empty, or unparsable values fall back
+/// to `std::thread::available_parallelism()`. The result is further capped
+/// by each operation's natural grain (output rows, batch images).
+#[must_use]
+pub fn num_threads() -> usize {
+    std::env::var("EDD_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// Output coordinates `o` (over `0..out_limit`) whose sampled input index
+/// `o*stride + kc - pad` lands inside `[0, in_limit)`, as a half-open
+/// range. Shared by the convolution lowerings (`im2col`/`col2im`) and the
+/// depthwise kernels so their inner loops run branch-free.
+#[must_use]
+pub fn valid_out_range(
+    kc: usize,
+    pad: usize,
+    stride: usize,
+    in_limit: usize,
+    out_limit: usize,
+) -> (usize, usize) {
+    let lo = if kc >= pad {
+        0
+    } else {
+        (pad - kc).div_ceil(stride)
+    };
+    if in_limit + pad <= kc {
+        return (0, 0);
+    }
+    let hi = ((in_limit - 1 + pad - kc) / stride + 1).min(out_limit);
+    (lo.min(hi), hi)
+}
+
+/// Splits `0..n` into at most `parts` contiguous, non-empty, balanced
+/// ranges (earlier ranges get the remainder).
+#[must_use]
+pub fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reference oracle
+// ---------------------------------------------------------------------------
+
+/// Scalar reference GEMM: `C[m,n] = A[m,k] · B[k,n]`, freshly allocated.
+///
+/// This is the unblocked, single-threaded i-k-j loop the optimized kernels
+/// are validated against. Per output element it accumulates in ascending
+/// `k` order — the same association the blocked kernel uses.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `k`, `n`.
+#[must_use]
+pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "matmul_naive: bad lhs length");
+    assert_eq!(b.len(), k * n, "matmul_naive: bad rhs length");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Blocked kernels (single-threaded building blocks)
+// ---------------------------------------------------------------------------
+
+/// `A`-element accessor for a 4-row tile: returns the scalars multiplying
+/// `B` row `kk` for output rows `i..i+4`. The two GEMM orientations differ
+/// only in this indexing.
+trait LhsTile: Copy + Sync {
+    fn scalars(&self, a: &[f32], i: usize, kk: usize) -> [f32; MR];
+    fn scalar(&self, a: &[f32], i: usize, kk: usize) -> f32;
+}
+
+/// `A` stored row-major `[m, k]` (plain GEMM).
+#[derive(Clone, Copy)]
+struct RowMajorLhs {
+    k: usize,
+}
+
+impl LhsTile for RowMajorLhs {
+    #[inline(always)]
+    fn scalars(&self, a: &[f32], i: usize, kk: usize) -> [f32; MR] {
+        [
+            a[i * self.k + kk],
+            a[(i + 1) * self.k + kk],
+            a[(i + 2) * self.k + kk],
+            a[(i + 3) * self.k + kk],
+        ]
+    }
+
+    #[inline(always)]
+    fn scalar(&self, a: &[f32], i: usize, kk: usize) -> f32 {
+        a[i * self.k + kk]
+    }
+}
+
+/// `A` stored `[k, m]`, used as `Aᵀ`: output rows map to *columns* of `a`,
+/// contiguous within each `kk` row. `i0` offsets into the full matrix when
+/// a thread owns a row block.
+#[derive(Clone, Copy)]
+struct TransposedLhs {
+    m: usize,
+    i0: usize,
+}
+
+impl LhsTile for TransposedLhs {
+    #[inline(always)]
+    fn scalars(&self, a: &[f32], i: usize, kk: usize) -> [f32; MR] {
+        let base = kk * self.m + self.i0 + i;
+        [a[base], a[base + 1], a[base + 2], a[base + 3]]
+    }
+
+    #[inline(always)]
+    fn scalar(&self, a: &[f32], i: usize, kk: usize) -> f32 {
+        a[kk * self.m + self.i0 + i]
+    }
+}
+
+/// Register-tiled `out[mb, n] = lhs-tile · b[k, n]`, single-threaded,
+/// overwritten.
+///
+/// The `MR x NR` microkernel keeps a 4x8 accumulator tile live across the
+/// entire `k` loop (one 8-lane vector per row) and stores each output
+/// element exactly once, instead of re-walking the output rows per `k`
+/// step. Every element — tile, row-tail, or column-tail — accumulates its
+/// products in ascending `kk` order through a single accumulator chain, so
+/// results are bitwise independent of how rows are partitioned.
+fn gemm_tiled<L: LhsTile>(out: &mut [f32], a: &[f32], b: &[f32], lhs: L, mb: usize, k: usize, n: usize) {
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    if mb == 0 || n == 0 {
+        return;
+    }
+    let mut i = 0;
+    while i + MR <= mb {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for kk in 0..k {
+                let bv: &[f32; NR] = b[kk * n + j..kk * n + j + NR].try_into().expect("NR chunk");
+                let av = lhs.scalars(a, i, kk);
+                for (accr, &ar) in acc.iter_mut().zip(&av) {
+                    for (l, &bl) in accr.iter_mut().zip(bv) {
+                        *l += ar * bl;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+            }
+            j += NR;
+        }
+        // Column tail: scalar accumulators, still ascending-kk.
+        while j < n {
+            let mut acc = [0.0f32; MR];
+            for kk in 0..k {
+                let bv = b[kk * n + j];
+                let av = lhs.scalars(a, i, kk);
+                for (l, &ar) in acc.iter_mut().zip(&av) {
+                    *l += ar * bv;
+                }
+            }
+            for (r, &v) in acc.iter().enumerate() {
+                out[(i + r) * n + j] = v;
+            }
+            j += 1;
+        }
+        i += MR;
+    }
+    // Row tail: one row at a time with NR-lane column tiles.
+    while i < mb {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [0.0f32; NR];
+            for kk in 0..k {
+                let bv: &[f32; NR] = b[kk * n + j..kk * n + j + NR].try_into().expect("NR chunk");
+                let ar = lhs.scalar(a, i, kk);
+                for (l, &bl) in acc.iter_mut().zip(bv) {
+                    *l += ar * bl;
+                }
+            }
+            out[i * n + j..i * n + j + NR].copy_from_slice(&acc);
+            j += NR;
+        }
+        while j < n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += lhs.scalar(a, i, kk) * b[kk * n + j];
+            }
+            out[i * n + j] = acc;
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+/// `out[mb, n] = a_block[mb, k] · b[k, n]`, single-threaded, overwritten.
+fn gemm_block(out: &mut [f32], a: &[f32], b: &[f32], mb: usize, k: usize, n: usize) {
+    gemm_tiled(out, a, b, RowMajorLhs { k }, mb, k, n);
+}
+
+/// `out[mb, n] = aᵀ-block · b` for output rows `[i0, i0+mb)`, where the
+/// full `a` is stored `[k, m]` and `b` is `[k, n]`. Single-threaded.
+#[allow(clippy::too_many_arguments)] // mirrors the GEMM dimension tuple
+fn at_b_block(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    mb: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    gemm_tiled(out, a, b, TransposedLhs { m, i0 }, mb, k, n);
+}
+
+/// Sum with a fixed eight-lane association: breaks the sequential float
+/// dependency chain of a naive `iter().sum()` (so it vectorizes) while
+/// staying deterministic for a given slice length.
+#[must_use]
+pub fn sum8(x: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let chunks = x.len() / 8;
+    for c in 0..chunks {
+        let xb = &x[c * 8..c * 8 + 8];
+        for l in 0..8 {
+            acc[l] += xb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for &v in &x[chunks * 8..] {
+        tail += v;
+    }
+    (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
+}
+
+/// Sum of squared deviations `Σ (x - mu)²` with the same fixed eight-lane
+/// association as [`sum8`]. The variance reduction of batch normalization.
+#[must_use]
+pub fn sq_dev_sum8(x: &[f32], mu: f32) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let chunks = x.len() / 8;
+    for c in 0..chunks {
+        let xb = &x[c * 8..c * 8 + 8];
+        for l in 0..8 {
+            let d = xb[l] - mu;
+            acc[l] += d * d;
+        }
+    }
+    let mut tail = 0.0f32;
+    for &v in &x[chunks * 8..] {
+        let d = v - mu;
+        tail += d * d;
+    }
+    (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
+}
+
+/// Dot product with a fixed eight-lane association, so the result does not
+/// depend on how work is partitioned (and the lanes map onto SIMD).
+#[must_use]
+pub fn dot8(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = x.len() / 8;
+    for c in 0..chunks {
+        let xb = &x[c * 8..c * 8 + 8];
+        let yb = &y[c * 8..c * 8 + 8];
+        for l in 0..8 {
+            acc[l] += xb[l] * yb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for t in chunks * 8..x.len() {
+        tail += x[t] * y[t];
+    }
+    (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
+}
+
+/// `out[mb, n] = a_block[mb, k] · bᵀ` with `b` stored `[n, k]`: both
+/// operand rows are contiguous, so each output element is one dot product.
+fn a_bt_block(out: &mut [f32], a: &[f32], b: &[f32], mb: usize, k: usize, n: usize) {
+    for i in 0..mb {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            *o = dot8(a_row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public allocation-free GEMM entry points
+// ---------------------------------------------------------------------------
+
+/// `out = A[m,k] · B[k,n]`, overwriting `out`, threaded over row blocks.
+///
+/// Thread count comes from [`num_threads`]; small problems stay
+/// single-threaded. Results are bitwise identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `k`, `n`.
+pub fn matmul_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    let t = if m * n * k < PAR_MIN_MULADDS { 1 } else { num_threads() };
+    matmul_into_threads(out, a, b, m, k, n, t);
+}
+
+/// [`matmul_into`] with an explicit thread count (callers that already
+/// parallelize an outer dimension pass `1`).
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `k`, `n`.
+pub fn matmul_into_threads(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "matmul_into: bad lhs length");
+    assert_eq!(b.len(), k * n, "matmul_into: bad rhs length");
+    assert_eq!(out.len(), m * n, "matmul_into: bad out length");
+    let ranges = partition(m, threads);
+    if ranges.len() <= 1 {
+        gemm_block(out, a, b, m, k, n);
+        return;
+    }
+    std::thread::scope(|s| {
+        let mut rest = out;
+        for r in ranges {
+            let (block, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * n);
+            rest = tail;
+            let a_block = &a[r.start * k..r.end * k];
+            let mb = r.len();
+            s.spawn(move || gemm_block(block, a_block, b, mb, k, n));
+        }
+    });
+}
+
+/// `out[m,n] = Aᵀ · B` without materializing `Aᵀ`: `a` is stored `[k, m]`,
+/// `b` is `[k, n]`. Used for weight-side gradients (`dB = Aᵀ·dY`,
+/// `dcols = Wᵀ·dY`). Threaded over output row blocks; bitwise
+/// deterministic for any thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `k`, `m`, `n`.
+pub fn matmul_at_b_into(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
+    let t = if m * n * k < PAR_MIN_MULADDS { 1 } else { num_threads() };
+    matmul_at_b_into_threads(out, a, b, k, m, n, t);
+}
+
+/// [`matmul_at_b_into`] with an explicit thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `k`, `m`, `n`.
+pub fn matmul_at_b_into_threads(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), k * m, "matmul_at_b: bad lhs length");
+    assert_eq!(b.len(), k * n, "matmul_at_b: bad rhs length");
+    assert_eq!(out.len(), m * n, "matmul_at_b: bad out length");
+    let ranges = partition(m, threads);
+    if ranges.len() <= 1 {
+        at_b_block(out, a, b, 0, m, k, m, n);
+        return;
+    }
+    std::thread::scope(|s| {
+        let mut rest = out;
+        for r in ranges {
+            let (block, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * n);
+            rest = tail;
+            let (i0, mb) = (r.start, r.len());
+            s.spawn(move || at_b_block(block, a, b, i0, mb, k, m, n));
+        }
+    });
+}
+
+/// `out[m,n] = A · Bᵀ` without materializing `Bᵀ`: `a` is `[m, k]`, `b` is
+/// `[n, k]`. Used for input-side gradients (`dA = dY·Bᵀ`, `dW = dY·colsᵀ`).
+/// Threaded over output row blocks; bitwise deterministic for any thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `k`, `n`.
+pub fn matmul_a_bt_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    let t = if m * n * k < PAR_MIN_MULADDS { 1 } else { num_threads() };
+    matmul_a_bt_into_threads(out, a, b, m, k, n, t);
+}
+
+/// [`matmul_a_bt_into`] with an explicit thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `k`, `n`.
+pub fn matmul_a_bt_into_threads(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "matmul_a_bt: bad lhs length");
+    assert_eq!(b.len(), n * k, "matmul_a_bt: bad rhs length");
+    assert_eq!(out.len(), m * n, "matmul_a_bt: bad out length");
+    let ranges = partition(m, threads);
+    if ranges.len() <= 1 {
+        a_bt_block(out, a, b, m, k, n);
+        return;
+    }
+    std::thread::scope(|s| {
+        let mut rest = out;
+        for r in ranges {
+            let (block, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * n);
+            rest = tail;
+            let a_block = &a[r.start * k..r.end * k];
+            let mb = r.len();
+            s.spawn(move || a_bt_block(block, a_block, b, mb, k, n));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Batch-dimension parallelism
+// ---------------------------------------------------------------------------
+
+/// Runs `f(scratch, item, slice1, slice2)` for each of `items` work items,
+/// where `slice1`/`slice2` are the item's disjoint `chunk1`-/`chunk2`-sized
+/// windows of `d1`/`d2`, distributing contiguous item ranges over scoped
+/// threads. A chunk size of `0` hands every item an empty slice, letting
+/// callers skip an output without a separate code path.
+///
+/// Each worker thread builds one `scratch` value via `init` and reuses it
+/// across its items (e.g. an `im2col` buffer). Since every item writes only
+/// its own windows, results are bitwise independent of the thread count.
+///
+/// # Panics
+///
+/// Panics if `d1`/`d2` lengths are not `items * chunk1` / `items * chunk2`.
+#[allow(clippy::too_many_arguments)] // two (buffer, chunk) pairs + control
+pub fn par_batch2_with<S>(
+    items: usize,
+    d1: &mut [f32],
+    chunk1: usize,
+    d2: &mut [f32],
+    chunk2: usize,
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &mut [f32], &mut [f32]) + Sync,
+) {
+    assert_eq!(d1.len(), items * chunk1, "par_batch2_with: bad d1 length");
+    assert_eq!(d2.len(), items * chunk2, "par_batch2_with: bad d2 length");
+    let run_range = |range: Range<usize>, mut s1: &mut [f32], mut s2: &mut [f32]| {
+        let mut scratch = init();
+        for item in range {
+            let (c1, t1) = std::mem::take(&mut s1).split_at_mut(chunk1);
+            s1 = t1;
+            let (c2, t2) = std::mem::take(&mut s2).split_at_mut(chunk2);
+            s2 = t2;
+            f(&mut scratch, item, c1, c2);
+        }
+    };
+    let ranges = partition(items, threads);
+    if ranges.len() <= 1 {
+        if items > 0 {
+            run_range(0..items, d1, d2);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let mut rest1 = d1;
+        let mut rest2 = d2;
+        let run_range = &run_range;
+        for r in ranges {
+            let (b1, t1) = std::mem::take(&mut rest1).split_at_mut(r.len() * chunk1);
+            rest1 = t1;
+            let (b2, t2) = std::mem::take(&mut rest2).split_at_mut(r.len() * chunk2);
+            rest2 = t2;
+            s.spawn(move || run_range(r, b1, b2));
+        }
+    });
+}
+
+/// Single-output convenience wrapper over [`par_batch2_with`].
+///
+/// # Panics
+///
+/// Panics if `data.len() != items * chunk`.
+pub fn par_batch_with<S>(
+    items: usize,
+    data: &mut [f32],
+    chunk: usize,
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &mut [f32]) + Sync,
+) {
+    par_batch2_with(items, data, chunk, &mut [], 0, threads, init, |s, i, c, _| {
+        f(s, i, c);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn randv(len: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        assert_eq!(partition(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(partition(2, 8), vec![0..1, 1..2]);
+        assert_eq!(partition(0, 4), Vec::<Range<usize>>::new());
+        assert_eq!(partition(5, 1), vec![0..5]);
+    }
+
+    #[test]
+    fn blocked_matches_naive_including_tile_remainders() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (m, k, n) in [(1, 1, 1), (4, 8, 4), (5, 3, 7), (9, 16, 513), (6, 0, 3)] {
+            let a = randv(m * k, &mut rng);
+            let b = randv(k * n, &mut rng);
+            let want = matmul_naive(&a, &b, m, k, n);
+            let mut got = vec![f32::NAN; m * n];
+            matmul_into(&mut got, &a, &b, m, k, n);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-5 * w.abs().max(1.0), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_rows_are_bitwise_equal_to_single() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (m, k, n) = (13, 27, 31);
+        let a = randv(m * k, &mut rng);
+        let b = randv(k * n, &mut rng);
+        let mut st = vec![0.0f32; m * n];
+        matmul_into_threads(&mut st, &a, &b, m, k, n, 1);
+        for t in [2, 3, 5, 16] {
+            let mut mt = vec![0.0f32; m * n];
+            matmul_into_threads(&mut mt, &a, &b, m, k, n, t);
+            assert_eq!(st, mt, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn transpose_free_variants_match_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (m, k, n) = (6, 10, 5);
+        let a = randv(k * m, &mut rng); // [k, m]
+        let b = randv(k * n, &mut rng); // [k, n]
+        let mut at = vec![0.0f32; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                at[i * k + kk] = a[kk * m + i];
+            }
+        }
+        let want = matmul_naive(&at, &b, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        matmul_at_b_into_threads(&mut got, &a, &b, k, m, n, 3);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-5 * w.abs().max(1.0));
+        }
+
+        let a2 = randv(m * k, &mut rng); // [m, k]
+        let b2 = randv(n * k, &mut rng); // [n, k]
+        let mut b2t = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b2t[kk * n + j] = b2[j * k + kk];
+            }
+        }
+        let want = matmul_naive(&a2, &b2t, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        matmul_a_bt_into_threads(&mut got, &a2, &b2, m, k, n, 3);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn par_batch_covers_all_items_with_scratch_reuse() {
+        let items = 7;
+        let chunk = 3;
+        let mut data = vec![0.0f32; items * chunk];
+        par_batch_with(items, &mut data, chunk, 3, Vec::<usize>::new, |seen, i, c| {
+            seen.push(i);
+            c.fill(i as f32 + 1.0);
+        });
+        for i in 0..items {
+            assert!(data[i * chunk..(i + 1) * chunk]
+                .iter()
+                .all(|&v| v == i as f32 + 1.0));
+        }
+    }
+
+    #[test]
+    fn par_batch2_zero_chunk_hands_empty_slices() {
+        let items = 4;
+        let mut d1 = vec![0.0f32; items * 2];
+        par_batch2_with(items, &mut d1, 2, &mut [], 0, 2, || (), |(), i, c1, c2| {
+            assert!(c2.is_empty());
+            c1.fill(i as f32);
+        });
+        assert_eq!(d1, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn num_threads_reads_env_per_call() {
+        // Serial within this one test to avoid races on the process env.
+        std::env::set_var("EDD_NUM_THREADS", "3");
+        assert_eq!(num_threads(), 3);
+        std::env::set_var("EDD_NUM_THREADS", "not-a-number");
+        let fallback = num_threads();
+        assert!(fallback >= 1);
+        std::env::set_var("EDD_NUM_THREADS", "0");
+        assert_eq!(num_threads(), fallback);
+        std::env::remove_var("EDD_NUM_THREADS");
+        assert_eq!(num_threads(), fallback);
+    }
+}

@@ -8,6 +8,10 @@
 //!
 //! * [`Array`] — dense row-major `f32` storage with NumPy-style broadcasting,
 //!   GEMM, and `im2col`/`col2im` convolution lowering;
+//! * [`kernel`] — the blocked, register-tiled, optionally multi-threaded
+//!   GEMM kernel layer underneath `Array::matmul` and the convolutions,
+//!   with a scalar reference oracle (`matmul_naive`) and an
+//!   `EDD_NUM_THREADS` override;
 //! * [`Tensor`] — a define-by-run autodiff graph node with operations
 //!   covering everything the EDD supernet needs: convolutions (standard and
 //!   depthwise), batch normalization, pooling, softmax / cross-entropy,
@@ -44,12 +48,13 @@
 mod array;
 mod error;
 pub mod gradcheck;
+pub mod kernel;
 mod ops;
 pub mod optim;
 pub mod shape;
 mod tensor;
 
-pub use array::{col2im, im2col, Array, Conv2dGeometry};
+pub use array::{col2im, col2im_into, im2col, im2col_into, Array, Conv2dGeometry};
 pub use error::{Result, TensorError};
 pub use ops::gumbel::{gumbel_noise, gumbel_softmax, softmax_selection};
 pub use ops::softmax::{accuracy, softmax_last_axis, top_k_accuracy};

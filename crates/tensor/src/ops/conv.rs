@@ -1,9 +1,65 @@
 //! 2-D convolution ops (standard and depthwise) in NCHW layout, with
 //! GEMM-lowered forward (`im2col`) and hand-derived backward passes.
+//!
+//! Both convolutions run on the [`crate::kernel`] layer: the batch
+//! dimension is split over scoped threads (each image's output slice is
+//! disjoint, so results are bitwise independent of `EDD_NUM_THREADS`),
+//! per-worker `im2col`/`dcols` buffers are reused across a worker's
+//! images, and the backward GEMMs use the transpose-free kernel variants.
 
-use crate::array::{col2im, im2col, Array, Conv2dGeometry};
+use crate::array::{col2im_into, im2col_into, Array, Conv2dGeometry};
 use crate::error::{Result, TensorError};
+use crate::kernel;
 use crate::tensor::Tensor;
+
+use crate::kernel::valid_out_range;
+
+/// One depthwise output plane as `k*k` shifted-scaled row accumulations
+/// over precomputed valid ranges: branch-free inner loops (vectorizable
+/// for stride 1), and per output element the taps still accumulate in
+/// `(ky, kx)` order — the same association as the scalar reference loop.
+#[allow(clippy::too_many_arguments)] // plain plane geometry, kept flat
+fn dw_plane_forward(
+    dst: &mut [f32],
+    src: &[f32],
+    ker: &[f32],
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) {
+    dst.fill(0.0);
+    for ky in 0..k {
+        let (oy0, oy1) = valid_out_range(ky, pad, stride, h, oh);
+        for kx in 0..k {
+            let kv = ker[ky * k + kx];
+            let (ox0, ox1) = valid_out_range(kx, pad, stride, w, ow);
+            if ox0 >= ox1 {
+                continue;
+            }
+            for oy in oy0..oy1 {
+                // In-bounds by construction of the valid ranges.
+                let sy = oy * stride + ky - pad;
+                let sx0 = ox0 * stride + kx - pad;
+                let dst_row = &mut dst[oy * ow + ox0..oy * ow + ox1];
+                if stride == 1 {
+                    let src_row = &src[sy * w + sx0..sy * w + sx0 + (ox1 - ox0)];
+                    for (d, &s) in dst_row.iter_mut().zip(src_row) {
+                        *d += kv * s;
+                    }
+                } else {
+                    let src_row = &src[sy * w..(sy + 1) * w];
+                    for (j, d) in dst_row.iter_mut().enumerate() {
+                        *d += kv * src_row[sx0 + j * stride];
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Validates NCHW input and returns `(batch, channels, h, w)`.
 fn nchw(shape: &[usize], op: &'static str) -> Result<(usize, usize, usize, usize)> {
@@ -76,15 +132,30 @@ impl Tensor {
             padding,
         };
         let (oh, ow) = (geom.out_h(), geom.out_w());
-        let w2 = weight.value().reshape(&[out_c, in_c * k * k])?;
+        let ckk = in_c * k * k;
+        let plane = oh * ow;
+        let w2 = weight.value().reshape(&[out_c, ckk])?;
         let xval = self.value_clone();
         let img = in_c * h * w;
         let mut out = Array::zeros(&[b, out_c, oh, ow]);
-        for bi in 0..b {
-            let cols = im2col(&xval.data()[bi * img..(bi + 1) * img], &geom);
-            let y = w2.matmul(&cols)?; // [out_c, oh*ow]
-            let dst = &mut out.data_mut()[bi * out_c * oh * ow..(bi + 1) * out_c * oh * ow];
-            dst.copy_from_slice(y.data());
+        {
+            let w2d = w2.data();
+            let xd = xval.data();
+            // Parallelize over the batch; each worker reuses one column
+            // buffer. With a single image the inner GEMM threads instead.
+            let threads = kernel::num_threads().min(b);
+            let inner = if threads > 1 { 1 } else { kernel::num_threads() };
+            kernel::par_batch_with(
+                b,
+                out.data_mut(),
+                out_c * plane,
+                threads,
+                || vec![0.0f32; ckk * plane],
+                |cols, bi, dst| {
+                    im2col_into(cols, &xd[bi * img..(bi + 1) * img], &geom);
+                    kernel::matmul_into_threads(dst, w2d, cols, out_c, ckk, plane, inner);
+                },
+            );
         }
         if let Some(bt) = bias {
             let bv = bt.value_clone();
@@ -132,33 +203,71 @@ impl Tensor {
                 if !need_x && !need_w {
                     return;
                 }
-                let mut dw2 = Array::zeros(&[out_c, in_c * k * k]);
-                let mut dx = Array::zeros(&[b, in_c, h, w]);
-                let w2t = w2_saved.transpose2d().expect("rank-2");
-                for bi in 0..b {
-                    let gy = Array::from_vec(
-                        g.data()[bi * out_c * plane..(bi + 1) * out_c * plane].to_vec(),
-                        &[out_c, plane],
-                    )
-                    .expect("grad slice");
-                    // Recompute the column matrix for this image.
-                    let cols = im2col(&xval.data()[bi * img..(bi + 1) * img], &geom);
-                    if need_w {
-                        let colst = cols.transpose2d().expect("rank-2");
-                        let d = gy.matmul(&colst).expect("shapes consistent");
-                        dw2.add_scaled_assign(&d, 1.0);
-                    }
-                    if need_x {
-                        let dcols = w2t.matmul(&gy).expect("shapes consistent");
-                        col2im(&dcols, &geom, &mut dx.data_mut()[bi * img..(bi + 1) * img]);
-                    }
+                let ckk = in_c * k * k;
+                // Per-image output buffers (chunk size 0 when a gradient is
+                // not needed): disjoint writes keep the batch-parallel pass
+                // bitwise independent of the thread count.
+                let xlen = if need_x { img } else { 0 };
+                let wlen = if need_w { out_c * ckk } else { 0 };
+                let mut dxd = vec![0.0f32; b * xlen];
+                let mut dwp = vec![0.0f32; b * wlen];
+                {
+                    let gd = g.data();
+                    let xd = xval.data();
+                    let w2d = w2_saved.data();
+                    let threads = kernel::num_threads().min(b);
+                    let inner = if threads > 1 { 1 } else { kernel::num_threads() };
+                    kernel::par_batch2_with(
+                        b,
+                        &mut dxd,
+                        xlen,
+                        &mut dwp,
+                        wlen,
+                        threads,
+                        // Recomputed column matrix plus its gradient, reused
+                        // across the worker's images.
+                        || {
+                            (
+                                vec![0.0f32; ckk * plane],
+                                vec![0.0f32; if need_x { ckk * plane } else { 0 }],
+                            )
+                        },
+                        |(cols, dcols), bi, dxs, dws| {
+                            im2col_into(cols, &xd[bi * img..(bi + 1) * img], &geom);
+                            let gy = &gd[bi * out_c * plane..(bi + 1) * out_c * plane];
+                            if need_w {
+                                // dW2 = dY · colsᵀ, transpose-free.
+                                kernel::matmul_a_bt_into_threads(
+                                    dws, gy, cols, out_c, plane, ckk, inner,
+                                );
+                            }
+                            if need_x {
+                                // dcols = W2ᵀ · dY, transpose-free.
+                                kernel::matmul_at_b_into_threads(
+                                    dcols, w2d, gy, out_c, ckk, plane, inner,
+                                );
+                                col2im_into(dcols, &geom, dxs);
+                            }
+                        },
+                    );
                 }
                 if need_w {
+                    // Reduce per-image partials in fixed image order, so the
+                    // weight gradient is identical for any thread count.
+                    let mut dw2 = Array::zeros(&[out_c, ckk]);
+                    if wlen > 0 {
+                        for part in dwp.chunks_exact(wlen) {
+                            for (d, &s) in dw2.data_mut().iter_mut().zip(part) {
+                                *d += s;
+                            }
+                        }
+                    }
                     w_t.accumulate_grad(
                         &dw2.reshape(&[out_c, in_c, k, k]).expect("weight reshape"),
                     );
                 }
                 if need_x {
+                    let dx = Array::from_vec(dxd, &[b, in_c, h, w]).expect("dx shape");
                     x_t.accumulate_grad(&dx);
                 }
             }),
@@ -217,30 +326,23 @@ impl Tensor {
         let wval = weight.value_clone();
         let mut out = Array::zeros(&[b, c, oh, ow]);
         let pad = padding as isize;
-        for bi in 0..b {
-            for ci in 0..c {
-                let src = &xval.data()[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
-                let ker = &wval.data()[ci * k * k..(ci + 1) * k * k];
-                let dst = &mut out.data_mut()[(bi * c + ci) * oh * ow..(bi * c + ci + 1) * oh * ow];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = 0.0f32;
-                        for ky in 0..k {
-                            let sy = (oy * stride) as isize + ky as isize - pad;
-                            if sy < 0 || sy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let sx = (ox * stride) as isize + kx as isize - pad;
-                                if sx >= 0 && sx < w as isize {
-                                    acc += src[sy as usize * w + sx as usize] * ker[ky * k + kx];
-                                }
-                            }
-                        }
-                        dst[oy * ow + ox] = acc;
-                    }
-                }
-            }
+        {
+            let xd = xval.data();
+            let wd = wval.data();
+            let threads = kernel::num_threads().min(b * c);
+            kernel::par_batch_with(
+                b * c,
+                out.data_mut(),
+                oh * ow,
+                threads,
+                || (),
+                |(), pi, dst| {
+                    let ci = pi % c;
+                    let src = &xd[pi * h * w..(pi + 1) * h * w];
+                    let ker = &wd[ci * k * k..(ci + 1) * k * k];
+                    dw_plane_forward(dst, src, ker, h, w, k, stride, padding, oh, ow);
+                },
+            );
         }
         if let Some(bt) = bias {
             let bv = bt.value_clone();
@@ -286,47 +388,78 @@ impl Tensor {
                 if !need_x && !need_w {
                     return;
                 }
-                let mut dx = Array::zeros(&[b, c, h, w]);
-                let mut dw = Array::zeros(&[c, k, k]);
-                for bi in 0..b {
-                    for ci in 0..c {
-                        let src = &xval.data()[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
-                        let ker = &wval.data()[ci * k * k..(ci + 1) * k * k];
-                        let gy = &g.data()[(bi * c + ci) * plane..(bi * c + ci + 1) * plane];
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let go = gy[oy * ow + ox];
-                                if go == 0.0 {
-                                    continue;
-                                }
-                                for ky in 0..k {
-                                    let sy = (oy * stride) as isize + ky as isize - pad;
-                                    if sy < 0 || sy >= h as isize {
-                                        continue;
-                                    }
-                                    for kx in 0..k {
-                                        let sx = (ox * stride) as isize + kx as isize - pad;
-                                        if sx >= 0 && sx < w as isize {
-                                            let si = sy as usize * w + sx as usize;
-                                            if need_w {
-                                                dw.data_mut()[ci * k * k + ky * k + kx] +=
-                                                    go * src[si];
+                // Per-image buffers (chunk 0 when unused); dw partials are
+                // reduced in image order below for thread-count-independent
+                // results.
+                let img = c * h * w;
+                let xlen = if need_x { img } else { 0 };
+                let wlen = if need_w { c * k * k } else { 0 };
+                let mut dxd = vec![0.0f32; b * xlen];
+                let mut dwp = vec![0.0f32; b * wlen];
+                {
+                    let gd = g.data();
+                    let xd = xval.data();
+                    let wd = wval.data();
+                    let threads = kernel::num_threads().min(b);
+                    kernel::par_batch2_with(
+                        b,
+                        &mut dxd,
+                        xlen,
+                        &mut dwp,
+                        wlen,
+                        threads,
+                        || (),
+                        |(), bi, dxs, dws| {
+                            for ci in 0..c {
+                                let src = &xd[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
+                                let ker = &wd[ci * k * k..(ci + 1) * k * k];
+                                let gy = &gd[(bi * c + ci) * plane..(bi * c + ci + 1) * plane];
+                                for oy in 0..oh {
+                                    for ox in 0..ow {
+                                        let go = gy[oy * ow + ox];
+                                        if go == 0.0 {
+                                            continue;
+                                        }
+                                        for ky in 0..k {
+                                            let sy = (oy * stride) as isize + ky as isize - pad;
+                                            if sy < 0 || sy >= h as isize {
+                                                continue;
                                             }
-                                            if need_x {
-                                                dx.data_mut()[(bi * c + ci) * h * w + si] +=
-                                                    go * ker[ky * k + kx];
+                                            for kx in 0..k {
+                                                let sx =
+                                                    (ox * stride) as isize + kx as isize - pad;
+                                                if sx >= 0 && sx < w as isize {
+                                                    let si = sy as usize * w + sx as usize;
+                                                    if need_w {
+                                                        dws[ci * k * k + ky * k + kx] +=
+                                                            go * src[si];
+                                                    }
+                                                    if need_x {
+                                                        dxs[ci * h * w + si] +=
+                                                            go * ker[ky * k + kx];
+                                                    }
+                                                }
                                             }
                                         }
                                     }
                                 }
                             }
-                        }
-                    }
+                        },
+                    );
                 }
                 if need_w {
+                    let mut dw = Array::zeros(&[c, k, k]);
+                    if wlen > 0 {
+                        for part in dwp.chunks_exact(wlen) {
+                            for (d, &s) in dw.data_mut().iter_mut().zip(part) {
+                                *d += s;
+                            }
+                        }
+                    }
                     w_t.accumulate_grad(&dw);
                 }
                 if need_x {
+                    let dx = Array::from_vec(dxd, &[b, c, h, w]).expect("dx shape");
                     x_t.accumulate_grad(&dx);
                 }
             }),

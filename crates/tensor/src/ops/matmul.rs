@@ -6,7 +6,9 @@ use crate::tensor::Tensor;
 impl Tensor {
     /// 2-D matrix multiplication `[m, k] x [k, n] -> [m, n]`.
     ///
-    /// Gradients: `dA = dY · Bᵀ`, `dB = Aᵀ · dY`.
+    /// Gradients: `dA = dY · Bᵀ`, `dB = Aᵀ · dY`, both computed with the
+    /// transpose-free kernel variants (`matmul_a_bt` / `matmul_at_b`) so
+    /// the backward pass never materializes a transposed operand.
     ///
     /// # Errors
     ///
@@ -21,12 +23,10 @@ impl Tensor {
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
                 if a.requires_grad() {
-                    let bt = vb.transpose2d().expect("rank-2 checked");
-                    a.accumulate_grad(&g.matmul(&bt).expect("shapes consistent"));
+                    a.accumulate_grad(&g.matmul_a_bt(&vb).expect("shapes consistent"));
                 }
                 if b.requires_grad() {
-                    let at = va.transpose2d().expect("rank-2 checked");
-                    b.accumulate_grad(&at.matmul(g).expect("shapes consistent"));
+                    b.accumulate_grad(&va.matmul_at_b(g).expect("shapes consistent"));
                 }
             }),
         ))

@@ -6,6 +6,7 @@
 
 use crate::array::Array;
 use crate::error::{Result, TensorError};
+use crate::kernel;
 use crate::tensor::Tensor;
 
 /// Output of [`Tensor::batch_norm2d_train`]: the normalized activations plus
@@ -59,23 +60,23 @@ impl Tensor {
         let gval = gamma.value_clone();
         let bval = beta.value_clone();
 
+        // Channel statistics via the kernel layer's lane-parallel
+        // reductions: fixed association (deterministic) but no sequential
+        // float dependency chain, so the passes vectorize.
         let mut mean = Array::zeros(&[c]);
         let mut var = Array::zeros(&[c]);
         for ci in 0..c {
             let mut acc = 0.0f32;
             for bi in 0..b {
                 let base = (bi * c + ci) * plane;
-                acc += xval.data()[base..base + plane].iter().sum::<f32>();
+                acc += kernel::sum8(&xval.data()[base..base + plane]);
             }
             let mu = acc / n;
             mean.data_mut()[ci] = mu;
             let mut vacc = 0.0f32;
             for bi in 0..b {
                 let base = (bi * c + ci) * plane;
-                for &v in &xval.data()[base..base + plane] {
-                    let d = v - mu;
-                    vacc += d * d;
-                }
+                vacc += kernel::sq_dev_sum8(&xval.data()[base..base + plane], mu);
             }
             var.data_mut()[ci] = vacc / n;
         }
@@ -90,10 +91,13 @@ impl Tensor {
             let be = bval.data()[ci];
             for bi in 0..b {
                 let base = (bi * c + ci) * plane;
-                for i in base..base + plane {
-                    let xh = (xval.data()[i] - mu) * inv_std;
-                    xhat.data_mut()[i] = xh;
-                    out.data_mut()[i] = ga * xh + be;
+                let xs = &xval.data()[base..base + plane];
+                for (xh, &x) in xhat.data_mut()[base..base + plane].iter_mut().zip(xs) {
+                    *xh = (x - mu) * inv_std;
+                }
+                let xh_src = &xhat.data()[base..base + plane];
+                for (y, &xh) in out.data_mut()[base..base + plane].iter_mut().zip(xh_src) {
+                    *y = ga * xh + be;
                 }
             }
         }
@@ -116,10 +120,9 @@ impl Tensor {
                     let mut sg = 0.0f32;
                     for bi in 0..b {
                         let base = (bi * c + ci) * plane;
-                        for i in base..base + plane {
-                            sb += g.data()[i];
-                            sg += g.data()[i] * xhat_saved.data()[i];
-                        }
+                        let gs = &g.data()[base..base + plane];
+                        sb += kernel::sum8(gs);
+                        sg += kernel::dot8(gs, &xhat_saved.data()[base..base + plane]);
                     }
                     dbeta.data_mut()[ci] = sb;
                     dgamma.data_mut()[ci] = sg;
@@ -141,9 +144,14 @@ impl Tensor {
                         let k = ga * inv_std / n;
                         for bi in 0..b {
                             let base = (bi * c + ci) * plane;
-                            for i in base..base + plane {
-                                dx.data_mut()[i] =
-                                    k * (n * g.data()[i] - sg - xhat_saved.data()[i] * sgx);
+                            let gs = &g.data()[base..base + plane];
+                            let xhs = &xhat_saved.data()[base..base + plane];
+                            for ((d, &gv), &xh) in dx.data_mut()[base..base + plane]
+                                .iter_mut()
+                                .zip(gs)
+                                .zip(xhs)
+                            {
+                                *d = k * (n * gv - sg - xh * sgx);
                             }
                         }
                     }

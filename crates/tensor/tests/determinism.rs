@@ -1,0 +1,65 @@
+//! Bitwise determinism across thread counts: the kernel layer guarantees
+//! that every output element is accumulated through the same single
+//! ascending-`k` chain no matter how work is partitioned, so results under
+//! `EDD_NUM_THREADS=1` and `EDD_NUM_THREADS=4` must be identical to the
+//! last bit — forward values and gradients alike.
+//!
+//! All scenarios live in one `#[test]` because they mutate the process
+//! environment; this file is its own test binary, so no other suite races
+//! the variable.
+
+use edd_tensor::{Array, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Forward outputs and gradients of a conv + dwconv + matmul workload,
+/// captured as raw bit patterns.
+fn run_workload() -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(77);
+    let x = Tensor::param(Array::randn(&[4, 8, 12, 12], 1.0, &mut rng));
+    let w = Tensor::param(Array::randn(&[16, 8, 3, 3], 0.5, &mut rng));
+    let dw = Tensor::param(Array::randn(&[16, 3, 3], 0.5, &mut rng));
+    let a = Tensor::param(Array::randn(&[48, 96], 1.0, &mut rng));
+    let b = Tensor::param(Array::randn(&[96, 64], 0.5, &mut rng));
+
+    let conv = x.conv2d(&w, None, 1, 1).unwrap();
+    let dwc = conv.dwconv2d(&dw, None, 2, 1).unwrap();
+    let mm = a.matmul(&b).unwrap();
+    let loss = dwc.square().sum().add(&mm.square().sum()).unwrap();
+    loss.backward();
+
+    let bits = |arr: &Array| arr.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    vec![
+        bits(&conv.value_clone()),
+        bits(&dwc.value_clone()),
+        bits(&mm.value_clone()),
+        bits(&x.grad().unwrap()),
+        bits(&w.grad().unwrap()),
+        bits(&dw.grad().unwrap()),
+        bits(&a.grad().unwrap()),
+        bits(&b.grad().unwrap()),
+    ]
+}
+
+#[test]
+fn thread_count_does_not_change_a_single_bit() {
+    std::env::set_var("EDD_NUM_THREADS", "1");
+    let single = run_workload();
+    std::env::set_var("EDD_NUM_THREADS", "4");
+    let quad = run_workload();
+    std::env::remove_var("EDD_NUM_THREADS");
+
+    let names = [
+        "conv2d forward",
+        "dwconv2d forward",
+        "matmul forward",
+        "conv input grad",
+        "conv weight grad",
+        "dw weight grad",
+        "matmul lhs grad",
+        "matmul rhs grad",
+    ];
+    for ((s, q), name) in single.iter().zip(&quad).zip(names) {
+        assert_eq!(s, q, "{name} differs between 1 and 4 threads");
+    }
+}

@@ -1,0 +1,168 @@
+//! Oracle tests for the blocked GEMM kernel layer: the register-tiled,
+//! optionally multi-threaded kernels in [`edd_tensor::kernel`] must agree
+//! with the scalar reference implementation (`matmul_naive`) across
+//! randomized shapes, including the degenerate ones (`k = 0`, `m = 1`,
+//! `n = 1`) that exercise the tile-remainder and empty-contraction paths.
+
+use edd_tensor::kernel;
+use edd_tensor::Array;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform values in `[-1, 1]`; magnitudes near 1 keep the relative
+/// tolerance meaningful regardless of the contraction depth.
+fn rand_vec(len: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Asserts elementwise agreement within a 1e-4 relative tolerance
+/// (absolute for results near zero).
+fn assert_close(got: &[f32], want: &[f32], what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len(), "{}: length mismatch", what);
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-4f32 * w.abs().max(1.0);
+        prop_assert!(
+            (g - w).abs() <= tol,
+            "{}: element {} differs: got {}, want {} (tol {})",
+            what,
+            i,
+            g,
+            w,
+            tol
+        );
+    }
+    Ok(())
+}
+
+/// Explicit transpose of a row-major `[r, c]` matrix to `[c, r]`.
+fn transpose(data: &[f32], r: usize, c: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            out[j * r + i] = data[i * c + j];
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matmul_matches_naive(
+        m in 1usize..=13,
+        k in 0usize..=33,
+        n in 1usize..=17,
+        threads in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let want = kernel::matmul_naive(&a, &b, m, k, n);
+        let mut got = vec![f32::NAN; m * n];
+        kernel::matmul_into_threads(&mut got, &a, &b, m, k, n, threads);
+        assert_close(&got, &want, "matmul")?;
+    }
+
+    #[test]
+    fn at_b_matches_naive_on_explicit_transpose(
+        m in 1usize..=13,
+        k in 0usize..=33,
+        n in 1usize..=17,
+        threads in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // `a_t` is stored [k, m]; the kernel contracts it as Aᵀ·B without
+        // materializing the transpose. The oracle does materialize it.
+        let a_t = rand_vec(k * m, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let a = transpose(&a_t, k, m);
+        let want = kernel::matmul_naive(&a, &b, m, k, n);
+        let mut got = vec![f32::NAN; m * n];
+        kernel::matmul_at_b_into_threads(&mut got, &a_t, &b, k, m, n, threads);
+        assert_close(&got, &want, "at_b")?;
+    }
+
+    #[test]
+    fn a_bt_matches_naive_on_explicit_transpose(
+        m in 1usize..=13,
+        k in 0usize..=33,
+        n in 1usize..=17,
+        threads in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // `b_t` is stored [n, k]; the kernel contracts it as A·Bᵀ.
+        let a = rand_vec(m * k, &mut rng);
+        let b_t = rand_vec(n * k, &mut rng);
+        let b = transpose(&b_t, n, k);
+        let want = kernel::matmul_naive(&a, &b, m, k, n);
+        let mut got = vec![f32::NAN; m * n];
+        kernel::matmul_a_bt_into_threads(&mut got, &a, &b_t, m, k, n, threads);
+        assert_close(&got, &want, "a_bt")?;
+    }
+
+    #[test]
+    fn array_matmul_variants_match_naive(
+        m in 1usize..=9,
+        k in 1usize..=17,
+        n in 1usize..=9,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Array::randn(&[m, k], 1.0, &mut rng);
+        let b = Array::randn(&[k, n], 1.0, &mut rng);
+        let want = a.matmul_naive(&b).unwrap();
+        assert_close(a.matmul(&b).unwrap().data(), want.data(), "Array::matmul")?;
+        let a_t = a.transpose2d().unwrap();
+        assert_close(a_t.matmul_at_b(&b).unwrap().data(), want.data(), "Array::matmul_at_b")?;
+        let b_t = b.transpose2d().unwrap();
+        assert_close(a.matmul_a_bt(&b_t).unwrap().data(), want.data(), "Array::matmul_a_bt")?;
+    }
+}
+
+/// Pinned edge shapes the random ranges may only hit rarely: empty
+/// contractions, single rows/columns, and sizes straddling the 4x8 tile.
+#[test]
+fn edge_shapes_match_naive_at_every_thread_count() {
+    let shapes = [
+        (1, 0, 1),
+        (1, 1, 1),
+        (2, 0, 5),
+        (1, 8, 1),
+        (1, 7, 9),
+        (13, 9, 1),
+        (4, 8, 4),
+        (5, 3, 7),
+        (9, 16, 33),
+        (12, 1, 12),
+        (16, 32, 24),
+    ];
+    let mut rng = StdRng::seed_from_u64(0xedd);
+    for &(m, k, n) in &shapes {
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let want = kernel::matmul_naive(&a, &b, m, k, n);
+        let a_t = transpose(&a, m, k);
+        let b_t = transpose(&b, k, n);
+        for threads in 1..=4 {
+            let mut got = vec![f32::NAN; m * n];
+            kernel::matmul_into_threads(&mut got, &a, &b, m, k, n, threads);
+            let mut got_at_b = vec![f32::NAN; m * n];
+            kernel::matmul_at_b_into_threads(&mut got_at_b, &a_t, &b, k, m, n, threads);
+            let mut got_a_bt = vec![f32::NAN; m * n];
+            kernel::matmul_a_bt_into_threads(&mut got_a_bt, &a, &b_t, m, k, n, threads);
+            for (which, got) in [("matmul", &got), ("at_b", &got_at_b), ("a_bt", &got_a_bt)] {
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        (g - w).abs() <= 1e-4 * w.abs().max(1.0),
+                        "{which} ({m},{k},{n}) threads={threads}: got {g}, want {w}"
+                    );
+                }
+            }
+        }
+    }
+}

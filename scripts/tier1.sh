@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the checks every PR must keep green.
+#
+#   1. release build of the full workspace (benches compile here too);
+#   2. the default test suite;
+#   3. the tensor crate's suite on its own, which carries the kernel
+#      oracle, gradcheck, and thread-determinism tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo test -q -p edd-tensor
+
+echo "tier1: all green"

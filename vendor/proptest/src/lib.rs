@@ -1,0 +1,410 @@
+//! Offline shim for the subset of the `proptest` 1.x API used by this
+//! workspace.
+//!
+//! Implements randomized property testing without shrinking: the
+//! [`proptest!`] macro expands each property into a `#[test]` that draws
+//! `ProptestConfig::cases` deterministic samples from the argument
+//! strategies and reports the first failing input verbatim. Supported
+//! strategies are the ones the workspace's suites use: numeric ranges,
+//! tuples, [`prop::collection::vec`], [`prop::sample::select`], `Just`,
+//! and [`Strategy::prop_map`].
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Deterministic per-case random source for strategy sampling.
+
+    pub use rand::rngs::StdRng as InnerRng;
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies; a thin wrapper over the vendored
+    /// [`rand::rngs::StdRng`].
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub InnerRng);
+
+    impl TestRng {
+        /// RNG for case number `case` of the test named `name`; stable
+        /// across runs so failures reproduce.
+        #[must_use]
+        pub fn for_case(name: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(InnerRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case)))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Error raised by `prop_assert!`-family macros inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Inclusive bounds on collection sizes, converted from `usize` and both
+/// range forms.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Built-in strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy yielding `Vec`s whose length lies in `size` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy produced by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                use rand::Rng;
+                let n = rng.gen_range(self.size.lo..=self.size.hi);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling from explicit value lists.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy yielding clones of elements of `items`, uniformly.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select: empty choice list");
+            Select { items }
+        }
+
+        /// Strategy produced by [`select`].
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn sample(&self, rng: &mut TestRng) -> T {
+                use rand::Rng;
+                self.items[rng.gen_range(0..self.items.len())].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let inputs = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                        $(&$arg),+
+                    );
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\nwith inputs:\n{}",
+                            stringify!($name),
+                            case,
+                            cfg.cases,
+                            e,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 1usize..5, b in -2.0f32..2.0, c in 0u64..10) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+            prop_assert!(c < 10);
+        }
+
+        #[test]
+        fn vec_and_select(
+            v in prop::collection::vec(0usize..3, 2..6),
+            s in prop::sample::select(vec![10usize, 20, 30]),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 3));
+            prop_assert!(s == 10 || s == 20 || s == 30);
+        }
+
+        #[test]
+        fn tuples_map(pair in (1usize..4, 1usize..4).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..16).contains(&pair));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..7) {
+            prop_assert!(x < 7, "x was {}", x);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Offline `#[derive(Serialize, Deserialize)]` shim.
+//!
+//! Generates impls of the vendored `serde` shim's content-tree traits for
+//! the shapes this workspace actually derives on: structs with named
+//! fields, and enums whose variants are unit, newtype, or struct-like.
+//! The encoding matches real serde's externally-tagged JSON form, so the
+//! artifacts written by the CLI stay conventional.
+//!
+//! Parsing is done directly on the token stream (no `syn`/`quote`, which
+//! are unavailable offline); generation is by string assembly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct FieldList(Vec<String>);
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Struct(String, FieldList),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: FieldList },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skips one attribute (`#` plus its bracket group) if present at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses the named fields of a brace-delimited struct body.
+fn parse_named_fields(body: &[TokenTree]) -> FieldList {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        skip_vis(body, &mut i);
+        let TokenTree::Ident(name) = &body[i] else {
+            panic!("serde_derive shim: expected field name, found {:?}", body[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Skip ':' and the type, up to the next comma at angle-depth 0.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    FieldList(fields)
+}
+
+/// Parses the variants of a brace-delimited enum body.
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &body[i] else {
+            panic!(
+                "serde_derive shim: expected variant name, found {:?}",
+                body[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let variant = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let commas = inner
+                    .iter()
+                    .filter(
+                        |t| matches!(t, TokenTree::Punct(p) if p.as_char() == ',')
+                    )
+                    .count();
+                assert!(
+                    commas == 0 || (commas == 1 && matches!(inner.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',')),
+                    "serde_derive shim: only single-field tuple variants are supported ({name})"
+                );
+                Variant::Newtype(name)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Variant::Struct(name, parse_named_fields(&inner))
+            }
+            _ => Variant::Unit(name),
+        };
+        variants.push(variant);
+        // Skip to past the next top-level comma.
+        while i < body.len() {
+            if matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive shim: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported ({name})");
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(i) else {
+        panic!("serde_derive shim: expected a brace-delimited body for {name}");
+    };
+    assert_eq!(
+        g.delimiter(),
+        Delimiter::Brace,
+        "serde_derive shim: tuple structs are not supported ({name})"
+    );
+    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .0
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(v) => format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),"
+                    ),
+                    Variant::Newtype(v) => format!(
+                        "{name}::{v}(inner) => ::serde::Content::Map(vec![(\
+                             \"{v}\".to_string(), ::serde::Serialize::to_content(inner))]),"
+                    ),
+                    Variant::Struct(v, fields) => {
+                        let binds = fields.0.join(", ");
+                        let entries: String = fields
+                            .0
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_content({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                                 \"{v}\".to_string(), ::serde::Content::Map(vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .0
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(::serde::field(map, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let map = content.as_map().ok_or_else(|| \
+                             ::serde::DeError::custom(format!(\
+                                 \"expected map for struct {name}, found {{}}\", content.kind())))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(v) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Newtype(v) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_content(value)?)),"
+                    )),
+                    Variant::Struct(v, fields) => {
+                        let inits: String = fields
+                            .0
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(\
+                                         ::serde::field(inner, \"{f}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                 let inner = value.as_map().ok_or_else(|| \
+                                     ::serde::DeError::custom(\
+                                         \"expected map for variant {v}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                             }},"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, value) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                         format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"expected enum {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated Deserialize impl parses")
+}

@@ -1,0 +1,455 @@
+//! Offline shim for the subset of the `serde_json` 1.x API used by this
+//! workspace: [`to_string`], [`to_string_pretty`], and [`from_str`],
+//! bridging JSON text and the vendored `serde` shim's content tree.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(v: f64) -> String {
+    if !v.is_finite() {
+        // JSON has no NaN/Infinity; mirror serde_json's lossy `null`.
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    // Ensure the token re-parses as a float, keeping int/float distinction
+    // stable across a roundtrip.
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_content(c: &Content, out: &mut String, indent: Option<usize>) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => out.push_str(&number_to_string(*v)),
+        Content::Str(s) => escape_into(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                }
+                write_content(item, out, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                }
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(v, out, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the types this workspace serializes; the `Result` form
+/// mirrors the real API.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, None);
+    Ok(out)
+}
+
+/// Serializes `value` to 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the types this workspace serializes.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, Some(0));
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content> {
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(Error::new(format!("invalid token at byte {}", self.pos)))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(Error::new(format!("invalid token at byte {}", self.pos)))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(Error::new(format!("invalid token at byte {}", self.pos)))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return Err(Error::new("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                let mut entries = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => return Err(Error::new("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(Error::new("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u codepoint"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'-' | b'+' | b'.' | b'0'..=b'9' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if text.is_empty() {
+            return Err(Error::new(format!("invalid token at byte {start}")));
+        }
+        if text.contains('.') || text.contains('e') || text.contains('E') {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .map(|v| Content::I64(-(v as i64)))
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+/// Parses a `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T> {
+    let mut parser = Parser::new(s);
+    let content = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(T::from_content(&content)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for v in [0.1f64, 1e-300, 123_456_789.123_456_78, -2.5e17] {
+            let s = to_string(&v).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), v, "via {s}");
+        }
+        // Whole-number floats keep their float-ness.
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let s = "line\n\"quoted\"\tπ".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(from_str::<String>(r#""A""#).unwrap(), "A");
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![vec![1.0f32, 2.0], vec![3.0]];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Vec<f32>>>(&json).unwrap(), v);
+        let none: Option<f32> = None;
+        assert_eq!(to_string(&none).unwrap(), "null");
+        assert_eq!(from_str::<Option<f32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<f32>>("2.5").unwrap(), Some(2.5));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![1u32, 2, 3];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<u32>>(&pretty).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("4x").is_err());
+        assert!(from_str::<Vec<u32>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"oops").is_err());
+    }
+}
