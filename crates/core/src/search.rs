@@ -259,6 +259,8 @@ impl CoSearch {
                     edd_tensor::optim::clip_grad_norm(w_opt.params(), max_norm);
                 }
                 w_opt.step();
+                // Scratch buffers are step-scoped; reclaim the arena.
+                edd_tensor::scratch::reset();
                 let b = batch.labels.len();
                 train_loss += loss.item() * b as f32;
                 train_acc += accuracy(&logits.value_clone(), &batch.labels) * b as f32;
@@ -294,6 +296,7 @@ impl CoSearch {
                     )?;
                     total.backward();
                     a_opt.step();
+                    edd_tensor::scratch::reset();
                     expected_perf += est.perf.item();
                     expected_res += est.res.item();
                     arch_steps += 1;

@@ -13,6 +13,7 @@ use crate::space::SearchSpace;
 use edd_nn::{BatchNorm2d, Conv2d, Linear, MbConv, Module, QuantSpec, QuantizableModule};
 use edd_tensor::{gumbel_softmax, Result, Tensor};
 use rand::Rng;
+use std::sync::Mutex;
 
 /// The EDD supernet.
 pub struct SuperNet {
@@ -143,6 +144,11 @@ impl SuperNet {
     /// quantizations at temperature `tau`. Returns the class logits and the
     /// sampled path.
     ///
+    /// Exactly one branch executes per block (that is the point of the
+    /// single-path supernet), so there is no branch-level fan-out here;
+    /// parallelism comes from the pooled convolution / normalization /
+    /// elementwise kernels inside the sampled branch.
+    ///
     /// # Errors
     ///
     /// Propagates shape errors from the layers.
@@ -200,19 +206,33 @@ impl SuperNet {
         h = self.stem_bn.forward(&h)?.relu6();
         for (i, ops) in self.blocks.iter().enumerate() {
             let weights = edd_tensor::softmax_selection(&arch.theta[i], tau)?;
-            let mut mixed: Option<Tensor> = None;
-            for (m, op) in ops.iter().enumerate() {
-                let q_star = arch.argmax_quant(i, m);
-                let bits = self.space.quant_bits[q_star];
-                let branch = op.forward_quantized(&h, Some(QuantSpec::bits(bits)))?;
-                let coeff = weights.select(m)?;
-                let term = branch.mul(&coeff)?;
-                mixed = Some(match mixed {
-                    None => term,
-                    Some(acc) => acc.add(&term)?,
-                });
+            // Fan the M candidate branches out over the worker pool: each
+            // branch owns its slot (and its own batch-norm running stats),
+            // and the combine below walks slots in ascending m, so the
+            // result is identical to the sequential loop for any thread
+            // count. Ops inside a branch that would themselves use the pool
+            // run inline on the worker (nested `run` never deadlocks).
+            let slots: Vec<Mutex<Option<Result<Tensor>>>> =
+                (0..ops.len()).map(|_| Mutex::new(None)).collect();
+            edd_tensor::kernel::pool::run(ops.len(), &|m| {
+                let result = (|| {
+                    let q_star = arch.argmax_quant(i, m);
+                    let bits = self.space.quant_bits[q_star];
+                    let branch = ops[m].forward_quantized(&h, Some(QuantSpec::bits(bits)))?;
+                    let coeff = weights.select(m)?;
+                    branch.mul(&coeff)
+                })();
+                *slots[m].lock().expect("branch slot poisoned") = Some(result);
+            });
+            let mut terms = Vec::with_capacity(ops.len());
+            for slot in slots {
+                terms.push(
+                    slot.into_inner()
+                        .expect("branch slot poisoned")
+                        .expect("every branch task ran")?,
+                );
             }
-            h = mixed.expect("M >= 1 candidates per block");
+            h = Tensor::add_n(&terms)?;
         }
         self.head_forward(&h)
     }

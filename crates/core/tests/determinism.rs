@@ -1,0 +1,101 @@
+//! Supernet-level bitwise determinism across pool sizes: a full
+//! forward + backward through the sampled path and through the all-branch
+//! mixture (whose `M` candidate branches fan out over the worker pool)
+//! must produce identical bits for any logical thread count, and across
+//! repeated runs on the same pool.
+//!
+//! Single `#[test]` because it mutates the global thread-count override.
+
+use edd_core::{ArchParams, DeviceTarget, SearchSpace, SuperNet};
+use edd_hw::FpgaDevice;
+use edd_tensor::kernel::set_num_threads;
+use edd_tensor::{Array, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One sampled step and one mixture step; returns forward bits plus the
+/// gradient bits of every architecture parameter and the stem weight.
+fn run_steps() -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let space = SearchSpace::tiny(3, 16, 4, vec![4, 8]);
+    let net = SuperNet::new(&space, &mut rng);
+    let arch = ArchParams::init(
+        &space,
+        &DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+        &mut rng,
+    );
+    let x = Tensor::constant(Array::randn(&[2, 3, 16, 16], 1.0, &mut rng));
+
+    let (logits, _) = net.forward_sampled(&x, &arch, 1.0, &mut rng).unwrap();
+    logits.cross_entropy(&[0, 1]).unwrap().backward();
+    let sampled_bits: Vec<u32> = logits
+        .value_clone()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let mut grads = Vec::new();
+    for t in &arch.theta {
+        grads.extend(
+            t.grad()
+                .expect("theta grad")
+                .data()
+                .iter()
+                .map(|v| v.to_bits()),
+        );
+    }
+    grads.extend(
+        net.weight_params()[0]
+            .grad()
+            .expect("stem grad")
+            .data()
+            .iter()
+            .map(|v| v.to_bits()),
+    );
+    edd_tensor::scratch::reset();
+
+    let mix = net.forward_mixture(&x, &arch, 1.0).unwrap();
+    mix.cross_entropy(&[0, 1]).unwrap().backward();
+    let mix_bits: Vec<u32> = mix
+        .value_clone()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let mut mix_grads = Vec::new();
+    for t in &arch.theta {
+        mix_grads.extend(t.grad().expect("theta grad").data().iter().map(|v| v.to_bits()));
+    }
+    edd_tensor::scratch::reset();
+
+    vec![sampled_bits, grads, mix_bits, mix_grads]
+}
+
+#[test]
+fn supernet_steps_are_bitwise_identical_across_pool_sizes() {
+    // Largest pool first so workers exist (and really execute branch
+    // tasks) before the smaller logical counts run.
+    set_num_threads(7);
+    let seven = run_steps();
+    let seven_again = run_steps();
+    set_num_threads(2);
+    let two = run_steps();
+    set_num_threads(1);
+    let one = run_steps();
+
+    let names = [
+        "sampled forward logits",
+        "sampled theta + stem grads",
+        "mixture forward logits",
+        "mixture theta grads",
+    ];
+    for ((a, b), name) in seven.iter().zip(&seven_again).zip(names) {
+        assert_eq!(a, b, "{name} differ between two runs on the same pool");
+    }
+    for ((a, b), name) in seven.iter().zip(&two).zip(names) {
+        assert_eq!(a, b, "{name} differ between 7 and 2 threads");
+    }
+    for ((a, b), name) in seven.iter().zip(&one).zip(names) {
+        assert_eq!(a, b, "{name} differ between 7 and 1 threads");
+    }
+}

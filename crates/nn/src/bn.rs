@@ -2,7 +2,8 @@
 
 use crate::module::Module;
 use edd_tensor::{Array, Result, Tensor};
-use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Batch normalization over NCHW activations.
 ///
@@ -14,11 +15,11 @@ use std::cell::{Cell, RefCell};
 pub struct BatchNorm2d {
     gamma: Tensor,
     beta: Tensor,
-    running_mean: RefCell<Array>,
-    running_var: RefCell<Array>,
+    running_mean: Mutex<Array>,
+    running_var: Mutex<Array>,
     momentum: f32,
     eps: f32,
-    training: Cell<bool>,
+    training: AtomicBool,
     channels: usize,
 }
 
@@ -30,11 +31,11 @@ impl BatchNorm2d {
         BatchNorm2d {
             gamma: Tensor::param(Array::ones(&[channels])),
             beta: Tensor::param(Array::zeros(&[channels])),
-            running_mean: RefCell::new(Array::zeros(&[channels])),
-            running_var: RefCell::new(Array::ones(&[channels])),
+            running_mean: Mutex::new(Array::zeros(&[channels])),
+            running_var: Mutex::new(Array::ones(&[channels])),
             momentum: 0.1,
             eps: 1e-5,
-            training: Cell::new(true),
+            training: AtomicBool::new(true),
             channels,
         }
     }
@@ -42,30 +43,30 @@ impl BatchNorm2d {
     /// Current running mean estimate.
     #[must_use]
     pub fn running_mean(&self) -> Array {
-        self.running_mean.borrow().clone()
+        self.running_mean.lock().expect("bn stats poisoned").clone()
     }
 
     /// Current running variance estimate.
     #[must_use]
     pub fn running_var(&self) -> Array {
-        self.running_var.borrow().clone()
+        self.running_var.lock().expect("bn stats poisoned").clone()
     }
 
     /// Whether the layer is in training mode.
     #[must_use]
     pub fn is_training(&self) -> bool {
-        self.training.get()
+        self.training.load(Ordering::Relaxed)
     }
 }
 
 impl Module for BatchNorm2d {
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
-        if self.training.get() {
+        if self.is_training() {
             let bn = x.batch_norm2d_train(&self.gamma, &self.beta, self.eps)?;
             // Exponential moving average of batch statistics.
             {
-                let mut rm = self.running_mean.borrow_mut();
-                let mut rv = self.running_var.borrow_mut();
+                let mut rm = self.running_mean.lock().expect("bn stats poisoned");
+                let mut rv = self.running_var.lock().expect("bn stats poisoned");
                 for c in 0..self.channels {
                     rm.data_mut()[c] = (1.0 - self.momentum) * rm.data()[c]
                         + self.momentum * bn.batch_mean.data()[c];
@@ -79,10 +80,11 @@ impl Module for BatchNorm2d {
             // statistics as constants, composed from broadcast primitives.
             let c = self.channels;
             let bshape = [1, c, 1, 1];
-            let mean = Tensor::constant(self.running_mean.borrow().reshape(&bshape)?);
-            let var = self.running_var.borrow().clone();
+            let mean = Tensor::constant(self.running_mean().reshape(&bshape)?);
+            let var = self.running_var();
+            let eps = self.eps;
             let inv_std =
-                Tensor::constant(var.map(|v| 1.0 / (v + self.eps).sqrt()).reshape(&bshape)?);
+                Tensor::constant(var.map(move |v| 1.0 / (v + eps).sqrt()).reshape(&bshape)?);
             let gamma = self.gamma.reshape(&bshape)?;
             let beta = self.beta.reshape(&bshape)?;
             x.sub(&mean)?.mul(&inv_std)?.mul(&gamma)?.add(&beta)
@@ -94,7 +96,7 @@ impl Module for BatchNorm2d {
     }
 
     fn set_training(&self, training: bool) {
-        self.training.set(training);
+        self.training.store(training, Ordering::Relaxed);
     }
 }
 

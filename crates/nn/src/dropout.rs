@@ -4,7 +4,8 @@ use crate::module::Module;
 use edd_tensor::{Array, Result, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Inverted dropout: during training each element is zeroed with
 /// probability `p` and survivors are scaled by `1/(1-p)`; evaluation is the
@@ -13,8 +14,8 @@ use std::cell::{Cell, RefCell};
 #[derive(Debug)]
 pub struct Dropout {
     p: f32,
-    training: Cell<bool>,
-    rng: RefCell<StdRng>,
+    training: AtomicBool,
+    rng: Mutex<StdRng>,
 }
 
 impl Dropout {
@@ -32,8 +33,8 @@ impl Dropout {
         );
         Dropout {
             p,
-            training: Cell::new(true),
-            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            training: AtomicBool::new(true),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
     }
 
@@ -46,13 +47,13 @@ impl Dropout {
 
 impl Module for Dropout {
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
-        if !self.training.get() || self.p == 0.0 {
+        if !self.training.load(Ordering::Relaxed) || self.p == 0.0 {
             return Ok(x.clone());
         }
         let shape = x.shape();
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mut rng = self.rng.borrow_mut();
+        let mut rng = self.rng.lock().expect("dropout rng poisoned");
         let mask_data: Vec<f32> = (0..x.value().len())
             .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
             .collect();
@@ -65,7 +66,7 @@ impl Module for Dropout {
     }
 
     fn set_training(&self, training: bool) {
-        self.training.set(training);
+        self.training.store(training, Ordering::Relaxed);
     }
 }
 

@@ -74,6 +74,10 @@ pub fn train_epoch_with(
         };
         loss.backward();
         opt.step();
+        // End of step: no scratch buffer may outlive the forward/backward
+        // pass that allocated it (reset panics on leaks and reclaims the
+        // arena in one block sized to the step's high-water mark).
+        edd_tensor::scratch::reset();
         let bsz = batch.labels.len();
         loss_sum += loss.item() * bsz as f32;
         let lv = logits.value_clone();

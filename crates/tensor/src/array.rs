@@ -3,6 +3,7 @@
 //! multiplication, reductions, and `im2col`/`col2im` convolution helpers.
 
 use crate::error::{Result, TensorError};
+use crate::kernel;
 use crate::shape::{broadcast_shapes, dim_right, num_elements, row_major_strides};
 use rand::Rng;
 
@@ -189,19 +190,35 @@ impl Array {
         })
     }
 
-    /// Applies `f` elementwise, producing a new array.
+    /// Applies `f` elementwise, producing a new array. Large arrays are
+    /// chunked over the worker pool (bitwise identical for any count).
     #[must_use]
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Array {
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Array {
         Array {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data: kernel::par_map_vec(&self.data, f),
         }
     }
 
-    /// Applies `f` elementwise in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
+    /// Applies `f` elementwise in place, chunked over the worker pool.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        kernel::par_map_inplace(&mut self.data, f);
+    }
+
+    /// Fused same-shape binary map `out[i] = f(self[i], other[i])`: one
+    /// pass, one allocation, pool-chunked. The backend for the elementwise
+    /// gradient paths (`g * f'(x)` in a single traversal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ (internal hot path; shapes are guaranteed
+    /// by the callers).
+    #[must_use]
+    pub fn zip_same(&self, other: &Array, f: impl Fn(f32, f32) -> f32 + Sync) -> Array {
+        assert_eq!(self.shape, other.shape, "zip_same requires equal shapes");
+        Array {
+            shape: self.shape.clone(),
+            data: kernel::par_zip_vec(&self.data, &other.data, f),
         }
     }
 
@@ -214,20 +231,11 @@ impl Array {
         &self,
         other: &Array,
         op: &'static str,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Result<Array> {
-        // Fast path: identical shapes.
+        // Fast path: identical shapes (pool-chunked for large arrays).
         if self.shape == other.shape {
-            let data = self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect();
-            return Ok(Array {
-                shape: self.shape.clone(),
-                data,
-            });
+            return Ok(self.zip_same(other, f));
         }
         // Fast path: rhs scalar.
         if other.data.len() == 1 {
@@ -330,15 +338,14 @@ impl Array {
             self.shape, other.shape,
             "add_scaled_assign requires equal shapes"
         );
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b * scale;
-        }
+        kernel::par_update2(&mut self.data, &other.data, |a, b| *a += b * scale);
     }
 
-    /// Sums all elements.
+    /// Sums all elements with the kernel layer's fixed-association
+    /// parallel reduction (bitwise identical for any thread count).
     #[must_use]
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        kernel::par_sum(&self.data)
     }
 
     /// Mean over all elements (0 for empty arrays).

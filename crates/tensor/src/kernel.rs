@@ -1,6 +1,6 @@
-//! Cache-blocked, register-tiled f32 GEMM kernels with scoped-thread
-//! parallelism, plus the batch-partitioning helpers the convolution ops
-//! build on.
+//! Cache-blocked, register-tiled f32 GEMM kernels running on the
+//! persistent worker pool, plus the batch-partitioning helpers the
+//! convolution ops build on.
 //!
 //! # Blocking scheme
 //!
@@ -11,55 +11,57 @@
 //! processed in blocks of `NC` so the active output tile and `B` panel stay
 //! cache-resident for wide matrices.
 //!
-//! Two transpose-free variants serve the backward passes without
-//! materializing transposed operands:
+//! Two variants serve the backward passes:
 //!
 //! * [`matmul_at_b_into`] — `C = Aᵀ·B` with `A` stored `[k, m]`
-//!   (weight/`dB`-style gradients);
+//!   (weight/`dB`-style gradients), read transposed in place;
 //! * [`matmul_a_bt_into`] — `C = A·Bᵀ` with `B` stored `[n, k]`
-//!   (input/`dA`-style gradients), computed as fixed-association
-//!   eight-lane dot products.
+//!   (input/`dA`-style gradients): `Bᵀ` is packed once into the scratch
+//!   arena with a blocked transpose, then fed to the row-tiled GEMM — far
+//!   better ILP than per-element dot products.
 //!
 //! # Threading model
 //!
-//! Large GEMMs split the *output rows* into contiguous blocks, one scoped
-//! thread (`std::thread::scope`, no dependencies) per block. Convolutions
-//! parallelize over the batch dimension via [`par_batch2_with`]. In both
-//! cases every output element is produced by exactly one thread with a
-//! thread-count-independent operation order, so results are **bitwise
-//! identical** for any `EDD_NUM_THREADS` setting — see [`num_threads`].
+//! Large GEMMs split the *output rows* into contiguous blocks, one
+//! [`pool`] task per block. Convolutions parallelize over the batch
+//! dimension via [`par_batch2_with`]. In both cases every output element
+//! is produced by exactly one task with a thread-count-independent
+//! operation order, so results are **bitwise identical** for any
+//! `EDD_NUM_THREADS` setting — see [`num_threads`].
 //!
 //! The scalar triple loop is kept as [`matmul_naive`], the reference
 //! oracle the property-based suites compare the blocked kernels against.
 
+pub mod pool;
+
+use pool::SendPtr;
 use std::ops::Range;
 
 /// Rows per register tile in the blocked kernels.
 pub const MR: usize = 4;
 
-/// Columns per register tile: each of the `MR` rows keeps an `NR`-lane
-/// accumulator live across the whole `k` loop (maps onto one 256-bit SIMD
-/// register per row), so every output element is stored exactly once.
+/// Columns per register tile on the scalar (baseline-ISA) path: each of
+/// the `MR` rows keeps an `NR`-lane accumulator live across the whole `k`
+/// loop, so every output element is stored exactly once. The runtime AVX2
+/// path widens this to 16 lanes — see `gemm_tiled` for why that cannot
+/// change results.
 pub const NR: usize = 8;
 
 /// Below this many multiply-adds a GEMM runs single-threaded; spawn
 /// overhead dominates for smaller problems.
 const PAR_MIN_MULADDS: usize = 1 << 18;
 
-/// Worker-thread count for kernel operations.
-///
-/// Reads `EDD_NUM_THREADS` on every call (so tests and embedding processes
-/// can change it at runtime); unset, empty, or unparsable values fall back
-/// to `std::thread::available_parallelism()`. The result is further capped
-/// by each operation's natural grain (output rows, batch images).
-#[must_use]
-pub fn num_threads() -> usize {
-    std::env::var("EDD_NUM_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&t| t >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
-}
+/// Below this many elements an elementwise pass runs on the calling
+/// thread; pool dispatch costs more than the traversal.
+pub const PAR_MIN_ELEMS: usize = 1 << 15;
+
+/// Fixed reduction chunk length. Total sums are computed as an eight-lane
+/// [`sum8`] per chunk plus a final [`sum8`] over the chunk partials; the
+/// chunk length never depends on the thread count, so the result is
+/// bitwise identical no matter how chunks are distributed over workers.
+const REDUCE_CHUNK: usize = 1 << 15;
+
+pub use pool::{num_threads, set_num_threads};
 
 /// Output coordinates `o` (over `0..out_limit`) whose sampled input index
 /// `o*stride + kc - pad` lands inside `[0, in_limit)`, as a half-open
@@ -196,13 +198,26 @@ impl LhsTile for TransposedLhs {
 /// Register-tiled `out[mb, n] = lhs-tile · b[k, n]`, single-threaded,
 /// overwritten.
 ///
-/// The `MR x NR` microkernel keeps a 4x8 accumulator tile live across the
-/// entire `k` loop (one 8-lane vector per row) and stores each output
-/// element exactly once, instead of re-walking the output rows per `k`
-/// step. Every element — tile, row-tail, or column-tail — accumulates its
-/// products in ascending `kk` order through a single accumulator chain, so
-/// results are bitwise independent of how rows are partitioned.
-fn gemm_tiled<L: LhsTile>(out: &mut [f32], a: &[f32], b: &[f32], lhs: L, mb: usize, k: usize, n: usize) {
+/// The `MR x NRV` microkernel keeps an accumulator tile live across the
+/// entire `k` loop and stores each output element exactly once, instead of
+/// re-walking the output rows per `k` step. Every element — tile, row-tail,
+/// or column-tail — accumulates its products in ascending `kk` order through
+/// a single accumulator chain, so results are bitwise independent of how
+/// rows are partitioned — and of `NRV`: widening the tile only changes how
+/// many *independent* chains run side by side, never the order within one.
+/// The scalar path uses `NRV = NR` (8: two xmm per row fits the SSE2
+/// register file); the AVX2 path uses 16 (two ymm per row → eight add
+/// chains, enough to hide the 4-cycle `vaddps` latency).
+#[inline(always)]
+fn gemm_tiled<L: LhsTile, const NRV: usize>(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    lhs: L,
+    mb: usize,
+    k: usize,
+    n: usize,
+) {
     if k == 0 {
         out.fill(0.0);
         return;
@@ -213,10 +228,10 @@ fn gemm_tiled<L: LhsTile>(out: &mut [f32], a: &[f32], b: &[f32], lhs: L, mb: usi
     let mut i = 0;
     while i + MR <= mb {
         let mut j = 0;
-        while j + NR <= n {
-            let mut acc = [[0.0f32; NR]; MR];
+        while j + NRV <= n {
+            let mut acc = [[0.0f32; NRV]; MR];
             for kk in 0..k {
-                let bv: &[f32; NR] = b[kk * n + j..kk * n + j + NR].try_into().expect("NR chunk");
+                let bv: &[f32; NRV] = b[kk * n + j..kk * n + j + NRV].try_into().expect("NRV chunk");
                 let av = lhs.scalars(a, i, kk);
                 for (accr, &ar) in acc.iter_mut().zip(&av) {
                     for (l, &bl) in accr.iter_mut().zip(bv) {
@@ -225,9 +240,9 @@ fn gemm_tiled<L: LhsTile>(out: &mut [f32], a: &[f32], b: &[f32], lhs: L, mb: usi
                 }
             }
             for (r, accr) in acc.iter().enumerate() {
-                out[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+                out[(i + r) * n + j..(i + r) * n + j + NRV].copy_from_slice(accr);
             }
-            j += NR;
+            j += NRV;
         }
         // Column tail: scalar accumulators, still ascending-kk.
         while j < n {
@@ -246,20 +261,20 @@ fn gemm_tiled<L: LhsTile>(out: &mut [f32], a: &[f32], b: &[f32], lhs: L, mb: usi
         }
         i += MR;
     }
-    // Row tail: one row at a time with NR-lane column tiles.
+    // Row tail: one row at a time with NRV-lane column tiles.
     while i < mb {
         let mut j = 0;
-        while j + NR <= n {
-            let mut acc = [0.0f32; NR];
+        while j + NRV <= n {
+            let mut acc = [0.0f32; NRV];
             for kk in 0..k {
-                let bv: &[f32; NR] = b[kk * n + j..kk * n + j + NR].try_into().expect("NR chunk");
+                let bv: &[f32; NRV] = b[kk * n + j..kk * n + j + NRV].try_into().expect("NRV chunk");
                 let ar = lhs.scalar(a, i, kk);
                 for (l, &bl) in acc.iter_mut().zip(bv) {
                     *l += ar * bl;
                 }
             }
-            out[i * n + j..i * n + j + NR].copy_from_slice(&acc);
-            j += NR;
+            out[i * n + j..i * n + j + NRV].copy_from_slice(&acc);
+            j += NRV;
         }
         while j < n {
             let mut acc = 0.0f32;
@@ -273,9 +288,88 @@ fn gemm_tiled<L: LhsTile>(out: &mut [f32], a: &[f32], b: &[f32], lhs: L, mb: usi
     }
 }
 
+// ---------------------------------------------------------------------------
+// SIMD dispatch
+// ---------------------------------------------------------------------------
+//
+// The block kernels are plain scalar loops over fixed-width lane groups
+// (the 4x8 GEMM tile, the 8-lane reduction accumulators). Compiling the
+// same loops under AVX2 maps each lane group onto one ymm register instead
+// of two xmm registers — instruction selection changes, the float
+// associations do not, so both paths produce bit-identical results and the
+// runtime dispatch is a pure performance decision (verified by the
+// `avx2_paths_match_scalar_bitwise` test below).
+
+/// True when the CPU supports AVX2 and `EDD_SIMD` is not set to `scalar`
+/// (the escape hatch for comparing code paths). Decided once, then served
+/// from a relaxed atomic.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub(crate) fn use_avx2() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0); // 0 undecided, 1 off, 2 on
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let on = std::env::var("EDD_SIMD").map_or(true, |v| v != "scalar")
+                && std::arch::is_x86_feature_detected!("avx2");
+            STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Declares a `#[target_feature(enable = "avx2")]` twin of a scalar kernel
+/// and a dispatching front that picks it when the CPU allows. The twin just
+/// calls the (`inline(always)`) scalar body, so there is exactly one source
+/// of truth per kernel.
+macro_rules! avx2_dispatch {
+    ($(#[$meta:meta])* $vis:vis $name:ident / $scalar:ident / $avx2:ident,
+     ($($arg:ident : $ty:ty),* $(,)?) $(-> $ret:ty)?) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $ty),*) $(-> $ret)? {
+            #[cfg(target_arch = "x86_64")]
+            if $crate::kernel::use_avx2() {
+                // SAFETY: AVX2 support verified at runtime just above.
+                return unsafe { $avx2($($arg),*) };
+            }
+            $scalar($($arg),*)
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx2($($arg: $ty),*) $(-> $ret)? {
+            $scalar($($arg),*)
+        }
+    };
+}
+
+pub(crate) use avx2_dispatch;
+
+// The GEMM fronts are dispatched by hand (not via `avx2_dispatch!`) because
+// the two ISAs want different tile widths: the AVX2 twins instantiate
+// `gemm_tiled` with 16-lane column tiles (eight independent add chains per
+// 4-row tile — enough to hide `vaddps` latency), while the scalar bodies
+// keep `NR = 8` (16-lane tiles under SSE2 would need 16 xmm accumulators
+// and spill). Per-element accumulation order is identical either way — see
+// the `gemm_tiled` docs — so the paths stay bitwise interchangeable.
+
 /// `out[mb, n] = a_block[mb, k] · b[k, n]`, single-threaded, overwritten.
 fn gemm_block(out: &mut [f32], a: &[f32], b: &[f32], mb: usize, k: usize, n: usize) {
-    gemm_tiled(out, a, b, RowMajorLhs { k }, mb, k, n);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 support verified at runtime just above.
+        return unsafe { gemm_block_avx2(out, a, b, mb, k, n) };
+    }
+    gemm_tiled::<_, NR>(out, a, b, RowMajorLhs { k }, mb, k, n);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_block_avx2(out: &mut [f32], a: &[f32], b: &[f32], mb: usize, k: usize, n: usize) {
+    gemm_tiled::<_, 16>(out, a, b, RowMajorLhs { k }, mb, k, n);
 }
 
 /// `out[mb, n] = aᵀ-block · b` for output rows `[i0, i0+mb)`, where the
@@ -291,14 +385,41 @@ fn at_b_block(
     m: usize,
     n: usize,
 ) {
-    gemm_tiled(out, a, b, TransposedLhs { m, i0 }, mb, k, n);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 support verified at runtime just above.
+        return unsafe { at_b_block_avx2(out, a, b, i0, mb, k, m, n) };
+    }
+    gemm_tiled::<_, NR>(out, a, b, TransposedLhs { m, i0 }, mb, k, n);
 }
 
-/// Sum with a fixed eight-lane association: breaks the sequential float
-/// dependency chain of a naive `iter().sum()` (so it vectorizes) while
-/// staying deterministic for a given slice length.
-#[must_use]
-pub fn sum8(x: &[f32]) -> f32 {
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn at_b_block_avx2(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    mb: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    gemm_tiled::<_, 16>(out, a, b, TransposedLhs { m, i0 }, mb, k, n);
+}
+
+avx2_dispatch! {
+    /// Sum with a fixed eight-lane association: breaks the sequential float
+    /// dependency chain of a naive `iter().sum()` (so it vectorizes) while
+    /// staying deterministic for a given slice length.
+    #[must_use]
+    pub sum8 / sum8_scalar / sum8_avx2,
+    (x: &[f32]) -> f32
+}
+
+#[inline(always)]
+fn sum8_scalar(x: &[f32]) -> f32 {
     let mut acc = [0.0f32; 8];
     let chunks = x.len() / 8;
     for c in 0..chunks {
@@ -314,10 +435,16 @@ pub fn sum8(x: &[f32]) -> f32 {
     (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
 }
 
-/// Sum of squared deviations `Σ (x - mu)²` with the same fixed eight-lane
-/// association as [`sum8`]. The variance reduction of batch normalization.
-#[must_use]
-pub fn sq_dev_sum8(x: &[f32], mu: f32) -> f32 {
+avx2_dispatch! {
+    /// Sum of squared deviations `Σ (x - mu)²` with the same fixed eight-lane
+    /// association as [`sum8`]. The variance reduction of batch normalization.
+    #[must_use]
+    pub sq_dev_sum8 / sq_dev_sum8_scalar / sq_dev_sum8_avx2,
+    (x: &[f32], mu: f32) -> f32
+}
+
+#[inline(always)]
+fn sq_dev_sum8_scalar(x: &[f32], mu: f32) -> f32 {
     let mut acc = [0.0f32; 8];
     let chunks = x.len() / 8;
     for c in 0..chunks {
@@ -335,10 +462,16 @@ pub fn sq_dev_sum8(x: &[f32], mu: f32) -> f32 {
     (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
 }
 
-/// Dot product with a fixed eight-lane association, so the result does not
-/// depend on how work is partitioned (and the lanes map onto SIMD).
-#[must_use]
-pub fn dot8(x: &[f32], y: &[f32]) -> f32 {
+avx2_dispatch! {
+    /// Dot product with a fixed eight-lane association, so the result does not
+    /// depend on how work is partitioned (and the lanes map onto SIMD).
+    #[must_use]
+    pub dot8 / dot8_scalar / dot8_avx2,
+    (x: &[f32], y: &[f32]) -> f32
+}
+
+#[inline(always)]
+fn dot8_scalar(x: &[f32], y: &[f32]) -> f32 {
     debug_assert_eq!(x.len(), y.len());
     let mut acc = [0.0f32; 8];
     let chunks = x.len() / 8;
@@ -356,15 +489,33 @@ pub fn dot8(x: &[f32], y: &[f32]) -> f32 {
     (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
 }
 
-/// `out[mb, n] = a_block[mb, k] · bᵀ` with `b` stored `[n, k]`: both
-/// operand rows are contiguous, so each output element is one dot product.
-fn a_bt_block(out: &mut [f32], a: &[f32], b: &[f32], mb: usize, k: usize, n: usize) {
-    for i in 0..mb {
-        let a_row = &a[i * k..(i + 1) * k];
-        let o_row = &mut out[i * n..(i + 1) * n];
-        for (j, o) in o_row.iter_mut().enumerate() {
-            *o = dot8(a_row, &b[j * k..(j + 1) * k]);
+avx2_dispatch! {
+    /// Blocked transpose `dst[c, rows] = src[rows, c]`: `src` is `[rows,
+    /// cols]` row-major, `dst` is `[cols, rows]`. 32x32 tiles keep both
+    /// the read and the write streams inside one cache-line working set.
+    transpose_into / transpose_into_scalar / transpose_into_avx2,
+    (dst: &mut [f32], src: &[f32], rows: usize, cols: usize)
+}
+
+#[inline(always)]
+fn transpose_into_scalar(dst: &mut [f32], src: &[f32], rows: usize, cols: usize) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    const TB: usize = 32;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + TB).min(rows);
+        let mut c0 = 0;
+        while c0 < cols {
+            let c1 = (c0 + TB).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+            c0 = c1;
         }
+        r0 = r1;
     }
 }
 
@@ -408,15 +559,13 @@ pub fn matmul_into_threads(
         gemm_block(out, a, b, m, k, n);
         return;
     }
-    std::thread::scope(|s| {
-        let mut rest = out;
-        for r in ranges {
-            let (block, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * n);
-            rest = tail;
-            let a_block = &a[r.start * k..r.end * k];
-            let mb = r.len();
-            s.spawn(move || gemm_block(block, a_block, b, mb, k, n));
-        }
+    let base = SendPtr::new(out.as_mut_ptr());
+    pool::run(ranges.len(), &|t| {
+        let r = &ranges[t];
+        // SAFETY: partition ranges are disjoint, so each task's output
+        // window is exclusive to it.
+        let block = unsafe { base.slice(r.start * n, r.len() * n) };
+        gemm_block(block, &a[r.start * k..r.end * k], b, r.len(), k, n);
     });
 }
 
@@ -455,14 +604,12 @@ pub fn matmul_at_b_into_threads(
         at_b_block(out, a, b, 0, m, k, m, n);
         return;
     }
-    std::thread::scope(|s| {
-        let mut rest = out;
-        for r in ranges {
-            let (block, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * n);
-            rest = tail;
-            let (i0, mb) = (r.start, r.len());
-            s.spawn(move || at_b_block(block, a, b, i0, mb, k, m, n));
-        }
+    let base = SendPtr::new(out.as_mut_ptr());
+    pool::run(ranges.len(), &|t| {
+        let r = &ranges[t];
+        // SAFETY: disjoint partition ranges → disjoint output windows.
+        let block = unsafe { base.slice(r.start * n, r.len() * n) };
+        at_b_block(block, a, b, r.start, r.len(), k, m, n);
     });
 }
 
@@ -496,20 +643,27 @@ pub fn matmul_a_bt_into_threads(
     assert_eq!(a.len(), m * k, "matmul_a_bt: bad lhs length");
     assert_eq!(b.len(), n * k, "matmul_a_bt: bad rhs length");
     assert_eq!(out.len(), m * n, "matmul_a_bt: bad out length");
+    // Pack `bᵀ` into the scratch arena once ([n, k] → [k, n]) and run the
+    // plain row-tiled GEMM on the packed panel. The pack is O(k·n) against
+    // the GEMM's O(m·k·n), and the 4x8 accumulator-tile microkernel is
+    // several times faster than forming each output as a standalone dot
+    // product over `b` rows. The panel is packed before the pool fan-out
+    // and shared read-only, so the result stays independent of the thread
+    // count.
+    let mut bt = crate::scratch::alloc(k * n);
+    transpose_into(&mut bt, b, n, k);
     let ranges = partition(m, threads);
     if ranges.len() <= 1 {
-        a_bt_block(out, a, b, m, k, n);
+        gemm_block(out, a, &bt, m, k, n);
         return;
     }
-    std::thread::scope(|s| {
-        let mut rest = out;
-        for r in ranges {
-            let (block, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * n);
-            rest = tail;
-            let a_block = &a[r.start * k..r.end * k];
-            let mb = r.len();
-            s.spawn(move || a_bt_block(block, a_block, b, mb, k, n));
-        }
+    let base = SendPtr::new(out.as_mut_ptr());
+    let btr: &[f32] = &bt;
+    pool::run(ranges.len(), &|t| {
+        let r = &ranges[t];
+        // SAFETY: disjoint partition ranges → disjoint output windows.
+        let block = unsafe { base.slice(r.start * n, r.len() * n) };
+        gemm_block(block, &a[r.start * k..r.end * k], btr, r.len(), k, n);
     });
 }
 
@@ -560,17 +714,15 @@ pub fn par_batch2_with<S>(
         }
         return;
     }
-    std::thread::scope(|s| {
-        let mut rest1 = d1;
-        let mut rest2 = d2;
-        let run_range = &run_range;
-        for r in ranges {
-            let (b1, t1) = std::mem::take(&mut rest1).split_at_mut(r.len() * chunk1);
-            rest1 = t1;
-            let (b2, t2) = std::mem::take(&mut rest2).split_at_mut(r.len() * chunk2);
-            rest2 = t2;
-            s.spawn(move || run_range(r, b1, b2));
-        }
+    let base1 = SendPtr::new(d1.as_mut_ptr());
+    let base2 = SendPtr::new(d2.as_mut_ptr());
+    pool::run(ranges.len(), &|t| {
+        let r = ranges[t].clone();
+        // SAFETY: partition ranges are disjoint and chunk strides are
+        // uniform, so each task's windows of d1/d2 are exclusive to it.
+        let b1 = unsafe { base1.slice(r.start * chunk1, r.len() * chunk1) };
+        let b2 = unsafe { base2.slice(r.start * chunk2, r.len() * chunk2) };
+        run_range(r, b1, b2);
     });
 }
 
@@ -592,6 +744,179 @@ pub fn par_batch_with<S>(
     });
 }
 
+// ---------------------------------------------------------------------------
+// Elementwise parallelism
+// ---------------------------------------------------------------------------
+
+/// `dst[i] = f(src[i])`, chunked over the pool for large slices. Purely
+/// elementwise, so any partitioning yields bitwise-identical results.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn par_map_into(dst: &mut [f32], src: &[f32], f: impl Fn(f32) -> f32 + Sync) {
+    assert_eq!(dst.len(), src.len(), "par_map_into: length mismatch");
+    let n = dst.len();
+    let threads = if n < PAR_MIN_ELEMS { 1 } else { num_threads() };
+    let ranges = partition(n, threads);
+    if ranges.len() <= 1 {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = f(s);
+        }
+        return;
+    }
+    let base = SendPtr::new(dst.as_mut_ptr());
+    pool::run(ranges.len(), &|t| {
+        let r = &ranges[t];
+        // SAFETY: disjoint partition ranges → disjoint windows.
+        let d = unsafe { base.slice(r.start, r.len()) };
+        for (d, &s) in d.iter_mut().zip(&src[r.clone()]) {
+            *d = f(s);
+        }
+    });
+}
+
+/// Freshly-allocated [`par_map_into`] (the `Array::map` backend).
+#[must_use]
+pub fn par_map_vec(src: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
+    if src.len() < PAR_MIN_ELEMS {
+        return src.iter().map(|&v| f(v)).collect();
+    }
+    let mut out = vec![0.0f32; src.len()];
+    par_map_into(&mut out, src, f);
+    out
+}
+
+/// In-place elementwise map, chunked over the pool for large slices.
+pub fn par_map_inplace(data: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    let n = data.len();
+    let threads = if n < PAR_MIN_ELEMS { 1 } else { num_threads() };
+    let ranges = partition(n, threads);
+    if ranges.len() <= 1 {
+        for v in data.iter_mut() {
+            *v = f(*v);
+        }
+        return;
+    }
+    let base = SendPtr::new(data.as_mut_ptr());
+    pool::run(ranges.len(), &|t| {
+        let r = &ranges[t];
+        // SAFETY: disjoint partition ranges → disjoint windows.
+        for v in unsafe { base.slice(r.start, r.len()) } {
+            *v = f(*v);
+        }
+    });
+}
+
+/// Fused same-length binary map: `out[i] = f(a[i], b[i])`, freshly
+/// allocated, chunked over the pool for large slices. One pass and one
+/// allocation where `map` + `mul` would take two of each — the gradient
+/// hot path for elementwise activations.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn par_zip_vec(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "par_zip_vec: length mismatch");
+    if a.len() < PAR_MIN_ELEMS {
+        return a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect();
+    }
+    let mut out = vec![0.0f32; a.len()];
+    let ranges = partition(out.len(), num_threads());
+    let base = SendPtr::new(out.as_mut_ptr());
+    pool::run(ranges.len(), &|t| {
+        let r = &ranges[t];
+        // SAFETY: disjoint partition ranges → disjoint windows.
+        let d = unsafe { base.slice(r.start, r.len()) };
+        for ((d, &x), &y) in d.iter_mut().zip(&a[r.clone()]).zip(&b[r.clone()]) {
+            *d = f(x, y);
+        }
+    });
+    out
+}
+
+/// In-place binary update `f(&mut dst[i], src[i])`, chunked over the pool
+/// (the gradient-accumulation hot path).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn par_update2(dst: &mut [f32], src: &[f32], f: impl Fn(&mut f32, f32) + Sync) {
+    assert_eq!(dst.len(), src.len(), "par_update2: length mismatch");
+    let n = dst.len();
+    let threads = if n < PAR_MIN_ELEMS { 1 } else { num_threads() };
+    let ranges = partition(n, threads);
+    if ranges.len() <= 1 {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            f(d, s);
+        }
+        return;
+    }
+    let base = SendPtr::new(dst.as_mut_ptr());
+    pool::run(ranges.len(), &|t| {
+        let r = &ranges[t];
+        // SAFETY: disjoint partition ranges → disjoint windows.
+        let d = unsafe { base.slice(r.start, r.len()) };
+        for (d, &s) in d.iter_mut().zip(&src[r.clone()]) {
+            f(d, s);
+        }
+    });
+}
+
+/// Runs `f(row_index, row)` over every `cols`-wide row of `data`, fanning
+/// contiguous row ranges out across the worker pool when the buffer is
+/// large enough. Each row is computed independently of the others, so the
+/// result is bitwise identical for any thread count. The backend for the
+/// softmax-family row loops.
+pub fn par_rows(data: &mut [f32], cols: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    if cols == 0 || data.is_empty() {
+        return;
+    }
+    let rows = data.len() / cols;
+    let threads = if data.len() < PAR_MIN_ELEMS {
+        1
+    } else {
+        num_threads().min(rows)
+    };
+    if threads <= 1 {
+        for (r, row) in data.chunks_exact_mut(cols).enumerate() {
+            f(r, row);
+        }
+        return;
+    }
+    let ranges = partition(rows, threads);
+    let base = SendPtr::new(data.as_mut_ptr());
+    pool::run(ranges.len(), &|t| {
+        let rg = &ranges[t];
+        for r in rg.clone() {
+            // SAFETY: disjoint row ranges → disjoint row windows.
+            f(r, unsafe { base.slice(r * cols, cols) });
+        }
+    });
+}
+
+/// Deterministic total sum: an eight-lane [`sum8`] per fixed-length chunk
+/// (chunks computed in parallel, each writing its own partial), then a
+/// final [`sum8`] over the partials. The chunk length is a constant, so
+/// the association — and therefore every bit of the result — is identical
+/// for any thread count.
+#[must_use]
+pub fn par_sum(x: &[f32]) -> f32 {
+    if x.len() <= REDUCE_CHUNK {
+        return sum8(x);
+    }
+    let chunks = x.len().div_ceil(REDUCE_CHUNK);
+    let mut partials = vec![0.0f32; chunks];
+    let threads = num_threads().min(chunks);
+    par_batch_with(chunks, &mut partials, 1, threads, || (), |(), ci, out| {
+        let lo = ci * REDUCE_CHUNK;
+        let hi = (lo + REDUCE_CHUNK).min(x.len());
+        out[0] = sum8(&x[lo..hi]);
+    });
+    sum8(&partials)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -600,6 +925,51 @@ mod tests {
 
     fn randv(len: usize, rng: &mut StdRng) -> Vec<f32> {
         (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn avx2_paths_match_scalar_bitwise() {
+        // The dispatched kernels must be bit-identical to their scalar
+        // bodies — the AVX2 twins change instruction selection and the GEMM
+        // tile width, never per-element accumulation order. On a machine
+        // without AVX2 the front *is* the scalar path and this reduces to a
+        // self-comparison.
+        let mut rng = StdRng::seed_from_u64(77);
+        // Odd dimensions exercise the row/column tails of both the 4x8
+        // scalar tile and the 4x16 AVX2 tile.
+        let (m, k, n) = (13usize, 37usize, 29usize);
+        let a = randv(m * k, &mut rng);
+        let b = randv(k * n, &mut rng);
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        gemm_block(&mut got, &a, &b, m, k, n);
+        gemm_tiled::<_, NR>(&mut want, &a, &b, RowMajorLhs { k }, m, k, n);
+        assert!(got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        let at = randv(k * m, &mut rng); // stored [k, m]
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        at_b_block(&mut got, &at, &b, 0, m, k, m, n);
+        gemm_tiled::<_, NR>(&mut want, &at, &b, TransposedLhs { m, i0: 0 }, m, k, n);
+        assert!(got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        let src = randv(m * n, &mut rng);
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        transpose_into(&mut got, &src, m, n);
+        transpose_into_scalar(&mut want, &src, m, n);
+        assert!(got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let x = randv(len, &mut rng);
+            let y = randv(len, &mut rng);
+            assert_eq!(sum8(&x).to_bits(), sum8_scalar(&x).to_bits());
+            assert_eq!(dot8(&x, &y).to_bits(), dot8_scalar(&x, &y).to_bits());
+            assert_eq!(
+                sq_dev_sum8(&x, 0.25).to_bits(),
+                sq_dev_sum8_scalar(&x, 0.25).to_bits()
+            );
+        }
     }
 
     #[test]
@@ -703,16 +1073,45 @@ mod tests {
     }
 
     #[test]
-    fn num_threads_reads_env_per_call() {
-        // Serial within this one test to avoid races on the process env.
-        std::env::set_var("EDD_NUM_THREADS", "3");
-        assert_eq!(num_threads(), 3);
-        std::env::set_var("EDD_NUM_THREADS", "not-a-number");
-        let fallback = num_threads();
-        assert!(fallback >= 1);
-        std::env::set_var("EDD_NUM_THREADS", "0");
-        assert_eq!(num_threads(), fallback);
+    fn num_threads_is_cached_and_overridable() {
+        // The env lookup happens once at pool init; at runtime only the
+        // `set_num_threads` hook changes the partitioning count. Parsing
+        // and fallback semantics are covered in `pool::tests`.
+        let _guard = pool::test_lock();
+        let before = num_threads();
+        assert!(before >= 1);
+        std::env::set_var("EDD_NUM_THREADS", "63");
+        assert_eq!(num_threads(), before, "later env changes are ignored");
         std::env::remove_var("EDD_NUM_THREADS");
-        assert_eq!(num_threads(), fallback);
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn pool_partitions_beyond_worker_count_stay_bitwise_equal() {
+        // Logical thread counts larger than the physical core count must
+        // not change a single bit: every output element is written by
+        // exactly one task with a fixed accumulation order.
+        let mut rng = StdRng::seed_from_u64(21);
+        let (m, k, n) = (29, 17, 23);
+        let a = randv(m * k, &mut rng);
+        let b = randv(k * n, &mut rng);
+        let _guard = pool::test_lock();
+        let before = num_threads();
+        let mut reference = vec![0.0f32; m * n];
+        set_num_threads(1);
+        matmul_into(&mut reference, &a, &b, m, k, n);
+        for t in [2, 7, 19] {
+            set_num_threads(t);
+            let mut got = vec![0.0f32; m * n];
+            matmul_into_threads(&mut got, &a, &b, m, k, n, t);
+            let same = reference
+                .iter()
+                .zip(&got)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "logical threads={t}");
+        }
+        set_num_threads(before);
     }
 }

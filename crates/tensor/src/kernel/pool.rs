@@ -1,0 +1,415 @@
+//! Lazily-initialized global worker pool with a chunked parallel-for API.
+//!
+//! Every parallel region in the kernel layer used to spawn fresh OS threads
+//! through `std::thread::scope`; at supernet scale that meant thousands of
+//! spawns per training step. This module replaces them with one persistent
+//! pool that is created on first use and lives for the process lifetime.
+//!
+//! # Execution model
+//!
+//! [`run`]`(tasks, f)` executes `f(0)`, `f(1)`, …, `f(tasks - 1)` exactly
+//! once each and returns when all of them have finished. Workers and the
+//! calling thread claim task indices from a shared atomic counter, so the
+//! caller always participates (a `run` never blocks without making
+//! progress, even with zero workers). Nested `run` calls from inside a
+//! worker execute their tasks inline on that worker — the pool never
+//! deadlocks on re-entrancy, and inner parallel regions simply serialize.
+//!
+//! # Logical threads vs. physical workers
+//!
+//! [`num_threads`] is the *logical* thread count: callers use it to decide
+//! how many chunks to partition work into. It is read from
+//! `EDD_NUM_THREADS` **once** at first use (unset / empty / unparsable /
+//! zero fall back to `std::thread::available_parallelism`) and can be
+//! overridden at runtime with [`set_num_threads`] — the test and embedder
+//! hook. The pool grows its physical worker set lazily up to
+//! `num_threads() - 1` (the caller is the extra thread), but correctness
+//! and results never depend on how many workers actually exist: each task
+//! writes a disjoint slice of the output, so any interleaving of task
+//! execution yields bitwise-identical results. That is what makes
+//! `set_num_threads(7)` on a two-core machine a meaningful determinism
+//! test rather than a lie.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Upper bound on the logical thread count (and thus on spawned workers);
+/// a guard against `EDD_NUM_THREADS=100000` typos, not a tuning knob.
+const MAX_THREADS: usize = 256;
+
+/// Cached logical thread count; `0` means "not initialized yet".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Parses an `EDD_NUM_THREADS`-style setting. `None`, empty, unparsable,
+/// and `0` all mean "use the platform default" (returned as `None` here so
+/// the fallback stays in one place).
+fn parse_thread_setting(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The logical worker-thread count used to partition kernel work.
+///
+/// Reads `EDD_NUM_THREADS` once, on the first call in the process; unset,
+/// empty, unparsable or zero values fall back to
+/// `std::thread::available_parallelism()`. Later env changes are ignored —
+/// use [`set_num_threads`] to override at runtime.
+#[must_use]
+pub fn num_threads() -> usize {
+    let n = NUM_THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let init = parse_thread_setting(std::env::var("EDD_NUM_THREADS").ok().as_deref())
+        .unwrap_or_else(default_threads)
+        .min(MAX_THREADS);
+    // First writer wins so concurrent initial calls agree on one value.
+    match NUM_THREADS.compare_exchange(0, init, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => init,
+        Err(prev) => prev,
+    }
+}
+
+/// Overrides the logical thread count at runtime (tests, embedders).
+///
+/// Affects how work is partitioned from the next kernel call on; the
+/// physical worker set only ever grows, so shrinking the logical count
+/// simply leaves some workers idle. `n` is clamped to `1..=256`.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+/// One parallel-for region: a lifetime-erased task closure plus the
+/// counters that track claiming and completion.
+struct Job {
+    /// Pointer to the caller's `&dyn Fn(usize)`; valid until `run` returns,
+    /// which is guaranteed to happen only after `remaining` hits zero.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Total number of tasks.
+    tasks: usize,
+    /// Tasks not yet finished executing.
+    remaining: AtomicUsize,
+}
+
+// SAFETY: `task` is only dereferenced for claimed indices `< tasks`, and
+// `run` keeps the referent alive until `remaining == 0` (i.e. until every
+// dereference has completed).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and executes tasks until the index counter is exhausted.
+    /// Returns `true` if this call finished the job's last task.
+    fn work(&self) -> bool {
+        let mut finished_last = false;
+        loop {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.tasks {
+                return finished_last;
+            }
+            // SAFETY: idx < tasks, so the caller of `run` is still blocked
+            // in `wait` and the closure is alive.
+            unsafe { (*self.task)(idx) };
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                finished_last = true;
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+}
+
+struct PoolState {
+    /// Jobs with unclaimed tasks, oldest first. Jobs are queued by address;
+    /// the `usize` doubles as a removal key.
+    queue: VecDeque<*const Job>,
+    /// Physical workers spawned so far.
+    workers: usize,
+    /// Pool generation, bumped on every push so sleeping workers re-check.
+    epoch: u64,
+}
+
+// SAFETY: raw job pointers are only dereferenced while the owning `run`
+// call keeps the `Job` alive (see `Job` safety comment).
+unsafe impl Send for PoolState {}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Signals workers that the queue changed.
+    work_cv: Condvar,
+    /// Signals callers that some job finished its last task.
+    done_cv: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set while a pool worker (or a caller inside `run`) is executing
+    /// tasks, so nested parallel regions run inline instead of re-queueing.
+    static IN_PARALLEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            workers: 0,
+            epoch: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    })
+}
+
+/// Body of a physical worker thread: sleep on the queue, help the front
+/// job, drop it from the queue once its tasks are all claimed.
+fn worker_loop(pool: &'static Pool) {
+    IN_PARALLEL.with(|f| f.set(true));
+    let mut state = pool.state.lock().expect("pool poisoned");
+    loop {
+        if let Some(&job_ptr) = state.queue.front() {
+            // SAFETY: queued jobs are kept alive by their `run` caller
+            // until all tasks complete; `work` claims before executing.
+            let job: &Job = unsafe { &*job_ptr };
+            if job.next.load(Ordering::Relaxed) >= job.tasks {
+                // Fully claimed; retire it from the queue (it may still be
+                // executing on other threads, which is fine).
+                state.queue.retain(|&p| p != job_ptr);
+                continue;
+            }
+            drop(state);
+            if job.work() {
+                // Last task of the job: wake its caller.
+                let guard = pool.state.lock().expect("pool poisoned");
+                pool.done_cv.notify_all();
+                state = guard;
+            } else {
+                state = pool.state.lock().expect("pool poisoned");
+            }
+        } else {
+            state = pool.work_cv.wait(state).expect("pool poisoned");
+        }
+    }
+}
+
+/// Ensures at least `num_threads() - 1` workers exist (the caller of a
+/// parallel region is the remaining thread).
+fn ensure_workers(state: &mut PoolState) {
+    let target = num_threads().saturating_sub(1);
+    while state.workers < target {
+        let id = state.workers;
+        let spawned = std::thread::Builder::new()
+            .name(format!("edd-pool-{id}"))
+            .spawn(|| worker_loop(pool()));
+        match spawned {
+            Ok(_) => state.workers += 1,
+            Err(_) => break, // resource exhaustion: run with what we have
+        }
+    }
+}
+
+/// Executes `f(0)..f(tasks - 1)` exactly once each, distributing tasks over
+/// the global worker pool, and returns once all have completed.
+///
+/// The calling thread participates, so this makes progress even with zero
+/// workers. Tasks must be independent: each should write only its own
+/// disjoint portion of any shared output so results are bitwise identical
+/// for every worker count and interleaving. Nested calls (from inside a
+/// task) execute inline on the current thread.
+pub fn run(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if tasks == 0 {
+        return;
+    }
+    // With one logical thread there is nobody to share with: skip the job
+    // queue and its per-task atomics entirely. (Physical workers may exist
+    // from an earlier, larger setting — they would only add contention.)
+    let inline = tasks == 1 || num_threads() == 1 || IN_PARALLEL.with(std::cell::Cell::get);
+    if inline {
+        for i in 0..tasks {
+            f(i);
+        }
+        return;
+    }
+    let pool = pool();
+    // SAFETY: lifetime erasure only — `run` does not return until every
+    // dereference of this pointer (each for a claimed index) has finished.
+    let task: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<
+            *const (dyn Fn(usize) + Sync + '_),
+            *const (dyn Fn(usize) + Sync + 'static),
+        >(f)
+    };
+    let job = Job {
+        task,
+        next: AtomicUsize::new(0),
+        tasks,
+        remaining: AtomicUsize::new(tasks),
+    };
+    {
+        let mut state = pool.state.lock().expect("pool poisoned");
+        ensure_workers(&mut state);
+        state.queue.push_back(std::ptr::addr_of!(job));
+        state.epoch = state.epoch.wrapping_add(1);
+    }
+    pool.work_cv.notify_all();
+
+    // Help with our own job (tasks execute inline w.r.t. nesting).
+    IN_PARALLEL.with(|flag| {
+        flag.set(true);
+        job.work();
+        flag.set(false);
+    });
+
+    // All tasks are claimed now (our claim loop ran dry), so remove the job
+    // from the queue if a worker has not already retired it, then wait for
+    // stragglers still executing their claimed tasks.
+    let mut state = pool.state.lock().expect("pool poisoned");
+    let job_ptr = std::ptr::addr_of!(job);
+    state.queue.retain(|&p| p != job_ptr);
+    while !job.is_done() {
+        state = pool.done_cv.wait(state).expect("pool poisoned");
+    }
+    drop(state);
+}
+
+/// A raw mutable base pointer that may be shared across pool tasks.
+///
+/// The standard borrow rules cannot express "each task writes a disjoint
+/// window of one buffer", so the kernel layer erases the borrow with this
+/// wrapper and re-materializes per-task slices. Callers must guarantee
+/// disjointness; every use in this crate derives the windows from
+/// [`super::partition`], whose ranges never overlap.
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr(*mut f32);
+
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    pub(crate) fn new(p: *mut f32) -> Self {
+        SendPtr(p)
+    }
+
+    /// Re-materializes the window `[offset, offset + len)` as a mutable
+    /// slice.
+    ///
+    /// # Safety
+    ///
+    /// The window must lie inside the original allocation and must not
+    /// overlap any window handed to a concurrently running task.
+    #[allow(clippy::mut_from_ref)] // the whole point of the wrapper
+    pub(crate) unsafe fn slice(&self, offset: usize, len: usize) -> &mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+}
+
+/// Serializes tests that mutate or assert on the global thread count
+/// (cargo runs tests in one process, many threads).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn parse_thread_setting_fallback_semantics() {
+        assert_eq!(parse_thread_setting(Some("3")), Some(3));
+        assert_eq!(parse_thread_setting(Some(" 8 ")), Some(8));
+        assert_eq!(parse_thread_setting(Some("0")), None);
+        assert_eq!(parse_thread_setting(Some("")), None);
+        assert_eq!(parse_thread_setting(Some("not-a-number")), None);
+        assert_eq!(parse_thread_setting(None), None);
+    }
+
+    #[test]
+    fn set_num_threads_overrides_and_clamps() {
+        let _guard = test_lock();
+        let before = num_threads();
+        assert!(before >= 1);
+        set_num_threads(5);
+        assert_eq!(num_threads(), 5);
+        set_num_threads(0);
+        assert_eq!(num_threads(), 1);
+        set_num_threads(1 << 20);
+        assert_eq!(num_threads(), MAX_THREADS);
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn run_executes_every_task_exactly_once() {
+        for tasks in [0usize, 1, 2, 7, 64] {
+            let counts: Vec<AtomicU32> = (0..tasks).map(|_| AtomicU32::new(0)).collect();
+            run(tasks, &|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "task {i} of {tasks}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_with_more_tasks_than_threads() {
+        let _guard = test_lock();
+        let before = num_threads();
+        set_num_threads(2);
+        let counts: Vec<AtomicU32> = (0..33).map(|_| AtomicU32::new(0)).collect();
+        run(33, &|i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn nested_run_executes_inline_without_deadlock() {
+        let outer: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        run(4, &|i| {
+            let inner: Vec<AtomicU32> = (0..3).map(|_| AtomicU32::new(0)).collect();
+            run(3, &|j| {
+                inner[j].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(inner.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            outer[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(outer.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sequential_runs_reuse_the_pool() {
+        for round in 0..50 {
+            let sum = AtomicU32::new(0);
+            run(8, &|i| {
+                sum.fetch_add(i as u32 + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 36, "round {round}");
+        }
+    }
+
+    #[test]
+    fn disjoint_writes_through_send_ptr() {
+        let mut data = vec![0.0f32; 24];
+        let base = SendPtr::new(data.as_mut_ptr());
+        run(6, &|i| {
+            let chunk = unsafe { base.slice(i * 4, 4) };
+            chunk.fill(i as f32 + 1.0);
+        });
+        for i in 0..6 {
+            assert!(data[i * 4..(i + 1) * 4].iter().all(|&v| v == i as f32 + 1.0));
+        }
+    }
+}

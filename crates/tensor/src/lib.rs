@@ -8,10 +8,14 @@
 //!
 //! * [`Array`] — dense row-major `f32` storage with NumPy-style broadcasting,
 //!   GEMM, and `im2col`/`col2im` convolution lowering;
-//! * [`kernel`] — the blocked, register-tiled, optionally multi-threaded
-//!   GEMM kernel layer underneath `Array::matmul` and the convolutions,
-//!   with a scalar reference oracle (`matmul_naive`) and an
-//!   `EDD_NUM_THREADS` override;
+//! * [`kernel`] — the blocked, register-tiled GEMM kernel layer underneath
+//!   `Array::matmul` and the convolutions, running on a persistent worker
+//!   pool ([`kernel::pool`]) sized by `EDD_NUM_THREADS` (read once, test
+//!   override via [`kernel::set_num_threads`]), with a scalar reference
+//!   oracle (`matmul_naive`);
+//! * [`scratch`] — a thread-local bump-allocator arena for the short-lived
+//!   buffers (im2col columns, gradient partials) the hot paths would
+//!   otherwise `vec![0.0; n]` on every call;
 //! * [`Tensor`] — a define-by-run autodiff graph node with operations
 //!   covering everything the EDD supernet needs: convolutions (standard and
 //!   depthwise), batch normalization, pooling, softmax / cross-entropy,
@@ -51,6 +55,7 @@ pub mod gradcheck;
 pub mod kernel;
 mod ops;
 pub mod optim;
+pub mod scratch;
 pub mod shape;
 mod tensor;
 
@@ -59,4 +64,4 @@ pub use error::{Result, TensorError};
 pub use ops::gumbel::{gumbel_noise, gumbel_softmax, softmax_selection};
 pub use ops::softmax::{accuracy, softmax_last_axis, top_k_accuracy};
 pub use ops::{quantization_error, BatchNormOutput};
-pub use tensor::Tensor;
+pub use tensor::{Tensor, ValueRef};

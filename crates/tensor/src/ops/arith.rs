@@ -1,8 +1,9 @@
 //! Elementwise arithmetic ops (broadcasting) and their gradients.
 
-#[cfg(test)]
 use crate::array::Array;
-use crate::error::Result;
+use crate::error::{Result, TensorError};
+use crate::kernel;
+use crate::kernel::pool::{self, SendPtr};
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -24,6 +25,80 @@ impl Tensor {
                 }
                 if b.requires_grad() {
                     b.accumulate_grad(&g.reduce_to(&sb).expect("broadcast-checked"));
+                }
+            }),
+        ))
+    }
+
+    /// Fused sum of `terms`, all of the same shape: one output allocation
+    /// and one traversal instead of the `M − 1` intermediate tensors a
+    /// chained `add` would build. Elements accumulate in ascending term
+    /// order, so the result is bitwise identical to the sequential chain
+    /// for any thread count. Backward is the identity into every parent.
+    ///
+    /// This is the combine step of the DARTS-style all-branch mixture:
+    /// `M` candidate outputs blended into one activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `terms` is empty or the shapes differ.
+    pub fn add_n(terms: &[Tensor]) -> Result<Tensor> {
+        let Some(first) = terms.first() else {
+            return Err(TensorError::InvalidArgument(
+                "add_n requires at least one term".into(),
+            ));
+        };
+        let shape = first.shape();
+        for t in &terms[1..] {
+            if t.shape() != shape {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: shape,
+                    rhs: t.shape(),
+                    op: "add_n",
+                });
+            }
+        }
+        let guards: Vec<_> = terms.iter().map(Tensor::value).collect();
+        let slices: Vec<&[f32]> = guards.iter().map(|g| g.data()).collect();
+        let n = slices[0].len();
+        let mut out = vec![0.0f32; n];
+        let threads = if n < kernel::PAR_MIN_ELEMS {
+            1
+        } else {
+            kernel::num_threads()
+        };
+        let ranges = kernel::partition(n, threads);
+        let sum_range = |dst: &mut [f32], lo: usize| {
+            for (i, d) in dst.iter_mut().enumerate() {
+                let mut acc = slices[0][lo + i];
+                for s in &slices[1..] {
+                    acc += s[lo + i];
+                }
+                *d = acc;
+            }
+        };
+        if ranges.len() <= 1 {
+            sum_range(&mut out, 0);
+        } else {
+            let base = SendPtr::new(out.as_mut_ptr());
+            pool::run(ranges.len(), &|t| {
+                let r = &ranges[t];
+                // SAFETY: disjoint partition ranges → disjoint windows.
+                sum_range(unsafe { base.slice(r.start, r.len()) }, r.start);
+            });
+        }
+        drop(slices);
+        drop(guards);
+        let value = Array::from_vec(out, &shape)?;
+        let parents: Vec<Tensor> = terms.to_vec();
+        Ok(Tensor::from_op(
+            value,
+            parents.clone(),
+            Box::new(move |g| {
+                for p in &parents {
+                    if p.requires_grad() {
+                        p.accumulate_grad(g);
+                    }
                 }
             }),
         ))
@@ -188,6 +263,40 @@ mod tests {
 
     fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
         Tensor::param(Array::from_vec(v, s).unwrap())
+    }
+
+    #[test]
+    fn add_n_matches_chained_add_and_grads_every_parent() {
+        let terms: Vec<Tensor> = (0..5)
+            .map(|m| t(vec![m as f32, 1.0 + m as f32, -0.5 * m as f32], &[3]))
+            .collect();
+        let fused = Tensor::add_n(&terms).unwrap();
+        let mut chained = terms[0].clone();
+        for term in &terms[1..] {
+            chained = chained.add(term).unwrap();
+        }
+        assert_eq!(fused.value().data(), chained.value().data());
+        fused.sum().backward();
+        for term in &terms {
+            assert_eq!(term.grad().unwrap().data(), &[1.0, 1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn add_n_single_term_is_identity_with_grad() {
+        let a = t(vec![2.0, -3.0], &[2]);
+        let y = Tensor::add_n(std::slice::from_ref(&a)).unwrap();
+        assert_eq!(y.value().data(), &[2.0, -3.0]);
+        y.sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn add_n_validates() {
+        assert!(Tensor::add_n(&[]).is_err());
+        let a = t(vec![1.0, 2.0], &[2]);
+        let b = t(vec![1.0, 2.0, 3.0], &[3]);
+        assert!(Tensor::add_n(&[a, b]).is_err());
     }
 
     #[test]

@@ -10,16 +10,151 @@
 use crate::array::{col2im_into, im2col_into, Array, Conv2dGeometry};
 use crate::error::{Result, TensorError};
 use crate::kernel;
+use crate::scratch;
 use crate::tensor::Tensor;
 
 use crate::kernel::valid_out_range;
 
-/// One depthwise output plane as `k*k` shifted-scaled row accumulations
-/// over precomputed valid ranges: branch-free inner loops (vectorizable
-/// for stride 1), and per output element the taps still accumulate in
-/// `(ky, kx)` order — the same association as the scalar reference loop.
+kernel::avx2_dispatch! {
+    /// One depthwise output plane as `k*k` shifted-scaled row accumulations
+    /// over precomputed valid ranges: branch-free inner loops (vectorizable
+    /// for stride 1), and per output element the taps still accumulate in
+    /// `(ky, kx)` order — the same association as the scalar reference loop.
+    #[allow(clippy::too_many_arguments)] // plain plane geometry, kept flat
+    dw_plane_forward / dw_plane_forward_scalar / dw_plane_forward_avx2,
+    (
+        dst: &mut [f32],
+        src: &[f32],
+        ker: &[f32],
+        h: usize,
+        w: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        oh: usize,
+        ow: usize,
+    )
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dw_plane_forward_scalar(
+    dst: &mut [f32],
+    src: &[f32],
+    ker: &[f32],
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) {
+    // The search space's depthwise kernels are 3/5/7 at stride 1; route
+    // them to the const-width stencil (fully unrolled tap chain, one pass
+    // over the plane) and keep the tap-by-tap loop as the general fallback.
+    if stride == 1 {
+        match k {
+            3 => return dw_plane_s1::<3>(dst, src, ker, h, w, pad, oh, ow),
+            5 => return dw_plane_s1::<5>(dst, src, ker, h, w, pad, oh, ow),
+            7 => return dw_plane_s1::<7>(dst, src, ker, h, w, pad, oh, ow),
+            _ => {}
+        }
+    }
+    dw_plane_taps(dst, src, ker, h, w, k, stride, pad, oh, ow);
+}
+
+/// Lanes per depthwise column group: eight outputs share one pass over the
+/// taps, giving eight independent accumulator chains (one SIMD register)
+/// instead of one serial `K*K`-add chain per element.
+const DW_GROUP: usize = 8;
+
+/// Stride-1 depthwise stencil with a compile-time kernel width.
+///
+/// The plane is first copied into a horizontally zero-padded scratch image
+/// (`ow + K - 1` columns) so *every* output column sees a full, branch-free
+/// `kx` tap range; vertical clipping stays range-based per output row.
+/// Outputs are produced in eight-lane groups (the last group is anchored at
+/// `ow - 8` and may recompute a few columns of its predecessor).
+///
+/// Bitwise identity with the tap-skipping fallback: per element the taps
+/// accumulate in ascending `(ky, kx)` order either way, and the extra
+/// zero-pad taps contribute `kv * ±0.0`. Because every accumulator starts
+/// at `+0.0`, it can never *become* `-0.0` (in round-to-nearest `x + (-x)`
+/// is `+0.0` for `x != 0`, and `+0.0 + -0.0` is `+0.0`), and adding `±0.0`
+/// to a non-negative-zero float is exact identity — so the padded chain
+/// passes through exactly the same partial values as the skipping chain.
+#[inline(always)]
 #[allow(clippy::too_many_arguments)] // plain plane geometry, kept flat
-fn dw_plane_forward(
+fn dw_plane_s1<const K: usize>(
+    dst: &mut [f32],
+    src: &[f32],
+    ker: &[f32],
+    h: usize,
+    w: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) {
+    let pw = ow + K - 1; // padded row width: sx = ox + kx spans [0, ow + K - 1)
+    let mut padded = crate::scratch::alloc(h * pw);
+    for sy in 0..h {
+        let prow = &mut padded[sy * pw..(sy + 1) * pw];
+        prow[..pad].fill(0.0);
+        prow[pad..pad + w].copy_from_slice(&src[sy * w..(sy + 1) * w]);
+        prow[pad + w..].fill(0.0);
+    }
+    let padded: &[f32] = &padded;
+    for oy in 0..oh {
+        // Valid `ky` taps for this output row (rows are not padded).
+        let ky0 = pad.saturating_sub(oy);
+        let ky1 = (h + pad).saturating_sub(oy).min(K);
+        let drow = &mut dst[oy * ow..(oy + 1) * ow];
+        if ow >= DW_GROUP {
+            let mut gx = 0;
+            loop {
+                let g0 = gx.min(ow - DW_GROUP);
+                let mut acc = [0.0f32; DW_GROUP];
+                for ky in ky0..ky1 {
+                    let sy = oy + ky - pad;
+                    let srow = &padded[sy * pw + g0..sy * pw + g0 + K - 1 + DW_GROUP];
+                    let krow = &ker[ky * K..ky * K + K];
+                    for kx in 0..K {
+                        let kv = krow[kx];
+                        let s = &srow[kx..kx + DW_GROUP];
+                        for (a, &sv) in acc.iter_mut().zip(s) {
+                            *a += kv * sv;
+                        }
+                    }
+                }
+                drow[g0..g0 + DW_GROUP].copy_from_slice(&acc);
+                if g0 == ow - DW_GROUP {
+                    break;
+                }
+                gx += DW_GROUP;
+            }
+        } else {
+            for (ox, d) in drow.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for ky in ky0..ky1 {
+                    let sy = oy + ky - pad;
+                    let srow = &padded[sy * pw + ox..sy * pw + ox + K];
+                    let krow = &ker[ky * K..ky * K + K];
+                    for (kv, &sv) in krow.iter().zip(srow) {
+                        acc += kv * sv;
+                    }
+                }
+                *d = acc;
+            }
+        }
+    }
+}
+
+/// General tap-by-tap depthwise plane: `k*k` shifted-scaled row
+/// accumulations over precomputed valid ranges.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dw_plane_taps(
     dst: &mut [f32],
     src: &[f32],
     ker: &[f32],
@@ -134,6 +269,12 @@ impl Tensor {
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let ckk = in_c * k * k;
         let plane = oh * ow;
+        // For a 1x1 stride-1 unpadded convolution the im2col matrix *is*
+        // the input image ([in_c, h*w] == [ckk, plane], byte for byte), and
+        // col2im is the identity scatter. Index the image directly instead
+        // of copying it — results are bitwise unchanged. This is the hot
+        // shape: MBConv expand/project convolutions are all 1x1.
+        let identity_cols = k == 1 && stride == 1 && padding == 0;
         let w2 = weight.value().reshape(&[out_c, ckk])?;
         let xval = self.value_clone();
         let img = in_c * h * w;
@@ -141,8 +282,10 @@ impl Tensor {
         {
             let w2d = w2.data();
             let xd = xval.data();
-            // Parallelize over the batch; each worker reuses one column
-            // buffer. With a single image the inner GEMM threads instead.
+            // Parallelize over the batch; each worker reuses one
+            // arena-backed column buffer (im2col overwrites every entry,
+            // so the stale contents are fine). With a single image the
+            // inner GEMM threads instead.
             let threads = kernel::num_threads().min(b);
             let inner = if threads > 1 { 1 } else { kernel::num_threads() };
             kernel::par_batch_with(
@@ -150,10 +293,15 @@ impl Tensor {
                 out.data_mut(),
                 out_c * plane,
                 threads,
-                || vec![0.0f32; ckk * plane],
+                || scratch::alloc(if identity_cols { 0 } else { ckk * plane }),
                 |cols, bi, dst| {
-                    im2col_into(cols, &xd[bi * img..(bi + 1) * img], &geom);
-                    kernel::matmul_into_threads(dst, w2d, cols, out_c, ckk, plane, inner);
+                    let x_img = &xd[bi * img..(bi + 1) * img];
+                    if identity_cols {
+                        kernel::matmul_into_threads(dst, w2d, x_img, out_c, ckk, plane, inner);
+                    } else {
+                        im2col_into(cols, x_img, &geom);
+                        kernel::matmul_into_threads(dst, w2d, cols, out_c, ckk, plane, inner);
+                    }
                 },
             );
         }
@@ -210,7 +358,7 @@ impl Tensor {
                 let xlen = if need_x { img } else { 0 };
                 let wlen = if need_w { out_c * ckk } else { 0 };
                 let mut dxd = vec![0.0f32; b * xlen];
-                let mut dwp = vec![0.0f32; b * wlen];
+                let mut dwp = scratch::alloc_zeroed(b * wlen);
                 {
                     let gd = g.data();
                     let xd = xval.data();
@@ -224,17 +372,37 @@ impl Tensor {
                         &mut dwp,
                         wlen,
                         threads,
-                        // Recomputed column matrix plus its gradient, reused
-                        // across the worker's images.
+                        // Recomputed column matrix plus its gradient
+                        // (arena-backed, fully overwritten before reads),
+                        // reused across the worker's images. The 1x1
+                        // stride-1 case needs neither buffer.
                         || {
+                            let cols_len = if identity_cols { 0 } else { ckk * plane };
                             (
-                                vec![0.0f32; ckk * plane],
-                                vec![0.0f32; if need_x { ckk * plane } else { 0 }],
+                                scratch::alloc(cols_len),
+                                scratch::alloc(if need_x { cols_len } else { 0 }),
                             )
                         },
                         |(cols, dcols), bi, dxs, dws| {
-                            im2col_into(cols, &xd[bi * img..(bi + 1) * img], &geom);
+                            let x_img = &xd[bi * img..(bi + 1) * img];
                             let gy = &gd[bi * out_c * plane..(bi + 1) * out_c * plane];
+                            if identity_cols {
+                                if need_w {
+                                    // dW2 = dY · Xᵀ directly on the image.
+                                    kernel::matmul_a_bt_into_threads(
+                                        dws, gy, x_img, out_c, plane, ckk, inner,
+                                    );
+                                }
+                                if need_x {
+                                    // dX = W2ᵀ · dY straight into the image
+                                    // gradient slot (col2im is the identity).
+                                    kernel::matmul_at_b_into_threads(
+                                        dxs, w2d, gy, out_c, ckk, plane, inner,
+                                    );
+                                }
+                                return;
+                            }
+                            im2col_into(cols, x_img, &geom);
                             if need_w {
                                 // dW2 = dY · colsᵀ, transpose-free.
                                 kernel::matmul_a_bt_into_threads(
@@ -395,7 +563,7 @@ impl Tensor {
                 let xlen = if need_x { img } else { 0 };
                 let wlen = if need_w { c * k * k } else { 0 };
                 let mut dxd = vec![0.0f32; b * xlen];
-                let mut dwp = vec![0.0f32; b * wlen];
+                let mut dwp = scratch::alloc_zeroed(b * wlen);
                 {
                     let gd = g.data();
                     let xd = xval.data();

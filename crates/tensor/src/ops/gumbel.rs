@@ -13,15 +13,18 @@ use crate::tensor::Tensor;
 use rand::Rng;
 
 /// Draws standard Gumbel(0,1) noise with the given shape.
+///
+/// The uniform draws are sequential (the RNG stream — and therefore the
+/// sampled architecture trajectory — is independent of thread count); only
+/// the `−ln(−ln u)` transform fans out over the worker pool for large
+/// shapes.
 #[must_use]
 pub fn gumbel_noise<R: Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Array {
     let n = crate::shape::num_elements(shape);
-    let data = (0..n)
-        .map(|_| {
-            let u: f32 = rng.gen_range(f32::EPSILON..1.0);
-            -(-u.ln()).ln()
-        })
+    let mut data: Vec<f32> = (0..n)
+        .map(|_| rng.gen_range(f32::EPSILON..1.0))
         .collect();
+    crate::kernel::par_map_inplace(&mut data, |u| -(-u.ln()).ln());
     Array::from_vec(data, shape).expect("length matches shape")
 }
 
@@ -52,9 +55,8 @@ pub fn gumbel_softmax<R: Rng + ?Sized>(
     // Straight-through: y = onehot − detach(soft) + soft.
     let sval = soft.value_clone();
     let c = *shape.last().expect("rank >= 1 checked by softmax");
-    let rows = sval.len() / c;
     let mut onehot = Array::zeros(&shape);
-    for r in 0..rows {
+    crate::kernel::par_rows(onehot.data_mut(), c, |r, out| {
         let row = &sval.data()[r * c..(r + 1) * c];
         let mut best = 0;
         for (i, &v) in row.iter().enumerate() {
@@ -62,8 +64,8 @@ pub fn gumbel_softmax<R: Rng + ?Sized>(
                 best = i;
             }
         }
-        onehot.data_mut()[r * c + best] = 1.0;
-    }
+        out[best] = 1.0;
+    });
     let hard_const = Tensor::constant(onehot);
     hard_const.sub(&soft.detach())?.add(&soft)
 }

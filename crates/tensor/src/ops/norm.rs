@@ -7,6 +7,7 @@
 use crate::array::Array;
 use crate::error::{Result, TensorError};
 use crate::kernel;
+use crate::kernel::pool::{self, SendPtr};
 use crate::tensor::Tensor;
 
 /// Output of [`Tensor::batch_norm2d_train`]: the normalized activations plus
@@ -65,41 +66,56 @@ impl Tensor {
         // float dependency chain, so the passes vectorize.
         let mut mean = Array::zeros(&[c]);
         let mut var = Array::zeros(&[c]);
-        for ci in 0..c {
-            let mut acc = 0.0f32;
-            for bi in 0..b {
-                let base = (bi * c + ci) * plane;
-                acc += kernel::sum8(&xval.data()[base..base + plane]);
-            }
-            let mu = acc / n;
-            mean.data_mut()[ci] = mu;
-            let mut vacc = 0.0f32;
-            for bi in 0..b {
-                let base = (bi * c + ci) * plane;
-                vacc += kernel::sq_dev_sum8(&xval.data()[base..base + plane], mu);
-            }
-            var.data_mut()[ci] = vacc / n;
+        {
+            // One pool task per channel: each task owns mean[ci]/var[ci], so
+            // the SendPtr windows are disjoint and the per-channel values are
+            // independent of how tasks land on workers.
+            let mean_p = SendPtr::new(mean.data_mut().as_mut_ptr());
+            let var_p = SendPtr::new(var.data_mut().as_mut_ptr());
+            let xd = xval.data();
+            pool::run(c, &|ci| {
+                let mut acc = 0.0f32;
+                for bi in 0..b {
+                    let base = (bi * c + ci) * plane;
+                    acc += kernel::sum8(&xd[base..base + plane]);
+                }
+                let mu = acc / n;
+                let mut vacc = 0.0f32;
+                for bi in 0..b {
+                    let base = (bi * c + ci) * plane;
+                    vacc += kernel::sq_dev_sum8(&xd[base..base + plane], mu);
+                }
+                (unsafe { mean_p.slice(ci, 1) })[0] = mu;
+                (unsafe { var_p.slice(ci, 1) })[0] = vacc / n;
+            });
         }
 
-        // Normalized activations (saved for backward).
+        // Normalized activations (saved for backward), channel-parallel with
+        // disjoint per-channel plane windows.
         let mut xhat = Array::zeros(&shape);
         let mut out = Array::zeros(&shape);
-        for ci in 0..c {
-            let mu = mean.data()[ci];
-            let inv_std = 1.0 / (var.data()[ci] + eps).sqrt();
-            let ga = gval.data()[ci];
-            let be = bval.data()[ci];
-            for bi in 0..b {
-                let base = (bi * c + ci) * plane;
-                let xs = &xval.data()[base..base + plane];
-                for (xh, &x) in xhat.data_mut()[base..base + plane].iter_mut().zip(xs) {
-                    *xh = (x - mu) * inv_std;
+        {
+            let xhat_p = SendPtr::new(xhat.data_mut().as_mut_ptr());
+            let out_p = SendPtr::new(out.data_mut().as_mut_ptr());
+            let xd = xval.data();
+            pool::run(c, &|ci| {
+                let mu = mean.data()[ci];
+                let inv_std = 1.0 / (var.data()[ci] + eps).sqrt();
+                let ga = gval.data()[ci];
+                let be = bval.data()[ci];
+                for bi in 0..b {
+                    let base = (bi * c + ci) * plane;
+                    let xs = &xd[base..base + plane];
+                    let xhs = unsafe { xhat_p.slice(base, plane) };
+                    for (xh, &x) in xhs.iter_mut().zip(xs) {
+                        *xh = (x - mu) * inv_std;
+                    }
+                    let ys = unsafe { out_p.slice(base, plane) };
+                    for (y, &xh) in ys.iter_mut().zip(xhs.iter()) {
+                        *y = ga * xh + be;
+                    }
                 }
-                let xh_src = &xhat.data()[base..base + plane];
-                for (y, &xh) in out.data_mut()[base..base + plane].iter_mut().zip(xh_src) {
-                    *y = ga * xh + be;
-                }
-            }
+            });
         }
 
         let x_t = self.clone();
@@ -112,20 +128,25 @@ impl Tensor {
             out,
             vec![self.clone(), gamma.clone(), beta.clone()],
             Box::new(move |g| {
-                // Per-channel reductions of the output gradient.
+                // Per-channel reductions of the output gradient,
+                // channel-parallel with disjoint [ci] output slots.
                 let mut dbeta = Array::zeros(&[c]);
                 let mut dgamma = Array::zeros(&[c]);
-                for ci in 0..c {
-                    let mut sb = 0.0f32;
-                    let mut sg = 0.0f32;
-                    for bi in 0..b {
-                        let base = (bi * c + ci) * plane;
-                        let gs = &g.data()[base..base + plane];
-                        sb += kernel::sum8(gs);
-                        sg += kernel::dot8(gs, &xhat_saved.data()[base..base + plane]);
-                    }
-                    dbeta.data_mut()[ci] = sb;
-                    dgamma.data_mut()[ci] = sg;
+                {
+                    let dbeta_p = SendPtr::new(dbeta.data_mut().as_mut_ptr());
+                    let dgamma_p = SendPtr::new(dgamma.data_mut().as_mut_ptr());
+                    pool::run(c, &|ci| {
+                        let mut sb = 0.0f32;
+                        let mut sg = 0.0f32;
+                        for bi in 0..b {
+                            let base = (bi * c + ci) * plane;
+                            let gs = &g.data()[base..base + plane];
+                            sb += kernel::sum8(gs);
+                            sg += kernel::dot8(gs, &xhat_saved.data()[base..base + plane]);
+                        }
+                        (unsafe { dbeta_p.slice(ci, 1) })[0] = sb;
+                        (unsafe { dgamma_p.slice(ci, 1) })[0] = sg;
+                    });
                 }
                 if b_t.requires_grad() {
                     b_t.accumulate_grad(&dbeta);
@@ -136,24 +157,24 @@ impl Tensor {
                 if x_t.requires_grad() {
                     // dx = gamma * inv_std / n * (n*g - sum(g) - xhat * sum(g*xhat))
                     let mut dx = Array::zeros(&[b, c, h, w]);
-                    for ci in 0..c {
-                        let inv_std = 1.0 / (var_saved.data()[ci] + eps).sqrt();
-                        let ga = gval_saved.data()[ci];
-                        let sg = dbeta.data()[ci];
-                        let sgx = dgamma.data()[ci];
-                        let k = ga * inv_std / n;
-                        for bi in 0..b {
-                            let base = (bi * c + ci) * plane;
-                            let gs = &g.data()[base..base + plane];
-                            let xhs = &xhat_saved.data()[base..base + plane];
-                            for ((d, &gv), &xh) in dx.data_mut()[base..base + plane]
-                                .iter_mut()
-                                .zip(gs)
-                                .zip(xhs)
-                            {
-                                *d = k * (n * gv - sg - xh * sgx);
+                    {
+                        let dx_p = SendPtr::new(dx.data_mut().as_mut_ptr());
+                        pool::run(c, &|ci| {
+                            let inv_std = 1.0 / (var_saved.data()[ci] + eps).sqrt();
+                            let ga = gval_saved.data()[ci];
+                            let sg = dbeta.data()[ci];
+                            let sgx = dgamma.data()[ci];
+                            let k = ga * inv_std / n;
+                            for bi in 0..b {
+                                let base = (bi * c + ci) * plane;
+                                let gs = &g.data()[base..base + plane];
+                                let xhs = &xhat_saved.data()[base..base + plane];
+                                let ds = unsafe { dx_p.slice(base, plane) };
+                                for ((d, &gv), &xh) in ds.iter_mut().zip(gs).zip(xhs) {
+                                    *d = k * (n * gv - sg - xh * sgx);
+                                }
                             }
-                        }
+                        });
                     }
                     x_t.accumulate_grad(&dx);
                 }

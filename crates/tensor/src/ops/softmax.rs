@@ -3,19 +3,19 @@
 
 use crate::array::Array;
 use crate::error::{Result, TensorError};
+use crate::kernel;
 use crate::tensor::Tensor;
 
 /// Computes a numerically-stable softmax along the last axis of `x`,
-/// returning a new array of the same shape.
+/// returning a new array of the same shape. Rows are independent, so they
+/// fan out over the worker pool for large inputs with bitwise-identical
+/// results at any thread count.
 #[must_use]
 pub fn softmax_last_axis(x: &Array) -> Array {
     let shape = x.shape().to_vec();
-    let c = *shape.last().unwrap_or(&1);
-    let rows = x.len() / c.max(1);
+    let c = (*shape.last().unwrap_or(&1)).max(1);
     let mut out = x.clone();
-    let data = out.data_mut();
-    for r in 0..rows {
-        let row = &mut data[r * c..(r + 1) * c];
+    kernel::par_rows(out.data_mut(), c, |_, row| {
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut s = 0.0;
         for v in row.iter_mut() {
@@ -25,7 +25,7 @@ pub fn softmax_last_axis(x: &Array) -> Array {
         for v in row.iter_mut() {
             *v /= s;
         }
-    }
+    });
     out
 }
 
@@ -58,17 +58,15 @@ impl Tensor {
                 }
                 let shape = s_saved.shape().to_vec();
                 let c = *shape.last().unwrap();
-                let rows = s_saved.len() / c;
                 let mut dx = Array::zeros(&shape);
-                for r in 0..rows {
+                kernel::par_rows(dx.data_mut(), c, |r, drow| {
                     let srow = &s_saved.data()[r * c..(r + 1) * c];
                     let grow = &g.data()[r * c..(r + 1) * c];
                     let dot: f32 = srow.iter().zip(grow).map(|(&s, &g)| s * g).sum();
-                    let drow = &mut dx.data_mut()[r * c..(r + 1) * c];
                     for i in 0..c {
                         drow[i] = srow[i] * (grow[i] - dot);
                     }
-                }
+                });
                 a.accumulate_grad(&dx);
             }),
         ))
@@ -102,17 +100,15 @@ impl Tensor {
                 }
                 let shape = s_saved.shape().to_vec();
                 let c = *shape.last().unwrap();
-                let rows = s_saved.len() / c;
                 let mut dx = Array::zeros(&shape);
-                for r in 0..rows {
+                kernel::par_rows(dx.data_mut(), c, |r, drow| {
                     let srow = &s_saved.data()[r * c..(r + 1) * c];
                     let grow = &g.data()[r * c..(r + 1) * c];
                     let gsum: f32 = grow.iter().sum();
-                    let drow = &mut dx.data_mut()[r * c..(r + 1) * c];
                     for i in 0..c {
                         drow[i] = grow[i] - srow[i] * gsum;
                     }
-                }
+                });
                 a.accumulate_grad(&dx);
             }),
         ))
@@ -164,10 +160,13 @@ impl Tensor {
                 }
                 let scale = g.item() / b as f32;
                 let mut dx = probs.clone();
-                for (r, &lab) in labels.iter().enumerate() {
-                    dx.data_mut()[r * c + lab] -= 1.0;
-                }
-                dx.map_inplace(|v| v * scale);
+                kernel::par_rows(dx.data_mut(), c, |r, row| {
+                    let lab = labels[r];
+                    for (k, v) in row.iter_mut().enumerate() {
+                        let t = if k == lab { 1.0 } else { 0.0 };
+                        *v = (*v - t) * scale;
+                    }
+                });
                 a.accumulate_grad(&dx);
             }),
         ))
@@ -240,13 +239,13 @@ impl Tensor {
                 }
                 let scale = g.item() / b as f32;
                 let mut dx = probs.clone();
-                for (r, &lab) in labels.iter().enumerate() {
-                    for k in 0..c {
+                kernel::par_rows(dx.data_mut(), c, |r, row| {
+                    let lab = labels[r];
+                    for (k, v) in row.iter_mut().enumerate() {
                         let t = if k == lab { on } else { off };
-                        dx.data_mut()[r * c + k] -= t;
+                        *v = (*v - t) * scale;
                     }
-                }
-                dx.map_inplace(|v| v * scale);
+                });
                 a.accumulate_grad(&dx);
             }),
         ))

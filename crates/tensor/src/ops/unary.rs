@@ -5,7 +5,15 @@ use crate::tensor::Tensor;
 
 /// Builds a unary elementwise op node given forward values and the local
 /// derivative computed from the *input* values.
-fn unary(input: &Tensor, fwd: impl Fn(f32) -> f32, dfd: impl Fn(f32) -> f32 + 'static) -> Tensor {
+///
+/// The backward pass fuses `g * f'(x)` into a single traversal
+/// ([`Array::zip_same`]): one allocation instead of two, and pool-chunked
+/// for large activations.
+fn unary(
+    input: &Tensor,
+    fwd: impl Fn(f32) -> f32 + Sync,
+    dfd: impl Fn(f32) -> f32 + Send + Sync + 'static,
+) -> Tensor {
     let value = input.value().map(&fwd);
     let a = input.clone();
     let va = input.value_clone();
@@ -14,8 +22,7 @@ fn unary(input: &Tensor, fwd: impl Fn(f32) -> f32, dfd: impl Fn(f32) -> f32 + 's
         vec![input.clone()],
         Box::new(move |g| {
             if a.requires_grad() {
-                let local = va.map(&dfd);
-                a.accumulate_grad(&g.mul(&local).expect("same-shape"));
+                a.accumulate_grad(&g.zip_same(&va, |gv, v| gv * dfd(v)));
             }
         }),
     )
@@ -156,9 +163,11 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g| {
                 if a.requires_grad() {
-                    // STE: pass-through inside the clamp range.
-                    let mask = va.map(|v| if v.abs() <= range { 1.0 } else { 0.0 });
-                    a.accumulate_grad(&g.mul(&mask).expect("same-shape"));
+                    // STE: pass-through inside the clamp range, fused with
+                    // the incoming gradient in one traversal.
+                    a.accumulate_grad(
+                        &g.zip_same(&va, |gv, v| if v.abs() <= range { gv } else { 0.0 }),
+                    );
                 }
             }),
         )

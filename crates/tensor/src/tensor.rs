@@ -7,14 +7,15 @@
 
 use crate::array::Array;
 use crate::error::Result;
-use std::cell::{Ref, RefCell};
 use std::collections::HashSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 /// Backward closure: receives the gradient of the loss with respect to this
-/// node's output and accumulates into the node's parents.
-pub(crate) type BackwardFn = Box<dyn Fn(&Array)>;
+/// node's output and accumulates into the node's parents. `Send + Sync` so
+/// graph nodes can be built concurrently on pool workers (supernet branch
+/// fan-out); the backward sweep itself stays single-threaded.
+pub(crate) type BackwardFn = Box<dyn Fn(&Array) + Send + Sync>;
 
 struct Inner {
     value: Array,
@@ -32,6 +33,11 @@ struct Inner {
 /// parameters persist across iterations while intermediate nodes are freed
 /// when the loss handle is dropped.
 ///
+/// Handles are `Send + Sync`: independent subgraphs (e.g. the M candidate
+/// branches of a supernet block) may be built concurrently on pool workers.
+/// Mutation of a single node (`set_value`, `accumulate_grad`) takes its
+/// write lock; the optimizer and backward sweep run single-threaded.
+///
 /// # Examples
 ///
 /// ```
@@ -43,12 +49,26 @@ struct Inner {
 /// ```
 #[derive(Clone)]
 pub struct Tensor {
-    inner: Rc<RefCell<Inner>>,
+    inner: Arc<RwLock<Inner>>,
+}
+
+/// A read guard over a node's value, dereferencing to [`Array`].
+///
+/// Returned by [`Tensor::value`]; holding it blocks in-place mutation of
+/// the same node (`set_value` / `update_value`) from other threads.
+pub struct ValueRef<'a>(RwLockReadGuard<'a, Inner>);
+
+impl std::ops::Deref for ValueRef<'_> {
+    type Target = Array;
+
+    fn deref(&self) -> &Array {
+        &self.0.value
+    }
 }
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.read();
         f.debug_struct("Tensor")
             .field("shape", &inner.value.shape())
             .field("requires_grad", &inner.requires_grad)
@@ -58,11 +78,19 @@ impl fmt::Debug for Tensor {
 }
 
 impl Tensor {
+    fn read(&self) -> RwLockReadGuard<'_, Inner> {
+        self.inner.read().expect("tensor lock poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
+        self.inner.write().expect("tensor lock poisoned")
+    }
+
     /// Creates a trainable leaf (a parameter) from `value`.
     #[must_use]
     pub fn param(value: Array) -> Tensor {
         Tensor {
-            inner: Rc::new(RefCell::new(Inner {
+            inner: Arc::new(RwLock::new(Inner {
                 value,
                 grad: None,
                 requires_grad: true,
@@ -76,7 +104,7 @@ impl Tensor {
     #[must_use]
     pub fn constant(value: Array) -> Tensor {
         Tensor {
-            inner: Rc::new(RefCell::new(Inner {
+            inner: Arc::new(RwLock::new(Inner {
                 value,
                 grad: None,
                 requires_grad: false,
@@ -99,7 +127,7 @@ impl Tensor {
     pub(crate) fn from_op(value: Array, parents: Vec<Tensor>, backward: BackwardFn) -> Tensor {
         let requires_grad = parents.iter().any(Tensor::requires_grad);
         Tensor {
-            inner: Rc::new(RefCell::new(Inner {
+            inner: Arc::new(RwLock::new(Inner {
                 value,
                 grad: None,
                 requires_grad,
@@ -112,37 +140,37 @@ impl Tensor {
     /// Whether gradients flow into this node.
     #[must_use]
     pub fn requires_grad(&self) -> bool {
-        self.inner.borrow().requires_grad
+        self.read().requires_grad
     }
 
     /// A stable identity for this graph node (two handles compare equal iff
     /// they alias the same node).
     #[must_use]
     pub fn node_id(&self) -> usize {
-        Rc::as_ptr(&self.inner) as usize
+        Arc::as_ptr(&self.inner) as usize
     }
 
-    /// Borrows the node's value.
+    /// Read-locks the node and borrows its value.
     ///
     /// # Panics
     ///
-    /// Panics if the node's value is already mutably borrowed (only possible
-    /// from inside optimizer update closures).
+    /// Panics if the node's lock is poisoned (a panic while mutating, only
+    /// possible from inside optimizer update closures).
     #[must_use]
-    pub fn value(&self) -> Ref<'_, Array> {
-        Ref::map(self.inner.borrow(), |i| &i.value)
+    pub fn value(&self) -> ValueRef<'_> {
+        ValueRef(self.read())
     }
 
     /// Clones the node's value out of the graph.
     #[must_use]
     pub fn value_clone(&self) -> Array {
-        self.inner.borrow().value.clone()
+        self.read().value.clone()
     }
 
     /// The node's shape.
     #[must_use]
     pub fn shape(&self) -> Vec<usize> {
-        self.inner.borrow().value.shape().to_vec()
+        self.read().value.shape().to_vec()
     }
 
     /// The single element of a scalar node.
@@ -152,18 +180,18 @@ impl Tensor {
     /// Panics if the node holds more than one element.
     #[must_use]
     pub fn item(&self) -> f32 {
-        self.inner.borrow().value.item()
+        self.read().value.item()
     }
 
     /// Clones the accumulated gradient, if any.
     #[must_use]
     pub fn grad(&self) -> Option<Array> {
-        self.inner.borrow().grad.clone()
+        self.read().grad.clone()
     }
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        self.inner.borrow_mut().grad = None;
+        self.write().grad = None;
     }
 
     /// Overwrites the node's value in place (used by optimizers and
@@ -173,7 +201,7 @@ impl Tensor {
     ///
     /// Panics if `new_value` has a different shape than the current value.
     pub fn set_value(&self, new_value: Array) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         assert_eq!(
             inner.value.shape(),
             new_value.shape(),
@@ -184,7 +212,7 @@ impl Tensor {
 
     /// Applies `f` to the value in place (optimizer hot path).
     pub fn update_value(&self, f: impl FnOnce(&mut Array)) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         f(&mut inner.value);
     }
 
@@ -201,7 +229,7 @@ impl Tensor {
     ///
     /// Panics if `g`'s shape differs from the node's value shape.
     pub fn accumulate_grad(&self, g: &Array) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         assert_eq!(
             inner.value.shape(),
             g.shape(),
@@ -234,16 +262,16 @@ impl Tensor {
         self.accumulate_grad(&seed);
         let order = self.topo_order();
         for node in order.iter().rev() {
-            let inner = node.inner.borrow();
+            let inner = node.read();
             if inner.backward.is_none() {
                 continue;
             }
             let Some(grad) = inner.grad.clone() else {
                 continue;
             };
-            // Call the closure while holding only an immutable borrow of this
-            // node; the closure mutably borrows *parents*, which are distinct
-            // RefCells.
+            // Call the closure while holding only a read lock on this
+            // node; the closure write-locks *parents*, which are distinct
+            // nodes (graphs are acyclic).
             if let Some(bw) = &inner.backward {
                 bw(&grad);
             }
@@ -251,7 +279,7 @@ impl Tensor {
         // Free intermediate gradients: nodes with parents are op results and
         // their gradients are not useful after the sweep (leaves keep theirs).
         for node in order {
-            let mut inner = node.inner.borrow_mut();
+            let mut inner = node.write();
             if !inner.parents.is_empty() {
                 inner.grad = None;
             }
@@ -265,7 +293,7 @@ impl Tensor {
         // Stack of (node, parents_pushed) frames.
         let mut stack: Vec<(Tensor, bool)> = vec![(self.clone(), false)];
         while let Some((node, expanded)) = stack.pop() {
-            let key = Rc::as_ptr(&node.inner) as usize;
+            let key = Arc::as_ptr(&node.inner) as usize;
             if expanded {
                 order.push(node);
                 continue;
@@ -275,8 +303,8 @@ impl Tensor {
             }
             visited.insert(key);
             stack.push((node.clone(), true));
-            for p in &node.inner.borrow().parents {
-                let pk = Rc::as_ptr(&p.inner) as usize;
+            for p in &node.read().parents {
+                let pk = Arc::as_ptr(&p.inner) as usize;
                 if !visited.contains(&pk) {
                     stack.push((p.clone(), false));
                 }

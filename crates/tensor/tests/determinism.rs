@@ -1,19 +1,23 @@
-//! Bitwise determinism across thread counts: the kernel layer guarantees
-//! that every output element is accumulated through the same single
-//! ascending-`k` chain no matter how work is partitioned, so results under
-//! `EDD_NUM_THREADS=1` and `EDD_NUM_THREADS=4` must be identical to the
-//! last bit — forward values and gradients alike.
+//! Bitwise determinism across pool sizes: the kernel layer guarantees that
+//! every output element is accumulated through the same single
+//! ascending-`k` chain (and every reduction through fixed-size chunks) no
+//! matter how work is partitioned, so results under 1, 2 and 7 logical
+//! threads must be identical to the last bit — forward values and
+//! gradients alike — and so must two runs on the same pool.
 //!
-//! All scenarios live in one `#[test]` because they mutate the process
-//! environment; this file is its own test binary, so no other suite races
-//! the variable.
+//! All scenarios live in one `#[test]` because they mutate the global
+//! thread-count override; this file is its own test binary, so no other
+//! suite races it.
 
-use edd_tensor::{Array, Tensor};
+use edd_tensor::kernel::set_num_threads;
+use edd_tensor::{gumbel_softmax, Array, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Forward outputs and gradients of a conv + dwconv + matmul workload,
-/// captured as raw bit patterns.
+/// Forward outputs and gradients of a workload touching every pooled code
+/// path: conv, dwconv, matmul, batch norm, softmax cross-entropy,
+/// Gumbel-Softmax sampling, the fused `add_n` combine, elementwise
+/// activations and the chunked `sum` reduction.
 fn run_workload() -> Vec<Vec<u32>> {
     let mut rng = StdRng::seed_from_u64(77);
     let x = Tensor::param(Array::randn(&[4, 8, 12, 12], 1.0, &mut rng));
@@ -21,45 +25,87 @@ fn run_workload() -> Vec<Vec<u32>> {
     let dw = Tensor::param(Array::randn(&[16, 3, 3], 0.5, &mut rng));
     let a = Tensor::param(Array::randn(&[48, 96], 1.0, &mut rng));
     let b = Tensor::param(Array::randn(&[96, 64], 0.5, &mut rng));
+    let gamma = Tensor::param(Array::ones(&[16]));
+    let beta = Tensor::param(Array::zeros(&[16]));
+    let logits = Tensor::param(Array::randn(&[6, 10], 1.0, &mut rng));
 
     let conv = x.conv2d(&w, None, 1, 1).unwrap();
-    let dwc = conv.dwconv2d(&dw, None, 2, 1).unwrap();
+    let bn = conv.batch_norm2d_train(&gamma, &beta, 1e-5).unwrap();
+    let act = bn.output.relu6();
+    let dwc = act.dwconv2d(&dw, None, 2, 1).unwrap();
     let mm = a.matmul(&b).unwrap();
-    let loss = dwc.square().sum().add(&mm.square().sum()).unwrap();
+    // Mixture-style combine of three transformed views of the same branch.
+    let mixed = Tensor::add_n(&[dwc.clone(), dwc.relu(), dwc.mul_scalar(0.5)]).unwrap();
+    let gs = gumbel_softmax(&logits, 0.7, true, &mut rng).unwrap();
+    let ce = logits.cross_entropy(&[0, 3, 1, 9, 5, 2]).unwrap();
+    let loss = mixed
+        .square()
+        .sum()
+        .add(&mm.square().sum())
+        .unwrap()
+        .add(&gs.sum())
+        .unwrap()
+        .add(&ce)
+        .unwrap();
     loss.backward();
 
     let bits = |arr: &Array| arr.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
     vec![
         bits(&conv.value_clone()),
+        bits(&bn.output.value_clone()),
         bits(&dwc.value_clone()),
         bits(&mm.value_clone()),
+        bits(&mixed.value_clone()),
+        bits(&gs.value_clone()),
+        bits(&loss.value_clone()),
         bits(&x.grad().unwrap()),
         bits(&w.grad().unwrap()),
         bits(&dw.grad().unwrap()),
         bits(&a.grad().unwrap()),
         bits(&b.grad().unwrap()),
+        bits(&gamma.grad().unwrap()),
+        bits(&beta.grad().unwrap()),
+        bits(&logits.grad().unwrap()),
     ]
 }
 
-#[test]
-fn thread_count_does_not_change_a_single_bit() {
-    std::env::set_var("EDD_NUM_THREADS", "1");
-    let single = run_workload();
-    std::env::set_var("EDD_NUM_THREADS", "4");
-    let quad = run_workload();
-    std::env::remove_var("EDD_NUM_THREADS");
+const STAGES: [&str; 15] = [
+    "conv2d forward",
+    "batch-norm forward",
+    "dwconv2d forward",
+    "matmul forward",
+    "add_n mixture forward",
+    "gumbel-softmax sample",
+    "total loss",
+    "conv input grad",
+    "conv weight grad",
+    "dw weight grad",
+    "matmul lhs grad",
+    "matmul rhs grad",
+    "bn gamma grad",
+    "bn beta grad",
+    "cross-entropy logits grad",
+];
 
-    let names = [
-        "conv2d forward",
-        "dwconv2d forward",
-        "matmul forward",
-        "conv input grad",
-        "conv weight grad",
-        "dw weight grad",
-        "matmul lhs grad",
-        "matmul rhs grad",
-    ];
-    for ((s, q), name) in single.iter().zip(&quad).zip(names) {
-        assert_eq!(s, q, "{name} differs between 1 and 4 threads");
+#[test]
+fn pool_size_does_not_change_a_single_bit() {
+    // Largest pool first so the workers actually exist (and execute tasks)
+    // when the smaller logical counts run.
+    set_num_threads(7);
+    let seven = run_workload();
+    let seven_again = run_workload();
+    set_num_threads(2);
+    let two = run_workload();
+    set_num_threads(1);
+    let one = run_workload();
+
+    for ((s7, s7b), name) in seven.iter().zip(&seven_again).zip(STAGES) {
+        assert_eq!(s7, s7b, "{name} differs between two runs on the same pool");
+    }
+    for ((s7, s2), name) in seven.iter().zip(&two).zip(STAGES) {
+        assert_eq!(s7, s2, "{name} differs between 7 and 2 threads");
+    }
+    for ((s7, s1), name) in seven.iter().zip(&one).zip(STAGES) {
+        assert_eq!(s7, s1, "{name} differs between 7 and 1 threads");
     }
 }

@@ -292,4 +292,58 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn scratch_arena_buffers_never_overlap_and_stay_aligned(
+        ops in prop::collection::vec((0usize..4, 1usize..600), 1..80),
+    ) {
+        // Random interleaving of alloc / alloc_zeroed / drop / full-drain +
+        // reset against the thread-local arena: every live buffer must be
+        // 32-byte aligned and pairwise disjoint, zeroed allocations must
+        // actually be zero (the arena recycles dirty memory), and writes
+        // through one handle must never show up in another.
+        use edd_tensor::scratch;
+        let mut live: Vec<(scratch::ScratchBuf, f32)> = Vec::new();
+        let mut stamp = 1.0f32;
+        for (op, len) in ops {
+            match op {
+                0 | 1 => {
+                    let mut buf = if op == 0 {
+                        scratch::alloc(len)
+                    } else {
+                        let b = scratch::alloc_zeroed(len);
+                        prop_assert!(b.iter().all(|&v| v == 0.0), "alloc_zeroed dirty");
+                        b
+                    };
+                    prop_assert_eq!(buf.len(), len);
+                    prop_assert_eq!(buf.as_ptr() as usize % 32, 0, "misaligned");
+                    let lo = buf.as_ptr() as usize;
+                    let hi = lo + len * 4;
+                    for (other, _) in &live {
+                        let olo = other.as_ptr() as usize;
+                        let ohi = olo + other.len() * 4;
+                        prop_assert!(hi <= olo || ohi <= lo, "overlapping live buffers");
+                    }
+                    buf.fill(stamp);
+                    live.push((buf, stamp));
+                    stamp += 1.0;
+                }
+                2 => {
+                    if !live.is_empty() {
+                        live.swap_remove(len % live.len());
+                    }
+                }
+                _ => {
+                    live.clear();
+                    scratch::reset();
+                }
+            }
+            // Writes through one handle never leak into another.
+            for (buf, expect) in &live {
+                prop_assert!(buf.iter().all(|&v| v == *expect), "buffer clobbered");
+            }
+        }
+        live.clear();
+        scratch::reset();
+    }
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the supernet-level benchmark suite and records a machine-readable
+# snapshot at BENCH_supernet.json (a JSON array of {name, median_ns,
+# mean_ns, max_ns, samples} records, one per benchmark).
+#
+# The vendored criterion shim appends JSONL records to the file named by
+# EDD_BENCH_JSON; this script collects them and wraps the lines into a
+# JSON array with plain sed/awk (no python/jq dependency).
+#
+# Usage:
+#   scripts/bench.sh            # supernet_step benches -> BENCH_supernet.json
+#   scripts/bench.sh --all      # also run the tensor_ops benches (stdout only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_supernet.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+EDD_BENCH_JSON="$tmp" cargo bench -p edd-bench --bench supernet_step
+
+if [[ ! -s "$tmp" ]]; then
+    echo "bench.sh: no records captured" >&2
+    exit 1
+fi
+
+# JSONL -> JSON array: comma-join all lines but the last.
+{
+    echo '['
+    awk 'NR > 1 { print prev "," } { prev = $0 } END { print prev }' "$tmp" \
+        | sed 's/^/  /'
+    echo ']'
+} > "$out"
+
+echo "wrote $out ($(wc -l < "$tmp") benchmarks)"
+
+if [[ "${1:-}" == "--all" ]]; then
+    cargo bench -p edd-bench --bench tensor_ops
+fi
