@@ -85,10 +85,12 @@ pub fn set_num_threads(n: usize) {
 }
 
 /// One parallel-for region: a lifetime-erased task closure plus the
-/// counters that track claiming and completion.
+/// counters that track claiming, completion, and job-pointer liveness.
 struct Job {
     /// Pointer to the caller's `&dyn Fn(usize)`; valid until `run` returns,
-    /// which is guaranteed to happen only after `remaining` hits zero.
+    /// which is guaranteed to happen only after `remaining` hits zero and
+    /// no worker still holds this job (`accessors == 0`, observed under the
+    /// pool lock).
     task: *const (dyn Fn(usize) + Sync),
     /// Next unclaimed task index.
     next: AtomicUsize,
@@ -96,29 +98,61 @@ struct Job {
     tasks: usize,
     /// Tasks not yet finished executing.
     remaining: AtomicUsize,
+    /// Workers currently between "took this job off the queue front" and
+    /// "re-acquired the pool lock after `work` returned". Only modified
+    /// while holding the pool lock; the caller of `run` refuses to return
+    /// (and free this stack frame) until it observes zero under that same
+    /// lock, so every worker access to the job happens-before the free.
+    accessors: AtomicUsize,
+    /// First panic payload caught from a task, re-thrown on the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 // SAFETY: `task` is only dereferenced for claimed indices `< tasks`, and
-// `run` keeps the referent alive until `remaining == 0` (i.e. until every
-// dereference has completed).
+// `run` keeps the referent alive until `remaining == 0` (every dereference
+// completed) and `accessors == 0` (no worker still holds the job pointer).
 unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Claims and executes tasks until the index counter is exhausted.
-    /// Returns `true` if this call finished the job's last task.
-    fn work(&self) -> bool {
-        let mut finished_last = false;
+    /// Claims and executes tasks until the index counter is exhausted or
+    /// this call finishes the job's last task.
+    ///
+    /// Returning immediately after the final `remaining` decrement matters
+    /// for soundness: once `remaining` hits zero the caller may observe
+    /// completion, so no code path may touch the job's atomics after that
+    /// decrement (the old "loop once more and fetch_add `next`" pattern
+    /// raced the caller freeing the job).
+    ///
+    /// Task panics are caught here — never unwound through the pool — and
+    /// stashed for the caller to re-throw, so a panicking task cannot kill
+    /// a worker thread (which would strand `remaining` above zero and
+    /// deadlock the caller) or unwind the caller out of `run` while
+    /// workers still hold the job pointer.
+    fn work(&self) {
         loop {
             let idx = self.next.fetch_add(1, Ordering::Relaxed);
             if idx >= self.tasks {
-                return finished_last;
+                return;
             }
             // SAFETY: idx < tasks, so the caller of `run` is still blocked
             // in `wait` and the closure is alive.
-            unsafe { (*self.task)(idx) };
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                    (*self.task)(idx)
+                }));
+            if let Err(payload) = outcome {
+                let mut slot = self
+                    .panic
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                // First panic wins; later ones are dropped like std::thread.
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                finished_last = true;
+                return;
             }
         }
     }
@@ -177,8 +211,9 @@ fn worker_loop(pool: &'static Pool) {
     let mut state = pool.state.lock().expect("pool poisoned");
     loop {
         if let Some(&job_ptr) = state.queue.front() {
-            // SAFETY: queued jobs are kept alive by their `run` caller
-            // until all tasks complete; `work` claims before executing.
+            // SAFETY: a job still in the queue cannot have been freed —
+            // its `run` caller removes it from the queue under this lock
+            // before it can observe completion and return.
             let job: &Job = unsafe { &*job_ptr };
             if job.next.load(Ordering::Relaxed) >= job.tasks {
                 // Fully claimed; retire it from the queue (it may still be
@@ -186,14 +221,25 @@ fn worker_loop(pool: &'static Pool) {
                 state.queue.retain(|&p| p != job_ptr);
                 continue;
             }
+            // Register as an in-flight accessor BEFORE dropping the lock:
+            // from here until the matching decrement below, the caller's
+            // completion wait sees `accessors > 0` and keeps the job alive,
+            // even if every task finishes the instant the lock is released.
+            job.accessors.fetch_add(1, Ordering::Relaxed);
             drop(state);
-            if job.work() {
-                // Last task of the job: wake its caller.
-                let guard = pool.state.lock().expect("pool poisoned");
+            job.work();
+            state = pool.state.lock().expect("pool poisoned");
+            // Deregister under the lock; the caller cannot observe the
+            // zero (and free the job) until this critical section ends,
+            // so the `is_done` dereference below is still in-bounds.
+            let last_accessor = job.accessors.fetch_sub(1, Ordering::Relaxed) == 1;
+            if last_accessor && job.is_done() {
+                // Job complete and no worker still holds it: wake the
+                // caller. (If the caller itself ran the last task it
+                // re-checks the condition under the lock, no signal
+                // needed; if another accessor is still out, that one
+                // signals when it deregisters.)
                 pool.done_cv.notify_all();
-                state = guard;
-            } else {
-                state = pool.state.lock().expect("pool poisoned");
             }
         } else {
             state = pool.work_cv.wait(state).expect("pool poisoned");
@@ -240,8 +286,10 @@ pub fn run(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
         return;
     }
     let pool = pool();
-    // SAFETY: lifetime erasure only — `run` does not return until every
-    // dereference of this pointer (each for a claimed index) has finished.
+    // SAFETY: lifetime erasure only — `run` does not return until it has
+    // observed, under the pool lock, that every task finished AND no
+    // worker still holds the job pointer, so every dereference of this
+    // pointer happens-before the referent is freed.
     let task: *const (dyn Fn(usize) + Sync) = unsafe {
         std::mem::transmute::<
             *const (dyn Fn(usize) + Sync + '_),
@@ -253,6 +301,8 @@ pub fn run(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
         next: AtomicUsize::new(0),
         tasks,
         remaining: AtomicUsize::new(tasks),
+        accessors: AtomicUsize::new(0),
+        panic: Mutex::new(None),
     };
     {
         let mut state = pool.state.lock().expect("pool poisoned");
@@ -262,23 +312,60 @@ pub fn run(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
     }
     pool.work_cv.notify_all();
 
-    // Help with our own job (tasks execute inline w.r.t. nesting).
-    IN_PARALLEL.with(|flag| {
-        flag.set(true);
+    // Help with our own job (tasks execute inline w.r.t. nesting). The
+    // guard restores the flag even on unwind, so a panic can never leave
+    // this thread permanently marked as "inside a parallel region".
+    {
+        let _in_parallel = InParallelGuard::enter();
         job.work();
-        flag.set(false);
-    });
+    }
 
     // All tasks are claimed now (our claim loop ran dry), so remove the job
-    // from the queue if a worker has not already retired it, then wait for
-    // stragglers still executing their claimed tasks.
+    // from the queue if a worker has not already retired it, then wait
+    // until (a) every task finished and (b) no worker is still between
+    // "picked the job off the queue" and "deregistered after work()" —
+    // both observed under the lock their updates are made under. Only
+    // then is the stack-allocated `job` safe to free.
     let mut state = pool.state.lock().expect("pool poisoned");
     let job_ptr = std::ptr::addr_of!(job);
     state.queue.retain(|&p| p != job_ptr);
-    while !job.is_done() {
+    while !(job.is_done() && job.accessors.load(Ordering::Relaxed) == 0) {
         state = pool.done_cv.wait(state).expect("pool poisoned");
     }
     drop(state);
+
+    // Re-throw the first task panic on the caller, after the job is fully
+    // quiesced (workers saw their panics caught inside `work`, so the
+    // bookkeeping above completed normally).
+    let payload = job
+        .panic
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Sets `IN_PARALLEL` for the current scope and restores the previous
+/// value on drop, unwind included.
+struct InParallelGuard {
+    prev: bool,
+}
+
+impl InParallelGuard {
+    fn enter() -> Self {
+        InParallelGuard {
+            prev: IN_PARALLEL.with(|f| f.replace(true)),
+        }
+    }
+}
+
+impl Drop for InParallelGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_PARALLEL.with(|f| f.set(prev));
+    }
 }
 
 /// A raw mutable base pointer that may be shared across pool tasks.
@@ -398,6 +485,52 @@ mod tests {
             });
             assert_eq!(sum.load(Ordering::Relaxed), 36, "round {round}");
         }
+    }
+
+    #[test]
+    fn rapid_tiny_jobs_stress_job_lifetime() {
+        // Hammers the window where a job completes (and its stack frame
+        // dies) immediately after a worker peeks it off the queue: tiny
+        // task counts maximize the chance a straggler races the caller's
+        // return. Under the accessor-count protocol this must be quiet.
+        let _guard = test_lock();
+        let before = num_threads();
+        set_num_threads(4);
+        for round in 0..2000 {
+            let sum = AtomicU32::new(0);
+            run(3, &|i| {
+                sum.fetch_add(i as u32 + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 6, "round {round}");
+        }
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn panicking_task_propagates_and_pool_recovers() {
+        let _guard = test_lock();
+        let before = num_threads();
+        set_num_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            run(16, &|i| {
+                assert!(i != 7, "task 7 exploded");
+            });
+        });
+        assert!(result.is_err(), "task panic must reach the caller");
+        // The panic must not leave this thread flagged as inside a
+        // parallel region (which would silently serialize everything).
+        assert!(!IN_PARALLEL.with(std::cell::Cell::get));
+        // All workers must have survived (panics are caught, not
+        // unwound through worker threads) and `remaining` must have been
+        // fully drained — otherwise these runs deadlock or drop tasks.
+        for _ in 0..8 {
+            let sum = AtomicU32::new(0);
+            run(16, &|i| {
+                sum.fetch_add(i as u32, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 120);
+        }
+        set_num_threads(before);
     }
 
     #[test]

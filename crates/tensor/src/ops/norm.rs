@@ -10,6 +10,21 @@ use crate::kernel;
 use crate::kernel::pool::{self, SendPtr};
 use crate::tensor::Tensor;
 
+/// Runs `f(ci)` for every channel, over the worker pool when the tensor is
+/// large enough for the dispatch to pay off and inline otherwise — the
+/// same `PAR_MIN_ELEMS` gating the elementwise kernels use, so tiny
+/// batch-norm layers never pay job-queue overhead. Results are identical
+/// either way: each `f(ci)` owns channel `ci`'s outputs exclusively.
+fn per_channel(c: usize, elems: usize, f: &(dyn Fn(usize) + Sync)) {
+    if elems < kernel::PAR_MIN_ELEMS {
+        for ci in 0..c {
+            f(ci);
+        }
+    } else {
+        pool::run(c, f);
+    }
+}
+
 /// Output of [`Tensor::batch_norm2d_train`]: the normalized activations plus
 /// the batch statistics needed to update running estimates.
 #[derive(Debug, Clone)]
@@ -57,6 +72,7 @@ impl Tensor {
         }
         let n = (b * h * w) as f32;
         let plane = h * w;
+        let elems = b * c * plane;
         let xval = self.value_clone();
         let gval = gamma.value_clone();
         let bval = beta.value_clone();
@@ -73,7 +89,7 @@ impl Tensor {
             let mean_p = SendPtr::new(mean.data_mut().as_mut_ptr());
             let var_p = SendPtr::new(var.data_mut().as_mut_ptr());
             let xd = xval.data();
-            pool::run(c, &|ci| {
+            per_channel(c, elems, &|ci| {
                 let mut acc = 0.0f32;
                 for bi in 0..b {
                     let base = (bi * c + ci) * plane;
@@ -98,7 +114,7 @@ impl Tensor {
             let xhat_p = SendPtr::new(xhat.data_mut().as_mut_ptr());
             let out_p = SendPtr::new(out.data_mut().as_mut_ptr());
             let xd = xval.data();
-            pool::run(c, &|ci| {
+            per_channel(c, elems, &|ci| {
                 let mu = mean.data()[ci];
                 let inv_std = 1.0 / (var.data()[ci] + eps).sqrt();
                 let ga = gval.data()[ci];
@@ -135,7 +151,7 @@ impl Tensor {
                 {
                     let dbeta_p = SendPtr::new(dbeta.data_mut().as_mut_ptr());
                     let dgamma_p = SendPtr::new(dgamma.data_mut().as_mut_ptr());
-                    pool::run(c, &|ci| {
+                    per_channel(c, elems, &|ci| {
                         let mut sb = 0.0f32;
                         let mut sg = 0.0f32;
                         for bi in 0..b {
@@ -159,7 +175,7 @@ impl Tensor {
                     let mut dx = Array::zeros(&[b, c, h, w]);
                     {
                         let dx_p = SendPtr::new(dx.data_mut().as_mut_ptr());
-                        pool::run(c, &|ci| {
+                        per_channel(c, elems, &|ci| {
                             let inv_std = 1.0 / (var_saved.data()[ci] + eps).sqrt();
                             let ga = gval_saved.data()[ci];
                             let sg = dbeta.data()[ci];

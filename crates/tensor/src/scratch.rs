@@ -43,8 +43,15 @@ struct Arena {
     offset: usize,
     /// Live [`ScratchBuf`]s handed out from this arena.
     outstanding: usize,
-    /// Total elements handed out since the arena was last empty; sizes the
-    /// coalesced block so the next cycle needs a single allocation.
+    /// Elements consumed in retired (non-last) blocks of the current
+    /// cycle, so the footprint below spans every block, not just the one
+    /// currently bump-allocated from.
+    carried: usize,
+    /// Peak total elements consumed (across all blocks) since the arena
+    /// was last empty; sizes the coalesced block so the next identical
+    /// cycle needs a single allocation. Reset on [`Arena::rewind`] so the
+    /// arena re-measures each cycle instead of being pinned forever to a
+    /// one-off spike.
     high_water: usize,
     /// Bumped on [`reset`]; lets stale buffer drops detect they outlived a
     /// reset instead of corrupting the accounting.
@@ -69,12 +76,18 @@ impl Arena {
             lead: 0,
             offset: 0,
             outstanding: 0,
+            carried: 0,
             high_water: 0,
             generation: 0,
         }
     }
 
     fn push_block(&mut self, min_len: usize) {
+        // The retiring block's consumption stays live (its buffers are
+        // still out), so carry it into the cross-block footprint.
+        if self.blocks.last().is_some() {
+            self.carried += self.offset - self.lead;
+        }
         let cap = min_len
             .max(self.blocks.last().map_or(INITIAL_CAPACITY, |b| 2 * b.len()))
             .next_multiple_of(ALIGN_F32)
@@ -98,7 +111,9 @@ impl Arena {
         let ptr = unsafe { block.as_mut_ptr().add(self.offset) };
         self.offset += rounded;
         self.outstanding += 1;
-        self.high_water = self.high_water.max(self.offset - self.lead);
+        self.high_water = self
+            .high_water
+            .max(self.carried + self.offset - self.lead);
         (ptr, self.generation)
     }
 
@@ -118,6 +133,8 @@ impl Arena {
             self.blocks.clear();
             self.push_block(want);
         }
+        self.carried = 0;
+        self.high_water = 0;
         self.offset = self.lead;
     }
 }
@@ -293,6 +310,28 @@ mod tests {
         for (i, b) in bufs.iter().enumerate() {
             assert_eq!(b.len(), 1 << i);
             assert!(b.iter().all(|&v| v == i as f32), "buffer {i} corrupted");
+        }
+    }
+
+    #[test]
+    fn rewind_coalesces_to_full_cycle_footprint() {
+        // A cycle whose live footprint spans several blocks: the rewind
+        // must size the coalesced block from the cross-block total, so an
+        // identical second cycle fits in one block and the arena stops
+        // allocating (i.e. it converges instead of re-fragmenting).
+        let cycle = || {
+            let bufs: Vec<ScratchBuf> = (0..15).map(|i| alloc(1 << i)).collect();
+            assert!(bufs.iter().all(|b| b.as_ptr() as usize % 32 == 0));
+        };
+        cycle();
+        let after_first = reserved_bytes();
+        for _ in 0..3 {
+            cycle();
+            assert_eq!(
+                reserved_bytes(),
+                after_first,
+                "repeat cycles must reuse the coalesced block"
+            );
         }
     }
 
