@@ -4,7 +4,7 @@
 //! architecture step). Demonstrates the paper's efficiency claim for hard
 //! Gumbel-Softmax sampling: cost is one path, not `M` paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use edd_core::{estimate, ArchParams, DeviceTarget, PerfTables, SearchSpace, SuperNet};
 use edd_hw::FpgaDevice;
 use edd_tensor::{Array, Tensor};
@@ -97,4 +97,11 @@ criterion_group!(
     bench_perf_estimate,
     bench_arch_step
 );
-criterion_main!(benches);
+
+fn main() {
+    // Zero the kernel counters so the record below reflects only this
+    // bench run, then snapshot them next to the timing records.
+    edd_tensor::stats::reset();
+    benches();
+    edd_bench::write_kernel_counters_record();
+}

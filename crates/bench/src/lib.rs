@@ -60,6 +60,49 @@ pub fn ranking_agreement(a: &[f64], b: &[f64]) -> f64 {
     concordant as f64 / total as f64
 }
 
+/// Prints the kernel-runtime counters accumulated so far and, when
+/// `EDD_BENCH_JSON` names a file, appends them as one JSONL record named
+/// `kernel_runtime_counters` — the same file the vendored criterion shim
+/// writes its timing records to, so `scripts/bench.sh` folds both into
+/// `BENCH_supernet.json`.
+pub fn write_kernel_counters_record() {
+    let stats = edd_tensor::stats::snapshot();
+    let util = stats.pool_utilization().unwrap_or(0.0);
+    println!(
+        "kernel counters: {} parallel / {} inline jobs (utilization {util:.2}), \
+         {} tasks, {} workers, scratch high-water {} bytes",
+        stats.pool_parallel_jobs,
+        stats.pool_inline_jobs,
+        stats.pool_tasks,
+        stats.pool_workers_spawned,
+        stats.scratch_high_water_bytes
+    );
+    let Ok(path) = std::env::var("EDD_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"name\":\"kernel_runtime_counters\",\"pool_parallel_jobs\":{},\
+         \"pool_inline_jobs\":{},\"pool_tasks\":{},\"pool_workers_spawned\":{},\
+         \"pool_utilization\":{util:.4},\"scratch_high_water_bytes\":{}}}\n",
+        stats.pool_parallel_jobs,
+        stats.pool_inline_jobs,
+        stats.pool_tasks,
+        stats.pool_workers_spawned,
+        stats.scratch_high_water_bytes
+    );
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
 /// Prints a horizontal rule + title for table output.
 pub fn print_header(title: &str) {
     println!("\n{}", "=".repeat(78));

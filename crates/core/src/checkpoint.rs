@@ -1,0 +1,601 @@
+//! Full-state search snapshots: everything [`crate::CoSearch`] needs to
+//! resume an interrupted run bit-identically.
+//!
+//! A [`SearchSnapshot`] captures, after a completed epoch:
+//!
+//! * every supernet weight tensor (in `weight_params()` order) and every
+//!   batch-norm running statistic (in `batch_norms()` order);
+//! * the architecture variables `Θ`, `Φ`, `pf` (via [`ArchCheckpoint`]);
+//! * both optimizers' moments (SGD velocity, Adam `t`/`m`/`v`);
+//! * the RNG state (so Gumbel draws continue mid-stream) and the epoch
+//!   counter (which pins the temperature-schedule position);
+//! * the metric history and the best-so-far derived architecture.
+//!
+//! All `f32` data is stored as IEEE-754 bit patterns inside an
+//! `edd-runtime` snapshot container (magic, version, CRC-32, atomic
+//! writes), and a **fingerprint** of the search configuration is embedded
+//! so a snapshot cannot be silently applied to a differently-shaped search.
+//! Combined with the kernel layer's bitwise thread-count invariance, resume
+//! equality holds across `EDD_NUM_THREADS` settings too.
+
+use crate::arch_params::ArchCheckpoint;
+use crate::search::{CoSearchConfig, EpochRecord};
+use crate::space::SearchSpace;
+use crate::target::DeviceTarget;
+use edd_runtime::snapshot::{self, ByteReader, ByteWriter, SectionWriter, Sections};
+use edd_tensor::optim::AdamState;
+use edd_tensor::{Array, Result, TensorError};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::path::Path;
+
+/// Schema version of the search-snapshot payload (inside the container's
+/// own format version).
+pub const SEARCH_SNAPSHOT_SCHEMA: u32 = 1;
+
+/// File-name prefix of search snapshots (`search-00000012.edds`).
+pub const SNAPSHOT_PREFIX: &str = "search-";
+
+/// RNGs a resumable search can run with: random draws plus full state
+/// capture/restore. The vendored [`StdRng`] (xoshiro256++) implements it;
+/// any custom generator with serializable state can too.
+pub trait SearchRng: Rng {
+    /// The generator's complete state.
+    fn state_words(&self) -> [u64; 4];
+    /// Restores state captured by [`SearchRng::state_words`].
+    fn restore_state_words(&mut self, words: [u64; 4]);
+}
+
+impl SearchRng for StdRng {
+    fn state_words(&self) -> [u64; 4] {
+        self.state()
+    }
+
+    fn restore_state_words(&mut self, words: [u64; 4]) {
+        self.set_state(words);
+    }
+}
+
+fn snap_err(e: snapshot::SnapshotError) -> TensorError {
+    TensorError::InvalidArgument(format!("search snapshot: {e}"))
+}
+
+fn io_err(what: &str, e: &std::io::Error) -> TensorError {
+    TensorError::InvalidArgument(format!("search snapshot {what}: {e}"))
+}
+
+/// The configuration fingerprint embedded in every snapshot. Two searches
+/// with equal fingerprints have identically-shaped state, so a snapshot
+/// from one can be applied to the other.
+#[must_use]
+pub fn fingerprint(space: &SearchSpace, target: &DeviceTarget, config: &CoSearchConfig) -> String {
+    format!(
+        "space={};N={};M={};Q={};bits={:?};target={};epochs={};weight_lr={};\
+         weight_momentum={};arch_lr={};tau_start={};tau_end={};warmup={};bilevel={};\
+         clip={:?};alpha={};beta={};kappa={}",
+        space.name,
+        space.num_blocks(),
+        space.num_ops(),
+        space.num_quant(),
+        space.quant_bits,
+        target.label(),
+        config.epochs,
+        config.weight_lr,
+        config.weight_momentum,
+        config.arch_lr,
+        config.tau_start,
+        config.tau_end,
+        config.warmup_epochs,
+        config.bilevel,
+        config.clip_grad_norm,
+        config.loss.alpha,
+        config.loss.beta,
+        config.loss.penalty_sharpness,
+    )
+}
+
+/// Complete serializable state of a search after some epoch.
+#[derive(Debug, Clone)]
+pub struct SearchSnapshot {
+    /// Configuration fingerprint (checked on apply).
+    pub fingerprint: String,
+    /// Last *completed* epoch; resume starts at `epoch + 1`.
+    pub epoch: usize,
+    /// RNG state after the completed epoch's draws.
+    pub rng: [u64; 4],
+    /// Supernet weights in `weight_params()` order.
+    pub weights: Vec<Array>,
+    /// Batch-norm `(running_mean, running_var)` pairs in `batch_norms()`
+    /// order.
+    pub bn_stats: Vec<(Array, Array)>,
+    /// Architecture variables.
+    pub arch: ArchCheckpoint,
+    /// SGD momentum buffers.
+    pub sgd_velocity: Vec<Option<Array>>,
+    /// Adam step count and moments.
+    pub adam: AdamState,
+    /// Epoch history up to and including `epoch`.
+    pub history: Vec<EpochRecord>,
+    /// Best validation epoch so far: `(epoch, val_acc, derived-arch JSON)`.
+    pub best: Option<(usize, f32, String)>,
+}
+
+fn put_array(w: &mut ByteWriter, a: &Array) {
+    let shape = a.shape();
+    w.put_u64(shape.len() as u64);
+    for &d in shape {
+        w.put_u64(d as u64);
+    }
+    w.put_f32_slice(a.data());
+}
+
+fn get_array(r: &mut ByteReader<'_>) -> Result<Array> {
+    let ndim = r.get_count(8).map_err(snap_err)?;
+    let mut shape = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        shape.push(r.get_u64().map_err(snap_err)? as usize);
+    }
+    let data = r.get_f32_vec().map_err(snap_err)?;
+    Array::from_vec(data, &shape)
+}
+
+fn put_opt_arrays(w: &mut ByteWriter, items: &[Option<Array>]) {
+    w.put_u64(items.len() as u64);
+    for item in items {
+        match item {
+            Some(a) => {
+                w.put_u8(1);
+                put_array(w, a);
+            }
+            None => w.put_u8(0),
+        }
+    }
+}
+
+fn get_opt_arrays(r: &mut ByteReader<'_>) -> Result<Vec<Option<Array>>> {
+    let n = r.get_count(1).map_err(snap_err)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let present = r.get_u8().map_err(snap_err)?;
+        out.push(match present {
+            0 => None,
+            1 => Some(get_array(r)?),
+            other => {
+                return Err(TensorError::InvalidArgument(format!(
+                    "search snapshot: invalid presence byte {other}"
+                )))
+            }
+        });
+    }
+    Ok(out)
+}
+
+fn put_f32_nested(w: &mut ByteWriter, rows: &[Vec<f32>]) {
+    w.put_u64(rows.len() as u64);
+    for row in rows {
+        w.put_f32_slice(row);
+    }
+}
+
+fn get_f32_nested(r: &mut ByteReader<'_>) -> Result<Vec<Vec<f32>>> {
+    let n = r.get_count(8).map_err(snap_err)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.get_f32_vec().map_err(snap_err)?);
+    }
+    Ok(out)
+}
+
+impl SearchSnapshot {
+    /// Serializes into an `edd-runtime` snapshot payload.
+    #[must_use]
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut meta = ByteWriter::new();
+        meta.put_u32(SEARCH_SNAPSHOT_SCHEMA);
+        meta.put_str(&self.fingerprint);
+        meta.put_u64(self.epoch as u64);
+        for w in self.rng {
+            meta.put_u64(w);
+        }
+
+        let mut weights = ByteWriter::new();
+        weights.put_u64(self.weights.len() as u64);
+        for a in &self.weights {
+            put_array(&mut weights, a);
+        }
+
+        let mut bn = ByteWriter::new();
+        bn.put_u64(self.bn_stats.len() as u64);
+        for (mean, var) in &self.bn_stats {
+            put_array(&mut bn, mean);
+            put_array(&mut bn, var);
+        }
+
+        let mut arch = ByteWriter::new();
+        put_f32_nested(&mut arch, &self.arch.theta);
+        put_f32_nested(&mut arch, &self.arch.phi);
+        arch.put_f32_slice(&self.arch.pf);
+
+        let mut sgd = ByteWriter::new();
+        put_opt_arrays(&mut sgd, &self.sgd_velocity);
+
+        let mut adam = ByteWriter::new();
+        adam.put_u64(self.adam.t);
+        put_opt_arrays(&mut adam, &self.adam.m);
+        put_opt_arrays(&mut adam, &self.adam.v);
+
+        let mut history = ByteWriter::new();
+        history.put_u64(self.history.len() as u64);
+        for h in &self.history {
+            history.put_u64(h.epoch as u64);
+            history.put_f32(h.train_loss);
+            history.put_f32(h.train_acc);
+            history.put_f32(h.val_acc);
+            history.put_f32(h.expected_perf);
+            history.put_f32(h.expected_res);
+            history.put_f32(h.tau);
+        }
+
+        let mut best = ByteWriter::new();
+        match &self.best {
+            Some((epoch, acc, json)) => {
+                best.put_u8(1);
+                best.put_u64(*epoch as u64);
+                best.put_f32(*acc);
+                best.put_str(json);
+            }
+            None => best.put_u8(0),
+        }
+
+        let mut sections = SectionWriter::new();
+        sections.add("meta", &meta.into_bytes());
+        sections.add("weights", &weights.into_bytes());
+        sections.add("bn", &bn.into_bytes());
+        sections.add("arch", &arch.into_bytes());
+        sections.add("sgd", &sgd.into_bytes());
+        sections.add("adam", &adam.into_bytes());
+        sections.add("history", &history.into_bytes());
+        sections.add("best", &best.into_bytes());
+        sections.into_payload()
+    }
+
+    /// Parses a payload produced by [`SearchSnapshot::to_payload`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on any structural mismatch; never panics on
+    /// corrupt input.
+    pub fn from_payload(payload: &[u8]) -> Result<Self> {
+        let sections = Sections::parse(payload).map_err(snap_err)?;
+
+        let mut meta = ByteReader::new(sections.require("meta").map_err(snap_err)?);
+        let schema = meta.get_u32().map_err(snap_err)?;
+        if schema != SEARCH_SNAPSHOT_SCHEMA {
+            return Err(TensorError::InvalidArgument(format!(
+                "search snapshot: unsupported schema version {schema}"
+            )));
+        }
+        let fingerprint = meta.get_str().map_err(snap_err)?;
+        let epoch = meta.get_u64().map_err(snap_err)? as usize;
+        let mut rng = [0u64; 4];
+        for w in &mut rng {
+            *w = meta.get_u64().map_err(snap_err)?;
+        }
+
+        let mut wr = ByteReader::new(sections.require("weights").map_err(snap_err)?);
+        let n = wr.get_count(8).map_err(snap_err)?;
+        let mut weights = Vec::with_capacity(n);
+        for _ in 0..n {
+            weights.push(get_array(&mut wr)?);
+        }
+
+        let mut br = ByteReader::new(sections.require("bn").map_err(snap_err)?);
+        let n = br.get_count(8).map_err(snap_err)?;
+        let mut bn_stats = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mean = get_array(&mut br)?;
+            let var = get_array(&mut br)?;
+            bn_stats.push((mean, var));
+        }
+
+        let mut ar = ByteReader::new(sections.require("arch").map_err(snap_err)?);
+        let arch = ArchCheckpoint {
+            theta: get_f32_nested(&mut ar)?,
+            phi: get_f32_nested(&mut ar)?,
+            pf: ar.get_f32_vec().map_err(snap_err)?,
+        };
+
+        let mut sr = ByteReader::new(sections.require("sgd").map_err(snap_err)?);
+        let sgd_velocity = get_opt_arrays(&mut sr)?;
+
+        let mut adr = ByteReader::new(sections.require("adam").map_err(snap_err)?);
+        let adam = AdamState {
+            t: adr.get_u64().map_err(snap_err)?,
+            m: get_opt_arrays(&mut adr)?,
+            v: get_opt_arrays(&mut adr)?,
+        };
+
+        let mut hr = ByteReader::new(sections.require("history").map_err(snap_err)?);
+        let n = hr.get_count(8).map_err(snap_err)?;
+        let mut history = Vec::with_capacity(n);
+        for _ in 0..n {
+            history.push(EpochRecord {
+                epoch: hr.get_u64().map_err(snap_err)? as usize,
+                train_loss: hr.get_f32().map_err(snap_err)?,
+                train_acc: hr.get_f32().map_err(snap_err)?,
+                val_acc: hr.get_f32().map_err(snap_err)?,
+                expected_perf: hr.get_f32().map_err(snap_err)?,
+                expected_res: hr.get_f32().map_err(snap_err)?,
+                tau: hr.get_f32().map_err(snap_err)?,
+            });
+        }
+
+        let mut ber = ByteReader::new(sections.require("best").map_err(snap_err)?);
+        let best = match ber.get_u8().map_err(snap_err)? {
+            0 => None,
+            1 => {
+                let epoch = ber.get_u64().map_err(snap_err)? as usize;
+                let acc = ber.get_f32().map_err(snap_err)?;
+                let json = ber.get_str().map_err(snap_err)?;
+                Some((epoch, acc, json))
+            }
+            other => {
+                return Err(TensorError::InvalidArgument(format!(
+                    "search snapshot: invalid best-presence byte {other}"
+                )))
+            }
+        };
+
+        Ok(SearchSnapshot {
+            fingerprint,
+            epoch,
+            rng,
+            weights,
+            bn_stats,
+            arch,
+            sgd_velocity,
+            adam,
+            history,
+            best,
+        })
+    }
+
+    /// Writes this snapshot atomically to `path` (container format with
+    /// CRC; temp file + fsync + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        snapshot::write_atomic(path, &self.to_payload()).map_err(snap_err)
+    }
+
+    /// Loads and verifies a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, corruption (bad magic / truncation
+    /// / CRC mismatch), or schema mismatch.
+    pub fn load(path: &Path) -> Result<Self> {
+        let payload = snapshot::read(path).map_err(snap_err)?;
+        Self::from_payload(&payload)
+    }
+
+    /// The canonical file name for the snapshot of `epoch`
+    /// (zero-padded so lexicographic order is epoch order).
+    #[must_use]
+    pub fn file_name(epoch: usize) -> String {
+        format!("{SNAPSHOT_PREFIX}{epoch:08}.{}", snapshot::SNAPSHOT_EXT)
+    }
+}
+
+/// Resolves a `--resume` argument: a snapshot file is used as-is, a
+/// directory resolves to its newest `search-*.edds`.
+///
+/// # Errors
+///
+/// Returns an error when the path does not exist or the directory holds no
+/// snapshots.
+pub fn resolve_resume_path(path: &Path) -> Result<std::path::PathBuf> {
+    if path.is_dir() {
+        snapshot::latest_snapshot(path, SNAPSHOT_PREFIX)
+            .map_err(|e| io_err("dir scan", &e))?
+            .ok_or_else(|| {
+                TensorError::InvalidArgument(format!(
+                    "no {SNAPSHOT_PREFIX}*.{} snapshots in {}",
+                    snapshot::SNAPSHOT_EXT,
+                    path.display()
+                ))
+            })
+    } else if path.exists() {
+        Ok(path.to_path_buf())
+    } else {
+        Err(TensorError::InvalidArgument(format!(
+            "resume path {} does not exist",
+            path.display()
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_snapshot() -> SearchSnapshot {
+        SearchSnapshot {
+            fingerprint: "space=tiny;N=3".into(),
+            epoch: 7,
+            rng: [1, u64::MAX, 3, 0x0123_4567_89AB_CDEF],
+            weights: vec![
+                Array::from_vec(vec![0.1, -0.2, f32::MIN_POSITIVE], &[3]).unwrap(),
+                Array::from_vec(vec![1.0; 12], &[2, 2, 3]).unwrap(),
+            ],
+            bn_stats: vec![(
+                Array::from_vec(vec![0.5, 0.25], &[2]).unwrap(),
+                Array::from_vec(vec![1.5, 2.25], &[2]).unwrap(),
+            )],
+            arch: ArchCheckpoint {
+                theta: vec![vec![0.1, 0.2], vec![-0.3, 0.4]],
+                phi: vec![vec![1.0, 2.0, 3.0]],
+                pf: vec![6.5],
+            },
+            sgd_velocity: vec![
+                None,
+                Some(Array::from_vec(vec![0.0; 12], &[2, 2, 3]).unwrap()),
+            ],
+            adam: AdamState {
+                t: 42,
+                m: vec![Some(Array::from_vec(vec![0.125], &[1]).unwrap())],
+                v: vec![None],
+            },
+            history: vec![EpochRecord {
+                epoch: 0,
+                train_loss: 1.5,
+                train_acc: 0.25,
+                val_acc: 0.5,
+                expected_perf: 3.25,
+                expected_res: 100.0,
+                tau: 5.0,
+            }],
+            best: Some((0, 0.5, "{\"blocks\":[]}".into())),
+        }
+    }
+
+    fn assert_snapshots_equal(a: &SearchSnapshot, b: &SearchSnapshot) {
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.rng, b.rng);
+        assert_eq!(a.weights.len(), b.weights.len());
+        for (x, y) in a.weights.iter().zip(&b.weights) {
+            assert_eq!(x.shape(), y.shape());
+            assert_eq!(x.data(), y.data());
+        }
+        assert_eq!(a.bn_stats.len(), b.bn_stats.len());
+        for ((m1, v1), (m2, v2)) in a.bn_stats.iter().zip(&b.bn_stats) {
+            assert_eq!(m1.data(), m2.data());
+            assert_eq!(v1.data(), v2.data());
+        }
+        assert_eq!(a.arch, b.arch);
+        assert_eq!(a.sgd_velocity.len(), b.sgd_velocity.len());
+        assert_eq!(a.adam.t, b.adam.t);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let snap = sample_snapshot();
+        let back = SearchSnapshot::from_payload(&snap.to_payload()).unwrap();
+        assert_snapshots_equal(&snap, &back);
+    }
+
+    #[test]
+    fn file_roundtrip_and_corruption() {
+        let dir = std::env::temp_dir().join(format!("edd-core-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SearchSnapshot::file_name(7));
+        let snap = sample_snapshot();
+        snap.save(&path).unwrap();
+        let back = SearchSnapshot::load(&path).unwrap();
+        assert_snapshots_equal(&snap, &back);
+
+        // Flip one byte in the middle of the file: load must error (CRC),
+        // not panic or return garbage.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(SearchSnapshot::load(&path).is_err());
+
+        // Truncation must error too.
+        bytes[mid] ^= 0x10; // restore
+        bytes.truncate(bytes.len() - 7);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(SearchSnapshot::load(&path).is_err());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resolve_resume_path_semantics() {
+        let dir = std::env::temp_dir().join(format!("edd-core-resolve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Empty dir: error.
+        assert!(resolve_resume_path(&dir).is_err());
+        // Missing path: error.
+        assert!(resolve_resume_path(&dir.join("nope.edds")).is_err());
+        // Two snapshots: dir resolves to the newest.
+        let s = sample_snapshot();
+        s.save(&dir.join(SearchSnapshot::file_name(3))).unwrap();
+        s.save(&dir.join(SearchSnapshot::file_name(11))).unwrap();
+        let resolved = resolve_resume_path(&dir).unwrap();
+        assert_eq!(resolved, dir.join(SearchSnapshot::file_name(11)));
+        // A file resolves to itself.
+        let file = dir.join(SearchSnapshot::file_name(3));
+        assert_eq!(resolve_resume_path(&file).unwrap(), file);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn search_rng_roundtrip() {
+        use rand::SeedableRng;
+        let mut a = StdRng::seed_from_u64(9);
+        a.gen::<u64>();
+        let words = a.state_words();
+        let expect: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let mut b = StdRng::seed_from_u64(0);
+        b.restore_state_words(words);
+        let got: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(expect, got);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn payload_roundtrip_arbitrary_fields(
+            epoch in 0usize..1_000_000,
+            rng_bits in (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+            weight_bits in prop::collection::vec(0u32..=u32::MAX, 1..32),
+            t in 0u64..=u64::MAX,
+            acc_bits in 0u32..=u32::MAX,
+        ) {
+            // Arbitrary f32 bit patterns (NaNs included) must round-trip
+            // bit-exactly through the snapshot payload.
+            let weights: Vec<f32> = weight_bits.iter().map(|&b| f32::from_bits(b)).collect();
+            let snap = SearchSnapshot {
+                fingerprint: format!("fp-{epoch}"),
+                epoch,
+                rng: [rng_bits.0, rng_bits.1, rng_bits.2, rng_bits.3],
+                weights: vec![Array::from_vec(weights.clone(), &[weights.len()]).unwrap()],
+                bn_stats: vec![],
+                arch: ArchCheckpoint { theta: vec![], phi: vec![], pf: vec![] },
+                sgd_velocity: vec![None],
+                adam: AdamState { t, m: vec![], v: vec![] },
+                history: vec![],
+                best: Some((epoch, f32::from_bits(acc_bits), "{}".into())),
+            };
+            let back = SearchSnapshot::from_payload(&snap.to_payload()).unwrap();
+            prop_assert_eq!(back.epoch, epoch);
+            prop_assert_eq!(back.rng, snap.rng);
+            prop_assert_eq!(back.adam.t, t);
+            let w = &back.weights[0];
+            for (g, &bits) in w.data().iter().zip(&weight_bits) {
+                prop_assert_eq!(g.to_bits(), bits);
+            }
+            let (be, ba, bj) = back.best.unwrap();
+            prop_assert_eq!(be, epoch);
+            prop_assert_eq!(ba.to_bits(), acc_bits);
+            prop_assert_eq!(bj, "{}");
+        }
+
+        #[test]
+        fn from_payload_never_panics_on_garbage(
+            bytes in prop::collection::vec(0u8..=255, 0..256),
+        ) {
+            let _ = SearchSnapshot::from_payload(&bytes);
+            prop_assert!(true);
+        }
+    }
+}

@@ -14,7 +14,10 @@
 //!   formulation (Eq. 2–10), including the Log-Sum-Exp smooth max (Eq. 7)
 //!   and the `tanh` resource-sharing suppression (Eq. 9);
 //! * [`loss`] — the fused objective of Eq. 1;
-//! * [`search`] — the bilevel co-search loop (paper §5);
+//! * [`search`] — the bilevel co-search loop (paper §5), with optional
+//!   crash-safe checkpointing and structured telemetry;
+//! * [`checkpoint`] — full-state search snapshots (weights, `Θ`/`Φ`/`pf`,
+//!   optimizer moments, RNG, history) for bit-identical resume;
 //! * `derive` — argmax architecture extraction, trainable-model
 //!   construction, hardware-shape export and JSON serialization.
 //!
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod arch_params;
+pub mod checkpoint;
 pub mod derive;
 pub mod loss;
 pub mod perf_model;
@@ -52,6 +56,7 @@ pub mod supernet;
 pub mod target;
 
 pub use arch_params::{ArchCheckpoint, ArchParams, PfParams, PhiParams};
+pub use checkpoint::{resolve_resume_path, SearchRng, SearchSnapshot, SNAPSHOT_PREFIX};
 pub use derive::{BlockChoice, DerivedArch};
 pub use loss::{edd_loss, LossConfig};
 pub use perf_model::{estimate, PerfEstimate, PerfTables};

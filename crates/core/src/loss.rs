@@ -70,9 +70,51 @@ pub fn edd_loss(
     product.add(&penalty)
 }
 
+/// Scalar replica of the resource-penalty term of [`edd_loss`]
+/// (`β · penalty(RES)`), for telemetry: the search loop reports the penalty
+/// component per epoch without building a tensor graph.
+#[must_use]
+pub fn res_penalty_scalar(res: f32, res_ub: f64, cfg: &LossConfig) -> f32 {
+    if !res_ub.is_finite() {
+        return 0.0;
+    }
+    const KNEE: f32 = 20.0;
+    let overshoot = (res / res_ub as f32 - 1.0) * cfg.penalty_sharpness;
+    let capped = overshoot.clamp(-KNEE, KNEE).exp();
+    let tail = (overshoot - KNEE).max(0.0) * KNEE.exp();
+    cfg.beta * (capped + tail)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scalar_penalty_matches_tensor_form() {
+        let cfg = LossConfig {
+            alpha: 1.0,
+            beta: 2.5,
+            penalty_sharpness: 8.0,
+        };
+        for res in [0.0f32, 50.0, 100.0, 200.0, 1e12] {
+            // acc = 1, perf = 0 isolates the penalty term in edd_loss.
+            let tensor = edd_loss(
+                &Tensor::scalar(1.0),
+                &Tensor::scalar(0.0),
+                &Tensor::scalar(res),
+                100.0,
+                &cfg,
+            )
+            .unwrap()
+            .item();
+            let scalar = res_penalty_scalar(res, 100.0, &cfg);
+            assert!(
+                (tensor - scalar).abs() <= 1e-6 * scalar.abs().max(1.0),
+                "res={res}: tensor {tensor} vs scalar {scalar}"
+            );
+        }
+        assert_eq!(res_penalty_scalar(1e9, f64::INFINITY, &cfg), 0.0);
+    }
 
     #[test]
     fn multiplicative_form() {

@@ -12,18 +12,35 @@
 //! The Gumbel-Softmax temperature anneals geometrically from `tau_start` to
 //! `tau_end`. After the final epoch the argmax architecture is derived
 //! (paper: the searched DNN is then trained from scratch).
+//!
+//! # Checkpointing and telemetry
+//!
+//! A search configured with [`CoSearch::checkpoint_into`] writes a full
+//! [`SearchSnapshot`](crate::checkpoint::SearchSnapshot) after each epoch
+//! (cadence via [`CoSearch::checkpoint_every`], retention via
+//! [`CoSearch::checkpoint_keep`]); [`CoSearch::resume_from`] restores one
+//! and continues **bit-identically** — the restored RNG stream, optimizer
+//! moments and temperature position reproduce the uninterrupted run exactly,
+//! at any `EDD_NUM_THREADS` setting (the kernel layer is thread-count
+//! invariant). When a global telemetry sink is installed
+//! (`edd_runtime::telemetry::set_global`), the loop emits one
+//! `search.epoch` event per epoch plus phase spans and kernel-runtime
+//! gauges; with the default no-op sink the instrumentation is free.
 
 use crate::arch_params::ArchParams;
+use crate::checkpoint::{fingerprint, SearchRng, SearchSnapshot, SNAPSHOT_PREFIX};
 use crate::derive::DerivedArch;
-use crate::loss::{edd_loss, LossConfig};
+use crate::loss::{edd_loss, res_penalty_scalar, LossConfig};
 use crate::perf_model::{estimate, PerfTables};
 use crate::space::SearchSpace;
 use crate::supernet::SuperNet;
 use crate::target::DeviceTarget;
 use edd_nn::Batch;
+use edd_runtime::telemetry::{self, CsvSink, Event, EventKind, Sink, Value};
 use edd_tensor::optim::{Adam, Optimizer, Sgd};
-use edd_tensor::{accuracy, Result, Tensor};
+use edd_tensor::{accuracy, Result, Tensor, TensorError};
 use rand::Rng;
+use std::path::{Path, PathBuf};
 
 /// Hyperparameters of a co-search run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,26 +142,68 @@ pub struct SearchOutcome {
     pub best_epoch: usize,
 }
 
+/// Name of the per-epoch telemetry event emitted by the search loop.
+pub const EPOCH_EVENT: &str = "search.epoch";
+
+/// Column order of [`SearchOutcome::history_csv`]; also the leading fields
+/// of every [`EPOCH_EVENT`] telemetry record.
+pub const EPOCH_CSV_COLUMNS: [&str; 7] = [
+    "epoch",
+    "train_loss",
+    "train_acc",
+    "val_acc",
+    "expected_perf",
+    "expected_res",
+    "tau",
+];
+
+/// The CSV-visible fields of one epoch record, in [`EPOCH_CSV_COLUMNS`]
+/// order. `f32` metrics stay `Value::F32` so their `Display` output is
+/// byte-identical to formatting the raw `f32`.
+fn epoch_fields(h: &EpochRecord) -> [(&'static str, Value); 7] {
+    [
+        ("epoch", Value::U64(h.epoch as u64)),
+        ("train_loss", Value::F32(h.train_loss)),
+        ("train_acc", Value::F32(h.train_acc)),
+        ("val_acc", Value::F32(h.val_acc)),
+        ("expected_perf", Value::F32(h.expected_perf)),
+        ("expected_res", Value::F32(h.expected_res)),
+        ("tau", Value::F32(h.tau)),
+    ]
+}
+
+/// FNV-1a (64-bit) of `bytes` as 16 hex digits — a cheap stable digest for
+/// spotting when the argmax architecture changes between epochs.
+fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
 impl SearchOutcome {
     /// Serializes the epoch history as CSV (header + one row per epoch),
     /// for plotting search curves.
+    ///
+    /// The history is replayed through a telemetry
+    /// [`CsvSink`](edd_runtime::telemetry::CsvSink) so the CSV is, by
+    /// construction, the same projection of `search.epoch` events a live
+    /// sink observes during the run.
     #[must_use]
     pub fn history_csv(&self) -> String {
-        let mut out =
-            String::from("epoch,train_loss,train_acc,val_acc,expected_perf,expected_res,tau\n");
+        let sink = CsvSink::new(EPOCH_EVENT, &EPOCH_CSV_COLUMNS);
         for h in &self.history {
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{}\n",
-                h.epoch,
-                h.train_loss,
-                h.train_acc,
-                h.val_acc,
-                h.expected_perf,
-                h.expected_res,
-                h.tau
-            ));
+            let fields = epoch_fields(h);
+            sink.emit(&Event {
+                kind: EventKind::Event,
+                name: EPOCH_EVENT,
+                value: None,
+                fields: &fields,
+            });
         }
-        out
+        sink.to_csv()
     }
 }
 
@@ -157,6 +216,10 @@ pub struct CoSearch {
     supernet: SuperNet,
     arch: ArchParams,
     tables: PerfTables,
+    ckpt_dir: Option<PathBuf>,
+    ckpt_every: usize,
+    ckpt_keep: usize,
+    pending_resume: Option<SearchSnapshot>,
 }
 
 impl std::fmt::Debug for CoSearch {
@@ -165,6 +228,7 @@ impl std::fmt::Debug for CoSearch {
             .field("space", &self.space.name)
             .field("target", &self.target.label())
             .field("epochs", &self.config.epochs)
+            .field("checkpoint_dir", &self.ckpt_dir)
             .finish()
     }
 }
@@ -192,7 +256,59 @@ impl CoSearch {
             supernet,
             arch,
             tables,
+            ckpt_dir: None,
+            ckpt_every: 1,
+            ckpt_keep: 3,
+            pending_resume: None,
         })
+    }
+
+    /// Enables crash-safe checkpointing: after qualifying epochs a full
+    /// [`SearchSnapshot`] is written atomically into `dir` as
+    /// `search-<epoch>.edds`. The directory is created on first write.
+    pub fn checkpoint_into(&mut self, dir: impl Into<PathBuf>) -> &mut Self {
+        self.ckpt_dir = Some(dir.into());
+        self
+    }
+
+    /// Checkpoint cadence: write every `n` epochs (default 1). `0` disables
+    /// periodic writes; the final epoch of a run is always snapshotted when
+    /// a checkpoint directory is set.
+    pub fn checkpoint_every(&mut self, n: usize) -> &mut Self {
+        self.ckpt_every = n;
+        self
+    }
+
+    /// Retention: keep only the newest `k` snapshots (default 3, floor 1).
+    pub fn checkpoint_keep(&mut self, k: usize) -> &mut Self {
+        self.ckpt_keep = k.max(1);
+        self
+    }
+
+    /// Schedules a resume from `path` — a snapshot file, or a checkpoint
+    /// directory (resolved to its newest snapshot). The snapshot is loaded
+    /// and fingerprint-checked eagerly; the state is applied when the next
+    /// `run*` call starts, which then continues from the epoch after the
+    /// snapshotted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot is missing, corrupt, or was taken
+    /// by a differently-configured search.
+    pub fn resume_from(&mut self, path: &Path) -> Result<&mut Self> {
+        let file = crate::checkpoint::resolve_resume_path(path)?;
+        let snap = SearchSnapshot::load(&file)?;
+        let want = fingerprint(&self.space, &self.target, &self.config);
+        if snap.fingerprint != want {
+            return Err(TensorError::InvalidArgument(format!(
+                "snapshot {} was taken by a different search configuration\n  \
+                 snapshot: {}\n  current:  {want}",
+                file.display(),
+                snap.fingerprint
+            )));
+        }
+        self.pending_resume = Some(snap);
+        Ok(self)
     }
 
     /// The supernet under search.
@@ -221,17 +337,193 @@ impl CoSearch {
         self.config.tau_start * (self.config.tau_end / self.config.tau_start).powf(t)
     }
 
+    /// Captures the complete search state after `epoch` completed.
+    fn capture_snapshot(
+        &self,
+        epoch: usize,
+        w_opt: &Sgd,
+        a_opt: &Adam,
+        rng_state: [u64; 4],
+        history: &[EpochRecord],
+        best: &Option<(usize, f32, DerivedArch)>,
+    ) -> Result<SearchSnapshot> {
+        let best = match best {
+            Some((e, acc, d)) => {
+                let json = d.to_json().map_err(|err| {
+                    TensorError::InvalidArgument(format!("serialize best architecture: {err}"))
+                })?;
+                Some((*e, *acc, json))
+            }
+            None => None,
+        };
+        Ok(SearchSnapshot {
+            fingerprint: fingerprint(&self.space, &self.target, &self.config),
+            epoch,
+            rng: rng_state,
+            weights: self
+                .supernet
+                .weight_params()
+                .iter()
+                .map(Tensor::value_clone)
+                .collect(),
+            bn_stats: self
+                .supernet
+                .batch_norms()
+                .iter()
+                .map(|bn| (bn.running_mean(), bn.running_var()))
+                .collect(),
+            arch: self.arch.checkpoint(),
+            sgd_velocity: w_opt.export_state(),
+            adam: a_opt.export_state(),
+            history: history.to_vec(),
+            best,
+        })
+    }
+
+    /// Applies a loaded snapshot: supernet weights and batch-norm running
+    /// statistics, architecture variables, optimizer moments, RNG stream,
+    /// and the accumulated history / best-so-far bookkeeping.
+    fn apply_snapshot<R: SearchRng + ?Sized>(
+        &mut self,
+        snap: &SearchSnapshot,
+        w_opt: &mut Sgd,
+        a_opt: &mut Adam,
+        rng: &mut R,
+        history: &mut Vec<EpochRecord>,
+        best: &mut Option<(usize, f32, DerivedArch)>,
+    ) -> Result<()> {
+        let params = self.supernet.weight_params();
+        if params.len() != snap.weights.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "snapshot has {} weight tensors, supernet has {}",
+                snap.weights.len(),
+                params.len()
+            )));
+        }
+        for (i, (p, w)) in params.iter().zip(&snap.weights).enumerate() {
+            if p.shape() != w.shape() {
+                return Err(TensorError::InvalidArgument(format!(
+                    "snapshot weight {i} has shape {:?}, supernet expects {:?}",
+                    w.shape(),
+                    p.shape()
+                )));
+            }
+            p.set_value(w.clone());
+        }
+        let bns = self.supernet.batch_norms();
+        if bns.len() != snap.bn_stats.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "snapshot has {} batch-norm layers, supernet has {}",
+                snap.bn_stats.len(),
+                bns.len()
+            )));
+        }
+        for (bn, (mean, var)) in bns.iter().zip(&snap.bn_stats) {
+            bn.set_running_stats(mean.clone(), var.clone())?;
+        }
+        self.arch.restore(&snap.arch)?;
+        w_opt.import_state(snap.sgd_velocity.clone())?;
+        a_opt.import_state(snap.adam.clone())?;
+        rng.restore_state_words(snap.rng);
+        *history = snap.history.clone();
+        *best = match &snap.best {
+            Some((e, acc, json)) => {
+                let derived = DerivedArch::from_json(json).map_err(|err| {
+                    TensorError::InvalidArgument(format!(
+                        "snapshot best architecture is unparseable: {err}"
+                    ))
+                })?;
+                Some((*e, *acc, derived))
+            }
+            None => None,
+        };
+        Ok(())
+    }
+
+    /// Writes the epoch snapshot into the checkpoint directory and prunes
+    /// old ones down to the retention limit.
+    fn write_checkpoint(&self, dir: &Path, snap: &SearchSnapshot) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            TensorError::InvalidArgument(format!("create checkpoint dir {}: {e}", dir.display()))
+        })?;
+        snap.save(&dir.join(SearchSnapshot::file_name(snap.epoch)))?;
+        edd_runtime::snapshot::prune_snapshots(dir, SNAPSHOT_PREFIX, self.ckpt_keep)
+            .map_err(|e| TensorError::InvalidArgument(format!("prune checkpoints: {e}")))?;
+        Ok(())
+    }
+
+    /// Emits the per-epoch telemetry record plus kernel-runtime gauges.
+    fn emit_epoch_telemetry(&self, record: &EpochRecord) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let mut fields: Vec<(&str, Value)> = epoch_fields(record).to_vec();
+        fields.push((
+            "res_penalty",
+            Value::F32(res_penalty_scalar(
+                record.expected_res,
+                self.target.resource_bound(),
+                &self.config.loss,
+            )),
+        ));
+        let derived = DerivedArch::from_params(&self.space, &self.target, &self.arch);
+        if let Ok(json) = derived.to_json() {
+            fields.push(("arch_digest", Value::Str(fnv1a_hex(json.as_bytes()))));
+        }
+        telemetry::event(EPOCH_EVENT, &fields);
+        let stats = edd_tensor::stats::snapshot();
+        if let Some(util) = stats.pool_utilization() {
+            telemetry::gauge("kernel.pool_utilization", util);
+        }
+        telemetry::gauge("kernel.pool_tasks", stats.pool_tasks);
+        telemetry::gauge("kernel.pool_parallel_jobs", stats.pool_parallel_jobs);
+        telemetry::gauge("kernel.pool_inline_jobs", stats.pool_inline_jobs);
+        telemetry::gauge(
+            "kernel.scratch_high_water_bytes",
+            stats.scratch_high_water_bytes,
+        );
+    }
+
     /// Runs the full co-search over the given train/validation splits and
     /// derives the final architecture.
     ///
     /// # Errors
     ///
-    /// Propagates shape errors from the supernet or the performance model.
-    pub fn run<R: Rng + ?Sized>(
+    /// Propagates shape errors from the supernet or the performance model,
+    /// and checkpoint I/O errors when checkpointing is enabled.
+    pub fn run<R: SearchRng + ?Sized>(
         &mut self,
         train: &[Batch],
         val: &[Batch],
         rng: &mut R,
+    ) -> Result<SearchOutcome> {
+        self.run_range(train, val, rng, self.config.epochs)
+    }
+
+    /// Runs the search but stops after `stop_after` epochs (clamped to the
+    /// configured total), deriving from the state at that point. With
+    /// checkpointing enabled the last executed epoch is always snapshotted,
+    /// so a partial run models a crash-and-resume boundary exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CoSearch::run`].
+    pub fn run_until<R: SearchRng + ?Sized>(
+        &mut self,
+        train: &[Batch],
+        val: &[Batch],
+        rng: &mut R,
+        stop_after: usize,
+    ) -> Result<SearchOutcome> {
+        self.run_range(train, val, rng, stop_after.min(self.config.epochs))
+    }
+
+    fn run_range<R: SearchRng + ?Sized>(
+        &mut self,
+        train: &[Batch],
+        val: &[Batch],
+        rng: &mut R,
+        end: usize,
     ) -> Result<SearchOutcome> {
         let mut w_opt = Sgd::new(
             self.supernet.weight_params(),
@@ -242,12 +534,18 @@ impl CoSearch {
         let mut a_opt = Adam::new(self.arch.all_params(), self.config.arch_lr);
         let mut history = Vec::with_capacity(self.config.epochs);
         let mut best: Option<(usize, f32, DerivedArch)> = None;
-        for epoch in 0..self.config.epochs {
+        let mut start = 0usize;
+        if let Some(snap) = self.pending_resume.take() {
+            self.apply_snapshot(&snap, &mut w_opt, &mut a_opt, rng, &mut history, &mut best)?;
+            start = snap.epoch + 1;
+        }
+        for epoch in start..end {
             let tau = self.tau_at(epoch);
             self.supernet.set_training(true);
             let mut train_loss = 0.0;
             let mut train_acc = 0.0;
             let mut seen = 0usize;
+            let weight_span = telemetry::span("search.weight_phase");
             for batch in train {
                 w_opt.zero_grad();
                 a_opt.zero_grad();
@@ -266,10 +564,12 @@ impl CoSearch {
                 train_acc += accuracy(&logits.value_clone(), &batch.labels) * b as f32;
                 seen += b;
             }
+            drop(weight_span);
             // Architecture step on the validation split (bilevel) or the
             // training split (single-level ablation).
             let mut expected_perf = 0.0;
             let mut expected_res = 0.0;
+            let arch_span = telemetry::span("search.arch_phase");
             if epoch >= self.config.warmup_epochs {
                 let arch_batches = if self.config.bilevel { val } else { train };
                 let mut arch_steps = 0usize;
@@ -306,8 +606,10 @@ impl CoSearch {
                     expected_res /= arch_steps as f32;
                 }
             }
+            drop(arch_span);
             // Validation accuracy of the current argmax architecture.
             self.supernet.set_training(false);
+            let val_span = telemetry::span("search.val_phase");
             let mut val_acc = 0.0;
             let mut val_seen = 0usize;
             for batch in val {
@@ -317,6 +619,7 @@ impl CoSearch {
                     accuracy(&logits.value_clone(), &batch.labels) * batch.labels.len() as f32;
                 val_seen += batch.labels.len();
             }
+            drop(val_span);
             let epoch_val_acc = val_acc / val_seen.max(1) as f32;
             if best.as_ref().is_none_or(|(_, acc, _)| epoch_val_acc > *acc) {
                 best = Some((
@@ -325,7 +628,7 @@ impl CoSearch {
                     DerivedArch::from_params(&self.space, &self.target, &self.arch),
                 ));
             }
-            history.push(EpochRecord {
+            let record = EpochRecord {
                 epoch,
                 train_loss: train_loss / seen.max(1) as f32,
                 train_acc: train_acc / seen.max(1) as f32,
@@ -333,11 +636,27 @@ impl CoSearch {
                 expected_perf,
                 expected_res,
                 tau,
-            });
+            };
+            history.push(record);
+            self.emit_epoch_telemetry(&record);
+            if let Some(dir) = &self.ckpt_dir {
+                let periodic = self.ckpt_every > 0 && (epoch + 1).is_multiple_of(self.ckpt_every);
+                if periodic || epoch + 1 == end {
+                    let snap = self.capture_snapshot(
+                        epoch,
+                        &w_opt,
+                        &a_opt,
+                        rng.state_words(),
+                        &history,
+                        &best,
+                    )?;
+                    self.write_checkpoint(dir, &snap)?;
+                }
+            }
         }
         let derived = DerivedArch::from_params(&self.space, &self.target, &self.arch);
         let (best_epoch, _, best_derived) =
-            best.unwrap_or((self.config.epochs.saturating_sub(1), 0.0, derived.clone()));
+            best.unwrap_or((end.saturating_sub(1), 0.0, derived.clone()));
         Ok(SearchOutcome {
             derived,
             history,
@@ -448,5 +767,126 @@ mod tests {
         assert_eq!(lines.len(), 1 + outcome.history.len());
         assert!(lines[0].starts_with("epoch,train_loss"));
         assert_eq!(lines[1].split(',').count(), 7);
+    }
+
+    #[test]
+    fn history_csv_matches_legacy_format() {
+        // The CSV is now produced by replaying history through a telemetry
+        // CsvSink; the bytes must match the original hand-formatted export.
+        let (mut search, train, val, mut rng) = tiny_search(true);
+        let outcome = search.run(&train, &val, &mut rng).unwrap();
+        let mut expect =
+            String::from("epoch,train_loss,train_acc,val_acc,expected_perf,expected_res,tau\n");
+        for h in &outcome.history {
+            expect.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                h.epoch,
+                h.train_loss,
+                h.train_acc,
+                h.val_acc,
+                h.expected_perf,
+                h.expected_res,
+                h.tau
+            ));
+        }
+        assert_eq!(outcome.history_csv(), expect);
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_run() {
+        let dir = std::env::temp_dir().join(format!("edd-search-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Reference: uninterrupted 3-epoch run.
+        let (mut full, train, val, mut rng) = tiny_search(true);
+        let full_out = full.run(&train, &val, &mut rng).unwrap();
+
+        // Interrupted run: checkpoint each epoch, keep only the newest, and
+        // stop after 2 of 3 epochs ("crash" boundary).
+        let (mut part, train2, val2, mut rng2) = tiny_search(true);
+        part.checkpoint_into(&dir).checkpoint_keep(1);
+        part.run_until(&train2, &val2, &mut rng2, 2).unwrap();
+        let files = edd_runtime::snapshot::list_snapshots(&dir, SNAPSHOT_PREFIX).unwrap();
+        assert_eq!(files.len(), 1, "retention should prune to 1: {files:?}");
+        assert!(files[0].ends_with(SearchSnapshot::file_name(1)));
+
+        // A fresh search resumes from the directory and must finish with a
+        // byte-identical derived architecture and history.
+        let (mut resumed, train3, val3, _) = tiny_search(true);
+        let mut other_rng = StdRng::seed_from_u64(999); // replaced by the snapshot
+        resumed.resume_from(&dir).unwrap();
+        let res_out = resumed.run(&train3, &val3, &mut other_rng).unwrap();
+        assert_eq!(full_out.history, res_out.history);
+        assert_eq!(
+            full_out.derived.to_json().unwrap(),
+            res_out.derived.to_json().unwrap()
+        );
+        assert_eq!(
+            full_out.best_derived.to_json().unwrap(),
+            res_out.best_derived.to_json().unwrap()
+        );
+        assert_eq!(full_out.best_epoch, res_out.best_epoch);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_configuration() {
+        let dir = std::env::temp_dir().join(format!("edd-search-fp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut a, train, val, mut rng) = tiny_search(true);
+        a.checkpoint_into(&dir);
+        a.run_until(&train, &val, &mut rng, 1).unwrap();
+
+        // Same space/target but a different epoch budget: the temperature
+        // schedule would diverge, so the fingerprint must reject the resume.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let space = SearchSpace::tiny(3, 16, 4, vec![4, 8, 16]);
+        let target = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+        let config = CoSearchConfig {
+            epochs: 5,
+            warmup_epochs: 1,
+            ..CoSearchConfig::default()
+        };
+        let mut b = CoSearch::new(space, target, config, &mut rng2).unwrap();
+        let err = b.resume_from(&dir).unwrap_err();
+        assert!(
+            err.to_string().contains("different search configuration"),
+            "{err}"
+        );
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_records_epochs_and_kernel_gauges() {
+        use edd_runtime::telemetry::JsonlSink;
+        use std::sync::Arc;
+
+        let path =
+            std::env::temp_dir().join(format!("edd-search-trace-{}.jsonl", std::process::id()));
+        let sink = Arc::new(JsonlSink::create(&path).unwrap());
+        telemetry::set_global(sink);
+        let (mut search, train, val, mut rng) = tiny_search(true);
+        let outcome = search.run(&train, &val, &mut rng);
+        telemetry::global().flush();
+        telemetry::clear_global();
+        outcome.unwrap();
+
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"name\":\"search.epoch\""), "{trace}");
+        assert!(trace.contains("res_penalty"));
+        assert!(trace.contains("arch_digest"));
+        assert!(trace.contains("kernel.pool_tasks"));
+        assert!(trace.contains("search.weight_phase"));
+        assert!(trace.contains("search.val_phase"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fnv_digest_is_stable_and_distinct() {
+        assert_eq!(fnv1a_hex(b""), "cbf29ce484222325");
+        assert_ne!(fnv1a_hex(b"a"), fnv1a_hex(b"b"));
+        assert_eq!(fnv1a_hex(b"abc"), fnv1a_hex(b"abc"));
     }
 }

@@ -122,6 +122,22 @@ impl SuperNet {
         p
     }
 
+    /// Every batch-norm layer in deterministic order (stem BN, each
+    /// candidate's BNs in block/op order, head BN). Running statistics are
+    /// state outside `weight_params()`, so checkpointing serializes them
+    /// through this walk; the order is part of the snapshot contract.
+    #[must_use]
+    pub fn batch_norms(&self) -> Vec<&BatchNorm2d> {
+        let mut bns = vec![&self.stem_bn];
+        for ops in &self.blocks {
+            for op in ops {
+                bns.extend(op.batch_norms());
+            }
+        }
+        bns.push(&self.head_bn);
+        bns
+    }
+
     /// Switches batch-norm layers between training and evaluation modes.
     pub fn set_training(&self, training: bool) {
         self.stem_bn.set_training(training);

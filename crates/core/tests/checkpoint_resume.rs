@@ -1,0 +1,89 @@
+//! End-to-end crash/resume determinism: a seeded co-search killed at epoch
+//! `k` and resumed from its snapshot must finish with a byte-identical
+//! derived architecture and metric history — and the guarantee must hold at
+//! any logical thread count, because the kernel layer is bitwise
+//! thread-count invariant.
+
+use edd_core::{CoSearch, CoSearchConfig, DeviceTarget, SearchSpace};
+use edd_data::{SynthConfig, SynthDataset};
+use edd_hw::FpgaDevice;
+use edd_nn::Batch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+const EPOCHS: usize = 4;
+const KILL_AFTER: usize = 2;
+
+fn make_search() -> (CoSearch, Vec<Batch>, Vec<Batch>, StdRng) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let space = SearchSpace::tiny(3, 16, 4, vec![4, 8, 16]);
+    let target = DeviceTarget::FpgaRecursive(FpgaDevice::zcu102());
+    let config = CoSearchConfig {
+        epochs: EPOCHS,
+        warmup_epochs: 1,
+        ..CoSearchConfig::default()
+    };
+    let search = CoSearch::new(space, target, config, &mut rng).unwrap();
+    let data = SynthDataset::new(SynthConfig::tiny());
+    let train = data.split(3, 8, 1);
+    let val = data.split(2, 8, 2);
+    (search, train, val, rng)
+}
+
+fn ckpt_dir(threads: usize) -> PathBuf {
+    std::env::temp_dir().join(format!("edd-resume-e2e-{}-t{threads}", std::process::id()))
+}
+
+#[test]
+fn killed_search_resumes_bit_identically_across_thread_counts() {
+    let mut reference_json: Option<String> = None;
+    for &threads in &[1usize, 7] {
+        edd_tensor::kernel::set_num_threads(threads);
+
+        // Reference: the uninterrupted run.
+        let (mut full, train, val, mut rng) = make_search();
+        let full_out = full.run(&train, &val, &mut rng).unwrap();
+        let full_json = full_out.derived.to_json().unwrap();
+
+        // "Crash": checkpoint every epoch, stop after KILL_AFTER of EPOCHS.
+        let dir = ckpt_dir(threads);
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut part, train2, val2, mut rng2) = make_search();
+        part.checkpoint_into(&dir);
+        part.run_until(&train2, &val2, &mut rng2, KILL_AFTER)
+            .unwrap();
+
+        // Recovery: a freshly-constructed search resumes from the newest
+        // snapshot in the directory; its own RNG seed is irrelevant because
+        // the snapshot restores the interrupted stream.
+        let (mut resumed, train3, val3, _) = make_search();
+        let mut unrelated_rng = StdRng::seed_from_u64(0xDEAD);
+        resumed.resume_from(&dir).unwrap();
+        let res_out = resumed.run(&train3, &val3, &mut unrelated_rng).unwrap();
+
+        assert_eq!(
+            full_json,
+            res_out.derived.to_json().unwrap(),
+            "derived architecture diverged after resume (threads={threads})"
+        );
+        assert_eq!(
+            full_out.history, res_out.history,
+            "metric history diverged after resume (threads={threads})"
+        );
+        assert_eq!(
+            full_out.best_epoch, res_out.best_epoch,
+            "best-epoch bookkeeping diverged after resume (threads={threads})"
+        );
+
+        // And the whole experiment is thread-count invariant.
+        match &reference_json {
+            None => reference_json = Some(full_json),
+            Some(r) => assert_eq!(
+                r, &full_json,
+                "derived architecture depends on thread count"
+            ),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -64,7 +64,13 @@ fn run_steps() -> Vec<Vec<u32>> {
         .collect();
     let mut mix_grads = Vec::new();
     for t in &arch.theta {
-        mix_grads.extend(t.grad().expect("theta grad").data().iter().map(|v| v.to_bits()));
+        mix_grads.extend(
+            t.grad()
+                .expect("theta grad")
+                .data()
+                .iter()
+                .map(|v| v.to_bits()),
+        );
     }
     edd_tensor::scratch::reset();
 

@@ -57,6 +57,28 @@ impl BatchNorm2d {
     pub fn is_training(&self) -> bool {
         self.training.load(Ordering::Relaxed)
     }
+
+    /// Replaces both running statistics (checkpoint restore). The running
+    /// estimates are state, not parameters — `parameters()` does not expose
+    /// them — so resuming a search must set them through this hook.
+    ///
+    /// # Errors
+    ///
+    /// Rejects statistics whose shape is not `[channels]`.
+    pub fn set_running_stats(&self, mean: Array, var: Array) -> Result<()> {
+        let want = [self.channels];
+        for (name, a) in [("mean", &mean), ("var", &var)] {
+            if a.shape() != want {
+                return Err(edd_tensor::TensorError::InvalidArgument(format!(
+                    "BatchNorm2d::set_running_stats: {name} has shape {:?}, expected {want:?}",
+                    a.shape()
+                )));
+            }
+        }
+        *self.running_mean.lock().expect("bn stats poisoned") = mean;
+        *self.running_var.lock().expect("bn stats poisoned") = var;
+        Ok(())
+    }
 }
 
 impl Module for BatchNorm2d {

@@ -100,6 +100,20 @@ impl MbConv {
         self.residual
     }
 
+    /// The block's batch-norm layers in forward order (expand BN when
+    /// present, depthwise BN, projection BN). Running statistics are state
+    /// outside `parameters()`, so checkpointing walks them through this.
+    #[must_use]
+    pub fn batch_norms(&self) -> Vec<&BatchNorm2d> {
+        let mut bns = Vec::with_capacity(3);
+        if let Some((_, bn)) = &self.expand {
+            bns.push(bn);
+        }
+        bns.push(&self.dw_bn);
+        bns.push(&self.proj_bn);
+        bns
+    }
+
     fn forward_impl(&self, x: &Tensor, quant: Option<QuantSpec>) -> Result<Tensor> {
         let mut h = x.clone();
         if let Some((conv, bn)) = &self.expand {

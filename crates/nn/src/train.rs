@@ -3,8 +3,25 @@
 //! the benchmark harnesses.
 
 use crate::module::Module;
+use edd_runtime::telemetry::{self, Value};
 use edd_tensor::optim::Optimizer;
 use edd_tensor::{accuracy, top_k_accuracy, Array, Result, Tensor};
+
+/// Emits an `EpochStats` record through the global telemetry sink (no-op
+/// when no sink is installed).
+fn emit_stats(name: &str, stats: &EpochStats) {
+    if telemetry::enabled() {
+        telemetry::event(
+            name,
+            &[
+                ("loss", Value::F32(stats.loss)),
+                ("top1", Value::F32(stats.top1)),
+                ("top5", Value::F32(stats.top5)),
+                ("examples", Value::U64(stats.examples as u64)),
+            ],
+        );
+    }
+}
 
 /// One minibatch: NCHW images plus integer labels.
 #[derive(Debug, Clone)]
@@ -59,6 +76,7 @@ pub fn train_epoch_with(
     epsilon: f32,
 ) -> Result<EpochStats> {
     model.set_training(true);
+    let _span = telemetry::span("nn.train_epoch");
     let mut loss_sum = 0.0;
     let mut top1_sum = 0.0;
     let mut top5_sum = 0.0;
@@ -85,12 +103,14 @@ pub fn train_epoch_with(
         top5_sum += top_k_accuracy(&lv, &batch.labels, 5) * bsz as f32;
         n += bsz;
     }
-    Ok(EpochStats {
+    let stats = EpochStats {
         loss: loss_sum / n.max(1) as f32,
         top1: top1_sum / n.max(1) as f32,
         top5: top5_sum / n.max(1) as f32,
         examples: n,
-    })
+    };
+    emit_stats("nn.train_epoch", &stats);
+    Ok(stats)
 }
 
 /// Evaluates `model` over `batches` without updating parameters.
@@ -102,6 +122,7 @@ pub fn train_epoch_with(
 /// Propagates any shape error raised by the model.
 pub fn evaluate(model: &dyn Module, batches: &[Batch]) -> Result<EpochStats> {
     model.set_training(false);
+    let _span = telemetry::span("nn.evaluate");
     let mut loss_sum = 0.0;
     let mut top1_sum = 0.0;
     let mut top5_sum = 0.0;
@@ -117,12 +138,14 @@ pub fn evaluate(model: &dyn Module, batches: &[Batch]) -> Result<EpochStats> {
         top5_sum += top_k_accuracy(&lv, &batch.labels, 5) * bsz as f32;
         n += bsz;
     }
-    Ok(EpochStats {
+    let stats = EpochStats {
         loss: loss_sum / n.max(1) as f32,
         top1: top1_sum / n.max(1) as f32,
         top5: top5_sum / n.max(1) as f32,
         examples: n,
-    })
+    };
+    emit_stats("nn.evaluate", &stats);
+    Ok(stats)
 }
 
 #[cfg(test)]

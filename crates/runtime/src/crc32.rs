@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the integrity
+//! check over snapshot payloads.
+//!
+//! Table-driven, one table built at first use. The algorithm matches the
+//! ubiquitous zlib/`crc32fast` definition so snapshots can be verified by
+//! external tooling (`python -c "import zlib; zlib.crc32(...)"`).
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (initial value `0xFFFF_FFFF`, final XOR, reflected).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from the zlib implementation.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(b"checkpoint payload");
+        let b = crc32(b"checkpoint paylobd");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! `edd-runtime`: operational plumbing for long-running EDD searches.
+//!
+//! The bilevel co-search is the longest-running path in this workspace —
+//! hours of alternating weight/architecture steps — and this crate gives it
+//! the two properties a production search job needs:
+//!
+//! - **Crash-safe checkpointing** ([`snapshot`]): a versioned,
+//!   self-describing, CRC-protected container format with atomic writes
+//!   (temp + fsync + rename) and keep-last-K retention. The search loop in
+//!   `edd-core` serializes its full state (weights, Θ/Φ/pf, optimizer
+//!   moments, RNG, epoch) into this container so an interrupted search
+//!   resumes bit-identically.
+//! - **Structured telemetry** ([`telemetry`]): counters, gauges, events,
+//!   and hierarchical span timers behind a [`telemetry::Sink`] trait, with
+//!   a JSONL backend for traces, a CSV backend for legacy history output,
+//!   and a no-op backend that keeps disabled instrumentation off the hot
+//!   path.
+//!
+//! The crate is dependency-free (std only) and sits below `edd-core`,
+//! `edd-nn`, and the CLI in the workspace graph; `edd-tensor` stays
+//! independent of it (kernel hot paths use raw atomics in
+//! `edd_tensor::stats`, sampled into gauges by the layers above).
+
+pub mod crc32;
+pub mod snapshot;
+pub mod telemetry;
+
+pub use crc32::crc32;
+pub use snapshot::{
+    latest_snapshot, list_snapshots, prune_snapshots, read as read_snapshot, write_atomic,
+    ByteReader, ByteWriter, SectionWriter, Sections, SnapshotError,
+};
+pub use telemetry::{
+    CsvSink, Event, EventKind, FanoutSink, JsonlSink, NoopSink, Sink, Span, Value,
+};

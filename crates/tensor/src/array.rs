@@ -249,7 +249,9 @@ impl Array {
         }
         // Fast path: rank-1 rhs broadcast along the last axis (the bias-add
         // pattern `[m, n] + [n]`), avoiding the odometer loop below.
-        if other.shape.len() == 1 && other.shape[0] > 0 && self.shape.last() == Some(&other.shape[0])
+        if other.shape.len() == 1
+            && other.shape[0] > 0
+            && self.shape.last() == Some(&other.shape[0])
         {
             let n = other.shape[0];
             let mut data = Vec::with_capacity(self.data.len());

@@ -231,7 +231,9 @@ fn gemm_tiled<L: LhsTile, const NRV: usize>(
         while j + NRV <= n {
             let mut acc = [[0.0f32; NRV]; MR];
             for kk in 0..k {
-                let bv: &[f32; NRV] = b[kk * n + j..kk * n + j + NRV].try_into().expect("NRV chunk");
+                let bv: &[f32; NRV] = b[kk * n + j..kk * n + j + NRV]
+                    .try_into()
+                    .expect("NRV chunk");
                 let av = lhs.scalars(a, i, kk);
                 for (accr, &ar) in acc.iter_mut().zip(&av) {
                     for (l, &bl) in accr.iter_mut().zip(bv) {
@@ -267,7 +269,9 @@ fn gemm_tiled<L: LhsTile, const NRV: usize>(
         while j + NRV <= n {
             let mut acc = [0.0f32; NRV];
             for kk in 0..k {
-                let bv: &[f32; NRV] = b[kk * n + j..kk * n + j + NRV].try_into().expect("NRV chunk");
+                let bv: &[f32; NRV] = b[kk * n + j..kk * n + j + NRV]
+                    .try_into()
+                    .expect("NRV chunk");
                 let ar = lhs.scalar(a, i, kk);
                 for (l, &bl) in acc.iter_mut().zip(bv) {
                     *l += ar * bl;
@@ -312,7 +316,23 @@ pub(crate) fn use_avx2() -> bool {
         2 => true,
         1 => false,
         _ => {
-            let on = std::env::var("EDD_SIMD").map_or(true, |v| v != "scalar")
+            let setting = std::env::var("EDD_SIMD").ok();
+            if let Some(v) = setting.as_deref() {
+                // Recognized values: "scalar" forces the scalar path,
+                // "avx2"/"auto"/"" ask for the default dispatch. Anything
+                // else behaves like auto but deserves a one-time warning
+                // instead of a silent fallback.
+                if !matches!(v, "scalar" | "avx2" | "auto" | "") {
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    WARNED.call_once(|| {
+                        eprintln!(
+                            "warning: unrecognized EDD_SIMD value {v:?} (expected \
+                             \"scalar\", \"avx2\", or \"auto\"); using auto dispatch"
+                        );
+                    });
+                }
+            }
+            let on = setting.as_deref().is_none_or(|v| v != "scalar")
                 && std::arch::is_x86_feature_detected!("avx2");
             STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
             on
@@ -532,7 +552,11 @@ fn transpose_into_scalar(dst: &mut [f32], src: &[f32], rows: usize, cols: usize)
 ///
 /// Panics if slice lengths are inconsistent with `m`, `k`, `n`.
 pub fn matmul_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
-    let t = if m * n * k < PAR_MIN_MULADDS { 1 } else { num_threads() };
+    let t = if m * n * k < PAR_MIN_MULADDS {
+        1
+    } else {
+        num_threads()
+    };
     matmul_into_threads(out, a, b, m, k, n, t);
 }
 
@@ -578,7 +602,11 @@ pub fn matmul_into_threads(
 ///
 /// Panics if slice lengths are inconsistent with `k`, `m`, `n`.
 pub fn matmul_at_b_into(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
-    let t = if m * n * k < PAR_MIN_MULADDS { 1 } else { num_threads() };
+    let t = if m * n * k < PAR_MIN_MULADDS {
+        1
+    } else {
+        num_threads()
+    };
     matmul_at_b_into_threads(out, a, b, k, m, n, t);
 }
 
@@ -622,7 +650,11 @@ pub fn matmul_at_b_into_threads(
 ///
 /// Panics if slice lengths are inconsistent with `m`, `k`, `n`.
 pub fn matmul_a_bt_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
-    let t = if m * n * k < PAR_MIN_MULADDS { 1 } else { num_threads() };
+    let t = if m * n * k < PAR_MIN_MULADDS {
+        1
+    } else {
+        num_threads()
+    };
     matmul_a_bt_into_threads(out, a, b, m, k, n, t);
 }
 
@@ -739,9 +771,18 @@ pub fn par_batch_with<S>(
     init: impl Fn() -> S + Sync,
     f: impl Fn(&mut S, usize, &mut [f32]) + Sync,
 ) {
-    par_batch2_with(items, data, chunk, &mut [], 0, threads, init, |s, i, c, _| {
-        f(s, i, c);
-    });
+    par_batch2_with(
+        items,
+        data,
+        chunk,
+        &mut [],
+        0,
+        threads,
+        init,
+        |s, i, c, _| {
+            f(s, i, c);
+        },
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -909,11 +950,18 @@ pub fn par_sum(x: &[f32]) -> f32 {
     let chunks = x.len().div_ceil(REDUCE_CHUNK);
     let mut partials = vec![0.0f32; chunks];
     let threads = num_threads().min(chunks);
-    par_batch_with(chunks, &mut partials, 1, threads, || (), |(), ci, out| {
-        let lo = ci * REDUCE_CHUNK;
-        let hi = (lo + REDUCE_CHUNK).min(x.len());
-        out[0] = sum8(&x[lo..hi]);
-    });
+    par_batch_with(
+        chunks,
+        &mut partials,
+        1,
+        threads,
+        || (),
+        |(), ci, out| {
+            let lo = ci * REDUCE_CHUNK;
+            let hi = (lo + REDUCE_CHUNK).min(x.len());
+            out[0] = sum8(&x[lo..hi]);
+        },
+    );
     sum8(&partials)
 }
 
@@ -944,21 +992,30 @@ mod tests {
         let mut want = vec![0.0f32; m * n];
         gemm_block(&mut got, &a, &b, m, k, n);
         gemm_tiled::<_, NR>(&mut want, &a, &b, RowMajorLhs { k }, m, k, n);
-        assert!(got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(got
+            .iter()
+            .zip(&want)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
 
         let at = randv(k * m, &mut rng); // stored [k, m]
         let mut got = vec![0.0f32; m * n];
         let mut want = vec![0.0f32; m * n];
         at_b_block(&mut got, &at, &b, 0, m, k, m, n);
         gemm_tiled::<_, NR>(&mut want, &at, &b, TransposedLhs { m, i0: 0 }, m, k, n);
-        assert!(got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(got
+            .iter()
+            .zip(&want)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
 
         let src = randv(m * n, &mut rng);
         let mut got = vec![0.0f32; m * n];
         let mut want = vec![0.0f32; m * n];
         transpose_into(&mut got, &src, m, n);
         transpose_into_scalar(&mut want, &src, m, n);
-        assert!(got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(got
+            .iter()
+            .zip(&want)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
 
         for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
             let x = randv(len, &mut rng);
@@ -1050,10 +1107,17 @@ mod tests {
         let items = 7;
         let chunk = 3;
         let mut data = vec![0.0f32; items * chunk];
-        par_batch_with(items, &mut data, chunk, 3, Vec::<usize>::new, |seen, i, c| {
-            seen.push(i);
-            c.fill(i as f32 + 1.0);
-        });
+        par_batch_with(
+            items,
+            &mut data,
+            chunk,
+            3,
+            Vec::<usize>::new,
+            |seen, i, c| {
+                seen.push(i);
+                c.fill(i as f32 + 1.0);
+            },
+        );
         for i in 0..items {
             assert!(data[i * chunk..(i + 1) * chunk]
                 .iter()
@@ -1065,10 +1129,19 @@ mod tests {
     fn par_batch2_zero_chunk_hands_empty_slices() {
         let items = 4;
         let mut d1 = vec![0.0f32; items * 2];
-        par_batch2_with(items, &mut d1, 2, &mut [], 0, 2, || (), |(), i, c1, c2| {
-            assert!(c2.is_empty());
-            c1.fill(i as f32);
-        });
+        par_batch2_with(
+            items,
+            &mut d1,
+            2,
+            &mut [],
+            0,
+            2,
+            || (),
+            |(), i, c1, c2| {
+                assert!(c2.is_empty());
+                c1.fill(i as f32);
+            },
+        );
         assert_eq!(d1, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
     }
 

@@ -53,6 +53,25 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// One-time warning when `EDD_NUM_THREADS` is set to something unusable
+/// (non-numeric or `0`), so the silent fallback to the platform default is
+/// at least visible. An unset or empty variable is a deliberate "use the
+/// default" and stays quiet.
+fn warn_invalid_thread_setting(raw: Option<&str>) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    if let Some(s) = raw {
+        if !s.trim().is_empty() && parse_thread_setting(Some(s)).is_none() {
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: invalid EDD_NUM_THREADS value {s:?} (expected a positive \
+                     integer); falling back to the platform default of {} threads",
+                    default_threads()
+                );
+            });
+        }
+    }
+}
+
 /// The logical worker-thread count used to partition kernel work.
 ///
 /// Reads `EDD_NUM_THREADS` once, on the first call in the process; unset,
@@ -65,7 +84,9 @@ pub fn num_threads() -> usize {
     if n != 0 {
         return n;
     }
-    let init = parse_thread_setting(std::env::var("EDD_NUM_THREADS").ok().as_deref())
+    let raw = std::env::var("EDD_NUM_THREADS").ok();
+    warn_invalid_thread_setting(raw.as_deref());
+    let init = parse_thread_setting(raw.as_deref())
         .unwrap_or_else(default_threads)
         .min(MAX_THREADS);
     // First writer wins so concurrent initial calls agree on one value.
@@ -137,10 +158,9 @@ impl Job {
             }
             // SAFETY: idx < tasks, so the caller of `run` is still blocked
             // in `wait` and the closure is alive.
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
-                    (*self.task)(idx)
-                }));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                (*self.task)(idx)
+            }));
             if let Err(payload) = outcome {
                 let mut slot = self
                     .panic
@@ -257,7 +277,10 @@ fn ensure_workers(state: &mut PoolState) {
             .name(format!("edd-pool-{id}"))
             .spawn(|| worker_loop(pool()));
         match spawned {
-            Ok(_) => state.workers += 1,
+            Ok(_) => {
+                state.workers += 1;
+                crate::stats::record_worker_spawned();
+            }
             Err(_) => break, // resource exhaustion: run with what we have
         }
     }
@@ -279,6 +302,7 @@ pub fn run(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
     // queue and its per-task atomics entirely. (Physical workers may exist
     // from an earlier, larger setting — they would only add contention.)
     let inline = tasks == 1 || num_threads() == 1 || IN_PARALLEL.with(std::cell::Cell::get);
+    crate::stats::record_pool_job(tasks, inline);
     if inline {
         for i in 0..tasks {
             f(i);
@@ -404,7 +428,8 @@ impl SendPtr {
 #[cfg(test)]
 pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -542,7 +567,9 @@ mod tests {
             chunk.fill(i as f32 + 1.0);
         });
         for i in 0..6 {
-            assert!(data[i * 4..(i + 1) * 4].iter().all(|&v| v == i as f32 + 1.0));
+            assert!(data[i * 4..(i + 1) * 4]
+                .iter()
+                .all(|&v| v == i as f32 + 1.0));
         }
     }
 }

@@ -23,6 +23,8 @@
 //!   maximum (Log-Sum-Exp), and elementwise math;
 //! * [`optim`] — SGD (momentum) and Adam optimizers plus gradient clipping
 //!   and a cosine learning-rate schedule;
+//! * [`stats`] — relaxed-atomic kernel-runtime counters (pool utilization,
+//!   tasks dispatched, scratch high-water) sampled by monitoring layers;
 //! * [`gradcheck`] — finite-difference gradient verification used across the
 //!   workspace's test suites.
 //!
@@ -57,6 +59,7 @@ mod ops;
 pub mod optim;
 pub mod scratch;
 pub mod shape;
+pub mod stats;
 mod tensor;
 
 pub use array::{col2im, col2im_into, im2col, im2col_into, Array, Conv2dGeometry};

@@ -287,7 +287,11 @@ impl Tensor {
             // so the stale contents are fine). With a single image the
             // inner GEMM threads instead.
             let threads = kernel::num_threads().min(b);
-            let inner = if threads > 1 { 1 } else { kernel::num_threads() };
+            let inner = if threads > 1 {
+                1
+            } else {
+                kernel::num_threads()
+            };
             kernel::par_batch_with(
                 b,
                 out.data_mut(),
@@ -364,7 +368,11 @@ impl Tensor {
                     let xd = xval.data();
                     let w2d = w2_saved.data();
                     let threads = kernel::num_threads().min(b);
-                    let inner = if threads > 1 { 1 } else { kernel::num_threads() };
+                    let inner = if threads > 1 {
+                        1
+                    } else {
+                        kernel::num_threads()
+                    };
                     kernel::par_batch2_with(
                         b,
                         &mut dxd,
@@ -594,8 +602,7 @@ impl Tensor {
                                                 continue;
                                             }
                                             for kx in 0..k {
-                                                let sx =
-                                                    (ox * stride) as isize + kx as isize - pad;
+                                                let sx = (ox * stride) as isize + kx as isize - pad;
                                                 if sx >= 0 && sx < w as isize {
                                                     let si = sy as usize * w + sx as usize;
                                                     if need_w {

@@ -21,9 +21,7 @@ use rand::Rng;
 #[must_use]
 pub fn gumbel_noise<R: Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Array {
     let n = crate::shape::num_elements(shape);
-    let mut data: Vec<f32> = (0..n)
-        .map(|_| rng.gen_range(f32::EPSILON..1.0))
-        .collect();
+    let mut data: Vec<f32> = (0..n).map(|_| rng.gen_range(f32::EPSILON..1.0)).collect();
     crate::kernel::par_map_inplace(&mut data, |u| -(-u.ln()).ln());
     Array::from_vec(data, shape).expect("length matches shape")
 }

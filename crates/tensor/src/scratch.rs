@@ -111,9 +111,7 @@ impl Arena {
         let ptr = unsafe { block.as_mut_ptr().add(self.offset) };
         self.offset += rounded;
         self.outstanding += 1;
-        self.high_water = self
-            .high_water
-            .max(self.carried + self.offset - self.lead);
+        self.high_water = self.high_water.max(self.carried + self.offset - self.lead);
         (ptr, self.generation)
     }
 
@@ -128,6 +126,13 @@ impl Arena {
     /// Returns the arena to its empty state, coalescing fragmented blocks
     /// into a single one sized by the high-water mark.
     fn rewind(&mut self) {
+        // Fold this cycle's peak footprint into the process-wide gauge
+        // before the per-cycle mark is cleared (the global keeps the max).
+        if self.high_water > 0 {
+            crate::stats::record_scratch_high_water(
+                self.high_water as u64 * std::mem::size_of::<f32>() as u64,
+            );
+        }
         if self.blocks.len() > 1 {
             let want = self.high_water;
             self.blocks.clear();
@@ -186,7 +191,9 @@ impl Drop for ScratchBuf {
 
 impl std::fmt::Debug for ScratchBuf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ScratchBuf").field("len", &self.len).finish()
+        f.debug_struct("ScratchBuf")
+            .field("len", &self.len)
+            .finish()
     }
 }
 
@@ -321,7 +328,9 @@ mod tests {
         // allocating (i.e. it converges instead of re-fragmenting).
         let cycle = || {
             let bufs: Vec<ScratchBuf> = (0..15).map(|i| alloc(1 << i)).collect();
-            assert!(bufs.iter().all(|b| b.as_ptr() as usize % 32 == 0));
+            assert!(bufs
+                .iter()
+                .all(|b| (b.as_ptr() as usize).is_multiple_of(32)));
         };
         cycle();
         let after_first = reserved_bytes();

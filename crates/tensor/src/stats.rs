@@ -1,0 +1,115 @@
+//! Process-wide kernel-runtime counters: relaxed atomics updated from the
+//! worker pool and scratch arena, sampled by the layers above.
+//!
+//! This crate deliberately does **not** depend on `edd-runtime`'s telemetry
+//! sink — the pool's dispatch decision and the arena's rewind sit on the
+//! hottest paths in the workspace, and a relaxed `fetch_add` is the entire
+//! overhead budget they can afford. Consumers (the search loop, the bench
+//! harness) read a [`KernelStats`] snapshot and emit it as gauges through
+//! whatever sink they use.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Parallel-for regions dispatched through the shared job queue.
+static POOL_PARALLEL_JOBS: AtomicU64 = AtomicU64::new(0);
+/// Parallel-for regions executed inline (single task, one logical thread,
+/// or nested inside another region).
+static POOL_INLINE_JOBS: AtomicU64 = AtomicU64::new(0);
+/// Total tasks executed across all regions, inline and parallel.
+static POOL_TASKS: AtomicU64 = AtomicU64::new(0);
+/// Physical worker threads spawned over the process lifetime.
+static POOL_WORKERS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+/// Peak scratch-arena footprint (bytes) observed on any single thread.
+static SCRATCH_HIGH_WATER_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time snapshot of the kernel-runtime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Parallel-for regions that went through the worker-pool job queue.
+    pub pool_parallel_jobs: u64,
+    /// Parallel-for regions executed inline on the calling thread.
+    pub pool_inline_jobs: u64,
+    /// Total tasks executed (inline + parallel).
+    pub pool_tasks: u64,
+    /// Physical worker threads spawned so far.
+    pub pool_workers_spawned: u64,
+    /// Peak per-thread scratch-arena footprint in bytes.
+    pub scratch_high_water_bytes: u64,
+}
+
+impl KernelStats {
+    /// Fraction of parallel-for regions that actually ran parallel; `None`
+    /// before any region has executed.
+    #[must_use]
+    pub fn pool_utilization(&self) -> Option<f64> {
+        let total = self.pool_parallel_jobs + self.pool_inline_jobs;
+        (total > 0).then(|| self.pool_parallel_jobs as f64 / total as f64)
+    }
+}
+
+/// Reads all counters (relaxed; values from concurrent updates may be
+/// mutually torn across fields, which is fine for monitoring).
+#[must_use]
+pub fn snapshot() -> KernelStats {
+    KernelStats {
+        pool_parallel_jobs: POOL_PARALLEL_JOBS.load(Ordering::Relaxed),
+        pool_inline_jobs: POOL_INLINE_JOBS.load(Ordering::Relaxed),
+        pool_tasks: POOL_TASKS.load(Ordering::Relaxed),
+        pool_workers_spawned: POOL_WORKERS_SPAWNED.load(Ordering::Relaxed),
+        scratch_high_water_bytes: SCRATCH_HIGH_WATER_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes every counter (bench harness isolation between phases).
+pub fn reset() {
+    POOL_PARALLEL_JOBS.store(0, Ordering::Relaxed);
+    POOL_INLINE_JOBS.store(0, Ordering::Relaxed);
+    POOL_TASKS.store(0, Ordering::Relaxed);
+    POOL_WORKERS_SPAWNED.store(0, Ordering::Relaxed);
+    SCRATCH_HIGH_WATER_BYTES.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn record_pool_job(tasks: usize, inline: bool) {
+    if inline {
+        POOL_INLINE_JOBS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        POOL_PARALLEL_JOBS.fetch_add(1, Ordering::Relaxed);
+    }
+    POOL_TASKS.fetch_add(tasks as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_worker_spawned() {
+    POOL_WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Folds one thread's cycle high-water mark (in bytes) into the global max.
+pub(crate) fn record_scratch_high_water(bytes: u64) {
+    SCRATCH_HIGH_WATER_BYTES.fetch_max(bytes, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let s = KernelStats {
+            pool_parallel_jobs: 3,
+            pool_inline_jobs: 1,
+            ..KernelStats::default()
+        };
+        assert_eq!(s.pool_utilization(), Some(0.75));
+        assert_eq!(KernelStats::default().pool_utilization(), None);
+    }
+
+    #[test]
+    fn high_water_takes_the_max() {
+        // Other tests run concurrently in this process, so only assert
+        // monotonicity, not exact values.
+        record_scratch_high_water(10);
+        let a = snapshot().scratch_high_water_bytes;
+        assert!(a >= 10);
+        record_scratch_high_water(5);
+        assert!(snapshot().scratch_high_water_bytes >= a);
+    }
+}

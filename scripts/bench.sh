@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs the supernet-level benchmark suite and records a machine-readable
 # snapshot at BENCH_supernet.json (a JSON array of {name, median_ns,
-# mean_ns, max_ns, samples} records, one per benchmark).
+# mean_ns, max_ns, samples} records, one per benchmark, plus one
+# kernel_runtime_counters record with pool utilization / dispatch counts /
+# scratch high-water sampled over the whole run).
 #
 # The vendored criterion shim appends JSONL records to the file named by
 # EDD_BENCH_JSON; this script collects them and wraps the lines into a

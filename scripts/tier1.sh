@@ -2,14 +2,16 @@
 # Tier-1 gate: the checks every PR must keep green.
 #
 #   1. release build of the full workspace (benches compile here too);
-#   2. lint gate: clippy clean across the workspace;
-#   3. the default test suite;
-#   4. the tensor crate's suite on its own, which carries the kernel
+#   2. format gate: rustfmt clean across the workspace;
+#   3. lint gate: clippy clean across the workspace;
+#   4. the default test suite;
+#   5. the tensor crate's suite on its own, which carries the kernel
 #      oracle, gradcheck, and thread-determinism tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
+cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo test -q --workspace
 cargo test -q -p edd-tensor

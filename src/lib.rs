@@ -10,6 +10,8 @@
 //! * [`data`] — synthetic dataset generator ([`edd_data`]).
 //! * [`hw`] — analytic hardware performance/resource models ([`edd_hw`]).
 //! * [`core`] — the EDD co-search itself ([`edd_core`]).
+//! * [`runtime`] — crash-safe snapshots and structured telemetry
+//!   ([`edd_runtime`]).
 //! * [`zoo`] — baseline and published-EDD architecture descriptors
 //!   ([`edd_zoo`]).
 
@@ -19,5 +21,6 @@ pub use edd_core as core;
 pub use edd_data as data;
 pub use edd_hw as hw;
 pub use edd_nn as nn;
+pub use edd_runtime as runtime;
 pub use edd_tensor as tensor;
 pub use edd_zoo as zoo;

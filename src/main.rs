@@ -85,6 +85,18 @@ fn parse_target(name: &str) -> Result<DeviceTarget, String> {
     }
 }
 
+/// Installs a JSONL telemetry sink when `--trace-out` is given. Returns
+/// whether a sink was installed (so the caller can flush it at the end).
+fn install_trace_sink(args: &Args) -> Result<bool, String> {
+    let Some(path) = args.flags.get("trace-out") else {
+        return Ok(false);
+    };
+    let sink = edd::runtime::JsonlSink::create(std::path::Path::new(path))
+        .map_err(|e| format!("opening trace file {path}: {e}"))?;
+    edd::runtime::telemetry::set_global(std::sync::Arc::new(sink));
+    Ok(true)
+}
+
 fn cmd_search(args: &Args) -> Result<(), String> {
     let target = parse_target(&args.get_str("target", "fpga-recursive"))?;
     let blocks = args.get_usize("blocks", 4)?;
@@ -92,6 +104,11 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     let epochs = args.get_usize("epochs", 8)?;
     let seed = args.get_usize("seed", 42)? as u64;
     let out = args.get_str("out", "edd_arch.json");
+    let ckpt_dir = args.flags.get("checkpoint-dir").cloned();
+    let ckpt_every = args.get_usize("checkpoint-every", 1)?;
+    let ckpt_keep = args.get_usize("checkpoint-keep", 3)?;
+    let resume = args.flags.get("resume").cloned();
+    let tracing = install_trace_sink(args)?;
 
     let space = SearchSpace::tiny(blocks, 16, classes, target.default_quant_bits());
     println!(
@@ -116,9 +133,25 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     let train = data.split(6, 16, 1);
     let val = data.split(3, 16, 2);
     let mut search = CoSearch::new(space, target, config, &mut rng).map_err(|e| e.to_string())?;
+    if let Some(dir) = &ckpt_dir {
+        search
+            .checkpoint_into(dir)
+            .checkpoint_every(ckpt_every)
+            .checkpoint_keep(ckpt_keep);
+        println!("checkpointing into {dir} (every {ckpt_every} epoch(s), keep {ckpt_keep})");
+    }
+    if let Some(path) = &resume {
+        search
+            .resume_from(std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!("resuming from {path}");
+    }
     let outcome = search
         .run(&train, &val, &mut rng)
         .map_err(|e| e.to_string())?;
+    if tracing {
+        edd::runtime::telemetry::global().flush();
+    }
     for h in &outcome.history {
         println!(
             "  epoch {:>2}: train acc {:.2}, val acc {:.2}, E[perf] {:.4}, E[res] {:.0}",
@@ -238,10 +271,19 @@ fn cmd_devices() {
 }
 
 const USAGE: &str = "usage: edd <search|eval|zoo|devices> [--flags]\n\
-  search  --target gpu|fpga-recursive|fpga-pipelined|dedicated \\\n          --blocks N --classes C --epochs E --seed S --out FILE\n\
+  search  --target gpu|fpga-recursive|fpga-pipelined|dedicated \\\n          --blocks N --classes C --epochs E --seed S --out FILE \\\n          --checkpoint-dir DIR --checkpoint-every N --checkpoint-keep K \\\n          --resume PATH --trace-out FILE.jsonl\n\
   eval    --arch FILE\n\
   zoo\n\
-  devices";
+  devices\n\
+\n\
+  --checkpoint-dir   write crash-safe search snapshots into DIR after each\n\
+                     qualifying epoch (search-<epoch>.edds)\n\
+  --checkpoint-every snapshot cadence in epochs (default 1; 0 = final only)\n\
+  --checkpoint-keep  retain only the newest K snapshots (default 3)\n\
+  --resume           continue bit-identically from a snapshot file, or from\n\
+                     the newest snapshot in a checkpoint directory\n\
+  --trace-out        stream structured telemetry (epoch metrics, phase\n\
+                     timings, kernel counters) as JSON lines to FILE";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

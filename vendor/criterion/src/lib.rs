@@ -165,9 +165,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // A bench binary is invoked by cargo as `bench_name --bench
         // [filter]`; any non-flag argument doubles as a name filter.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion {
             measurement_time: Duration::from_millis(700),
             warm_up_time: Duration::from_millis(150),

@@ -33,7 +33,9 @@ pub mod test_runner {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x100_0000_01b3);
             }
-            TestRng(InnerRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case)))
+            TestRng(InnerRng::seed_from_u64(
+                h ^ (u64::from(case) << 32) ^ u64::from(case),
+            ))
         }
     }
 

@@ -295,9 +295,7 @@ impl<'de, T: Deserialize<'de> + fmt::Debug, const N: usize> Deserialize<'de> for
         match content {
             Content::Seq(items) if items.len() == N => {
                 let parsed: Result<Vec<T>, DeError> = items.iter().map(T::from_content).collect();
-                parsed.map(|v| {
-                    <[T; N]>::try_from(v).expect("length checked against N above")
-                })
+                parsed.map(|v| <[T; N]>::try_from(v).expect("length checked against N above"))
             }
             Content::Seq(items) => Err(DeError::custom(format!(
                 "expected array of length {N}, found {}",

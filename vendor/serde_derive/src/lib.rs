@@ -23,8 +23,14 @@ enum Variant {
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, fields: FieldList },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: FieldList,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Skips one attribute (`#` plus its bracket group) if present at `i`.
@@ -68,7 +74,10 @@ fn parse_named_fields(body: &[TokenTree]) -> FieldList {
         }
         skip_vis(body, &mut i);
         let TokenTree::Ident(name) = &body[i] else {
-            panic!("serde_derive shim: expected field name, found {:?}", body[i]);
+            panic!(
+                "serde_derive shim: expected field name, found {:?}",
+                body[i]
+            );
         };
         fields.push(name.to_string());
         i += 1;
@@ -113,12 +122,12 @@ fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
                 let inner: Vec<TokenTree> = g.stream().into_iter().collect();
                 let commas = inner
                     .iter()
-                    .filter(
-                        |t| matches!(t, TokenTree::Punct(p) if p.as_char() == ',')
-                    )
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
                     .count();
                 assert!(
-                    commas == 0 || (commas == 1 && matches!(inner.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',')),
+                    commas == 0
+                        || (commas == 1
+                            && matches!(inner.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',')),
                     "serde_derive shim: only single-field tuple variants are supported ({name})"
                 );
                 Variant::Newtype(name)
@@ -192,9 +201,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                 .0
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"
-                    )
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),")
                 })
                 .collect();
             format!(
@@ -209,9 +216,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let arms: String = variants
                 .iter()
                 .map(|v| match v {
-                    Variant::Unit(v) => format!(
-                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),"
-                    ),
+                    Variant::Unit(v) => {
+                        format!("{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),")
+                    }
                     Variant::Newtype(v) => format!(
                         "{name}::{v}(inner) => ::serde::Content::Map(vec![(\
                              \"{v}\".to_string(), ::serde::Serialize::to_content(inner))]),"
@@ -243,7 +250,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde_derive shim: generated Serialize impl parses")
+    code.parse()
+        .expect("serde_derive shim: generated Serialize impl parses")
 }
 
 /// Derives the vendored `serde::Deserialize`.
@@ -338,5 +346,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde_derive shim: generated Deserialize impl parses")
+    code.parse()
+        .expect("serde_derive shim: generated Deserialize impl parses")
 }

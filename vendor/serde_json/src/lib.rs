@@ -322,10 +322,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "unknown escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("unknown escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -349,7 +346,10 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         let start = self.pos;
         while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b'-' | b'+' | b'.' | b'0'..=b'9' | b'e' | b'E')
+            && matches!(
+                self.bytes[self.pos],
+                b'-' | b'+' | b'.' | b'0'..=b'9' | b'e' | b'E'
+            )
         {
             self.pos += 1;
         }
