@@ -68,6 +68,9 @@ pub fn ranking_agreement(a: &[f64], b: &[f64]) -> f64 {
 pub fn write_kernel_counters_record() {
     let stats = edd_tensor::stats::snapshot();
     let util = stats.pool_utilization().unwrap_or(0.0);
+    let nproc = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let threads = edd_tensor::kernel::pool::num_threads();
+    let simd = edd_tensor::kernel::simd_label();
     println!(
         "kernel counters: {} parallel / {} inline jobs (utilization {util:.2}), \
          {} tasks, {} workers, scratch high-water {} bytes",
@@ -76,6 +79,14 @@ pub fn write_kernel_counters_record() {
         stats.pool_tasks,
         stats.pool_workers_spawned,
         stats.scratch_high_water_bytes
+    );
+    println!(
+        "bench context: nproc {nproc}, threads {threads}, simd {simd}; \
+         buffer pool {} hits / {} misses, {} fresh / {} recycled bytes",
+        stats.buffer_pool_hits,
+        stats.buffer_pool_misses,
+        stats.buffer_fresh_bytes,
+        stats.buffer_recycled_bytes
     );
     let Ok(path) = std::env::var("EDD_BENCH_JSON") else {
         return;
@@ -86,12 +97,19 @@ pub fn write_kernel_counters_record() {
     let line = format!(
         "{{\"name\":\"kernel_runtime_counters\",\"pool_parallel_jobs\":{},\
          \"pool_inline_jobs\":{},\"pool_tasks\":{},\"pool_workers_spawned\":{},\
-         \"pool_utilization\":{util:.4},\"scratch_high_water_bytes\":{}}}\n",
+         \"pool_utilization\":{util:.4},\"scratch_high_water_bytes\":{},\
+         \"nproc\":{nproc},\"num_threads\":{threads},\"simd\":\"{simd}\",\
+         \"buffer_fresh_bytes\":{},\"buffer_recycled_bytes\":{},\
+         \"buffer_pool_hits\":{},\"buffer_pool_misses\":{}}}\n",
         stats.pool_parallel_jobs,
         stats.pool_inline_jobs,
         stats.pool_tasks,
         stats.pool_workers_spawned,
-        stats.scratch_high_water_bytes
+        stats.scratch_high_water_bytes,
+        stats.buffer_fresh_bytes,
+        stats.buffer_recycled_bytes,
+        stats.buffer_pool_hits,
+        stats.buffer_pool_misses
     );
     use std::io::Write;
     if let Ok(mut f) = std::fs::OpenOptions::new()

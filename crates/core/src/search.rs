@@ -534,6 +534,17 @@ impl CoSearch {
         let mut a_opt = Adam::new(self.arch.all_params(), self.config.arch_lr);
         let mut history = Vec::with_capacity(self.config.epochs);
         let mut best: Option<(usize, f32, DerivedArch)> = None;
+        // Input tensors are constants shared across every epoch: wrap each
+        // batch once here instead of deep-cloning the pixel data per step.
+        // Constants never require grad, so graphs only borrow them.
+        let train_inputs: Vec<Tensor> = train
+            .iter()
+            .map(|b| Tensor::constant(b.images.clone()))
+            .collect();
+        let val_inputs: Vec<Tensor> = val
+            .iter()
+            .map(|b| Tensor::constant(b.images.clone()))
+            .collect();
         let mut start = 0usize;
         if let Some(snap) = self.pending_resume.take() {
             self.apply_snapshot(&snap, &mut w_opt, &mut a_opt, rng, &mut history, &mut best)?;
@@ -546,11 +557,10 @@ impl CoSearch {
             let mut train_acc = 0.0;
             let mut seen = 0usize;
             let weight_span = telemetry::span("search.weight_phase");
-            for batch in train {
+            for (batch, x) in train.iter().zip(&train_inputs) {
                 w_opt.zero_grad();
                 a_opt.zero_grad();
-                let x = Tensor::constant(batch.images.clone());
-                let (logits, _) = self.supernet.forward_sampled(&x, &self.arch, tau, rng)?;
+                let (logits, _) = self.supernet.forward_sampled(x, &self.arch, tau, rng)?;
                 let loss = logits.cross_entropy(&batch.labels)?;
                 loss.backward();
                 if let Some(max_norm) = self.config.clip_grad_norm {
@@ -561,7 +571,7 @@ impl CoSearch {
                 edd_tensor::scratch::reset();
                 let b = batch.labels.len();
                 train_loss += loss.item() * b as f32;
-                train_acc += accuracy(&logits.value_clone(), &batch.labels) * b as f32;
+                train_acc += accuracy(&logits.value(), &batch.labels) * b as f32;
                 seen += b;
             }
             drop(weight_span);
@@ -571,13 +581,16 @@ impl CoSearch {
             let mut expected_res = 0.0;
             let arch_span = telemetry::span("search.arch_phase");
             if epoch >= self.config.warmup_epochs {
-                let arch_batches = if self.config.bilevel { val } else { train };
+                let (arch_batches, arch_inputs) = if self.config.bilevel {
+                    (val, &val_inputs)
+                } else {
+                    (train, &train_inputs)
+                };
                 let mut arch_steps = 0usize;
-                for batch in arch_batches {
+                for (batch, x) in arch_batches.iter().zip(arch_inputs) {
                     w_opt.zero_grad();
                     a_opt.zero_grad();
-                    let x = Tensor::constant(batch.images.clone());
-                    let (logits, _) = self.supernet.forward_sampled(&x, &self.arch, tau, rng)?;
+                    let (logits, _) = self.supernet.forward_sampled(x, &self.arch, tau, rng)?;
                     let acc_loss = logits.cross_entropy(&batch.labels)?;
                     let est = estimate(
                         &self.arch,
@@ -612,11 +625,9 @@ impl CoSearch {
             let val_span = telemetry::span("search.val_phase");
             let mut val_acc = 0.0;
             let mut val_seen = 0usize;
-            for batch in val {
-                let x = Tensor::constant(batch.images.clone());
-                let logits = self.supernet.forward_argmax(&x, &self.arch)?;
-                val_acc +=
-                    accuracy(&logits.value_clone(), &batch.labels) * batch.labels.len() as f32;
+            for (batch, x) in val.iter().zip(&val_inputs) {
+                let logits = self.supernet.forward_argmax(x, &self.arch)?;
+                val_acc += accuracy(&logits.value(), &batch.labels) * batch.labels.len() as f32;
                 val_seen += batch.labels.len();
             }
             drop(val_span);

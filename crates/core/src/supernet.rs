@@ -151,7 +151,7 @@ impl SuperNet {
 
     fn head_forward(&self, h: &Tensor) -> Result<Tensor> {
         let h = self.head.forward(h)?;
-        let h = self.head_bn.forward(&h)?.relu6();
+        let h = self.head_bn.forward_relu6(&h)?;
         let h = h.global_avg_pool()?;
         self.classifier.forward(&h)
     }
@@ -176,7 +176,7 @@ impl SuperNet {
         rng: &mut R,
     ) -> Result<(Tensor, SampledPath)> {
         let mut h = self.stem.forward(x)?;
-        h = self.stem_bn.forward(&h)?.relu6();
+        h = self.stem_bn.forward_relu6(&h)?;
         let mut path = SampledPath {
             ops: Vec::with_capacity(self.blocks.len()),
             quants: Vec::with_capacity(self.blocks.len()),
@@ -219,7 +219,7 @@ impl SuperNet {
     /// Propagates shape errors from the layers.
     pub fn forward_mixture(&self, x: &Tensor, arch: &ArchParams, tau: f32) -> Result<Tensor> {
         let mut h = self.stem.forward(x)?;
-        h = self.stem_bn.forward(&h)?.relu6();
+        h = self.stem_bn.forward_relu6(&h)?;
         for (i, ops) in self.blocks.iter().enumerate() {
             let weights = edd_tensor::softmax_selection(&arch.theta[i], tau)?;
             // Fan the M candidate branches out over the worker pool: each
@@ -231,13 +231,9 @@ impl SuperNet {
             let slots: Vec<Mutex<Option<Result<Tensor>>>> =
                 (0..ops.len()).map(|_| Mutex::new(None)).collect();
             edd_tensor::kernel::pool::run(ops.len(), &|m| {
-                let result = (|| {
-                    let q_star = arch.argmax_quant(i, m);
-                    let bits = self.space.quant_bits[q_star];
-                    let branch = ops[m].forward_quantized(&h, Some(QuantSpec::bits(bits)))?;
-                    let coeff = weights.select(m)?;
-                    branch.mul(&coeff)
-                })();
+                let q_star = arch.argmax_quant(i, m);
+                let bits = self.space.quant_bits[q_star];
+                let result = ops[m].forward_quantized(&h, Some(QuantSpec::bits(bits)));
                 *slots[m].lock().expect("branch slot poisoned") = Some(result);
             });
             let mut terms = Vec::with_capacity(ops.len());
@@ -248,7 +244,11 @@ impl SuperNet {
                         .expect("every branch task ran")?,
                 );
             }
-            h = Tensor::add_n(&terms)?;
+            // Fused weighted combine: a single op node computes
+            // `Σ_m w_m · branch_m` (bitwise identical to the per-branch
+            // mul + add_n chain) and its backward fans the M branch
+            // gradients out over the worker pool.
+            h = Tensor::weighted_add_n(&terms, &weights)?;
         }
         self.head_forward(&h)
     }
@@ -261,7 +261,7 @@ impl SuperNet {
     /// Propagates shape errors from the layers.
     pub fn forward_argmax(&self, x: &Tensor, arch: &ArchParams) -> Result<Tensor> {
         let mut h = self.stem.forward(x)?;
-        h = self.stem_bn.forward(&h)?.relu6();
+        h = self.stem_bn.forward_relu6(&h)?;
         for (i, ops) in self.blocks.iter().enumerate() {
             let m_star = arch.theta[i].value().argmax().expect("non-empty");
             let q_star = arch.argmax_quant(i, m_star);

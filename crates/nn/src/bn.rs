@@ -79,23 +79,46 @@ impl BatchNorm2d {
         *self.running_var.lock().expect("bn stats poisoned") = var;
         Ok(())
     }
+
+    /// Exponential moving average of the running statistics toward the batch
+    /// statistics of the current forward pass.
+    fn update_running_stats(&self, batch_mean: &Array, batch_var: &Array) {
+        let mut rm = self.running_mean.lock().expect("bn stats poisoned");
+        let mut rv = self.running_var.lock().expect("bn stats poisoned");
+        for c in 0..self.channels {
+            rm.data_mut()[c] =
+                (1.0 - self.momentum) * rm.data()[c] + self.momentum * batch_mean.data()[c];
+            rv.data_mut()[c] =
+                (1.0 - self.momentum) * rv.data()[c] + self.momentum * batch_var.data()[c];
+        }
+    }
+
+    /// Forward pass fused with a ReLU6 activation: `relu6(bn(x))`.
+    ///
+    /// In training mode this runs as a single fused op node — bitwise
+    /// identical to `forward(x)?.relu6()` but with one fewer graph node and
+    /// one fewer full-tensor gradient buffer per call. In eval mode it
+    /// composes the unfused pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying ops.
+    pub fn forward_relu6(&self, x: &Tensor) -> Result<Tensor> {
+        if self.is_training() {
+            let bn = x.batch_norm2d_relu6_train(&self.gamma, &self.beta, self.eps)?;
+            self.update_running_stats(&bn.batch_mean, &bn.batch_var);
+            Ok(bn.output)
+        } else {
+            Ok(self.forward(x)?.relu6())
+        }
+    }
 }
 
 impl Module for BatchNorm2d {
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
         if self.is_training() {
             let bn = x.batch_norm2d_train(&self.gamma, &self.beta, self.eps)?;
-            // Exponential moving average of batch statistics.
-            {
-                let mut rm = self.running_mean.lock().expect("bn stats poisoned");
-                let mut rv = self.running_var.lock().expect("bn stats poisoned");
-                for c in 0..self.channels {
-                    rm.data_mut()[c] = (1.0 - self.momentum) * rm.data()[c]
-                        + self.momentum * bn.batch_mean.data()[c];
-                    rv.data_mut()[c] = (1.0 - self.momentum) * rv.data()[c]
-                        + self.momentum * bn.batch_var.data()[c];
-                }
-            }
+            self.update_running_stats(&bn.batch_mean, &bn.batch_var);
             Ok(bn.output)
         } else {
             // y = gamma * (x - mean) / sqrt(var + eps) + beta, with running
@@ -183,6 +206,26 @@ mod tests {
         assert_eq!(bn.parameters().len(), 2);
         assert_eq!(bn.num_parameters(), 8);
         assert!(bn.parameters().iter().all(Tensor::requires_grad));
+    }
+
+    #[test]
+    fn forward_relu6_matches_unfused_bitwise() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let fused = BatchNorm2d::new(3);
+        let unfused = BatchNorm2d::new(3);
+        let x = Tensor::constant(Array::randn(&[2, 3, 4, 4], 2.0, &mut rng));
+        let yf = fused.forward_relu6(&x).unwrap();
+        let yu = unfused.forward(&x).unwrap().relu6();
+        assert_eq!(yf.value().data(), yu.value().data());
+        // EMA updates must agree too (same batch statistics feed both).
+        assert_eq!(fused.running_mean().data(), unfused.running_mean().data());
+        assert_eq!(fused.running_var().data(), unfused.running_var().data());
+        // Eval mode composes the unfused pair.
+        fused.set_training(false);
+        unfused.set_training(false);
+        let yf = fused.forward_relu6(&x).unwrap();
+        let yu = unfused.forward(&x).unwrap().relu6();
+        assert_eq!(yf.value().data(), yu.value().data());
     }
 
     #[test]

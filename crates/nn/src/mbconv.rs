@@ -118,12 +118,10 @@ impl MbConv {
         let mut h = x.clone();
         if let Some((conv, bn)) = &self.expand {
             h = conv.forward_quantized(&h, quant)?;
-            h = bn.forward(&h)?;
-            h = h.relu6();
+            h = bn.forward_relu6(&h)?;
         }
         h = self.depthwise.forward_quantized(&h, quant)?;
-        h = self.dw_bn.forward(&h)?;
-        h = h.relu6();
+        h = self.dw_bn.forward_relu6(&h)?;
         h = self.project.forward_quantized(&h, quant)?;
         h = self.proj_bn.forward(&h)?;
         if self.residual {
@@ -198,7 +196,7 @@ impl SepConv {
 impl Module for SepConv {
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
         let h = self.depthwise.forward(x)?;
-        let h = self.dw_bn.forward(&h)?.relu6();
+        let h = self.dw_bn.forward_relu6(&h)?;
         let h = self.pointwise.forward(&h)?;
         self.pw_bn.forward(&h)
     }

@@ -22,10 +22,44 @@ use rand::Rng;
 /// let c = a.add(&b).unwrap();
 /// assert_eq!(c.data(), &[11.0, 12.0, 13.0, 14.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Array {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+/// Storage comes from and returns to the thread-local recycling pool
+/// ([`crate::recycle`]): cloning takes a pooled buffer instead of a fresh
+/// allocation, and dropping parks the buffer for the next same-length
+/// request. This is what makes steady-state training steps allocation-free.
+impl Clone for Array {
+    fn clone(&self) -> Self {
+        let mut data = crate::recycle::take(self.data.len());
+        data.copy_from_slice(&self.data);
+        Array {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.shape.clone_from(&source.shape);
+        if self.data.len() == source.data.len() {
+            self.data.copy_from_slice(&source.data);
+        } else {
+            crate::recycle::give(std::mem::replace(
+                &mut self.data,
+                crate::recycle::take(source.data.len()),
+            ));
+            self.data.copy_from_slice(&source.data);
+        }
+    }
+}
+
+impl Drop for Array {
+    fn drop(&mut self) {
+        crate::recycle::give(std::mem::take(&mut self.data));
+    }
 }
 
 impl Array {
@@ -34,7 +68,18 @@ impl Array {
     pub fn zeros(shape: &[usize]) -> Self {
         Array {
             shape: shape.to_vec(),
-            data: vec![0.0; num_elements(shape)],
+            data: crate::recycle::take_zeroed(num_elements(shape)),
+        }
+    }
+
+    /// Creates an array of `shape` with unspecified contents (a recycled
+    /// buffer when one is parked). Every caller must overwrite every
+    /// element before the array is read.
+    #[must_use]
+    pub(crate) fn uninit(shape: &[usize]) -> Self {
+        Array {
+            shape: shape.to_vec(),
+            data: crate::recycle::take(num_elements(shape)),
         }
     }
 
@@ -47,9 +92,11 @@ impl Array {
     /// Creates an array of `shape` filled with `value`.
     #[must_use]
     pub fn full(shape: &[usize], value: f32) -> Self {
+        let mut data = crate::recycle::take(num_elements(shape));
+        data.fill(value);
         Array {
             shape: shape.to_vec(),
-            data: vec![value; num_elements(shape)],
+            data,
         }
     }
 
@@ -152,8 +199,8 @@ impl Array {
 
     /// Consumes the array, returning the flat data vector.
     #[must_use]
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Returns the single element of a scalar or 1-element array.
@@ -184,9 +231,11 @@ impl Array {
                 reason: format!("cannot reshape {} elements", self.data.len()),
             });
         }
+        let mut data = crate::recycle::take(self.data.len());
+        data.copy_from_slice(&self.data);
         Ok(Array {
             shape: shape.to_vec(),
-            data: self.data.clone(),
+            data,
         })
     }
 
@@ -254,9 +303,11 @@ impl Array {
             && self.shape.last() == Some(&other.shape[0])
         {
             let n = other.shape[0];
-            let mut data = Vec::with_capacity(self.data.len());
-            for row in self.data.chunks_exact(n) {
-                data.extend(row.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+            let mut data = crate::recycle::take(self.data.len());
+            for (drow, row) in data.chunks_exact_mut(n).zip(self.data.chunks_exact(n)) {
+                for ((d, &a), &b) in drow.iter_mut().zip(row).zip(&other.data) {
+                    *d = f(a, b);
+                }
             }
             return Ok(Array {
                 shape: self.shape.clone(),
@@ -266,7 +317,8 @@ impl Array {
         let out_shape = broadcast_shapes(&self.shape, &other.shape, op)?;
         let rank = out_shape.len();
         let out_strides = row_major_strides(&out_shape);
-        let mut out = Array::zeros(&out_shape);
+        // Every flat index 0..n is written exactly once by the odometer loop.
+        let mut out = Array::uninit(&out_shape);
         // Precompute per-axis effective strides (0 when broadcast).
         let lhs_strides = broadcast_strides(&self.shape, rank);
         let rhs_strides = broadcast_strides(&other.shape, rank);
@@ -411,6 +463,22 @@ impl Array {
         Ok(out)
     }
 
+    /// Owned [`Array::reduce_to`]: when the shape already matches `target`
+    /// the array is returned as-is, with no copy — the backward closures
+    /// pass their (moved) output gradient through here, so the common
+    /// non-broadcast case is free.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `target` is not broadcast-compatible with the
+    /// current shape.
+    pub fn reduce_to_owned(self, target: &[usize]) -> Result<Array> {
+        if self.shape == target {
+            return Ok(self);
+        }
+        self.reduce_to(target)
+    }
+
     /// Reduces this array (by summation) to `target` shape, inverting a
     /// broadcast: axes that were expanded are summed back down.
     ///
@@ -494,7 +562,9 @@ impl Array {
         self.gemm_dims(other, 1, 0, "matmul")?;
         let (m, k) = (self.shape[0], self.shape[1]);
         let n = other.shape[1];
-        let mut out = Array::zeros(&[m, n]);
+        // `gemm_tiled` overwrites every output element (and zero-fills when
+        // k == 0), so an uninitialized pooled buffer is safe here.
+        let mut out = Array::uninit(&[m, n]);
         crate::kernel::matmul_into(&mut out.data, &self.data, &other.data, m, k, n);
         Ok(out)
     }
@@ -531,7 +601,7 @@ impl Array {
         self.gemm_dims(other, 0, 0, "matmul_at_b")?;
         let (k, m) = (self.shape[0], self.shape[1]);
         let n = other.shape[1];
-        let mut out = Array::zeros(&[m, n]);
+        let mut out = Array::uninit(&[m, n]);
         crate::kernel::matmul_at_b_into(&mut out.data, &self.data, &other.data, k, m, n);
         Ok(out)
     }
@@ -549,7 +619,7 @@ impl Array {
         self.gemm_dims(other, 1, 1, "matmul_a_bt")?;
         let (m, k) = (self.shape[0], self.shape[1]);
         let n = other.shape[0];
-        let mut out = Array::zeros(&[m, n]);
+        let mut out = Array::uninit(&[m, n]);
         crate::kernel::matmul_a_bt_into(&mut out.data, &self.data, &other.data, m, k, n);
         Ok(out)
     }
@@ -567,7 +637,7 @@ impl Array {
             });
         }
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = Array::zeros(&[n, m]);
+        let mut out = Array::uninit(&[n, m]);
         for i in 0..m {
             for j in 0..n {
                 out.data[j * m + i] = self.data[i * n + j];

@@ -340,6 +340,18 @@ pub(crate) fn use_avx2() -> bool {
     }
 }
 
+/// Human-readable label of the active SIMD dispatch path (`"avx2"` or
+/// `"scalar"`), recorded in bench records so trajectories across machines
+/// stay comparable.
+#[must_use]
+pub fn simd_label() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        return "avx2";
+    }
+    "scalar"
+}
+
 /// Declares a `#[target_feature(enable = "avx2")]` twin of a scalar kernel
 /// and a dispatching front that picks it when the CPU allows. The twin just
 /// calls the (`inline(always)`) scalar body, so there is exactly one source
@@ -507,6 +519,39 @@ fn dot8_scalar(x: &[f32], y: &[f32]) -> f32 {
         tail += x[t] * y[t];
     }
     (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
+}
+
+avx2_dispatch! {
+    /// Fused weighted sum `dst[i] = Σ_m weights[m] * srcs[m][i]`,
+    /// overwritten, ascending `m`. Per element this performs exactly the FP
+    /// operations of the unfused mul-then-add_n composition (`acc = w0*t0;
+    /// acc += w1*t1; ...` — each product formed, then accumulated in branch
+    /// order), so the fused mixture combine is bitwise identical to the
+    /// per-branch `mul` + `add_n` chain it replaces. The axpy-style
+    /// branch-outer loop keeps the inner loops vectorizable; element chains
+    /// are independent, so the loop interchange cannot change any bit.
+    pub weighted_sum_into / weighted_sum_into_scalar / weighted_sum_into_avx2,
+    (dst: &mut [f32], srcs: &[&[f32]], weights: &[f32])
+}
+
+#[inline(always)]
+fn weighted_sum_into_scalar(dst: &mut [f32], srcs: &[&[f32]], weights: &[f32]) {
+    debug_assert_eq!(srcs.len(), weights.len());
+    let Some((s0, rest)) = srcs.split_first() else {
+        dst.fill(0.0);
+        return;
+    };
+    debug_assert_eq!(s0.len(), dst.len());
+    let w0 = weights[0];
+    for (d, &x) in dst.iter_mut().zip(*s0) {
+        *d = w0 * x;
+    }
+    for (s, &w) in rest.iter().zip(&weights[1..]) {
+        debug_assert_eq!(s.len(), dst.len());
+        for (d, &x) in dst.iter_mut().zip(*s) {
+            *d += w * x;
+        }
+    }
 }
 
 avx2_dispatch! {
@@ -817,13 +862,11 @@ pub fn par_map_into(dst: &mut [f32], src: &[f32], f: impl Fn(f32) -> f32 + Sync)
     });
 }
 
-/// Freshly-allocated [`par_map_into`] (the `Array::map` backend).
+/// Pool-recycled [`par_map_into`] (the `Array::map` backend): the output
+/// buffer comes from [`crate::recycle`] and is fully overwritten.
 #[must_use]
 pub fn par_map_vec(src: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
-    if src.len() < PAR_MIN_ELEMS {
-        return src.iter().map(|&v| f(v)).collect();
-    }
-    let mut out = vec![0.0f32; src.len()];
+    let mut out = crate::recycle::take(src.len());
     par_map_into(&mut out, src, f);
     out
 }
@@ -860,10 +903,14 @@ pub fn par_map_inplace(data: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
 #[must_use]
 pub fn par_zip_vec(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32> {
     assert_eq!(a.len(), b.len(), "par_zip_vec: length mismatch");
+    // Output storage is recycled; every element is overwritten below.
+    let mut out = crate::recycle::take(a.len());
     if a.len() < PAR_MIN_ELEMS {
-        return a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect();
+        for ((d, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *d = f(x, y);
+        }
+        return out;
     }
-    let mut out = vec![0.0f32; a.len()];
     let ranges = partition(out.len(), num_threads());
     let base = SendPtr::new(out.as_mut_ptr());
     pool::run(ranges.len(), &|t| {

@@ -16,6 +16,9 @@
 //! * [`scratch`] — a thread-local bump-allocator arena for the short-lived
 //!   buffers (im2col columns, gradient partials) the hot paths would
 //!   otherwise `vec![0.0; n]` on every call;
+//! * [`recycle`] — thread-local exact-length free lists that recycle
+//!   [`Array`] value/grad storage across training steps, making the
+//!   steady-state step allocation-free (every `Array` drop feeds the pool);
 //! * [`Tensor`] — a define-by-run autodiff graph node with operations
 //!   covering everything the EDD supernet needs: convolutions (standard and
 //!   depthwise), batch normalization, pooling, softmax / cross-entropy,
@@ -57,6 +60,7 @@ pub mod gradcheck;
 pub mod kernel;
 mod ops;
 pub mod optim;
+pub mod recycle;
 pub mod scratch;
 pub mod shape;
 pub mod stats;

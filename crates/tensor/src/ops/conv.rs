@@ -196,6 +196,108 @@ fn dw_plane_taps(
     }
 }
 
+kernel::avx2_dispatch! {
+    /// Depthwise backward for one (image, channel) plane in tap-gather
+    /// form: the `k*k` taps walk precomputed valid output ranges, so the
+    /// inner loops are branch-free — `dx` rows accumulate shifted axpy
+    /// passes over contiguous `gy` rows and each `dw` tap reduces row dot
+    /// products ([`kernel::dot8`], fixed eight-lane association). Per `dx`
+    /// element the taps apply in ascending `(ky, kx)` order and the caller
+    /// reduces per-image `dw` partials in batch order, so results stay
+    /// bitwise identical across thread counts and SIMD modes.
+    #[allow(clippy::too_many_arguments)] // plain plane geometry, kept flat
+    dw_plane_backward / dw_plane_backward_scalar / dw_plane_backward_avx2,
+    (
+        dx: Option<&mut [f32]>,
+        dw: Option<&mut [f32]>,
+        src: &[f32],
+        ker: &[f32],
+        gy: &[f32],
+        h: usize,
+        w: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        oh: usize,
+        ow: usize,
+    )
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dw_plane_backward_scalar(
+    dx: Option<&mut [f32]>,
+    dw: Option<&mut [f32]>,
+    src: &[f32],
+    ker: &[f32],
+    gy: &[f32],
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) {
+    if let Some(dx) = dx {
+        for ky in 0..k {
+            let (oy0, oy1) = valid_out_range(ky, pad, stride, h, oh);
+            for kx in 0..k {
+                let kv = ker[ky * k + kx];
+                let (ox0, ox1) = valid_out_range(kx, pad, stride, w, ow);
+                if ox0 >= ox1 {
+                    continue;
+                }
+                for oy in oy0..oy1 {
+                    // In-bounds by construction of the valid ranges.
+                    let sy = oy * stride + ky - pad;
+                    let sx0 = ox0 * stride + kx - pad;
+                    let gy_row = &gy[oy * ow + ox0..oy * ow + ox1];
+                    if stride == 1 {
+                        let dst_row = &mut dx[sy * w + sx0..sy * w + sx0 + (ox1 - ox0)];
+                        for (d, &g) in dst_row.iter_mut().zip(gy_row) {
+                            *d += kv * g;
+                        }
+                    } else {
+                        let dst_row = &mut dx[sy * w..(sy + 1) * w];
+                        for (j, &g) in gy_row.iter().enumerate() {
+                            dst_row[sx0 + j * stride] += kv * g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(dw) = dw {
+        for ky in 0..k {
+            let (oy0, oy1) = valid_out_range(ky, pad, stride, h, oh);
+            for kx in 0..k {
+                let (ox0, ox1) = valid_out_range(kx, pad, stride, w, ow);
+                if ox0 >= ox1 {
+                    continue;
+                }
+                let mut acc = 0.0f32;
+                for oy in oy0..oy1 {
+                    let sy = oy * stride + ky - pad;
+                    let sx0 = ox0 * stride + kx - pad;
+                    let gy_row = &gy[oy * ow + ox0..oy * ow + ox1];
+                    if stride == 1 {
+                        acc += kernel::dot8(gy_row, &src[sy * w + sx0..sy * w + sx0 + (ox1 - ox0)]);
+                    } else {
+                        let src_row = &src[sy * w..(sy + 1) * w];
+                        let mut row = 0.0f32;
+                        for (j, &g) in gy_row.iter().enumerate() {
+                            row += g * src_row[sx0 + j * stride];
+                        }
+                        acc += row;
+                    }
+                }
+                dw[ky * k + kx] += acc;
+            }
+        }
+    }
+}
+
 /// Validates NCHW input and returns `(batch, channels, h, w)`.
 fn nchw(shape: &[usize], op: &'static str) -> Result<(usize, usize, usize, usize)> {
     if shape.len() != 4 {
@@ -276,12 +378,16 @@ impl Tensor {
         // shape: MBConv expand/project convolutions are all 1x1.
         let identity_cols = k == 1 && stride == 1 && padding == 0;
         let w2 = weight.value().reshape(&[out_c, ckk])?;
-        let xval = self.value_clone();
         let img = in_c * h * w;
-        let mut out = Array::zeros(&[b, out_c, oh, ow]);
+        // The batched GEMM below overwrites every output element, so the
+        // buffer can start uninitialized (pool-recycled without zeroing).
+        let mut out = Array::uninit(&[b, out_c, oh, ow]);
         {
             let w2d = w2.data();
-            let xd = xval.data();
+            // Input read through the value guard (no clone); the guard is
+            // dropped at the end of this block.
+            let xv = self.value();
+            let xd = xv.data();
             // Parallelize over the batch; each worker reuses one
             // arena-backed column buffer (im2col overwrites every entry,
             // so the stale contents are fine). With a single image the
@@ -347,7 +453,7 @@ impl Tensor {
                                     g.data()[base..base + plane].iter().sum::<f32>();
                             }
                         }
-                        bt.accumulate_grad(&db);
+                        bt.accumulate_grad_owned(db);
                     }
                 }
                 let need_x = x_t.requires_grad();
@@ -361,11 +467,15 @@ impl Tensor {
                 // bitwise independent of the thread count.
                 let xlen = if need_x { img } else { 0 };
                 let wlen = if need_w { out_c * ckk } else { 0 };
-                let mut dxd = vec![0.0f32; b * xlen];
+                let mut dxd = crate::recycle::take_zeroed(b * xlen);
                 let mut dwp = scratch::alloc_zeroed(b * wlen);
                 {
                     let gd = g.data();
-                    let xd = xval.data();
+                    // The input is re-read through the parent handle at
+                    // backward time (read lock on a distinct node); the
+                    // guard drops with this block, before accumulation.
+                    let xv = x_t.value();
+                    let xd = xv.data();
                     let w2d = w2_saved.data();
                     let threads = kernel::num_threads().min(b);
                     let inner = if threads > 1 {
@@ -438,13 +548,13 @@ impl Tensor {
                             }
                         }
                     }
-                    w_t.accumulate_grad(
-                        &dw2.reshape(&[out_c, in_c, k, k]).expect("weight reshape"),
+                    w_t.accumulate_grad_owned(
+                        dw2.reshape(&[out_c, in_c, k, k]).expect("weight reshape"),
                     );
                 }
                 if need_x {
                     let dx = Array::from_vec(dxd, &[b, in_c, h, w]).expect("dx shape");
-                    x_t.accumulate_grad(&dx);
+                    x_t.accumulate_grad_owned(dx);
                 }
             }),
         ))
@@ -498,13 +608,16 @@ impl Tensor {
         }
         let oh = (h + 2 * padding - k) / stride + 1;
         let ow = (w + 2 * padding - k) / stride + 1;
-        let xval = self.value_clone();
-        let wval = weight.value_clone();
-        let mut out = Array::zeros(&[b, c, oh, ow]);
-        let pad = padding as isize;
+        // Every output plane is fully written by the stencil, so the buffer
+        // can start uninitialized (pool-recycled without zeroing).
+        let mut out = Array::uninit(&[b, c, oh, ow]);
         {
-            let xd = xval.data();
-            let wd = wval.data();
+            // Operands read through value guards (no clones); the guards
+            // drop at the end of this block.
+            let xv = self.value();
+            let wv = weight.value();
+            let xd = xv.data();
+            let wd = wv.data();
             let threads = kernel::num_threads().min(b * c);
             kernel::par_batch_with(
                 b * c,
@@ -556,7 +669,7 @@ impl Tensor {
                                     g.data()[base..base + plane].iter().sum::<f32>();
                             }
                         }
-                        bt.accumulate_grad(&db);
+                        bt.accumulate_grad_owned(db);
                     }
                 }
                 let need_x = x_t.requires_grad();
@@ -570,12 +683,17 @@ impl Tensor {
                 let img = c * h * w;
                 let xlen = if need_x { img } else { 0 };
                 let wlen = if need_w { c * k * k } else { 0 };
-                let mut dxd = vec![0.0f32; b * xlen];
+                let mut dxd = crate::recycle::take_zeroed(b * xlen);
                 let mut dwp = scratch::alloc_zeroed(b * wlen);
                 {
                     let gd = g.data();
-                    let xd = xval.data();
-                    let wd = wval.data();
+                    // Operands re-read through the parent handles (read
+                    // locks on distinct nodes); guards drop with this
+                    // block, before accumulation.
+                    let xv = x_t.value();
+                    let wv = w_t.value();
+                    let xd = xv.data();
+                    let wd = wv.data();
                     let threads = kernel::num_threads().min(b);
                     kernel::par_batch2_with(
                         b,
@@ -590,34 +708,19 @@ impl Tensor {
                                 let src = &xd[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
                                 let ker = &wd[ci * k * k..(ci + 1) * k * k];
                                 let gy = &gd[(bi * c + ci) * plane..(bi * c + ci + 1) * plane];
-                                for oy in 0..oh {
-                                    for ox in 0..ow {
-                                        let go = gy[oy * ow + ox];
-                                        if go == 0.0 {
-                                            continue;
-                                        }
-                                        for ky in 0..k {
-                                            let sy = (oy * stride) as isize + ky as isize - pad;
-                                            if sy < 0 || sy >= h as isize {
-                                                continue;
-                                            }
-                                            for kx in 0..k {
-                                                let sx = (ox * stride) as isize + kx as isize - pad;
-                                                if sx >= 0 && sx < w as isize {
-                                                    let si = sy as usize * w + sx as usize;
-                                                    if need_w {
-                                                        dws[ci * k * k + ky * k + kx] +=
-                                                            go * src[si];
-                                                    }
-                                                    if need_x {
-                                                        dxs[ci * h * w + si] +=
-                                                            go * ker[ky * k + kx];
-                                                    }
-                                                }
-                                            }
-                                        }
-                                    }
-                                }
+                                let dx = if need_x {
+                                    Some(&mut dxs[ci * h * w..(ci + 1) * h * w])
+                                } else {
+                                    None
+                                };
+                                let dwt = if need_w {
+                                    Some(&mut dws[ci * k * k..(ci + 1) * k * k])
+                                } else {
+                                    None
+                                };
+                                dw_plane_backward(
+                                    dx, dwt, src, ker, gy, h, w, k, stride, padding, oh, ow,
+                                );
                             }
                         },
                     );
@@ -631,11 +734,11 @@ impl Tensor {
                             }
                         }
                     }
-                    w_t.accumulate_grad(&dw);
+                    w_t.accumulate_grad_owned(dw);
                 }
                 if need_x {
                     let dx = Array::from_vec(dxd, &[b, c, h, w]).expect("dx shape");
-                    x_t.accumulate_grad(&dx);
+                    x_t.accumulate_grad_owned(dx);
                 }
             }),
         ))

@@ -17,16 +17,26 @@ impl Tensor {
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
         let value = self.value().matmul(&other.value())?;
         let (a, b) = (self.clone(), other.clone());
-        let (va, vb) = (self.value_clone(), other.value_clone());
         Ok(Tensor::from_op(
             value,
             vec![self.clone(), other.clone()],
+            // Operand values are read back through the parent handles at
+            // backward time (guards dropped before accumulating, since the
+            // operands may alias, e.g. `x.matmul(&x)`).
             Box::new(move |g| {
                 if a.requires_grad() {
-                    a.accumulate_grad(&g.matmul_a_bt(&vb).expect("shapes consistent"));
+                    let da = {
+                        let vb = b.value();
+                        g.matmul_a_bt(&vb).expect("shapes consistent")
+                    };
+                    a.accumulate_grad_owned(da);
                 }
                 if b.requires_grad() {
-                    b.accumulate_grad(&va.matmul_at_b(g).expect("shapes consistent"));
+                    let db = {
+                        let va = a.value();
+                        va.matmul_at_b(&g).expect("shapes consistent")
+                    };
+                    b.accumulate_grad_owned(db);
                 }
             }),
         ))

@@ -28,8 +28,11 @@ impl Tensor {
         }
         let oh = (h - k) / stride + 1;
         let ow = (w - k) / stride + 1;
-        let xval = self.value_clone();
-        let mut out = Array::zeros(&[b, c, oh, ow]);
+        // Every output element is written below, so the buffer can start
+        // uninitialized (pool-recycled). The input is read through the
+        // value guard instead of cloned.
+        let xval = self.value();
+        let mut out = Array::uninit(&[b, c, oh, ow]);
         let norm = 1.0 / (k * k) as f32;
         for bc in 0..b * c {
             let src = &xval.data()[bc * h * w..(bc + 1) * h * w];
@@ -45,6 +48,7 @@ impl Tensor {
                 }
             }
         }
+        drop(xval);
         let a = self.clone();
         Ok(Tensor::from_op(
             out,
@@ -69,7 +73,7 @@ impl Tensor {
                         }
                     }
                 }
-                a.accumulate_grad(&dx);
+                a.accumulate_grad_owned(dx);
             }),
         ))
     }
@@ -107,14 +111,15 @@ impl Tensor {
                 if !a.requires_grad() {
                     return;
                 }
-                let mut dx = Array::zeros(&[b, c, h, w]);
+                // Every element assigned below — uninit (pool-recycled).
+                let mut dx = Array::uninit(&[b, c, h, w]);
                 for bc in 0..b * c {
                     let gv = g.data()[bc] * norm;
                     for v in &mut dx.data_mut()[bc * plane..(bc + 1) * plane] {
                         *v = gv;
                     }
                 }
-                a.accumulate_grad(&dx);
+                a.accumulate_grad_owned(dx);
             }),
         ))
     }
@@ -141,8 +146,9 @@ impl Tensor {
         }
         let oh = (h - k) / stride + 1;
         let ow = (w - k) / stride + 1;
-        let xval = self.value_clone();
-        let mut out = Array::zeros(&[b, c, oh, ow]);
+        // Output fully written below (uninit ok); input read via guard.
+        let xval = self.value();
+        let mut out = Array::uninit(&[b, c, oh, ow]);
         let mut argmax = vec![0usize; b * c * oh * ow];
         for bc in 0..b * c {
             let src = &xval.data()[bc * h * w..(bc + 1) * h * w];
@@ -165,6 +171,7 @@ impl Tensor {
                 }
             }
         }
+        drop(xval);
         let a = self.clone();
         Ok(Tensor::from_op(
             out,
@@ -180,7 +187,7 @@ impl Tensor {
                         dx.data_mut()[bc * h * w + argmax[flat]] += g.data()[flat];
                     }
                 }
-                a.accumulate_grad(&dx);
+                a.accumulate_grad_owned(dx);
             }),
         ))
     }

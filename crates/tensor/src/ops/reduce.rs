@@ -17,7 +17,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g| {
                 if a.requires_grad() {
-                    a.accumulate_grad(&Array::full(&shape, g.item()));
+                    a.accumulate_grad_owned(Array::full(&shape, g.item()));
                 }
             }),
         )
@@ -52,7 +52,7 @@ impl Tensor {
                         .expect("sum_axis grad reshape")
                         .mul(&Array::ones(&in_shape))
                         .expect("sum_axis grad broadcast");
-                    a.accumulate_grad(&gb);
+                    a.accumulate_grad_owned(gb);
                 }
             }),
         ))
@@ -82,7 +82,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g| {
                 if a.requires_grad() {
-                    a.accumulate_grad(&g.reshape(&in_shape).expect("reshape grad"));
+                    a.accumulate_grad_owned(g.reshape(&in_shape).expect("reshape grad"));
                 }
             }),
         ))
@@ -101,7 +101,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g| {
                 if a.requires_grad() {
-                    a.accumulate_grad(&g.transpose2d().expect("transpose grad"));
+                    a.accumulate_grad_owned(g.transpose2d().expect("transpose grad"));
                 }
             }),
         ))
@@ -142,7 +142,7 @@ impl Tensor {
                     if s.requires_grad() {
                         let mut gs = Array::zeros(s.value().shape());
                         gs.data_mut()[0] = g.data()[i];
-                        s.accumulate_grad(&gs);
+                        s.accumulate_grad_owned(gs);
                     }
                 }
             }),
@@ -172,7 +172,7 @@ impl Tensor {
                 if a.requires_grad() {
                     let mut ga = Array::zeros(&shape);
                     ga.data_mut()[index] = g.item();
-                    a.accumulate_grad(&ga);
+                    a.accumulate_grad_owned(ga);
                 }
             }),
         ))

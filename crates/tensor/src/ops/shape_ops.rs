@@ -31,7 +31,8 @@ fn slice_along_axis(src: &Array, axis: usize, start: usize, len: usize) -> Array
     let src_shape = src.shape().to_vec();
     let mut out_shape = src_shape.clone();
     out_shape[axis] = len;
-    let mut out = Array::zeros(&out_shape);
+    // Every block of the output is copied into below — uninit is safe.
+    let mut out = Array::uninit(&out_shape);
     let outer: usize = src_shape[..axis].iter().product();
     let inner: usize = src_shape[axis + 1..].iter().product();
     let src_axis = src_shape[axis];
@@ -81,7 +82,8 @@ impl Tensor {
         }
         let mut out_shape = base_shape.clone();
         out_shape[axis] = axis_total;
-        let mut value = Array::zeros(&out_shape);
+        // The copies below cover the whole axis extent — uninit is safe.
+        let mut value = Array::uninit(&out_shape);
         let mut offset = 0usize;
         let mut offsets = Vec::with_capacity(tensors.len());
         for t in tensors {
@@ -97,7 +99,7 @@ impl Tensor {
                 for (t, &off) in captured.iter().zip(&offsets) {
                     if t.requires_grad() {
                         let len = t.shape()[axis];
-                        t.accumulate_grad(&slice_along_axis(g, axis, off, len));
+                        t.accumulate_grad_owned(slice_along_axis(&g, axis, off, len));
                     }
                 }
             }),
@@ -130,8 +132,8 @@ impl Tensor {
                 if a.requires_grad() {
                     let in_shape = a.value().shape().to_vec();
                     let mut ga = Array::zeros(&in_shape);
-                    copy_along_axis(&mut ga, start, g, axis);
-                    a.accumulate_grad(&ga);
+                    copy_along_axis(&mut ga, start, &g, axis);
+                    a.accumulate_grad_owned(ga);
                 }
             }),
         ))
@@ -153,7 +155,9 @@ impl Tensor {
         }
         let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let (oh, ow) = (h + 2 * pad, w + 2 * pad);
-        let xv = self.value_clone();
+        // The border must stay zero, so the output is taken zeroed; the
+        // input is read through the value guard instead of cloned.
+        let xv = self.value();
         let mut out = Array::zeros(&[b, c, oh, ow]);
         for bc in 0..b * c {
             for y in 0..h {
@@ -170,7 +174,8 @@ impl Tensor {
                 if !a.requires_grad() {
                     return;
                 }
-                let mut ga = Array::zeros(&[b, c, h, w]);
+                // Every interior row is copied — uninit (pool-recycled).
+                let mut ga = Array::uninit(&[b, c, h, w]);
                 for bc in 0..b * c {
                     for y in 0..h {
                         let s_base = bc * oh * ow + (y + pad) * ow + pad;
@@ -178,7 +183,7 @@ impl Tensor {
                         d.copy_from_slice(&g.data()[s_base..s_base + w]);
                     }
                 }
-                a.accumulate_grad(&ga);
+                a.accumulate_grad_owned(ga);
             }),
         ))
     }

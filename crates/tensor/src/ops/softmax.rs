@@ -58,7 +58,9 @@ impl Tensor {
                 }
                 let shape = s_saved.shape().to_vec();
                 let c = *shape.last().unwrap();
-                let mut dx = Array::zeros(&shape);
+                // Every element of every row is written below, so the
+                // buffer can start uninitialized (pool-recycled).
+                let mut dx = Array::uninit(&shape);
                 kernel::par_rows(dx.data_mut(), c, |r, drow| {
                     let srow = &s_saved.data()[r * c..(r + 1) * c];
                     let grow = &g.data()[r * c..(r + 1) * c];
@@ -67,7 +69,7 @@ impl Tensor {
                         drow[i] = srow[i] * (grow[i] - dot);
                     }
                 });
-                a.accumulate_grad(&dx);
+                a.accumulate_grad_owned(dx);
             }),
         ))
     }
@@ -100,7 +102,8 @@ impl Tensor {
                 }
                 let shape = s_saved.shape().to_vec();
                 let c = *shape.last().unwrap();
-                let mut dx = Array::zeros(&shape);
+                // Full overwrite per row, so uninit (pool-recycled) is safe.
+                let mut dx = Array::uninit(&shape);
                 kernel::par_rows(dx.data_mut(), c, |r, drow| {
                     let srow = &s_saved.data()[r * c..(r + 1) * c];
                     let grow = &g.data()[r * c..(r + 1) * c];
@@ -109,7 +112,7 @@ impl Tensor {
                         drow[i] = grow[i] - srow[i] * gsum;
                     }
                 });
-                a.accumulate_grad(&dx);
+                a.accumulate_grad_owned(dx);
             }),
         ))
     }
@@ -167,7 +170,7 @@ impl Tensor {
                         *v = (*v - t) * scale;
                     }
                 });
-                a.accumulate_grad(&dx);
+                a.accumulate_grad_owned(dx);
             }),
         ))
     }
@@ -246,7 +249,7 @@ impl Tensor {
                         *v = (*v - t) * scale;
                     }
                 });
-                a.accumulate_grad(&dx);
+                a.accumulate_grad_owned(dx);
             }),
         ))
     }

@@ -16,13 +16,20 @@ fn unary(
 ) -> Tensor {
     let value = input.value().map(&fwd);
     let a = input.clone();
-    let va = input.value_clone();
     Tensor::from_op(
         value,
         vec![input.clone()],
+        // The input values are read back through the parent handle at
+        // backward time rather than cloned into the closure at forward
+        // time; the value guard is dropped before accumulating into the
+        // same node.
         Box::new(move |g| {
             if a.requires_grad() {
-                a.accumulate_grad(&g.zip_same(&va, |gv, v| gv * dfd(v)));
+                let dx = {
+                    let va = a.value();
+                    g.zip_same(&va, |gv, v| gv * dfd(v))
+                };
+                a.accumulate_grad_owned(dx);
             }
         }),
     )
@@ -157,17 +164,20 @@ impl Tensor {
         };
         let value = self.value().map(fwd);
         let a = self.clone();
-        let va = self.value_clone();
         Tensor::from_op(
             value,
             vec![self.clone()],
             Box::new(move |g| {
                 if a.requires_grad() {
                     // STE: pass-through inside the clamp range, fused with
-                    // the incoming gradient in one traversal.
-                    a.accumulate_grad(
-                        &g.zip_same(&va, |gv, v| if v.abs() <= range { gv } else { 0.0 }),
-                    );
+                    // the incoming gradient in one traversal. Input values
+                    // are read back via the parent handle (guard dropped
+                    // before accumulating).
+                    let dx = {
+                        let va = a.value();
+                        g.zip_same(&va, |gv, v| if v.abs() <= range { gv } else { 0.0 })
+                    };
+                    a.accumulate_grad_owned(dx);
                 }
             }),
         )

@@ -95,24 +95,28 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
+        let lr = self.lr;
         for (i, p) in self.params.iter().enumerate() {
-            let Some(mut g) = p.grad() else { continue };
+            // The gradient is consumed by the step (moved out of the
+            // parameter, buffer recycled on drop); `zero_grad` afterwards
+            // stays a harmless no-op.
+            let Some(mut g) = p.take_grad() else { continue };
             if self.weight_decay != 0.0 {
-                let v = p.value_clone();
+                let v = p.value();
                 g.add_scaled_assign(&v, self.weight_decay);
             }
-            let update = if self.momentum != 0.0 {
+            if self.momentum != 0.0 {
                 let vel = self.velocity[i].get_or_insert_with(|| Array::zeros(g.shape()));
                 // v <- mu * v + g
                 for (v, &gv) in vel.data_mut().iter_mut().zip(g.data()) {
                     *v = self.momentum * *v + gv;
                 }
-                vel.clone()
+                // Apply the velocity directly — no clone of the buffer.
+                let vel = &*vel;
+                p.update_value(|val| val.add_scaled_assign(vel, -lr));
             } else {
-                g
-            };
-            let lr = self.lr;
-            p.update_value(|val| val.add_scaled_assign(&update, -lr));
+                p.update_value(|val| val.add_scaled_assign(&g, -lr));
+            }
         }
     }
 
@@ -228,7 +232,8 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, p) in self.params.iter().enumerate() {
-            let Some(g) = p.grad() else { continue };
+            // Consumed by the step; the buffer recycles on drop.
+            let Some(g) = p.take_grad() else { continue };
             let m = self.m[i].get_or_insert_with(|| Array::zeros(g.shape()));
             let v = self.v[i].get_or_insert_with(|| Array::zeros(g.shape()));
             for ((mv, vv), &gv) in m.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
@@ -276,23 +281,21 @@ impl Optimizer for Adam {
 
 /// Clips the global L2 norm of the gradients on `params` to `max_norm`.
 ///
-/// Returns the pre-clip global norm.
+/// Returns the pre-clip global norm. Gradients stay accumulated on the
+/// parameters (rescaled in place, no clones) so the optimizer step that
+/// follows sees the clipped values.
 pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
     let mut total = 0.0f32;
     for p in params {
-        if let Some(g) = p.grad() {
-            total += g.data().iter().map(|v| v * v).sum::<f32>();
+        if let Some(sq) = p.map_grad(|g| g.data().iter().map(|v| v * v).sum::<f32>()) {
+            total += sq;
         }
     }
     let norm = total.sqrt();
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
-            if let Some(mut g) = p.grad() {
-                g.map_inplace(|v| v * scale);
-                p.zero_grad();
-                p.accumulate_grad(&g);
-            }
+            p.update_grad(|g| g.map_inplace(|v| v * scale));
         }
     }
     norm

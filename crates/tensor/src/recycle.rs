@@ -1,0 +1,324 @@
+//! Thread-local buffer-recycling pool for [`crate::Array`] storage.
+//!
+//! The training loop rebuilds its autodiff graph every step (define-by-run),
+//! so each step used to allocate — and free — every intermediate value and
+//! gradient buffer through the system allocator. This module keeps those
+//! buffers alive instead: when an `Array` is dropped its `Vec<f32>` is
+//! *given* to an exact-length free list, and the next request for the same
+//! length *takes* it back, zero-malloc. Because the step's tensor shapes are
+//! identical from one step to the next, the pool reaches steady state after
+//! the first step or two and per-step heap traffic for tensor storage drops
+//! to zero (see the `steady_state` test and the bench counters).
+//!
+//! Three properties keep this safe and cheap:
+//!
+//! * **Exact-length bins.** A pooled vector is stored under its `len()`, and
+//!   `take(len)` only returns vectors of exactly that length — callers never
+//!   see a resized or partially-initialized buffer, only recycled *contents*
+//!   (which [`take`] callers overwrite and [`take_zeroed`] clears).
+//! * **Thread-local free lists.** No locks on the hot path; the persistent
+//!   worker pool ([`crate::kernel::pool`]) means each worker's free list
+//!   survives across steps, so cross-step reuse works on every thread.
+//! * **Bounded retention.** Only buffers of at least [`MIN_RECYCLE_ELEMS`]
+//!   elements are retained (small vectors are cheaper to malloc than to
+//!   bin), and each thread caps its retained footprint at
+//!   [`MAX_RETAINED_BYTES`]; beyond the cap, freed buffers fall through to
+//!   the system allocator as before.
+//!
+//! Accounting is double-booked: process-wide relaxed counters in
+//! [`crate::stats`] (for the bench harness and telemetry gauges) and
+//! race-free thread-local counters ([`local_counters`]) for tests that
+//! assert a specific thread performed zero fresh allocations.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Minimum element count for a buffer to participate in recycling. Below
+/// this the system allocator (thread-cached small bins) is faster than our
+/// hash-map lookup, and retaining tiny buffers would just bloat the bins.
+pub const MIN_RECYCLE_ELEMS: usize = 1024;
+
+/// Per-thread retention ceiling in bytes. One search step's working set is
+/// a few tens of megabytes at the paper's CIFAR-scale shapes; 128 MiB keeps
+/// every step-periodic buffer while bounding pathological workloads (e.g. a
+/// sweep over ever-growing shapes) to a fixed footprint.
+pub const MAX_RETAINED_BYTES: usize = 128 << 20;
+
+/// Race-free snapshot of the calling thread's recycling activity.
+///
+/// All counters cover only pool-eligible requests (length at least
+/// [`MIN_RECYCLE_ELEMS`]); sub-threshold vectors are deliberately invisible
+/// here and in the global [`crate::stats`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalCounters {
+    /// Bytes served by fresh system allocations (pool misses).
+    pub fresh_bytes: u64,
+    /// Bytes served from the thread's free lists (pool hits).
+    pub recycled_bytes: u64,
+    /// Pool-eligible requests satisfied from a free list.
+    pub hits: u64,
+    /// Pool-eligible requests that fell back to the system allocator.
+    pub misses: u64,
+}
+
+#[derive(Default)]
+struct Pool {
+    /// Exact-length free lists: every stored vector satisfies
+    /// `v.len() == key`.
+    bins: HashMap<usize, Vec<Vec<f32>>>,
+    /// Total bytes currently parked in `bins`.
+    retained_bytes: usize,
+    counters: LocalCounters,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Takes a vector of exactly `len` elements with **unspecified contents**
+/// (recycled values from a previous owner, or zeros when freshly
+/// allocated). Callers must overwrite every element before reading.
+#[must_use]
+pub fn take(len: usize) -> Vec<f32> {
+    if len < MIN_RECYCLE_ELEMS {
+        return vec![0.0; len];
+    }
+    let bytes = (len * 4) as u64;
+    let recycled = POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let hit = p.bins.get_mut(&len).and_then(Vec::pop);
+        if let Some(v) = hit {
+            p.retained_bytes -= len * 4;
+            p.counters.hits += 1;
+            p.counters.recycled_bytes += bytes;
+            Some(v)
+        } else {
+            p.counters.misses += 1;
+            p.counters.fresh_bytes += bytes;
+            None
+        }
+    });
+    match recycled {
+        Some(v) => {
+            debug_assert_eq!(v.len(), len);
+            crate::stats::record_buffer_request(bytes, true);
+            v
+        }
+        None => {
+            crate::stats::record_buffer_request(bytes, false);
+            vec![0.0; len]
+        }
+    }
+}
+
+/// Takes a vector of exactly `len` zeros — [`take`] plus a `fill(0.0)` when
+/// the buffer came from a free list (a memset is still far cheaper than a
+/// page-faulting fresh allocation).
+#[must_use]
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    if len < MIN_RECYCLE_ELEMS {
+        return vec![0.0; len];
+    }
+    let mut v = take(len);
+    // Fresh vectors are already zeroed, but re-filling them would double the
+    // cost of every miss; only hits carry stale contents. Rather than thread
+    // a hit/miss flag through, exploit that a fresh `vec![0.0; len]` fill is
+    // what `take` returns on miss and clear unconditionally: the fill is
+    // cheap, branch-free, and keeps this function's contract independent of
+    // pool state.
+    v.fill(0.0);
+    v
+}
+
+/// Returns a no-longer-needed vector to the calling thread's free lists.
+///
+/// Sub-threshold and over-budget vectors are simply dropped (the system
+/// allocator frees them as before). Called automatically by
+/// [`crate::Array`]'s `Drop`; manual callers only need it for buffers that
+/// bypassed `Array`.
+pub fn give(v: Vec<f32>) {
+    let len = v.len();
+    if len < MIN_RECYCLE_ELEMS {
+        return;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let bytes = len * 4;
+        if p.retained_bytes + bytes > MAX_RETAINED_BYTES {
+            return; // drop `v`; the thread is at its retention budget
+        }
+        p.retained_bytes += bytes;
+        p.bins.entry(len).or_default().push(v);
+    });
+}
+
+/// Drops every buffer parked on the calling thread and zeroes its retained
+/// footprint (test isolation; never needed in production).
+pub fn clear() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.bins.clear();
+        p.retained_bytes = 0;
+    });
+}
+
+/// Bytes currently parked in the calling thread's free lists.
+#[must_use]
+pub fn retained_bytes() -> usize {
+    POOL.with(|p| p.borrow().retained_bytes)
+}
+
+/// Snapshot of the calling thread's hit/miss counters.
+#[must_use]
+pub fn local_counters() -> LocalCounters {
+    POOL.with(|p| p.borrow().counters)
+}
+
+/// Zeroes the calling thread's hit/miss counters (the parked buffers stay).
+pub fn reset_local_counters() {
+    POOL.with(|p| p.borrow_mut().counters = LocalCounters::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the pool-state tests (they share the thread-local pool
+    /// with every other test on this thread).
+    fn isolated() -> impl Drop {
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                clear();
+                reset_local_counters();
+            }
+        }
+        clear();
+        reset_local_counters();
+        Reset
+    }
+
+    #[test]
+    fn round_trip_recycles_exact_length() {
+        let _g = isolated();
+        let v = take(MIN_RECYCLE_ELEMS);
+        let ptr = v.as_ptr();
+        give(v);
+        assert_eq!(retained_bytes(), MIN_RECYCLE_ELEMS * 4);
+        let w = take(MIN_RECYCLE_ELEMS);
+        assert_eq!(w.len(), MIN_RECYCLE_ELEMS);
+        assert_eq!(w.as_ptr(), ptr, "same buffer must come back");
+        assert_eq!(retained_bytes(), 0);
+        let c = local_counters();
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.recycled_bytes, (MIN_RECYCLE_ELEMS * 4) as u64);
+    }
+
+    #[test]
+    fn lengths_do_not_cross_bins() {
+        let _g = isolated();
+        give(vec![1.0; MIN_RECYCLE_ELEMS]);
+        let w = take(MIN_RECYCLE_ELEMS + 1);
+        assert_eq!(w.len(), MIN_RECYCLE_ELEMS + 1);
+        assert!(w.iter().all(|&x| x == 0.0), "miss must be freshly zeroed");
+        assert_eq!(local_counters().hits, 0);
+    }
+
+    #[test]
+    fn small_buffers_bypass_the_pool() {
+        let _g = isolated();
+        give(vec![1.0; MIN_RECYCLE_ELEMS - 1]);
+        assert_eq!(retained_bytes(), 0);
+        let v = take(8);
+        assert_eq!(v, vec![0.0; 8]);
+        assert_eq!(local_counters(), LocalCounters::default());
+    }
+
+    #[test]
+    fn take_zeroed_clears_recycled_contents() {
+        let _g = isolated();
+        give(vec![7.5; MIN_RECYCLE_ELEMS]);
+        let v = take_zeroed(MIN_RECYCLE_ELEMS);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(local_counters().hits, 1);
+    }
+
+    #[test]
+    fn retention_budget_drops_excess() {
+        let _g = isolated();
+        let huge = MAX_RETAINED_BYTES / 4; // one vector at the full budget
+        give(vec![0.0; huge]);
+        assert_eq!(retained_bytes(), MAX_RETAINED_BYTES);
+        give(vec![0.0; MIN_RECYCLE_ELEMS]);
+        assert_eq!(
+            retained_bytes(),
+            MAX_RETAINED_BYTES,
+            "over-budget give must drop"
+        );
+        clear();
+        assert_eq!(retained_bytes(), 0);
+    }
+
+    #[test]
+    fn training_step_reaches_zero_fresh_allocations_by_step_3() {
+        use crate::optim::{Optimizer, Sgd};
+        use crate::{kernel, Array, Tensor};
+        // Pin all kernel work to this thread so the thread-local counters
+        // see the whole step, and serialize against other thread-count
+        // tests in the process.
+        let _guard = kernel::pool::test_lock();
+        let saved = kernel::num_threads();
+        kernel::pool::set_num_threads(1);
+        let _g = isolated();
+        // A realistic weight step over pool-eligible shapes: every
+        // intermediate (activations, gradients, optimizer traffic) is at
+        // least MIN_RECYCLE_ELEMS elements.
+        let x = Tensor::constant(Array::full(&[32, 64], 0.01));
+        let w = Tensor::param(Array::full(&[64, 256], 0.02));
+        let mut opt = Sgd::new(vec![w.clone()], 1e-4, 0.0, 0.0);
+        let mut step = || {
+            opt.zero_grad();
+            let loss = x.matmul(&w).unwrap().relu6().sum();
+            loss.backward();
+            opt.step();
+        };
+        // Two warm-up steps populate the free lists (step 1 allocates the
+        // working set; step 2 proves the shapes repeat).
+        step();
+        step();
+        reset_local_counters();
+        for _ in 0..3 {
+            step();
+        }
+        let c = local_counters();
+        kernel::pool::set_num_threads(saved);
+        assert_eq!(
+            c.fresh_bytes, 0,
+            "steady-state steps must be served entirely from the pool: {c:?}"
+        );
+        assert_eq!(c.misses, 0, "no pool misses at steady state: {c:?}");
+        assert!(c.hits > 0, "the step's buffers must be pool-eligible");
+    }
+
+    #[test]
+    fn steady_state_fixed_workload_stops_allocating() {
+        let _g = isolated();
+        // A fixed-shape "step": two eligible buffers, both freed at the end.
+        let step = || {
+            let a = take(4096);
+            let b = take_zeroed(2048);
+            give(a);
+            give(b);
+        };
+        step(); // warm-up populates the bins
+        reset_local_counters();
+        for _ in 0..3 {
+            step();
+        }
+        let c = local_counters();
+        assert_eq!(c.fresh_bytes, 0, "steady state must be all hits: {c:?}");
+        assert_eq!(c.misses, 0);
+        assert_eq!(c.hits, 6);
+    }
+}

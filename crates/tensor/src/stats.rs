@@ -21,6 +21,14 @@ static POOL_TASKS: AtomicU64 = AtomicU64::new(0);
 static POOL_WORKERS_SPAWNED: AtomicU64 = AtomicU64::new(0);
 /// Peak scratch-arena footprint (bytes) observed on any single thread.
 static SCRATCH_HIGH_WATER_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Bytes of pool-eligible tensor storage served by fresh system allocations.
+static BUFFER_FRESH_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Bytes of pool-eligible tensor storage served from recycling free lists.
+static BUFFER_RECYCLED_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Pool-eligible buffer requests satisfied from a free list.
+static BUFFER_POOL_HITS: AtomicU64 = AtomicU64::new(0);
+/// Pool-eligible buffer requests that fell back to the system allocator.
+static BUFFER_POOL_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Point-in-time snapshot of the kernel-runtime counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,6 +43,15 @@ pub struct KernelStats {
     pub pool_workers_spawned: u64,
     /// Peak per-thread scratch-arena footprint in bytes.
     pub scratch_high_water_bytes: u64,
+    /// Bytes of pool-eligible tensor storage freshly allocated (see
+    /// [`crate::recycle`]; sub-threshold vectors are not counted).
+    pub buffer_fresh_bytes: u64,
+    /// Bytes of pool-eligible tensor storage served from recycling bins.
+    pub buffer_recycled_bytes: u64,
+    /// Pool-eligible buffer requests satisfied from a free list.
+    pub buffer_pool_hits: u64,
+    /// Pool-eligible buffer requests that missed and hit the allocator.
+    pub buffer_pool_misses: u64,
 }
 
 impl KernelStats {
@@ -57,6 +74,10 @@ pub fn snapshot() -> KernelStats {
         pool_tasks: POOL_TASKS.load(Ordering::Relaxed),
         pool_workers_spawned: POOL_WORKERS_SPAWNED.load(Ordering::Relaxed),
         scratch_high_water_bytes: SCRATCH_HIGH_WATER_BYTES.load(Ordering::Relaxed),
+        buffer_fresh_bytes: BUFFER_FRESH_BYTES.load(Ordering::Relaxed),
+        buffer_recycled_bytes: BUFFER_RECYCLED_BYTES.load(Ordering::Relaxed),
+        buffer_pool_hits: BUFFER_POOL_HITS.load(Ordering::Relaxed),
+        buffer_pool_misses: BUFFER_POOL_MISSES.load(Ordering::Relaxed),
     }
 }
 
@@ -67,6 +88,10 @@ pub fn reset() {
     POOL_TASKS.store(0, Ordering::Relaxed);
     POOL_WORKERS_SPAWNED.store(0, Ordering::Relaxed);
     SCRATCH_HIGH_WATER_BYTES.store(0, Ordering::Relaxed);
+    BUFFER_FRESH_BYTES.store(0, Ordering::Relaxed);
+    BUFFER_RECYCLED_BYTES.store(0, Ordering::Relaxed);
+    BUFFER_POOL_HITS.store(0, Ordering::Relaxed);
+    BUFFER_POOL_MISSES.store(0, Ordering::Relaxed);
 }
 
 pub(crate) fn record_pool_job(tasks: usize, inline: bool) {
@@ -85,6 +110,17 @@ pub(crate) fn record_worker_spawned() {
 /// Folds one thread's cycle high-water mark (in bytes) into the global max.
 pub(crate) fn record_scratch_high_water(bytes: u64) {
     SCRATCH_HIGH_WATER_BYTES.fetch_max(bytes, Ordering::Relaxed);
+}
+
+/// Accounts one pool-eligible buffer request from [`crate::recycle`].
+pub(crate) fn record_buffer_request(bytes: u64, recycled: bool) {
+    if recycled {
+        BUFFER_RECYCLED_BYTES.fetch_add(bytes, Ordering::Relaxed);
+        BUFFER_POOL_HITS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        BUFFER_FRESH_BYTES.fetch_add(bytes, Ordering::Relaxed);
+        BUFFER_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

@@ -12,10 +12,18 @@ use std::fmt;
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 /// Backward closure: receives the gradient of the loss with respect to this
-/// node's output and accumulates into the node's parents. `Send + Sync` so
-/// graph nodes can be built concurrently on pool workers (supernet branch
-/// fan-out); the backward sweep itself stays single-threaded.
-pub(crate) type BackwardFn = Box<dyn Fn(&Array) + Send + Sync>;
+/// node's output **by value** (moved out of the node's grad slot, so the
+/// sweep never clones gradients) and accumulates into the node's parents —
+/// the final contribution can be moved straight into an empty parent slot
+/// via [`Tensor::accumulate_grad_owned`]. `Send + Sync` so graph nodes can
+/// be built concurrently on pool workers (supernet branch fan-out); the
+/// backward sweep itself stays single-threaded.
+///
+/// The closure runs while the *own* node's write lock is held: it must only
+/// lock parents (distinct nodes; graphs are acyclic) and must never read its
+/// own output through the tensor handle — ops that need their forward output
+/// in backward (softmax, batch norm) capture a saved copy instead.
+pub(crate) type BackwardFn = Box<dyn Fn(Array) + Send + Sync>;
 
 struct Inner {
     value: Array,
@@ -241,6 +249,50 @@ impl Tensor {
         }
     }
 
+    /// Accumulates an owned gradient into this node: the first contribution
+    /// moves `g` straight into the empty slot (no copy), later ones add in
+    /// place. The backward hot path — closures hand their last (often only)
+    /// per-parent gradient here instead of cloning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s shape differs from the node's value shape.
+    pub fn accumulate_grad_owned(&self, g: Array) {
+        let mut inner = self.write();
+        assert_eq!(
+            inner.value.shape(),
+            g.shape(),
+            "gradient shape must match value shape"
+        );
+        match &mut inner.grad {
+            Some(acc) => acc.add_scaled_assign(&g, 1.0),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Moves the accumulated gradient out of the node (leaving none), if
+    /// any. Lets optimizers consume gradients without cloning; the returned
+    /// buffer feeds the recycling pool when dropped.
+    #[must_use]
+    pub fn take_grad(&self) -> Option<Array> {
+        self.write().grad.take()
+    }
+
+    /// Applies `f` to the accumulated gradient in place, if present
+    /// (gradient clipping without clone-and-rewrite).
+    pub fn update_grad(&self, f: impl FnOnce(&mut Array)) {
+        if let Some(g) = self.write().grad.as_mut() {
+            f(g);
+        }
+    }
+
+    /// Applies `f` to a borrow of the accumulated gradient, if present —
+    /// read-only gradient inspection without cloning.
+    #[must_use]
+    pub fn map_grad<R>(&self, f: impl FnOnce(&Array) -> R) -> Option<R> {
+        self.read().grad.as_ref().map(f)
+    }
+
     /// Runs reverse-mode differentiation from this node, seeding with a
     /// gradient of all-ones (so for a scalar loss this computes `dL/dx` for
     /// every reachable parameter).
@@ -259,29 +311,26 @@ impl Tensor {
     ///
     /// Panics if `seed`'s shape differs from this node's shape.
     pub fn backward_with(&self, seed: Array) {
-        self.accumulate_grad(&seed);
+        self.accumulate_grad_owned(seed);
         let order = self.topo_order();
         for node in order.iter().rev() {
-            let inner = node.read();
+            let mut inner = node.write();
             if inner.backward.is_none() {
+                // Leaves (and dead ends) keep their accumulated gradients.
                 continue;
             }
-            let Some(grad) = inner.grad.clone() else {
+            // Move the gradient out instead of cloning it; op-node grad
+            // slots are left empty, which also subsumes the old post-sweep
+            // clearing pass.
+            let Some(grad) = inner.grad.take() else {
                 continue;
             };
-            // Call the closure while holding only a read lock on this
-            // node; the closure write-locks *parents*, which are distinct
-            // nodes (graphs are acyclic).
+            // Call the closure while holding this node's write lock (so no
+            // other take can race the move): the closure locks *parents*
+            // only, which are distinct nodes (graphs are acyclic), and the
+            // sweep is single-threaded.
             if let Some(bw) = &inner.backward {
-                bw(&grad);
-            }
-        }
-        // Free intermediate gradients: nodes with parents are op results and
-        // their gradients are not useful after the sweep (leaves keep theirs).
-        for node in order {
-            let mut inner = node.write();
-            if !inner.parents.is_empty() {
-                inner.grad = None;
+                bw(grad);
             }
         }
     }

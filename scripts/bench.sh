@@ -12,12 +12,26 @@
 # Usage:
 #   scripts/bench.sh            # supernet_step benches -> BENCH_supernet.json
 #   scripts/bench.sh --all      # also run the tensor_ops benches (stdout only)
+#
+# Regression guard: when a previous BENCH_supernet.json exists, per-benchmark
+# medians are compared against it after the run. Any benchmark slower by more
+# than EDD_BENCH_TOLERANCE (default 0.10 = 10%) fails the script with exit 1
+# — the new snapshot is still written so the regression can be inspected.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_supernet.json
+tolerance="${EDD_BENCH_TOLERANCE:-0.10}"
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+prev=$(mktemp)
+trap 'rm -f "$tmp" "$prev"' EXIT
+
+# Snapshot the previous run's medians (if any) before overwriting.
+have_prev=0
+if [[ -s "$out" ]]; then
+    have_prev=1
+    cp "$out" "$prev"
+fi
 
 EDD_BENCH_JSON="$tmp" cargo bench -p edd-bench --bench supernet_step
 
@@ -35,6 +49,43 @@ fi
 } > "$out"
 
 echo "wrote $out ($(wc -l < "$tmp") benchmarks)"
+
+# Compare medians against the previous snapshot. Records are one JSON object
+# per line (the array wrapper only adds brackets/commas), so plain awk field
+# extraction is enough: pull "name" and "median_ns" from any line carrying
+# both, skipping the counters record (it has no median).
+if [[ "$have_prev" == 1 ]]; then
+    if awk -v tol="$tolerance" '
+        function extract(line, key,    rest) {
+            if (index(line, "\"" key "\":") == 0) return ""
+            rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+            sub(/^"/, "", rest)
+            sub(/[",}].*$/, "", rest)
+            return rest
+        }
+        FNR == NR {
+            name = extract($0, "name"); med = extract($0, "median_ns")
+            if (name != "" && med != "") base[name] = med + 0
+            next
+        }
+        {
+            name = extract($0, "name"); med = extract($0, "median_ns")
+            if (name == "" || med == "" || !(name in base)) next
+            old = base[name]; new = med + 0
+            ratio = (old > 0) ? new / old : 1
+            delta = (ratio - 1) * 100
+            printf "  %-50s %12d -> %12d ns (%+.1f%%)\n", name, old, new, delta
+            if (new > old * (1 + tol)) { bad++ }
+        }
+        END { if (bad > 0) exit 1 }
+    ' "$prev" "$out"; then
+        echo "bench.sh: no regression beyond ${tolerance} tolerance"
+    else
+        echo "bench.sh: median regression beyond ${tolerance} tolerance" >&2
+        echo "  (override with EDD_BENCH_TOLERANCE=<fraction>)" >&2
+        exit 1
+    fi
+fi
 
 if [[ "${1:-}" == "--all" ]]; then
     cargo bench -p edd-bench --bench tensor_ops

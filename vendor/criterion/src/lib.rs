@@ -117,10 +117,36 @@ fn report(name: &str, samples: &mut [Duration]) {
     append_json_record(name, median, mean, max, samples.len());
 }
 
+/// Host context attached to every JSONL record: logical CPU count, the
+/// thread count the kernels will use (`EDD_NUM_THREADS` when set to a
+/// positive integer, else the CPU count — mirroring the runtime's own
+/// resolution), and the `EDD_SIMD` dispatch override (`"auto"` when unset).
+fn context_fields() -> String {
+    let nproc = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let threads = std::env::var("EDD_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(nproc);
+    let simd = std::env::var("EDD_SIMD").unwrap_or_else(|_| "auto".to_string());
+    let simd_escaped: String = simd.chars().flat_map(escape_json_char).collect();
+    format!("\"nproc\":{nproc},\"num_threads\":{threads},\"simd\":\"{simd_escaped}\"")
+}
+
+/// JSON string escaping for one character (quotes, backslashes, controls).
+fn escape_json_char(c: char) -> Vec<char> {
+    match c {
+        '"' | '\\' => vec!['\\', c],
+        c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+        c => vec![c],
+    }
+}
+
 /// When `EDD_BENCH_JSON` names a file, every finished benchmark appends one
 /// JSON object per line (JSONL): name, median/mean/max in integer
-/// nanoseconds, and the sample count. Machine-readable counterpart of the
-/// stdout report, consumed by `scripts/bench.sh`.
+/// nanoseconds, the sample count, and the host context (cpu count, thread
+/// count, SIMD setting). Machine-readable counterpart of the stdout report,
+/// consumed by `scripts/bench.sh`.
 fn append_json_record(name: &str, median: Duration, mean: Duration, max: Duration, n: usize) {
     let Ok(path) = std::env::var("EDD_BENCH_JSON") else {
         return;
@@ -130,19 +156,13 @@ fn append_json_record(name: &str, median: Duration, mean: Duration, max: Duratio
     }
     // JSON string escaping for the benchmark name (names are plain
     // identifiers with '/', but stay safe on quotes/backslashes).
-    let escaped: String = name
-        .chars()
-        .flat_map(|c| match c {
-            '"' | '\\' => vec!['\\', c],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect();
+    let escaped: String = name.chars().flat_map(escape_json_char).collect();
     let line = format!(
-        "{{\"name\":\"{escaped}\",\"median_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{n}}}\n",
+        "{{\"name\":\"{escaped}\",\"median_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{n},{}}}\n",
         median.as_nanos(),
         mean.as_nanos(),
         max.as_nanos(),
+        context_fields(),
     );
     use std::io::Write;
     if let Ok(mut f) = std::fs::OpenOptions::new()
@@ -338,6 +358,9 @@ mod tests {
             .expect("record for json/smoke");
         assert!(line.starts_with("{\"name\":\"json/smoke\",\"median_ns\":"));
         assert!(line.contains("\"samples\":"));
+        assert!(line.contains("\"nproc\":"));
+        assert!(line.contains("\"num_threads\":"));
+        assert!(line.contains("\"simd\":\""));
         assert!(line.ends_with('}'));
     }
 
