@@ -50,6 +50,7 @@ pub mod derive;
 pub mod loss;
 pub mod perf_model;
 pub mod qat;
+pub mod quantize;
 pub mod search;
 pub mod space;
 pub mod supernet;
@@ -61,6 +62,7 @@ pub use derive::{BlockChoice, DerivedArch};
 pub use loss::{edd_loss, LossConfig};
 pub use perf_model::{estimate, PerfEstimate, PerfTables};
 pub use qat::QatModel;
+pub use quantize::{calibrate, Calibration, QuantizedModel, ENGINE_MAX_BITS};
 pub use search::{CoSearch, CoSearchConfig, EpochRecord, SearchOutcome};
 pub use space::{BlockPlan, SearchSpace};
 pub use supernet::{SampledPath, SuperNet};

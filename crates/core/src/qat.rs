@@ -64,6 +64,44 @@ impl QatModel {
     pub fn block_specs(&self) -> Vec<Option<QuantSpec>> {
         self.blocks.iter().map(|(_, s)| *s).collect()
     }
+
+    /// The stem convolution. Exposed (with the other stage accessors) so
+    /// the post-training integer compiler in [`crate::quantize`] can fold
+    /// and calibrate the network stage by stage.
+    #[must_use]
+    pub fn stem(&self) -> &Conv2d {
+        &self.stem
+    }
+
+    /// Batch norm after the stem.
+    #[must_use]
+    pub fn stem_bn(&self) -> &BatchNorm2d {
+        &self.stem_bn
+    }
+
+    /// The MBConv blocks with their searched quantization specs.
+    #[must_use]
+    pub fn blocks(&self) -> &[(MbConv, Option<QuantSpec>)] {
+        &self.blocks
+    }
+
+    /// The head 1×1 convolution.
+    #[must_use]
+    pub fn head(&self) -> &Conv2d {
+        &self.head
+    }
+
+    /// Batch norm after the head.
+    #[must_use]
+    pub fn head_bn(&self) -> &BatchNorm2d {
+        &self.head_bn
+    }
+
+    /// The final classifier.
+    #[must_use]
+    pub fn classifier(&self) -> &Linear {
+        &self.classifier
+    }
 }
 
 impl Module for QatModel {

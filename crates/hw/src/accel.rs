@@ -74,6 +74,21 @@ pub fn op_energy_uj(op: &OpShape, q_w: u32, device: &AccelDevice) -> f64 {
     (compute_pj + memory_pj) / 1e6
 }
 
+/// Predicted end-to-end throughput (images/s) at per-op weight precisions
+/// — the Stage-1 `Perf^q(op)` prediction that the integer inference
+/// engine's measured throughput is cross-checked against (see
+/// EXPERIMENTS.md): lowering Φ on bit-serial silicon raises predicted
+/// throughput in proportion, while a byte-oriented CPU only banks the
+/// storage win.
+///
+/// # Panics
+///
+/// Panics if `q_per_op` has a different length than the network's op list.
+#[must_use]
+pub fn predicted_throughput_fps(net: &NetworkShape, q_per_op: &[u32], device: &AccelDevice) -> f64 {
+    1e3 / eval_accel(net, q_per_op, device).latency_ms
+}
+
 /// Evaluation result for a dedicated accelerator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AccelReport {
@@ -162,6 +177,19 @@ mod tests {
         // Mixed 4/8/16 sums to (0.5 + 1 + 2)x the 8-bit op latency.
         let l8 = uniform.per_op_latency_ms[0];
         assert!((mixed.latency_ms - (0.5 + 1.0 + 2.0) * l8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicted_throughput_doubles_when_bits_halve() {
+        let d = AccelDevice::loom_like();
+        let net = NetworkShape {
+            name: "t".into(),
+            ops: vec![op(), op()],
+        };
+        let f8 = predicted_throughput_fps(&net, &[8, 8], &d);
+        let f4 = predicted_throughput_fps(&net, &[4, 4], &d);
+        assert!(f8 > 0.0);
+        assert!((f4 / f8 - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod fpga;
 pub mod gpu;
 pub mod shapes;
 
-pub use accel::{eval_accel, AccelDevice, AccelReport};
+pub use accel::{eval_accel, predicted_throughput_fps, AccelDevice, AccelReport};
 pub use fpga::{
     eval_pipelined, eval_recursive, initial_pf_pipelined, initial_pf_recursive, ip_dsps, ip_luts,
     tune_pipelined, tune_recursive, FpgaDevice, FpgaError, FpgaReport, PipelinedImpl,

@@ -40,6 +40,24 @@ impl BatchNorm2d {
         }
     }
 
+    /// The per-channel scale parameter `gamma`.
+    #[must_use]
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma
+    }
+
+    /// The per-channel shift parameter `beta`.
+    #[must_use]
+    pub fn beta(&self) -> &Tensor {
+        &self.beta
+    }
+
+    /// Numerical-stability epsilon added to the variance.
+    #[must_use]
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Current running mean estimate.
     #[must_use]
     pub fn running_mean(&self) -> Array {

@@ -68,6 +68,18 @@ impl Conv2d {
     pub fn stride(&self) -> usize {
         self.stride
     }
+
+    /// Padding.
+    #[must_use]
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// The bias tensor `[out_c]`, when the layer has one.
+    #[must_use]
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
+    }
 }
 
 impl Module for Conv2d {
@@ -122,6 +134,30 @@ impl DwConv2d {
     #[must_use]
     pub fn weight(&self) -> &Tensor {
         &self.weight
+    }
+
+    /// Kernel size.
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    /// Stride.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding.
+    #[must_use]
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// The bias tensor `[c]`, when the layer has one.
+    #[must_use]
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
     }
 }
 

@@ -35,6 +35,7 @@ pub mod init;
 mod linear;
 mod mbconv;
 mod module;
+pub mod qlayers;
 mod se;
 mod sequential;
 pub mod train;
@@ -45,6 +46,10 @@ pub use dropout::Dropout;
 pub use linear::Linear;
 pub use mbconv::{MbConv, SepConv};
 pub use module::{maybe_quantize, resolve_range, Module, QuantSpec, QuantizableModule};
+pub use qlayers::{
+    bn_fold_factors, q_global_avg_pool, MbConvScales, QConv2d, QDwConv2d, QLinear, QMbConv,
+    QTensor, QWeights,
+};
 pub use se::SqueezeExcite;
 pub use sequential::{Activation, AvgPool2d, Flatten, GlobalAvgPool, MaxPool2d, Sequential};
 pub use train::{evaluate, train_epoch, train_epoch_with, Batch, EpochStats};

@@ -32,6 +32,12 @@ impl Linear {
     pub fn weight(&self) -> &Tensor {
         &self.weight
     }
+
+    /// The bias tensor `[out_features]`.
+    #[must_use]
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
 }
 
 impl Module for Linear {

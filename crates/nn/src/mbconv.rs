@@ -100,6 +100,38 @@ impl MbConv {
         self.residual
     }
 
+    /// The expand stage (1×1 conv + BN), absent when `expansion == 1`.
+    /// Exposed so post-training compilers (the integer inference engine's
+    /// calibration pass) can replay the block stage by stage.
+    #[must_use]
+    pub fn expand(&self) -> Option<&(Conv2d, BatchNorm2d)> {
+        self.expand.as_ref()
+    }
+
+    /// The depthwise convolution stage.
+    #[must_use]
+    pub fn depthwise(&self) -> &DwConv2d {
+        &self.depthwise
+    }
+
+    /// Batch norm after the depthwise stage.
+    #[must_use]
+    pub fn dw_bn(&self) -> &BatchNorm2d {
+        &self.dw_bn
+    }
+
+    /// The projection 1×1 convolution.
+    #[must_use]
+    pub fn project(&self) -> &Conv2d {
+        &self.project
+    }
+
+    /// Batch norm after the projection stage.
+    #[must_use]
+    pub fn proj_bn(&self) -> &BatchNorm2d {
+        &self.proj_bn
+    }
+
     /// The block's batch-norm layers in forward order (expand BN when
     /// present, depthwise BN, projection BN). Running statistics are state
     /// outside `parameters()`, so checkpointing walks them through this.

@@ -1,0 +1,1001 @@
+//! Integer quantized inference layers: compiled, BN-folded counterparts of
+//! [`Conv2d`], [`DwConv2d`], [`Linear`] and [`MbConv`] executing entirely
+//! in integer arithmetic on [`edd_tensor::qkernel`].
+//!
+//! # Compilation model
+//!
+//! A float layer is *compiled* once into its quantized form: batch norm is
+//! folded into the convolution weights and bias (`w' = w · γ/√(σ²+ε)`,
+//! `b' = β − μ · γ/√(σ²+ε)`), the folded weights are quantized symmetrically
+//! **per output channel** at the block's Φ-searched bit-width (int8
+//! storage, bit-packed int4 when the searched width is ≤ 4 bits), and the
+//! bias is pre-quantized into the i32 accumulator domain at scale
+//! `s_in · s_w[c]`. Activations travel between layers as [`QTensor`]s —
+//! int8 with one per-tensor scale fixed ahead of time by a calibration
+//! pass — so a forward pass performs no float arithmetic until the final
+//! classifier dequantizes its logits.
+//!
+//! ReLU6 fuses into the requantization clamp: the activation bound `6.0`
+//! maps to `round(6/s_out)` in the output grid, so clamping the requantized
+//! accumulator to `[0, min(127, round(6/s_out))]` is the integer image of
+//! `relu6`. Residual adds rescale both operands into the block-output grid
+//! with [`Requant`] multipliers and add saturating in i32.
+
+use crate::bn::BatchNorm2d;
+use crate::conv::{Conv2d, DwConv2d};
+use crate::linear::Linear;
+use crate::mbconv::MbConv;
+use edd_tensor::qkernel::{
+    self, pack_i4, qdw_plane_into, qim2col_into, qmatmul_into, quantize_i8_into,
+    requantize_rows_into, unpack_i4_into, Requant,
+};
+use edd_tensor::{Array, Conv2dGeometry, Result, TensorError};
+
+/// Activation quantization width: activations always travel as int8
+/// (`qmax = 127`); the Φ-searched precision applies to weights.
+pub const ACT_QMAX: i32 = 127;
+
+/// A quantized activation tensor: int8 values with one per-tensor scale
+/// (`real ≈ data[i] · scale`), zero-point 0.
+#[derive(Debug, Clone)]
+pub struct QTensor {
+    /// Row-major quantized values (NCHW for feature maps).
+    pub data: Vec<i8>,
+    /// Logical shape.
+    pub shape: Vec<usize>,
+    /// Real value of one integer step.
+    pub scale: f32,
+}
+
+impl QTensor {
+    /// Quantizes a float array onto the int8 grid with the given scale,
+    /// clamping to `[-127, 127]`.
+    #[must_use]
+    pub fn quantize(x: &Array, scale: f32) -> Self {
+        let mut data = vec![0i8; x.len()];
+        quantize_i8_into(&mut data, x.data(), scale, ACT_QMAX);
+        QTensor {
+            data,
+            shape: x.shape().to_vec(),
+            scale,
+        }
+    }
+
+    /// Dequantizes back to a float array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored shape is inconsistent with the data length
+    /// (unreachable for tensors built by this module).
+    #[must_use]
+    pub fn dequantize(&self) -> Array {
+        let mut out = vec![0.0f32; self.data.len()];
+        qkernel::dequantize_into(&mut out, &self.data, self.scale);
+        Array::from_vec(out, &self.shape).expect("QTensor shape consistent")
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Quantized weight storage: dense int8, or bit-packed int4 for low-Φ
+/// blocks (two sign-extended nibbles per byte — half the bytes of dense
+/// int8 storage, unpacked once per forward call).
+#[derive(Debug, Clone)]
+pub enum QWeights {
+    /// One i8 per weight.
+    Int8(Vec<i8>),
+    /// Bit-packed int4: `len` nibbles in `len.div_ceil(2)` bytes.
+    Int4 {
+        /// Packed nibble bytes.
+        packed: Vec<u8>,
+        /// Number of logical weights.
+        len: usize,
+    },
+}
+
+impl QWeights {
+    /// Quantized values already in `[-qmax(bits), qmax(bits)]`; packs when
+    /// the searched width fits int4.
+    #[must_use]
+    pub fn new(q: Vec<i8>, bits: u32) -> Self {
+        if bits <= 4 {
+            QWeights::Int4 {
+                packed: pack_i4(&q),
+                len: q.len(),
+            }
+        } else {
+            QWeights::Int8(q)
+        }
+    }
+
+    /// Number of logical weights.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            QWeights::Int8(q) => q.len(),
+            QWeights::Int4 { len, .. } => *len,
+        }
+    }
+
+    /// True when no weights are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of storage actually held (the int4 memory win is real, not
+    /// notional — this is what the zoo/bench report).
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            QWeights::Int8(q) => q.len(),
+            QWeights::Int4 { packed, .. } => packed.len(),
+        }
+    }
+
+    /// Materializes dense i8 weights: borrowed for int8, unpacked into
+    /// `scratch` for int4.
+    fn dense<'a>(&'a self, scratch: &'a mut Vec<i8>) -> &'a [i8] {
+        match self {
+            QWeights::Int8(q) => q,
+            QWeights::Int4 { packed, len } => {
+                scratch.resize(*len, 0);
+                unpack_i4_into(scratch, packed);
+                scratch
+            }
+        }
+    }
+}
+
+/// Per-output-channel symmetric quantization of a `[rows, cols]` weight
+/// matrix (row = output channel): returns the quantized values and one
+/// scale per row.
+fn quantize_per_row(w: &[f32], rows: usize, cols: usize, bits: u32) -> (Vec<i8>, Vec<f32>) {
+    let qm = qkernel::qmax(bits);
+    let mut q = vec![0i8; w.len()];
+    let mut scales = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let s = qkernel::scale_for(qkernel::max_abs(row), bits);
+        quantize_i8_into(&mut q[r * cols..(r + 1) * cols], row, s, qm);
+        scales.push(s);
+    }
+    (q, scales)
+}
+
+/// Per-channel batch-norm fold factors for eval-mode statistics:
+/// `(mul[c], add[c])` with `mul = γ/√(σ²+ε)` and `add = β − μ·mul`, so
+/// `bn(x) = x·mul + add` channelwise.
+#[must_use]
+pub fn bn_fold_factors(bn: &BatchNorm2d) -> (Vec<f32>, Vec<f32>) {
+    let gamma = bn.gamma().value().data().to_vec();
+    let beta = bn.beta().value().data().to_vec();
+    let mean = bn.running_mean();
+    let var = bn.running_var();
+    let eps = bn.eps();
+    let mul: Vec<f32> = gamma
+        .iter()
+        .zip(var.data())
+        .map(|(&g, &v)| g / (v + eps).sqrt())
+        .collect();
+    let add: Vec<f32> = beta
+        .iter()
+        .zip(mean.data())
+        .zip(&mul)
+        .map(|((&b, &m), &s)| b - m * s)
+        .collect();
+    (mul, add)
+}
+
+/// Output clamp bounds for a requantizing layer: `[0, round(6/s_out)]`
+/// capped at the int8 range when ReLU6 is fused, the full symmetric range
+/// otherwise.
+fn clamp_bounds(relu6: bool, out_scale: f32) -> (i32, i32) {
+    if relu6 {
+        let q6 = (6.0 / out_scale).round() as i32;
+        (0, q6.clamp(0, ACT_QMAX))
+    } else {
+        (-ACT_QMAX, ACT_QMAX)
+    }
+}
+
+/// A compiled quantized 2-D convolution: BN-folded, per-output-channel
+/// quantized weights, integer im2col + GEMM execution, fixed-point
+/// requantization with an optionally fused ReLU6 clamp.
+#[derive(Debug)]
+pub struct QConv2d {
+    weights: QWeights,
+    bias_q: Vec<i32>,
+    requant: Vec<Requant>,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    in_scale: f32,
+    out_scale: f32,
+    lo: i32,
+    hi: i32,
+}
+
+impl QConv2d {
+    /// Compiles a float convolution (optionally fused with the batch norm
+    /// that follows it) into integer form.
+    ///
+    /// `bits` is the Φ-searched weight precision (≤ 4 packs int4; the
+    /// engine ceiling is 8), `in_scale`/`out_scale` are the calibrated
+    /// activation scales on either side, and `relu6` fuses the activation
+    /// clamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if BN channel count does not match the convolution.
+    #[must_use]
+    pub fn compile(
+        conv: &Conv2d,
+        bn: Option<&BatchNorm2d>,
+        bits: u32,
+        in_scale: f32,
+        out_scale: f32,
+        relu6: bool,
+    ) -> Self {
+        let w = conv.weight().value();
+        let shape = w.shape().to_vec();
+        let (out_c, in_c, k) = (shape[0], shape[1], shape[2]);
+        let cols = in_c * k * k;
+        let mut folded = w.data().to_vec();
+        let mut bias = conv
+            .bias()
+            .map_or_else(|| vec![0.0f32; out_c], |b| b.value().data().to_vec());
+        if let Some(bn) = bn {
+            let (mul, add) = bn_fold_factors(bn);
+            assert_eq!(mul.len(), out_c, "QConv2d::compile: BN channel mismatch");
+            for (o, &m) in mul.iter().enumerate() {
+                for v in &mut folded[o * cols..(o + 1) * cols] {
+                    *v *= m;
+                }
+                bias[o] = bias[o] * m + add[o];
+            }
+        }
+        let (q, w_scales) = quantize_per_row(&folded, out_c, cols, bits);
+        let requant: Vec<Requant> = w_scales
+            .iter()
+            .map(|&sw| {
+                Requant::from_scale(f64::from(in_scale) * f64::from(sw) / f64::from(out_scale))
+            })
+            .collect();
+        let bias_q: Vec<i32> = bias
+            .iter()
+            .zip(&w_scales)
+            .map(|(&b, &sw)| (f64::from(b) / (f64::from(in_scale) * f64::from(sw))).round() as i32)
+            .collect();
+        let (lo, hi) = clamp_bounds(relu6, out_scale);
+        QConv2d {
+            weights: QWeights::new(q, bits),
+            bias_q,
+            requant,
+            in_channels: in_c,
+            out_channels: out_c,
+            kernel: k,
+            stride: conv.stride(),
+            padding: conv.padding(),
+            in_scale,
+            out_scale,
+            lo,
+            hi,
+        }
+    }
+
+    /// Bytes of quantized weight storage.
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.storage_bytes()
+    }
+
+    /// Runs the quantized convolution on an NCHW [`QTensor`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects inputs whose shape or scale does not match the compiled
+    /// layer.
+    pub fn forward(&self, x: &QTensor) -> Result<QTensor> {
+        let [b, c, h, w] = checked_nchw(x, self.in_channels, self.in_scale, "QConv2d")?;
+        let geom = Conv2dGeometry {
+            in_channels: c,
+            in_h: h,
+            in_w: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        };
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let plane = oh * ow;
+        let ckk = c * self.kernel * self.kernel;
+        let mut scratch = Vec::new();
+        let wq = self.weights.dense(&mut scratch);
+        let mut out = vec![0i8; b * self.out_channels * plane];
+        let mut acc = vec![0i32; self.out_channels * plane];
+        // 1×1 stride-1 convolutions read the image as the column matrix
+        // directly (the expand/project/head case).
+        let direct = self.kernel == 1 && self.stride == 1 && self.padding == 0;
+        let mut cols = if direct {
+            Vec::new()
+        } else {
+            vec![0i8; ckk * plane]
+        };
+        let img = c * h * w;
+        for i in 0..b {
+            let image = &x.data[i * img..(i + 1) * img];
+            let colref: &[i8] = if direct {
+                image
+            } else {
+                qim2col_into(&mut cols, image, &geom);
+                &cols
+            };
+            qmatmul_into(&mut acc, wq, colref, self.out_channels, ckk, plane);
+            for (o, &bq) in self.bias_q.iter().enumerate() {
+                if bq != 0 {
+                    for a in &mut acc[o * plane..(o + 1) * plane] {
+                        *a = a.saturating_add(bq);
+                    }
+                }
+            }
+            requantize_rows_into(
+                &mut out[i * self.out_channels * plane..(i + 1) * self.out_channels * plane],
+                &acc,
+                &self.requant,
+                plane,
+                self.lo,
+                self.hi,
+            );
+        }
+        Ok(QTensor {
+            data: out,
+            shape: vec![b, self.out_channels, oh, ow],
+            scale: self.out_scale,
+        })
+    }
+}
+
+/// A compiled quantized depthwise convolution: BN-folded per-channel
+/// weights, per-channel requantization, fused ReLU6.
+#[derive(Debug)]
+pub struct QDwConv2d {
+    weights: QWeights,
+    bias_q: Vec<i32>,
+    requant: Vec<Requant>,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    in_scale: f32,
+    out_scale: f32,
+    lo: i32,
+    hi: i32,
+}
+
+impl QDwConv2d {
+    /// Compiles a float depthwise convolution fused with its batch norm.
+    /// Parameters mirror [`QConv2d::compile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if BN channel count does not match the convolution.
+    #[must_use]
+    pub fn compile(
+        dw: &DwConv2d,
+        bn: Option<&BatchNorm2d>,
+        bits: u32,
+        in_scale: f32,
+        out_scale: f32,
+        relu6: bool,
+    ) -> Self {
+        let w = dw.weight().value();
+        let shape = w.shape().to_vec();
+        let (ch, k) = (shape[0], shape[1]);
+        let taps = k * k;
+        let mut folded = w.data().to_vec();
+        let mut bias = dw
+            .bias()
+            .map_or_else(|| vec![0.0f32; ch], |b| b.value().data().to_vec());
+        if let Some(bn) = bn {
+            let (mul, add) = bn_fold_factors(bn);
+            assert_eq!(mul.len(), ch, "QDwConv2d::compile: BN channel mismatch");
+            for (o, &m) in mul.iter().enumerate() {
+                for v in &mut folded[o * taps..(o + 1) * taps] {
+                    *v *= m;
+                }
+                bias[o] = bias[o] * m + add[o];
+            }
+        }
+        let (q, w_scales) = quantize_per_row(&folded, ch, taps, bits);
+        let requant: Vec<Requant> = w_scales
+            .iter()
+            .map(|&sw| {
+                Requant::from_scale(f64::from(in_scale) * f64::from(sw) / f64::from(out_scale))
+            })
+            .collect();
+        let bias_q: Vec<i32> = bias
+            .iter()
+            .zip(&w_scales)
+            .map(|(&b, &sw)| (f64::from(b) / (f64::from(in_scale) * f64::from(sw))).round() as i32)
+            .collect();
+        let (lo, hi) = clamp_bounds(relu6, out_scale);
+        QDwConv2d {
+            weights: QWeights::new(q, bits),
+            bias_q,
+            requant,
+            channels: ch,
+            kernel: k,
+            stride: dw.stride(),
+            padding: dw.padding(),
+            in_scale,
+            out_scale,
+            lo,
+            hi,
+        }
+    }
+
+    /// Bytes of quantized weight storage.
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.storage_bytes()
+    }
+
+    /// Runs the quantized depthwise convolution on an NCHW [`QTensor`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects inputs whose shape or scale does not match the compiled
+    /// layer.
+    pub fn forward(&self, x: &QTensor) -> Result<QTensor> {
+        let [b, c, h, w] = checked_nchw(x, self.channels, self.in_scale, "QDwConv2d")?;
+        let geom = Conv2dGeometry {
+            in_channels: 1,
+            in_h: h,
+            in_w: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        };
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let plane = oh * ow;
+        let taps = self.kernel * self.kernel;
+        let mut scratch = Vec::new();
+        let wq = self.weights.dense(&mut scratch);
+        let mut out = vec![0i8; b * c * plane];
+        let mut acc = vec![0i32; plane];
+        for i in 0..b {
+            for ch in 0..c {
+                let image = &x.data[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
+                qdw_plane_into(&mut acc, image, &wq[ch * taps..(ch + 1) * taps], &geom);
+                let bq = self.bias_q[ch];
+                if bq != 0 {
+                    for a in &mut acc {
+                        *a = a.saturating_add(bq);
+                    }
+                }
+                let rq = self.requant[ch];
+                for (d, &a) in out[(i * c + ch) * plane..(i * c + ch + 1) * plane]
+                    .iter_mut()
+                    .zip(&acc)
+                {
+                    *d = rq.apply_i8(a, self.lo, self.hi);
+                }
+            }
+        }
+        Ok(QTensor {
+            data: out,
+            shape: vec![b, c, oh, ow],
+            scale: self.out_scale,
+        })
+    }
+}
+
+/// A compiled quantized fully-connected classifier head: integer GEMM,
+/// float bias, dequantized f32 logits (the network boundary back to real
+/// values).
+#[derive(Debug)]
+pub struct QLinear {
+    weights: QWeights,
+    bias: Vec<f32>,
+    w_scales: Vec<f32>,
+    in_features: usize,
+    out_features: usize,
+    in_scale: f32,
+}
+
+impl QLinear {
+    /// Compiles a float linear layer at `bits` weight precision with
+    /// per-output-channel scales (columns of the `[in, out]` weight).
+    #[must_use]
+    pub fn compile(lin: &Linear, bits: u32, in_scale: f32) -> Self {
+        let w = lin.weight().value();
+        let shape = w.shape().to_vec();
+        let (in_f, out_f) = (shape[0], shape[1]);
+        let qm = qkernel::qmax(bits);
+        // Column-major scales: output channel o reads column o.
+        let data = w.data();
+        let mut w_scales = Vec::with_capacity(out_f);
+        for o in 0..out_f {
+            let mx = (0..in_f).fold(0.0f32, |m, i| m.max(data[i * out_f + o].abs()));
+            w_scales.push(qkernel::scale_for(mx, bits));
+        }
+        let mut q = vec![0i8; data.len()];
+        for (i, (&v, d)) in data.iter().zip(q.iter_mut()).enumerate() {
+            let s = w_scales[i % out_f];
+            *d = ((v / s).round() as i32).clamp(-qm, qm) as i8;
+        }
+        QLinear {
+            weights: QWeights::new(q, bits),
+            bias: lin.bias().value().data().to_vec(),
+            w_scales,
+            in_features: in_f,
+            out_features: out_f,
+            in_scale,
+        }
+    }
+
+    /// Bytes of quantized weight storage.
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.storage_bytes()
+    }
+
+    /// Runs the quantized classifier on a `[batch, in_features]`
+    /// [`QTensor`], returning float logits `[batch, out_features]`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects inputs whose shape or scale does not match the compiled
+    /// layer.
+    pub fn forward(&self, x: &QTensor) -> Result<Array> {
+        if x.shape.len() != 2 || x.shape[1] != self.in_features {
+            return Err(TensorError::InvalidArgument(format!(
+                "QLinear: expected [batch, {}], got {:?}",
+                self.in_features, x.shape
+            )));
+        }
+        check_scale(x.scale, self.in_scale, "QLinear")?;
+        let b = x.shape[0];
+        let mut scratch = Vec::new();
+        let wq = self.weights.dense(&mut scratch);
+        let mut acc = vec![0i32; b * self.out_features];
+        qmatmul_into(
+            &mut acc,
+            &x.data,
+            wq,
+            b,
+            self.in_features,
+            self.out_features,
+        );
+        let mut out = vec![0.0f32; b * self.out_features];
+        for (row_out, row_acc) in out
+            .chunks_exact_mut(self.out_features)
+            .zip(acc.chunks_exact(self.out_features))
+        {
+            for (((d, &a), &sw), &bias) in row_out
+                .iter_mut()
+                .zip(row_acc)
+                .zip(&self.w_scales)
+                .zip(&self.bias)
+            {
+                *d = a as f32 * self.in_scale * sw + bias;
+            }
+        }
+        Array::from_vec(out, &[b, self.out_features])
+    }
+}
+
+/// Integer global average pooling: `[b, c, h, w] → [b, c]`, output on the
+/// same scale as the input (`q_out = round(Σq / (h·w))`).
+///
+/// # Errors
+///
+/// Rejects non-NCHW inputs.
+pub fn q_global_avg_pool(x: &QTensor) -> Result<QTensor> {
+    if x.shape.len() != 4 {
+        return Err(TensorError::InvalidArgument(format!(
+            "q_global_avg_pool: expected NCHW, got {:?}",
+            x.shape
+        )));
+    }
+    let (b, c, h, w) = (x.shape[0], x.shape[1], x.shape[2], x.shape[3]);
+    let plane = h * w;
+    let rq = Requant::from_scale(1.0 / plane as f64);
+    let mut out = vec![0i8; b * c];
+    for (d, chunk) in out.iter_mut().zip(x.data.chunks_exact(plane)) {
+        let sum: i32 = chunk.iter().map(|&v| i32::from(v)).sum();
+        *d = rq.apply_i8(sum, -ACT_QMAX, ACT_QMAX);
+    }
+    Ok(QTensor {
+        data: out,
+        shape: vec![b, c],
+        scale: x.scale,
+    })
+}
+
+/// Calibrated activation scales for one compiled [`QMbConv`] block.
+#[derive(Debug, Clone, Copy)]
+pub struct MbConvScales {
+    /// Scale after the expand conv + BN + ReLU6 (when the block expands).
+    pub expand_out: Option<f32>,
+    /// Scale after the depthwise conv + BN + ReLU6.
+    pub dw_out: f32,
+    /// Scale of the block output (after the projection BN and, when the
+    /// block has one, the residual add).
+    pub block_out: f32,
+}
+
+/// A compiled quantized MBConv block: expand → depthwise → project with
+/// folded batch norms, fused ReLU6 clamps, and an integer residual add.
+#[derive(Debug)]
+pub struct QMbConv {
+    expand: Option<QConv2d>,
+    depthwise: QDwConv2d,
+    project: QConv2d,
+    /// Rescales the block *input* into the block-output grid for the
+    /// residual add (`None` for non-residual blocks).
+    residual: Option<Requant>,
+    out_scale: f32,
+}
+
+impl QMbConv {
+    /// Compiles a float MBConv block at `bits` weight precision with
+    /// calibrated activation scales.
+    #[must_use]
+    pub fn compile(mb: &MbConv, bits: u32, in_scale: f32, scales: &MbConvScales) -> Self {
+        let expand = mb.expand().map(|(conv, bn)| {
+            let s_out = scales.expand_out.expect("expand scale calibrated");
+            QConv2d::compile(conv, Some(bn), bits, in_scale, s_out, true)
+        });
+        let dw_in = scales.expand_out.unwrap_or(in_scale);
+        let depthwise = QDwConv2d::compile(
+            mb.depthwise(),
+            Some(mb.dw_bn()),
+            bits,
+            dw_in,
+            scales.dw_out,
+            true,
+        );
+        let project = QConv2d::compile(
+            mb.project(),
+            Some(mb.proj_bn()),
+            bits,
+            scales.dw_out,
+            scales.block_out,
+            false,
+        );
+        let residual = mb
+            .has_residual()
+            .then(|| Requant::from_scale(f64::from(in_scale) / f64::from(scales.block_out)));
+        QMbConv {
+            expand,
+            depthwise,
+            project,
+            residual,
+            out_scale: scales.block_out,
+        }
+    }
+
+    /// Bytes of quantized weight storage across all stages.
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        self.expand.as_ref().map_or(0, QConv2d::weight_bytes)
+            + self.depthwise.weight_bytes()
+            + self.project.weight_bytes()
+    }
+
+    /// Scale of the block output.
+    #[must_use]
+    pub fn out_scale(&self) -> f32 {
+        self.out_scale
+    }
+
+    /// Runs the quantized block on an NCHW [`QTensor`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects inputs inconsistent with the compiled block.
+    pub fn forward(&self, x: &QTensor) -> Result<QTensor> {
+        let mut h = match &self.expand {
+            Some(e) => e.forward(x)?,
+            None => x.clone(),
+        };
+        h = self.depthwise.forward(&h)?;
+        let mut h = self.project.forward(&h)?;
+        if let Some(rq) = &self.residual {
+            // Both operands live in the block-output grid: the projection
+            // was requantized into it, the input is rescaled here.
+            for (hq, &xq) in h.data.iter_mut().zip(&x.data) {
+                let sum = i32::from(*hq) + rq.apply(i32::from(xq));
+                *hq = sum.clamp(-ACT_QMAX, ACT_QMAX) as i8;
+            }
+        }
+        Ok(h)
+    }
+}
+
+/// Validates an NCHW input against the compiled channel count and scale,
+/// returning `[b, c, h, w]`.
+fn checked_nchw(x: &QTensor, channels: usize, scale: f32, what: &str) -> Result<[usize; 4]> {
+    if x.shape.len() != 4 || x.shape[1] != channels {
+        return Err(TensorError::InvalidArgument(format!(
+            "{what}: expected [b, {channels}, h, w], got {:?}",
+            x.shape
+        )));
+    }
+    check_scale(x.scale, scale, what)?;
+    Ok([x.shape[0], x.shape[1], x.shape[2], x.shape[3]])
+}
+
+/// The compiled graph fixes every activation scale at calibration time; a
+/// mismatched input scale means the caller quantized with the wrong grid.
+fn check_scale(got: f32, want: f32, what: &str) -> Result<()> {
+    if (got - want).abs() > want.abs() * 1e-5 {
+        return Err(TensorError::InvalidArgument(format!(
+            "{what}: input scale {got} does not match compiled scale {want}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Module, QuantSpec, QuantizableModule};
+    use edd_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Input whose values sit exactly on the activation grid, so the
+    /// integer engine and the float oracle see identical inputs.
+    fn on_grid_input(shape: &[usize], scale: f32, rng: &mut StdRng) -> Array {
+        let n: usize = shape.iter().product();
+        let v: Vec<f32> = (0..n)
+            .map(|_| f32::from(rng.gen_range(-127i8..=127)) * scale)
+            .collect();
+        Array::from_vec(v, shape).unwrap()
+    }
+
+    /// Fake-quant spec equivalent to the engine's per-tensor symmetric
+    /// grid: the engine uses `s = max_abs/qmax`, the fake quantizer uses
+    /// `step = range/2^(b-1)`, so `range = s·2^(b-1)` aligns the grids.
+    fn matching_spec(w: &Tensor, bits: u32) -> (QuantSpec, f32) {
+        let mx = qkernel::max_abs(w.value().data());
+        let s = qkernel::scale_for(mx, bits);
+        let range = s * (1i32 << (bits - 1)) as f32;
+        (
+            QuantSpec {
+                bits,
+                range: Some(range),
+            },
+            s,
+        )
+    }
+
+    #[test]
+    fn qconv_matches_fake_quant_oracle_within_rounding() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for bits in [4u32, 8] {
+            let conv = Conv2d::new(3, 8, 3, 1, 1, true, &mut rng);
+            let in_scale = 0.02f32;
+            let x = on_grid_input(&[2, 3, 8, 8], in_scale, &mut rng);
+            // Per-tensor fake-quant oracle (per-channel only tightens the
+            // engine, so the per-tensor bound still holds).
+            let (spec, _) = matching_spec(conv.weight(), bits);
+            let oracle = conv
+                .forward_quantized(&Tensor::constant(x.clone()), Some(spec))
+                .unwrap();
+            let out_range = qkernel::max_abs(oracle.value().data());
+            let out_scale = qkernel::scale_for(out_range, 8);
+            let q = QConv2d::compile_per_tensor_for_tests(&conv, bits, in_scale, out_scale);
+            let got = q.forward(&QTensor::quantize(&x, in_scale)).unwrap();
+            let got = got.dequantize();
+            for (g, o) in got.data().iter().zip(oracle.value().data()) {
+                assert!(
+                    (g - o).abs() <= out_scale * 0.51 + 1e-5,
+                    "bits={bits}: got {g}, oracle {o}, step {out_scale}"
+                );
+            }
+        }
+    }
+
+    impl QConv2d {
+        /// Test-only compile with per-tensor weight scales, so the engine
+        /// grid matches the per-tensor fake-quant oracle exactly.
+        fn compile_per_tensor_for_tests(
+            conv: &Conv2d,
+            bits: u32,
+            in_scale: f32,
+            out_scale: f32,
+        ) -> Self {
+            let mut q = Self::compile(conv, None, bits, in_scale, out_scale, false);
+            let w = conv.weight().value();
+            let shape = w.shape().to_vec();
+            let qm = qkernel::qmax(bits);
+            let s = qkernel::scale_for(qkernel::max_abs(w.data()), bits);
+            let mut qw = vec![0i8; w.len()];
+            quantize_i8_into(&mut qw, w.data(), s, qm);
+            q.weights = QWeights::new(qw, bits);
+            q.requant = (0..shape[0])
+                .map(|_| {
+                    Requant::from_scale(f64::from(in_scale) * f64::from(s) / f64::from(out_scale))
+                })
+                .collect();
+            q.bias_q = conv.bias().map_or_else(
+                || vec![0i32; shape[0]],
+                |b| {
+                    b.value()
+                        .data()
+                        .iter()
+                        .map(|&v| {
+                            (f64::from(v) / (f64::from(in_scale) * f64::from(s))).round() as i32
+                        })
+                        .collect()
+                },
+            );
+            q
+        }
+    }
+
+    #[test]
+    fn qconv_bn_fold_matches_float_pipeline() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let conv = Conv2d::same(4, 6, 3, 1, &mut rng);
+        let bn = BatchNorm2d::new(6);
+        // Push the BN away from identity with a few training steps.
+        let warm = Tensor::constant(Array::randn(&[4, 6, 5, 5], 1.0, &mut rng));
+        for _ in 0..5 {
+            bn.forward(&warm).unwrap();
+        }
+        bn.set_training(false);
+        let in_scale = 0.02;
+        let x = on_grid_input(&[1, 4, 6, 6], in_scale, &mut rng);
+        let float = bn
+            .forward(&conv.forward(&Tensor::constant(x.clone())).unwrap())
+            .unwrap();
+        let out_range = qkernel::max_abs(float.value().data());
+        let out_scale = qkernel::scale_for(out_range, 8);
+        let q = QConv2d::compile(&conv, Some(&bn), 8, in_scale, out_scale, false);
+        let got = q
+            .forward(&QTensor::quantize(&x, in_scale))
+            .unwrap()
+            .dequantize();
+        // 8-bit weights + 8-bit activations: within a few output steps.
+        for (g, f) in got.data().iter().zip(float.value().data()) {
+            assert!(
+                (g - f).abs() <= out_scale * 2.0 + 5e-3,
+                "got {g}, float {f}, step {out_scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn qdwconv_matches_float_within_steps() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let dw = DwConv2d::same(5, 3, 1, &mut rng);
+        let in_scale = 0.03;
+        let x = on_grid_input(&[2, 5, 7, 7], in_scale, &mut rng);
+        let float = dw.forward(&Tensor::constant(x.clone())).unwrap().relu6();
+        let out_scale = qkernel::scale_for(qkernel::max_abs(float.value().data()), 8);
+        let q = QDwConv2d::compile(&dw, None, 8, in_scale, out_scale, true);
+        let got = q
+            .forward(&QTensor::quantize(&x, in_scale))
+            .unwrap()
+            .dequantize();
+        for (g, f) in got.data().iter().zip(float.value().data()) {
+            assert!(
+                (g - f).abs() <= out_scale * 2.0 + 5e-3,
+                "got {g}, float {f}, step {out_scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn qlinear_dequantizes_to_float_logits() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let lin = Linear::new(12, 4, &mut rng);
+        let in_scale = 0.01;
+        let x = on_grid_input(&[3, 12], in_scale, &mut rng);
+        let float = lin.forward(&Tensor::constant(x.clone())).unwrap();
+        let q = QLinear::compile(&lin, 8, in_scale);
+        let got = q.forward(&QTensor::quantize(&x, in_scale)).unwrap();
+        for (g, f) in got.data().iter().zip(float.value().data()) {
+            assert!((g - f).abs() <= 0.02, "got {g}, float {f}");
+        }
+    }
+
+    #[test]
+    fn int4_weights_halve_storage() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let conv = Conv2d::same(8, 8, 3, 1, &mut rng);
+        let q8 = QConv2d::compile(&conv, None, 8, 0.02, 0.02, false);
+        let q4 = QConv2d::compile(&conv, None, 4, 0.02, 0.02, false);
+        assert_eq!(q8.weight_bytes(), 8 * 8 * 9);
+        assert_eq!(q4.weight_bytes(), 8 * 8 * 9 / 2);
+    }
+
+    #[test]
+    fn qmbconv_residual_add_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let mb = MbConv::new(4, 4, 3, 2, 1, &mut rng);
+        mb.set_training(false);
+        assert!(mb.has_residual());
+        let in_scale = 0.05;
+        let x = on_grid_input(&[1, 4, 6, 6], in_scale, &mut rng);
+        let float = mb.forward(&Tensor::constant(x.clone())).unwrap();
+        // Calibrate stage scales from the float pass.
+        let scales = calibrate_mbconv_for_tests(&mb, &x);
+        let q = QMbConv::compile(&mb, 8, in_scale, &scales);
+        let got = q.forward(&QTensor::quantize(&x, in_scale)).unwrap();
+        assert_eq!(got.shape, vec![1, 4, 6, 6]);
+        let got = got.dequantize();
+        let mut worst = 0.0f32;
+        for (g, f) in got.data().iter().zip(float.value().data()) {
+            worst = worst.max((g - f).abs());
+        }
+        assert!(
+            worst <= scales.block_out * 4.0 + 0.05,
+            "worst {worst}, step {}",
+            scales.block_out
+        );
+    }
+
+    fn calibrate_mbconv_for_tests(mb: &MbConv, x: &Array) -> MbConvScales {
+        let xt = Tensor::constant(x.clone());
+        let mut h = xt.clone();
+        let expand_out = mb.expand().map(|(conv, bn)| {
+            h = bn.forward_relu6(&conv.forward(&h).unwrap()).unwrap();
+            qkernel::scale_for(qkernel::max_abs(h.value().data()), 8)
+        });
+        h = mb
+            .dw_bn()
+            .forward_relu6(&mb.depthwise().forward(&h).unwrap())
+            .unwrap();
+        let dw_out = qkernel::scale_for(qkernel::max_abs(h.value().data()), 8);
+        let y = mb.forward(&xt).unwrap();
+        let block_out = qkernel::scale_for(qkernel::max_abs(y.value().data()), 8);
+        MbConvScales {
+            expand_out,
+            dw_out,
+            block_out,
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_averages_on_same_scale() {
+        let x = QTensor {
+            data: vec![10, 20, 30, 40, -10, -20, -30, -40],
+            shape: vec![1, 2, 2, 2],
+            scale: 0.1,
+        };
+        let y = q_global_avg_pool(&x).unwrap();
+        assert_eq!(y.shape, vec![1, 2]);
+        assert_eq!(y.data, vec![25, -25]);
+        assert_eq!(y.scale, 0.1);
+    }
+
+    #[test]
+    fn scale_mismatch_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let conv = Conv2d::same(2, 2, 3, 1, &mut rng);
+        let q = QConv2d::compile(&conv, None, 8, 0.02, 0.02, false);
+        let x = QTensor {
+            data: vec![0; 2 * 4 * 4],
+            shape: vec![1, 2, 4, 4],
+            scale: 0.5,
+        };
+        assert!(q.forward(&x).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the integer quantized-inference layers: over random
+//! convolution geometries, weight precisions (int8 and bit-packed int4)
+//! and seeds, the compiled engine's dequantized output must land within
+//! one requantization rounding step of the fake-quant f32 oracle evaluated
+//! on the same quantization grids.
+
+use edd_nn::{Conv2d, QConv2d, QTensor};
+use edd_tensor::qkernel::{max_abs, qmax, scale_for};
+use edd_tensor::{Array, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Input whose values sit exactly on the int8 activation grid, so the
+/// engine and the oracle see identical inputs.
+fn on_grid_input(shape: &[usize], scale: f32, rng: &mut StdRng) -> Array {
+    let n: usize = shape.iter().product();
+    let v: Vec<f32> = (0..n)
+        .map(|_| f32::from(rng.gen_range(-127i8..=127)) * scale)
+        .collect();
+    Array::from_vec(v, shape).unwrap()
+}
+
+/// Per-output-channel fake quantization of conv weights on exactly the
+/// grid `QConv2d::compile` uses (`s_r = max_abs(row)/qmax`). Returns the
+/// fake-quantized weights and the largest per-channel scale.
+fn fake_quant_per_channel(w: &Array, bits: u32) -> (Array, f32) {
+    let shape = w.shape().to_vec();
+    let (out_c, cols) = (shape[0], shape[1] * shape[2] * shape[3]);
+    let qm = qmax(bits) as f32;
+    let mut vals = w.data().to_vec();
+    let mut s_max = 0.0f32;
+    for r in 0..out_c {
+        let row = &mut vals[r * cols..(r + 1) * cols];
+        let s = scale_for(max_abs(row), bits);
+        s_max = s_max.max(s);
+        for v in row.iter_mut() {
+            *v = (*v / s).round().clamp(-qm, qm) * s;
+        }
+    }
+    (Array::from_vec(vals, &shape).unwrap(), s_max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn qconv_matches_fake_quant_oracle_within_rounding(
+        cin in 1usize..4,
+        cout in 1usize..6,
+        k in prop::sample::select(vec![1usize, 3]),
+        bits in prop::sample::select(vec![4u32, 8]),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv = Conv2d::new(cin, cout, k, 1, k / 2, true, &mut rng);
+        let in_scale = 0.02f32;
+        let x = on_grid_input(&[2, cin, 7, 7], in_scale, &mut rng);
+
+        // Oracle: f32 convolution of the engine's own dequantized input
+        // with per-channel fake-quantized weights and the exact bias.
+        let xq = QTensor::quantize(&x, in_scale);
+        let (w_hat, s_max) = fake_quant_per_channel(&conv.weight().value(), bits);
+        let oracle = Tensor::constant(xq.dequantize())
+            .conv2d(&Tensor::constant(w_hat), conv.bias(), 1, k / 2)
+            .unwrap();
+        let oracle = oracle.value_clone();
+
+        let out_scale = scale_for(max_abs(oracle.data()), 8);
+        let q = QConv2d::compile(&conv, None, bits, in_scale, out_scale, false);
+        let got = q.forward(&xq).unwrap().dequantize();
+
+        // One output rounding step, plus the bias-quantization error
+        // (≤ half an accumulator step, s_in·s_w/2) and fixed-point slack.
+        let bound = out_scale * 0.51 + 0.5 * in_scale * s_max + 1e-4;
+        for (g, o) in got.data().iter().zip(oracle.data()) {
+            prop_assert!(
+                (g - o).abs() <= bound,
+                "bits={}: got {}, oracle {}, step {}", bits, g, o, out_scale
+            );
+        }
+    }
+
+    #[test]
+    fn qconv_output_shape_and_scale(
+        cin in 1usize..4,
+        cout in 1usize..6,
+        stride in 1usize..3,
+        bits in prop::sample::select(vec![2u32, 4, 6, 8]),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv = Conv2d::new(cin, cout, 3, stride, 1, false, &mut rng);
+        let (in_scale, out_scale) = (0.03f32, 0.04f32);
+        let q = QConv2d::compile(&conv, None, bits, in_scale, out_scale, true);
+        let x = on_grid_input(&[1, cin, 9, 9], in_scale, &mut rng);
+        let y = q.forward(&QTensor::quantize(&x, in_scale)).unwrap();
+        let expect = (9 + 2 - 3) / stride + 1;
+        prop_assert_eq!(y.shape, vec![1, cout, expect, expect]);
+        prop_assert_eq!(y.scale, out_scale);
+        // Fused ReLU6 clamp holds in the integer domain.
+        for &v in &y.data {
+            prop_assert!(v >= 0, "negative activation {} after fused relu6", v);
+        }
+    }
+}

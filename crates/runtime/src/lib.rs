@@ -15,6 +15,11 @@
 //!   a JSONL backend for traces, a CSV backend for legacy history output,
 //!   and a no-op backend that keeps disabled instrumentation off the hot
 //!   path.
+//! - **Batched inference serving** ([`infer`]): a model-agnostic
+//!   [`BatchModel`] trait plus an [`InferServer`] wrapper that counts
+//!   requests/images and tracks latency, wired into the telemetry sink.
+//!   The integer quantized-inference engine in `edd-core` serves through
+//!   this.
 //!
 //! The crate is dependency-free (std only) and sits below `edd-core`,
 //! `edd-nn`, and the CLI in the workspace graph; `edd-tensor` stays
@@ -22,10 +27,12 @@
 //! `edd_tensor::stats`, sampled into gauges by the layers above).
 
 pub mod crc32;
+pub mod infer;
 pub mod snapshot;
 pub mod telemetry;
 
 pub use crc32::crc32;
+pub use infer::{BatchModel, InferServer, InferStats};
 pub use snapshot::{
     latest_snapshot, list_snapshots, prune_snapshots, read as read_snapshot, write_atomic,
     ByteReader, ByteWriter, SectionWriter, Sections, SnapshotError,

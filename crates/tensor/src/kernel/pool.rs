@@ -398,15 +398,20 @@ impl Drop for InParallelGuard {
 /// window of one buffer", so the kernel layer erases the borrow with this
 /// wrapper and re-materializes per-task slices. Callers must guarantee
 /// disjointness; every use in this crate derives the windows from
-/// [`super::partition`], whose ranges never overlap.
+/// [`super::partition`], whose ranges never overlap. Generic over the
+/// element type so the f32 kernels and the integer `qkernel` layer share
+/// one wrapper (defaulting to `f32`, the overwhelmingly common case).
 #[derive(Clone, Copy)]
-pub(crate) struct SendPtr(*mut f32);
+pub(crate) struct SendPtr<T = f32>(*mut T);
 
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+// SAFETY: the wrapper only moves the *address* across threads; all element
+// types used (`f32`, `i8`, `i32`) are plain data, and disjointness of the
+// re-materialized windows is the caller's documented obligation.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
 
-impl SendPtr {
-    pub(crate) fn new(p: *mut f32) -> Self {
+impl<T> SendPtr<T> {
+    pub(crate) fn new(p: *mut T) -> Self {
         SendPtr(p)
     }
 
@@ -418,7 +423,7 @@ impl SendPtr {
     /// The window must lie inside the original allocation and must not
     /// overlap any window handed to a concurrently running task.
     #[allow(clippy::mut_from_ref)] // the whole point of the wrapper
-    pub(crate) unsafe fn slice(&self, offset: usize, len: usize) -> &mut [f32] {
+    pub(crate) unsafe fn slice(&self, offset: usize, len: usize) -> &mut [T] {
         std::slice::from_raw_parts_mut(self.0.add(offset), len)
     }
 }

@@ -26,6 +26,10 @@
 //!   maximum (Log-Sum-Exp), and elementwise math;
 //! * [`optim`] — SGD (momentum) and Adam optimizers plus gradient clipping
 //!   and a cosine learning-rate schedule;
+//! * [`qkernel`] — the integer inference substrate: symmetric int8/int4
+//!   quantization, i32-accumulator GEMM/depthwise kernels, and gemmlowp-style
+//!   fixed-point requantization, running derived architectures entirely in
+//!   integer arithmetic at their Φ-searched precisions;
 //! * [`stats`] — relaxed-atomic kernel-runtime counters (pool utilization,
 //!   tasks dispatched, scratch high-water) sampled by monitoring layers;
 //! * [`gradcheck`] — finite-difference gradient verification used across the
@@ -60,6 +64,7 @@ pub mod gradcheck;
 pub mod kernel;
 mod ops;
 pub mod optim;
+pub mod qkernel;
 pub mod recycle;
 pub mod scratch;
 pub mod shape;

@@ -1,0 +1,803 @@
+//! Integer quantized kernel layer: symmetric int8/int4 quantization,
+//! i32-accumulator GEMM/depthwise kernels, and fixed-point requantization.
+//!
+//! This is the execution substrate for running a derived EDD architecture
+//! *entirely in integer arithmetic* at its Φ-searched precisions, instead of
+//! simulating quantization with fake-quant f32 (`Tensor::fake_quantize`).
+//!
+//! # Number format
+//!
+//! Values are symmetric fixed point with zero-point 0: a real `v` is stored
+//! as `q = round(v / s)` clamped to `[-qmax, qmax]`, with one scale `s` per
+//! tensor (activations) or per output channel (weights). `qmax` is
+//! `2^(bits-1) - 1` — 127 for int8, 7 for int4 — so the grid matches
+//! [`Tensor::fake_quantize`]`(bits, range)` exactly when
+//! `range = s · 2^(bits-1)` (the fake-quant step is `range / 2^(bits-1)`).
+//! Int4 weights are stored bit-packed, two sign-extended nibbles per byte.
+//!
+//! # Accumulation and requantization
+//!
+//! Products of two i8 values are at most `127² = 16129`, so an i32
+//! accumulator holds any reduction up to `k = 2^17` taps exactly — integer
+//! arithmetic is associative, which makes bitwise determinism across thread
+//! counts and SIMD modes structural rather than something the tiling has to
+//! fight for. Rescaling an i32 accumulator into the next layer's i8 domain
+//! multiplies by the *real* ratio `s_in · s_w / s_out`, represented as a
+//! [`Requant`] fixed-point multiplier (q31 mantissa + power-of-two shift,
+//! the gemmlowp/TFLite scheme) applied with round-half-away-from-zero — the
+//! same rounding `f32::round` uses, which is what keeps the integer path
+//! within one output step of the fake-quant oracle.
+//!
+//! # Threading and dispatch
+//!
+//! The GEMM front partitions output rows over the persistent worker
+//! [`pool`](crate::kernel::pool), exactly like the f32 kernels in
+//! [`kernel`](crate::kernel); every output element is written by exactly one
+//! task. Hot kernels are declared through the same `avx2_dispatch!` macro,
+//! so `EDD_SIMD=scalar` forces the scalar bodies and the dispatched fronts
+//! stay the single source of truth.
+
+use crate::array::Conv2dGeometry;
+use crate::kernel::pool::{self, SendPtr};
+use crate::kernel::{avx2_dispatch, num_threads, partition, valid_out_range};
+
+/// Rows per register tile in the blocked integer GEMM (mirrors
+/// [`crate::kernel::MR`]).
+pub const QMR: usize = 4;
+
+/// Columns per register tile: each row keeps eight i32 accumulator lanes
+/// live across the `k` loop.
+pub const QNR: usize = 8;
+
+/// Below this many multiply-adds the integer GEMM runs single-threaded.
+const QPAR_MIN_MACS: usize = 1 << 18;
+
+/// Largest reduction depth the i32 accumulators hold exactly:
+/// `2^17 · 127² < 2^31`. The GEMM fronts assert this.
+pub const MAX_K: usize = 1 << 17;
+
+/// Smallest calibration range, mirroring `QuantSpec::resolve_range` so an
+/// all-zero tensor still gets a finite scale.
+pub const MIN_RANGE: f32 = 1e-6;
+
+// ---------------------------------------------------------------------------
+// Quantization helpers
+// ---------------------------------------------------------------------------
+
+/// Largest representable magnitude for a `bits`-bit symmetric signed value:
+/// `2^(bits-1) - 1`. Bits are clamped to `[2, 8]` — the engine stores every
+/// quantized value in an i8 lane, so searched widths above 8 execute at the
+/// 8-bit engine ceiling.
+#[must_use]
+pub fn qmax(bits: u32) -> i32 {
+    (1i32 << (bits.clamp(2, 8) - 1)) - 1
+}
+
+/// Largest absolute value of a slice (0.0 when empty).
+#[must_use]
+pub fn max_abs(x: &[f32]) -> f32 {
+    x.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// Scale mapping real magnitude `range` onto the `bits`-bit integer grid:
+/// `max(range, MIN_RANGE) / qmax(bits)`.
+#[must_use]
+pub fn scale_for(range: f32, bits: u32) -> f32 {
+    range.max(MIN_RANGE) / qmax(bits) as f32
+}
+
+/// Quantizes `src` onto the symmetric grid with the given `scale`, clamping
+/// to `[-qmax, qmax]`: `dst[i] = clamp(round(src[i] / scale))`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `qmax` is outside `[1, 127]`.
+pub fn quantize_i8_into(dst: &mut [i8], src: &[f32], scale: f32, qmax: i32) {
+    assert_eq!(dst.len(), src.len(), "quantize_i8_into: length mismatch");
+    assert!((1..=127).contains(&qmax), "quantize_i8_into: bad qmax");
+    let inv = 1.0 / scale;
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d = ((v * inv).round() as i32).clamp(-qmax, qmax) as i8;
+    }
+}
+
+/// Dequantizes back to f32: `dst[i] = q[i] · scale`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dequantize_into(dst: &mut [f32], q: &[i8], scale: f32) {
+    assert_eq!(dst.len(), q.len(), "dequantize_into: length mismatch");
+    for (d, &v) in dst.iter_mut().zip(q) {
+        *d = f32::from(v) * scale;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Int4 bit-packing
+// ---------------------------------------------------------------------------
+
+/// Packs int4 values (must be in `[-8, 7]`) two per byte, low nibble first.
+/// Odd lengths leave the final high nibble zero.
+///
+/// # Panics
+///
+/// Panics if any value is outside the int4 range.
+#[must_use]
+pub fn pack_i4(q: &[i8]) -> Vec<u8> {
+    let mut out = vec![0u8; q.len().div_ceil(2)];
+    for (i, &v) in q.iter().enumerate() {
+        assert!((-8..=7).contains(&v), "pack_i4: {v} outside int4 range");
+        let nib = (v as u8) & 0x0f;
+        out[i / 2] |= if i % 2 == 0 { nib } else { nib << 4 };
+    }
+    out
+}
+
+/// Unpacks [`pack_i4`] bytes back into sign-extended i8 values. `dst.len()`
+/// selects how many nibbles to read.
+///
+/// # Panics
+///
+/// Panics if `packed` is shorter than `dst` requires.
+pub fn unpack_i4_into(dst: &mut [i8], packed: &[u8]) {
+    assert!(
+        packed.len() >= dst.len().div_ceil(2),
+        "unpack_i4_into: packed buffer too short"
+    );
+    for (i, d) in dst.iter_mut().enumerate() {
+        let b = packed[i / 2];
+        let nib = if i % 2 == 0 { b & 0x0f } else { b >> 4 };
+        // Shift the nibble into the top of the byte and arithmetic-shift
+        // back down: branch-free sign extension.
+        *d = ((nib << 4) as i8) >> 4;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point requantization
+// ---------------------------------------------------------------------------
+
+/// A positive real multiplier in gemmlowp-style fixed point: the value is
+/// `mult · 2^(shift - 31)` with `mult` normalized to `[2^30, 2^31)`.
+///
+/// Layers build one per output channel from the scale ratio
+/// `s_in · s_w[c] / s_out` and apply it to i32 accumulators with
+/// round-half-away-from-zero — matching the rounding of `f32::round`, so the
+/// integer path lands on the same grid points the fake-quant oracle does, up
+/// to the one-ulp error of the q31 representation itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Requant {
+    /// Normalized q31 mantissa in `[2^30, 2^31)`.
+    pub mult: i32,
+    /// Power-of-two exponent: the represented real is `mult · 2^(shift-31)`.
+    pub shift: i32,
+}
+
+impl Requant {
+    /// Builds the fixed-point representation of a positive real multiplier
+    /// (a manual `frexp`: normalize the mantissa into `[0.5, 1)`, round to
+    /// 31 fractional bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real` is not a positive finite number.
+    #[must_use]
+    pub fn from_scale(real: f64) -> Self {
+        assert!(
+            real.is_finite() && real > 0.0,
+            "Requant::from_scale: multiplier must be positive and finite, got {real}"
+        );
+        let mut shift = 0i32;
+        let mut r = real;
+        while r >= 1.0 {
+            r *= 0.5;
+            shift += 1;
+        }
+        while r < 0.5 {
+            r *= 2.0;
+            shift -= 1;
+        }
+        // r in [0.5, 1): round to a 31-fraction-bit mantissa.
+        let mut q = (r * (1i64 << 31) as f64).round() as i64;
+        if q == 1i64 << 31 {
+            // Rounding carried into the next power of two.
+            q >>= 1;
+            shift += 1;
+        }
+        Requant {
+            mult: q as i32,
+            shift,
+        }
+    }
+
+    /// The real multiplier this fixed-point pair represents.
+    #[must_use]
+    pub fn real(&self) -> f64 {
+        f64::from(self.mult) * pow2(self.shift - 31)
+    }
+
+    /// Rescales an i32 accumulator: `round_half_away(acc · real())`,
+    /// saturated to the i32 range.
+    #[must_use]
+    pub fn apply(&self, acc: i32) -> i32 {
+        let prod = i64::from(acc) * i64::from(self.mult);
+        let total_shift = 31 - self.shift;
+        if total_shift <= 0 {
+            // Multiplier >= 1: pure left shift, saturate (cold path; real
+            // layer scale ratios are < 1).
+            let v = i128::from(prod) << (-total_shift);
+            return v.clamp(i128::from(i32::MIN), i128::from(i32::MAX)) as i32;
+        }
+        if total_shift >= 63 {
+            // Multiplier so small every representable accumulator rounds
+            // to zero.
+            return 0;
+        }
+        let nudge = 1i64 << (total_shift - 1);
+        let v = if prod >= 0 {
+            (prod + nudge) >> total_shift
+        } else {
+            -((-prod + nudge) >> total_shift)
+        };
+        v.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
+    }
+
+    /// [`apply`](Self::apply) then clamp into `[lo, hi]` and narrow to i8
+    /// (the per-element store of a requantizing layer).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `[lo, hi]` is not within the i8 range.
+    #[must_use]
+    pub fn apply_i8(&self, acc: i32, lo: i32, hi: i32) -> i8 {
+        debug_assert!(lo >= -128 && hi <= 127 && lo <= hi);
+        self.apply(acc).clamp(lo, hi) as i8
+    }
+}
+
+/// `2^e` for exponents far inside the f64 range, without pulling in `libm`.
+fn pow2(e: i32) -> f64 {
+    if e >= 0 {
+        (1u64 << e.min(62)) as f64
+    } else {
+        1.0 / (1u64 << (-e).min(62)) as f64
+    }
+}
+
+/// Requantizes a row-major `[rows, cols]` i32 accumulator block into i8,
+/// one [`Requant`] per row (per output channel), clamping to `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics on inconsistent lengths.
+pub fn requantize_rows_into(
+    dst: &mut [i8],
+    acc: &[i32],
+    per_row: &[Requant],
+    cols: usize,
+    lo: i32,
+    hi: i32,
+) {
+    assert_eq!(
+        dst.len(),
+        acc.len(),
+        "requantize_rows_into: length mismatch"
+    );
+    assert_eq!(
+        acc.len(),
+        per_row.len() * cols,
+        "requantize_rows_into: rows/cols mismatch"
+    );
+    for ((d_row, a_row), rq) in dst
+        .chunks_exact_mut(cols)
+        .zip(acc.chunks_exact(cols))
+        .zip(per_row)
+    {
+        for (d, &a) in d_row.iter_mut().zip(a_row) {
+            *d = rq.apply_i8(a, lo, hi);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer GEMM
+// ---------------------------------------------------------------------------
+
+/// Scalar reference GEMM: `C[m,n](i32) = A[m,k](i8) · B[k,n](i8)`, freshly
+/// allocated. The unblocked i-k-j oracle the tiled kernel is validated
+/// against (integer arithmetic is exact, so "matches" means equality).
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+#[must_use]
+pub fn qmatmul_naive(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "qmatmul_naive: bad lhs length");
+    assert_eq!(b.len(), k * n, "qmatmul_naive: bad rhs length");
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let av = i32::from(av);
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * i32::from(bv);
+            }
+        }
+    }
+    out
+}
+
+avx2_dispatch! {
+    /// Register-tiled `out[mb, n](i32) = a[mb, k](i8) · b[k, n](i8)`,
+    /// single-threaded, overwritten. The AVX2 twin recompiles the same body
+    /// with widening-multiply vector forms; integer accumulation is exact,
+    /// so the paths are identical by arithmetic, not just by construction.
+    qgemm_block / qgemm_block_scalar / qgemm_block_avx2,
+    (out: &mut [i32], a: &[i8], b: &[i8], mb: usize, k: usize, n: usize)
+}
+
+#[inline(always)]
+fn qgemm_block_scalar(out: &mut [i32], a: &[i8], b: &[i8], mb: usize, k: usize, n: usize) {
+    if k == 0 {
+        out.fill(0);
+        return;
+    }
+    if mb == 0 || n == 0 {
+        return;
+    }
+    let mut i = 0;
+    while i + QMR <= mb {
+        let mut j = 0;
+        while j + QNR <= n {
+            let mut acc = [[0i32; QNR]; QMR];
+            for kk in 0..k {
+                let bv: &[i8; QNR] = b[kk * n + j..kk * n + j + QNR]
+                    .try_into()
+                    .expect("QNR chunk");
+                let av = [
+                    a[i * k + kk],
+                    a[(i + 1) * k + kk],
+                    a[(i + 2) * k + kk],
+                    a[(i + 3) * k + kk],
+                ];
+                for (accr, &ar) in acc.iter_mut().zip(&av) {
+                    let ar = i32::from(ar);
+                    for (l, &bl) in accr.iter_mut().zip(bv) {
+                        *l += ar * i32::from(bl);
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out[(i + r) * n + j..(i + r) * n + j + QNR].copy_from_slice(accr);
+            }
+            j += QNR;
+        }
+        // Column tail.
+        while j < n {
+            let mut acc = [0i32; QMR];
+            for kk in 0..k {
+                let bv = i32::from(b[kk * n + j]);
+                let av = [
+                    a[i * k + kk],
+                    a[(i + 1) * k + kk],
+                    a[(i + 2) * k + kk],
+                    a[(i + 3) * k + kk],
+                ];
+                for (l, &ar) in acc.iter_mut().zip(&av) {
+                    *l += i32::from(ar) * bv;
+                }
+            }
+            for (r, &v) in acc.iter().enumerate() {
+                out[(i + r) * n + j] = v;
+            }
+            j += 1;
+        }
+        i += QMR;
+    }
+    // Row tail.
+    while i < mb {
+        let mut j = 0;
+        while j + QNR <= n {
+            let mut acc = [0i32; QNR];
+            for kk in 0..k {
+                let bv: &[i8; QNR] = b[kk * n + j..kk * n + j + QNR]
+                    .try_into()
+                    .expect("QNR chunk");
+                let ar = i32::from(a[i * k + kk]);
+                for (l, &bl) in acc.iter_mut().zip(bv) {
+                    *l += ar * i32::from(bl);
+                }
+            }
+            out[i * n + j..i * n + j + QNR].copy_from_slice(&acc);
+            j += QNR;
+        }
+        while j < n {
+            let mut acc = 0i32;
+            for kk in 0..k {
+                acc += i32::from(a[i * k + kk]) * i32::from(b[kk * n + j]);
+            }
+            out[i * n + j] = acc;
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+/// `out[m,n](i32) = A[m,k](i8) · B[k,n](i8)`, overwriting `out`, threaded
+/// over output row blocks on the worker pool. Exact for any `k <= MAX_K`
+/// and bitwise identical for any thread count.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths or `k > MAX_K`.
+pub fn qmatmul_into(out: &mut [i32], a: &[i8], b: &[i8], m: usize, k: usize, n: usize) {
+    let t = if m * n * k < QPAR_MIN_MACS {
+        1
+    } else {
+        num_threads()
+    };
+    qmatmul_into_threads(out, a, b, m, k, n, t);
+}
+
+/// [`qmatmul_into`] with an explicit thread count (callers already
+/// parallelizing an outer dimension pass `1`).
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths or `k > MAX_K`.
+pub fn qmatmul_into_threads(
+    out: &mut [i32],
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "qmatmul_into: bad lhs length");
+    assert_eq!(b.len(), k * n, "qmatmul_into: bad rhs length");
+    assert_eq!(out.len(), m * n, "qmatmul_into: bad out length");
+    assert!(k <= MAX_K, "qmatmul_into: k={k} exceeds exact i32 depth");
+    let ranges = partition(m, threads);
+    if ranges.len() <= 1 {
+        qgemm_block(out, a, b, m, k, n);
+        return;
+    }
+    let base = SendPtr::new(out.as_mut_ptr());
+    pool::run(ranges.len(), &|t| {
+        let r = &ranges[t];
+        // SAFETY: partition ranges are disjoint, so each task's output
+        // window is exclusive to it.
+        let block = unsafe { base.slice(r.start * n, r.len() * n) };
+        qgemm_block(block, &a[r.start * k..r.end * k], b, r.len(), k, n);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Quantized convolution lowerings
+// ---------------------------------------------------------------------------
+
+/// Integer [`im2col`](crate::im2col_into): lowers one quantized image
+/// `[c, h, w]` into a column matrix `[c*k*k, out_h*out_w]`. Padding is the
+/// zero-point, which symmetric quantization fixes at integer 0.
+///
+/// # Panics
+///
+/// Panics on buffer lengths inconsistent with `geom`.
+pub fn qim2col_into(out: &mut [i8], input: &[i8], geom: &Conv2dGeometry) {
+    let (c, k) = (geom.in_channels, geom.kernel);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let rows = c * k * k;
+    let cols = oh * ow;
+    assert_eq!(out.len(), rows * cols, "qim2col_into: bad out length");
+    assert_eq!(
+        input.len(),
+        c * geom.in_h * geom.in_w,
+        "qim2col_into: bad input length"
+    );
+    let (ih, iw) = (geom.in_h, geom.in_w);
+    let (pad, stride) = (geom.padding, geom.stride);
+    for row in 0..rows {
+        let ch = row / (k * k);
+        let ky = (row / k) % k;
+        let kx = row % k;
+        let (oy0, oy1) = valid_out_range(ky, pad, stride, ih, oh);
+        let (ox0, ox1) = valid_out_range(kx, pad, stride, iw, ow);
+        let sx0 = ox0 * stride + kx - pad;
+        let src_c = &input[ch * ih * iw..(ch + 1) * ih * iw];
+        let dst = &mut out[row * cols..(row + 1) * cols];
+        dst[..oy0 * ow].fill(0);
+        dst[oy1 * ow..].fill(0);
+        for oy in oy0..oy1 {
+            let sy = oy * stride + ky - pad;
+            let src_row = &src_c[sy * iw..(sy + 1) * iw];
+            let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
+            dst_row[..ox0].fill(0);
+            dst_row[ox1..].fill(0);
+            if stride == 1 {
+                dst_row[ox0..ox1].copy_from_slice(&src_row[sx0..sx0 + (ox1 - ox0)]);
+            } else {
+                for (i, d) in dst_row[ox0..ox1].iter_mut().enumerate() {
+                    *d = src_row[sx0 + i * stride];
+                }
+            }
+        }
+    }
+}
+
+avx2_dispatch! {
+    /// Quantized depthwise stencil for one channel plane: `out[oh, ow](i32)
+    /// += w[k, k] ⊛ input[ih, iw]` with stride/padding from `geom`
+    /// (interpreted single-channel), overwriting `out`. Taps accumulate in
+    /// ascending `(ky, kx)` order; integer math keeps any reordering exact
+    /// anyway.
+    pub qdw_plane_into / qdw_plane_into_scalar / qdw_plane_into_avx2,
+    (out: &mut [i32], input: &[i8], w: &[i8], geom: &Conv2dGeometry)
+}
+
+#[inline(always)]
+fn qdw_plane_into_scalar(out: &mut [i32], input: &[i8], w: &[i8], geom: &Conv2dGeometry) {
+    let k = geom.kernel;
+    let (ih, iw) = (geom.in_h, geom.in_w);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    debug_assert_eq!(input.len(), ih * iw);
+    debug_assert_eq!(w.len(), k * k);
+    debug_assert_eq!(out.len(), oh * ow);
+    let (pad, stride) = (geom.padding, geom.stride);
+    out.fill(0);
+    for ky in 0..k {
+        for kx in 0..k {
+            let wv = i32::from(w[ky * k + kx]);
+            let (oy0, oy1) = valid_out_range(ky, pad, stride, ih, oh);
+            let (ox0, ox1) = valid_out_range(kx, pad, stride, iw, ow);
+            let sx0 = ox0 * stride + kx - pad;
+            for oy in oy0..oy1 {
+                let sy = oy * stride + ky - pad;
+                let src_row = &input[sy * iw..(sy + 1) * iw];
+                let dst_row = &mut out[oy * ow..(oy + 1) * ow];
+                if stride == 1 {
+                    for (d, &s) in dst_row[ox0..ox1].iter_mut().zip(&src_row[sx0..]) {
+                        *d += wv * i32::from(s);
+                    }
+                } else {
+                    for (i, d) in dst_row[ox0..ox1].iter_mut().enumerate() {
+                        *d += wv * i32::from(src_row[sx0 + i * stride]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn randq(len: usize, lim: i8, rng: &mut StdRng) -> Vec<i8> {
+        (0..len).map(|_| rng.gen_range(-lim..=lim)).collect()
+    }
+
+    #[test]
+    fn requant_matches_f64_rounding() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let real: f64 = rng.gen_range(1e-6f64..0.9);
+            let rq = Requant::from_scale(real);
+            // The q31 mantissa represents the real scale to ~1e-9 relative.
+            assert!((rq.real() - real).abs() <= real * 1e-8, "{real}");
+            for _ in 0..20 {
+                let acc: i32 = rng.gen_range(-1_000_000..=1_000_000);
+                let want = (f64::from(acc) * rq.real()).abs().round() as i64
+                    * i64::from(if acc >= 0 { 1 } else { -1 });
+                let got = i64::from(rq.apply(acc));
+                assert_eq!(got, want, "real={real} acc={acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn requant_identity_and_extremes() {
+        let one = Requant::from_scale(1.0);
+        for acc in [-12345, -1, 0, 1, 98765, i32::MAX, i32::MIN + 1] {
+            assert_eq!(one.apply(acc), acc);
+        }
+        // Tiny multipliers flush to zero instead of shifting out of range.
+        let tiny = Requant::from_scale(1e-30);
+        assert_eq!(tiny.apply(i32::MAX), 0);
+        // Large multipliers saturate instead of wrapping.
+        let big = Requant::from_scale(4.0);
+        assert_eq!(big.apply(i32::MAX), i32::MAX);
+        assert_eq!(big.apply(3), 12);
+    }
+
+    #[test]
+    fn quantize_roundtrip_on_grid() {
+        let scale = 0.05f32;
+        let src: Vec<f32> = (-127..=127).map(|q| q as f32 * scale).collect();
+        let mut q = vec![0i8; src.len()];
+        quantize_i8_into(&mut q, &src, scale, 127);
+        let mut back = vec![0.0f32; src.len()];
+        dequantize_into(&mut back, &q, scale);
+        for (a, b) in src.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        // Clamping engages beyond the range.
+        let mut q1 = [0i8; 2];
+        quantize_i8_into(&mut q1, &[10.0, -10.0], scale, 127);
+        assert_eq!(q1, [127, -127]);
+    }
+
+    #[test]
+    fn quantize_matches_fake_quant_grid() {
+        // Engine grid with scale s and qmax = 2^(b-1)-1 must equal the
+        // fake-quant grid with range = s * 2^(b-1) for in-range inputs.
+        let mut rng = StdRng::seed_from_u64(5);
+        for bits in [4u32, 8] {
+            let qm = qmax(bits);
+            let max_abs = 1.7f32;
+            let s = max_abs / qm as f32;
+            let range = s * (1 << (bits - 1)) as f32;
+            let levels = (1u64 << (bits - 1)) as f32;
+            let step = range / levels;
+            assert!((step - s).abs() < 1e-7);
+            for _ in 0..500 {
+                let v: f32 = rng.gen_range(-max_abs..max_abs);
+                let fake = (v.clamp(-range, range) / step).round() * step;
+                let mut q = [0i8];
+                quantize_i8_into(&mut q, &[v], s, qm);
+                assert!(
+                    (f32::from(q[0]) * s - fake).abs() < 1e-6,
+                    "bits={bits} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_i4_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in [0usize, 1, 2, 7, 8, 33] {
+            let q: Vec<i8> = (0..len).map(|_| rng.gen_range(-8i8..=7)).collect();
+            let packed = pack_i4(&q);
+            assert_eq!(packed.len(), len.div_ceil(2));
+            let mut back = vec![0i8; len];
+            unpack_i4_into(&mut back, &packed);
+            assert_eq!(q, back, "len={len}");
+        }
+    }
+
+    #[test]
+    fn qgemm_matches_naive_including_tails() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (m, k, n) in [(1, 1, 1), (4, 8, 8), (5, 3, 7), (9, 16, 33), (6, 0, 3)] {
+            let a = randq(m * k, 127, &mut rng);
+            let b = randq(k * n, 127, &mut rng);
+            let want = qmatmul_naive(&a, &b, m, k, n);
+            let mut got = vec![i32::MIN; m * n];
+            qmatmul_into(&mut got, &a, &b, m, k, n);
+            assert_eq!(got, want, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn qgemm_thread_counts_are_bitwise_equal() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (m, k, n) = (29, 17, 23);
+        let a = randq(m * k, 127, &mut rng);
+        let b = randq(k * n, 127, &mut rng);
+        let mut reference = vec![0i32; m * n];
+        qmatmul_into_threads(&mut reference, &a, &b, m, k, n, 1);
+        for t in [2, 3, 7, 19] {
+            let mut got = vec![0i32; m * n];
+            qmatmul_into_threads(&mut got, &a, &b, m, k, n, t);
+            assert_eq!(reference, got, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn dispatched_kernels_match_scalar_bodies() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (m, k, n) = (13, 37, 29);
+        let a = randq(m * k, 127, &mut rng);
+        let b = randq(k * n, 127, &mut rng);
+        let mut got = vec![0i32; m * n];
+        let mut want = vec![0i32; m * n];
+        qgemm_block(&mut got, &a, &b, m, k, n);
+        qgemm_block_scalar(&mut want, &a, &b, m, k, n);
+        assert_eq!(got, want);
+
+        let geom = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 11,
+            in_w: 9,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let input = randq(geom.in_h * geom.in_w, 127, &mut rng);
+        let w = randq(9, 127, &mut rng);
+        let plane = geom.out_h() * geom.out_w();
+        let mut got = vec![0i32; plane];
+        let mut want = vec![0i32; plane];
+        qdw_plane_into(&mut got, &input, &w, &geom);
+        qdw_plane_into_scalar(&mut want, &input, &w, &geom);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn qim2col_matches_f32_im2col() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for (stride, padding) in [(1usize, 1usize), (2, 1), (1, 0), (2, 2)] {
+            let geom = Conv2dGeometry {
+                in_channels: 3,
+                in_h: 7,
+                in_w: 6,
+                kernel: 3,
+                stride,
+                padding,
+            };
+            let q = randq(3 * 7 * 6, 127, &mut rng);
+            let f: Vec<f32> = q.iter().map(|&v| f32::from(v)).collect();
+            let rows = 3 * 9;
+            let cols = geom.out_h() * geom.out_w();
+            let mut qcols = vec![0i8; rows * cols];
+            qim2col_into(&mut qcols, &q, &geom);
+            let mut fcols = vec![0.0f32; rows * cols];
+            crate::im2col_into(&mut fcols, &f, &geom);
+            for (a, b) in qcols.iter().zip(&fcols) {
+                assert_eq!(f32::from(*a), *b, "stride={stride} pad={padding}");
+            }
+        }
+    }
+
+    #[test]
+    fn qdw_plane_matches_direct_convolution() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let geom = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 8,
+            in_w: 9,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let input = randq(8 * 9, 127, &mut rng);
+        let w = randq(9, 127, &mut rng);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let mut got = vec![0i32; oh * ow];
+        qdw_plane_into(&mut got, &input, &w, &geom);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut want = 0i32;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        let sy = oy as i64 + ky as i64 - 1;
+                        let sx = ox as i64 + kx as i64 - 1;
+                        if (0..8).contains(&sy) && (0..9).contains(&sx) {
+                            want += i32::from(w[ky * 3 + kx])
+                                * i32::from(input[sy as usize * 9 + sx as usize]);
+                        }
+                    }
+                }
+                assert_eq!(got[oy * ow + ox], want, "({oy},{ox})");
+            }
+        }
+    }
+
+    #[test]
+    fn requantize_rows_applies_per_channel_scales() {
+        let acc = vec![100, 200, -100, 1000, 2000, -3000];
+        let rqs = [Requant::from_scale(0.5), Requant::from_scale(0.01)];
+        let mut out = vec![0i8; 6];
+        requantize_rows_into(&mut out, &acc, &rqs, 3, -127, 127);
+        assert_eq!(out, vec![50, 100, -50, 10, 20, -30]);
+        // Clamp bounds emulate fused ReLU6: negatives cut at 0.
+        requantize_rows_into(&mut out, &acc, &rqs, 3, 0, 127);
+        assert_eq!(out, vec![50, 100, 0, 10, 20, 0]);
+    }
+}

@@ -94,6 +94,38 @@ pub fn tiny_vgg<R: Rng + ?Sized>(image_size: usize, num_classes: usize, rng: &mu
         .push(Linear::new(32, num_classes, rng))
 }
 
+/// A fixed, deterministic derived architecture for exercising the integer
+/// quantized-inference engine end to end (examples, `edd qinfer`, the
+/// `exp_quantized` bench): three MBConv blocks over 16×16 RGB inputs with
+/// mixed searched precisions Φ = {4, 8, 8} bits, so the compiled
+/// [`edd_core::QuantizedModel`] gets both the bit-packed int4 path and the
+/// int8 path.
+#[must_use]
+pub fn tiny_derived_arch() -> DerivedArch {
+    let space = SearchSpace::tiny(3, 16, 4, vec![4, 8, 16]);
+    let bits = [4u32, 8, 8];
+    let kernels = [3usize, 5, 3];
+    let blocks = space
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| BlockChoice {
+            kernel: kernels[i],
+            expansion: 4,
+            out_channels: plan.out_channels,
+            stride: plan.stride,
+            quant_bits: bits[i],
+            parallel_factor: None,
+        })
+        .collect();
+    DerivedArch {
+        name: "edd-tiny-quant-demo".into(),
+        target: DeviceTarget::Dedicated(edd_hw::AccelDevice::loom_like()).label(),
+        blocks,
+        space,
+    }
+}
+
 /// Samples a uniformly random architecture from `space` — the
 /// random-search control against which the co-search's Pareto front is
 /// compared.
@@ -174,6 +206,20 @@ mod tests {
         // Buildable and evaluable.
         let net = arch.to_network_shape();
         assert!(net.total_work() > 0.0);
+    }
+
+    #[test]
+    fn tiny_derived_arch_is_buildable_and_mixed_precision() {
+        let arch = tiny_derived_arch();
+        assert_eq!(arch.blocks.len(), 3);
+        assert!(arch.blocks.iter().any(|b| b.quant_bits <= 4));
+        assert!(arch.blocks.iter().any(|b| b.quant_bits == 8));
+        for b in &arch.blocks {
+            assert!(arch.space.kernel_choices.contains(&b.kernel));
+            assert!(arch.space.expansion_choices.contains(&b.expansion));
+            assert!(arch.space.quant_bits.contains(&b.quant_bits));
+        }
+        assert!(arch.to_network_shape().total_work() > 0.0);
     }
 
     #[test]

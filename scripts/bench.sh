@@ -17,6 +17,9 @@
 # medians are compared against it after the run. Any benchmark slower by more
 # than EDD_BENCH_TOLERANCE (default 0.10 = 10%) fails the script with exit 1
 # — the new snapshot is still written so the regression can be inspected.
+#
+# The last line of output is always a machine-readable verdict,
+# `BENCH_RESULT: PASS` or `BENCH_RESULT: FAIL (exit N)`, for CI log greps.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +27,10 @@ out=BENCH_supernet.json
 tolerance="${EDD_BENCH_TOLERANCE:-0.10}"
 tmp=$(mktemp)
 prev=$(mktemp)
-trap 'rm -f "$tmp" "$prev"' EXIT
+# The EXIT trap also emits the machine-readable verdict line CI greps for.
+trap 'status=$?; rm -f "$tmp" "$prev";
+      if [[ $status -eq 0 ]]; then echo "BENCH_RESULT: PASS";
+      else echo "BENCH_RESULT: FAIL (exit $status)"; fi' EXIT
 
 # Snapshot the previous run's medians (if any) before overwriting.
 have_prev=0
@@ -33,7 +39,7 @@ if [[ -s "$out" ]]; then
     cp "$out" "$prev"
 fi
 
-EDD_BENCH_JSON="$tmp" cargo bench -p edd-bench --bench supernet_step
+EDD_BENCH_JSON="$tmp" cargo bench --locked -p edd-bench --bench supernet_step
 
 if [[ ! -s "$tmp" ]]; then
     echo "bench.sh: no records captured" >&2
@@ -88,5 +94,5 @@ if [[ "$have_prev" == 1 ]]; then
 fi
 
 if [[ "${1:-}" == "--all" ]]; then
-    cargo bench -p edd-bench --bench tensor_ops
+    cargo bench --locked -p edd-bench --bench tensor_ops
 fi

@@ -10,10 +10,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --workspace
+cargo build --locked --release --workspace
 cargo fmt --check
-cargo clippy --workspace -- -D warnings
-cargo test -q --workspace
-cargo test -q -p edd-tensor
+cargo clippy --locked --workspace -- -D warnings
+cargo test --locked -q --workspace
+cargo test --locked -q -p edd-tensor
 
 echo "tier1: all green"

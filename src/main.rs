@@ -3,23 +3,31 @@
 //! ```text
 //! edd search  --target fpga-recursive --blocks 4 --classes 6 --epochs 8 --out arch.json
 //! edd eval    --arch arch.json
+//! edd qinfer  --arch arch.json
 //! edd zoo
 //! edd devices
 //! ```
 //!
 //! `search` runs the co-search on SynthImageNet and writes the derived
 //! architecture as JSON; `eval` loads such a JSON artifact and reports its
-//! modeled latency/throughput/resources on every hardware model; `zoo`
-//! prints the model-zoo leaderboard; `devices` lists the built-in device
-//! descriptors.
+//! modeled latency/throughput/resources on every hardware model; `qinfer`
+//! compiles an architecture into the true integer inference engine
+//! (int8/int4 weights, fixed-point requantization) and serves batches
+//! through it; `zoo` prints the model-zoo leaderboard; `devices` lists the
+//! built-in device descriptors.
 
-use edd::core::{CoSearch, CoSearchConfig, DerivedArch, DeviceTarget, SearchSpace};
+use edd::core::{
+    calibrate, CoSearch, CoSearchConfig, DerivedArch, DeviceTarget, QatModel, QuantizedModel,
+    SearchSpace,
+};
 use edd::data::{SynthConfig, SynthDataset};
 use edd::hw::gpu::GpuPrecision;
 use edd::hw::{
-    eval_gpu, eval_pipelined, eval_recursive, tune_pipelined, tune_recursive, AccelDevice,
-    FpgaDevice, GpuDevice,
+    eval_gpu, eval_pipelined, eval_recursive, predicted_throughput_fps, tune_pipelined,
+    tune_recursive, AccelDevice, FpgaDevice, GpuDevice,
 };
+use edd::nn::Module;
+use edd::runtime::InferServer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -203,6 +211,96 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `edd qinfer`: compile a derived architecture into the true integer
+/// inference engine and serve batches through it — briefly QAT-trains the
+/// network on SynthImageNet, calibrates activation scales, compiles to
+/// int8/int4 weights with fixed-point requantization, and reports measured
+/// throughput next to the Stage-1 `Perf^q` prediction.
+fn cmd_qinfer(args: &Args) -> Result<(), String> {
+    let batch = args.get_usize("batch", 8)?;
+    let batches = args.get_usize("batches", 4)?;
+    let epochs = args.get_usize("qat-epochs", 2)?;
+    let seed = args.get_usize("seed", 42)? as u64;
+    let arch = match args.flags.get("arch") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            DerivedArch::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?
+        }
+        None => edd::zoo::tiny_derived_arch(),
+    };
+    println!("{}", arch.summary());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = QatModel::new(&arch, &mut rng);
+    let data = SynthDataset::new(SynthConfig {
+        num_classes: arch.space.num_classes,
+        image_size: arch.space.image_size,
+        ..SynthConfig::default()
+    });
+    let train = data.split(batches, batch, 1);
+    let test = data.split(batches.max(1), batch, 2);
+    let mut opt = edd::tensor::optim::Sgd::new(model.parameters(), 0.05, 0.9, 1e-4);
+    for epoch in 0..epochs {
+        let stats = edd::nn::train_epoch(&model, &mut opt, &train).map_err(|e| e.to_string())?;
+        println!(
+            "qat epoch {epoch}: loss {:.3}, top1 {:.2}",
+            stats.loss, stats.top1
+        );
+    }
+    model.set_training(false);
+
+    let calib_data: Vec<_> = train.iter().map(|b| b.images.clone()).collect();
+    let calib = calibrate(&model, &calib_data).map_err(|e| e.to_string())?;
+    let q = QuantizedModel::compile(&model, &arch, &calib);
+    println!(
+        "\ncompiled integer engine: block bits {:?}, {} weight bytes, input scale {:.5}",
+        q.block_bits(),
+        q.weight_bytes(),
+        q.input_scale()
+    );
+
+    let block_bits = q.block_bits().to_vec();
+    let server = InferServer::new(q);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for b in &test {
+        let n = b.labels.len();
+        let logits = server
+            .infer(b.images.data(), n)
+            .map_err(|e| e.to_string())?;
+        let classes = logits.len() / n;
+        for i in 0..n {
+            let row = &logits[i * classes..(i + 1) * classes];
+            let arg = (0..classes).fold(0, |best, j| if row[j] > row[best] { j } else { best });
+            correct += usize::from(arg == b.labels[i]);
+            total += 1;
+        }
+    }
+    let stats = server.stats();
+    println!(
+        "served {} requests / {} images entirely in integer arithmetic: \
+         top1 {:.2}, mean latency {:.1} µs, {:.0} images/s",
+        stats.requests,
+        stats.images,
+        correct as f64 / total.max(1) as f64,
+        stats.mean_latency_us(),
+        stats.images_per_sec()
+    );
+
+    let device = AccelDevice::loom_like();
+    let net = arch.to_network_shape();
+    let mut q_per_op = vec![8u32; net.ops.len()];
+    q_per_op[1..=block_bits.len()].copy_from_slice(&block_bits);
+    println!(
+        "Stage-1 Perf^q prediction on {}: {:.0} images/s at Φ = {:?} \
+         (ratios, not absolutes, are the comparable quantity — see EXPERIMENTS.md)",
+        device.name,
+        predicted_throughput_fps(&net, &q_per_op, &device),
+        block_bits
+    );
+    Ok(())
+}
+
 fn cmd_zoo() {
     let nets = [
         edd::zoo::googlenet(),
@@ -270,9 +368,10 @@ fn cmd_devices() {
     );
 }
 
-const USAGE: &str = "usage: edd <search|eval|zoo|devices> [--flags]\n\
+const USAGE: &str = "usage: edd <search|eval|qinfer|zoo|devices> [--flags]\n\
   search  --target gpu|fpga-recursive|fpga-pipelined|dedicated \\\n          --blocks N --classes C --epochs E --seed S --out FILE \\\n          --checkpoint-dir DIR --checkpoint-every N --checkpoint-keep K \\\n          --resume PATH --trace-out FILE.jsonl\n\
   eval    --arch FILE\n\
+  qinfer  --arch FILE --batch N --batches K --qat-epochs E --seed S\n\
   zoo\n\
   devices\n\
 \n\
@@ -297,6 +396,7 @@ fn main() -> ExitCode {
     let result = match args.command.as_str() {
         "search" => cmd_search(&args),
         "eval" => cmd_eval(&args),
+        "qinfer" => cmd_qinfer(&args),
         "zoo" => {
             cmd_zoo();
             Ok(())
