@@ -232,6 +232,16 @@ impl QuantizedModel {
     }
 }
 
+/// The multi-tenant serving front end (`edd_runtime::serve`) shares one
+/// compiled engine immutably across worker shards, so `QuantizedModel`
+/// must stay `Send + Sync` — plain owned buffers, no interior mutability.
+/// This assertion turns any future `Rc`/`RefCell`/raw-pointer regression
+/// into a compile error at the crate boundary that relies on it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QuantizedModel>();
+};
+
 impl edd_runtime::BatchModel for QuantizedModel {
     type Error = TensorError;
 

@@ -35,6 +35,38 @@ pub trait BatchModel {
     fn infer_batch(&self, images: &[f32], batch: usize) -> Result<Vec<f32>, Self::Error>;
 }
 
+impl<M: BatchModel + ?Sized> BatchModel for &M {
+    type Error = M::Error;
+
+    fn image_len(&self) -> usize {
+        M::image_len(self)
+    }
+
+    fn num_classes(&self) -> usize {
+        M::num_classes(self)
+    }
+
+    fn infer_batch(&self, images: &[f32], batch: usize) -> Result<Vec<f32>, Self::Error> {
+        M::infer_batch(self, images, batch)
+    }
+}
+
+impl<M: BatchModel + ?Sized> BatchModel for std::sync::Arc<M> {
+    type Error = M::Error;
+
+    fn image_len(&self) -> usize {
+        M::image_len(self)
+    }
+
+    fn num_classes(&self) -> usize {
+        M::num_classes(self)
+    }
+
+    fn infer_batch(&self, images: &[f32], batch: usize) -> Result<Vec<f32>, Self::Error> {
+        M::infer_batch(self, images, batch)
+    }
+}
+
 /// Counters accumulated by an [`InferServer`] (atomics: the server is
 /// shareable across threads).
 #[derive(Debug, Default)]
@@ -59,7 +91,10 @@ pub struct InferStats {
 }
 
 impl InferStats {
-    /// Mean wall time per request in microseconds (0 before any request).
+    /// Mean wall time per request in microseconds.
+    ///
+    /// Empty stats (no requests) report `0.0` — never `NaN` — so the
+    /// value is always safe to print or aggregate.
     #[must_use]
     pub fn mean_latency_us(&self) -> f64 {
         if self.requests == 0 {
@@ -69,13 +104,18 @@ impl InferStats {
         }
     }
 
-    /// Sustained throughput in images per second (0 before any request).
+    /// Sustained throughput in images per second.
+    ///
+    /// Empty stats (no images served) report `0.0` — never `NaN` or
+    /// `inf`. When images *were* served but the summed wall time rounded
+    /// down to 0 µs (sub-microsecond requests), the elapsed time is
+    /// clamped to 1 µs so real work never reports zero throughput.
     #[must_use]
     pub fn images_per_sec(&self) -> f64 {
-        if self.total_latency_us == 0 {
+        if self.images == 0 {
             0.0
         } else {
-            self.images as f64 * 1e6 / self.total_latency_us as f64
+            self.images as f64 * 1e6 / self.total_latency_us.max(1) as f64
         }
     }
 }

@@ -20,23 +20,37 @@
 //!   requests/images and tracks latency, wired into the telemetry sink.
 //!   The integer quantized-inference engine in `edd-core` serves through
 //!   this.
+//! - **Multi-tenant dynamic batching** ([`serve`]): an async front end
+//!   over [`BatchModel`] — a pure, clock-injected [`serve::Batcher`]
+//!   state machine (deterministically testable without threads or wall
+//!   time), bounded per-model request queues with
+//!   backpressure admission control, per-model worker shards sharing one
+//!   immutable `Arc<Model>`, and p50/p95/p99 latency + queue-depth +
+//!   batch-occupancy telemetry.
 //!
 //! The crate is dependency-free (std only) and sits below `edd-core`,
 //! `edd-nn`, and the CLI in the workspace graph; `edd-tensor` stays
 //! independent of it (kernel hot paths use raw atomics in
 //! `edd_tensor::stats`, sampled into gauges by the layers above).
 
+#![warn(missing_docs)]
+
 pub mod crc32;
 pub mod infer;
+pub mod serve;
 pub mod snapshot;
 pub mod telemetry;
 
 pub use crc32::crc32;
 pub use infer::{BatchModel, InferServer, InferStats};
+pub use serve::{
+    BatchAction, BatchEvent, Batcher, BatcherConfig, FlushReason, LatencySummary, Micros,
+    ModelServeStats, RejectReason, ServeConfig, ServeError, Server, Ticket,
+};
 pub use snapshot::{
     latest_snapshot, list_snapshots, prune_snapshots, read as read_snapshot, write_atomic,
     ByteReader, ByteWriter, SectionWriter, Sections, SnapshotError,
 };
 pub use telemetry::{
-    CsvSink, Event, EventKind, FanoutSink, JsonlSink, NoopSink, Sink, Span, Value,
+    CsvSink, Event, EventKind, FanoutSink, Histogram, JsonlSink, NoopSink, Sink, Span, Value,
 };

@@ -24,8 +24,118 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Percentile histogram
+// ---------------------------------------------------------------------------
+
+/// Exact buckets for values below this; log-linear buckets above.
+const HIST_LINEAR_MAX: u64 = 4096;
+/// Sub-buckets per power of two in the log-linear range.
+const HIST_SUB: usize = 16;
+/// First exponent of the log-linear range (`2^12 == HIST_LINEAR_MAX`).
+const HIST_FIRST_EXP: u32 = 12;
+/// Total buckets: 4096 exact + 16 per octave for exponents 12..=63.
+const HIST_BUCKETS: usize = HIST_LINEAR_MAX as usize + (64 - HIST_FIRST_EXP as usize) * HIST_SUB;
+
+/// Lock-free fixed-memory value histogram with percentile queries,
+/// designed for latency tracking in microseconds.
+///
+/// Values `< 4096` land in exact 1-unit buckets, so percentiles over
+/// typical serve latencies are exact; larger values use log-linear
+/// buckets (16 per power of two, ≤ 6.25 % relative error), reported as
+/// the bucket's lower bound. Recording is a single relaxed atomic
+/// increment, safe from any thread.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(HIST_BUCKETS);
+        buckets.resize_with(HIST_BUCKETS, || AtomicU64::new(0));
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < HIST_LINEAR_MAX {
+            value as usize
+        } else {
+            let exp = 63 - value.leading_zeros(); // >= HIST_FIRST_EXP
+            let sub = ((value >> (exp - 4)) & 0xF) as usize;
+            HIST_LINEAR_MAX as usize + (exp - HIST_FIRST_EXP) as usize * HIST_SUB + sub
+        }
+    }
+
+    /// Lower bound of the bucket at `index` — the value percentiles report.
+    fn bucket_floor(index: usize) -> u64 {
+        if index < HIST_LINEAR_MAX as usize {
+            index as u64
+        } else {
+            let rel = index - HIST_LINEAR_MAX as usize;
+            let exp = HIST_FIRST_EXP + (rel / HIST_SUB) as u32;
+            let sub = (rel % HIST_SUB) as u64;
+            (1u64 << exp) + (sub << (exp - 4))
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded observation (exact, not bucketed); 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Nearest-rank percentile: the smallest recorded bucket value `v`
+    /// such that at least `ceil(p/100 · count)` observations are `<= v`.
+    /// Returns 0 when empty. `p` is clamped to `(0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0 * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_floor(i);
+            }
+        }
+        self.max()
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Values and events

@@ -1,0 +1,320 @@
+//! Deterministic simulation suite for the dynamic-batching state machine.
+//!
+//! The [`Batcher`] is pure and clock-injected — `tick(now, events)` is its
+//! only input — so these tests drive it through scripted arrival traces
+//! (burst, trickle, deadline-straddling, queue-full, drain) and assert the
+//! *exact* batch compositions, flush reasons, and rejection ordering. No
+//! real time, no sleeps, no threads: the whole suite is a pure function of
+//! the scripts and runs in well under a second.
+
+use edd_runtime::serve::{
+    BatchAction, BatchEvent, Batcher, BatcherConfig, FlushReason, RejectReason,
+};
+use proptest::prelude::*;
+
+fn cfg(max_batch: usize, max_delay_us: u64, queue_depth: usize) -> BatcherConfig {
+    BatcherConfig {
+        max_batch,
+        max_delay_us,
+        queue_depth,
+    }
+}
+
+/// Shorthand: tick with a list of arriving request ids.
+fn arrive(b: &mut Batcher<usize>, now: u64, ids: &[usize]) -> Vec<BatchAction<usize>> {
+    b.tick(now, ids.iter().map(|&i| BatchEvent::Arrive(i)))
+}
+
+/// Asserts an action is a flush with exactly `items` for `reason`.
+fn assert_flush(action: &BatchAction<usize>, reason: FlushReason, items: &[usize]) {
+    match action {
+        BatchAction::Flush {
+            reason: r,
+            items: got,
+        } => {
+            assert_eq!(*r, reason, "flush reason");
+            assert_eq!(got, items, "flush composition");
+        }
+        BatchAction::Reject { .. } => panic!("expected flush of {items:?}, got {action:?}"),
+    }
+}
+
+/// Asserts an action rejects exactly `item` for `reason`.
+fn assert_reject(action: &BatchAction<usize>, reason: RejectReason, item: usize) {
+    match action {
+        BatchAction::Reject {
+            item: got,
+            reason: r,
+        } => {
+            assert_eq!(*r, reason, "reject reason");
+            assert_eq!(*got, item, "rejected item");
+        }
+        BatchAction::Flush { .. } => panic!("expected reject of {item}, got {action:?}"),
+    }
+}
+
+#[test]
+fn burst_splits_into_full_batches_then_deadline_flushes_the_tail() {
+    let mut b = Batcher::new(cfg(4, 250, 64));
+    // 10 requests land in one tick at t=0: two Full batches fire
+    // immediately, the 2-request tail waits for its deadline.
+    let actions = arrive(&mut b, 0, &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    assert_eq!(actions.len(), 2);
+    assert_flush(&actions[0], FlushReason::Full, &[0, 1, 2, 3]);
+    assert_flush(&actions[1], FlushReason::Full, &[4, 5, 6, 7]);
+    assert_eq!(b.len(), 2);
+    assert_eq!(b.next_deadline(), Some(250));
+
+    // Nothing happens before the deadline...
+    assert!(b.tick(249, std::iter::empty()).is_empty());
+    assert_eq!(b.len(), 2);
+
+    // ...and at t=250 the tail flushes as one deadline batch.
+    let actions = b.tick(250, std::iter::empty());
+    assert_eq!(actions.len(), 1);
+    assert_flush(&actions[0], FlushReason::Deadline, &[8, 9]);
+    assert!(b.is_empty());
+    assert_eq!(b.next_deadline(), None);
+}
+
+#[test]
+fn trickle_coalesces_under_one_deadline() {
+    let mut b = Batcher::new(cfg(8, 250, 64));
+    // Arrivals at t=0, 100, 200 — all before request 0's t=250 deadline.
+    assert!(arrive(&mut b, 0, &[0]).is_empty());
+    assert!(arrive(&mut b, 100, &[1]).is_empty());
+    assert!(arrive(&mut b, 200, &[2]).is_empty());
+    assert_eq!(b.len(), 3);
+    // The deadline is set by the *oldest* request, not the newest.
+    assert_eq!(b.next_deadline(), Some(250));
+    // All three ride the same deadline flush.
+    let actions = b.tick(250, std::iter::empty());
+    assert_eq!(actions.len(), 1);
+    assert_flush(&actions[0], FlushReason::Deadline, &[0, 1, 2]);
+}
+
+#[test]
+fn deadline_straddler_rides_along_with_the_expired_request() {
+    let mut b = Batcher::new(cfg(8, 250, 64));
+    assert!(arrive(&mut b, 0, &[0]).is_empty());
+    // Request 1 arrives just before request 0 expires; its own deadline
+    // (t=490) is far away, but it rides request 0's flush rather than
+    // leaving a 1-request batch behind.
+    assert!(arrive(&mut b, 240, &[1]).is_empty());
+    let actions = b.tick(250, std::iter::empty());
+    assert_eq!(actions.len(), 1);
+    assert_flush(&actions[0], FlushReason::Deadline, &[0, 1]);
+    assert!(b.is_empty());
+}
+
+#[test]
+fn arrival_tick_can_both_reject_and_deadline_flush() {
+    let mut b = Batcher::new(cfg(8, 100, 2));
+    assert!(arrive(&mut b, 0, &[0, 1]).is_empty());
+    // At t=100: request 2 arrives while the queue is still full (depth 2),
+    // so it is rejected *before* the deadline check flushes 0 and 1 —
+    // admission is evaluated at arrival time, in event order.
+    let actions = arrive(&mut b, 100, &[2]);
+    assert_eq!(actions.len(), 2);
+    assert_reject(&actions[0], RejectReason::QueueFull, 2);
+    assert_flush(&actions[1], FlushReason::Deadline, &[0, 1]);
+}
+
+#[test]
+fn queue_full_rejects_in_arrival_order() {
+    let mut b = Batcher::new(cfg(10, 1_000, 3));
+    // Depth 3, max_batch 10: requests 3 and 4 find the queue full and are
+    // rejected in their arrival order; 0-2 stay pending.
+    let actions = arrive(&mut b, 0, &[0, 1, 2, 3, 4]);
+    assert_eq!(actions.len(), 2);
+    assert_reject(&actions[0], RejectReason::QueueFull, 3);
+    assert_reject(&actions[1], RejectReason::QueueFull, 4);
+    assert_eq!(b.len(), 3);
+    // A flush frees capacity: the next arrival is admitted again.
+    let actions = b.tick(1_000, std::iter::empty());
+    assert_flush(&actions[0], FlushReason::Deadline, &[0, 1, 2]);
+    assert!(arrive(&mut b, 1_001, &[5]).is_empty());
+    assert_eq!(b.len(), 1);
+}
+
+#[test]
+fn zero_delay_coalesces_same_tick_arrivals_only() {
+    let mut b = Batcher::new(cfg(8, 0, 64));
+    // max_delay 0: a same-tick burst still coalesces (deadlines are
+    // checked after all events), but nothing lingers past its tick.
+    let actions = arrive(&mut b, 5, &[0, 1, 2]);
+    assert_eq!(actions.len(), 1);
+    assert_flush(&actions[0], FlushReason::Deadline, &[0, 1, 2]);
+    assert!(b.is_empty());
+}
+
+#[test]
+fn drain_flushes_everything_and_rejects_later_arrivals() {
+    let mut b = Batcher::new(cfg(2, 10_000, 64));
+    let actions = arrive(&mut b, 0, &[0, 1, 2, 3, 4]);
+    assert_eq!(actions.len(), 2); // two Full batches, 4 stays pending
+    assert_eq!(b.len(), 1);
+    assert!(!b.is_draining());
+
+    // Drain: the 1-request tail flushes even though its deadline is far
+    // away, and the machine stops admitting.
+    let actions = b.tick(1, [BatchEvent::Drain]);
+    assert_eq!(actions.len(), 1);
+    assert_flush(&actions[0], FlushReason::Drain, &[4]);
+    assert!(b.is_draining());
+    assert!(b.is_empty());
+
+    let actions = arrive(&mut b, 2, &[5]);
+    assert_eq!(actions.len(), 1);
+    assert_reject(&actions[0], RejectReason::ShuttingDown, 5);
+}
+
+#[test]
+fn drain_splits_oversized_backlog_into_max_batch_chunks() {
+    // A 5-deep backlog with max_batch 2 drains as 2 + 2 + 1. Use a drain
+    // in the same tick as the arrivals so Full never fires first: the
+    // Drain event lands before the arrivals are deadline-checked.
+    let mut b = Batcher::new(cfg(2, 10_000, 64));
+    let events = [
+        BatchEvent::Arrive(0),
+        BatchEvent::Arrive(1), // triggers a Full flush of [0, 1]
+        BatchEvent::Arrive(2),
+        BatchEvent::Arrive(3), // triggers a Full flush of [2, 3]
+        BatchEvent::Arrive(4),
+        BatchEvent::Drain, // flushes the [4] tail
+    ];
+    let actions = b.tick(0, events);
+    assert_eq!(actions.len(), 3);
+    assert_flush(&actions[0], FlushReason::Full, &[0, 1]);
+    assert_flush(&actions[1], FlushReason::Full, &[2, 3]);
+    assert_flush(&actions[2], FlushReason::Drain, &[4]);
+    assert!(b.is_empty() && b.is_draining());
+
+    // With max_batch 4 the same backlog drains as one batch.
+    let mut b = Batcher::new(cfg(4, 10_000, 64));
+    assert!(arrive(&mut b, 0, &[0, 1, 2]).is_empty());
+    let actions = b.tick(0, [BatchEvent::Drain]);
+    assert_eq!(actions.len(), 1);
+    assert_flush(&actions[0], FlushReason::Drain, &[0, 1, 2]);
+}
+
+#[test]
+fn degenerate_configs_are_clamped() {
+    // max_batch 0 and queue_depth 0 clamp to 1 instead of deadlocking.
+    let mut b = Batcher::new(cfg(0, 100, 0));
+    assert_eq!(b.config().max_batch, 1);
+    assert_eq!(b.config().queue_depth, 1);
+    let actions = arrive(&mut b, 0, &[0]);
+    assert_eq!(actions.len(), 1);
+    assert_flush(&actions[0], FlushReason::Full, &[0]);
+}
+
+#[test]
+fn identical_scripts_produce_identical_action_streams() {
+    // Determinism witness: the full action stream of a mixed script is
+    // reproducible run to run (the machine holds no hidden state).
+    let script = |b: &mut Batcher<usize>| -> Vec<String> {
+        let mut log = Vec::new();
+        for (now, ids) in [(0u64, vec![0, 1, 2]), (50, vec![3]), (400, vec![4, 5])] {
+            for a in b.tick(now, ids.into_iter().map(BatchEvent::Arrive)) {
+                log.push(format!("{a:?}"));
+            }
+        }
+        for a in b.tick(500, [BatchEvent::Drain]) {
+            log.push(format!("{a:?}"));
+        }
+        log
+    };
+    let mut b1 = Batcher::new(cfg(3, 300, 4));
+    let mut b2 = Batcher::new(cfg(3, 300, 4));
+    assert_eq!(script(&mut b1), script(&mut b2));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: conservation, FIFO, and bounds over random traces
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any arrival trace conserves requests (each id ends in exactly one
+    /// flush or one reject), flushes in FIFO order, respects `max_batch`,
+    /// and only rejects when the queue is at depth.
+    #[test]
+    fn random_traces_conserve_requests(
+        max_batch in 1usize..6,
+        max_delay_us in 0u64..500,
+        queue_depth in 1usize..12,
+        // (time-delta, burst-size) pairs: arrival schedule.
+        schedule in prop::collection::vec((0u64..300, 1usize..5), 1..20),
+    ) {
+        let mut b = Batcher::new(cfg(max_batch, max_delay_us, queue_depth));
+        let mut now = 0u64;
+        let mut next_id = 0usize;
+        let mut flushed: Vec<usize> = Vec::new();
+        let mut rejected: Vec<usize> = Vec::new();
+        let mut record = |actions: Vec<BatchAction<usize>>| -> Result<(), TestCaseError> {
+            for action in actions {
+                match action {
+                    BatchAction::Flush { items, .. } => {
+                        prop_assert!(!items.is_empty(), "empty flush");
+                        prop_assert!(items.len() <= max_batch.max(1), "oversized flush");
+                        flushed.extend(items);
+                    }
+                    BatchAction::Reject { item, .. } => rejected.push(item),
+                }
+            }
+            Ok(())
+        };
+        for (dt, burst) in &schedule {
+            now += dt;
+            let ids: Vec<usize> = (0..*burst).map(|_| { let i = next_id; next_id += 1; i }).collect();
+            let pending_before = b.len();
+            let actions = b.tick(now, ids.into_iter().map(BatchEvent::Arrive));
+            // Rejects can only happen if the queue could fill during this
+            // tick: pending before + burst must exceed capacity.
+            let rejects_this_tick = actions.iter()
+                .filter(|a| matches!(a, BatchAction::Reject { .. }))
+                .count();
+            if rejects_this_tick > 0 {
+                prop_assert!(
+                    pending_before + burst > queue_depth.max(1),
+                    "rejected with spare capacity: {pending_before} pending, burst {burst}, depth {queue_depth}"
+                );
+            }
+            record(actions)?;
+        }
+        // Drain and account for everything.
+        record(b.tick(now + 1_000_000, [BatchEvent::Drain]))?;
+        prop_assert!(b.is_empty());
+        prop_assert_eq!(flushed.len() + rejected.len(), next_id, "requests lost or duplicated");
+        // FIFO: flushed ids appear in strictly increasing order.
+        for w in flushed.windows(2) {
+            prop_assert!(w[0] < w[1], "flush order violated: {} before {}", w[0], w[1]);
+        }
+        // Exactly-once: no id in both sets, no duplicates.
+        let mut all: Vec<usize> = flushed.iter().chain(rejected.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), next_id, "duplicate or missing ids");
+    }
+
+    /// Deadline guarantee: after a tick at time `t`, no pending request's
+    /// deadline is `<= t` (nothing waits past max_delay).
+    #[test]
+    fn no_request_overstays_its_deadline(
+        max_batch in 1usize..6,
+        max_delay_us in 0u64..400,
+        schedule in prop::collection::vec(0u64..200, 1..30),
+    ) {
+        let mut b = Batcher::new(cfg(max_batch, max_delay_us, 1024));
+        let mut now = 0u64;
+        for (i, dt) in schedule.iter().enumerate() {
+            now += dt;
+            let _ = b.tick(now, [BatchEvent::Arrive(i)]);
+            if let Some(d) = b.next_deadline() {
+                prop_assert!(d > now, "pending deadline {d} expired at {now}");
+            }
+        }
+    }
+}

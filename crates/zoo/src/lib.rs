@@ -27,4 +27,7 @@ pub use baselines::{
 pub use builders::ShapeBuilder;
 pub use edd_nets::{edd_net_1, edd_net_2, edd_net_3};
 pub use published::{Table1Row, Table2Entry, Table3Row, TABLE_1, TABLE_2, TABLE_3};
-pub use tiny::{random_arch, tiny_derived_arch, tiny_mobilenet_v2, tiny_resnet, tiny_vgg};
+pub use tiny::{
+    compile_tiny_zoo, random_arch, tiny_derived_arch, tiny_mobilenet_v2, tiny_model_zoo,
+    tiny_quant_arch, tiny_resnet, tiny_vgg,
+};

@@ -2,12 +2,16 @@
 //! experiments: a tiny MobileNet-V2-style baseline and random-architecture
 //! sampling from an EDD search space (the random-search control).
 
-use edd_core::{BlockChoice, DerivedArch, DeviceTarget, SearchSpace};
+use edd_core::{
+    calibrate, BlockChoice, DerivedArch, DeviceTarget, QatModel, QuantizedModel, SearchSpace,
+};
 use edd_nn::{
     Activation, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, MbConv,
     Sequential,
 };
-use rand::Rng;
+use edd_tensor::Array;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A small MobileNet-V2-style classifier for `image_size²` RGB inputs:
 /// stem 3×3 → three MBConv stages → 1×1 head → GAP → linear.
@@ -102,16 +106,28 @@ pub fn tiny_vgg<R: Rng + ?Sized>(image_size: usize, num_classes: usize, rng: &mu
 /// int8 path.
 #[must_use]
 pub fn tiny_derived_arch() -> DerivedArch {
+    tiny_quant_arch("edd-tiny-quant-demo", [3, 5, 3], [4, 4, 4], [4, 8, 8])
+}
+
+/// Builds a fixed three-block derived architecture over the tiny search
+/// space with per-block kernel sizes, expansion ratios, and quantization
+/// bit-widths. All choices must come from the tiny space's menus
+/// (kernels {3, 5, 7}, expansions {4, 5, 6}, bits {4, 8, 16}).
+#[must_use]
+pub fn tiny_quant_arch(
+    name: &str,
+    kernels: [usize; 3],
+    expansions: [usize; 3],
+    bits: [u32; 3],
+) -> DerivedArch {
     let space = SearchSpace::tiny(3, 16, 4, vec![4, 8, 16]);
-    let bits = [4u32, 8, 8];
-    let kernels = [3usize, 5, 3];
     let blocks = space
         .blocks
         .iter()
         .enumerate()
         .map(|(i, plan)| BlockChoice {
             kernel: kernels[i],
-            expansion: 4,
+            expansion: expansions[i],
             out_channels: plan.out_channels,
             stride: plan.stride,
             quant_bits: bits[i],
@@ -119,11 +135,48 @@ pub fn tiny_derived_arch() -> DerivedArch {
         })
         .collect();
     DerivedArch {
-        name: "edd-tiny-quant-demo".into(),
+        name: name.into(),
         target: DeviceTarget::Dedicated(edd_hw::AccelDevice::loom_like()).label(),
         blocks,
         space,
     }
+}
+
+/// A small fleet of distinct derived architectures for multi-tenant
+/// serving tests and benches: the mixed-precision demo net plus a pure
+/// int8 variant and a pure int4 variant, each with different kernel and
+/// expansion choices so their compiled engines genuinely differ.
+#[must_use]
+pub fn tiny_model_zoo() -> Vec<DerivedArch> {
+    vec![
+        tiny_derived_arch(),
+        tiny_quant_arch("edd-tiny-int8", [5, 7, 3], [5, 6, 4], [8, 8, 8]),
+        tiny_quant_arch("edd-tiny-int4", [7, 3, 5], [6, 4, 5], [4, 4, 4]),
+    ]
+}
+
+/// Trains nothing, but runs the full deploy pipeline — random QAT
+/// weights, activation calibration, integer compilation — for each
+/// architecture in [`tiny_model_zoo`], returning `(name, engine)` pairs
+/// ready to serve. Deterministic in `seed`.
+#[must_use]
+pub fn compile_tiny_zoo(seed: u64) -> Vec<(String, QuantizedModel)> {
+    tiny_model_zoo()
+        .iter()
+        .enumerate()
+        .map(|(i, arch)| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            let model = QatModel::new(arch, &mut rng);
+            let batches: Vec<Array> = (0..2)
+                .map(|_| Array::randn(&[2, 3, 16, 16], 1.0, &mut rng))
+                .collect();
+            let calib = calibrate(&model, &batches).expect("calibration of tiny zoo model");
+            (
+                arch.name.clone(),
+                QuantizedModel::compile(&model, arch, &calib),
+            )
+        })
+        .collect()
 }
 
 /// Samples a uniformly random architecture from `space` — the
@@ -220,6 +273,36 @@ mod tests {
             assert!(arch.space.quant_bits.contains(&b.quant_bits));
         }
         assert!(arch.to_network_shape().total_work() > 0.0);
+    }
+
+    #[test]
+    fn tiny_model_zoo_compiles_distinct_engines() {
+        let zoo = tiny_model_zoo();
+        assert_eq!(zoo.len(), 3);
+        let names: Vec<_> = zoo.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["edd-tiny-quant-demo", "edd-tiny-int8", "edd-tiny-int4"]
+        );
+        for arch in &zoo {
+            for b in &arch.blocks {
+                assert!(arch.space.kernel_choices.contains(&b.kernel));
+                assert!(arch.space.expansion_choices.contains(&b.expansion));
+                assert!(arch.space.quant_bits.contains(&b.quant_bits));
+            }
+        }
+        let compiled = compile_tiny_zoo(7);
+        assert_eq!(compiled.len(), 3);
+        // Same seed → same engines (bitwise); the pipeline is deterministic.
+        let again = compile_tiny_zoo(7);
+        let mut rng = StdRng::seed_from_u64(40);
+        let x = Array::randn(&[1, 3, 16, 16], 1.0, &mut rng);
+        for ((name, q), (_, q2)) in compiled.iter().zip(&again) {
+            let a = q.forward(&x).unwrap();
+            let b = q2.forward(&x).unwrap();
+            assert_eq!(a.data(), b.data(), "{name} not reproducible");
+            assert_eq!(a.shape(), vec![1, 4]);
+        }
     }
 
     #[test]

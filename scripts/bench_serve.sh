@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Runs the multi-tenant serving load generator (exp_serve) and records a
+# machine-readable snapshot at BENCH_serve.json: one JSON record per
+# served model per leg ({completed, batches, occupancy, p50/p95/p99/max
+# latency, queue peak}) plus a per-leg total ({reqs_per_sec, elapsed_s}).
+#
+# exp_serve appends JSONL records to the file named by EDD_BENCH_JSON;
+# this script collects them and wraps the lines into a JSON array with
+# plain awk/sed (no python/jq dependency), mirroring scripts/bench.sh.
+#
+# Capacity gate: the frontend leg (zero-cost models, so the serving path
+# itself is what's measured) must sustain at least EDD_SERVE_MIN_RPS
+# requests/s (default 10000) or the script fails. The zoo leg is
+# informational — on small hosts it is bound by the integer engine's
+# images/s, not the front end.
+#
+# Usage:
+#   scripts/bench_serve.sh            # full run -> BENCH_serve.json
+#   scripts/bench_serve.sh --quick    # shorter run, same gate
+#
+# The last line of output is always a machine-readable verdict,
+# `BENCH_SERVE_RESULT: PASS` or `BENCH_SERVE_RESULT: FAIL (exit N)`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_serve.json
+min_rps="${EDD_SERVE_MIN_RPS:-10000}"
+tmp=$(mktemp)
+trap 'status=$?; rm -f "$tmp";
+      if [[ $status -eq 0 ]]; then echo "BENCH_SERVE_RESULT: PASS";
+      else echo "BENCH_SERVE_RESULT: FAIL (exit $status)"; fi' EXIT
+
+quick_flag=()
+if [[ "${1:-}" == "--quick" ]]; then
+    quick_flag=(--quick)
+fi
+
+EDD_BENCH_JSON="$tmp" cargo run --release --locked -q -p edd-bench --bin exp_serve \
+    -- "${quick_flag[@]}" | tee /dev/stderr | grep -q "^SERVE_RESULT:"
+
+if [[ ! -s "$tmp" ]]; then
+    echo "bench_serve.sh: no records captured" >&2
+    exit 1
+fi
+
+# JSONL -> JSON array: comma-join all lines but the last.
+{
+    echo '['
+    awk 'NR > 1 { print prev "," } { prev = $0 } END { print prev }' "$tmp" \
+        | sed 's/^/  /'
+    echo ']'
+} > "$out"
+
+echo "wrote $out ($(wc -l < "$tmp") records)"
+
+# Gate on the frontend leg's sustained request rate.
+fe_rps=$(awk '
+    /"name":"serve_frontend_total"/ {
+        rest = substr($0, index($0, "\"reqs_per_sec\":") + 15)
+        sub(/[,}].*$/, "", rest)
+        print rest
+    }
+' "$out" | head -1)
+
+if [[ -z "$fe_rps" ]]; then
+    echo "bench_serve.sh: frontend total record missing" >&2
+    exit 1
+fi
+if awk -v got="$fe_rps" -v min="$min_rps" 'BEGIN { exit !(got + 0 >= min + 0) }'; then
+    echo "bench_serve.sh: frontend sustained ${fe_rps} req/s (>= ${min_rps})"
+else
+    echo "bench_serve.sh: frontend ${fe_rps} req/s below ${min_rps} floor" >&2
+    exit 1
+fi

@@ -23,5 +23,9 @@ echo "determinism: EDD_NUM_THREADS=${EDD_NUM_THREADS:-<default>} EDD_SIMD=${mode
 cargo test --locked -q -p edd-tensor --test determinism
 cargo test --locked -q -p edd-tensor --test qdeterminism
 cargo test --locked -q -p edd-core --test determinism
+# Serving leg: requests answered through 1-shard and 4-shard dynamic-
+# batching servers must match the synchronous InferServer path bit for
+# bit, whatever batches the coalescer happens to form.
+cargo test --locked -q -p edd-core --test serve_determinism
 
 echo "DETERMINISM_RESULT: PASS"

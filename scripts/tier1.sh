@@ -6,7 +6,11 @@
 #   3. lint gate: clippy clean across the workspace;
 #   4. the default test suite;
 #   5. the tensor crate's suite on its own, which carries the kernel
-#      oracle, gradcheck, and thread-determinism tests.
+#      oracle, gradcheck, and thread-determinism tests;
+#   6. the runtime crate's suite on its own, which carries the serving
+#      front end's deterministic batcher simulation (serve_sim), the
+#      multi-producer concurrency stress + property suite (serve_stress),
+#      and the telemetry histogram / InferStats accounting tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +19,6 @@ cargo fmt --check
 cargo clippy --locked --workspace -- -D warnings
 cargo test --locked -q --workspace
 cargo test --locked -q -p edd-tensor
+cargo test --locked -q -p edd-runtime
 
 echo "tier1: all green"

@@ -4,6 +4,7 @@
 //! edd search  --target fpga-recursive --blocks 4 --classes 6 --epochs 8 --out arch.json
 //! edd eval    --arch arch.json
 //! edd qinfer  --arch arch.json
+//! edd serve   --models 3 --requests 600
 //! edd zoo
 //! edd devices
 //! ```
@@ -13,8 +14,10 @@
 //! modeled latency/throughput/resources on every hardware model; `qinfer`
 //! compiles an architecture into the true integer inference engine
 //! (int8/int4 weights, fixed-point requantization) and serves batches
-//! through it; `zoo` prints the model-zoo leaderboard; `devices` lists the
-//! built-in device descriptors.
+//! through it; `serve` runs the multi-tenant dynamic-batching server over
+//! the compiled tiny zoo under a closed-loop synthetic load; `zoo` prints
+//! the model-zoo leaderboard; `devices` lists the built-in device
+//! descriptors.
 
 use edd::core::{
     calibrate, CoSearch, CoSearchConfig, DerivedArch, DeviceTarget, QatModel, QuantizedModel,
@@ -301,6 +304,110 @@ fn cmd_qinfer(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `edd serve`: compile the tiny model zoo into integer engines and drive
+/// the multi-tenant dynamic-batching server with a closed-loop synthetic
+/// workload — several producer threads, each keeping a bounded window of
+/// in-flight requests spread round-robin across the models — then report
+/// per-model completion counts, batch occupancy, and latency percentiles.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let models = args.get_usize("models", 3)?.clamp(1, 3);
+    let requests = args.get_usize("requests", 600)?;
+    let producers = args.get_usize("producers", 2)?.max(1);
+    let window = args.get_usize("window", 16)?.max(1);
+    let seed = args.get_usize("seed", 42)? as u64;
+    let config = edd::runtime::ServeConfig {
+        batcher: edd::runtime::BatcherConfig {
+            max_batch: args.get_usize("max-batch", 16)?,
+            max_delay_us: args.get_usize("max-delay-us", 500)? as u64,
+            queue_depth: args.get_usize("queue-depth", 1024)?,
+        },
+        shards: args.get_usize("shards", 1)?,
+    };
+
+    println!("compiling {models} tiny-zoo integer engine(s)...");
+    let zoo: Vec<(String, std::sync::Arc<QuantizedModel>)> = edd::zoo::compile_tiny_zoo(seed)
+        .into_iter()
+        .take(models)
+        .map(|(name, q)| (name, std::sync::Arc::new(q)))
+        .collect();
+    for (name, q) in &zoo {
+        println!(
+            "  {name}: block bits {:?}, {} weight bytes",
+            q.block_bits(),
+            q.weight_bytes()
+        );
+    }
+    let image_len = edd::runtime::BatchModel::image_len(zoo[0].1.as_ref());
+    println!(
+        "serving with max_batch {}, max_delay {} µs, queue depth {}, {} shard(s)/model; \
+         {producers} producer(s) x {requests} request(s), window {window}\n",
+        config.batcher.max_batch,
+        config.batcher.max_delay_us,
+        config.batcher.queue_depth,
+        config.shards
+    );
+
+    let server = edd::runtime::Server::start(zoo, config);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let pool: Vec<Vec<f32>> = (0..8)
+        .map(|_| {
+            let a = edd::tensor::Array::randn(&[1, 3, 16, 16], 1.0, &mut rng);
+            assert_eq!(a.data().len(), image_len);
+            a.data().to_vec()
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let server = &server;
+            let pool = &pool;
+            scope.spawn(move || {
+                let mut inflight = std::collections::VecDeque::new();
+                for i in 0..requests {
+                    let img = pool[(p * 5 + i) % pool.len()].clone();
+                    match server.submit((p + i) % models, img) {
+                        Ok(t) => inflight.push_back(t),
+                        Err(e) => eprintln!("producer {p}: request {i} rejected: {e}"),
+                    }
+                    if inflight.len() >= window {
+                        if let Err(e) = inflight.pop_front().expect("nonempty").wait() {
+                            eprintln!("producer {p}: request failed: {e}");
+                        }
+                    }
+                }
+                for t in inflight {
+                    if let Err(e) = t.wait() {
+                        eprintln!("producer {p}: request failed: {e}");
+                    }
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    println!(
+        "{:<22} {:>9} {:>9} {:>8} {:>8} {:>8} {:>7}",
+        "model", "completed", "rejected", "p50us", "p95us", "p99us", "occup"
+    );
+    for s in &stats {
+        println!(
+            "{:<22} {:>9} {:>9} {:>8} {:>8} {:>8} {:>7.2}",
+            s.name,
+            s.completed,
+            s.rejected_full + s.rejected_shutdown,
+            s.latency.p50_us,
+            s.latency.p95_us,
+            s.latency.p99_us,
+            s.mean_occupancy(),
+        );
+    }
+    let completed: u64 = stats.iter().map(|s| s.completed).sum();
+    let failed: u64 = stats.iter().map(|s| s.failed).sum();
+    println!("\n{completed} request(s) completed, {failed} failed");
+    if failed > 0 {
+        return Err(format!("{failed} request(s) failed"));
+    }
+    Ok(())
+}
+
 fn cmd_zoo() {
     let nets = [
         edd::zoo::googlenet(),
@@ -368,10 +475,11 @@ fn cmd_devices() {
     );
 }
 
-const USAGE: &str = "usage: edd <search|eval|qinfer|zoo|devices> [--flags]\n\
+const USAGE: &str = "usage: edd <search|eval|qinfer|serve|zoo|devices> [--flags]\n\
   search  --target gpu|fpga-recursive|fpga-pipelined|dedicated \\\n          --blocks N --classes C --epochs E --seed S --out FILE \\\n          --checkpoint-dir DIR --checkpoint-every N --checkpoint-keep K \\\n          --resume PATH --trace-out FILE.jsonl\n\
   eval    --arch FILE\n\
   qinfer  --arch FILE --batch N --batches K --qat-epochs E --seed S\n\
+  serve   --models N --requests R --producers P --window W --shards S \\\n          --max-batch B --max-delay-us D --queue-depth Q --seed S\n\
   zoo\n\
   devices\n\
 \n\
@@ -382,7 +490,13 @@ const USAGE: &str = "usage: edd <search|eval|qinfer|zoo|devices> [--flags]\n\
   --resume           continue bit-identically from a snapshot file, or from\n\
                      the newest snapshot in a checkpoint directory\n\
   --trace-out        stream structured telemetry (epoch metrics, phase\n\
-                     timings, kernel counters) as JSON lines to FILE";
+                     timings, kernel counters) as JSON lines to FILE\n\
+\n\
+  serve compiles up to 3 tiny-zoo integer engines, serves them all from\n\
+  one multi-tenant dynamic-batching server (bounded queues with\n\
+  backpressure, deadline-based batch coalescing, per-model worker\n\
+  shards), drives a closed-loop synthetic workload against it, and\n\
+  reports per-model latency percentiles and batch occupancy";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -397,6 +511,7 @@ fn main() -> ExitCode {
         "search" => cmd_search(&args),
         "eval" => cmd_eval(&args),
         "qinfer" => cmd_qinfer(&args),
+        "serve" => cmd_serve(&args),
         "zoo" => {
             cmd_zoo();
             Ok(())
