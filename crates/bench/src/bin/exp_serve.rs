@@ -25,6 +25,7 @@
 //! Run: `cargo run --release -p edd-bench --bin exp_serve [--quick]`
 
 use edd_bench::print_header;
+use edd_runtime::telemetry::Histogram;
 use edd_runtime::{BatchModel, BatcherConfig, ModelServeStats, ServeConfig, Server, Ticket};
 use edd_tensor::Array;
 use rand::rngs::StdRng;
@@ -154,6 +155,9 @@ fn main() {
         .collect();
     let num_models = zoo.len();
     assert_eq!(zoo[0].1.image_len(), IMAGE_LEN, "zoo serves 16x16 RGB");
+    // Keep handles past Server::start so the engine leg can call the same
+    // compiled models directly, without the serving front end in between.
+    let engines: Vec<(String, Arc<edd_core::QuantizedModel>)> = zoo.clone();
 
     // A small pool of fixed random images, cycled by every producer, so
     // input generation stays off the measured path.
@@ -199,10 +203,21 @@ fn main() {
     print_stats(&fe_stats);
     println!("\nfrontend total: {fe_rps:.0} req/s over {fe_elapsed:.2} s");
 
+    // ---- Leg 3: raw engine latency, one request at a time. ----
+    // Direct `infer_batch` calls on the compiled models, no queue or
+    // batcher in the loop: this is the per-model engine cost that bounds
+    // the zoo leg above. Comparing `serve_engine_*` p50 against
+    // `serve_zoo_*` p50 separates engine time from serving overhead.
+    let engine_iters: usize = if quick { 100 } else { 400 };
+    println!("\nleg 3 (engine, direct calls): {num_models} models x {engine_iters} single-image requests\n");
+    let engine_stats = drive_engines(&engines, &pool, engine_iters);
+    print_engine_stats(&engine_stats);
+
     if let Ok(path) = std::env::var("EDD_BENCH_JSON") {
         if !path.is_empty() {
             write_records(&path, "zoo", &zoo_stats, zoo_rps, zoo_elapsed);
             write_records(&path, "frontend", &fe_stats, fe_rps, fe_elapsed);
+            write_engine_records(&path, &engine_stats, engine_iters);
         }
     }
 
@@ -213,10 +228,84 @@ fn main() {
         .max()
         .unwrap_or(0);
     let fe_p99 = fe_stats.iter().map(|s| s.latency.p99_us).max().unwrap_or(0);
+    let engine_p50 = engine_stats.iter().map(|s| s.p50_us).max().unwrap_or(0);
     println!(
         "SERVE_RESULT: zoo_reqs_per_sec={zoo_rps:.0} zoo_worst_p99_us={zoo_p99} \
-         frontend_reqs_per_sec={fe_rps:.0} frontend_worst_p99_us={fe_p99}"
+         frontend_reqs_per_sec={fe_rps:.0} frontend_worst_p99_us={fe_p99} \
+         engine_worst_p50_us={engine_p50}"
     );
+}
+
+/// Per-model percentile summary from the direct-call engine leg.
+struct EngineLatency {
+    name: String,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+/// Times `iters` single-image `infer_batch` calls per model (after one
+/// untimed warmup each) and summarizes the latency distribution with the
+/// same [`Histogram`] percentile convention the serving stats use.
+fn drive_engines(
+    engines: &[(String, Arc<edd_core::QuantizedModel>)],
+    pool: &[Vec<f32>],
+    iters: usize,
+) -> Vec<EngineLatency> {
+    engines
+        .iter()
+        .map(|(name, model)| {
+            model.infer_batch(&pool[0], 1).expect("engine warmup");
+            let hist = Histogram::new();
+            for i in 0..iters {
+                let img = &pool[i % pool.len()];
+                let start = Instant::now();
+                model.infer_batch(img, 1).expect("engine forward");
+                let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                hist.record(us);
+            }
+            EngineLatency {
+                name: name.clone(),
+                p50_us: hist.percentile(50.0),
+                p95_us: hist.percentile(95.0),
+                p99_us: hist.percentile(99.0),
+                max_us: hist.max(),
+            }
+        })
+        .collect()
+}
+
+fn print_engine_stats(stats: &[EngineLatency]) {
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8}",
+        "model", "p50us", "p95us", "p99us", "maxus"
+    );
+    for s in stats {
+        println!(
+            "{:<22} {:>8} {:>8} {:>8} {:>8}",
+            s.name, s.p50_us, s.p95_us, s.p99_us, s.max_us
+        );
+    }
+}
+
+/// Appends one `serve_engine_<model>` JSONL record per model to `path`.
+fn write_engine_records(path: &str, stats: &[EngineLatency], iters: usize) {
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    for s in stats {
+        let _ = writeln!(
+            f,
+            "{{\"name\":\"serve_engine_{}\",\"iters\":{iters},\"p50_us\":{},\
+             \"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            s.name, s.p50_us, s.p95_us, s.p99_us, s.max_us,
+        );
+    }
 }
 
 /// Appends one JSONL record per model plus a per-leg total to `path`.

@@ -88,6 +88,19 @@ pub fn write_kernel_counters_record() {
         stats.buffer_fresh_bytes,
         stats.buffer_recycled_bytes
     );
+    let gemm = edd_tensor::kernel::select::gemm_label();
+    println!(
+        "gemm selection ({gemm}): {} vecmat / {} skinny-n / {} square / {} conv \
+         / {} generic; panels {} built, {} hits / {} misses",
+        stats.select_vecmat,
+        stats.select_skinny_n,
+        stats.select_square,
+        stats.select_conv,
+        stats.select_generic,
+        stats.pack_panels_built,
+        stats.pack_panel_hits,
+        stats.pack_panel_misses
+    );
     let Ok(path) = std::env::var("EDD_BENCH_JSON") else {
         return;
     };
@@ -99,8 +112,12 @@ pub fn write_kernel_counters_record() {
          \"pool_inline_jobs\":{},\"pool_tasks\":{},\"pool_workers_spawned\":{},\
          \"pool_utilization\":{util:.4},\"scratch_high_water_bytes\":{},\
          \"nproc\":{nproc},\"num_threads\":{threads},\"simd\":\"{simd}\",\
+         \"gemm\":\"{gemm}\",\
          \"buffer_fresh_bytes\":{},\"buffer_recycled_bytes\":{},\
-         \"buffer_pool_hits\":{},\"buffer_pool_misses\":{}}}\n",
+         \"buffer_pool_hits\":{},\"buffer_pool_misses\":{},\
+         \"select_vecmat\":{},\"select_skinny_n\":{},\"select_square\":{},\
+         \"select_conv\":{},\"select_generic\":{},\"pack_panels_built\":{},\
+         \"pack_panel_hits\":{},\"pack_panel_misses\":{}}}\n",
         stats.pool_parallel_jobs,
         stats.pool_inline_jobs,
         stats.pool_tasks,
@@ -109,7 +126,15 @@ pub fn write_kernel_counters_record() {
         stats.buffer_fresh_bytes,
         stats.buffer_recycled_bytes,
         stats.buffer_pool_hits,
-        stats.buffer_pool_misses
+        stats.buffer_pool_misses,
+        stats.select_vecmat,
+        stats.select_skinny_n,
+        stats.select_square,
+        stats.select_conv,
+        stats.select_generic,
+        stats.pack_panels_built,
+        stats.pack_panel_hits,
+        stats.pack_panel_misses
     );
     use std::io::Write;
     if let Ok(mut f) = std::fs::OpenOptions::new()

@@ -265,7 +265,23 @@ impl edd_runtime::BatchModel for QuantizedModel {
             images.to_vec(),
             &[batch, self.input_channels, self.image_size, self.image_size],
         )?;
-        Ok(self.forward(&x)?.data().to_vec())
+        let logits = self.forward(&x)?.data().to_vec();
+        // Mirror the kernel-selection and panel-cache counters into the
+        // `infer.*` telemetry namespace so serving traces show which GEMM
+        // paths the engine took, next to the latency the server records.
+        // The snapshot is cumulative across the process, so gauges (latest
+        // value wins) are the right shape — not counters, which would
+        // double-add on every request.
+        let ks = edd_tensor::stats::snapshot();
+        edd_runtime::telemetry::gauge("infer.select_vecmat", ks.select_vecmat);
+        edd_runtime::telemetry::gauge("infer.select_skinny_n", ks.select_skinny_n);
+        edd_runtime::telemetry::gauge("infer.select_square", ks.select_square);
+        edd_runtime::telemetry::gauge("infer.select_conv", ks.select_conv);
+        edd_runtime::telemetry::gauge("infer.select_generic", ks.select_generic);
+        edd_runtime::telemetry::gauge("infer.pack_panels_built", ks.pack_panels_built);
+        edd_runtime::telemetry::gauge("infer.pack_panel_hits", ks.pack_panel_hits);
+        edd_runtime::telemetry::gauge("infer.pack_panel_misses", ks.pack_panel_misses);
+        Ok(logits)
     }
 }
 

@@ -25,11 +25,12 @@ use crate::bn::BatchNorm2d;
 use crate::conv::{Conv2d, DwConv2d};
 use crate::linear::Linear;
 use crate::mbconv::MbConv;
+use edd_tensor::kernel::{pack, pool, select};
 use edd_tensor::qkernel::{
-    self, pack_i4, qdw_plane_into, qim2col_into, qmatmul_into, quantize_i8_into,
-    requantize_rows_into, unpack_i4_into, Requant,
+    self, pack_i4, qdw_plane_into, qim2col_into, qmatmul_into, qmatmul_prepacked_into,
+    quantize_i8_into, requantize_rows_into, Requant,
 };
-use edd_tensor::{Array, Conv2dGeometry, Result, TensorError};
+use edd_tensor::{scratch, stats, Array, Conv2dGeometry, Result, TensorError};
 
 /// Activation quantization width: activations always travel as int8
 /// (`qmax = 127`); the Φ-searched precision applies to weights.
@@ -89,7 +90,12 @@ impl QTensor {
 
 /// Quantized weight storage: dense int8, or bit-packed int4 for low-Φ
 /// blocks (two sign-extended nibbles per byte — half the bytes of dense
-/// int8 storage, unpacked once per forward call).
+/// int8 storage). This is the *model* form that [`weight_bytes`] reports;
+/// the layers additionally cache a microkernel-native execution form
+/// (k4-padded rows or packed B-panels) built once at compile time, so no
+/// unpacking happens on the forward path.
+///
+/// [`weight_bytes`]: QConv2d::weight_bytes
 #[derive(Debug, Clone)]
 pub enum QWeights {
     /// One i8 per weight.
@@ -142,16 +148,55 @@ impl QWeights {
             QWeights::Int4 { packed, .. } => packed.len(),
         }
     }
+}
 
-    /// Materializes dense i8 weights: borrowed for int8, unpacked into
-    /// `scratch` for int4.
-    fn dense<'a>(&'a self, scratch: &'a mut Vec<i8>) -> &'a [i8] {
-        match self {
-            QWeights::Int8(q) => q,
-            QWeights::Int4 { packed, len } => {
-                scratch.resize(*len, 0);
-                unpack_i4_into(scratch, packed);
-                scratch
+/// Shares a raw mutable base pointer between the two tasks of the
+/// double-buffered packing pipeline (GEMM on the current panel, packing of
+/// the next); each task re-materializes and writes a disjoint buffer.
+struct SendMut<T>(*mut T);
+
+// SAFETY: only the address crosses threads; the pipeline's two tasks write
+// disjoint buffers (acc/out-row vs. next-panel/cols) that the caller keeps
+// alive for the whole `pool::run`.
+unsafe impl<T> Send for SendMut<T> {}
+unsafe impl<T> Sync for SendMut<T> {}
+
+impl<T> SendMut<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the raw pointer field.
+    fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Packs one image's im2col column matrix into microkernel-native B-panels:
+/// straight from the image for 1×1 stride-1 convolutions (the image *is*
+/// the column matrix), through the `cols` scratch otherwise.
+fn pack_image_panels(
+    dst: &mut [i8],
+    cols: Option<&mut [i8]>,
+    image: &[i8],
+    geom: &Conv2dGeometry,
+    ckk: usize,
+    plane: usize,
+) {
+    stats::record_pack_panel_miss();
+    match cols {
+        None => pack::pack_rhs_i8(dst, image, ckk, plane),
+        Some(cols) => {
+            qim2col_into(cols, image, geom);
+            pack::pack_rhs_i8(dst, cols, ckk, plane);
+        }
+    }
+}
+
+/// Adds the per-output-channel bias into the accumulator rows (saturating,
+/// like the requantization domain expects).
+fn add_bias_rows(acc: &mut [i32], bias_q: &[i32], plane: usize) {
+    for (row, &bq) in acc.chunks_exact_mut(plane).zip(bias_q) {
+        if bq != 0 {
+            for a in row {
+                *a = a.saturating_add(bq);
             }
         }
     }
@@ -215,6 +260,13 @@ fn clamp_bounds(relu6: bool, out_scale: f32) -> (i32, i32) {
 #[derive(Debug)]
 pub struct QConv2d {
     weights: QWeights,
+    /// Execution form of the weights, built once at compile time: dense
+    /// rows zero-padded to the microkernel's k-group of 4 (`[out_c, k4]`).
+    /// This is exactly the prepacked-LHS layout of
+    /// [`qmatmul_prepacked_into`] *and* a valid dense operand for the
+    /// generic kernel at `k = k4` (padded taps multiply zero-padded column
+    /// rows), so both selector modes read the same cached panel.
+    wq_k4: Vec<i8>,
     bias_q: Vec<i32>,
     requant: Vec<Requant>,
     in_channels: usize,
@@ -280,8 +332,12 @@ impl QConv2d {
             .map(|(&b, &sw)| (f64::from(b) / (f64::from(in_scale) * f64::from(sw))).round() as i32)
             .collect();
         let (lo, hi) = clamp_bounds(relu6, out_scale);
+        let mut wq_k4 = vec![0i8; pack::packed_lhs_len(out_c, cols)];
+        pack::pack_lhs_i8(&mut wq_k4, &q, out_c, cols);
+        stats::record_pack_panel_built();
         QConv2d {
             weights: QWeights::new(q, bits),
+            wq_k4,
             bias_q,
             requant,
             in_channels: in_c,
@@ -321,49 +377,168 @@ impl QConv2d {
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let plane = oh * ow;
         let ckk = c * self.kernel * self.kernel;
-        let mut scratch = Vec::new();
-        let wq = self.weights.dense(&mut scratch);
-        let mut out = vec![0i8; b * self.out_channels * plane];
-        let mut acc = vec![0i32; self.out_channels * plane];
+        let row_len = self.out_channels * plane;
+        let mut out = vec![0i8; b * row_len];
+        let mut acc = scratch::alloc_i32(row_len);
         // 1×1 stride-1 convolutions read the image as the column matrix
         // directly (the expand/project/head case).
         let direct = self.kernel == 1 && self.stride == 1 && self.padding == 0;
-        let mut cols = if direct {
-            Vec::new()
-        } else {
-            vec![0i8; ckk * plane]
-        };
         let img = c * h * w;
-        for i in 0..b {
-            let image = &x.data[i * img..(i + 1) * img];
-            let colref: &[i8] = if direct {
-                image
-            } else {
-                qim2col_into(&mut cols, image, &geom);
-                &cols
-            };
-            qmatmul_into(&mut acc, wq, colref, self.out_channels, ckk, plane);
-            for (o, &bq) in self.bias_q.iter().enumerate() {
-                if bq != 0 {
-                    for a in &mut acc[o * plane..(o + 1) * plane] {
-                        *a = a.saturating_add(bq);
-                    }
-                }
-            }
-            requantize_rows_into(
-                &mut out[i * self.out_channels * plane..(i + 1) * self.out_channels * plane],
-                &acc,
-                &self.requant,
-                plane,
-                self.lo,
-                self.hi,
-            );
+        if select::select_class(self.out_channels, plane, true).is_some() {
+            self.forward_prepacked(x, &mut out, &mut acc, &geom, ckk, plane, direct, b, img);
+        } else {
+            self.forward_generic(x, &mut out, &mut acc, &geom, ckk, plane, direct, b, img);
         }
         Ok(QTensor {
             data: out,
             shape: vec![b, self.out_channels, oh, ow],
             scale: self.out_scale,
         })
+    }
+
+    /// Shape-selected path: per-image im2col columns are packed into
+    /// microkernel-native B-panels and multiplied against the cached weight
+    /// panel by the maddubs qGEMM. With more than one worker thread the
+    /// packing of image `i + 1` is double-buffered: it runs as a second
+    /// pool task overlapped with the GEMM + requantization of image `i`.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_prepacked(
+        &self,
+        x: &QTensor,
+        out: &mut [i8],
+        acc: &mut [i32],
+        geom: &Conv2dGeometry,
+        ckk: usize,
+        plane: usize,
+        direct: bool,
+        b: usize,
+        img: usize,
+    ) {
+        let row_len = self.out_channels * plane;
+        let panels_len = pack::packed_rhs_len(ckk, plane);
+        let pipeline = b > 1 && pool::num_threads() > 1;
+        let mut pan_cur = scratch::alloc_i8(panels_len);
+        let mut pan_next = pipeline.then(|| scratch::alloc_i8(panels_len));
+        let mut cols = (!direct).then(|| scratch::alloc_i8(ckk * plane));
+        let run_gemm = |acc: &mut [i32], out_row: &mut [i8], panels: &[i8]| {
+            stats::record_pack_panel_hit();
+            qmatmul_prepacked_into(acc, &self.wq_k4, panels, self.out_channels, ckk, plane);
+            add_bias_rows(acc, &self.bias_q, plane);
+            requantize_rows_into(out_row, acc, &self.requant, plane, self.lo, self.hi);
+        };
+        if b > 0 {
+            pack_image_panels(
+                &mut pan_cur,
+                cols.as_deref_mut(),
+                &x.data[..img],
+                geom,
+                ckk,
+                plane,
+            );
+        }
+        for i in 0..b {
+            let has_next = i + 1 < b;
+            if pipeline && has_next {
+                let next_image = &x.data[(i + 1) * img..(i + 2) * img];
+                let acc_base = SendMut(acc.as_mut_ptr());
+                let out_base = SendMut(out.as_mut_ptr());
+                let pan_next_buf = pan_next.as_mut().expect("pipeline has a second panel");
+                let pan_next_base = SendMut(pan_next_buf.as_mut_ptr());
+                let cols_base = cols.as_deref_mut().map(|c| SendMut(c.as_mut_ptr()));
+                let pan_cur_ref: &[i8] = &pan_cur;
+                // Task 0 writes acc + this image's output row block; task 1
+                // writes the next panel (+ cols scratch). The buffers are
+                // disjoint and outlive the run, which blocks until both
+                // tasks finish. The nested GEMM pool region runs inline on
+                // whichever thread claims task 0.
+                pool::run(2, &|t| {
+                    if t == 0 {
+                        let acc =
+                            unsafe { std::slice::from_raw_parts_mut(acc_base.ptr(), row_len) };
+                        let out_row = unsafe {
+                            std::slice::from_raw_parts_mut(out_base.ptr().add(i * row_len), row_len)
+                        };
+                        run_gemm(acc, out_row, pan_cur_ref);
+                    } else {
+                        let dst = unsafe {
+                            std::slice::from_raw_parts_mut(pan_next_base.ptr(), panels_len)
+                        };
+                        let cols = cols_base.as_ref().map(|c| unsafe {
+                            std::slice::from_raw_parts_mut(c.ptr(), ckk * plane)
+                        });
+                        pack_image_panels(dst, cols, next_image, geom, ckk, plane);
+                    }
+                });
+                std::mem::swap(&mut pan_cur, pan_next.as_mut().expect("second panel"));
+            } else {
+                run_gemm(
+                    &mut *acc,
+                    &mut out[i * row_len..(i + 1) * row_len],
+                    &pan_cur,
+                );
+                if has_next {
+                    let next_image = &x.data[(i + 1) * img..(i + 2) * img];
+                    pack_image_panels(
+                        &mut pan_cur,
+                        cols.as_deref_mut(),
+                        next_image,
+                        geom,
+                        ckk,
+                        plane,
+                    );
+                }
+            }
+        }
+    }
+
+    /// `EDD_GEMM=generic` reference path: the generic blocked qGEMM over
+    /// the same cached k4-padded weight rows, with the column matrix
+    /// zero-padded to `k4` rows (padding taps are zero on both sides, so
+    /// the result is bitwise the unpadded product).
+    #[allow(clippy::too_many_arguments)]
+    fn forward_generic(
+        &self,
+        x: &QTensor,
+        out: &mut [i8],
+        acc: &mut [i32],
+        geom: &Conv2dGeometry,
+        ckk: usize,
+        plane: usize,
+        direct: bool,
+        b: usize,
+        img: usize,
+    ) {
+        let row_len = self.out_channels * plane;
+        let k4 = pack::padded_k(ckk);
+        let mut cols_k4 = (!direct || k4 != ckk).then(|| {
+            let mut cols = scratch::alloc_i8(k4 * plane);
+            cols[ckk * plane..].fill(0);
+            cols
+        });
+        for i in 0..b {
+            let image = &x.data[i * img..(i + 1) * img];
+            let colref: &[i8] = match cols_k4.as_deref_mut() {
+                None => image,
+                Some(cols) => {
+                    if direct {
+                        cols[..ckk * plane].copy_from_slice(image);
+                    } else {
+                        qim2col_into(&mut cols[..ckk * plane], image, geom);
+                    }
+                    cols
+                }
+            };
+            qmatmul_into(acc, &self.wq_k4, colref, self.out_channels, k4, plane);
+            add_bias_rows(acc, &self.bias_q, plane);
+            requantize_rows_into(
+                &mut out[i * row_len..(i + 1) * row_len],
+                acc,
+                &self.requant,
+                plane,
+                self.lo,
+                self.hi,
+            );
+        }
     }
 }
 
@@ -372,6 +547,9 @@ impl QConv2d {
 #[derive(Debug)]
 pub struct QDwConv2d {
     weights: QWeights,
+    /// Dense per-channel taps, materialized once at compile time (int4
+    /// weights are unpacked here exactly once, not per forward call).
+    taps: Vec<i8>,
     bias_q: Vec<i32>,
     requant: Vec<Requant>,
     channels: usize,
@@ -431,8 +609,11 @@ impl QDwConv2d {
             .map(|(&b, &sw)| (f64::from(b) / (f64::from(in_scale) * f64::from(sw))).round() as i32)
             .collect();
         let (lo, hi) = clamp_bounds(relu6, out_scale);
+        let taps_dense = q.clone();
+        stats::record_pack_panel_built();
         QDwConv2d {
             weights: QWeights::new(q, bits),
+            taps: taps_dense,
             bias_q,
             requant,
             channels: ch,
@@ -471,28 +652,29 @@ impl QDwConv2d {
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let plane = oh * ow;
         let taps = self.kernel * self.kernel;
-        let mut scratch = Vec::new();
-        let wq = self.weights.dense(&mut scratch);
         let mut out = vec![0i8; b * c * plane];
-        let mut acc = vec![0i32; plane];
+        // Accumulate every channel of one image, then requantize all rows
+        // in a single vectorized pass (one row per channel).
+        let mut acc = scratch::alloc_i32(c * plane);
         for i in 0..b {
             for ch in 0..c {
                 let image = &x.data[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
-                qdw_plane_into(&mut acc, image, &wq[ch * taps..(ch + 1) * taps], &geom);
-                let bq = self.bias_q[ch];
-                if bq != 0 {
-                    for a in &mut acc {
-                        *a = a.saturating_add(bq);
-                    }
-                }
-                let rq = self.requant[ch];
-                for (d, &a) in out[(i * c + ch) * plane..(i * c + ch + 1) * plane]
-                    .iter_mut()
-                    .zip(&acc)
-                {
-                    *d = rq.apply_i8(a, self.lo, self.hi);
-                }
+                qdw_plane_into(
+                    &mut acc[ch * plane..(ch + 1) * plane],
+                    image,
+                    &self.taps[ch * taps..(ch + 1) * taps],
+                    &geom,
+                );
             }
+            add_bias_rows(&mut acc, &self.bias_q, plane);
+            requantize_rows_into(
+                &mut out[i * c * plane..(i + 1) * c * plane],
+                &acc,
+                &self.requant,
+                plane,
+                self.lo,
+                self.hi,
+            );
         }
         Ok(QTensor {
             data: out,
@@ -508,6 +690,12 @@ impl QDwConv2d {
 #[derive(Debug)]
 pub struct QLinear {
     weights: QWeights,
+    /// Cached microkernel-native B-panels of the `[in, out]` weight,
+    /// packed once at compile time for the prepacked maddubs qGEMM.
+    panels: Vec<i8>,
+    /// Dense weight rows zero-padded to `k4 = padded_k(in_features)` rows,
+    /// for the `EDD_GEMM=generic` leg (pairs with k4-padded activations).
+    wq_rows_k4: Vec<i8>,
     bias: Vec<f32>,
     w_scales: Vec<f32>,
     in_features: usize,
@@ -536,8 +724,15 @@ impl QLinear {
             let s = w_scales[i % out_f];
             *d = ((v / s).round() as i32).clamp(-qm, qm) as i8;
         }
+        let mut panels = vec![0i8; pack::packed_rhs_len(in_f, out_f)];
+        pack::pack_rhs_i8(&mut panels, &q, in_f, out_f);
+        let mut wq_rows_k4 = vec![0i8; pack::padded_k(in_f) * out_f];
+        wq_rows_k4[..in_f * out_f].copy_from_slice(&q);
+        stats::record_pack_panel_built();
         QLinear {
             weights: QWeights::new(q, bits),
+            panels,
+            wq_rows_k4,
             bias: lin.bias().value().data().to_vec(),
             w_scales,
             in_features: in_f,
@@ -568,17 +763,27 @@ impl QLinear {
         }
         check_scale(x.scale, self.in_scale, "QLinear")?;
         let b = x.shape[0];
-        let mut scratch = Vec::new();
-        let wq = self.weights.dense(&mut scratch);
-        let mut acc = vec![0i32; b * self.out_features];
-        qmatmul_into(
-            &mut acc,
-            &x.data,
-            wq,
-            b,
-            self.in_features,
-            self.out_features,
-        );
+        let mut acc = scratch::alloc_i32(b * self.out_features);
+        // Both selector modes consume k4-padded activation rows — the
+        // prepacked-LHS layout and the generic kernel's dense `[b, k4]`
+        // operand are the same bytes.
+        let k4 = pack::padded_k(self.in_features);
+        let mut a_k4 = scratch::alloc_i8(pack::packed_lhs_len(b, self.in_features));
+        pack::pack_lhs_i8(&mut a_k4, &x.data, b, self.in_features);
+        stats::record_pack_panel_miss();
+        if select::select_class(b, self.out_features, false).is_some() {
+            stats::record_pack_panel_hit();
+            qmatmul_prepacked_into(
+                &mut acc,
+                &a_k4,
+                &self.panels,
+                b,
+                self.in_features,
+                self.out_features,
+            );
+        } else {
+            qmatmul_into(&mut acc, &a_k4, &self.wq_rows_k4, b, k4, self.out_features);
+        }
         let mut out = vec![0.0f32; b * self.out_features];
         for (row_out, row_acc) in out
             .chunks_exact_mut(self.out_features)
@@ -827,6 +1032,9 @@ mod tests {
             let s = qkernel::scale_for(qkernel::max_abs(w.data()), bits);
             let mut qw = vec![0i8; w.len()];
             quantize_i8_into(&mut qw, w.data(), s, qm);
+            let cols = shape[1] * shape[2] * shape[3];
+            q.wq_k4 = vec![0i8; pack::packed_lhs_len(shape[0], cols)];
+            pack::pack_lhs_i8(&mut q.wq_k4, &qw, shape[0], cols);
             q.weights = QWeights::new(qw, bits);
             q.requant = (0..shape[0])
                 .map(|_| {

@@ -32,7 +32,9 @@
 //! The scalar triple loop is kept as [`matmul_naive`], the reference
 //! oracle the property-based suites compare the blocked kernels against.
 
+pub mod pack;
 pub mod pool;
+pub mod select;
 
 use pool::SendPtr;
 use std::ops::Range;
@@ -145,15 +147,15 @@ pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f
 /// `A`-element accessor for a 4-row tile: returns the scalars multiplying
 /// `B` row `kk` for output rows `i..i+4`. The two GEMM orientations differ
 /// only in this indexing.
-trait LhsTile: Copy + Sync {
+pub(crate) trait LhsTile: Copy + Sync {
     fn scalars(&self, a: &[f32], i: usize, kk: usize) -> [f32; MR];
     fn scalar(&self, a: &[f32], i: usize, kk: usize) -> f32;
 }
 
 /// `A` stored row-major `[m, k]` (plain GEMM).
 #[derive(Clone, Copy)]
-struct RowMajorLhs {
-    k: usize,
+pub(crate) struct RowMajorLhs {
+    pub(crate) k: usize,
 }
 
 impl LhsTile for RowMajorLhs {
@@ -177,9 +179,9 @@ impl LhsTile for RowMajorLhs {
 /// contiguous within each `kk` row. `i0` offsets into the full matrix when
 /// a thread owns a row block.
 #[derive(Clone, Copy)]
-struct TransposedLhs {
-    m: usize,
-    i0: usize,
+pub(crate) struct TransposedLhs {
+    pub(crate) m: usize,
+    pub(crate) i0: usize,
 }
 
 impl LhsTile for TransposedLhs {
@@ -522,6 +524,36 @@ fn dot8_scalar(x: &[f32], y: &[f32]) -> f32 {
 }
 
 avx2_dispatch! {
+    /// Dot product of `g` with the normalized values `(x - mu) * inv_std`,
+    /// in [`dot8`]'s exact lane association. Recomputing the normalized
+    /// activation inline yields the same bits as materializing it first
+    /// (same expression, same inputs), so batch norm's `dgamma` reduction
+    /// can run without a saved `xhat` buffer.
+    #[must_use]
+    pub dot_norm8 / dot_norm8_scalar / dot_norm8_avx2,
+    (g: &[f32], x: &[f32], mu: f32, inv_std: f32) -> f32
+}
+
+#[inline(always)]
+fn dot_norm8_scalar(g: &[f32], x: &[f32], mu: f32, inv_std: f32) -> f32 {
+    debug_assert_eq!(g.len(), x.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = g.len() / 8;
+    for c in 0..chunks {
+        let gb = &g[c * 8..c * 8 + 8];
+        let xb = &x[c * 8..c * 8 + 8];
+        for l in 0..8 {
+            acc[l] += gb[l] * ((xb[l] - mu) * inv_std);
+        }
+    }
+    let mut tail = 0.0f32;
+    for t in chunks * 8..g.len() {
+        tail += g[t] * ((x[t] - mu) * inv_std);
+    }
+    (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
+}
+
+avx2_dispatch! {
     /// Fused weighted sum `dst[i] = Σ_m weights[m] * srcs[m][i]`,
     /// overwritten, ascending `m`. Per element this performs exactly the FP
     /// operations of the unfused mul-then-add_n composition (`acc = w0*t0;
@@ -620,12 +652,52 @@ pub fn matmul_into_threads(
     n: usize,
     threads: usize,
 ) {
+    matmul_into_hint(out, a, b, m, k, n, threads, false);
+}
+
+/// [`matmul_into_threads`] tagged as an im2col convolution lowering: the
+/// selector classifies the call [`select::GemmClass::Conv`] so dispatch
+/// counters separate convolution traffic. Arithmetic is identical to the
+/// untagged front.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `k`, `n`.
+#[allow(clippy::too_many_arguments)] // mirrors matmul_into_threads
+pub fn matmul_conv_into_threads(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    matmul_into_hint(out, a, b, m, k, n, threads, true);
+}
+
+#[allow(clippy::too_many_arguments)] // dimension tuple + control flags
+fn matmul_into_hint(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    conv: bool,
+) {
     assert_eq!(a.len(), m * k, "matmul_into: bad lhs length");
     assert_eq!(b.len(), k * n, "matmul_into: bad rhs length");
     assert_eq!(out.len(), m * n, "matmul_into: bad out length");
+    let selected = select::select_class(m, n, conv).is_some();
     let ranges = partition(m, threads);
     if ranges.len() <= 1 {
-        gemm_block(out, a, b, m, k, n);
+        if selected {
+            select::gemm_block_select(out, a, b, RowMajorLhs { k }, m, k, n);
+        } else {
+            gemm_block(out, a, b, m, k, n);
+        }
         return;
     }
     let base = SendPtr::new(out.as_mut_ptr());
@@ -634,7 +706,12 @@ pub fn matmul_into_threads(
         // SAFETY: partition ranges are disjoint, so each task's output
         // window is exclusive to it.
         let block = unsafe { base.slice(r.start * n, r.len() * n) };
-        gemm_block(block, &a[r.start * k..r.end * k], b, r.len(), k, n);
+        let ab = &a[r.start * k..r.end * k];
+        if selected {
+            select::gemm_block_select(block, ab, b, RowMajorLhs { k }, r.len(), k, n);
+        } else {
+            gemm_block(block, ab, b, r.len(), k, n);
+        }
     });
 }
 
@@ -672,9 +749,14 @@ pub fn matmul_at_b_into_threads(
     assert_eq!(a.len(), k * m, "matmul_at_b: bad lhs length");
     assert_eq!(b.len(), k * n, "matmul_at_b: bad rhs length");
     assert_eq!(out.len(), m * n, "matmul_at_b: bad out length");
+    let selected = select::select_class(m, n, false).is_some();
     let ranges = partition(m, threads);
     if ranges.len() <= 1 {
-        at_b_block(out, a, b, 0, m, k, m, n);
+        if selected {
+            select::gemm_block_select(out, a, b, TransposedLhs { m, i0: 0 }, m, k, n);
+        } else {
+            at_b_block(out, a, b, 0, m, k, m, n);
+        }
         return;
     }
     let base = SendPtr::new(out.as_mut_ptr());
@@ -682,7 +764,12 @@ pub fn matmul_at_b_into_threads(
         let r = &ranges[t];
         // SAFETY: disjoint partition ranges → disjoint output windows.
         let block = unsafe { base.slice(r.start * n, r.len() * n) };
-        at_b_block(block, a, b, r.start, r.len(), k, m, n);
+        if selected {
+            let lhs = TransposedLhs { m, i0: r.start };
+            select::gemm_block_select(block, a, b, lhs, r.len(), k, n);
+        } else {
+            at_b_block(block, a, b, r.start, r.len(), k, m, n);
+        }
     });
 }
 
@@ -729,9 +816,14 @@ pub fn matmul_a_bt_into_threads(
     // count.
     let mut bt = crate::scratch::alloc(k * n);
     transpose_into(&mut bt, b, n, k);
+    let selected = select::select_class(m, n, false).is_some();
     let ranges = partition(m, threads);
     if ranges.len() <= 1 {
-        gemm_block(out, a, &bt, m, k, n);
+        if selected {
+            select::gemm_block_select(out, a, &bt, RowMajorLhs { k }, m, k, n);
+        } else {
+            gemm_block(out, a, &bt, m, k, n);
+        }
         return;
     }
     let base = SendPtr::new(out.as_mut_ptr());
@@ -740,7 +832,12 @@ pub fn matmul_a_bt_into_threads(
         let r = &ranges[t];
         // SAFETY: disjoint partition ranges → disjoint output windows.
         let block = unsafe { base.slice(r.start * n, r.len() * n) };
-        gemm_block(block, &a[r.start * k..r.end * k], btr, r.len(), k, n);
+        let ab = &a[r.start * k..r.end * k];
+        if selected {
+            select::gemm_block_select(block, ab, btr, RowMajorLhs { k }, r.len(), k, n);
+        } else {
+            gemm_block(block, ab, btr, r.len(), k, n);
+        }
     });
 }
 

@@ -66,8 +66,46 @@ fn dw_plane_forward_scalar(
 
 /// Lanes per depthwise column group: eight outputs share one pass over the
 /// taps, giving eight independent accumulator chains (one SIMD register)
-/// instead of one serial `K*K`-add chain per element.
+/// instead of one serial `K*K`-add chain per element. Rows with at least
+/// 16 outputs use the double-width group (two registers, one tap broadcast
+/// for both) — the supernet's 16x16 feature planes are exactly one group.
 const DW_GROUP: usize = 8;
+
+/// Double-width depthwise group (see [`DW_GROUP`]).
+const DW_GROUP2: usize = 16;
+
+/// One `G`-wide group of stride-1 depthwise outputs anchored at column
+/// `g0` of output row `oy`. Each lane accumulates its taps in ascending
+/// `(ky, kx)` order — the group width only changes how many independent
+/// chains run side by side, never the association within a chain.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dw_group_s1<const K: usize, const G: usize>(
+    drow: &mut [f32],
+    padded: &[f32],
+    ker: &[f32],
+    pw: usize,
+    oy: usize,
+    pad: usize,
+    ky0: usize,
+    ky1: usize,
+    g0: usize,
+) {
+    let mut acc = [0.0f32; G];
+    for ky in ky0..ky1 {
+        let sy = oy + ky - pad;
+        let srow = &padded[sy * pw + g0..sy * pw + g0 + K - 1 + G];
+        let krow = &ker[ky * K..ky * K + K];
+        for kx in 0..K {
+            let kv = krow[kx];
+            let s = &srow[kx..kx + G];
+            for (a, &sv) in acc.iter_mut().zip(s) {
+                *a += kv * sv;
+            }
+        }
+    }
+    drow[g0..g0 + G].copy_from_slice(&acc);
+}
 
 /// Stride-1 depthwise stencil with a compile-time kernel width.
 ///
@@ -110,24 +148,21 @@ fn dw_plane_s1<const K: usize>(
         let ky0 = pad.saturating_sub(oy);
         let ky1 = (h + pad).saturating_sub(oy).min(K);
         let drow = &mut dst[oy * ow..(oy + 1) * ow];
-        if ow >= DW_GROUP {
+        if ow >= DW_GROUP2 {
+            let mut gx = 0;
+            loop {
+                let g0 = gx.min(ow - DW_GROUP2);
+                dw_group_s1::<K, DW_GROUP2>(drow, padded, ker, pw, oy, pad, ky0, ky1, g0);
+                if g0 == ow - DW_GROUP2 {
+                    break;
+                }
+                gx += DW_GROUP2;
+            }
+        } else if ow >= DW_GROUP {
             let mut gx = 0;
             loop {
                 let g0 = gx.min(ow - DW_GROUP);
-                let mut acc = [0.0f32; DW_GROUP];
-                for ky in ky0..ky1 {
-                    let sy = oy + ky - pad;
-                    let srow = &padded[sy * pw + g0..sy * pw + g0 + K - 1 + DW_GROUP];
-                    let krow = &ker[ky * K..ky * K + K];
-                    for kx in 0..K {
-                        let kv = krow[kx];
-                        let s = &srow[kx..kx + DW_GROUP];
-                        for (a, &sv) in acc.iter_mut().zip(s) {
-                            *a += kv * sv;
-                        }
-                    }
-                }
-                drow[g0..g0 + DW_GROUP].copy_from_slice(&acc);
+                dw_group_s1::<K, DW_GROUP>(drow, padded, ker, pw, oy, pad, ky0, ky1, g0);
                 if g0 == ow - DW_GROUP {
                     break;
                 }
@@ -407,10 +442,12 @@ impl Tensor {
                 |cols, bi, dst| {
                     let x_img = &xd[bi * img..(bi + 1) * img];
                     if identity_cols {
+                        // 1x1 channel mixing is a plain GEMM, not an im2col
+                        // lowering: let the selector classify it by shape.
                         kernel::matmul_into_threads(dst, w2d, x_img, out_c, ckk, plane, inner);
                     } else {
                         im2col_into(cols, x_img, &geom);
-                        kernel::matmul_into_threads(dst, w2d, cols, out_c, ckk, plane, inner);
+                        kernel::matmul_conv_into_threads(dst, w2d, cols, out_c, ckk, plane, inner);
                     }
                 },
             );

@@ -80,9 +80,12 @@ fn bn2d_train_impl(
 
     let mut mean = Array::zeros(&[c]);
     let mut var = Array::zeros(&[c]);
-    // Every plane of both full-size buffers is written below, so they can
-    // start uninitialized (pool-recycled without zeroing).
-    let mut xhat = Array::uninit(&shape);
+    // Every plane of the output is written below, so it can start
+    // uninitialized (pool-recycled without zeroing). The normalized
+    // activations are NOT materialized: the backward recomputes
+    // `(x - mu) * inv_std` from the parent input and the saved statistics
+    // — same expression, same inputs, same bits — which saves a
+    // full-tensor buffer and its write pass on every training step.
     let mut out = Array::uninit(&shape);
     {
         // The input is read through the value guard for the whole forward
@@ -117,10 +120,10 @@ fn bn2d_train_impl(
             });
         }
 
-        // Normalized activations (saved for backward), channel-parallel with
-        // disjoint per-channel plane windows.
+        // Output pass, channel-parallel with disjoint per-channel plane
+        // windows: the normalized value feeds the affine (and optional
+        // clamp) while still in register.
         {
-            let xhat_p = SendPtr::new(xhat.data_mut().as_mut_ptr());
             let out_p = SendPtr::new(out.data_mut().as_mut_ptr());
             per_channel(c, elems, &|ci| {
                 let mu = mean.data()[ci];
@@ -130,18 +133,16 @@ fn bn2d_train_impl(
                 for bi in 0..b {
                     let base = (bi * c + ci) * plane;
                     let xs = &xd[base..base + plane];
-                    let xhs = unsafe { xhat_p.slice(base, plane) };
-                    for (xh, &x) in xhs.iter_mut().zip(xs) {
-                        *xh = (x - mu) * inv_std;
-                    }
                     let ys = unsafe { out_p.slice(base, plane) };
                     if fuse_relu6 {
-                        for (y, &xh) in ys.iter_mut().zip(xhs.iter()) {
-                            *y = (ga * xh + be).clamp(0.0, 6.0);
+                        for (y, &x) in ys.iter_mut().zip(xs) {
+                            let v = (x - mu) * inv_std;
+                            *y = (ga * v + be).clamp(0.0, 6.0);
                         }
                     } else {
-                        for (y, &xh) in ys.iter_mut().zip(xhs.iter()) {
-                            *y = ga * xh + be;
+                        for (y, &x) in ys.iter_mut().zip(xs) {
+                            let v = (x - mu) * inv_std;
+                            *y = ga * v + be;
                         }
                     }
                 }
@@ -154,90 +155,116 @@ fn bn2d_train_impl(
     let b_t = beta.clone();
     // Saved forward products are captured by value: the backward closure
     // must never read its own output tensor (it runs under that node's
-    // write lock), and xhat/var are not recoverable from the parents alone.
+    // write lock), and mean/var are not recoverable from the parents
+    // without re-running the reductions. The normalized activations are
+    // recomputed from the parent input plus these statistics instead of
+    // being saved.
+    let mean_saved = mean.clone();
     let var_saved = var.clone();
-    let xhat_saved = xhat;
     let gval_saved = gval;
     let bval_saved = bval;
     let output = Tensor::from_op(
         out,
         vec![x.clone(), gamma.clone(), beta.clone()],
         Box::new(move |g| {
-            // With the fused activation, first mask the incoming gradient by
-            // the ReLU6 derivative of the recomputed pre-activation — after
-            // this the remaining math is exactly the plain BN backward, so
-            // fused and unfused gradients agree bit for bit.
-            let masked = if fuse_relu6 {
-                let mut gs = Array::uninit(xhat_saved.shape());
-                {
-                    let gs_p = SendPtr::new(gs.data_mut().as_mut_ptr());
-                    per_channel(c, elems, &|ci| {
-                        let ga = gval_saved.data()[ci];
-                        let be = bval_saved.data()[ci];
-                        for bi in 0..b {
-                            let base = (bi * c + ci) * plane;
-                            let gsl = &g.data()[base..base + plane];
-                            let xhs = &xhat_saved.data()[base..base + plane];
-                            let ms = unsafe { gs_p.slice(base, plane) };
-                            for ((m, &gv), &xh) in ms.iter_mut().zip(gsl).zip(xhs) {
-                                let y = ga * xh + be;
-                                *m = gv * if y > 0.0 && y < 6.0 { 1.0 } else { 0.0 };
-                            }
-                        }
-                    });
-                }
-                Some(gs)
-            } else {
-                None
-            };
-            let gd: &[f32] = match &masked {
-                Some(a) => a.data(),
-                None => g.data(),
-            };
+            // The parent input is read through its value guard for the
+            // whole backward pass; normalized activations are recomputed
+            // per element as `(x - mu) * inv_std` — identical bits to the
+            // buffer the forward used to save. The guard is scoped so it
+            // drops before gradients are accumulated into the parents.
+            let (dbeta, dgamma, dx) = {
+                let xv = x_t.value();
+                let xd = xv.data();
 
-            // Per-channel reductions of the (masked) output gradient,
-            // channel-parallel with disjoint [ci] output slots.
-            let mut dbeta = Array::zeros(&[c]);
-            let mut dgamma = Array::zeros(&[c]);
-            {
-                let dbeta_p = SendPtr::new(dbeta.data_mut().as_mut_ptr());
-                let dgamma_p = SendPtr::new(dgamma.data_mut().as_mut_ptr());
-                per_channel(c, elems, &|ci| {
-                    let mut sb = 0.0f32;
-                    let mut sg = 0.0f32;
-                    for bi in 0..b {
-                        let base = (bi * c + ci) * plane;
-                        let gs = &gd[base..base + plane];
-                        sb += kernel::sum8(gs);
-                        sg += kernel::dot8(gs, &xhat_saved.data()[base..base + plane]);
+                // With the fused activation, first mask the incoming
+                // gradient by the ReLU6 derivative of the recomputed
+                // pre-activation — after this the remaining math is exactly
+                // the plain BN backward, so fused and unfused gradients
+                // agree bit for bit.
+                let masked = if fuse_relu6 {
+                    let mut gs = Array::uninit(&[b, c, h, w]);
+                    {
+                        let gs_p = SendPtr::new(gs.data_mut().as_mut_ptr());
+                        per_channel(c, elems, &|ci| {
+                            let mu = mean_saved.data()[ci];
+                            let inv_std = 1.0 / (var_saved.data()[ci] + eps).sqrt();
+                            let ga = gval_saved.data()[ci];
+                            let be = bval_saved.data()[ci];
+                            for bi in 0..b {
+                                let base = (bi * c + ci) * plane;
+                                let gsl = &g.data()[base..base + plane];
+                                let xs = &xd[base..base + plane];
+                                let ms = unsafe { gs_p.slice(base, plane) };
+                                for ((m, &gv), &x) in ms.iter_mut().zip(gsl).zip(xs) {
+                                    let y = ga * ((x - mu) * inv_std) + be;
+                                    *m = gv * if y > 0.0 && y < 6.0 { 1.0 } else { 0.0 };
+                                }
+                            }
+                        });
                     }
-                    (unsafe { dbeta_p.slice(ci, 1) })[0] = sb;
-                    (unsafe { dgamma_p.slice(ci, 1) })[0] = sg;
-                });
-            }
-            if x_t.requires_grad() {
-                // dx = gamma * inv_std / n * (n*g - sum(g) - xhat * sum(g*xhat)),
-                // computed before dbeta/dgamma are moved into their parents.
-                let mut dx = Array::uninit(&[b, c, h, w]);
+                    Some(gs)
+                } else {
+                    None
+                };
+                let gd: &[f32] = match &masked {
+                    Some(a) => a.data(),
+                    None => g.data(),
+                };
+
+                // Per-channel reductions of the (masked) output gradient,
+                // channel-parallel with disjoint [ci] output slots.
+                let mut dbeta = Array::zeros(&[c]);
+                let mut dgamma = Array::zeros(&[c]);
                 {
-                    let dx_p = SendPtr::new(dx.data_mut().as_mut_ptr());
+                    let dbeta_p = SendPtr::new(dbeta.data_mut().as_mut_ptr());
+                    let dgamma_p = SendPtr::new(dgamma.data_mut().as_mut_ptr());
                     per_channel(c, elems, &|ci| {
+                        let mu = mean_saved.data()[ci];
                         let inv_std = 1.0 / (var_saved.data()[ci] + eps).sqrt();
-                        let ga = gval_saved.data()[ci];
-                        let sg = dbeta.data()[ci];
-                        let sgx = dgamma.data()[ci];
-                        let k = ga * inv_std / n;
+                        let mut sb = 0.0f32;
+                        let mut sg = 0.0f32;
                         for bi in 0..b {
                             let base = (bi * c + ci) * plane;
                             let gs = &gd[base..base + plane];
-                            let xhs = &xhat_saved.data()[base..base + plane];
-                            let ds = unsafe { dx_p.slice(base, plane) };
-                            for ((d, &gv), &xh) in ds.iter_mut().zip(gs).zip(xhs) {
-                                *d = k * (n * gv - sg - xh * sgx);
-                            }
+                            sb += kernel::sum8(gs);
+                            sg += kernel::dot_norm8(gs, &xd[base..base + plane], mu, inv_std);
                         }
+                        (unsafe { dbeta_p.slice(ci, 1) })[0] = sb;
+                        (unsafe { dgamma_p.slice(ci, 1) })[0] = sg;
                     });
                 }
+                let dx = if x_t.requires_grad() {
+                    // dx = gamma * inv_std / n * (n*g - sum(g) - xhat * sum(g*xhat)),
+                    // computed before dbeta/dgamma are moved into their parents.
+                    let mut dx = Array::uninit(&[b, c, h, w]);
+                    {
+                        let dx_p = SendPtr::new(dx.data_mut().as_mut_ptr());
+                        per_channel(c, elems, &|ci| {
+                            let mu = mean_saved.data()[ci];
+                            let inv_std = 1.0 / (var_saved.data()[ci] + eps).sqrt();
+                            let ga = gval_saved.data()[ci];
+                            let sg = dbeta.data()[ci];
+                            let sgx = dgamma.data()[ci];
+                            let k = ga * inv_std / n;
+                            for bi in 0..b {
+                                let base = (bi * c + ci) * plane;
+                                let gs = &gd[base..base + plane];
+                                let xs = &xd[base..base + plane];
+                                let ds = unsafe { dx_p.slice(base, plane) };
+                                for ((d, &gv), &x) in ds.iter_mut().zip(gs).zip(xs) {
+                                    let xh = (x - mu) * inv_std;
+                                    *d = k * (n * gv - sg - xh * sgx);
+                                }
+                            }
+                        });
+                    }
+                    Some(dx)
+                } else {
+                    None
+                };
+                (dbeta, dgamma, dx)
+            };
+            if let Some(dx) = dx {
                 x_t.accumulate_grad_owned(dx);
             }
             if b_t.requires_grad() {

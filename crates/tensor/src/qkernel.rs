@@ -268,6 +268,15 @@ fn pow2(e: i32) -> f64 {
 /// Requantizes a row-major `[rows, cols]` i32 accumulator block into i8,
 /// one [`Requant`] per row (per output channel), clamping to `[lo, hi]`.
 ///
+/// Per row the multiplier's `31 - shift` and rounding nudge are hoisted
+/// and the common case (`0 < 31 - shift < 63`, i.e. every real layer scale
+/// ratio) runs a vectorizable row kernel; degenerate shifts fall back to
+/// the per-element [`Requant::apply_i8`]. The row kernel computes exactly
+/// the same `i64` product / nudge / shift / clamp sequence as `apply_i8`
+/// (clamping straight to `[lo, hi] ⊆ i32` instead of clamping to the i32
+/// range first, which cannot change the result), so this is bitwise
+/// identical to the element-wise loop on every path.
+///
 /// # Panics
 ///
 /// Panics on inconsistent lengths.
@@ -294,10 +303,118 @@ pub fn requantize_rows_into(
         .zip(acc.chunks_exact(cols))
         .zip(per_row)
     {
-        for (d, &a) in d_row.iter_mut().zip(a_row) {
-            *d = rq.apply_i8(a, lo, hi);
+        let ts = 31 - rq.shift;
+        if ts <= 0 || ts >= 63 {
+            // Degenerate multipliers (>= 1 or flushing to zero): cold path.
+            for (d, &a) in d_row.iter_mut().zip(a_row) {
+                *d = rq.apply_i8(a, lo, hi);
+            }
+        } else {
+            requantize_row_fast(d_row, a_row, rq.mult, ts, lo, hi);
         }
     }
+}
+
+/// Row kernel for the common requant case (`0 < ts < 63`). Dispatched by
+/// hand: the AVX2 twin is a genuinely different instruction sequence
+/// (unsigned 32x32→64 multiplies + logical shifts + 64-bit clamps), kept
+/// bit-identical by integer exactness rather than by recompilation, and
+/// pinned to the scalar body by the kernel-dispatch test.
+fn requantize_row_fast(dst: &mut [i8], acc: &[i32], mult: i32, ts: i32, lo: i32, hi: i32) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::use_avx2() {
+        // SAFETY: AVX2 support verified at runtime just above.
+        return unsafe { requantize_row_fast_avx2(dst, acc, mult, ts, lo, hi) };
+    }
+    requantize_row_fast_scalar(dst, acc, mult, ts, lo, hi);
+}
+
+#[inline(always)]
+fn requantize_row_fast_scalar(dst: &mut [i8], acc: &[i32], mult: i32, ts: i32, lo: i32, hi: i32) {
+    debug_assert!((1..63).contains(&ts));
+    let mult = i64::from(mult);
+    let nudge = 1i64 << (ts - 1);
+    let (lo, hi) = (i64::from(lo), i64::from(hi));
+    for (d, &a) in dst.iter_mut().zip(acc) {
+        let prod = i64::from(a) * mult;
+        let v = if prod >= 0 {
+            (prod + nudge) >> ts
+        } else {
+            -((-prod + nudge) >> ts)
+        };
+        *d = v.clamp(lo, hi) as i8;
+    }
+}
+
+/// AVX2 requant row: 8 accumulators per iteration. The sign is peeled off
+/// (`|i32::MIN|` zero-extends to exactly `2^31`), the magnitude goes
+/// through `_mm256_mul_epu32` (the low 32 bits of each 64-bit lane hold the
+/// magnitude, the high 32 are zero, so the unsigned multiply is the full
+/// 63-bit product `|acc| * mult < 2^62`), nudge-add and logical shift stay
+/// in the positive range, and the sign is re-applied before a 64-bit
+/// compare/blend clamp — term for term the scalar body's arithmetic.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn requantize_row_fast_avx2(
+    dst: &mut [i8],
+    acc: &[i32],
+    mult: i32,
+    ts: i32,
+    lo: i32,
+    hi: i32,
+) {
+    use std::arch::x86_64::*;
+    debug_assert!((1..63).contains(&ts));
+    let n = dst.len();
+    let mult_v = _mm256_set1_epi64x(i64::from(mult));
+    let nudge_v = _mm256_set1_epi64x(1i64 << (ts - 1));
+    let lo_v = _mm256_set1_epi64x(i64::from(lo));
+    let hi_v = _mm256_set1_epi64x(i64::from(hi));
+    let count = _mm_cvtsi32_si128(ts);
+    let mut j = 0;
+    while j + 8 <= n {
+        let x = _mm256_loadu_si256(acc.as_ptr().add(j).cast());
+        let sign = _mm256_srai_epi32::<31>(x);
+        let absx = _mm256_sub_epi32(_mm256_xor_si256(x, sign), sign);
+        let mag_lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(absx));
+        let mag_hi = _mm256_cvtepu32_epi64(_mm256_extracti128_si256::<1>(absx));
+        let sgn_lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(sign));
+        let sgn_hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(sign));
+        let v_lo = requant4(mag_lo, sgn_lo, mult_v, nudge_v, count, lo_v, hi_v);
+        let v_hi = requant4(mag_hi, sgn_hi, mult_v, nudge_v, count, lo_v, hi_v);
+        let mut tmp = [0i64; 8];
+        _mm256_storeu_si256(tmp.as_mut_ptr().cast(), v_lo);
+        _mm256_storeu_si256(tmp.as_mut_ptr().add(4).cast(), v_hi);
+        for (d, &v) in dst[j..j + 8].iter_mut().zip(&tmp) {
+            *d = v as i8;
+        }
+        j += 8;
+    }
+    requantize_row_fast_scalar(&mut dst[j..], &acc[j..], mult, ts, lo, hi);
+}
+
+/// One 4-lane requant step: `clamp(sign * ((mag * mult + nudge) >> ts))`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn requant4(
+    mag: std::arch::x86_64::__m256i,
+    sign64: std::arch::x86_64::__m256i,
+    mult: std::arch::x86_64::__m256i,
+    nudge: std::arch::x86_64::__m256i,
+    count: std::arch::x86_64::__m128i,
+    lo: std::arch::x86_64::__m256i,
+    hi: std::arch::x86_64::__m256i,
+) -> std::arch::x86_64::__m256i {
+    use std::arch::x86_64::*;
+    let prod = _mm256_mul_epu32(mag, mult);
+    let shifted = _mm256_srl_epi64(_mm256_add_epi64(prod, nudge), count);
+    // Conditional negate: (v ^ s) - s with s = 0 or -1 across the lane.
+    let signed = _mm256_sub_epi64(_mm256_xor_si256(shifted, sign64), sign64);
+    let too_hi = _mm256_cmpgt_epi64(signed, hi);
+    let v = _mm256_blendv_epi8(signed, hi, too_hi);
+    let too_lo = _mm256_cmpgt_epi64(lo, v);
+    _mm256_blendv_epi8(v, lo, too_lo)
 }
 
 // ---------------------------------------------------------------------------
@@ -477,6 +594,215 @@ pub fn qmatmul_into_threads(
 }
 
 // ---------------------------------------------------------------------------
+// Prepacked maddubs GEMM
+// ---------------------------------------------------------------------------
+
+/// `out[m,n](i32) = A · B` over **prepacked** operands: `a_packed` from
+/// [`pack_lhs_i8`](crate::kernel::pack::pack_lhs_i8) (dense rows
+/// zero-padded to whole 4-tap groups) and `b_panels` from
+/// [`pack_rhs_i8`](crate::kernel::pack::pack_rhs_i8) (8-column × 4-tap
+/// maddubs panels). This is the int8 analogue of the f32 blueprints: the
+/// layers pack immutable weights once at compile time and feed activations
+/// through per-call packing, and the AVX2 kernel runs
+/// `_mm256_maddubs_epi16` + `_mm256_madd_epi16` instead of widening
+/// per-element multiplies.
+///
+/// The maddubs trick needs `|a| <= 127` on the LHS (`_mm256_sign_epi8`
+/// cannot negate `-128`); symmetric quantization clamps to `±qmax <= ±127`,
+/// so every engine tensor qualifies. The RHS has no such restriction.
+/// Zero-padded taps multiply as zero, so the result equals
+/// [`qmatmul_naive`] on the unpadded operands exactly — integer arithmetic
+/// makes this equality, not approximation. Threaded over output row blocks;
+/// bitwise identical for any thread count and SIMD mode.
+///
+/// # Panics
+///
+/// Panics on buffer lengths inconsistent with the packed layouts, or
+/// `k > MAX_K`.
+pub fn qmatmul_prepacked_into(
+    out: &mut [i32],
+    a_packed: &[i8],
+    b_panels: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let t = if m * n * k < QPAR_MIN_MACS {
+        1
+    } else {
+        num_threads()
+    };
+    qmatmul_prepacked_into_threads(out, a_packed, b_panels, m, k, n, t);
+}
+
+/// [`qmatmul_prepacked_into`] with an explicit thread count.
+///
+/// # Panics
+///
+/// Panics on buffer lengths inconsistent with the packed layouts, or
+/// `k > MAX_K`.
+pub fn qmatmul_prepacked_into_threads(
+    out: &mut [i32],
+    a_packed: &[i8],
+    b_panels: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    use crate::kernel::pack::{packed_lhs_len, packed_rhs_len, padded_k};
+    assert_eq!(
+        a_packed.len(),
+        packed_lhs_len(m, k),
+        "qmatmul_prepacked: bad lhs length"
+    );
+    assert_eq!(
+        b_panels.len(),
+        packed_rhs_len(k, n),
+        "qmatmul_prepacked: bad rhs length"
+    );
+    assert_eq!(out.len(), m * n, "qmatmul_prepacked: bad out length");
+    assert!(
+        k <= MAX_K,
+        "qmatmul_prepacked: k={k} exceeds exact i32 depth"
+    );
+    debug_assert!(
+        a_packed.iter().all(|&v| v > -128),
+        "qmatmul_prepacked: lhs contains -128 (outside the symmetric grid)"
+    );
+    let k4 = padded_k(k);
+    let ranges = partition(m, threads);
+    if ranges.len() <= 1 {
+        qgemm_prepacked_block(out, a_packed, b_panels, m, k4, n);
+        return;
+    }
+    let base = SendPtr::new(out.as_mut_ptr());
+    pool::run(ranges.len(), &|t| {
+        let r = &ranges[t];
+        // SAFETY: partition ranges are disjoint, so each task's output
+        // window is exclusive to it.
+        let block = unsafe { base.slice(r.start * n, r.len() * n) };
+        let ab = &a_packed[r.start * k4..r.end * k4];
+        qgemm_prepacked_block(block, ab, b_panels, r.len(), k4, n);
+    });
+}
+
+/// Single-threaded prepacked block. Hand-dispatched: the AVX2 twin is the
+/// maddubs microkernel, a different instruction sequence kept equal to the
+/// scalar walk by integer exactness (verified by the dispatch test).
+fn qgemm_prepacked_block(out: &mut [i32], a: &[i8], b: &[i8], mb: usize, k4: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::use_avx2() {
+        // SAFETY: AVX2 support verified at runtime just above.
+        return unsafe { qgemm_prepacked_avx2(out, a, b, mb, k4, n) };
+    }
+    qgemm_prepacked_scalar(out, a, b, mb, k4, n);
+}
+
+/// Scalar walk of the packed layout: per row, per 8-column panel, per
+/// 4-tap group — byte-for-byte the order the maddubs kernel reduces in.
+#[inline(always)]
+fn qgemm_prepacked_scalar(out: &mut [i32], a: &[i8], b: &[i8], mb: usize, k4: usize, n: usize) {
+    use crate::kernel::pack::{QK_GROUP, QNP};
+    if k4 == 0 {
+        out.fill(0);
+        return;
+    }
+    if mb == 0 || n == 0 {
+        return;
+    }
+    let groups = k4 / QK_GROUP;
+    let group_bytes = QNP * QK_GROUP;
+    let panels = n.div_ceil(QNP);
+    for i in 0..mb {
+        let arow = &a[i * k4..(i + 1) * k4];
+        for jp in 0..panels {
+            let j0 = jp * QNP;
+            let width = (n - j0).min(QNP);
+            let pbase = &b[jp * groups * group_bytes..(jp + 1) * groups * group_bytes];
+            let mut acc = [0i32; QNP];
+            for g in 0..groups {
+                let grp = &pbase[g * group_bytes..(g + 1) * group_bytes];
+                let at = &arow[g * QK_GROUP..(g + 1) * QK_GROUP];
+                for (c, l) in acc.iter_mut().enumerate() {
+                    let cell = &grp[c * QK_GROUP..(c + 1) * QK_GROUP];
+                    for (t, &bv) in cell.iter().enumerate() {
+                        *l += i32::from(at[t]) * i32::from(bv);
+                    }
+                }
+            }
+            out[i * n + j0..i * n + j0 + width].copy_from_slice(&acc[..width]);
+        }
+    }
+}
+
+/// Maddubs microkernel: per 4-tap group, broadcast 4 LHS bytes as one
+/// dword, then `maddubs(|B|, sign(A_bcast, B))` forms the exact signed
+/// products `a·b` as i16 pairs (pair sums ≤ 2·127·127 = 32258 < 32767, so
+/// the saturating add never saturates) and `madd_epi16(·, 1)` folds them
+/// into 8 i32 per-column partial sums.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn qgemm_prepacked_avx2(
+    out: &mut [i32],
+    a: &[i8],
+    b: &[i8],
+    mb: usize,
+    k4: usize,
+    n: usize,
+) {
+    use crate::kernel::pack::{QK_GROUP, QNP};
+    use std::arch::x86_64::*;
+    if k4 == 0 {
+        out.fill(0);
+        return;
+    }
+    if mb == 0 || n == 0 {
+        return;
+    }
+    let groups = k4 / QK_GROUP;
+    let group_bytes = QNP * QK_GROUP;
+    let full_panels = n / QNP;
+    let ones = _mm256_set1_epi16(1);
+    for i in 0..mb {
+        let ap = a.as_ptr().add(i * k4);
+        for jp in 0..full_panels {
+            let pb = b.as_ptr().add(jp * groups * group_bytes);
+            let mut acc = _mm256_setzero_si256();
+            for g in 0..groups {
+                let a_dword = ap.add(g * QK_GROUP).cast::<i32>().read_unaligned();
+                let abcast = _mm256_set1_epi32(a_dword);
+                let panel = _mm256_loadu_si256(pb.add(g * group_bytes).cast());
+                let pabs = _mm256_abs_epi8(panel);
+                let asgn = _mm256_sign_epi8(abcast, panel);
+                let prod16 = _mm256_maddubs_epi16(pabs, asgn);
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(prod16, ones));
+            }
+            _mm256_storeu_si256(out.as_mut_ptr().add(i * n + jp * QNP).cast(), acc);
+        }
+        // Partial final panel (n % 8 != 0): scalar walk of the same layout.
+        let j0 = full_panels * QNP;
+        if j0 < n {
+            let width = n - j0;
+            let arow = &a[i * k4..(i + 1) * k4];
+            let pbase = &b[full_panels * groups * group_bytes..];
+            let mut acc = [0i32; QNP];
+            for g in 0..groups {
+                let grp = &pbase[g * group_bytes..(g + 1) * group_bytes];
+                let at = &arow[g * QK_GROUP..(g + 1) * QK_GROUP];
+                for (c, l) in acc.iter_mut().enumerate() {
+                    let cell = &grp[c * QK_GROUP..(c + 1) * QK_GROUP];
+                    for (t, &bv) in cell.iter().enumerate() {
+                        *l += i32::from(at[t]) * i32::from(bv);
+                    }
+                }
+            }
+            out[i * n + j0..i * n + n].copy_from_slice(&acc[..width]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Quantized convolution lowerings
 // ---------------------------------------------------------------------------
 
@@ -528,14 +854,81 @@ pub fn qim2col_into(out: &mut [i8], input: &[i8], geom: &Conv2dGeometry) {
     }
 }
 
-avx2_dispatch! {
-    /// Quantized depthwise stencil for one channel plane: `out[oh, ow](i32)
-    /// += w[k, k] ⊛ input[ih, iw]` with stride/padding from `geom`
-    /// (interpreted single-channel), overwriting `out`. Taps accumulate in
-    /// ascending `(ky, kx)` order; integer math keeps any reordering exact
-    /// anyway.
-    pub qdw_plane_into / qdw_plane_into_scalar / qdw_plane_into_avx2,
-    (out: &mut [i32], input: &[i8], w: &[i8], geom: &Conv2dGeometry)
+/// Quantized depthwise stencil for one channel plane: `out[oh, ow](i32)
+/// = w[k, k] ⊛ input[ih, iw]` with stride/padding from `geom` (interpreted
+/// single-channel), overwriting `out`. Taps accumulate in ascending
+/// `(ky, kx)` order; integer math keeps any reordering exact anyway.
+///
+/// Dispatched by hand (not `avx2_dispatch!`): the AVX2 twin for the
+/// stride-1, `ow >= 8` common case is a real widening-multiply kernel over
+/// a horizontally zero-padded plane, not a recompile of the scalar body;
+/// integer exactness keeps the paths equal (pinned by the dispatch test).
+pub fn qdw_plane_into(out: &mut [i32], input: &[i8], w: &[i8], geom: &Conv2dGeometry) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::use_avx2() && geom.stride == 1 && geom.out_w() >= 8 {
+        // SAFETY: AVX2 support verified at runtime just above.
+        return unsafe { qdw_plane_s1_avx2(out, input, w, geom) };
+    }
+    qdw_plane_into_scalar(out, input, w, geom);
+}
+
+/// AVX2 stride-1 depthwise plane: the input is staged into a horizontally
+/// zero-padded scratch plane (`pw = iw + 2·pad`), so every horizontal tap
+/// of an 8-wide output group is one unconditional 8-byte load; vertical
+/// padding is a per-output-row tap clip. Per tap: sign-extend 8 bytes to
+/// i16, `_mm_mullo_epi16` against the broadcast weight (exact —
+/// `|w·x| <= 127² < 2^15`), widen to i32, accumulate. The last column
+/// group is anchored at `ow - 8`, recomputing overlapped outputs —
+/// identical values, integer math.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn qdw_plane_s1_avx2(out: &mut [i32], input: &[i8], w: &[i8], geom: &Conv2dGeometry) {
+    use std::arch::x86_64::*;
+    let k = geom.kernel;
+    let (ih, iw) = (geom.in_h, geom.in_w);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    debug_assert_eq!(input.len(), ih * iw);
+    debug_assert_eq!(w.len(), k * k);
+    debug_assert_eq!(out.len(), oh * ow);
+    debug_assert!(geom.stride == 1 && ow >= 8);
+    let pad = geom.padding;
+    let pw = iw + 2 * pad;
+    let mut padded = crate::scratch::alloc_i8(ih * pw);
+    for (prow, irow) in padded.chunks_exact_mut(pw).zip(input.chunks_exact(iw)) {
+        prow[..pad].fill(0);
+        prow[pad..pad + iw].copy_from_slice(irow);
+        prow[pad + iw..].fill(0);
+    }
+    let pp = padded.as_ptr();
+    for oy in 0..oh {
+        // Vertical clip: taps whose source row falls outside the image
+        // contribute zero, exactly as the scalar body's valid_out_range.
+        let ky0 = pad.saturating_sub(oy).min(k);
+        let ky1 = k.min((ih + pad).saturating_sub(oy));
+        let orow = &mut out[oy * ow..(oy + 1) * ow];
+        let mut x0 = 0usize;
+        loop {
+            let mut acc = _mm256_setzero_si256();
+            for ky in ky0..ky1 {
+                let sy = oy + ky - pad;
+                // SAFETY: x0 <= ow - 8 and kx <= k - 1, so the 8-byte load
+                // ends at sy*pw + (ow - 8 + k - 1 + 7) = sy*pw + pw - 1,
+                // inside the padded plane.
+                let base = pp.add(sy * pw + x0);
+                for kx in 0..k {
+                    let wv = _mm_set1_epi16(i16::from(w[ky * k + kx]));
+                    let bytes = _mm_loadl_epi64(base.add(kx).cast());
+                    let prods = _mm_mullo_epi16(_mm_cvtepi8_epi16(bytes), wv);
+                    acc = _mm256_add_epi32(acc, _mm256_cvtepi16_epi32(prods));
+                }
+            }
+            _mm256_storeu_si256(orow.as_mut_ptr().add(x0).cast(), acc);
+            if x0 + 8 >= ow {
+                break;
+            }
+            x0 = (x0 + 8).min(ow - 8);
+        }
+    }
 }
 
 #[inline(always)]
@@ -727,6 +1120,125 @@ mod tests {
         qdw_plane_into(&mut got, &input, &w, &geom);
         qdw_plane_into_scalar(&mut want, &input, &w, &geom);
         assert_eq!(got, want);
+
+        // Stride-1 16x16 hits the dedicated AVX2 depthwise kernel (padded
+        // plane + overlapped last group) on machines that have it.
+        for k in [3usize, 5, 7] {
+            let geom = Conv2dGeometry {
+                in_channels: 1,
+                in_h: 16,
+                in_w: 16,
+                kernel: k,
+                stride: 1,
+                padding: k / 2,
+            };
+            let input = randq(16 * 16, 127, &mut rng);
+            let w = randq(k * k, 127, &mut rng);
+            let plane = geom.out_h() * geom.out_w();
+            let mut got = vec![i32::MIN; plane];
+            let mut want = vec![0i32; plane];
+            qdw_plane_into(&mut got, &input, &w, &geom);
+            qdw_plane_into_scalar(&mut want, &input, &w, &geom);
+            assert_eq!(got, want, "k={k}");
+        }
+
+        // Prepacked maddubs block vs its scalar layout walk.
+        let (m, k, n) = (7, 21, 19);
+        let a = randq(m * k, 127, &mut rng);
+        let b = randq(k * n, 127, &mut rng);
+        let mut ap = vec![0i8; crate::kernel::pack::packed_lhs_len(m, k)];
+        crate::kernel::pack::pack_lhs_i8(&mut ap, &a, m, k);
+        let mut bp = vec![0i8; crate::kernel::pack::packed_rhs_len(k, n)];
+        crate::kernel::pack::pack_rhs_i8(&mut bp, &b, k, n);
+        let k4 = crate::kernel::pack::padded_k(k);
+        let mut got = vec![i32::MIN; m * n];
+        let mut want = vec![0i32; m * n];
+        qgemm_prepacked_block(&mut got, &ap, &bp, m, k4, n);
+        qgemm_prepacked_scalar(&mut want, &ap, &bp, m, k4, n);
+        assert_eq!(got, want);
+
+        // Vectorized requant rows vs the per-element apply_i8 oracle.
+        let acc: Vec<i32> = (0..9 * 37)
+            .map(|_| rng.gen_range(i32::MIN..=i32::MAX))
+            .collect();
+        let rqs: Vec<Requant> = (0..9)
+            .map(|i| Requant::from_scale(10f64.powi(i - 6)))
+            .collect();
+        let mut got = vec![0i8; acc.len()];
+        requantize_rows_into(&mut got, &acc, &rqs, 37, -128, 127);
+        for (row, rq) in rqs.iter().enumerate() {
+            for c in 0..37 {
+                let idx = row * 37 + c;
+                assert_eq!(
+                    got[idx],
+                    rq.apply_i8(acc[idx], -128, 127),
+                    "row={row} col={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_gemm_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for (m, k, n) in [
+            (1, 1, 1),
+            (4, 8, 8),
+            (5, 3, 7),
+            (9, 16, 33),
+            (6, 0, 3),
+            (1, 27, 256),
+            (13, 37, 29),
+        ] {
+            let a = randq(m * k, 127, &mut rng);
+            let b = randq(k * n, 127, &mut rng);
+            let want = qmatmul_naive(&a, &b, m, k, n);
+            let mut ap = vec![0i8; crate::kernel::pack::packed_lhs_len(m, k)];
+            crate::kernel::pack::pack_lhs_i8(&mut ap, &a, m, k);
+            let mut bp = vec![0i8; crate::kernel::pack::packed_rhs_len(k, n)];
+            crate::kernel::pack::pack_rhs_i8(&mut bp, &b, k, n);
+            let mut got = vec![i32::MIN; m * n];
+            qmatmul_prepacked_into(&mut got, &ap, &bp, m, k, n);
+            assert_eq!(got, want, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn prepacked_thread_counts_are_bitwise_equal() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let (m, k, n) = (29, 17, 23);
+        let a = randq(m * k, 127, &mut rng);
+        let b = randq(k * n, 127, &mut rng);
+        let mut ap = vec![0i8; crate::kernel::pack::packed_lhs_len(m, k)];
+        crate::kernel::pack::pack_lhs_i8(&mut ap, &a, m, k);
+        let mut bp = vec![0i8; crate::kernel::pack::packed_rhs_len(k, n)];
+        crate::kernel::pack::pack_rhs_i8(&mut bp, &b, k, n);
+        let mut reference = vec![0i32; m * n];
+        qmatmul_prepacked_into_threads(&mut reference, &ap, &bp, m, k, n, 1);
+        for t in [2, 3, 7, 19] {
+            let mut got = vec![0i32; m * n];
+            qmatmul_prepacked_into_threads(&mut got, &ap, &bp, m, k, n, t);
+            assert_eq!(reference, got, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn requantize_rows_cold_paths_match_oracle() {
+        // Multipliers >= 1 (ts <= 0) and flush-to-zero (ts >= 63) rows must
+        // take the per-element path and still match apply_i8 exactly.
+        let acc = [i32::MAX, i32::MIN, -5, 7, 0, 1000];
+        let rqs = [
+            Requant::from_scale(4.0),
+            Requant::from_scale(1e-30),
+            Requant::from_scale(0.25),
+        ];
+        let mut got = vec![0i8; 6];
+        requantize_rows_into(&mut got, &acc, &rqs, 2, -128, 127);
+        for (row, rq) in rqs.iter().enumerate() {
+            for c in 0..2 {
+                assert_eq!(got[row * 2 + c], rq.apply_i8(acc[row * 2 + c], -128, 127));
+            }
+        }
     }
 
     #[test]

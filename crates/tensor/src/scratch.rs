@@ -218,6 +218,80 @@ pub fn alloc_zeroed(len: usize) -> ScratchBuf {
     buf
 }
 
+/// Declares a typed view over arena-backed f32 storage: the wrapper owns a
+/// [`ScratchBuf`] sized in whole f32s and reinterprets its (32-byte
+/// aligned) base pointer as `$elem`. Release/rewind mechanics are entirely
+/// the inner buffer's.
+macro_rules! scratch_view {
+    ($(#[$meta:meta])* $name:ident, $elem:ty, $alloc:ident, $alloc_zeroed:ident) => {
+        $(#[$meta])*
+        pub struct $name {
+            buf: ScratchBuf,
+            len: usize,
+        }
+
+        impl std::ops::Deref for $name {
+            type Target = [$elem];
+
+            fn deref(&self) -> &[$elem] {
+                // SAFETY: the inner buffer owns at least `len * size_of::<$elem>()`
+                // bytes of live, 32-byte-aligned arena storage, and `$elem` has
+                // no validity requirements beyond initialized bytes (the arena
+                // zero-fills fresh blocks and callers overwrite reused space).
+                unsafe { std::slice::from_raw_parts(self.buf.ptr.cast::<$elem>(), self.len) }
+            }
+        }
+
+        impl std::ops::DerefMut for $name {
+            fn deref_mut(&mut self) -> &mut [$elem] {
+                // SAFETY: as above; `&mut self` guarantees exclusive access.
+                unsafe {
+                    std::slice::from_raw_parts_mut(self.buf.ptr.cast::<$elem>(), self.len)
+                }
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name)).field("len", &self.len).finish()
+            }
+        }
+
+        /// Allocates `len` elements from the current thread's arena.
+        /// Contents are unspecified — fully overwrite, or use the zeroed
+        /// variant.
+        #[must_use]
+        pub fn $alloc(len: usize) -> $name {
+            let f32s = (len * std::mem::size_of::<$elem>()).div_ceil(std::mem::size_of::<f32>());
+            $name {
+                buf: alloc(f32s),
+                len,
+            }
+        }
+
+        /// Zero-filled variant of the allocator above.
+        #[must_use]
+        pub fn $alloc_zeroed(len: usize) -> $name {
+            let mut buf = $alloc(len);
+            buf.fill(0);
+            buf
+        }
+    };
+}
+
+scratch_view! {
+    /// A bump-allocated `i8` buffer borrowed from the arena (quantized
+    /// activations, packed int8 panels). Same lifetime rules as
+    /// [`ScratchBuf`].
+    ScratchBufI8, i8, alloc_i8, alloc_i8_zeroed
+}
+
+scratch_view! {
+    /// A bump-allocated `i32` buffer borrowed from the arena (qGEMM
+    /// accumulators). Same lifetime rules as [`ScratchBuf`].
+    ScratchBufI32, i32, alloc_i32, alloc_i32_zeroed
+}
+
 /// Per-training-step backstop: verifies every [`ScratchBuf`] on this
 /// thread has been dropped, rewinds the arena and bumps its generation.
 ///
@@ -353,6 +427,20 @@ mod tests {
         assert!(reserved_bytes() > 0);
         let b = alloc(10);
         assert_eq!(b.as_ptr() as usize % 32, 0);
+    }
+
+    #[test]
+    fn typed_views_are_disjoint_and_aligned() {
+        let mut a = alloc_i8(13);
+        a.fill(7);
+        let mut b = alloc_i32(5);
+        b.fill(-3);
+        let z = alloc_i8_zeroed(40);
+        assert_eq!(a.as_ptr() as usize % 32, 0);
+        assert_eq!(b.as_ptr() as usize % 32, 0);
+        assert!(a.iter().all(|&v| v == 7), "i32 view must not clobber i8");
+        assert!(b.iter().all(|&v| v == -3));
+        assert!(z.iter().all(|&v| v == 0));
     }
 
     #[test]

@@ -29,6 +29,23 @@ static BUFFER_RECYCLED_BYTES: AtomicU64 = AtomicU64::new(0);
 static BUFFER_POOL_HITS: AtomicU64 = AtomicU64::new(0);
 /// Pool-eligible buffer requests that fell back to the system allocator.
 static BUFFER_POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+/// GEMM dispatches routed to the vector-matrix (skinny-M) blueprint.
+static SELECT_VECMAT: AtomicU64 = AtomicU64::new(0);
+/// GEMM dispatches routed to the skinny-N blueprint.
+static SELECT_SKINNY_N: AtomicU64 = AtomicU64::new(0);
+/// GEMM dispatches routed to the square/general packed blueprint.
+static SELECT_SQUARE: AtomicU64 = AtomicU64::new(0);
+/// GEMM dispatches arriving from an im2col convolution lowering.
+static SELECT_CONV: AtomicU64 = AtomicU64::new(0);
+/// GEMM dispatches forced onto the generic blocked kernel
+/// (`EDD_GEMM=generic`).
+static SELECT_GENERIC: AtomicU64 = AtomicU64::new(0);
+/// Weight panels packed once at compile/construction time.
+static PACK_PANELS_BUILT: AtomicU64 = AtomicU64::new(0);
+/// Kernel invocations served by a cached prepacked weight panel.
+static PACK_PANEL_HITS: AtomicU64 = AtomicU64::new(0);
+/// Per-call activation-panel packs (no cache possible: data changes).
+static PACK_PANEL_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Point-in-time snapshot of the kernel-runtime counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,6 +69,22 @@ pub struct KernelStats {
     pub buffer_pool_hits: u64,
     /// Pool-eligible buffer requests that missed and hit the allocator.
     pub buffer_pool_misses: u64,
+    /// GEMM dispatches classified vector-matrix (m below the row tile).
+    pub select_vecmat: u64,
+    /// GEMM dispatches classified skinny-N (n below the column tile).
+    pub select_skinny_n: u64,
+    /// GEMM dispatches classified square/general.
+    pub select_square: u64,
+    /// GEMM dispatches tagged as im2col convolution lowerings.
+    pub select_conv: u64,
+    /// GEMM dispatches forced generic by `EDD_GEMM=generic`.
+    pub select_generic: u64,
+    /// Weight panels packed once at compile/construction time.
+    pub pack_panels_built: u64,
+    /// Kernel invocations that reused a cached prepacked weight panel.
+    pub pack_panel_hits: u64,
+    /// Per-call activation-panel packs (inherently uncacheable).
+    pub pack_panel_misses: u64,
 }
 
 impl KernelStats {
@@ -78,6 +111,14 @@ pub fn snapshot() -> KernelStats {
         buffer_recycled_bytes: BUFFER_RECYCLED_BYTES.load(Ordering::Relaxed),
         buffer_pool_hits: BUFFER_POOL_HITS.load(Ordering::Relaxed),
         buffer_pool_misses: BUFFER_POOL_MISSES.load(Ordering::Relaxed),
+        select_vecmat: SELECT_VECMAT.load(Ordering::Relaxed),
+        select_skinny_n: SELECT_SKINNY_N.load(Ordering::Relaxed),
+        select_square: SELECT_SQUARE.load(Ordering::Relaxed),
+        select_conv: SELECT_CONV.load(Ordering::Relaxed),
+        select_generic: SELECT_GENERIC.load(Ordering::Relaxed),
+        pack_panels_built: PACK_PANELS_BUILT.load(Ordering::Relaxed),
+        pack_panel_hits: PACK_PANEL_HITS.load(Ordering::Relaxed),
+        pack_panel_misses: PACK_PANEL_MISSES.load(Ordering::Relaxed),
     }
 }
 
@@ -92,6 +133,48 @@ pub fn reset() {
     BUFFER_RECYCLED_BYTES.store(0, Ordering::Relaxed);
     BUFFER_POOL_HITS.store(0, Ordering::Relaxed);
     BUFFER_POOL_MISSES.store(0, Ordering::Relaxed);
+    SELECT_VECMAT.store(0, Ordering::Relaxed);
+    SELECT_SKINNY_N.store(0, Ordering::Relaxed);
+    SELECT_SQUARE.store(0, Ordering::Relaxed);
+    SELECT_CONV.store(0, Ordering::Relaxed);
+    SELECT_GENERIC.store(0, Ordering::Relaxed);
+    PACK_PANELS_BUILT.store(0, Ordering::Relaxed);
+    PACK_PANEL_HITS.store(0, Ordering::Relaxed);
+    PACK_PANEL_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Counts one GEMM dispatch for the given shape class (crate-internal:
+/// the selector calls this once per front-level GEMM call).
+pub(crate) fn record_select_dispatch(class: crate::kernel::select::GemmClass) {
+    use crate::kernel::select::GemmClass;
+    let ctr = match class {
+        GemmClass::VecMat => &SELECT_VECMAT,
+        GemmClass::SkinnyN => &SELECT_SKINNY_N,
+        GemmClass::Square => &SELECT_SQUARE,
+        GemmClass::Conv => &SELECT_CONV,
+    };
+    ctr.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one GEMM dispatch forced generic by `EDD_GEMM=generic`.
+pub(crate) fn record_select_generic() {
+    SELECT_GENERIC.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one weight panel packed at compile/construction time. Public:
+/// the layer crates build their panels outside `edd-tensor`.
+pub fn record_pack_panel_built() {
+    PACK_PANELS_BUILT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one kernel invocation served by a cached prepacked weight panel.
+pub fn record_pack_panel_hit() {
+    PACK_PANEL_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one per-call activation-panel pack.
+pub fn record_pack_panel_miss() {
+    PACK_PANEL_MISSES.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn record_pool_job(tasks: usize, inline: bool) {

@@ -10,9 +10,15 @@
 #
 # Capacity gate: the frontend leg (zero-cost models, so the serving path
 # itself is what's measured) must sustain at least EDD_SERVE_MIN_RPS
-# requests/s (default 10000) or the script fails. The zoo leg is
-# informational — on small hosts it is bound by the integer engine's
-# images/s, not the front end.
+# requests/s (default 10000) or the script fails.
+#
+# Regression gate: when a previous BENCH_serve.json exists, each zoo
+# model's p50 latency is compared against it. Any model slower by more
+# than EDD_BENCH_TOLERANCE (default 0.10 = 10%) fails the script — the
+# new snapshot is still written so the regression can be inspected. The
+# zoo leg is engine-bound on small hosts, so this gate tracks the integer
+# engine's latency; the serve_engine_* records isolate the same cost
+# without the front end for diagnosis.
 #
 # Usage:
 #   scripts/bench_serve.sh            # full run -> BENCH_serve.json
@@ -25,10 +31,19 @@ cd "$(dirname "$0")/.."
 
 out=BENCH_serve.json
 min_rps="${EDD_SERVE_MIN_RPS:-10000}"
+tolerance="${EDD_BENCH_TOLERANCE:-0.10}"
 tmp=$(mktemp)
-trap 'status=$?; rm -f "$tmp";
+prev=$(mktemp)
+trap 'status=$?; rm -f "$tmp" "$prev";
       if [[ $status -eq 0 ]]; then echo "BENCH_SERVE_RESULT: PASS";
       else echo "BENCH_SERVE_RESULT: FAIL (exit $status)"; fi' EXIT
+
+# Snapshot the previous run's zoo latencies (if any) before overwriting.
+have_prev=0
+if [[ -s "$out" ]]; then
+    have_prev=1
+    cp "$out" "$prev"
+fi
 
 quick_flag=()
 if [[ "${1:-}" == "--quick" ]]; then
@@ -71,4 +86,47 @@ if awk -v got="$fe_rps" -v min="$min_rps" 'BEGIN { exit !(got + 0 >= min + 0) }'
 else
     echo "bench_serve.sh: frontend ${fe_rps} req/s below ${min_rps} floor" >&2
     exit 1
+fi
+
+# Gate each zoo model's p50 latency against the previous snapshot, same
+# awk two-pass extraction as scripts/bench.sh.
+if [[ "$have_prev" == 1 ]]; then
+    if awk -v tol="$tolerance" '
+        function extract(line, key,    rest) {
+            if (index(line, "\"" key "\":") == 0) return ""
+            rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+            sub(/^"/, "", rest)
+            sub(/[",}].*$/, "", rest)
+            return rest
+        }
+        function zoo_p50(line,    name, p50) {
+            name = extract(line, "name")
+            if (name !~ /^serve_zoo_/ || name ~ /_total$/) return ""
+            p50 = extract(line, "p50_us")
+            if (p50 == "") return ""
+            return name SUBSEP p50
+        }
+        FNR == NR {
+            r = zoo_p50($0)
+            if (r != "") { split(r, kv, SUBSEP); base[kv[1]] = kv[2] + 0 }
+            next
+        }
+        {
+            r = zoo_p50($0)
+            if (r == "") next
+            split(r, kv, SUBSEP)
+            if (!(kv[1] in base)) next
+            old = base[kv[1]]; new = kv[2] + 0
+            delta = (old > 0) ? (new / old - 1) * 100 : 0
+            printf "  %-30s p50 %8d -> %8d us (%+.1f%%)\n", kv[1], old, new, delta
+            if (new > old * (1 + tol)) { bad++ }
+        }
+        END { if (bad > 0) exit 1 }
+    ' "$prev" "$out"; then
+        echo "bench_serve.sh: no zoo p50 regression beyond ${tolerance} tolerance"
+    else
+        echo "bench_serve.sh: zoo p50 regression beyond ${tolerance} tolerance" >&2
+        echo "  (override with EDD_BENCH_TOLERANCE=<fraction>)" >&2
+        exit 1
+    fi
 fi

@@ -4,11 +4,13 @@
 #   EDD_NUM_THREADS  initial worker-pool size (the suites then exercise
 #                    7/2/1-thread overrides on top of it)
 #   EDD_SIMD         kernel dispatch mode: "scalar" or "avx2"
+#   EDD_GEMM         GEMM selection mode: "auto" (shape-specialized
+#                    blueprints) or "generic" (single blocked kernel)
 #
-# CI runs this script as a {1,2,7} × {scalar,avx2} matrix. The avx2 leg
-# skips (exit 0 with a SKIP marker) on hosts whose CPU lacks AVX2, so the
-# matrix stays green on any runner while still covering both dispatch
-# paths wherever the silicon allows.
+# CI runs this script as a {1,2,7} × {scalar,avx2} × {auto,generic}
+# matrix. The avx2 leg skips (exit 0 with a SKIP marker) on hosts whose
+# CPU lacks AVX2, so the matrix stays green on any runner while still
+# covering both dispatch paths wherever the silicon allows.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +20,8 @@ if [[ "$mode" == "avx2" ]] && ! grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
     exit 0
 fi
 
-echo "determinism: EDD_NUM_THREADS=${EDD_NUM_THREADS:-<default>} EDD_SIMD=${mode:-<auto>}"
+echo "determinism: EDD_NUM_THREADS=${EDD_NUM_THREADS:-<default>} \
+EDD_SIMD=${mode:-<auto>} EDD_GEMM=${EDD_GEMM:-<auto>}"
 
 cargo test --locked -q -p edd-tensor --test determinism
 cargo test --locked -q -p edd-tensor --test qdeterminism
