@@ -48,6 +48,7 @@ pub mod arch_params;
 pub mod checkpoint;
 pub mod derive;
 pub mod loss;
+pub mod lower;
 pub mod perf_model;
 pub mod qat;
 pub mod quantize;
@@ -60,6 +61,7 @@ pub use arch_params::{ArchCheckpoint, ArchParams, PfParams, PhiParams};
 pub use checkpoint::{resolve_resume_path, SearchRng, SearchSnapshot, SNAPSHOT_PREFIX};
 pub use derive::{BlockChoice, DerivedArch};
 pub use loss::{edd_loss, LossConfig};
+pub use lower::lower_to_graph;
 pub use perf_model::{estimate, PerfEstimate, PerfTables};
 pub use qat::QatModel;
 pub use quantize::{calibrate, Calibration, QuantizedModel, ENGINE_MAX_BITS};

@@ -1,0 +1,629 @@
+//! The compiled-model artifact format.
+//!
+//! An artifact is a lowered (all-quantized) [`Graph`] serialized into the
+//! engine's standard snapshot container: an 8-byte magic, a little-endian
+//! format version, a payload length, and a CRC-32 over the payload —
+//! reusing `edd_runtime::snapshot`'s framing with an artifact-specific
+//! magic (`EDDMODL\0`) so model files and training snapshots can never be
+//! confused for one another. Tensors are stored as raw bits (int8/int4
+//! weights verbatim, f32 scales as IEEE-754 bit patterns, requantizers as
+//! their i32 fixed-point fields), so a load reconstructs the exact specs
+//! that were saved and a hot-loaded model is bit-identical to the one
+//! compiled in process.
+//!
+//! Robustness: the CRC rejects bit flips and truncation before parsing
+//! begins; every count is bounds-checked against the remaining payload
+//! ([`ByteReader::get_count`]); and decoded specs are cross-validated
+//! against their geometry (weight/bias/requant lengths, clamp-bound
+//! ordering) before graph fact inference runs. A corrupt file yields a
+//! clean [`SnapshotError`], never a panic.
+
+use crate::exec::CompiledModel;
+use crate::graph::{Graph, GraphMeta, Node, Op, QAddOp};
+use edd_nn::{QConvSpec, QDwConvSpec, QLinearSpec, QWeights, ACT_QMAX};
+use edd_runtime::{
+    decode_container_as, encode_container_as, write_atomic_raw, ByteReader, ByteWriter,
+    SectionWriter, Sections, SnapshotError,
+};
+use edd_tensor::qkernel::Requant;
+use std::path::Path;
+
+/// Magic bytes identifying a compiled-model artifact.
+pub const ARTIFACT_MAGIC: [u8; 8] = *b"EDDMODL\0";
+/// Current artifact format version.
+pub const ARTIFACT_VERSION: u32 = 1;
+/// Conventional file extension for artifacts.
+pub const ARTIFACT_EXT: &str = "eddm";
+
+type Result<T> = std::result::Result<T, SnapshotError>;
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+/// Serializes a lowered graph into complete artifact file bytes
+/// (container framing included).
+///
+/// # Errors
+///
+/// Errors when the graph still contains float ops — only lowered graphs
+/// are artifacts.
+pub fn to_bytes(g: &Graph) -> Result<Vec<u8>> {
+    let mut meta = ByteWriter::new();
+    meta.put_str(&g.meta.name);
+    for d in g.meta.input_shape {
+        meta.put_u64(d as u64);
+    }
+    meta.put_u64(g.meta.num_classes as u64);
+
+    let mut gw = ByteWriter::new();
+    gw.put_u64(g.len() as u64);
+    gw.put_u64(g.output().map_err(|e| corrupt(e.to_string()))? as u64);
+    for n in g.nodes() {
+        gw.put_str(&n.name);
+        match n.scale {
+            Some(s) => {
+                gw.put_u8(1);
+                gw.put_f32(s);
+            }
+            None => gw.put_u8(0),
+        }
+        match n.bits {
+            Some(b) => {
+                gw.put_u8(1);
+                gw.put_u32(b);
+            }
+            None => gw.put_u8(0),
+        }
+        gw.put_u64(n.inputs.len() as u64);
+        for &i in &n.inputs {
+            gw.put_u64(i as u64);
+        }
+        encode_op(&mut gw, &n.op)?;
+    }
+
+    let mut sections = SectionWriter::new();
+    sections.add("meta", &meta.into_bytes());
+    sections.add("graph", &gw.into_bytes());
+    Ok(encode_container_as(
+        &ARTIFACT_MAGIC,
+        ARTIFACT_VERSION,
+        &sections.into_payload(),
+    ))
+}
+
+/// Parses artifact file bytes back into a validated lowered graph.
+///
+/// # Errors
+///
+/// Magic/version/CRC failures from the container, framing errors, and
+/// semantic validation failures (spec-geometry mismatches, fact-inference
+/// errors) all surface as [`SnapshotError`].
+pub fn from_bytes(bytes: &[u8]) -> Result<Graph> {
+    let payload = decode_container_as(&ARTIFACT_MAGIC, ARTIFACT_VERSION, bytes)?;
+    let sections = Sections::parse(&payload)?;
+
+    let mut mr = ByteReader::new(sections.require("meta")?);
+    let name = mr.get_str()?;
+    let mut input_shape = [0usize; 3];
+    for d in &mut input_shape {
+        *d = dim(mr.get_u64()?)?;
+    }
+    let num_classes = dim(mr.get_u64()?)?;
+
+    let mut r = ByteReader::new(sections.require("graph")?);
+    let count = r.get_count(1)?;
+    let output = dim(r.get_u64()?)?;
+    let mut g = Graph::new(GraphMeta {
+        name,
+        input_shape,
+        num_classes,
+    });
+    for id in 0..count {
+        let name = r.get_str()?;
+        let scale = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_f32()?),
+            v => return Err(corrupt(format!("node {id}: bad scale flag {v}"))),
+        };
+        let bits = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u32()?),
+            v => return Err(corrupt(format!("node {id}: bad bits flag {v}"))),
+        };
+        let n_inputs = r.get_count(8)?;
+        let mut inputs = Vec::with_capacity(n_inputs);
+        for _ in 0..n_inputs {
+            inputs.push(dim(r.get_u64()?)?);
+        }
+        let op = decode_op(&mut r, id)?;
+        g.add(Node {
+            name,
+            op,
+            inputs,
+            scale,
+            bits,
+        })
+        .map_err(|e| corrupt(e.to_string()))?;
+    }
+    if r.remaining() != 0 {
+        return Err(corrupt(format!(
+            "graph section has {} trailing bytes",
+            r.remaining()
+        )));
+    }
+    g.set_output(output).map_err(|e| corrupt(e.to_string()))?;
+    // Type-check the decoded graph: shape/dtype facts must be coherent.
+    g.facts().map_err(|e| corrupt(e.to_string()))?;
+    Ok(g)
+}
+
+/// Writes a lowered graph to `path` atomically (tmp + fsync + rename).
+///
+/// # Errors
+///
+/// Serialization and I/O failures.
+pub fn save(path: &Path, g: &Graph) -> Result<()> {
+    write_atomic_raw(path, &to_bytes(g)?)
+}
+
+/// Loads an artifact from disk into a validated lowered graph.
+///
+/// # Errors
+///
+/// I/O, container, and validation failures.
+pub fn load_graph(path: &Path) -> Result<Graph> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+/// Loads an artifact from disk and builds the runnable model (the hot
+/// path for `edd serve --artifacts`).
+///
+/// # Errors
+///
+/// Everything [`load_graph`] rejects, plus executable-model validation
+/// (e.g. the output not being logits).
+pub fn load(path: &Path) -> Result<CompiledModel> {
+    CompiledModel::from_graph(load_graph(path)?).map_err(|e| corrupt(e.to_string()))
+}
+
+fn dim(v: u64) -> Result<usize> {
+    usize::try_from(v).map_err(|_| corrupt(format!("value {v} exceeds the address space")))
+}
+
+// Op tags. Stable on-disk identifiers — append, never renumber.
+const TAG_INPUT: u8 = 0;
+const TAG_QUANTIZE: u8 = 1;
+const TAG_QCONV: u8 = 2;
+const TAG_QDWCONV: u8 = 3;
+const TAG_QRELU6: u8 = 4;
+const TAG_QADD: u8 = 5;
+const TAG_QGAP: u8 = 6;
+const TAG_QLINEAR: u8 = 7;
+
+fn encode_op(w: &mut ByteWriter, op: &Op) -> Result<()> {
+    match op {
+        Op::Input => w.put_u8(TAG_INPUT),
+        Op::Quantize { scale } => {
+            w.put_u8(TAG_QUANTIZE);
+            w.put_f32(*scale);
+        }
+        Op::QConv(s) => {
+            w.put_u8(TAG_QCONV);
+            encode_weights(w, &s.weights);
+            w.put_i32_slice(&s.bias_q);
+            encode_requants(w, &s.requant);
+            for d in [s.in_channels, s.out_channels, s.kernel, s.stride, s.padding] {
+                w.put_u64(d as u64);
+            }
+            w.put_f32(s.in_scale);
+            w.put_f32(s.out_scale);
+            w.put_i32(s.lo);
+            w.put_i32(s.hi);
+            w.put_u8(u8::from(s.direct));
+        }
+        Op::QDwConv(s) => {
+            w.put_u8(TAG_QDWCONV);
+            encode_weights(w, &s.weights);
+            w.put_i32_slice(&s.bias_q);
+            encode_requants(w, &s.requant);
+            for d in [s.channels, s.kernel, s.stride, s.padding] {
+                w.put_u64(d as u64);
+            }
+            w.put_f32(s.in_scale);
+            w.put_f32(s.out_scale);
+            w.put_i32(s.lo);
+            w.put_i32(s.hi);
+        }
+        Op::QRelu6 { hi } => {
+            w.put_u8(TAG_QRELU6);
+            w.put_u8(*hi as u8);
+        }
+        Op::QAdd(a) => {
+            w.put_u8(TAG_QADD);
+            let flags = u8::from(a.rq_a.is_some()) | (u8::from(a.rq_b.is_some()) << 1);
+            w.put_u8(flags);
+            for rq in [&a.rq_a, &a.rq_b].into_iter().flatten() {
+                w.put_i32(rq.mult);
+                w.put_i32(rq.shift);
+            }
+            w.put_f32(a.out_scale);
+        }
+        Op::QGlobalAvgPool => w.put_u8(TAG_QGAP),
+        Op::QLinear(s) => {
+            w.put_u8(TAG_QLINEAR);
+            encode_weights(w, &s.weights);
+            w.put_f32_slice(&s.bias);
+            w.put_f32_slice(&s.w_scales);
+            w.put_u64(s.in_features as u64);
+            w.put_u64(s.out_features as u64);
+            w.put_f32(s.in_scale);
+        }
+        float => {
+            return Err(corrupt(format!(
+                "float op `{}` cannot be serialized; lower the graph first",
+                float.mnemonic()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn decode_op(r: &mut ByteReader<'_>, id: usize) -> Result<Op> {
+    let tag = r.get_u8()?;
+    let op = match tag {
+        TAG_INPUT => Op::Input,
+        TAG_QUANTIZE => Op::Quantize {
+            scale: r.get_f32()?,
+        },
+        TAG_QCONV => {
+            let weights = decode_weights(r)?;
+            let bias_q = r.get_i32_vec()?;
+            let requant = decode_requants(r)?;
+            let (in_channels, out_channels, kernel, stride, padding) = (
+                dim(r.get_u64()?)?,
+                dim(r.get_u64()?)?,
+                dim(r.get_u64()?)?,
+                dim(r.get_u64()?)?,
+                dim(r.get_u64()?)?,
+            );
+            let spec = QConvSpec {
+                weights,
+                bias_q,
+                requant,
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                in_scale: r.get_f32()?,
+                out_scale: r.get_f32()?,
+                lo: r.get_i32()?,
+                hi: r.get_i32()?,
+                direct: r.get_u8()? != 0,
+            };
+            check(
+                spec.weights.len()
+                    == spec.out_channels * spec.in_channels * spec.kernel * spec.kernel
+                    && spec.bias_q.len() == spec.out_channels
+                    && spec.requant.len() == spec.out_channels
+                    && spec.kernel > 0
+                    && spec.stride > 0
+                    && spec.lo <= spec.hi,
+                id,
+                "qconv",
+            )?;
+            Op::QConv(Box::new(spec))
+        }
+        TAG_QDWCONV => {
+            let weights = decode_weights(r)?;
+            let bias_q = r.get_i32_vec()?;
+            let requant = decode_requants(r)?;
+            let (channels, kernel, stride, padding) = (
+                dim(r.get_u64()?)?,
+                dim(r.get_u64()?)?,
+                dim(r.get_u64()?)?,
+                dim(r.get_u64()?)?,
+            );
+            let spec = QDwConvSpec {
+                weights,
+                bias_q,
+                requant,
+                channels,
+                kernel,
+                stride,
+                padding,
+                in_scale: r.get_f32()?,
+                out_scale: r.get_f32()?,
+                lo: r.get_i32()?,
+                hi: r.get_i32()?,
+            };
+            check(
+                spec.weights.len() == spec.channels * spec.kernel * spec.kernel
+                    && spec.bias_q.len() == spec.channels
+                    && spec.requant.len() == spec.channels
+                    && spec.kernel > 0
+                    && spec.stride > 0
+                    && spec.lo <= spec.hi,
+                id,
+                "qdwconv",
+            )?;
+            Op::QDwConv(Box::new(spec))
+        }
+        TAG_QRELU6 => {
+            let hi = r.get_u8()?;
+            check(i32::from(hi) <= ACT_QMAX, id, "qrelu6")?;
+            Op::QRelu6 { hi: hi as i8 }
+        }
+        TAG_QADD => {
+            let flags = r.get_u8()?;
+            check(flags <= 0b11, id, "qadd")?;
+            let mut get_rq = |present: bool| -> Result<Option<Requant>> {
+                if !present {
+                    return Ok(None);
+                }
+                Ok(Some(Requant {
+                    mult: r.get_i32()?,
+                    shift: r.get_i32()?,
+                }))
+            };
+            let rq_a = get_rq(flags & 1 != 0)?;
+            let rq_b = get_rq(flags & 2 != 0)?;
+            Op::QAdd(Box::new(QAddOp {
+                rq_a,
+                rq_b,
+                out_scale: r.get_f32()?,
+            }))
+        }
+        TAG_QGAP => Op::QGlobalAvgPool,
+        TAG_QLINEAR => {
+            let weights = decode_weights(r)?;
+            let bias = r.get_f32_vec()?;
+            let w_scales = r.get_f32_vec()?;
+            let spec = QLinearSpec {
+                weights,
+                bias,
+                w_scales,
+                in_features: dim(r.get_u64()?)?,
+                out_features: dim(r.get_u64()?)?,
+                in_scale: r.get_f32()?,
+            };
+            check(
+                spec.weights.len() == spec.in_features * spec.out_features
+                    && spec.bias.len() == spec.out_features
+                    && spec.w_scales.len() == spec.out_features,
+                id,
+                "qlinear",
+            )?;
+            Op::QLinear(Box::new(spec))
+        }
+        other => return Err(corrupt(format!("node {id}: unknown op tag {other}"))),
+    };
+    Ok(op)
+}
+
+fn check(ok: bool, id: usize, what: &str) -> Result<()> {
+    if ok {
+        Ok(())
+    } else {
+        Err(corrupt(format!(
+            "node {id}: {what} spec is inconsistent with its geometry"
+        )))
+    }
+}
+
+const WEIGHTS_INT8: u8 = 0;
+const WEIGHTS_INT4: u8 = 1;
+
+fn encode_weights(w: &mut ByteWriter, q: &QWeights) {
+    match q {
+        QWeights::Int8(v) => {
+            w.put_u8(WEIGHTS_INT8);
+            w.put_i8_slice(v);
+        }
+        QWeights::Int4 { packed, len } => {
+            w.put_u8(WEIGHTS_INT4);
+            w.put_u64(*len as u64);
+            w.put_bytes(packed);
+        }
+    }
+}
+
+fn decode_weights(r: &mut ByteReader<'_>) -> Result<QWeights> {
+    match r.get_u8()? {
+        WEIGHTS_INT8 => Ok(QWeights::Int8(r.get_i8_vec()?)),
+        WEIGHTS_INT4 => {
+            let len = dim(r.get_u64()?)?;
+            let packed = r.get_bytes()?;
+            if packed.len() != len.div_ceil(2) {
+                return Err(corrupt(format!(
+                    "int4 weights: {len} nibbles need {} bytes, found {}",
+                    len.div_ceil(2),
+                    packed.len()
+                )));
+            }
+            Ok(QWeights::Int4 { packed, len })
+        }
+        other => Err(corrupt(format!("unknown weight storage tag {other}"))),
+    }
+}
+
+fn encode_requants(w: &mut ByteWriter, rqs: &[Requant]) {
+    w.put_u64(rqs.len() as u64);
+    for rq in rqs {
+        w.put_i32(rq.mult);
+        w.put_i32(rq.shift);
+    }
+}
+
+fn decode_requants(r: &mut ByteReader<'_>) -> Result<Vec<Requant>> {
+    let n = r.get_count(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Requant {
+            mult: r.get_i32()?,
+            shift: r.get_i32()?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ConvOp, LinearOp};
+    use crate::passes::{lower, PassConfig};
+    use edd_runtime::BatchModel;
+
+    /// A lowered graph with every serializable op, via the real pipeline.
+    fn lowered() -> Graph {
+        let mut g = Graph::new(GraphMeta {
+            name: "artifact-test".into(),
+            input_shape: [2, 5, 5],
+            num_classes: 3,
+        });
+        let mut state = 0xDEAD_BEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / f64::from(1u32 << 21) - 16.0) as f32 * 0.03
+        };
+        let add = |g: &mut Graph, name: &str, op: Op, inputs: Vec<usize>, scale: f32, bits| {
+            g.add(Node {
+                name: name.into(),
+                op,
+                inputs,
+                scale: Some(scale),
+                bits,
+            })
+            .unwrap()
+        };
+        let i = add(&mut g, "in", Op::Input, vec![], 0.05, None);
+        // int4 conv exercises the packed-weights encoding.
+        let c1 = add(
+            &mut g,
+            "c1",
+            Op::Conv2d(Box::new(ConvOp {
+                w: (0..4 * 2 * 9).map(|_| next()).collect(),
+                out_channels: 4,
+                in_channels: 2,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                bias: None,
+                relu6: true,
+            })),
+            vec![i],
+            0.04,
+            Some(4),
+        );
+        let c2 = add(
+            &mut g,
+            "c2",
+            Op::Conv2d(Box::new(ConvOp {
+                w: (0..4 * 4).map(|_| next()).collect(),
+                out_channels: 4,
+                in_channels: 4,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+                bias: Some((0..4).map(|_| next()).collect()),
+                relu6: false,
+            })),
+            vec![c1],
+            0.04,
+            Some(8),
+        );
+        let res = add(&mut g, "res", Op::Add, vec![c2, c1], 0.05, None);
+        let p = add(&mut g, "gap", Op::GlobalAvgPool, vec![res], 0.05, None);
+        let fc = add(
+            &mut g,
+            "fc",
+            Op::Linear(Box::new(LinearOp {
+                w: (0..4 * 3).map(|_| next()).collect(),
+                in_features: 4,
+                out_features: 3,
+                bias: vec![0.1, -0.1, 0.0],
+            })),
+            vec![p],
+            0.05,
+            None,
+        );
+        g.set_output(fc).unwrap();
+        lower(&g, &PassConfig::all()).unwrap().0
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let g = lowered();
+        let bytes = to_bytes(&g).unwrap();
+        let g2 = from_bytes(&bytes).unwrap();
+        let bytes2 = to_bytes(&g2).unwrap();
+        assert_eq!(bytes, bytes2, "decode→encode must reproduce the file");
+        assert_eq!(g.len(), g2.len());
+    }
+
+    #[test]
+    fn float_graphs_are_rejected_at_encode() {
+        let mut g = Graph::new(GraphMeta {
+            name: "f".into(),
+            input_shape: [1, 2, 2],
+            num_classes: 1,
+        });
+        let i = g
+            .add(Node {
+                name: "in".into(),
+                op: Op::Input,
+                inputs: vec![],
+                scale: None,
+                bits: None,
+            })
+            .unwrap();
+        g.add(Node {
+            name: "act".into(),
+            op: Op::Relu6,
+            inputs: vec![i],
+            scale: None,
+            bits: None,
+        })
+        .unwrap();
+        let err = to_bytes(&g).unwrap_err().to_string();
+        assert!(err.contains("relu6"), "{err}");
+    }
+
+    #[test]
+    fn wrong_magic_and_truncation_are_rejected() {
+        let bytes = to_bytes(&lowered()).unwrap();
+        assert!(from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(from_bytes(&bytes[..10]).is_err());
+        assert!(from_bytes(&[]).is_err());
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xFF;
+        assert!(from_bytes(&wrong).is_err());
+        // A training snapshot's container must not parse as a model.
+        let snap = edd_runtime::snapshot::encode_container(b"not a model");
+        assert!(from_bytes(&snap).is_err());
+    }
+
+    #[test]
+    fn save_load_executes_identically() {
+        let g = lowered();
+        let dir = std::env::temp_dir().join(format!("edd-ir-artifact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.eddm");
+        save(&path, &g).unwrap();
+        let loaded = load(&path).unwrap();
+        let direct = CompiledModel::from_graph(g).unwrap();
+        let data: Vec<f32> = (0..2 * 2 * 5 * 5)
+            .map(|i| ((i % 17) as f32 - 8.0) * 0.02)
+            .collect();
+        let a = direct.infer_batch(&data, 2).unwrap();
+        let b = loaded.infer_batch(&data, 2).unwrap();
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,47 @@
+//! `edd-ir`: the typed model-graph IR between architecture derivation and
+//! the quantized inference engine.
+//!
+//! The EDD co-search emits a `DerivedArch`; training/calibration attach
+//! weights and activation scales. Previously `edd-core::quantize` lowered
+//! that directly into `edd-nn` quantized layers with special-cased fusion
+//! decisions baked into the lowering code. This crate makes the lowering
+//! a first-class, inspectable pipeline:
+//!
+//! 1. **[`graph`]** — a typed graph of ops (nodes) over tensors (edges),
+//!    each node carrying inferred shape/dtype [`Fact`]s plus the
+//!    frontend's calibration annotations (activation scale, Φ-searched
+//!    weight bits).
+//! 2. **[`patch`]** — passes record rewrites in a [`Patch`] against a
+//!    frozen graph and apply them as a validated batch.
+//! 3. **[`passes`]** — BN folding, ReLU6 fusion, quantize lowering at the
+//!    annotated precisions, 1×1 direct-conv bypass, and dead-branch
+//!    elimination. Every optional pass preserves the quantized output
+//!    bit-for-bit (see the [`passes`] docs for why), which the test suite
+//!    enforces per pass against the unoptimized lowering.
+//! 4. **[`exec`]** — [`CompiledModel`] runs the lowered graph and
+//!    implements `edd_runtime::BatchModel`, so it serves behind the same
+//!    batching front end as a directly compiled `QuantizedModel`.
+//! 5. **[`artifact`]** — a versioned, CRC-checked binary format (the
+//!    snapshot container with an artifact magic) storing tensors as raw
+//!    bits; `edd compile` writes artifacts, `edd serve` hot-loads them.
+//!
+//! The crate deliberately knows nothing about search, training, or
+//! calibration — `edd-core` builds annotated float graphs out of its
+//! models (`edd_core::lower`), and everything downstream of that is pure
+//! graph transformation.
+
+pub mod artifact;
+pub mod exec;
+pub mod graph;
+pub mod passes;
+pub mod patch;
+
+pub use exec::CompiledModel;
+pub use graph::{
+    BatchNormOp, ConvOp, DType, DwConvOp, Fact, Graph, GraphMeta, LinearOp, Node, Op, QAddOp,
+};
+pub use passes::{
+    bn_fold_pass, bypass_1x1_pass, compile, lower, lower_quantized, relu6_fuse_pass, PassConfig,
+    PassReport, PASS_NAMES,
+};
+pub use patch::Patch;

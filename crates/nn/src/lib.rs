@@ -47,8 +47,9 @@ pub use linear::Linear;
 pub use mbconv::{MbConv, SepConv};
 pub use module::{maybe_quantize, resolve_range, Module, QuantSpec, QuantizableModule};
 pub use qlayers::{
-    bn_fold_factors, q_global_avg_pool, MbConvScales, QConv2d, QDwConv2d, QLinear, QMbConv,
-    QTensor, QWeights,
+    bn_fold_factors, clamp_bounds, fold_bn, q_global_avg_pool, MbConvScales, QConv2d, QConvSource,
+    QConvSpec, QDwConv2d, QDwConvSource, QDwConvSpec, QLinear, QLinearSpec, QMbConv, QTensor,
+    QWeights, ACT_QMAX,
 };
 pub use se::SqueezeExcite;
 pub use sequential::{Activation, AvgPool2d, Flatten, GlobalAvgPool, MaxPool2d, Sequential};

@@ -28,7 +28,7 @@ use crate::mbconv::MbConv;
 use edd_tensor::kernel::{pack, pool, select};
 use edd_tensor::qkernel::{
     self, pack_i4, qdw_plane_into, qim2col_into, qmatmul_into, qmatmul_prepacked_into,
-    quantize_i8_into, requantize_rows_into, Requant,
+    quantize_i8_into, requantize_rows_into, unpack_i4_into, Requant,
 };
 use edd_tensor::{scratch, stats, Array, Conv2dGeometry, Result, TensorError};
 
@@ -148,6 +148,21 @@ impl QWeights {
             QWeights::Int4 { packed, .. } => packed.len(),
         }
     }
+
+    /// Materializes the dense int8 view (unpacking int4 nibbles). Values
+    /// round-trip exactly: quantized weights fit `[-qmax(bits), qmax(bits)]`
+    /// before packing, so sign-extended nibbles reproduce them bit-for-bit.
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<i8> {
+        match self {
+            QWeights::Int8(q) => q.clone(),
+            QWeights::Int4 { packed, len } => {
+                let mut out = vec![0i8; *len];
+                unpack_i4_into(&mut out, packed);
+                out
+            }
+        }
+    }
 }
 
 /// Shares a raw mutable base pointer between the two tasks of the
@@ -244,8 +259,10 @@ pub fn bn_fold_factors(bn: &BatchNorm2d) -> (Vec<f32>, Vec<f32>) {
 
 /// Output clamp bounds for a requantizing layer: `[0, round(6/s_out)]`
 /// capped at the int8 range when ReLU6 is fused, the full symmetric range
-/// otherwise.
-fn clamp_bounds(relu6: bool, out_scale: f32) -> (i32, i32) {
+/// otherwise. Public so graph-level lowerings (`edd-ir`) compute the exact
+/// clamp this module would fuse.
+#[must_use]
+pub fn clamp_bounds(relu6: bool, out_scale: f32) -> (i32, i32) {
     if relu6 {
         let q6 = (6.0 / out_scale).round() as i32;
         (0, q6.clamp(0, ACT_QMAX))
@@ -254,12 +271,165 @@ fn clamp_bounds(relu6: bool, out_scale: f32) -> (i32, i32) {
     }
 }
 
+/// Folds per-channel batch-norm factors `(mul, add)` into a `[rows, cols]`
+/// weight matrix and its bias, in place: `w[o,:] *= mul[o]`,
+/// `b[o] = b[o]·mul[o] + add[o]`. Shared by the layer compilers below and
+/// the `edd-ir` BN-folding pass, so both paths produce bit-identical folded
+/// floats (and therefore bit-identical quantized specs).
+///
+/// # Panics
+///
+/// Panics when the factor vectors do not have one entry per row.
+pub fn fold_bn(w: &mut [f32], bias: &mut [f32], mul: &[f32], add: &[f32], cols: usize) {
+    assert_eq!(mul.len(), bias.len(), "fold_bn: factor/bias mismatch");
+    assert_eq!(add.len(), bias.len(), "fold_bn: factor/bias mismatch");
+    assert_eq!(w.len(), bias.len() * cols, "fold_bn: weight shape mismatch");
+    for (o, &m) in mul.iter().enumerate() {
+        for v in &mut w[o * cols..(o + 1) * cols] {
+            *v *= m;
+        }
+        bias[o] = bias[o] * m + add[o];
+    }
+}
+
+/// Borrowed float-domain source of one convolution for [`QConvSpec::quantize`]:
+/// raw OIHW weights, optional bias, optional pre-computed BN fold factors.
+#[derive(Debug, Clone, Copy)]
+pub struct QConvSource<'a> {
+    /// Row-major OIHW weights, `out_channels · in_channels · kernel²` long.
+    pub w: &'a [f32],
+    /// Output channels.
+    pub out_channels: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: usize,
+    /// Optional per-output-channel bias.
+    pub bias: Option<&'a [f32]>,
+    /// Optional `(mul, add)` batch-norm fold factors (see
+    /// [`bn_fold_factors`]) to fold before quantizing.
+    pub bn: Option<(&'a [f32], &'a [f32])>,
+}
+
+/// The plain-data compiled form of a quantized convolution: everything
+/// [`QConv2d`] needs except the microkernel-native weight cache, which
+/// [`QConv2d::from_spec`] rebuilds. This is what the `edd-ir` artifact
+/// format serializes — a spec round-trips losslessly (all-integer fields
+/// plus IEEE-754 bit patterns), so a hot-loaded layer is bit-identical to
+/// the one compiled in process.
+#[derive(Debug, Clone)]
+pub struct QConvSpec {
+    /// Quantized per-output-channel weights (model storage form).
+    pub weights: QWeights,
+    /// Bias pre-quantized into the i32 accumulator domain.
+    pub bias_q: Vec<i32>,
+    /// Per-output-channel fixed-point requantizers.
+    pub requant: Vec<Requant>,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: usize,
+    /// Calibrated input activation scale.
+    pub in_scale: f32,
+    /// Calibrated output activation scale.
+    pub out_scale: f32,
+    /// Lower requantization clamp bound.
+    pub lo: i32,
+    /// Upper requantization clamp bound (ReLU6 fusion lands here).
+    pub hi: i32,
+    /// Skip im2col and read the image as the column matrix directly. Only
+    /// meaningful (and only honored) for 1×1 stride-1 pad-0 convolutions;
+    /// the `edd-ir` bypass pass flips this on lowered graphs.
+    pub direct: bool,
+}
+
+impl QConvSpec {
+    /// Quantizes a float convolution (with BN factors already extracted)
+    /// into its compiled spec. `bits` is the Φ-searched weight precision
+    /// (≤ 4 packs int4; the engine ceiling is 8), `in_scale`/`out_scale`
+    /// are the calibrated activation scales on either side, `relu6` fuses
+    /// the activation clamp, and `direct` requests the 1×1 im2col bypass.
+    ///
+    /// Both the direct [`QConv2d::compile`] path and the `edd-ir` quantize
+    /// lowering funnel through this function, so their specs are
+    /// bit-identical by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if weight/bias/BN lengths disagree with the geometry.
+    #[must_use]
+    pub fn quantize(
+        src: &QConvSource<'_>,
+        bits: u32,
+        in_scale: f32,
+        out_scale: f32,
+        relu6: bool,
+        direct: bool,
+    ) -> Self {
+        let (out_c, in_c, k) = (src.out_channels, src.in_channels, src.kernel);
+        let cols = in_c * k * k;
+        assert_eq!(src.w.len(), out_c * cols, "QConvSpec: weight shape");
+        let mut folded = src.w.to_vec();
+        let mut bias = src
+            .bias
+            .map_or_else(|| vec![0.0f32; out_c], <[f32]>::to_vec);
+        if let Some((mul, add)) = src.bn {
+            assert_eq!(mul.len(), out_c, "QConvSpec: BN channel mismatch");
+            fold_bn(&mut folded, &mut bias, mul, add, cols);
+        }
+        let (q, w_scales) = quantize_per_row(&folded, out_c, cols, bits);
+        let requant: Vec<Requant> = w_scales
+            .iter()
+            .map(|&sw| {
+                Requant::from_scale(f64::from(in_scale) * f64::from(sw) / f64::from(out_scale))
+            })
+            .collect();
+        let bias_q: Vec<i32> = bias
+            .iter()
+            .zip(&w_scales)
+            .map(|(&b, &sw)| (f64::from(b) / (f64::from(in_scale) * f64::from(sw))).round() as i32)
+            .collect();
+        let (lo, hi) = clamp_bounds(relu6, out_scale);
+        QConvSpec {
+            weights: QWeights::new(q, bits),
+            bias_q,
+            requant,
+            in_channels: in_c,
+            out_channels: out_c,
+            kernel: k,
+            stride: src.stride,
+            padding: src.padding,
+            in_scale,
+            out_scale,
+            lo,
+            hi,
+            direct,
+        }
+    }
+
+    /// True when the geometry admits the 1×1 im2col bypass.
+    #[must_use]
+    pub fn direct_eligible(&self) -> bool {
+        self.kernel == 1 && self.stride == 1 && self.padding == 0
+    }
+}
+
 /// A compiled quantized 2-D convolution: BN-folded, per-output-channel
 /// quantized weights, integer im2col + GEMM execution, fixed-point
 /// requantization with an optionally fused ReLU6 clamp.
 #[derive(Debug)]
 pub struct QConv2d {
-    weights: QWeights,
+    spec: QConvSpec,
     /// Execution form of the weights, built once at compile time: dense
     /// rows zero-padded to the microkernel's k-group of 4 (`[out_c, k4]`).
     /// This is exactly the prepacked-LHS layout of
@@ -267,17 +437,6 @@ pub struct QConv2d {
     /// generic kernel at `k = k4` (padded taps multiply zero-padded column
     /// rows), so both selector modes read the same cached panel.
     wq_k4: Vec<i8>,
-    bias_q: Vec<i32>,
-    requant: Vec<Requant>,
-    in_channels: usize,
-    out_channels: usize,
-    kernel: usize,
-    stride: usize,
-    padding: usize,
-    in_scale: f32,
-    out_scale: f32,
-    lo: i32,
-    hi: i32,
 }
 
 impl QConv2d {
@@ -304,58 +463,54 @@ impl QConv2d {
         let w = conv.weight().value();
         let shape = w.shape().to_vec();
         let (out_c, in_c, k) = (shape[0], shape[1], shape[2]);
-        let cols = in_c * k * k;
-        let mut folded = w.data().to_vec();
-        let mut bias = conv
-            .bias()
-            .map_or_else(|| vec![0.0f32; out_c], |b| b.value().data().to_vec());
-        if let Some(bn) = bn {
-            let (mul, add) = bn_fold_factors(bn);
-            assert_eq!(mul.len(), out_c, "QConv2d::compile: BN channel mismatch");
-            for (o, &m) in mul.iter().enumerate() {
-                for v in &mut folded[o * cols..(o + 1) * cols] {
-                    *v *= m;
-                }
-                bias[o] = bias[o] * m + add[o];
-            }
-        }
-        let (q, w_scales) = quantize_per_row(&folded, out_c, cols, bits);
-        let requant: Vec<Requant> = w_scales
-            .iter()
-            .map(|&sw| {
-                Requant::from_scale(f64::from(in_scale) * f64::from(sw) / f64::from(out_scale))
-            })
-            .collect();
-        let bias_q: Vec<i32> = bias
-            .iter()
-            .zip(&w_scales)
-            .map(|(&b, &sw)| (f64::from(b) / (f64::from(in_scale) * f64::from(sw))).round() as i32)
-            .collect();
-        let (lo, hi) = clamp_bounds(relu6, out_scale);
-        let mut wq_k4 = vec![0i8; pack::packed_lhs_len(out_c, cols)];
-        pack::pack_lhs_i8(&mut wq_k4, &q, out_c, cols);
-        stats::record_pack_panel_built();
-        QConv2d {
-            weights: QWeights::new(q, bits),
-            wq_k4,
-            bias_q,
-            requant,
-            in_channels: in_c,
-            out_channels: out_c,
-            kernel: k,
-            stride: conv.stride(),
-            padding: conv.padding(),
+        let bias = conv.bias().map(|b| b.value().data().to_vec());
+        let fold = bn.map(bn_fold_factors);
+        let direct = k == 1 && conv.stride() == 1 && conv.padding() == 0;
+        let spec = QConvSpec::quantize(
+            &QConvSource {
+                w: w.data(),
+                out_channels: out_c,
+                in_channels: in_c,
+                kernel: k,
+                stride: conv.stride(),
+                padding: conv.padding(),
+                bias: bias.as_deref(),
+                bn: fold.as_ref().map(|(m, a)| (m.as_slice(), a.as_slice())),
+            },
+            bits,
             in_scale,
             out_scale,
-            lo,
-            hi,
-        }
+            relu6,
+            direct,
+        );
+        Self::from_spec(spec)
+    }
+
+    /// Builds the executable layer from a compiled spec (e.g. one decoded
+    /// from an `edd-ir` artifact), rebuilding the microkernel-native weight
+    /// panel. An ineligible `direct` request is quietly dropped rather than
+    /// trusted.
+    #[must_use]
+    pub fn from_spec(mut spec: QConvSpec) -> Self {
+        spec.direct &= spec.direct_eligible();
+        let cols = spec.in_channels * spec.kernel * spec.kernel;
+        let q = spec.weights.to_dense();
+        let mut wq_k4 = vec![0i8; pack::packed_lhs_len(spec.out_channels, cols)];
+        pack::pack_lhs_i8(&mut wq_k4, &q, spec.out_channels, cols);
+        stats::record_pack_panel_built();
+        QConv2d { spec, wq_k4 }
+    }
+
+    /// The plain-data compiled form of this layer.
+    #[must_use]
+    pub fn spec(&self) -> &QConvSpec {
+        &self.spec
     }
 
     /// Bytes of quantized weight storage.
     #[must_use]
     pub fn weight_bytes(&self) -> usize {
-        self.weights.storage_bytes()
+        self.spec.weights.storage_bytes()
     }
 
     /// Runs the quantized convolution on an NCHW [`QTensor`].
@@ -365,34 +520,37 @@ impl QConv2d {
     /// Rejects inputs whose shape or scale does not match the compiled
     /// layer.
     pub fn forward(&self, x: &QTensor) -> Result<QTensor> {
-        let [b, c, h, w] = checked_nchw(x, self.in_channels, self.in_scale, "QConv2d")?;
+        let sp = &self.spec;
+        let [b, c, h, w] = checked_nchw(x, sp.in_channels, sp.in_scale, "QConv2d")?;
         let geom = Conv2dGeometry {
             in_channels: c,
             in_h: h,
             in_w: w,
-            kernel: self.kernel,
-            stride: self.stride,
-            padding: self.padding,
+            kernel: sp.kernel,
+            stride: sp.stride,
+            padding: sp.padding,
         };
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let plane = oh * ow;
-        let ckk = c * self.kernel * self.kernel;
-        let row_len = self.out_channels * plane;
+        let ckk = c * sp.kernel * sp.kernel;
+        let row_len = sp.out_channels * plane;
         let mut out = vec![0i8; b * row_len];
         let mut acc = scratch::alloc_i32(row_len);
         // 1×1 stride-1 convolutions read the image as the column matrix
-        // directly (the expand/project/head case).
-        let direct = self.kernel == 1 && self.stride == 1 && self.padding == 0;
+        // directly (the expand/project/head case). The compile path sets
+        // the flag for every eligible shape; graph-lowered specs only carry
+        // it once the bypass pass has run.
+        let direct = sp.direct;
         let img = c * h * w;
-        if select::select_class(self.out_channels, plane, true).is_some() {
+        if select::select_class(sp.out_channels, plane, true).is_some() {
             self.forward_prepacked(x, &mut out, &mut acc, &geom, ckk, plane, direct, b, img);
         } else {
             self.forward_generic(x, &mut out, &mut acc, &geom, ckk, plane, direct, b, img);
         }
         Ok(QTensor {
             data: out,
-            shape: vec![b, self.out_channels, oh, ow],
-            scale: self.out_scale,
+            shape: vec![b, sp.out_channels, oh, ow],
+            scale: sp.out_scale,
         })
     }
 
@@ -414,7 +572,8 @@ impl QConv2d {
         b: usize,
         img: usize,
     ) {
-        let row_len = self.out_channels * plane;
+        let sp = &self.spec;
+        let row_len = sp.out_channels * plane;
         let panels_len = pack::packed_rhs_len(ckk, plane);
         let pipeline = b > 1 && pool::num_threads() > 1;
         let mut pan_cur = scratch::alloc_i8(panels_len);
@@ -422,9 +581,9 @@ impl QConv2d {
         let mut cols = (!direct).then(|| scratch::alloc_i8(ckk * plane));
         let run_gemm = |acc: &mut [i32], out_row: &mut [i8], panels: &[i8]| {
             stats::record_pack_panel_hit();
-            qmatmul_prepacked_into(acc, &self.wq_k4, panels, self.out_channels, ckk, plane);
-            add_bias_rows(acc, &self.bias_q, plane);
-            requantize_rows_into(out_row, acc, &self.requant, plane, self.lo, self.hi);
+            qmatmul_prepacked_into(acc, &self.wq_k4, panels, sp.out_channels, ckk, plane);
+            add_bias_rows(acc, &sp.bias_q, plane);
+            requantize_rows_into(out_row, acc, &sp.requant, plane, sp.lo, sp.hi);
         };
         if b > 0 {
             pack_image_panels(
@@ -508,7 +667,8 @@ impl QConv2d {
         b: usize,
         img: usize,
     ) {
-        let row_len = self.out_channels * plane;
+        let sp = &self.spec;
+        let row_len = sp.out_channels * plane;
         let k4 = pack::padded_k(ckk);
         let mut cols_k4 = (!direct || k4 != ckk).then(|| {
             let mut cols = scratch::alloc_i8(k4 * plane);
@@ -528,16 +688,117 @@ impl QConv2d {
                     cols
                 }
             };
-            qmatmul_into(acc, &self.wq_k4, colref, self.out_channels, k4, plane);
-            add_bias_rows(acc, &self.bias_q, plane);
+            qmatmul_into(acc, &self.wq_k4, colref, sp.out_channels, k4, plane);
+            add_bias_rows(acc, &sp.bias_q, plane);
             requantize_rows_into(
                 &mut out[i * row_len..(i + 1) * row_len],
                 acc,
-                &self.requant,
+                &sp.requant,
                 plane,
-                self.lo,
-                self.hi,
+                sp.lo,
+                sp.hi,
             );
+        }
+    }
+}
+
+/// Borrowed float-domain source of one depthwise convolution for
+/// [`QDwConvSpec::quantize`].
+#[derive(Debug, Clone, Copy)]
+pub struct QDwConvSource<'a> {
+    /// Row-major `[channels, kernel, kernel]` weights.
+    pub w: &'a [f32],
+    /// Channel count (depthwise: groups == channels).
+    pub channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: usize,
+    /// Optional per-channel bias.
+    pub bias: Option<&'a [f32]>,
+    /// Optional `(mul, add)` batch-norm fold factors.
+    pub bn: Option<(&'a [f32], &'a [f32])>,
+}
+
+/// The plain-data compiled form of a quantized depthwise convolution (see
+/// [`QConvSpec`] for the spec/cache split rationale).
+#[derive(Debug, Clone)]
+pub struct QDwConvSpec {
+    /// Quantized per-channel weights (model storage form).
+    pub weights: QWeights,
+    /// Bias pre-quantized into the i32 accumulator domain.
+    pub bias_q: Vec<i32>,
+    /// Per-channel fixed-point requantizers.
+    pub requant: Vec<Requant>,
+    /// Channel count.
+    pub channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: usize,
+    /// Calibrated input activation scale.
+    pub in_scale: f32,
+    /// Calibrated output activation scale.
+    pub out_scale: f32,
+    /// Lower requantization clamp bound.
+    pub lo: i32,
+    /// Upper requantization clamp bound.
+    pub hi: i32,
+}
+
+impl QDwConvSpec {
+    /// Quantizes a float depthwise convolution into its compiled spec.
+    /// Parameters mirror [`QConvSpec::quantize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if weight/bias/BN lengths disagree with the geometry.
+    #[must_use]
+    pub fn quantize(
+        src: &QDwConvSource<'_>,
+        bits: u32,
+        in_scale: f32,
+        out_scale: f32,
+        relu6: bool,
+    ) -> Self {
+        let (ch, k) = (src.channels, src.kernel);
+        let taps = k * k;
+        assert_eq!(src.w.len(), ch * taps, "QDwConvSpec: weight shape");
+        let mut folded = src.w.to_vec();
+        let mut bias = src.bias.map_or_else(|| vec![0.0f32; ch], <[f32]>::to_vec);
+        if let Some((mul, add)) = src.bn {
+            assert_eq!(mul.len(), ch, "QDwConvSpec: BN channel mismatch");
+            fold_bn(&mut folded, &mut bias, mul, add, taps);
+        }
+        let (q, w_scales) = quantize_per_row(&folded, ch, taps, bits);
+        let requant: Vec<Requant> = w_scales
+            .iter()
+            .map(|&sw| {
+                Requant::from_scale(f64::from(in_scale) * f64::from(sw) / f64::from(out_scale))
+            })
+            .collect();
+        let bias_q: Vec<i32> = bias
+            .iter()
+            .zip(&w_scales)
+            .map(|(&b, &sw)| (f64::from(b) / (f64::from(in_scale) * f64::from(sw))).round() as i32)
+            .collect();
+        let (lo, hi) = clamp_bounds(relu6, out_scale);
+        QDwConvSpec {
+            weights: QWeights::new(q, bits),
+            bias_q,
+            requant,
+            channels: ch,
+            kernel: k,
+            stride: src.stride,
+            padding: src.padding,
+            in_scale,
+            out_scale,
+            lo,
+            hi,
         }
     }
 }
@@ -546,20 +807,10 @@ impl QConv2d {
 /// weights, per-channel requantization, fused ReLU6.
 #[derive(Debug)]
 pub struct QDwConv2d {
-    weights: QWeights,
+    spec: QDwConvSpec,
     /// Dense per-channel taps, materialized once at compile time (int4
     /// weights are unpacked here exactly once, not per forward call).
     taps: Vec<i8>,
-    bias_q: Vec<i32>,
-    requant: Vec<Requant>,
-    channels: usize,
-    kernel: usize,
-    stride: usize,
-    padding: usize,
-    in_scale: f32,
-    out_scale: f32,
-    lo: i32,
-    hi: i32,
 }
 
 impl QDwConv2d {
@@ -581,56 +832,45 @@ impl QDwConv2d {
         let w = dw.weight().value();
         let shape = w.shape().to_vec();
         let (ch, k) = (shape[0], shape[1]);
-        let taps = k * k;
-        let mut folded = w.data().to_vec();
-        let mut bias = dw
-            .bias()
-            .map_or_else(|| vec![0.0f32; ch], |b| b.value().data().to_vec());
-        if let Some(bn) = bn {
-            let (mul, add) = bn_fold_factors(bn);
-            assert_eq!(mul.len(), ch, "QDwConv2d::compile: BN channel mismatch");
-            for (o, &m) in mul.iter().enumerate() {
-                for v in &mut folded[o * taps..(o + 1) * taps] {
-                    *v *= m;
-                }
-                bias[o] = bias[o] * m + add[o];
-            }
-        }
-        let (q, w_scales) = quantize_per_row(&folded, ch, taps, bits);
-        let requant: Vec<Requant> = w_scales
-            .iter()
-            .map(|&sw| {
-                Requant::from_scale(f64::from(in_scale) * f64::from(sw) / f64::from(out_scale))
-            })
-            .collect();
-        let bias_q: Vec<i32> = bias
-            .iter()
-            .zip(&w_scales)
-            .map(|(&b, &sw)| (f64::from(b) / (f64::from(in_scale) * f64::from(sw))).round() as i32)
-            .collect();
-        let (lo, hi) = clamp_bounds(relu6, out_scale);
-        let taps_dense = q.clone();
-        stats::record_pack_panel_built();
-        QDwConv2d {
-            weights: QWeights::new(q, bits),
-            taps: taps_dense,
-            bias_q,
-            requant,
-            channels: ch,
-            kernel: k,
-            stride: dw.stride(),
-            padding: dw.padding(),
+        let bias = dw.bias().map(|b| b.value().data().to_vec());
+        let fold = bn.map(bn_fold_factors);
+        let spec = QDwConvSpec::quantize(
+            &QDwConvSource {
+                w: w.data(),
+                channels: ch,
+                kernel: k,
+                stride: dw.stride(),
+                padding: dw.padding(),
+                bias: bias.as_deref(),
+                bn: fold.as_ref().map(|(m, a)| (m.as_slice(), a.as_slice())),
+            },
+            bits,
             in_scale,
             out_scale,
-            lo,
-            hi,
-        }
+            relu6,
+        );
+        Self::from_spec(spec)
+    }
+
+    /// Builds the executable layer from a compiled spec, materializing the
+    /// dense tap cache.
+    #[must_use]
+    pub fn from_spec(spec: QDwConvSpec) -> Self {
+        let taps = spec.weights.to_dense();
+        stats::record_pack_panel_built();
+        QDwConv2d { spec, taps }
+    }
+
+    /// The plain-data compiled form of this layer.
+    #[must_use]
+    pub fn spec(&self) -> &QDwConvSpec {
+        &self.spec
     }
 
     /// Bytes of quantized weight storage.
     #[must_use]
     pub fn weight_bytes(&self) -> usize {
-        self.weights.storage_bytes()
+        self.spec.weights.storage_bytes()
     }
 
     /// Runs the quantized depthwise convolution on an NCHW [`QTensor`].
@@ -640,18 +880,19 @@ impl QDwConv2d {
     /// Rejects inputs whose shape or scale does not match the compiled
     /// layer.
     pub fn forward(&self, x: &QTensor) -> Result<QTensor> {
-        let [b, c, h, w] = checked_nchw(x, self.channels, self.in_scale, "QDwConv2d")?;
+        let sp = &self.spec;
+        let [b, c, h, w] = checked_nchw(x, sp.channels, sp.in_scale, "QDwConv2d")?;
         let geom = Conv2dGeometry {
             in_channels: 1,
             in_h: h,
             in_w: w,
-            kernel: self.kernel,
-            stride: self.stride,
-            padding: self.padding,
+            kernel: sp.kernel,
+            stride: sp.stride,
+            padding: sp.padding,
         };
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let plane = oh * ow;
-        let taps = self.kernel * self.kernel;
+        let taps = sp.kernel * sp.kernel;
         let mut out = vec![0i8; b * c * plane];
         // Accumulate every channel of one image, then requantize all rows
         // in a single vectorized pass (one row per channel).
@@ -666,21 +907,80 @@ impl QDwConv2d {
                     &geom,
                 );
             }
-            add_bias_rows(&mut acc, &self.bias_q, plane);
+            add_bias_rows(&mut acc, &sp.bias_q, plane);
             requantize_rows_into(
                 &mut out[i * c * plane..(i + 1) * c * plane],
                 &acc,
-                &self.requant,
+                &sp.requant,
                 plane,
-                self.lo,
-                self.hi,
+                sp.lo,
+                sp.hi,
             );
         }
         Ok(QTensor {
             data: out,
             shape: vec![b, c, oh, ow],
-            scale: self.out_scale,
+            scale: sp.out_scale,
         })
+    }
+}
+
+/// The plain-data compiled form of a quantized linear classifier head (see
+/// [`QConvSpec`] for the spec/cache split rationale).
+#[derive(Debug, Clone)]
+pub struct QLinearSpec {
+    /// Quantized `[in, out]` weights (model storage form).
+    pub weights: QWeights,
+    /// Float bias, added after dequantization.
+    pub bias: Vec<f32>,
+    /// Per-output-channel weight scales (columns of the `[in, out]` weight).
+    pub w_scales: Vec<f32>,
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+    /// Calibrated input activation scale.
+    pub in_scale: f32,
+}
+
+impl QLinearSpec {
+    /// Quantizes a float `[in, out]` linear layer at `bits` weight
+    /// precision with per-output-channel scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if weight/bias lengths disagree with the geometry.
+    #[must_use]
+    pub fn quantize(
+        w: &[f32],
+        in_f: usize,
+        out_f: usize,
+        bias: &[f32],
+        bits: u32,
+        in_scale: f32,
+    ) -> Self {
+        assert_eq!(w.len(), in_f * out_f, "QLinearSpec: weight shape");
+        assert_eq!(bias.len(), out_f, "QLinearSpec: bias shape");
+        let qm = qkernel::qmax(bits);
+        // Column-major scales: output channel o reads column o.
+        let mut w_scales = Vec::with_capacity(out_f);
+        for o in 0..out_f {
+            let mx = (0..in_f).fold(0.0f32, |m, i| m.max(w[i * out_f + o].abs()));
+            w_scales.push(qkernel::scale_for(mx, bits));
+        }
+        let mut q = vec![0i8; w.len()];
+        for (i, (&v, d)) in w.iter().zip(q.iter_mut()).enumerate() {
+            let s = w_scales[i % out_f];
+            *d = ((v / s).round() as i32).clamp(-qm, qm) as i8;
+        }
+        QLinearSpec {
+            weights: QWeights::new(q, bits),
+            bias: bias.to_vec(),
+            w_scales,
+            in_features: in_f,
+            out_features: out_f,
+            in_scale,
+        }
     }
 }
 
@@ -689,18 +989,13 @@ impl QDwConv2d {
 /// values).
 #[derive(Debug)]
 pub struct QLinear {
-    weights: QWeights,
+    spec: QLinearSpec,
     /// Cached microkernel-native B-panels of the `[in, out]` weight,
     /// packed once at compile time for the prepacked maddubs qGEMM.
     panels: Vec<i8>,
     /// Dense weight rows zero-padded to `k4 = padded_k(in_features)` rows,
     /// for the `EDD_GEMM=generic` leg (pairs with k4-padded activations).
     wq_rows_k4: Vec<i8>,
-    bias: Vec<f32>,
-    w_scales: Vec<f32>,
-    in_features: usize,
-    out_features: usize,
-    in_scale: f32,
 }
 
 impl QLinear {
@@ -711,40 +1006,45 @@ impl QLinear {
         let w = lin.weight().value();
         let shape = w.shape().to_vec();
         let (in_f, out_f) = (shape[0], shape[1]);
-        let qm = qkernel::qmax(bits);
-        // Column-major scales: output channel o reads column o.
-        let data = w.data();
-        let mut w_scales = Vec::with_capacity(out_f);
-        for o in 0..out_f {
-            let mx = (0..in_f).fold(0.0f32, |m, i| m.max(data[i * out_f + o].abs()));
-            w_scales.push(qkernel::scale_for(mx, bits));
-        }
-        let mut q = vec![0i8; data.len()];
-        for (i, (&v, d)) in data.iter().zip(q.iter_mut()).enumerate() {
-            let s = w_scales[i % out_f];
-            *d = ((v / s).round() as i32).clamp(-qm, qm) as i8;
-        }
+        let spec = QLinearSpec::quantize(
+            w.data(),
+            in_f,
+            out_f,
+            lin.bias().value().data(),
+            bits,
+            in_scale,
+        );
+        Self::from_spec(spec)
+    }
+
+    /// Builds the executable layer from a compiled spec, rebuilding both
+    /// GEMM-mode weight caches.
+    #[must_use]
+    pub fn from_spec(spec: QLinearSpec) -> Self {
+        let (in_f, out_f) = (spec.in_features, spec.out_features);
+        let q = spec.weights.to_dense();
         let mut panels = vec![0i8; pack::packed_rhs_len(in_f, out_f)];
         pack::pack_rhs_i8(&mut panels, &q, in_f, out_f);
         let mut wq_rows_k4 = vec![0i8; pack::padded_k(in_f) * out_f];
         wq_rows_k4[..in_f * out_f].copy_from_slice(&q);
         stats::record_pack_panel_built();
         QLinear {
-            weights: QWeights::new(q, bits),
+            spec,
             panels,
             wq_rows_k4,
-            bias: lin.bias().value().data().to_vec(),
-            w_scales,
-            in_features: in_f,
-            out_features: out_f,
-            in_scale,
         }
+    }
+
+    /// The plain-data compiled form of this layer.
+    #[must_use]
+    pub fn spec(&self) -> &QLinearSpec {
+        &self.spec
     }
 
     /// Bytes of quantized weight storage.
     #[must_use]
     pub fn weight_bytes(&self) -> usize {
-        self.weights.storage_bytes()
+        self.spec.weights.storage_bytes()
     }
 
     /// Runs the quantized classifier on a `[batch, in_features]`
@@ -755,50 +1055,51 @@ impl QLinear {
     /// Rejects inputs whose shape or scale does not match the compiled
     /// layer.
     pub fn forward(&self, x: &QTensor) -> Result<Array> {
-        if x.shape.len() != 2 || x.shape[1] != self.in_features {
+        let sp = &self.spec;
+        if x.shape.len() != 2 || x.shape[1] != sp.in_features {
             return Err(TensorError::InvalidArgument(format!(
                 "QLinear: expected [batch, {}], got {:?}",
-                self.in_features, x.shape
+                sp.in_features, x.shape
             )));
         }
-        check_scale(x.scale, self.in_scale, "QLinear")?;
+        check_scale(x.scale, sp.in_scale, "QLinear")?;
         let b = x.shape[0];
-        let mut acc = scratch::alloc_i32(b * self.out_features);
+        let mut acc = scratch::alloc_i32(b * sp.out_features);
         // Both selector modes consume k4-padded activation rows — the
         // prepacked-LHS layout and the generic kernel's dense `[b, k4]`
         // operand are the same bytes.
-        let k4 = pack::padded_k(self.in_features);
-        let mut a_k4 = scratch::alloc_i8(pack::packed_lhs_len(b, self.in_features));
-        pack::pack_lhs_i8(&mut a_k4, &x.data, b, self.in_features);
+        let k4 = pack::padded_k(sp.in_features);
+        let mut a_k4 = scratch::alloc_i8(pack::packed_lhs_len(b, sp.in_features));
+        pack::pack_lhs_i8(&mut a_k4, &x.data, b, sp.in_features);
         stats::record_pack_panel_miss();
-        if select::select_class(b, self.out_features, false).is_some() {
+        if select::select_class(b, sp.out_features, false).is_some() {
             stats::record_pack_panel_hit();
             qmatmul_prepacked_into(
                 &mut acc,
                 &a_k4,
                 &self.panels,
                 b,
-                self.in_features,
-                self.out_features,
+                sp.in_features,
+                sp.out_features,
             );
         } else {
-            qmatmul_into(&mut acc, &a_k4, &self.wq_rows_k4, b, k4, self.out_features);
+            qmatmul_into(&mut acc, &a_k4, &self.wq_rows_k4, b, k4, sp.out_features);
         }
-        let mut out = vec![0.0f32; b * self.out_features];
+        let mut out = vec![0.0f32; b * sp.out_features];
         for (row_out, row_acc) in out
-            .chunks_exact_mut(self.out_features)
-            .zip(acc.chunks_exact(self.out_features))
+            .chunks_exact_mut(sp.out_features)
+            .zip(acc.chunks_exact(sp.out_features))
         {
             for (((d, &a), &sw), &bias) in row_out
                 .iter_mut()
                 .zip(row_acc)
-                .zip(&self.w_scales)
-                .zip(&self.bias)
+                .zip(&sp.w_scales)
+                .zip(&sp.bias)
             {
-                *d = a as f32 * self.in_scale * sw + bias;
+                *d = a as f32 * sp.in_scale * sw + bias;
             }
         }
-        Array::from_vec(out, &[b, self.out_features])
+        Array::from_vec(out, &[b, sp.out_features])
     }
 }
 
@@ -1025,23 +1326,21 @@ mod tests {
             in_scale: f32,
             out_scale: f32,
         ) -> Self {
-            let mut q = Self::compile(conv, None, bits, in_scale, out_scale, false);
+            let q = Self::compile(conv, None, bits, in_scale, out_scale, false);
+            let mut spec = q.spec().clone();
             let w = conv.weight().value();
             let shape = w.shape().to_vec();
             let qm = qkernel::qmax(bits);
             let s = qkernel::scale_for(qkernel::max_abs(w.data()), bits);
             let mut qw = vec![0i8; w.len()];
             quantize_i8_into(&mut qw, w.data(), s, qm);
-            let cols = shape[1] * shape[2] * shape[3];
-            q.wq_k4 = vec![0i8; pack::packed_lhs_len(shape[0], cols)];
-            pack::pack_lhs_i8(&mut q.wq_k4, &qw, shape[0], cols);
-            q.weights = QWeights::new(qw, bits);
-            q.requant = (0..shape[0])
+            spec.weights = QWeights::new(qw, bits);
+            spec.requant = (0..shape[0])
                 .map(|_| {
                     Requant::from_scale(f64::from(in_scale) * f64::from(s) / f64::from(out_scale))
                 })
                 .collect();
-            q.bias_q = conv.bias().map_or_else(
+            spec.bias_q = conv.bias().map_or_else(
                 || vec![0i32; shape[0]],
                 |b| {
                     b.value()
@@ -1053,7 +1352,7 @@ mod tests {
                         .collect()
                 },
             );
-            q
+            Self::from_spec(spec)
         }
     }
 

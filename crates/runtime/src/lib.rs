@@ -48,8 +48,9 @@ pub use serve::{
     ModelServeStats, RejectReason, ServeConfig, ServeError, Server, Ticket,
 };
 pub use snapshot::{
-    latest_snapshot, list_snapshots, prune_snapshots, read as read_snapshot, write_atomic,
-    ByteReader, ByteWriter, SectionWriter, Sections, SnapshotError,
+    decode_container_as, encode_container_as, latest_snapshot, list_snapshots, prune_snapshots,
+    read as read_snapshot, write_atomic, write_atomic_raw, ByteReader, ByteWriter, SectionWriter,
+    Sections, SnapshotError,
 };
 pub use telemetry::{
     CsvSink, Event, EventKind, FanoutSink, Histogram, JsonlSink, NoopSink, Sink, Span, Value,

@@ -171,6 +171,35 @@ impl ByteWriter {
         self.put_u64(s.len() as u64);
         self.buf.extend_from_slice(s.as_bytes());
     }
+
+    /// Appends an `i32` via its two's-complement bit pattern.
+    pub fn put_i32(&mut self, v: i32) {
+        self.put_u32(v as u32);
+    }
+
+    /// Appends a length-prefixed raw byte slice.
+    pub fn put_bytes(&mut self, vs: &[u8]) {
+        self.put_u64(vs.len() as u64);
+        self.buf.extend_from_slice(vs);
+    }
+
+    /// Appends a length-prefixed `i8` slice (one byte per element).
+    pub fn put_i8_slice(&mut self, vs: &[i8]) {
+        self.put_u64(vs.len() as u64);
+        self.buf.reserve(vs.len());
+        for &v in vs {
+            self.buf.push(v as u8);
+        }
+    }
+
+    /// Appends a length-prefixed `i32` slice.
+    pub fn put_i32_slice(&mut self, vs: &[i32]) {
+        self.put_u64(vs.len() as u64);
+        self.buf.reserve(vs.len() * 4);
+        for &v in vs {
+            self.put_i32(v);
+        }
+    }
 }
 
 /// Little-endian byte-stream reader; every accessor returns an error (never
@@ -261,6 +290,36 @@ impl<'a> ByteReader<'a> {
         let n = self.get_count(1)?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("string is not valid UTF-8"))
+    }
+
+    /// Reads an `i32` from its stored bit pattern.
+    pub fn get_i32(&mut self) -> Result<i32> {
+        Ok(self.get_u32()? as i32)
+    }
+
+    /// Reads a length-prefixed raw byte slice written by
+    /// [`ByteWriter::put_bytes`].
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.get_count(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed `i8` slice written by
+    /// [`ByteWriter::put_i8_slice`].
+    pub fn get_i8_vec(&mut self) -> Result<Vec<i8>> {
+        let n = self.get_count(1)?;
+        Ok(self.take(n)?.iter().map(|&b| b as i8).collect())
+    }
+
+    /// Reads a length-prefixed `i32` slice written by
+    /// [`ByteWriter::put_i32_slice`].
+    pub fn get_i32_vec(&mut self) -> Result<Vec<i32>> {
+        let n = self.get_count(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_i32()?);
+        }
+        Ok(out)
     }
 }
 
@@ -377,36 +436,48 @@ impl<'a> Sections<'a> {
 // File I/O
 // ---------------------------------------------------------------------------
 
-/// Serializes `payload` into the container format (header + CRC).
+/// Serializes `payload` into the container format (header + CRC) under a
+/// caller-chosen magic and version. The snapshot file format uses this with
+/// [`MAGIC`]/[`FORMAT_VERSION`]; other artifact kinds (e.g. compiled-model
+/// files in `edd-ir`) reuse the same header/CRC layout under their own
+/// magic so one set of corruption checks covers every on-disk format.
 #[must_use]
-pub fn encode_container(payload: &[u8]) -> Vec<u8> {
+pub fn encode_container_as(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
     out
 }
 
-/// Parses and verifies a container, returning the payload.
+/// Serializes `payload` into the snapshot container format (header + CRC).
+#[must_use]
+pub fn encode_container(payload: &[u8]) -> Vec<u8> {
+    encode_container_as(&MAGIC, FORMAT_VERSION, payload)
+}
+
+/// Parses and verifies a container written by [`encode_container_as`] with
+/// the given magic, accepting versions `1..=max_version`, and returns the
+/// payload.
 ///
 /// # Errors
 ///
 /// Returns the specific [`SnapshotError`] for bad magic, unknown version,
 /// truncation, or CRC mismatch.
-pub fn decode_container(file: &[u8]) -> Result<Vec<u8>> {
+pub fn decode_container_as(magic: &[u8; 8], max_version: u32, file: &[u8]) -> Result<Vec<u8>> {
     if file.len() < HEADER_LEN {
         return Err(SnapshotError::Truncated {
             expected: HEADER_LEN as u64,
             got: file.len() as u64,
         });
     }
-    if file[..8] != MAGIC {
+    if file[..8] != magic[..] {
         return Err(SnapshotError::BadMagic);
     }
     let version = u32::from_le_bytes([file[8], file[9], file[10], file[11]]);
-    if version == 0 || version > FORMAT_VERSION {
+    if version == 0 || version > max_version {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let mut len_bytes = [0u8; 8];
@@ -433,13 +504,24 @@ pub fn decode_container(file: &[u8]) -> Result<Vec<u8>> {
     Ok(body.to_vec())
 }
 
-/// Atomically writes `payload` (wrapped in the container format) to `path`:
-/// temp file in the same directory, `fsync`, rename, directory `fsync`.
+/// Parses and verifies a snapshot container, returning the payload.
+///
+/// # Errors
+///
+/// Returns the specific [`SnapshotError`] for bad magic, unknown version,
+/// truncation, or CRC mismatch.
+pub fn decode_container(file: &[u8]) -> Result<Vec<u8>> {
+    decode_container_as(&MAGIC, FORMAT_VERSION, file)
+}
+
+/// Atomically writes raw `bytes` (already containing whatever framing the
+/// caller wants) to `path`: temp file in the same directory, `fsync`,
+/// rename, directory `fsync`.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn write_atomic(path: &Path, payload: &[u8]) -> Result<()> {
+pub fn write_atomic_raw(path: &Path, bytes: &[u8]) -> Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     if let Some(dir) = dir {
         fs::create_dir_all(dir)?;
@@ -449,7 +531,7 @@ pub fn write_atomic(path: &Path, payload: &[u8]) -> Result<()> {
     let tmp = PathBuf::from(tmp);
     {
         let mut f = fs::File::create(&tmp)?;
-        f.write_all(&encode_container(payload))?;
+        f.write_all(bytes)?;
         f.sync_all()?;
     }
     if let Err(e) = fs::rename(&tmp, path) {
@@ -465,6 +547,16 @@ pub fn write_atomic(path: &Path, payload: &[u8]) -> Result<()> {
         }
     }
     Ok(())
+}
+
+/// Atomically writes `payload` (wrapped in the snapshot container format)
+/// to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_atomic(path: &Path, payload: &[u8]) -> Result<()> {
+    write_atomic_raw(path, &encode_container(payload))
 }
 
 /// Reads, verifies, and returns the payload of the snapshot at `path`.
@@ -581,6 +673,45 @@ mod tests {
         assert_eq!(v[1].to_bits(), (-0.0f32).to_bits());
         assert_eq!(v[2], f32::INFINITY);
         assert_eq!(r.get_str().unwrap(), "Θ/Φ/pf");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn custom_magic_container_roundtrip() {
+        const ART: [u8; 8] = *b"EDDTEST\0";
+        let payload = b"artifact payload".to_vec();
+        let file = encode_container_as(&ART, 3, &payload);
+        assert_eq!(decode_container_as(&ART, 3, &file).unwrap(), payload);
+        // A snapshot reader must not accept a foreign magic, and vice versa.
+        assert!(matches!(
+            decode_container(&file),
+            Err(SnapshotError::BadMagic)
+        ));
+        let snap = encode_container(&payload);
+        assert!(matches!(
+            decode_container_as(&ART, 3, &snap),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Version gate still applies per-format.
+        assert!(matches!(
+            decode_container_as(&ART, 2, &file),
+            Err(SnapshotError::UnsupportedVersion(3))
+        ));
+    }
+
+    #[test]
+    fn raw_slices_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_i32(-123_456_789);
+        w.put_bytes(&[0xDE, 0xAD, 0xBE]);
+        w.put_i8_slice(&[-128, -1, 0, 1, 127]);
+        w.put_i32_slice(&[i32::MIN, -1, 0, i32::MAX]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_i32().unwrap(), -123_456_789);
+        assert_eq!(r.get_bytes().unwrap(), vec![0xDE, 0xAD, 0xBE]);
+        assert_eq!(r.get_i8_vec().unwrap(), vec![-128, -1, 0, 1, 127]);
+        assert_eq!(r.get_i32_vec().unwrap(), vec![i32::MIN, -1, 0, i32::MAX]);
         assert_eq!(r.remaining(), 0);
     }
 

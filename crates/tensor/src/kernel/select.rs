@@ -58,8 +58,23 @@ pub enum GemmMode {
     Generic,
 }
 
+/// Parses an `EDD_GEMM`-style setting into the mode to use plus whether the
+/// value was unrecognized (and should be warned about once). Unset and
+/// empty both mean "auto, quietly"; anything other than `auto`/`generic`
+/// falls back to auto *loudly*. Pure so the fallback policy is unit-tested
+/// separately from the process-wide env/warn caching, mirroring the
+/// `EDD_NUM_THREADS` handling in `edd-runtime`.
+fn parse_gemm_setting(raw: Option<&str>) -> (GemmMode, bool) {
+    match raw {
+        None | Some("") | Some("auto") => (GemmMode::Auto, false),
+        Some("generic") => (GemmMode::Generic, false),
+        Some(_) => (GemmMode::Auto, true),
+    }
+}
+
 /// Reads `EDD_GEMM` once (relaxed-atomic cached), warning on unrecognized
-/// values like the `EDD_SIMD` handling in [`super::use_avx2`].
+/// values like the `EDD_SIMD` handling in [`super::use_avx2`] and the
+/// `EDD_NUM_THREADS` handling in `edd-runtime`.
 #[must_use]
 pub fn gemm_mode() -> GemmMode {
     static STATE: AtomicU8 = AtomicU8::new(0); // 0 undecided, 1 auto, 2 generic
@@ -68,24 +83,24 @@ pub fn gemm_mode() -> GemmMode {
         2 => GemmMode::Generic,
         _ => {
             let setting = std::env::var("EDD_GEMM").ok();
-            if let Some(v) = setting.as_deref() {
-                if !matches!(v, "auto" | "generic" | "") {
-                    static WARNED: std::sync::Once = std::sync::Once::new();
-                    WARNED.call_once(|| {
-                        eprintln!(
-                            "warning: unrecognized EDD_GEMM value {v:?} (expected \
-                             \"auto\" or \"generic\"); using auto dispatch"
-                        );
-                    });
-                }
+            let (mode, unrecognized) = parse_gemm_setting(setting.as_deref());
+            if unrecognized {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: unrecognized EDD_GEMM value {:?} (expected \
+                         \"auto\" or \"generic\"); using auto dispatch",
+                        setting.as_deref().unwrap_or_default()
+                    );
+                });
             }
-            let generic = setting.as_deref() == Some("generic");
-            STATE.store(if generic { 2 } else { 1 }, Ordering::Relaxed);
-            if generic {
-                GemmMode::Generic
+            let code = if matches!(mode, GemmMode::Generic) {
+                2
             } else {
-                GemmMode::Auto
-            }
+                1
+            };
+            STATE.store(code, Ordering::Relaxed);
+            mode
         }
     }
 }
@@ -370,6 +385,22 @@ mod tests {
         assert_eq!(classify(MR, NR, false), GemmClass::Square);
         // The conv tag wins over shape.
         assert_eq!(classify(1, 1, true), GemmClass::Conv);
+    }
+
+    #[test]
+    fn gemm_setting_parse_policy() {
+        // Unset / empty / explicit auto: auto, no warning.
+        assert_eq!(parse_gemm_setting(None), (GemmMode::Auto, false));
+        assert_eq!(parse_gemm_setting(Some("")), (GemmMode::Auto, false));
+        assert_eq!(parse_gemm_setting(Some("auto")), (GemmMode::Auto, false));
+        assert_eq!(
+            parse_gemm_setting(Some("generic")),
+            (GemmMode::Generic, false)
+        );
+        // Anything else: fall back to auto, but loudly (one-time warning).
+        for bad in ["Generic", "AUTO", " auto", "fast", "1", "maddubs"] {
+            assert_eq!(parse_gemm_setting(Some(bad)), (GemmMode::Auto, true));
+        }
     }
 
     #[test]

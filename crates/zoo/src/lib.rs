@@ -28,6 +28,6 @@ pub use builders::ShapeBuilder;
 pub use edd_nets::{edd_net_1, edd_net_2, edd_net_3};
 pub use published::{Table1Row, Table2Entry, Table3Row, TABLE_1, TABLE_2, TABLE_3};
 pub use tiny::{
-    compile_tiny_zoo, random_arch, tiny_derived_arch, tiny_mobilenet_v2, tiny_model_zoo,
-    tiny_quant_arch, tiny_resnet, tiny_vgg,
+    compile_tiny_zoo, compile_tiny_zoo_ir, prepare_tiny_zoo, random_arch, tiny_derived_arch,
+    tiny_mobilenet_v2, tiny_model_zoo, tiny_quant_arch, tiny_resnet, tiny_vgg,
 };

@@ -3,8 +3,10 @@
 //! sampling from an EDD search space (the random-search control).
 
 use edd_core::{
-    calibrate, BlockChoice, DerivedArch, DeviceTarget, QatModel, QuantizedModel, SearchSpace,
+    calibrate, lower_to_graph, BlockChoice, Calibration, DerivedArch, DeviceTarget, QatModel,
+    QuantizedModel, SearchSpace,
 };
+use edd_ir::{CompiledModel, PassConfig, PassReport};
 use edd_nn::{
     Activation, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, MbConv,
     Sequential,
@@ -155,26 +157,62 @@ pub fn tiny_model_zoo() -> Vec<DerivedArch> {
     ]
 }
 
+/// The deterministic front half of the tiny-zoo deploy pipeline — random
+/// QAT weights and activation calibration per architecture — shared by
+/// the direct compiler ([`compile_tiny_zoo`]) and the IR pipeline
+/// ([`compile_tiny_zoo_ir`]) so both consume *identical* trained models
+/// and scales. Deterministic in `seed` (the RNG stream is unchanged from
+/// the original `compile_tiny_zoo`, so existing goldens hold).
+#[must_use]
+pub fn prepare_tiny_zoo(seed: u64) -> Vec<(DerivedArch, QatModel, Calibration)> {
+    tiny_model_zoo()
+        .into_iter()
+        .enumerate()
+        .map(|(i, arch)| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            let model = QatModel::new(&arch, &mut rng);
+            let batches: Vec<Array> = (0..2)
+                .map(|_| Array::randn(&[2, 3, 16, 16], 1.0, &mut rng))
+                .collect();
+            let calib = calibrate(&model, &batches).expect("calibration of tiny zoo model");
+            (arch, model, calib)
+        })
+        .collect()
+}
+
 /// Trains nothing, but runs the full deploy pipeline — random QAT
 /// weights, activation calibration, integer compilation — for each
 /// architecture in [`tiny_model_zoo`], returning `(name, engine)` pairs
 /// ready to serve. Deterministic in `seed`.
 #[must_use]
 pub fn compile_tiny_zoo(seed: u64) -> Vec<(String, QuantizedModel)> {
-    tiny_model_zoo()
+    prepare_tiny_zoo(seed)
         .iter()
-        .enumerate()
-        .map(|(i, arch)| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-            let model = QatModel::new(arch, &mut rng);
-            let batches: Vec<Array> = (0..2)
-                .map(|_| Array::randn(&[2, 3, 16, 16], 1.0, &mut rng))
-                .collect();
-            let calib = calibrate(&model, &batches).expect("calibration of tiny zoo model");
+        .map(|(arch, model, calib)| {
             (
                 arch.name.clone(),
-                QuantizedModel::compile(&model, arch, &calib),
+                QuantizedModel::compile(model, arch, calib),
             )
+        })
+        .collect()
+}
+
+/// The same zoo compiled through the `edd-ir` pipeline instead of the
+/// direct compiler: lower each trained model to the annotated float
+/// graph, run the configured passes, and build the executable
+/// [`CompiledModel`]. The equivalence suite holds this bitwise equal to
+/// [`compile_tiny_zoo`] for every pass configuration.
+#[must_use]
+pub fn compile_tiny_zoo_ir(
+    seed: u64,
+    cfg: &PassConfig,
+) -> Vec<(String, CompiledModel, PassReport)> {
+    prepare_tiny_zoo(seed)
+        .iter()
+        .map(|(arch, model, calib)| {
+            let graph = lower_to_graph(model, arch, calib).expect("lower tiny zoo model");
+            let (compiled, report) = edd_ir::compile(&graph, cfg).expect("compile tiny zoo graph");
+            (arch.name.clone(), compiled, report)
         })
         .collect()
 }

@@ -30,5 +30,11 @@ cargo test --locked -q -p edd-core --test determinism
 # batching servers must match the synchronous InferServer path bit for
 # bit, whatever batches the coalescer happens to form.
 cargo test --locked -q -p edd-core --test serve_determinism
+# IR-pipeline leg: every edd-ir pass configuration must reproduce the
+# direct QuantizedModel::compile outputs bitwise on the tiny zoo, and a
+# model pushed through compile -> .eddm artifact -> hot-load -> sharded
+# serving must match the direct sync path bit for bit.
+cargo test --locked -q -p edd-zoo --test ir_equivalence
+cargo test --locked -q -p edd-zoo --test artifact_serve
 
 echo "DETERMINISM_RESULT: PASS"

@@ -10,6 +10,8 @@
 //! * [`data`] — synthetic dataset generator ([`edd_data`]).
 //! * [`hw`] — analytic hardware performance/resource models ([`edd_hw`]).
 //! * [`core`] — the EDD co-search itself ([`edd_core`]).
+//! * [`ir`] — typed model-graph IR, optimization passes and hot-loadable
+//!   compiled artifacts ([`edd_ir`]).
 //! * [`runtime`] — crash-safe snapshots and structured telemetry
 //!   ([`edd_runtime`]).
 //! * [`zoo`] — baseline and published-EDD architecture descriptors
@@ -20,6 +22,7 @@
 pub use edd_core as core;
 pub use edd_data as data;
 pub use edd_hw as hw;
+pub use edd_ir as ir;
 pub use edd_nn as nn;
 pub use edd_runtime as runtime;
 pub use edd_tensor as tensor;

@@ -3,25 +3,29 @@
 //! ```text
 //! edd search  --target fpga-recursive --blocks 4 --classes 6 --epochs 8 --out arch.json
 //! edd eval    --arch arch.json
-//! edd qinfer  --arch arch.json
-//! edd serve   --models 3 --requests 600
+//! edd compile --arch arch.json --out model.eddm --passes all
+//! edd qinfer  --arch arch.json            # or: --artifact model.eddm
+//! edd serve   --models 3 --requests 600   # or: --artifacts a.eddm,b.eddm
 //! edd zoo
 //! edd devices
 //! ```
 //!
 //! `search` runs the co-search on SynthImageNet and writes the derived
 //! architecture as JSON; `eval` loads such a JSON artifact and reports its
-//! modeled latency/throughput/resources on every hardware model; `qinfer`
-//! compiles an architecture into the true integer inference engine
-//! (int8/int4 weights, fixed-point requantization) and serves batches
-//! through it; `serve` runs the multi-tenant dynamic-batching server over
-//! the compiled tiny zoo under a closed-loop synthetic load; `zoo` prints
-//! the model-zoo leaderboard; `devices` lists the built-in device
-//! descriptors.
+//! modeled latency/throughput/resources on every hardware model; `compile`
+//! QAT-trains and calibrates an architecture, lowers it through the
+//! `edd-ir` pass pipeline, and writes a hot-loadable `.eddm` model
+//! artifact; `qinfer` compiles an architecture into the true integer
+//! inference engine (int8/int4 weights, fixed-point requantization) — or
+//! hot-loads a compiled artifact — and serves batches through it; `serve`
+//! runs the multi-tenant dynamic-batching server over the compiled tiny
+//! zoo (or hot-loaded artifacts) under a closed-loop synthetic load;
+//! `zoo` prints the model-zoo leaderboard; `devices` lists the built-in
+//! device descriptors.
 
 use edd::core::{
-    calibrate, CoSearch, CoSearchConfig, DerivedArch, DeviceTarget, QatModel, QuantizedModel,
-    SearchSpace,
+    calibrate, lower_to_graph, Calibration, CoSearch, CoSearchConfig, DerivedArch, DeviceTarget,
+    QatModel, QuantizedModel, SearchSpace,
 };
 use edd::data::{SynthConfig, SynthDataset};
 use edd::hw::gpu::GpuPrecision;
@@ -29,6 +33,7 @@ use edd::hw::{
     eval_gpu, eval_pipelined, eval_recursive, predicted_throughput_fps, tune_pipelined,
     tune_recursive, AccelDevice, FpgaDevice, GpuDevice,
 };
+use edd::ir::{artifact, CompiledModel, PassConfig, PASS_NAMES};
 use edd::nn::Module;
 use edd::runtime::InferServer;
 use rand::rngs::StdRng;
@@ -93,6 +98,27 @@ fn parse_target(name: &str) -> Result<DeviceTarget, String> {
         other => Err(format!(
             "unknown target `{other}` (expected gpu | fpga-recursive | fpga-pipelined | dedicated)"
         )),
+    }
+}
+
+/// Parses a `--passes` spec: `all`, `none`, or a comma-separated subset
+/// of [`PASS_NAMES`].
+fn parse_passes(spec: &str) -> Result<PassConfig, String> {
+    match spec {
+        "all" => Ok(PassConfig::all()),
+        "none" => Ok(PassConfig::none()),
+        list => {
+            let mut cfg = PassConfig::none();
+            for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                cfg.set(name, true).map_err(|unknown| {
+                    format!(
+                        "unknown pass `{unknown}` (expected all | none | comma-list of {})",
+                        PASS_NAMES.join(", ")
+                    )
+                })?;
+            }
+            Ok(cfg)
+        }
     }
 }
 
@@ -214,34 +240,34 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `edd qinfer`: compile a derived architecture into the true integer
-/// inference engine and serve batches through it — briefly QAT-trains the
-/// network on SynthImageNet, calibrates activation scales, compiles to
-/// int8/int4 weights with fixed-point requantization, and reports measured
-/// throughput next to the Stage-1 `Perf^q` prediction.
-fn cmd_qinfer(args: &Args) -> Result<(), String> {
-    let batch = args.get_usize("batch", 8)?;
-    let batches = args.get_usize("batches", 4)?;
-    let epochs = args.get_usize("qat-epochs", 2)?;
-    let seed = args.get_usize("seed", 42)? as u64;
-    let arch = match args.flags.get("arch") {
+/// Loads `--arch FILE`, falling back to the built-in tiny architecture.
+fn load_arch(args: &Args) -> Result<DerivedArch, String> {
+    match args.flags.get("arch") {
         Some(path) => {
             let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            DerivedArch::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?
+            DerivedArch::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
         }
-        None => edd::zoo::tiny_derived_arch(),
-    };
-    println!("{}", arch.summary());
+        None => Ok(edd::zoo::tiny_derived_arch()),
+    }
+}
 
+/// Briefly QAT-trains `arch` on SynthImageNet and calibrates activation
+/// scales: the shared front half of `qinfer` and `compile`.
+fn train_and_calibrate(
+    arch: &DerivedArch,
+    batch: usize,
+    batches: usize,
+    epochs: usize,
+    seed: u64,
+) -> Result<(QatModel, Calibration), String> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let model = QatModel::new(&arch, &mut rng);
+    let model = QatModel::new(arch, &mut rng);
     let data = SynthDataset::new(SynthConfig {
         num_classes: arch.space.num_classes,
         image_size: arch.space.image_size,
         ..SynthConfig::default()
     });
     let train = data.split(batches, batch, 1);
-    let test = data.split(batches.max(1), batch, 2);
     let mut opt = edd::tensor::optim::Sgd::new(model.parameters(), 0.05, 0.9, 1e-4);
     for epoch in 0..epochs {
         let stats = edd::nn::train_epoch(&model, &mut opt, &train).map_err(|e| e.to_string())?;
@@ -251,22 +277,20 @@ fn cmd_qinfer(args: &Args) -> Result<(), String> {
         );
     }
     model.set_training(false);
-
     let calib_data: Vec<_> = train.iter().map(|b| b.images.clone()).collect();
     let calib = calibrate(&model, &calib_data).map_err(|e| e.to_string())?;
-    let q = QuantizedModel::compile(&model, &arch, &calib);
-    println!(
-        "\ncompiled integer engine: block bits {:?}, {} weight bytes, input scale {:.5}",
-        q.block_bits(),
-        q.weight_bytes(),
-        q.input_scale()
-    );
+    Ok((model, calib))
+}
 
-    let block_bits = q.block_bits().to_vec();
-    let server = InferServer::new(q);
+/// Serves every test batch through `server`, reporting top-1 accuracy and
+/// measured throughput.
+fn report_served_accuracy<M: edd::runtime::BatchModel>(
+    server: &InferServer<M>,
+    test: &[edd::nn::Batch],
+) -> Result<(), String> {
     let mut correct = 0usize;
     let mut total = 0usize;
-    for b in &test {
+    for b in test {
         let n = b.labels.len();
         let logits = server
             .infer(b.images.data(), n)
@@ -289,6 +313,103 @@ fn cmd_qinfer(args: &Args) -> Result<(), String> {
         stats.mean_latency_us(),
         stats.images_per_sec()
     );
+    Ok(())
+}
+
+/// `edd compile`: QAT-train + calibrate an architecture, lower it through
+/// the `edd-ir` pass pipeline (`--passes all|none|name,…`) and write the
+/// optimized quantized graph as a hot-loadable `.eddm` artifact.
+fn cmd_compile(args: &Args) -> Result<(), String> {
+    let batch = args.get_usize("batch", 8)?;
+    let batches = args.get_usize("batches", 4)?;
+    let epochs = args.get_usize("qat-epochs", 2)?;
+    let seed = args.get_usize("seed", 42)? as u64;
+    let cfg = parse_passes(&args.get_str("passes", "all"))?;
+    let arch = load_arch(args)?;
+    let out = args.get_str("out", &format!("{}.{}", arch.name, artifact::ARTIFACT_EXT));
+    println!("{}", arch.summary());
+
+    let (model, calib) = train_and_calibrate(&arch, batch, batches, epochs, seed)?;
+    let float_graph = lower_to_graph(&model, &arch, &calib).map_err(|e| e.to_string())?;
+    let (lowered, report) = edd::ir::lower(&float_graph, &cfg).map_err(|e| e.to_string())?;
+    // Prove the graph is executable before anything touches the disk.
+    let compiled = CompiledModel::from_graph(lowered).map_err(|e| e.to_string())?;
+    println!(
+        "\nlowered {} float nodes -> {} quantized nodes \
+         ({} BN folded, {} ReLU6 fused, {} 1x1 im2col bypassed, {} dead removed)",
+        float_graph.len(),
+        compiled.graph().len(),
+        report.bn_folded,
+        report.relu6_fused,
+        report.bypassed_1x1,
+        report.dce_removed
+    );
+    let path = std::path::Path::new(&out);
+    artifact::save(path, compiled.graph()).map_err(|e| format!("writing {out}: {e}"))?;
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("wrote {out} ({bytes} bytes)");
+    Ok(())
+}
+
+/// `edd qinfer --artifact`: hot-load a compiled `.eddm` artifact and serve
+/// SynthImageNet batches through it — no QAT, no calibration, the graph on
+/// disk is the whole model.
+fn qinfer_artifact(path: &str, batch: usize, batches: usize) -> Result<(), String> {
+    let model =
+        artifact::load(std::path::Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    let meta = &model.graph().meta;
+    println!(
+        "hot-loaded {path}: model `{}`, input {:?}, {} classes, {} nodes",
+        meta.name,
+        meta.input_shape,
+        meta.num_classes,
+        model.graph().len()
+    );
+    let data = SynthDataset::new(SynthConfig {
+        num_classes: meta.num_classes,
+        image_size: meta.input_shape[1],
+        ..SynthConfig::default()
+    });
+    let test = data.split(batches.max(1), batch, 2);
+    let server = InferServer::new(model);
+    report_served_accuracy(&server, &test)
+}
+
+/// `edd qinfer`: compile a derived architecture into the true integer
+/// inference engine and serve batches through it — briefly QAT-trains the
+/// network on SynthImageNet, calibrates activation scales, compiles to
+/// int8/int4 weights with fixed-point requantization, and reports measured
+/// throughput next to the Stage-1 `Perf^q` prediction. With `--artifact`
+/// the engine is hot-loaded from a compiled `.eddm` file instead.
+fn cmd_qinfer(args: &Args) -> Result<(), String> {
+    let batch = args.get_usize("batch", 8)?;
+    let batches = args.get_usize("batches", 4)?;
+    let epochs = args.get_usize("qat-epochs", 2)?;
+    let seed = args.get_usize("seed", 42)? as u64;
+    if let Some(path) = args.flags.get("artifact") {
+        return qinfer_artifact(path, batch, batches);
+    }
+    let arch = load_arch(args)?;
+    println!("{}", arch.summary());
+
+    let (model, calib) = train_and_calibrate(&arch, batch, batches, epochs, seed)?;
+    let data = SynthDataset::new(SynthConfig {
+        num_classes: arch.space.num_classes,
+        image_size: arch.space.image_size,
+        ..SynthConfig::default()
+    });
+    let test = data.split(batches.max(1), batch, 2);
+    let q = QuantizedModel::compile(&model, &arch, &calib);
+    println!(
+        "\ncompiled integer engine: block bits {:?}, {} weight bytes, input scale {:.5}",
+        q.block_bits(),
+        q.weight_bytes(),
+        q.input_scale()
+    );
+
+    let block_bits = q.block_bits().to_vec();
+    let server = InferServer::new(q);
+    report_served_accuracy(&server, &test)?;
 
     let device = AccelDevice::loom_like();
     let net = arch.to_network_shape();
@@ -304,39 +425,18 @@ fn cmd_qinfer(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `edd serve`: compile the tiny model zoo into integer engines and drive
-/// the multi-tenant dynamic-batching server with a closed-loop synthetic
-/// workload — several producer threads, each keeping a bounded window of
-/// in-flight requests spread round-robin across the models — then report
-/// per-model completion counts, batch occupancy, and latency percentiles.
-fn cmd_serve(args: &Args) -> Result<(), String> {
-    let models = args.get_usize("models", 3)?.clamp(1, 3);
-    let requests = args.get_usize("requests", 600)?;
-    let producers = args.get_usize("producers", 2)?.max(1);
-    let window = args.get_usize("window", 16)?.max(1);
-    let seed = args.get_usize("seed", 42)? as u64;
-    let config = edd::runtime::ServeConfig {
-        batcher: edd::runtime::BatcherConfig {
-            max_batch: args.get_usize("max-batch", 16)?,
-            max_delay_us: args.get_usize("max-delay-us", 500)? as u64,
-            queue_depth: args.get_usize("queue-depth", 1024)?,
-        },
-        shards: args.get_usize("shards", 1)?,
-    };
-
-    println!("compiling {models} tiny-zoo integer engine(s)...");
-    let zoo: Vec<(String, std::sync::Arc<QuantizedModel>)> = edd::zoo::compile_tiny_zoo(seed)
-        .into_iter()
-        .take(models)
-        .map(|(name, q)| (name, std::sync::Arc::new(q)))
-        .collect();
-    for (name, q) in &zoo {
-        println!(
-            "  {name}: block bits {:?}, {} weight bytes",
-            q.block_bits(),
-            q.weight_bytes()
-        );
-    }
+/// The back half of `edd serve`, generic over the engine: starts the
+/// dynamic-batching server over `zoo`, drives the closed-loop synthetic
+/// workload, and reports per-model stats.
+fn drive_server<M: edd::runtime::BatchModel + Send + Sync + 'static>(
+    zoo: Vec<(String, std::sync::Arc<M>)>,
+    config: edd::runtime::ServeConfig,
+    requests: usize,
+    producers: usize,
+    window: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let models = zoo.len();
     let image_len = edd::runtime::BatchModel::image_len(zoo[0].1.as_ref());
     println!(
         "serving with max_batch {}, max_delay {} µs, queue depth {}, {} shard(s)/model; \
@@ -351,9 +451,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
     let pool: Vec<Vec<f32>> = (0..8)
         .map(|_| {
-            let a = edd::tensor::Array::randn(&[1, 3, 16, 16], 1.0, &mut rng);
-            assert_eq!(a.data().len(), image_len);
-            a.data().to_vec()
+            edd::tensor::Array::randn(&[1, image_len], 1.0, &mut rng)
+                .data()
+                .to_vec()
         })
         .collect();
     std::thread::scope(|scope| {
@@ -406,6 +506,62 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         return Err(format!("{failed} request(s) failed"));
     }
     Ok(())
+}
+
+/// `edd serve`: compile the tiny model zoo into integer engines — or
+/// hot-load compiled `.eddm` artifacts via `--artifacts a.eddm,b.eddm` —
+/// and drive the multi-tenant dynamic-batching server with a closed-loop
+/// synthetic workload: several producer threads, each keeping a bounded
+/// window of in-flight requests spread round-robin across the models.
+/// Reports per-model completion counts, batch occupancy, and latency
+/// percentiles.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let requests = args.get_usize("requests", 600)?;
+    let producers = args.get_usize("producers", 2)?.max(1);
+    let window = args.get_usize("window", 16)?.max(1);
+    let seed = args.get_usize("seed", 42)? as u64;
+    let config = edd::runtime::ServeConfig {
+        batcher: edd::runtime::BatcherConfig {
+            max_batch: args.get_usize("max-batch", 16)?,
+            max_delay_us: args.get_usize("max-delay-us", 500)? as u64,
+            queue_depth: args.get_usize("queue-depth", 1024)?,
+        },
+        shards: args.get_usize("shards", 1)?,
+    };
+
+    if let Some(list) = args.flags.get("artifacts") {
+        let mut zoo: Vec<(String, std::sync::Arc<CompiledModel>)> = Vec::new();
+        for path in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let model = artifact::load(std::path::Path::new(path))
+                .map_err(|e| format!("loading {path}: {e}"))?;
+            println!(
+                "hot-loaded {path}: model `{}`, {} nodes",
+                model.name(),
+                model.graph().len()
+            );
+            zoo.push((model.name().to_owned(), std::sync::Arc::new(model)));
+        }
+        if zoo.is_empty() {
+            return Err("serve --artifacts: no artifact paths given".into());
+        }
+        return drive_server(zoo, config, requests, producers, window, seed);
+    }
+
+    let models = args.get_usize("models", 3)?.clamp(1, 3);
+    println!("compiling {models} tiny-zoo integer engine(s)...");
+    let zoo: Vec<(String, std::sync::Arc<QuantizedModel>)> = edd::zoo::compile_tiny_zoo(seed)
+        .into_iter()
+        .take(models)
+        .map(|(name, q)| (name, std::sync::Arc::new(q)))
+        .collect();
+    for (name, q) in &zoo {
+        println!(
+            "  {name}: block bits {:?}, {} weight bytes",
+            q.block_bits(),
+            q.weight_bytes()
+        );
+    }
+    drive_server(zoo, config, requests, producers, window, seed)
 }
 
 fn cmd_zoo() {
@@ -475,11 +631,12 @@ fn cmd_devices() {
     );
 }
 
-const USAGE: &str = "usage: edd <search|eval|qinfer|serve|zoo|devices> [--flags]\n\
+const USAGE: &str = "usage: edd <search|eval|compile|qinfer|serve|zoo|devices> [--flags]\n\
   search  --target gpu|fpga-recursive|fpga-pipelined|dedicated \\\n          --blocks N --classes C --epochs E --seed S --out FILE \\\n          --checkpoint-dir DIR --checkpoint-every N --checkpoint-keep K \\\n          --resume PATH --trace-out FILE.jsonl\n\
   eval    --arch FILE\n\
-  qinfer  --arch FILE --batch N --batches K --qat-epochs E --seed S\n\
-  serve   --models N --requests R --producers P --window W --shards S \\\n          --max-batch B --max-delay-us D --queue-depth Q --seed S\n\
+  compile --arch FILE --out FILE.eddm --passes all|none|name,... \\\n          --batch N --batches K --qat-epochs E --seed S\n\
+  qinfer  --arch FILE | --artifact FILE.eddm \\\n          --batch N --batches K --qat-epochs E --seed S\n\
+  serve   --models N | --artifacts a.eddm,b.eddm \\\n          --requests R --producers P --window W --shards S \\\n          --max-batch B --max-delay-us D --queue-depth Q --seed S\n\
   zoo\n\
   devices\n\
 \n\
@@ -491,12 +648,20 @@ const USAGE: &str = "usage: edd <search|eval|qinfer|serve|zoo|devices> [--flags]
                      the newest snapshot in a checkpoint directory\n\
   --trace-out        stream structured telemetry (epoch metrics, phase\n\
                      timings, kernel counters) as JSON lines to FILE\n\
+  --passes           IR optimization passes for compile: all (default),\n\
+                     none, or a comma-list of bn-fold, relu6-fuse,\n\
+                     bypass-1x1, dce\n\
 \n\
-  serve compiles up to 3 tiny-zoo integer engines, serves them all from\n\
-  one multi-tenant dynamic-batching server (bounded queues with\n\
-  backpressure, deadline-based batch coalescing, per-model worker\n\
-  shards), drives a closed-loop synthetic workload against it, and\n\
-  reports per-model latency percentiles and batch occupancy";
+  compile QAT-trains and calibrates an architecture, lowers it through\n\
+  the edd-ir pass pipeline, and writes a CRC-checked .eddm artifact that\n\
+  qinfer --artifact and serve --artifacts hot-load without retraining.\n\
+\n\
+  serve compiles up to 3 tiny-zoo integer engines (or hot-loads compiled\n\
+  artifacts), serves them all from one multi-tenant dynamic-batching\n\
+  server (bounded queues with backpressure, deadline-based batch\n\
+  coalescing, per-model worker shards), drives a closed-loop synthetic\n\
+  workload against it, and reports per-model latency percentiles and\n\
+  batch occupancy";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -510,6 +675,7 @@ fn main() -> ExitCode {
     let result = match args.command.as_str() {
         "search" => cmd_search(&args),
         "eval" => cmd_eval(&args),
+        "compile" => cmd_compile(&args),
         "qinfer" => cmd_qinfer(&args),
         "serve" => cmd_serve(&args),
         "zoo" => {
@@ -561,6 +727,17 @@ mod tests {
     fn parse_rejects_bad_number() {
         let a = parse_args(&argv(&["search", "--blocks", "many"])).unwrap();
         assert!(a.get_usize("blocks", 0).is_err());
+    }
+
+    #[test]
+    fn passes_spec_resolves() {
+        assert_eq!(parse_passes("all").unwrap(), PassConfig::all());
+        assert_eq!(parse_passes("none").unwrap(), PassConfig::none());
+        let cfg = parse_passes("bn-fold, dce").unwrap();
+        assert!(cfg.bn_fold && cfg.dce && !cfg.relu6_fuse && !cfg.bypass_1x1);
+        let err = parse_passes("bn-fold,loop-unroll").unwrap_err();
+        assert!(err.contains("loop-unroll"), "{err}");
+        assert!(err.contains("bypass-1x1"), "{err}");
     }
 
     #[test]

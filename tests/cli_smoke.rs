@@ -67,6 +67,75 @@ fn search_then_eval_roundtrip() {
 }
 
 #[test]
+fn compile_then_hot_load_roundtrip() {
+    let artifact = std::env::temp_dir().join("edd_cli_smoke_model.eddm");
+    let out = edd()
+        .args(["compile", "--qat-epochs", "1", "--out"])
+        .arg(&artifact)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "compile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("BN folded"), "missing pass report:\n{text}");
+    assert!(artifact.exists());
+
+    let qinfer = edd()
+        .args(["qinfer", "--artifact"])
+        .arg(&artifact)
+        .output()
+        .expect("runs");
+    assert!(
+        qinfer.status.success(),
+        "qinfer --artifact failed: {}",
+        String::from_utf8_lossy(&qinfer.stderr)
+    );
+    let text = String::from_utf8_lossy(&qinfer.stdout);
+    assert!(text.contains("hot-loaded"), "stdout: {text}");
+
+    let serve = edd()
+        .args(["serve", "--requests", "40", "--artifacts"])
+        .arg(&artifact)
+        .output()
+        .expect("runs");
+    assert!(
+        serve.status.success(),
+        "serve --artifacts failed: {}",
+        String::from_utf8_lossy(&serve.stderr)
+    );
+    let text = String::from_utf8_lossy(&serve.stdout);
+    assert!(text.contains("0 failed"), "stdout: {text}");
+    std::fs::remove_file(&artifact).ok();
+}
+
+#[test]
+fn compile_rejects_unknown_pass() {
+    let out = edd()
+        .args(["compile", "--passes", "loop-unroll"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown pass"), "stderr: {err}");
+}
+
+#[test]
+fn qinfer_rejects_corrupt_artifact() {
+    let path = std::env::temp_dir().join("edd_cli_smoke_corrupt.eddm");
+    std::fs::write(&path, b"EDDMODL\0not a real artifact").unwrap();
+    let out = edd()
+        .args(["qinfer", "--artifact"])
+        .arg(&path)
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn unknown_command_fails() {
     let out = edd().arg("frobnicate").output().expect("runs");
     assert!(!out.status.success());
