@@ -49,23 +49,30 @@ pub mod checkpoint;
 pub mod derive;
 pub mod loss;
 pub mod lower;
+pub mod pareto;
 pub mod perf_model;
 pub mod qat;
 pub mod quantize;
 pub mod search;
 pub mod space;
 pub mod supernet;
+pub mod sweep;
 pub mod target;
 
 pub use arch_params::{ArchCheckpoint, ArchParams, PfParams, PhiParams};
-pub use checkpoint::{resolve_resume_path, SearchRng, SearchSnapshot, SNAPSHOT_PREFIX};
+pub use checkpoint::{
+    resolve_labeled_resume_path, resolve_resume_path, resolve_sweep_resume_path, SearchRng,
+    SearchSnapshot, SweepSnapshot, SNAPSHOT_PREFIX, SWEEP_PREFIX,
+};
 pub use derive::{BlockChoice, DerivedArch};
 pub use loss::{edd_loss, LossConfig};
 pub use lower::lower_to_graph;
+pub use pareto::ParetoPoint;
 pub use perf_model::{estimate, PerfEstimate, PerfTables};
 pub use qat::QatModel;
 pub use quantize::{calibrate, Calibration, QuantizedModel, ENGINE_MAX_BITS};
 pub use search::{CoSearch, CoSearchConfig, EpochRecord, SearchOutcome};
 pub use space::{BlockPlan, SearchSpace};
 pub use supernet::{SampledPath, SuperNet};
+pub use sweep::{hw_point, SweepOutcome, SweepSearch, SweepTargetOutcome};
 pub use target::{DeviceTarget, PerfObjective};

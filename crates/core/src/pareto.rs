@@ -1,0 +1,229 @@
+//! Pareto-front extraction for multi-objective search results.
+//!
+//! A sweep scores each derived architecture as a [`ParetoPoint`] with
+//! three objectives: validation accuracy (maximize), measured or modeled
+//! performance in milliseconds per frame (minimize), and resource use in
+//! DSP slices (minimize; `0` for targets with fixed silicon). The front is
+//! the set of non-dominated points, computed with a plain `O(n²)`
+//! dominance filter over a canonically-sorted input — no float `Ord`
+//! shortcuts, `total_cmp` throughout — so the result is a deterministic
+//! function of the input *set*: permuting or duplicating inputs cannot
+//! change the output (property-tested below).
+//!
+//! Incremental maintenance is exact: because dominance is transitive,
+//! `front(old_front ∪ new_points)` equals the front of every point ever
+//! seen, so a sweep only needs to checkpoint the current front.
+
+/// One candidate architecture's position in objective space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Stable target key (`DeviceTarget::key()`).
+    pub target: String,
+    /// Epoch whose derived architecture produced this point.
+    pub epoch: usize,
+    /// Validation accuracy in `[0, 1]` — maximized.
+    pub val_acc: f32,
+    /// Milliseconds per frame (latency, or `1000 / fps` for throughput
+    /// targets) — minimized.
+    pub perf_ms: f64,
+    /// Resource use (DSP slices; `0` when the target has no searchable
+    /// resource dimension) — minimized.
+    pub resource: f64,
+    /// Derived architecture as JSON (tie-break key and report payload).
+    pub arch_json: String,
+}
+
+impl ParetoPoint {
+    /// Whether `self` dominates `other`: at least as good in every
+    /// objective and strictly better in at least one. NaN compares via
+    /// IEEE `total_cmp` order, so corrupt inputs degrade deterministically
+    /// instead of poisoning the filter.
+    #[must_use]
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        use std::cmp::Ordering::*;
+        let acc = self.val_acc.total_cmp(&other.val_acc);
+        let perf = self.perf_ms.total_cmp(&other.perf_ms);
+        let res = self.resource.total_cmp(&other.resource);
+        let no_worse = acc != Less && perf != Greater && res != Greater;
+        let better = acc == Greater || perf == Less || res == Less;
+        no_worse && better
+    }
+
+    fn same_metrics(&self, other: &ParetoPoint) -> bool {
+        self.val_acc.to_bits() == other.val_acc.to_bits()
+            && self.perf_ms.to_bits() == other.perf_ms.to_bits()
+            && self.resource.to_bits() == other.resource.to_bits()
+    }
+
+    /// Canonical ordering: accuracy descending, then performance and
+    /// resource ascending, then epoch / JSON / target as deterministic
+    /// tie-breakers. Total, even for NaN metrics.
+    fn canonical_cmp(&self, other: &ParetoPoint) -> std::cmp::Ordering {
+        other
+            .val_acc
+            .total_cmp(&self.val_acc)
+            .then_with(|| self.perf_ms.total_cmp(&other.perf_ms))
+            .then_with(|| self.resource.total_cmp(&other.resource))
+            .then_with(|| self.epoch.cmp(&other.epoch))
+            .then_with(|| self.arch_json.cmp(&other.arch_json))
+            .then_with(|| self.target.cmp(&other.target))
+    }
+}
+
+/// Extracts the Pareto front of `points`: canonical sort, collapse exact
+/// metric duplicates (keeping the canonically-first witness, i.e. the
+/// earliest epoch), then drop every dominated point. The output is sorted
+/// by descending accuracy and is invariant under permutation and
+/// duplication of the input.
+#[must_use]
+pub fn front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut sorted: Vec<ParetoPoint> = points.to_vec();
+    sorted.sort_by(ParetoPoint::canonical_cmp);
+    sorted.dedup_by(|b, a| a.same_metrics(b));
+    let survivors: Vec<ParetoPoint> = sorted
+        .iter()
+        .filter(|p| !sorted.iter().any(|q| q.dominates(p)))
+        .cloned()
+        .collect();
+    survivors
+}
+
+/// Merges newly-scored points into an existing front. Exact because
+/// dominance is transitive: anything dominated by a discarded point was
+/// also dominated by a kept one.
+#[must_use]
+pub fn merge(existing: &[ParetoPoint], fresh: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut all = existing.to_vec();
+    all.extend_from_slice(fresh);
+    front(&all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pt(acc: f32, perf: f64, res: f64) -> ParetoPoint {
+        ParetoPoint {
+            target: "gpu".into(),
+            epoch: 0,
+            val_acc: acc,
+            perf_ms: perf,
+            resource: res,
+            arch_json: String::new(),
+        }
+    }
+
+    #[test]
+    fn dominance_basics() {
+        assert!(pt(0.9, 1.0, 10.0).dominates(&pt(0.8, 2.0, 20.0)));
+        assert!(pt(0.9, 1.0, 10.0).dominates(&pt(0.9, 1.0, 20.0)));
+        // Equal points do not dominate each other.
+        assert!(!pt(0.9, 1.0, 10.0).dominates(&pt(0.9, 1.0, 10.0)));
+        // Trade-offs are incomparable.
+        assert!(!pt(0.9, 2.0, 10.0).dominates(&pt(0.8, 1.0, 10.0)));
+        assert!(!pt(0.8, 1.0, 10.0).dominates(&pt(0.9, 2.0, 10.0)));
+    }
+
+    #[test]
+    fn front_drops_dominated_and_keeps_tradeoffs() {
+        let f = front(&[
+            pt(0.9, 2.0, 10.0),
+            pt(0.8, 1.0, 10.0),
+            pt(0.7, 3.0, 30.0), // dominated by both
+        ]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].val_acc, 0.9);
+        assert_eq!(f[1].val_acc, 0.8);
+    }
+
+    #[test]
+    fn exact_duplicates_collapse_to_earliest_epoch() {
+        let mut a = pt(0.9, 1.0, 10.0);
+        a.epoch = 5;
+        let mut b = pt(0.9, 1.0, 10.0);
+        b.epoch = 2;
+        let f = front(&[a, b]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].epoch, 2);
+    }
+
+    #[test]
+    fn merge_equals_front_of_union() {
+        let old = [pt(0.9, 2.0, 10.0), pt(0.8, 1.0, 10.0)];
+        let fresh = [pt(0.95, 3.0, 10.0), pt(0.7, 0.5, 5.0)];
+        let mut all = old.to_vec();
+        all.extend_from_slice(&fresh);
+        assert_eq!(merge(&front(&old), &fresh), front(&all));
+    }
+
+    // A coarse metric grid maximizes duplicate/tie collisions, which is
+    // where naive filters go wrong.
+    fn arb_point() -> impl Strategy<Value = ParetoPoint> {
+        (0u8..=4, 0u8..=4, 0u8..=4, 0usize..8).prop_map(|(acc, perf, res, epoch)| ParetoPoint {
+            target: "gpu".into(),
+            epoch,
+            val_acc: f32::from(acc) * 0.25,
+            perf_ms: f64::from(perf) * 0.5,
+            resource: f64::from(res) * 10.0,
+            arch_json: String::new(),
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn no_survivor_is_dominated(points in prop::collection::vec(arb_point(), 0..24)) {
+            let f = front(&points);
+            for s in &f {
+                for p in &points {
+                    prop_assert!(!p.dominates(s), "front point dominated by an input");
+                }
+            }
+        }
+
+        #[test]
+        fn every_input_is_covered(points in prop::collection::vec(arb_point(), 0..24)) {
+            // Completeness: each input is on the front, dominated by a
+            // front point, or an exact metric duplicate of a front point.
+            let f = front(&points);
+            for p in &points {
+                let covered = f.iter().any(|s| s.dominates(p) || s.same_metrics(p));
+                prop_assert!(covered, "input point neither kept nor dominated");
+            }
+        }
+
+        #[test]
+        fn permutation_invariant(
+            points in prop::collection::vec(arb_point(), 0..16),
+            seed in 0u64..1024,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut shuffled = points.clone();
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                shuffled.swap(i, j);
+            }
+            prop_assert_eq!(front(&points), front(&shuffled));
+        }
+
+        #[test]
+        fn duplication_invariant(points in prop::collection::vec(arb_point(), 0..16)) {
+            let mut doubled = points.clone();
+            doubled.extend_from_slice(&points);
+            prop_assert_eq!(front(&points), front(&doubled));
+        }
+
+        #[test]
+        fn incremental_merge_is_exact(
+            old in prop::collection::vec(arb_point(), 0..12),
+            fresh in prop::collection::vec(arb_point(), 0..12),
+        ) {
+            let mut all = old.clone();
+            all.extend_from_slice(&fresh);
+            prop_assert_eq!(merge(&front(&old), &fresh), front(&all));
+        }
+    }
+}

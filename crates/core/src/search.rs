@@ -28,7 +28,7 @@
 //! gauges; with the default no-op sink the instrumentation is free.
 
 use crate::arch_params::ArchParams;
-use crate::checkpoint::{fingerprint, SearchRng, SearchSnapshot, SNAPSHOT_PREFIX};
+use crate::checkpoint::{fingerprint, SearchRng, SearchSnapshot};
 use crate::derive::DerivedArch;
 use crate::loss::{edd_loss, res_penalty_scalar, LossConfig};
 use crate::perf_model::{estimate, PerfTables};
@@ -109,8 +109,13 @@ impl Default for CoSearchConfig {
 }
 
 /// Metrics recorded after each search epoch.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochRecord {
+    /// Stable target key ([`DeviceTarget::key`]) the record belongs to.
+    /// Distinguishes per-target traces when several searches (or one
+    /// multi-target sweep) write into the same history or telemetry
+    /// stream.
+    pub target: String,
     /// Epoch index (0-based).
     pub epoch: usize,
     /// Mean sampled-path training loss.
@@ -147,7 +152,7 @@ pub const EPOCH_EVENT: &str = "search.epoch";
 
 /// Column order of [`SearchOutcome::history_csv`]; also the leading fields
 /// of every [`EPOCH_EVENT`] telemetry record.
-pub const EPOCH_CSV_COLUMNS: [&str; 7] = [
+pub const EPOCH_CSV_COLUMNS: [&str; 8] = [
     "epoch",
     "train_loss",
     "train_acc",
@@ -155,12 +160,13 @@ pub const EPOCH_CSV_COLUMNS: [&str; 7] = [
     "expected_perf",
     "expected_res",
     "tau",
+    "target",
 ];
 
 /// The CSV-visible fields of one epoch record, in [`EPOCH_CSV_COLUMNS`]
 /// order. `f32` metrics stay `Value::F32` so their `Display` output is
 /// byte-identical to formatting the raw `f32`.
-fn epoch_fields(h: &EpochRecord) -> [(&'static str, Value); 7] {
+pub(crate) fn epoch_fields(h: &EpochRecord) -> [(&'static str, Value); 8] {
     [
         ("epoch", Value::U64(h.epoch as u64)),
         ("train_loss", Value::F32(h.train_loss)),
@@ -169,12 +175,13 @@ fn epoch_fields(h: &EpochRecord) -> [(&'static str, Value); 7] {
         ("expected_perf", Value::F32(h.expected_perf)),
         ("expected_res", Value::F32(h.expected_res)),
         ("tau", Value::F32(h.tau)),
+        ("target", Value::Str(h.target.clone())),
     ]
 }
 
 /// FNV-1a (64-bit) of `bytes` as 16 hex digits — a cheap stable digest for
 /// spotting when the argmax architecture changes between epochs.
-fn fnv1a_hex(bytes: &[u8]) -> String {
+pub(crate) fn fnv1a_hex(bytes: &[u8]) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -193,18 +200,26 @@ impl SearchOutcome {
     /// sink observes during the run.
     #[must_use]
     pub fn history_csv(&self) -> String {
-        let sink = CsvSink::new(EPOCH_EVENT, &EPOCH_CSV_COLUMNS);
-        for h in &self.history {
-            let fields = epoch_fields(h);
-            sink.emit(&Event {
-                kind: EventKind::Event,
-                name: EPOCH_EVENT,
-                value: None,
-                fields: &fields,
-            });
-        }
-        sink.to_csv()
+        history_to_csv(&self.history)
     }
+}
+
+/// Replays `history` through a telemetry [`CsvSink`] so the CSV is, by
+/// construction, the same projection of `search.epoch` events a live sink
+/// observes. Shared by [`SearchOutcome::history_csv`] and the sweep's
+/// flattened multi-target history export.
+pub(crate) fn history_to_csv(history: &[EpochRecord]) -> String {
+    let sink = CsvSink::new(EPOCH_EVENT, &EPOCH_CSV_COLUMNS);
+    for h in history {
+        let fields = epoch_fields(h);
+        sink.emit(&Event {
+            kind: EventKind::Event,
+            name: EPOCH_EVENT,
+            value: None,
+            fields: &fields,
+        });
+    }
+    sink.to_csv()
 }
 
 /// A configured co-search: supernet + architecture parameters + coefficient
@@ -219,6 +234,7 @@ pub struct CoSearch {
     ckpt_dir: Option<PathBuf>,
     ckpt_every: usize,
     ckpt_keep: usize,
+    ckpt_label: String,
     pending_resume: Option<SearchSnapshot>,
 }
 
@@ -259,6 +275,7 @@ impl CoSearch {
             ckpt_dir: None,
             ckpt_every: 1,
             ckpt_keep: 3,
+            ckpt_label: String::new(),
             pending_resume: None,
         })
     }
@@ -285,6 +302,22 @@ impl CoSearch {
         self
     }
 
+    /// Labels this run's snapshots: files become
+    /// `search-<label>-<epoch>.edds` instead of `search-<epoch>.edds`, and
+    /// retention pruning / `resume_from` directory resolution only consider
+    /// snapshots carrying the same label. This is what lets several runs
+    /// (e.g. one search per device target) share one `--checkpoint-dir`
+    /// without overwriting or pruning each other's snapshots.
+    ///
+    /// The empty label (the default) keeps the historical unlabeled
+    /// filenames. Set the label *before* calling
+    /// [`CoSearch::resume_from`]; labels must not be purely numeric (that
+    /// would collide with the epoch field of unlabeled names).
+    pub fn checkpoint_label(&mut self, label: impl Into<String>) -> &mut Self {
+        self.ckpt_label = label.into();
+        self
+    }
+
     /// Schedules a resume from `path` — a snapshot file, or a checkpoint
     /// directory (resolved to its newest snapshot). The snapshot is loaded
     /// and fingerprint-checked eagerly; the state is applied when the next
@@ -296,7 +329,7 @@ impl CoSearch {
     /// Returns an error when the snapshot is missing, corrupt, or was taken
     /// by a differently-configured search.
     pub fn resume_from(&mut self, path: &Path) -> Result<&mut Self> {
-        let file = crate::checkpoint::resolve_resume_path(path)?;
+        let file = crate::checkpoint::resolve_labeled_resume_path(path, &self.ckpt_label)?;
         let snap = SearchSnapshot::load(&file)?;
         let want = fingerprint(&self.space, &self.target, &self.config);
         if snap.fingerprint != want {
@@ -446,8 +479,11 @@ impl CoSearch {
         std::fs::create_dir_all(dir).map_err(|e| {
             TensorError::InvalidArgument(format!("create checkpoint dir {}: {e}", dir.display()))
         })?;
-        snap.save(&dir.join(SearchSnapshot::file_name(snap.epoch)))?;
-        edd_runtime::snapshot::prune_snapshots(dir, SNAPSHOT_PREFIX, self.ckpt_keep)
+        snap.save(&dir.join(SearchSnapshot::labeled_file_name(
+            &self.ckpt_label,
+            snap.epoch,
+        )))?;
+        crate::checkpoint::prune_labeled_snapshots(dir, &self.ckpt_label, self.ckpt_keep)
             .map_err(|e| TensorError::InvalidArgument(format!("prune checkpoints: {e}")))?;
         Ok(())
     }
@@ -640,6 +676,7 @@ impl CoSearch {
                 ));
             }
             let record = EpochRecord {
+                target: self.target.key().to_owned(),
                 epoch,
                 train_loss: train_loss / seen.max(1) as f32,
                 train_acc: train_acc / seen.max(1) as f32,
@@ -648,8 +685,8 @@ impl CoSearch {
                 expected_res,
                 tau,
             };
-            history.push(record);
             self.emit_epoch_telemetry(&record);
+            history.push(record);
             if let Some(dir) = &self.ckpt_dir {
                 let periodic = self.ckpt_every > 0 && (epoch + 1).is_multiple_of(self.ckpt_every);
                 if periodic || epoch + 1 == end {
@@ -680,6 +717,7 @@ impl CoSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::SNAPSHOT_PREFIX;
     use edd_data::{SynthConfig, SynthDataset};
     use edd_hw::FpgaDevice;
     use rand::rngs::StdRng;
@@ -777,7 +815,9 @@ mod tests {
         let lines: Vec<&str> = csv.trim().lines().collect();
         assert_eq!(lines.len(), 1 + outcome.history.len());
         assert!(lines[0].starts_with("epoch,train_loss"));
-        assert_eq!(lines[1].split(',').count(), 7);
+        assert!(lines[0].ends_with(",target"));
+        assert_eq!(lines[1].split(',').count(), 8);
+        assert!(lines[1].ends_with(",fpga-recursive"));
     }
 
     #[test]
@@ -786,18 +826,20 @@ mod tests {
         // CsvSink; the bytes must match the original hand-formatted export.
         let (mut search, train, val, mut rng) = tiny_search(true);
         let outcome = search.run(&train, &val, &mut rng).unwrap();
-        let mut expect =
-            String::from("epoch,train_loss,train_acc,val_acc,expected_perf,expected_res,tau\n");
+        let mut expect = String::from(
+            "epoch,train_loss,train_acc,val_acc,expected_perf,expected_res,tau,target\n",
+        );
         for h in &outcome.history {
             expect.push_str(&format!(
-                "{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{}\n",
                 h.epoch,
                 h.train_loss,
                 h.train_acc,
                 h.val_acc,
                 h.expected_perf,
                 h.expected_res,
-                h.tau
+                h.tau,
+                h.target
             ));
         }
         assert_eq!(outcome.history_csv(), expect);
@@ -837,6 +879,57 @@ mod tests {
             res_out.best_derived.to_json().unwrap()
         );
         assert_eq!(full_out.best_epoch, res_out.best_epoch);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn labeled_runs_share_a_checkpoint_dir_without_collisions() {
+        let dir = std::env::temp_dir().join(format!("edd-search-label-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Two labeled runs plus one unlabeled run, all writing into the
+        // same directory with keep=1: each label's retention must only see
+        // its own snapshots.
+        let (mut a, train, val, mut rng_a) = tiny_search(true);
+        a.checkpoint_into(&dir)
+            .checkpoint_keep(1)
+            .checkpoint_label("alpha");
+        a.run_until(&train, &val, &mut rng_a, 2).unwrap();
+        let (mut b, train_b, val_b, mut rng_b) = tiny_search(true);
+        b.checkpoint_into(&dir)
+            .checkpoint_keep(1)
+            .checkpoint_label("beta");
+        b.run_until(&train_b, &val_b, &mut rng_b, 1).unwrap();
+        let (mut c, train_c, val_c, mut rng_c) = tiny_search(true);
+        c.checkpoint_into(&dir).checkpoint_keep(1);
+        c.run_until(&train_c, &val_c, &mut rng_c, 1).unwrap();
+
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                SearchSnapshot::file_name(0),
+                SearchSnapshot::labeled_file_name("alpha", 1),
+                SearchSnapshot::labeled_file_name("beta", 0),
+            ],
+            "each label keeps exactly its own newest snapshot"
+        );
+
+        // A labeled resume resolves to its own snapshot, and continues to
+        // the same result as an uninterrupted labeled run.
+        let (mut full, train_f, val_f, mut rng_f) = tiny_search(true);
+        let full_out = full.run(&train_f, &val_f, &mut rng_f).unwrap();
+        let (mut resumed, train_r, val_r, _) = tiny_search(true);
+        let mut other_rng = StdRng::seed_from_u64(123);
+        resumed.checkpoint_label("alpha");
+        resumed.resume_from(&dir).unwrap();
+        let res_out = resumed.run(&train_r, &val_r, &mut other_rng).unwrap();
+        assert_eq!(full_out.history, res_out.history);
 
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -886,6 +979,7 @@ mod tests {
 
         let trace = std::fs::read_to_string(&path).unwrap();
         assert!(trace.contains("\"name\":\"search.epoch\""), "{trace}");
+        assert!(trace.contains("\"target\":\"fpga-recursive\""), "{trace}");
         assert!(trace.contains("res_penalty"));
         assert!(trace.contains("arch_digest"));
         assert!(trace.contains("kernel.pool_tasks"));

@@ -1,0 +1,1071 @@
+//! Amortized multi-target co-search: one supernet, `T` targets.
+//!
+//! The paper reproduces its Table-2 story by running EDD once per device
+//! target, which costs `T` full supernet trainings even though the weight
+//! step — the dominant cost — is identical work for every target: only the
+//! `(Θ, Φ, pf)` states and the implementation-loss terms differ.
+//! [`SweepSearch`] amortizes this into one run:
+//!
+//! * **One shared weight phase per epoch.** Training batches are assigned
+//!   round-robin to targets (`t = (epoch + i) mod T`), so each batch's
+//!   sampled path comes from one target's current arch distribution and
+//!   every target steers a share of the shared weights. One pass over the
+//!   training split serves all `T` targets — a `T`× amortization of the
+//!   weight-step cost versus sequential runs.
+//! * **`T` parallel arch phases.** With the supernet frozen
+//!   (`set_training(false)` — a deliberate deviation from the
+//!   single-target loop, which lets warm batch-norm statistics drift
+//!   during arch steps; freezing them is what makes the phase free of
+//!   shared mutable state), the per-target arch steps are data-parallel
+//!   over [`edd_tensor::kernel::pool`]: each target descends its own
+//!   `(Θ, Φ, pf)` with its own Adam and its own RNG stream. Backward
+//!   passes also accumulate into the shared weight leaves, but those
+//!   gradients are lock-protected and discarded — the next weight phase
+//!   zeroes them before reading — so the only cross-target interaction is
+//!   benign lock contention.
+//! * **Per-epoch Pareto bookkeeping.** After each epoch every target's
+//!   argmax architecture is derived, evaluated on its device model
+//!   ([`edd_hw::HwPoint`]), and merged into a per-target Pareto front
+//!   ([`crate::pareto`]).
+//!
+//! Determinism: the weight phase runs on the driver thread with the shared
+//! RNG; each parallel arch task touches only its own target state, the
+//! frozen supernet, and bitwise thread-count-invariant kernels, so sweep
+//! results are identical for every `EDD_NUM_THREADS` setting. One
+//! [`SweepSnapshot`] per epoch captures shared weights plus all `T` states
+//! for bit-identical whole-sweep resume.
+
+use crate::arch_params::ArchParams;
+use crate::checkpoint::{
+    fingerprint, resolve_sweep_resume_path, sweep_fingerprint, SearchRng, SweepSnapshot,
+    SweepTargetSnapshot,
+};
+use crate::derive::DerivedArch;
+use crate::loss::edd_loss;
+use crate::pareto::{self, ParetoPoint};
+use crate::perf_model::{estimate, PerfTables};
+use crate::search::{
+    epoch_fields, fnv1a_hex, history_to_csv, CoSearchConfig, EpochRecord, SearchOutcome,
+    EPOCH_EVENT,
+};
+use crate::space::SearchSpace;
+use crate::supernet::SuperNet;
+use crate::target::DeviceTarget;
+use edd_hw::gpu::GpuPrecision;
+use edd_hw::{
+    eval_accel, eval_gpu, eval_pipelined, eval_recursive, tune_pipelined, tune_recursive, HwPoint,
+};
+use edd_nn::Batch;
+use edd_runtime::telemetry::{self, Value};
+use edd_tensor::optim::{Adam, Optimizer, Sgd};
+use edd_tensor::{accuracy, Result, Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Evaluates a derived architecture on its target's device model and
+/// reduces the report to the sweep's two minimized objectives.
+///
+/// Precision handling per family: GPU networks are uniform-precision, so
+/// the first block's bits select the [`GpuPrecision`]; FPGA tuners take one
+/// uniform bit-width, for which the maximum derived block width is the
+/// conservative choice; the dedicated accelerator is evaluated per-op with
+/// 8-bit stem/head around the derived block widths.
+///
+/// # Errors
+///
+/// Returns an error when the derived bit-width has no device
+/// implementation (e.g. a GPU arch outside {8, 16, 32}).
+pub fn hw_point(target: &DeviceTarget, derived: &DerivedArch) -> Result<HwPoint> {
+    let net = derived.to_network_shape();
+    match target {
+        DeviceTarget::Gpu(d) => {
+            let bits = derived.blocks.first().map_or(32, |b| b.quant_bits);
+            let precision = GpuPrecision::from_bits(bits).ok_or_else(|| {
+                TensorError::InvalidArgument(format!("no GPU precision for {bits}-bit weights"))
+            })?;
+            Ok(HwPoint::from_gpu(&eval_gpu(&net, precision, d)))
+        }
+        DeviceTarget::FpgaRecursive(d) => {
+            let q = derived
+                .blocks
+                .iter()
+                .map(|b| b.quant_bits)
+                .max()
+                .unwrap_or(16);
+            let report = eval_recursive(&net, &tune_recursive(&net, q, d), d)
+                .map_err(|e| TensorError::InvalidArgument(format!("recursive eval: {e}")))?;
+            Ok(HwPoint::from_recursive(&report))
+        }
+        DeviceTarget::FpgaPipelined(d) => {
+            let q = derived
+                .blocks
+                .iter()
+                .map(|b| b.quant_bits)
+                .max()
+                .unwrap_or(16);
+            let report = eval_pipelined(&net, &tune_pipelined(&net, q, d), d)
+                .map_err(|e| TensorError::InvalidArgument(format!("pipelined eval: {e}")))?;
+            Ok(HwPoint::from_pipelined(&report))
+        }
+        DeviceTarget::Dedicated(d) => {
+            let mut q_per_op = vec![8u32; net.ops.len()];
+            for (i, b) in derived.blocks.iter().enumerate() {
+                if i + 1 < q_per_op.len() {
+                    q_per_op[i + 1] = b.quant_bits;
+                }
+            }
+            Ok(HwPoint::from_accel(&eval_accel(&net, &q_per_op, d)))
+        }
+    }
+}
+
+/// Static span name per target family, so per-target phase timings carry
+/// stable names in traces (span names must be `'static`).
+fn target_span_name(target: &DeviceTarget) -> &'static str {
+    match target {
+        DeviceTarget::Gpu(_) => "sweep.target.gpu",
+        DeviceTarget::FpgaRecursive(_) => "sweep.target.fpga_recursive",
+        DeviceTarget::FpgaPipelined(_) => "sweep.target.fpga_pipelined",
+        DeviceTarget::Dedicated(_) => "sweep.target.dedicated",
+    }
+}
+
+/// Everything that is per-target in a sweep: the arch variables and their
+/// RNG stream, the accumulated history / Pareto front / best-so-far, and
+/// the scratch the parallel phase fills each epoch.
+struct TargetState {
+    target: DeviceTarget,
+    key: &'static str,
+    arch: ArchParams,
+    tables: PerfTables,
+    rng: StdRng,
+    history: Vec<EpochRecord>,
+    front: Vec<ParetoPoint>,
+    best: Option<(usize, f32, DerivedArch)>,
+    // Weight-phase accumulators for this target's round-robin share.
+    train_loss_sum: f32,
+    train_acc_sum: f32,
+    train_seen: usize,
+    // Filled by this epoch's parallel arch/val task.
+    scratch_record: Option<EpochRecord>,
+    scratch_point: Option<ParetoPoint>,
+    scratch_arch_ms: f64,
+}
+
+/// Per-target slice of a finished sweep.
+#[derive(Debug)]
+pub struct SweepTargetOutcome {
+    /// The device target.
+    pub target: DeviceTarget,
+    /// The single-target view: derived arch, history, best epoch.
+    pub outcome: SearchOutcome,
+    /// The target's Pareto front over all epochs.
+    pub front: Vec<ParetoPoint>,
+}
+
+/// Result of a finished multi-target sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-target results, in sweep target order.
+    pub targets: Vec<SweepTargetOutcome>,
+}
+
+impl SweepOutcome {
+    /// All targets' epoch histories flattened into one CSV (same columns
+    /// as [`SearchOutcome::history_csv`]; the `target` column tells rows
+    /// apart), interleaved by epoch then target order.
+    #[must_use]
+    pub fn history_csv(&self) -> String {
+        let mut rows: Vec<EpochRecord> = self
+            .targets
+            .iter()
+            .flat_map(|t| t.outcome.history.iter().cloned())
+            .collect();
+        rows.sort_by(|a, b| a.epoch.cmp(&b.epoch).then_with(|| a.target.cmp(&b.target)));
+        history_to_csv(&rows)
+    }
+
+    /// The cross-target summary as EXPERIMENTS.md-ready JSON: per target,
+    /// the best epoch and the Pareto front of
+    /// `(val_acc, perf_ms, resource_dsps)` points with arch digests.
+    #[must_use]
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{\n  \"targets\": [\n");
+        for (i, t) in self.targets.iter().enumerate() {
+            let best = t.outcome.history.get(t.outcome.best_epoch);
+            out.push_str(&format!(
+                "    {{\n      \"target\": \"{}\",\n      \"epochs\": {},\n      \
+                 \"best_epoch\": {},\n      \"best_val_acc\": {},\n      \"front\": [\n",
+                t.target.key(),
+                t.outcome.history.len(),
+                t.outcome.best_epoch,
+                best.map_or(0.0, |h| h.val_acc),
+            ));
+            for (j, p) in t.front.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"epoch\": {}, \"val_acc\": {}, \"perf_ms\": {}, \
+                     \"resource_dsps\": {}, \"arch_digest\": \"{}\"}}{}\n",
+                    p.epoch,
+                    p.val_acc,
+                    p.perf_ms,
+                    p.resource,
+                    fnv1a_hex(p.arch_json.as_bytes()),
+                    if j + 1 == t.front.len() { "" } else { "," },
+                ));
+            }
+            out.push_str(&format!(
+                "      ]\n    }}{}\n",
+                if i + 1 == self.targets.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// A configured multi-target sweep: one shared supernet and weight
+/// optimizer, `T` per-target architecture states.
+pub struct SweepSearch {
+    space: SearchSpace,
+    config: CoSearchConfig,
+    supernet: SuperNet,
+    targets: Vec<TargetState>,
+    ckpt_dir: Option<PathBuf>,
+    ckpt_every: usize,
+    ckpt_keep: usize,
+    pending_resume: Option<SweepSnapshot>,
+}
+
+impl std::fmt::Debug for SweepSearch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepSearch")
+            .field("space", &self.space.name)
+            .field(
+                "targets",
+                &self.targets.iter().map(|t| t.key).collect::<Vec<_>>(),
+            )
+            .field("epochs", &self.config.epochs)
+            .finish()
+    }
+}
+
+impl SweepSearch {
+    /// Creates a sweep over `targets` sharing one supernet. The space's
+    /// quantization menu must be supported by *every* target (use the
+    /// intersection of the per-target menus); targets must be distinct
+    /// families (their [`DeviceTarget::key`]s label records and snapshots).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty or duplicate target list, or when any
+    /// target rejects the space's quantization menu.
+    pub fn new<R: Rng + ?Sized>(
+        space: SearchSpace,
+        targets: Vec<DeviceTarget>,
+        config: CoSearchConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if targets.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "sweep requires at least one target".into(),
+            ));
+        }
+        for (i, t) in targets.iter().enumerate() {
+            if targets[..i].iter().any(|u| u.key() == t.key()) {
+                return Err(TensorError::InvalidArgument(format!(
+                    "duplicate sweep target `{}`: per-target records and snapshots are keyed \
+                     by target family",
+                    t.key()
+                )));
+            }
+        }
+        let supernet = SuperNet::new(&space, rng);
+        let mut states = Vec::with_capacity(targets.len());
+        for target in targets {
+            let tables = PerfTables::build(&space, &target)?;
+            let arch = ArchParams::init(&space, &target, rng);
+            // Independent per-target RNG stream, seeded from the shared
+            // construction stream so the whole sweep is one seed.
+            let stream = StdRng::seed_from_u64(rng.gen());
+            states.push(TargetState {
+                key: target.key(),
+                target,
+                arch,
+                tables,
+                rng: stream,
+                history: Vec::new(),
+                front: Vec::new(),
+                best: None,
+                train_loss_sum: 0.0,
+                train_acc_sum: 0.0,
+                train_seen: 0,
+                scratch_record: None,
+                scratch_point: None,
+                scratch_arch_ms: 0.0,
+            });
+        }
+        Ok(SweepSearch {
+            space,
+            config,
+            supernet,
+            targets: states,
+            ckpt_dir: None,
+            ckpt_every: 1,
+            ckpt_keep: 3,
+            pending_resume: None,
+        })
+    }
+
+    /// Enables crash-safe checkpointing: after qualifying epochs one
+    /// [`SweepSnapshot`] (shared weights + all per-target states) is
+    /// written atomically into `dir` as `sweep-<epoch>.edds`.
+    pub fn checkpoint_into(&mut self, dir: impl Into<PathBuf>) -> &mut Self {
+        self.ckpt_dir = Some(dir.into());
+        self
+    }
+
+    /// Checkpoint cadence in epochs (default 1; `0` = final epoch only).
+    pub fn checkpoint_every(&mut self, n: usize) -> &mut Self {
+        self.ckpt_every = n;
+        self
+    }
+
+    /// Retention: keep only the newest `k` sweep snapshots (default 3,
+    /// floor 1). Single-target `search-*` files in the same directory are
+    /// never touched.
+    pub fn checkpoint_keep(&mut self, k: usize) -> &mut Self {
+        self.ckpt_keep = k.max(1);
+        self
+    }
+
+    /// Schedules a resume from `path` — a sweep snapshot file, or a
+    /// checkpoint directory (resolved to its newest `sweep-*.edds`). The
+    /// snapshot is fingerprint-checked eagerly and applied when the next
+    /// `run*` call starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot is missing, corrupt, or was
+    /// taken by a differently-configured sweep (different space, config,
+    /// or target list).
+    pub fn resume_from(&mut self, path: &Path) -> Result<&mut Self> {
+        let file = resolve_sweep_resume_path(path)?;
+        let snap = SweepSnapshot::load(&file)?;
+        let want = self.fingerprint();
+        if snap.fingerprint != want {
+            return Err(TensorError::InvalidArgument(format!(
+                "snapshot {} was taken by a different sweep configuration\n  \
+                 snapshot: {}\n  current:  {want}",
+                file.display(),
+                snap.fingerprint
+            )));
+        }
+        self.pending_resume = Some(snap);
+        Ok(self)
+    }
+
+    /// The sweep-level configuration fingerprint.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let parts: Vec<String> = self
+            .targets
+            .iter()
+            .map(|t| fingerprint(&self.space, &t.target, &self.config))
+            .collect();
+        sweep_fingerprint(&parts)
+    }
+
+    /// The targets being swept, in order.
+    #[must_use]
+    pub fn target_keys(&self) -> Vec<&'static str> {
+        self.targets.iter().map(|t| t.key).collect()
+    }
+
+    /// Temperature at `epoch` (same geometric schedule as the
+    /// single-target loop).
+    #[must_use]
+    pub fn tau_at(&self, epoch: usize) -> f32 {
+        let e = self.config.epochs.max(2) - 1;
+        let t = (epoch.min(e)) as f32 / e as f32;
+        self.config.tau_start * (self.config.tau_end / self.config.tau_start).powf(t)
+    }
+
+    /// Captures the complete sweep state after `epoch` completed.
+    fn capture_snapshot(
+        &self,
+        epoch: usize,
+        w_opt: &Sgd,
+        a_opts: &[Adam],
+        rng_state: [u64; 4],
+    ) -> Result<SweepSnapshot> {
+        let mut targets = Vec::with_capacity(self.targets.len());
+        for (state, a_opt) in self.targets.iter().zip(a_opts) {
+            let best = match &state.best {
+                Some((e, acc, d)) => {
+                    let json = d.to_json().map_err(|err| {
+                        TensorError::InvalidArgument(format!("serialize best architecture: {err}"))
+                    })?;
+                    Some((*e, *acc, json))
+                }
+                None => None,
+            };
+            targets.push(SweepTargetSnapshot {
+                key: state.key.to_owned(),
+                rng: state.rng.state(),
+                arch: state.arch.checkpoint(),
+                adam: a_opt.export_state(),
+                history: state.history.clone(),
+                front: state.front.clone(),
+                best,
+            });
+        }
+        Ok(SweepSnapshot {
+            fingerprint: self.fingerprint(),
+            epoch,
+            rng: rng_state,
+            weights: self
+                .supernet
+                .weight_params()
+                .iter()
+                .map(Tensor::value_clone)
+                .collect(),
+            bn_stats: self
+                .supernet
+                .batch_norms()
+                .iter()
+                .map(|bn| (bn.running_mean(), bn.running_var()))
+                .collect(),
+            sgd_velocity: w_opt.export_state(),
+            targets,
+        })
+    }
+
+    /// Applies a loaded snapshot to the shared and per-target states.
+    fn apply_snapshot<R: SearchRng + ?Sized>(
+        &mut self,
+        snap: &SweepSnapshot,
+        w_opt: &mut Sgd,
+        a_opts: &mut [Adam],
+        rng: &mut R,
+    ) -> Result<()> {
+        let params = self.supernet.weight_params();
+        if params.len() != snap.weights.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "snapshot has {} weight tensors, supernet has {}",
+                snap.weights.len(),
+                params.len()
+            )));
+        }
+        for (p, w) in params.iter().zip(&snap.weights) {
+            p.set_value(w.clone());
+        }
+        let bns = self.supernet.batch_norms();
+        if bns.len() != snap.bn_stats.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "snapshot has {} batch-norm layers, supernet has {}",
+                snap.bn_stats.len(),
+                bns.len()
+            )));
+        }
+        for (bn, (mean, var)) in bns.iter().zip(&snap.bn_stats) {
+            bn.set_running_stats(mean.clone(), var.clone())?;
+        }
+        w_opt.import_state(snap.sgd_velocity.clone())?;
+        rng.restore_state_words(snap.rng);
+        if snap.targets.len() != self.targets.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "snapshot has {} targets, sweep has {}",
+                snap.targets.len(),
+                self.targets.len()
+            )));
+        }
+        for ((state, a_opt), ts) in self.targets.iter_mut().zip(a_opts).zip(&snap.targets) {
+            if ts.key != state.key {
+                return Err(TensorError::InvalidArgument(format!(
+                    "snapshot target `{}` does not match sweep target `{}`",
+                    ts.key, state.key
+                )));
+            }
+            state.arch.restore(&ts.arch)?;
+            a_opt.import_state(ts.adam.clone())?;
+            state.rng.set_state(ts.rng);
+            state.history = ts.history.clone();
+            state.front = ts.front.clone();
+            state.best = match &ts.best {
+                Some((e, acc, json)) => {
+                    let derived = DerivedArch::from_json(json).map_err(|err| {
+                        TensorError::InvalidArgument(format!(
+                            "snapshot best architecture is unparseable: {err}"
+                        ))
+                    })?;
+                    Some((*e, *acc, derived))
+                }
+                None => None,
+            };
+        }
+        Ok(())
+    }
+
+    fn write_checkpoint(&self, dir: &Path, snap: &SweepSnapshot) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            TensorError::InvalidArgument(format!("create checkpoint dir {}: {e}", dir.display()))
+        })?;
+        snap.save(&dir.join(SweepSnapshot::file_name(snap.epoch)))?;
+        crate::checkpoint::prune_sweep_snapshots(dir, self.ckpt_keep)
+            .map_err(|e| TensorError::InvalidArgument(format!("prune checkpoints: {e}")))?;
+        Ok(())
+    }
+
+    /// Runs the full sweep over the given train/validation splits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the supernet or the performance model,
+    /// hardware-evaluation errors, and checkpoint I/O errors.
+    pub fn run<R: SearchRng + ?Sized>(
+        &mut self,
+        train: &[Batch],
+        val: &[Batch],
+        rng: &mut R,
+    ) -> Result<SweepOutcome> {
+        self.run_range(train, val, rng, self.config.epochs)
+    }
+
+    /// Runs the sweep but stops after `stop_after` epochs (clamped to the
+    /// configured total); with checkpointing enabled the last executed
+    /// epoch is always snapshotted, modeling a crash boundary exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SweepSearch::run`].
+    pub fn run_until<R: SearchRng + ?Sized>(
+        &mut self,
+        train: &[Batch],
+        val: &[Batch],
+        rng: &mut R,
+        stop_after: usize,
+    ) -> Result<SweepOutcome> {
+        self.run_range(train, val, rng, stop_after.min(self.config.epochs))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_range<R: SearchRng + ?Sized>(
+        &mut self,
+        train: &[Batch],
+        val: &[Batch],
+        rng: &mut R,
+        end: usize,
+    ) -> Result<SweepOutcome> {
+        let num_targets = self.targets.len();
+        let mut w_opt = Sgd::new(
+            self.supernet.weight_params(),
+            self.config.weight_lr,
+            self.config.weight_momentum,
+            1e-4,
+        );
+        let mut a_opts: Vec<Adam> = self
+            .targets
+            .iter()
+            .map(|t| Adam::new(t.arch.all_params(), self.config.arch_lr))
+            .collect();
+        let train_inputs: Vec<Tensor> = train
+            .iter()
+            .map(|b| Tensor::constant(b.images.clone()))
+            .collect();
+        let val_inputs: Vec<Tensor> = val
+            .iter()
+            .map(|b| Tensor::constant(b.images.clone()))
+            .collect();
+        let mut start = 0usize;
+        if let Some(snap) = self.pending_resume.take() {
+            self.apply_snapshot(&snap, &mut w_opt, &mut a_opts, rng)?;
+            start = snap.epoch + 1;
+        }
+        for epoch in start..end {
+            let tau = self.tau_at(epoch);
+
+            // ---- Shared weight phase (driver thread, shared RNG). Each
+            // batch's path is sampled from one target's arch distribution,
+            // round-robin, so every target steers the shared weights.
+            self.supernet.set_training(true);
+            for state in &mut self.targets {
+                state.train_loss_sum = 0.0;
+                state.train_acc_sum = 0.0;
+                state.train_seen = 0;
+            }
+            let weight_span = telemetry::span("sweep.weight_phase");
+            let weight_start = Instant::now();
+            for (i, (batch, x)) in train.iter().zip(&train_inputs).enumerate() {
+                let state = &mut self.targets[(epoch + i) % num_targets];
+                w_opt.zero_grad();
+                let (logits, _) = self.supernet.forward_sampled(x, &state.arch, tau, rng)?;
+                let loss = logits.cross_entropy(&batch.labels)?;
+                loss.backward();
+                if let Some(max_norm) = self.config.clip_grad_norm {
+                    edd_tensor::optim::clip_grad_norm(w_opt.params(), max_norm);
+                }
+                w_opt.step();
+                edd_tensor::scratch::reset();
+                let b = batch.labels.len();
+                state.train_loss_sum += loss.item() * b as f32;
+                state.train_acc_sum += accuracy(&logits.value(), &batch.labels) * b as f32;
+                state.train_seen += b;
+            }
+            let weight_ms = weight_start.elapsed().as_secs_f64() * 1e3;
+            drop(weight_span);
+            telemetry::counter("sweep.weight_steps", train.len() as u64);
+
+            // ---- Parallel per-target arch + val + derive phase. The
+            // supernet is frozen: batch-norm running statistics do not
+            // drift during arch steps (deviation from the single-target
+            // loop, documented above), so tasks share no mutable state
+            // except lock-protected, discarded weight gradients.
+            self.supernet.set_training(false);
+            let do_arch = epoch >= self.config.warmup_epochs;
+            {
+                let supernet = &self.supernet;
+                let space = &self.space;
+                let config = &self.config;
+                let slots: Vec<Mutex<(&mut TargetState, &mut Adam)>> = self
+                    .targets
+                    .iter_mut()
+                    .zip(a_opts.iter_mut())
+                    .map(Mutex::new)
+                    .collect();
+                let errors: Vec<Mutex<Option<TensorError>>> =
+                    (0..num_targets).map(|_| Mutex::new(None)).collect();
+                edd_tensor::kernel::pool::run(num_targets, &|t| {
+                    let mut slot = slots[t].lock().expect("sweep slot poisoned");
+                    let (state, a_opt) = &mut *slot;
+                    let span = telemetry::span(target_span_name(&state.target));
+                    let arch_start = Instant::now();
+                    let result = run_target_epoch(
+                        supernet,
+                        space,
+                        config,
+                        state,
+                        a_opt,
+                        val,
+                        &val_inputs,
+                        train,
+                        &train_inputs,
+                        epoch,
+                        tau,
+                        do_arch,
+                    );
+                    state.scratch_arch_ms = arch_start.elapsed().as_secs_f64() * 1e3;
+                    drop(span);
+                    edd_tensor::scratch::reset();
+                    if let Err(e) = result {
+                        *errors[t].lock().expect("sweep error slot poisoned") = Some(e);
+                    }
+                });
+                for e in &errors {
+                    if let Some(err) = e.lock().expect("sweep error slot poisoned").take() {
+                        return Err(err);
+                    }
+                }
+            }
+            telemetry::counter("sweep.epochs", 1);
+            if do_arch {
+                let arch_batches = if self.config.bilevel {
+                    val.len()
+                } else {
+                    train.len()
+                };
+                telemetry::counter("sweep.arch_steps", (arch_batches * num_targets) as u64);
+            }
+
+            // ---- Merge scratch results (driver thread, target order, so
+            // telemetry and history are deterministic).
+            if telemetry::enabled() {
+                telemetry::event(
+                    "sweep.epoch",
+                    &[
+                        ("epoch", Value::U64(epoch as u64)),
+                        ("tau", Value::F32(tau)),
+                        ("weight_ms", Value::F64(weight_ms)),
+                        ("targets", Value::U64(num_targets as u64)),
+                    ],
+                );
+            }
+            for state in &mut self.targets {
+                let record = state
+                    .scratch_record
+                    .take()
+                    .expect("target epoch not recorded");
+                let point = state.scratch_point.take().expect("target epoch not scored");
+                if telemetry::enabled() {
+                    telemetry::event(EPOCH_EVENT, &epoch_fields(&record));
+                    telemetry::event(
+                        "sweep.target",
+                        &[
+                            ("target", Value::Str(state.key.to_owned())),
+                            ("epoch", Value::U64(epoch as u64)),
+                            ("val_acc", Value::F32(record.val_acc)),
+                            ("perf_ms", Value::F64(point.perf_ms)),
+                            ("resource", Value::F64(point.resource)),
+                            ("arch_ms", Value::F64(state.scratch_arch_ms)),
+                        ],
+                    );
+                }
+                if state
+                    .best
+                    .as_ref()
+                    .is_none_or(|(_, acc, _)| record.val_acc > *acc)
+                {
+                    let derived = DerivedArch::from_params(&self.space, &state.target, &state.arch);
+                    state.best = Some((epoch, record.val_acc, derived));
+                }
+                state.front = pareto::merge(&state.front, std::slice::from_ref(&point));
+                state.history.push(record);
+            }
+
+            if let Some(dir) = self.ckpt_dir.clone() {
+                let periodic = self.ckpt_every > 0 && (epoch + 1).is_multiple_of(self.ckpt_every);
+                if periodic || epoch + 1 == end {
+                    let snap = self.capture_snapshot(epoch, &w_opt, &a_opts, rng.state_words())?;
+                    self.write_checkpoint(&dir, &snap)?;
+                }
+            }
+        }
+
+        let mut outcomes = Vec::with_capacity(num_targets);
+        for state in &self.targets {
+            let derived = DerivedArch::from_params(&self.space, &state.target, &state.arch);
+            let (best_epoch, _, best_derived) =
+                state
+                    .best
+                    .clone()
+                    .unwrap_or((end.saturating_sub(1), 0.0, derived.clone()));
+            outcomes.push(SweepTargetOutcome {
+                target: state.target.clone(),
+                outcome: SearchOutcome {
+                    derived,
+                    history: state.history.clone(),
+                    best_derived,
+                    best_epoch,
+                },
+                front: state.front.clone(),
+            });
+        }
+        Ok(SweepOutcome { targets: outcomes })
+    }
+}
+
+/// One target's share of an epoch, run as a pool task: arch steps (when
+/// past warmup), argmax validation, derivation, and hardware scoring.
+/// Touches only `state`/`a_opt` plus the frozen supernet; fills
+/// `state.scratch_record` / `state.scratch_point`.
+#[allow(clippy::too_many_arguments)]
+fn run_target_epoch(
+    supernet: &SuperNet,
+    space: &SearchSpace,
+    config: &CoSearchConfig,
+    state: &mut TargetState,
+    a_opt: &mut Adam,
+    val: &[Batch],
+    val_inputs: &[Tensor],
+    train: &[Batch],
+    train_inputs: &[Tensor],
+    epoch: usize,
+    tau: f32,
+    do_arch: bool,
+) -> Result<()> {
+    let mut expected_perf = 0.0;
+    let mut expected_res = 0.0;
+    if do_arch {
+        let (arch_batches, arch_inputs) = if config.bilevel {
+            (val, val_inputs)
+        } else {
+            (train, train_inputs)
+        };
+        let mut arch_steps = 0usize;
+        for (batch, x) in arch_batches.iter().zip(arch_inputs) {
+            // Clears stale gradients on this target's arch leaves; the
+            // shared weight leaves are NOT zeroed here (that would race
+            // with sibling tasks) — the weight phase zeroes them before
+            // every read.
+            a_opt.zero_grad();
+            let (logits, _) = supernet.forward_sampled(x, &state.arch, tau, &mut state.rng)?;
+            let acc_loss = logits.cross_entropy(&batch.labels)?;
+            let est = estimate(
+                &state.arch,
+                &state.tables,
+                space,
+                &state.target,
+                tau,
+                &mut state.rng,
+            )?;
+            let total = edd_loss(
+                &acc_loss,
+                &est.perf,
+                &est.res,
+                state.target.resource_bound(),
+                &config.loss,
+            )?;
+            total.backward();
+            a_opt.step();
+            edd_tensor::scratch::reset();
+            expected_perf += est.perf.item();
+            expected_res += est.res.item();
+            arch_steps += 1;
+        }
+        if arch_steps > 0 {
+            expected_perf /= arch_steps as f32;
+            expected_res /= arch_steps as f32;
+        }
+    }
+
+    // Argmax validation (supernet already in eval mode).
+    let mut val_acc = 0.0;
+    let mut val_seen = 0usize;
+    for (batch, x) in val.iter().zip(val_inputs) {
+        let logits = supernet.forward_argmax(x, &state.arch)?;
+        val_acc += accuracy(&logits.value(), &batch.labels) * batch.labels.len() as f32;
+        val_seen += batch.labels.len();
+    }
+    let epoch_val_acc = val_acc / val_seen.max(1) as f32;
+
+    let derived = DerivedArch::from_params(space, &state.target, &state.arch);
+    let arch_json = derived.to_json().map_err(|err| {
+        TensorError::InvalidArgument(format!("serialize derived architecture: {err}"))
+    })?;
+    let point = hw_point(&state.target, &derived)?;
+    state.scratch_point = Some(ParetoPoint {
+        target: state.key.to_owned(),
+        epoch,
+        val_acc: epoch_val_acc,
+        perf_ms: point.perf_ms,
+        resource: point.resource_dsps,
+        arch_json,
+    });
+    state.scratch_record = Some(EpochRecord {
+        target: state.key.to_owned(),
+        epoch,
+        train_loss: state.train_loss_sum / state.train_seen.max(1) as f32,
+        train_acc: state.train_acc_sum / state.train_seen.max(1) as f32,
+        val_acc: epoch_val_acc,
+        expected_perf,
+        expected_res,
+        tau,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edd_data::{SynthConfig, SynthDataset};
+    use edd_hw::{FpgaDevice, GpuDevice};
+
+    fn sweep_targets() -> Vec<DeviceTarget> {
+        vec![
+            DeviceTarget::Gpu(GpuDevice::titan_rtx()),
+            DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+            DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+        ]
+    }
+
+    fn tiny_sweep() -> (SweepSearch, Vec<Batch>, Vec<Batch>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Quant menu = intersection of the GPU ({8,16,32}) and FPGA
+        // ({4,8,16}) menus.
+        let space = SearchSpace::tiny(3, 16, 4, vec![8, 16]);
+        let config = CoSearchConfig {
+            epochs: 3,
+            warmup_epochs: 1,
+            ..CoSearchConfig::default()
+        };
+        let sweep = SweepSearch::new(space, sweep_targets(), config, &mut rng).unwrap();
+        let data = SynthDataset::new(SynthConfig::tiny());
+        let train = data.split(3, 8, 1);
+        let val = data.split(2, 8, 2);
+        (sweep, train, val, rng)
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate_targets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = SearchSpace::tiny(2, 16, 4, vec![8, 16]);
+        assert!(
+            SweepSearch::new(space.clone(), vec![], CoSearchConfig::default(), &mut rng).is_err()
+        );
+        let dup = vec![
+            DeviceTarget::Gpu(GpuDevice::titan_rtx()),
+            DeviceTarget::Gpu(GpuDevice::p100()),
+        ];
+        let err = SweepSearch::new(space, dup, CoSearchConfig::default(), &mut rng).unwrap_err();
+        assert!(err.to_string().contains("duplicate sweep target"), "{err}");
+    }
+
+    #[test]
+    fn rejects_menu_unsupported_by_any_target() {
+        // 4-bit is fine on FPGA but not on GPU: the shared space must be
+        // rejected because the GPU target cannot represent it.
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = SearchSpace::tiny(2, 16, 4, vec![4, 8, 16]);
+        assert!(
+            SweepSearch::new(space, sweep_targets(), CoSearchConfig::default(), &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn sweep_produces_per_target_results() {
+        let (mut sweep, train, val, mut rng) = tiny_sweep();
+        let out = sweep.run(&train, &val, &mut rng).unwrap();
+        assert_eq!(out.targets.len(), 3);
+        for t in &out.targets {
+            assert_eq!(t.outcome.history.len(), 3);
+            assert_eq!(t.outcome.derived.blocks.len(), 3);
+            assert!(!t.front.is_empty(), "every target accumulates a front");
+            for p in &t.front {
+                assert_eq!(p.target, t.target.key());
+                assert!(p.perf_ms > 0.0);
+            }
+            // Warmup epoch: no arch steps yet.
+            assert_eq!(t.outcome.history[0].expected_perf, 0.0);
+            assert!(t.outcome.history[2].expected_perf > 0.0);
+            for h in &t.outcome.history {
+                assert_eq!(h.target, t.target.key());
+                assert!(h.train_loss.is_finite());
+            }
+        }
+        // Throughput target's resource axis is DSPs; GPU's is 0.
+        assert_eq!(out.targets[0].front[0].resource, 0.0);
+        assert!(out.targets[1].front[0].resource > 0.0);
+    }
+
+    #[test]
+    fn history_csv_interleaves_targets() {
+        let (mut sweep, train, val, mut rng) = tiny_sweep();
+        let out = sweep.run(&train, &val, &mut rng).unwrap();
+        let csv = out.history_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + 3 * 3);
+        assert!(lines[0].ends_with(",target"));
+        // Epoch 0 rows come first, in target-key order.
+        assert!(lines[1].ends_with(",fpga-pipelined"));
+        assert!(lines[2].ends_with(",fpga-recursive"));
+        assert!(lines[3].ends_with(",gpu"));
+    }
+
+    #[test]
+    fn summary_json_lists_all_targets() {
+        let (mut sweep, train, val, mut rng) = tiny_sweep();
+        let out = sweep.run(&train, &val, &mut rng).unwrap();
+        let json = out.summary_json();
+        for key in ["gpu", "fpga-recursive", "fpga-pipelined"] {
+            assert!(json.contains(&format!("\"target\": \"{key}\"")), "{json}");
+        }
+        assert!(json.contains("\"perf_ms\""));
+        assert!(json.contains("\"arch_digest\""));
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_sweep() {
+        let dir = std::env::temp_dir().join(format!("edd-sweep-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (mut full, train, val, mut rng) = tiny_sweep();
+        let full_out = full.run(&train, &val, &mut rng).unwrap();
+
+        let (mut part, train2, val2, mut rng2) = tiny_sweep();
+        part.checkpoint_into(&dir).checkpoint_keep(1);
+        part.run_until(&train2, &val2, &mut rng2, 2).unwrap();
+
+        let (mut resumed, train3, val3, _) = tiny_sweep();
+        let mut other_rng = StdRng::seed_from_u64(999);
+        resumed.checkpoint_into(&dir);
+        resumed.resume_from(&dir).unwrap();
+        let res_out = resumed.run(&train3, &val3, &mut other_rng).unwrap();
+
+        assert_eq!(full_out.targets.len(), res_out.targets.len());
+        for (a, b) in full_out.targets.iter().zip(&res_out.targets) {
+            assert_eq!(a.outcome.history, b.outcome.history);
+            assert_eq!(
+                a.outcome.derived.to_json().unwrap(),
+                b.outcome.derived.to_json().unwrap()
+            );
+            assert_eq!(a.front, b.front);
+        }
+        assert_eq!(full_out.summary_json(), res_out.summary_json());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_different_target_list() {
+        let dir = std::env::temp_dir().join(format!("edd-sweep-fp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut a, train, val, mut rng) = tiny_sweep();
+        a.checkpoint_into(&dir);
+        a.run_until(&train, &val, &mut rng, 1).unwrap();
+
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let space = SearchSpace::tiny(3, 16, 4, vec![8, 16]);
+        let config = CoSearchConfig {
+            epochs: 3,
+            warmup_epochs: 1,
+            ..CoSearchConfig::default()
+        };
+        let two = vec![
+            DeviceTarget::Gpu(GpuDevice::titan_rtx()),
+            DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+        ];
+        let mut b = SweepSearch::new(space, two, config, &mut rng2).unwrap();
+        let err = b.resume_from(&dir).unwrap_err();
+        assert!(
+            err.to_string().contains("different sweep configuration"),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_emits_sweep_events() {
+        use edd_runtime::telemetry::JsonlSink;
+        use std::sync::Arc;
+
+        let path =
+            std::env::temp_dir().join(format!("edd-sweep-trace-{}.jsonl", std::process::id()));
+        let sink = Arc::new(JsonlSink::create(&path).unwrap());
+        telemetry::set_global(sink);
+        let (mut sweep, train, val, mut rng) = tiny_sweep();
+        let out = sweep.run(&train, &val, &mut rng);
+        telemetry::global().flush();
+        telemetry::clear_global();
+        out.unwrap();
+
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"name\":\"sweep.epoch\""), "{trace}");
+        assert!(trace.contains("\"name\":\"sweep.target\""), "{trace}");
+        assert!(trace.contains("\"weight_ms\""), "{trace}");
+        assert!(trace.contains("\"arch_ms\""), "{trace}");
+        assert!(trace.contains("sweep.weight_steps"), "{trace}");
+        assert!(trace.contains("\"target\":\"fpga-pipelined\""), "{trace}");
+        // Per-target epoch records share the single-target event name.
+        assert!(trace.contains("\"name\":\"search.epoch\""), "{trace}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hw_point_covers_every_family() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let space = SearchSpace::tiny(2, 16, 4, vec![8, 16]);
+        for target in [
+            DeviceTarget::Gpu(GpuDevice::titan_rtx()),
+            DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()),
+            DeviceTarget::FpgaPipelined(FpgaDevice::zc706()),
+            DeviceTarget::Dedicated(edd_hw::AccelDevice::loom_like()),
+        ] {
+            let arch = ArchParams::init(&space, &target, &mut rng);
+            let derived = DerivedArch::from_params(&space, &target, &arch);
+            let p = hw_point(&target, &derived).unwrap();
+            assert!(p.perf_ms > 0.0, "{target:?}");
+        }
+    }
+}

@@ -87,6 +87,21 @@ impl DeviceTarget {
         }
     }
 
+    /// Stable machine-readable key — the CLI spelling of the target family
+    /// (`gpu`, `fpga-recursive`, `fpga-pipelined`, `dedicated`). Used as
+    /// the `target` column of epoch records, as the per-target label inside
+    /// a sweep, and as the checkpoint-filename label, so it must stay free
+    /// of characters that are unsafe in file names or CSV cells.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            DeviceTarget::Gpu(_) => "gpu",
+            DeviceTarget::FpgaRecursive(_) => "fpga-recursive",
+            DeviceTarget::FpgaPipelined(_) => "fpga-pipelined",
+            DeviceTarget::Dedicated(_) => "dedicated",
+        }
+    }
+
     /// Short label for reports.
     #[must_use]
     pub fn label(&self) -> String {
@@ -144,6 +159,23 @@ mod tests {
         assert!(DeviceTarget::Gpu(GpuDevice::titan_rtx())
             .resource_bound()
             .is_infinite());
+    }
+
+    #[test]
+    fn keys_are_cli_spellings() {
+        assert_eq!(DeviceTarget::Gpu(GpuDevice::titan_rtx()).key(), "gpu");
+        assert_eq!(
+            DeviceTarget::FpgaRecursive(FpgaDevice::zcu102()).key(),
+            "fpga-recursive"
+        );
+        assert_eq!(
+            DeviceTarget::FpgaPipelined(FpgaDevice::zc706()).key(),
+            "fpga-pipelined"
+        );
+        assert_eq!(
+            DeviceTarget::Dedicated(AccelDevice::loom_like()).key(),
+            "dedicated"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod accel;
 pub mod calib;
 pub mod fpga;
 pub mod gpu;
+pub mod metrics;
 pub mod shapes;
 
 pub use accel::{eval_accel, predicted_throughput_fps, AccelDevice, AccelReport};
@@ -32,4 +33,5 @@ pub use fpga::{
 };
 pub use gpu::energy::{network_energy_mj, op_energy_mj as gpu_op_energy_mj, GpuPower};
 pub use gpu::{eval_gpu, GpuDevice, GpuLatencyLut, GpuPrecision, GpuReport};
+pub use metrics::HwPoint;
 pub use shapes::{LayerKind, LayerShape, NetworkShape, OpShape};

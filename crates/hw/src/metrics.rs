@@ -1,0 +1,117 @@
+//! Uniform objective-space projection of device evaluation reports.
+//!
+//! Every device family reports performance in its own native terms — GPU
+//! batch-1 latency, recursive-FPGA end-to-end latency plus DSPs,
+//! pipelined-FPGA steady-state throughput plus DSPs, dedicated-accelerator
+//! latency — which makes cross-target comparison (and Pareto-front
+//! bookkeeping in a multi-target sweep) awkward. [`HwPoint`] normalizes
+//! each report to two minimized axes: **milliseconds per frame** (latency,
+//! or `1000 / fps` for throughput-objective targets) and **DSP slices**
+//! (`0` for targets whose silicon is fixed and therefore not part of the
+//! search trade-off).
+
+use crate::accel::AccelReport;
+use crate::fpga::FpgaReport;
+use crate::gpu::GpuReport;
+
+/// A device evaluation reduced to the two minimized sweep objectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwPoint {
+    /// Milliseconds per frame: latency for latency-objective targets,
+    /// `1000 / throughput_fps` for throughput-objective ones.
+    pub perf_ms: f64,
+    /// DSP slices consumed; `0` when the target has fixed silicon (GPU,
+    /// dedicated accelerator) and resources are not searched over.
+    pub resource_dsps: f64,
+}
+
+impl HwPoint {
+    /// GPU: batch-1 latency; resources are fixed silicon.
+    #[must_use]
+    pub fn from_gpu(report: &GpuReport) -> Self {
+        HwPoint {
+            perf_ms: report.latency_ms,
+            resource_dsps: 0.0,
+        }
+    }
+
+    /// Recursive FPGA accelerator: latency objective, shared-IP DSPs.
+    #[must_use]
+    pub fn from_recursive(report: &FpgaReport) -> Self {
+        HwPoint {
+            perf_ms: report.latency_ms,
+            resource_dsps: report.dsps,
+        }
+    }
+
+    /// Pipelined FPGA accelerator: throughput objective, so the perf axis
+    /// is steady-state milliseconds per frame, not single-image latency.
+    #[must_use]
+    pub fn from_pipelined(report: &FpgaReport) -> Self {
+        HwPoint {
+            perf_ms: 1000.0 / report.throughput_fps,
+            resource_dsps: report.dsps,
+        }
+    }
+
+    /// Dedicated bit-flexible accelerator: latency; fixed silicon.
+    #[must_use]
+    pub fn from_accel(report: &AccelReport) -> Self {
+        HwPoint {
+            perf_ms: report.latency_ms,
+            resource_dsps: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpga::{eval_pipelined, eval_recursive, tune_pipelined, tune_recursive, FpgaDevice};
+    use crate::gpu::{eval_gpu, GpuDevice, GpuPrecision};
+    use crate::shapes::{NetworkShape, OpShape};
+
+    fn tiny_net() -> NetworkShape {
+        NetworkShape {
+            name: "t".into(),
+            ops: vec![
+                OpShape::mbconv(16, 24, 3, 1, 16, 16, 1),
+                OpShape::mbconv(24, 32, 5, 6, 16, 16, 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn gpu_and_accel_points_have_zero_resource() {
+        let net = tiny_net();
+        let g = HwPoint::from_gpu(&eval_gpu(&net, GpuPrecision::Fp16, &GpuDevice::titan_rtx()));
+        assert!(g.perf_ms > 0.0);
+        assert_eq!(g.resource_dsps, 0.0);
+        let a = HwPoint::from_accel(&crate::accel::eval_accel(
+            &net,
+            &vec![8; net.ops.len()],
+            &crate::accel::AccelDevice::loom_like(),
+        ));
+        assert!(a.perf_ms > 0.0);
+        assert_eq!(a.resource_dsps, 0.0);
+    }
+
+    #[test]
+    fn fpga_points_expose_dsps_and_objective() {
+        let net = tiny_net();
+        let zcu = FpgaDevice::zcu102();
+        let rec = eval_recursive(&net, &tune_recursive(&net, 16, &zcu), &zcu).unwrap();
+        let r = HwPoint::from_recursive(&rec);
+        assert_eq!(r.perf_ms, rec.latency_ms);
+        assert!(r.resource_dsps > 0.0);
+
+        let zc7 = FpgaDevice::zc706();
+        let pipe = eval_pipelined(&net, &tune_pipelined(&net, 16, &zc7), &zc7).unwrap();
+        let p = HwPoint::from_pipelined(&pipe);
+        // Throughput objective: ms/frame is the pipeline initiation
+        // interval, which is at most the single-image latency.
+        assert!((p.perf_ms - 1000.0 / pipe.throughput_fps).abs() < 1e-12);
+        assert!(p.perf_ms <= pipe.latency_ms);
+        assert!(p.resource_dsps > 0.0);
+    }
+}

@@ -635,6 +635,62 @@ pub fn prune_snapshots(dir: &Path, prefix: &str, keep: usize) -> std::io::Result
     Ok(removed)
 }
 
+/// Like [`list_snapshots`], but filters by an arbitrary file-name
+/// predicate instead of a plain prefix. Needed when several runs share a
+/// directory with *overlapping* prefixes (`search-…` vs `search-gpu-…`):
+/// a prefix match alone cannot tell one run's snapshots from another's.
+///
+/// # Errors
+///
+/// Propagates directory-read errors; a missing directory lists as empty.
+pub fn list_snapshots_matching(
+    dir: &Path,
+    matches: &dyn Fn(&str) -> bool,
+) -> std::io::Result<Vec<PathBuf>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        let is_snap = path.extension().is_some_and(|e| e == SNAPSHOT_EXT)
+            && path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(matches);
+        if is_snap {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Like [`prune_snapshots`], but scoped by a file-name predicate: only
+/// files matching it are counted against `keep` or deleted, so co-located
+/// snapshot families prune independently.
+///
+/// # Errors
+///
+/// Propagates directory-read and delete errors.
+pub fn prune_snapshots_matching(
+    dir: &Path,
+    keep: usize,
+    matches: &dyn Fn(&str) -> bool,
+) -> std::io::Result<Vec<PathBuf>> {
+    let all = list_snapshots_matching(dir, matches)?;
+    let keep = keep.max(1);
+    let excess = all.len().saturating_sub(keep);
+    let mut removed = Vec::with_capacity(excess);
+    for path in &all[..excess] {
+        fs::remove_file(path)?;
+        removed.push(path.clone());
+    }
+    Ok(removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

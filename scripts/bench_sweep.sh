@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Runs the multi-target sweep amortization bench (exp_sweep) and records a
+# machine-readable snapshot at BENCH_sweep.json: the single-target and
+# 3-target weight-phase medians, the amortization ratio (T=3 weight-phase
+# wall clock over T=1 — the sweep's headline claim, ~1.0 expected, 1.5
+# acceptance bound enforced by the binary itself), and the per-target
+# parallel arch-step medians.
+#
+# exp_sweep appends JSONL records to the file named by EDD_BENCH_JSON;
+# this script collects them and wraps the lines into a JSON array with
+# plain awk/sed (no python/jq dependency), mirroring scripts/bench.sh.
+#
+# Regression gate: when a previous BENCH_sweep.json exists, the
+# amortization ratio is compared against it. A ratio worse by more than
+# EDD_BENCH_TOLERANCE (default 0.10 = 10%) fails the script — the new
+# snapshot is still written so the regression can be inspected.
+#
+# Usage:
+#   scripts/bench_sweep.sh            # full run -> BENCH_sweep.json
+#   scripts/bench_sweep.sh --quick    # shorter run, same gates
+#
+# The last line of output is always a machine-readable verdict,
+# `BENCH_SWEEP_RESULT: PASS` or `BENCH_SWEEP_RESULT: FAIL (exit N)`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_sweep.json
+tolerance="${EDD_BENCH_TOLERANCE:-0.10}"
+tmp=$(mktemp)
+prev=$(mktemp)
+trap 'status=$?; rm -f "$tmp" "$prev";
+      if [[ $status -eq 0 ]]; then echo "BENCH_SWEEP_RESULT: PASS";
+      else echo "BENCH_SWEEP_RESULT: FAIL (exit $status)"; fi' EXIT
+
+# Snapshot the previous run's ratio (if any) before overwriting.
+have_prev=0
+if [[ -s "$out" ]]; then
+    have_prev=1
+    cp "$out" "$prev"
+fi
+
+quick_flag=()
+if [[ "${1:-}" == "--quick" ]]; then
+    quick_flag=(--quick)
+fi
+
+EDD_BENCH_JSON="$tmp" cargo run --release --locked -q -p edd-bench --bin exp_sweep \
+    -- "${quick_flag[@]}" | tee /dev/stderr | grep -q "^SWEEP_RESULT:.*pass=true"
+
+if [[ ! -s "$tmp" ]]; then
+    echo "bench_sweep.sh: no records captured" >&2
+    exit 1
+fi
+
+# JSONL -> JSON array: comma-join all lines but the last.
+{
+    echo '['
+    awk 'NR > 1 { print prev "," } { prev = $0 } END { print prev }' "$tmp" \
+        | sed 's/^/  /'
+    echo ']'
+} > "$out"
+
+echo "wrote $out ($(wc -l < "$tmp") records)"
+
+extract_ratio() {
+    awk '
+        /"name":"sweep_weight_phase_t3"/ {
+            rest = substr($0, index($0, "\"amortization_ratio\":") + 21)
+            sub(/[,}].*$/, "", rest)
+            print rest
+        }
+    ' "$1" | head -1
+}
+
+ratio=$(extract_ratio "$out")
+if [[ -z "$ratio" ]]; then
+    echo "bench_sweep.sh: amortization record missing" >&2
+    exit 1
+fi
+echo "bench_sweep.sh: amortization ratio ${ratio} (3 sequential searches would be ~3.0)"
+
+# Gate the ratio against the previous snapshot.
+if [[ "$have_prev" == 1 ]]; then
+    old_ratio=$(extract_ratio "$prev")
+    if [[ -n "$old_ratio" ]]; then
+        if awk -v old="$old_ratio" -v new="$ratio" -v tol="$tolerance" \
+               'BEGIN { exit !(new + 0 <= (old + 0) * (1 + tol)) }'; then
+            printf 'bench_sweep.sh: ratio %s -> %s, within %s tolerance\n' \
+                "$old_ratio" "$ratio" "$tolerance"
+        else
+            printf 'bench_sweep.sh: ratio regressed %s -> %s beyond %s tolerance\n' \
+                "$old_ratio" "$ratio" "$tolerance" >&2
+            echo "  (override with EDD_BENCH_TOLERANCE=<fraction>)" >&2
+            exit 1
+        fi
+    fi
+fi

@@ -36,5 +36,10 @@ cargo test --locked -q -p edd-core --test serve_determinism
 # serving must match the direct sync path bit for bit.
 cargo test --locked -q -p edd-zoo --test ir_equivalence
 cargo test --locked -q -p edd-zoo --test artifact_serve
+# Sweep leg: a 3-target sweep (shared weight phase, per-target arch steps
+# fanned over the pool) must produce byte-identical per-target derived
+# architectures, Pareto fronts, and histories across 4-vs-1 worker
+# threads and across a kill/resume through a sweep-*.edds snapshot.
+cargo test --locked -q -p edd-core --test sweep_determinism
 
 echo "DETERMINISM_RESULT: PASS"

@@ -25,7 +25,7 @@
 
 use edd::core::{
     calibrate, lower_to_graph, Calibration, CoSearch, CoSearchConfig, DerivedArch, DeviceTarget,
-    QatModel, QuantizedModel, SearchSpace,
+    QatModel, QuantizedModel, SearchSpace, SweepSearch,
 };
 use edd::data::{SynthConfig, SynthDataset};
 use edd::hw::gpu::GpuPrecision;
@@ -144,6 +144,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     let ckpt_dir = args.flags.get("checkpoint-dir").cloned();
     let ckpt_every = args.get_usize("checkpoint-every", 1)?;
     let ckpt_keep = args.get_usize("checkpoint-keep", 3)?;
+    let ckpt_label = args.get_str("checkpoint-label", "");
     let resume = args.flags.get("resume").cloned();
     let tracing = install_trace_sink(args)?;
 
@@ -174,8 +175,11 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         search
             .checkpoint_into(dir)
             .checkpoint_every(ckpt_every)
-            .checkpoint_keep(ckpt_keep);
+            .checkpoint_keep(ckpt_keep)
+            .checkpoint_label(&ckpt_label);
         println!("checkpointing into {dir} (every {ckpt_every} epoch(s), keep {ckpt_keep})");
+    } else if !ckpt_label.is_empty() {
+        search.checkpoint_label(&ckpt_label);
     }
     if let Some(path) = &resume {
         search
@@ -199,6 +203,130 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     let json = outcome.derived.to_json().map_err(|e| e.to_string())?;
     std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out} ({} bytes)", json.len());
+    Ok(())
+}
+
+/// Parses a comma-separated `--targets` list and computes the shared
+/// quantization menu: the intersection of the per-target menus, in the
+/// first target's order. The sweep trains one supernet for all targets,
+/// so every searched bit-width must have an implementation on each.
+fn parse_sweep_targets(spec: &str) -> Result<(Vec<DeviceTarget>, Vec<u32>), String> {
+    let mut targets = Vec::new();
+    for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        targets.push(parse_target(name)?);
+    }
+    if targets.is_empty() {
+        return Err("sweep requires --targets t1,t2,... (at least one)".into());
+    }
+    let mut menu = targets[0].default_quant_bits();
+    for t in &targets[1..] {
+        let theirs = t.default_quant_bits();
+        menu.retain(|q| theirs.contains(q));
+    }
+    if menu.is_empty() {
+        return Err(format!(
+            "targets `{spec}` share no quantization bit-width: their menus are disjoint"
+        ));
+    }
+    Ok((targets, menu))
+}
+
+/// `edd sweep`: multi-target co-search — one shared supernet weight phase
+/// amortized over all targets, per-target architecture states descended in
+/// parallel, per-target Pareto fronts over
+/// `(val acc, ms/frame, DSPs)`. Writes one derived-architecture JSON per
+/// target plus a cross-target Pareto summary.
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let spec = args.get_str("targets", "gpu,fpga-recursive,fpga-pipelined");
+    let (targets, menu) = parse_sweep_targets(&spec)?;
+    let blocks = args.get_usize("blocks", 4)?;
+    let classes = args.get_usize("classes", 6)?;
+    let epochs = args.get_usize("epochs", 8)?;
+    let seed = args.get_usize("seed", 42)? as u64;
+    let stop_after = args.get_usize("stop-after", 0)?;
+    let out_prefix = args.get_str("out-prefix", "edd_sweep");
+    let ckpt_dir = args.flags.get("checkpoint-dir").cloned();
+    let ckpt_every = args.get_usize("checkpoint-every", 1)?;
+    let ckpt_keep = args.get_usize("checkpoint-keep", 3)?;
+    let resume = args.flags.get("resume").cloned();
+    let tracing = install_trace_sink(args)?;
+
+    let space = SearchSpace::tiny(blocks, 16, classes, menu.clone());
+    println!(
+        "sweeping {} target(s) [{}] over {} blocks x {} ops x quantizations {:?} ({} epochs)...",
+        targets.len(),
+        targets
+            .iter()
+            .map(DeviceTarget::key)
+            .collect::<Vec<_>>()
+            .join(", "),
+        space.num_blocks(),
+        space.num_ops(),
+        menu,
+        epochs
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = CoSearchConfig {
+        epochs,
+        warmup_epochs: (epochs / 5).max(1),
+        ..CoSearchConfig::default()
+    };
+    let data = SynthDataset::new(SynthConfig {
+        num_classes: classes,
+        image_size: 16,
+        ..SynthConfig::default()
+    });
+    let train = data.split(6, 16, 1);
+    let val = data.split(3, 16, 2);
+    let mut sweep =
+        SweepSearch::new(space, targets, config, &mut rng).map_err(|e| e.to_string())?;
+    if let Some(dir) = &ckpt_dir {
+        sweep
+            .checkpoint_into(dir)
+            .checkpoint_every(ckpt_every)
+            .checkpoint_keep(ckpt_keep);
+        println!("checkpointing into {dir} (every {ckpt_every} epoch(s), keep {ckpt_keep})");
+    }
+    if let Some(path) = &resume {
+        sweep
+            .resume_from(std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!("resuming from {path}");
+    }
+    let outcome = if stop_after > 0 {
+        sweep.run_until(&train, &val, &mut rng, stop_after)
+    } else {
+        sweep.run(&train, &val, &mut rng)
+    }
+    .map_err(|e| e.to_string())?;
+    if tracing {
+        edd::runtime::telemetry::global().flush();
+    }
+
+    for t in &outcome.targets {
+        println!("\n== {} ==", t.target.label());
+        for h in &t.outcome.history {
+            println!(
+                "  epoch {:>2}: train acc {:.2}, val acc {:.2}, E[perf] {:.4}, E[res] {:.0}",
+                h.epoch, h.train_acc, h.val_acc, h.expected_perf, h.expected_res
+            );
+        }
+        println!("  Pareto front ({} point(s)):", t.front.len());
+        for p in &t.front {
+            println!(
+                "    epoch {:>2}: val acc {:.2}, {:.3} ms/frame, {:.0} DSPs",
+                p.epoch, p.val_acc, p.perf_ms, p.resource
+            );
+        }
+        let json = t.outcome.derived.to_json().map_err(|e| e.to_string())?;
+        let path = format!("{out_prefix}-{}.json", t.target.key());
+        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote {path} ({} bytes)", json.len());
+    }
+    let summary = outcome.summary_json();
+    let summary_path = format!("{out_prefix}-pareto.json");
+    std::fs::write(&summary_path, &summary).map_err(|e| format!("writing {summary_path}: {e}"))?;
+    println!("\nwrote {summary_path} ({} bytes)", summary.len());
     Ok(())
 }
 
@@ -631,8 +759,9 @@ fn cmd_devices() {
     );
 }
 
-const USAGE: &str = "usage: edd <search|eval|compile|qinfer|serve|zoo|devices> [--flags]\n\
-  search  --target gpu|fpga-recursive|fpga-pipelined|dedicated \\\n          --blocks N --classes C --epochs E --seed S --out FILE \\\n          --checkpoint-dir DIR --checkpoint-every N --checkpoint-keep K \\\n          --resume PATH --trace-out FILE.jsonl\n\
+const USAGE: &str = "usage: edd <search|sweep|eval|compile|qinfer|serve|zoo|devices> [--flags]\n\
+  search  --target gpu|fpga-recursive|fpga-pipelined|dedicated \\\n          --blocks N --classes C --epochs E --seed S --out FILE \\\n          --checkpoint-dir DIR --checkpoint-every N --checkpoint-keep K \\\n          --checkpoint-label L --resume PATH --trace-out FILE.jsonl\n\
+  sweep   --targets gpu,fpga-recursive,fpga-pipelined \\\n          --blocks N --classes C --epochs E --seed S --out-prefix P \\\n          --checkpoint-dir DIR --checkpoint-every N --checkpoint-keep K \\\n          --resume PATH --stop-after N --trace-out FILE.jsonl\n\
   eval    --arch FILE\n\
   compile --arch FILE --out FILE.eddm --passes all|none|name,... \\\n          --batch N --batches K --qat-epochs E --seed S\n\
   qinfer  --arch FILE | --artifact FILE.eddm \\\n          --batch N --batches K --qat-epochs E --seed S\n\
@@ -644,6 +773,8 @@ const USAGE: &str = "usage: edd <search|eval|compile|qinfer|serve|zoo|devices> [
                      qualifying epoch (search-<epoch>.edds)\n\
   --checkpoint-every snapshot cadence in epochs (default 1; 0 = final only)\n\
   --checkpoint-keep  retain only the newest K snapshots (default 3)\n\
+  --checkpoint-label tag snapshot names (search-<L>-<epoch>.edds) so several\n\
+                     searches can share one checkpoint directory\n\
   --resume           continue bit-identically from a snapshot file, or from\n\
                      the newest snapshot in a checkpoint directory\n\
   --trace-out        stream structured telemetry (epoch metrics, phase\n\
@@ -651,6 +782,13 @@ const USAGE: &str = "usage: edd <search|eval|compile|qinfer|serve|zoo|devices> [
   --passes           IR optimization passes for compile: all (default),\n\
                      none, or a comma-list of bn-fold, relu6-fuse,\n\
                      bypass-1x1, dce\n\
+\n\
+  sweep co-searches one shared supernet for several device targets at\n\
+  once: every weight step is shared (T-times amortization), the per-target\n\
+  architecture steps run in parallel, and each target accumulates a Pareto\n\
+  front over (val acc, ms/frame, DSPs). Writes one derived-arch JSON per\n\
+  target (P-<target>.json) plus a cross-target summary (P-pareto.json);\n\
+  one sweep-<epoch>.edds snapshot resumes the whole sweep bit-identically.\n\
 \n\
   compile QAT-trains and calibrates an architecture, lowers it through\n\
   the edd-ir pass pipeline, and writes a CRC-checked .eddm artifact that\n\
@@ -674,6 +812,7 @@ fn main() -> ExitCode {
     };
     let result = match args.command.as_str() {
         "search" => cmd_search(&args),
+        "sweep" => cmd_sweep(&args),
         "eval" => cmd_eval(&args),
         "compile" => cmd_compile(&args),
         "qinfer" => cmd_qinfer(&args),
@@ -738,6 +877,19 @@ mod tests {
         let err = parse_passes("bn-fold,loop-unroll").unwrap_err();
         assert!(err.contains("loop-unroll"), "{err}");
         assert!(err.contains("bypass-1x1"), "{err}");
+    }
+
+    #[test]
+    fn sweep_targets_intersect_quant_menus() {
+        let (targets, menu) = parse_sweep_targets("gpu,fpga-recursive,fpga-pipelined").unwrap();
+        assert_eq!(targets.len(), 3);
+        // GPU supports {8,16,32}; both FPGA flavors {4,8,16} -> {8,16}.
+        assert_eq!(menu, vec![8, 16]);
+        let (one, menu1) = parse_sweep_targets("dedicated").unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(menu1, one[0].default_quant_bits());
+        assert!(parse_sweep_targets("").is_err());
+        assert!(parse_sweep_targets("gpu,tpu").is_err());
     }
 
     #[test]
