@@ -2,7 +2,7 @@
 //!
 //! This is the frontend of the IR pipeline: it walks a [`QatModel`] in the
 //! same stem → blocks → head → pool → classifier order that
-//! [`QuantizedModel::compile`] hard-codes, but emits *annotated float
+//! [`QuantizedModel::compile`](crate::QuantizedModel::compile) hard-codes, but emits *annotated float
 //! graph nodes* instead of compiled layers. Each quantization boundary
 //! carries its calibrated activation scale and each parameterized op its
 //! Φ-searched weight precision, so `edd_ir::passes::lower` can reproduce

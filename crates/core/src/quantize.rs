@@ -222,6 +222,93 @@ impl QuantizedModel {
         &self.block_bits
     }
 
+    /// Rebuilds the compiled engine as a lowered `edd-ir` graph — the
+    /// exact specs this model executes, node for node, so downstream
+    /// consumers (the pulsed executor, artifacts) run bit-identically to
+    /// [`QuantizedModel::forward`] without retracing the float frontend.
+    ///
+    /// The residual adds follow the engine's operand convention: the
+    /// projection output arrives already on the block-output grid
+    /// (`rq_a: None`), the block input is rescaled onto it (`rq_b` = the
+    /// compiled residual requantizer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors (unreachable for a model
+    /// compiled by [`QuantizedModel::compile`]).
+    pub fn to_graph(&self, name: &str) -> Result<edd_ir::Graph> {
+        use edd_ir::{Graph, GraphMeta, Node, Op, QAddOp};
+        let mut g = Graph::new(GraphMeta {
+            name: name.to_string(),
+            input_shape: [self.input_channels, self.image_size, self.image_size],
+            num_classes: self.num_classes,
+        });
+        let node = |name: String, op: Op, inputs: Vec<usize>| Node {
+            name,
+            op,
+            inputs,
+            scale: None,
+            bits: None,
+        };
+        let input = g.add(node("input".into(), Op::Input, vec![]))?;
+        let q = g.add(node(
+            "quantize".into(),
+            Op::Quantize {
+                scale: self.input_scale,
+            },
+            vec![input],
+        ))?;
+        let mut h = g.add(node(
+            "stem.conv".into(),
+            Op::QConv(Box::new(self.stem.spec().clone())),
+            vec![q],
+        ))?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            let block_in = h;
+            if let Some(e) = b.expand() {
+                h = g.add(node(
+                    format!("block{i}.expand"),
+                    Op::QConv(Box::new(e.spec().clone())),
+                    vec![h],
+                ))?;
+            }
+            h = g.add(node(
+                format!("block{i}.dw"),
+                Op::QDwConv(Box::new(b.depthwise().spec().clone())),
+                vec![h],
+            ))?;
+            h = g.add(node(
+                format!("block{i}.project"),
+                Op::QConv(Box::new(b.project().spec().clone())),
+                vec![h],
+            ))?;
+            if let Some(rq) = b.residual() {
+                h = g.add(node(
+                    format!("block{i}.residual"),
+                    Op::QAdd(Box::new(QAddOp {
+                        rq_a: None,
+                        rq_b: Some(*rq),
+                        out_scale: b.out_scale(),
+                    })),
+                    vec![h, block_in],
+                ))?;
+            }
+        }
+        let head = g.add(node(
+            "head.conv".into(),
+            Op::QConv(Box::new(self.head.spec().clone())),
+            vec![h],
+        ))?;
+        let gap = g.add(node("gap".into(), Op::QGlobalAvgPool, vec![head]))?;
+        let fc = g.add(node(
+            "classifier".into(),
+            Op::QLinear(Box::new(self.classifier.spec().clone())),
+            vec![gap],
+        ))?;
+        g.set_output(fc)?;
+        Ok(g)
+    }
+
     /// Total bytes of quantized weight storage (int4 blocks count packed).
     #[must_use]
     pub fn weight_bytes(&self) -> usize {

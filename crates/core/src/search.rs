@@ -16,7 +16,7 @@
 //! # Checkpointing and telemetry
 //!
 //! A search configured with [`CoSearch::checkpoint_into`] writes a full
-//! [`SearchSnapshot`](crate::checkpoint::SearchSnapshot) after each epoch
+//! [`SearchSnapshot`] after each epoch
 //! (cadence via [`CoSearch::checkpoint_every`], retention via
 //! [`CoSearch::checkpoint_keep`]); [`CoSearch::resume_from`] restores one
 //! and continues **bit-identically** — the restored RNG stream, optimizer
@@ -195,7 +195,7 @@ impl SearchOutcome {
     /// for plotting search curves.
     ///
     /// The history is replayed through a telemetry
-    /// [`CsvSink`](edd_runtime::telemetry::CsvSink) so the CSV is, by
+    /// [`CsvSink`] so the CSV is, by
     /// construction, the same projection of `search.epoch` events a live
     /// sink observes during the run.
     #[must_use]

@@ -24,6 +24,11 @@
 //! 5. **[`artifact`]** — a versioned, CRC-checked binary format (the
 //!    snapshot container with an artifact magic) storing tensors as raw
 //!    bits; `edd compile` writes artifacts, `edd serve` hot-loads them.
+//! 6. **[`pulse`]** — [`PulsedModel`] converts a lowered graph into
+//!    streaming form: fixed-size input slices in, sliding-window outputs
+//!    out at a computed delay, with per-conv ring buffers bounding
+//!    carried state at O(window) independent of stream length, bitwise
+//!    equal to the batch executor on the same windows.
 //!
 //! The crate deliberately knows nothing about search, training, or
 //! calibration — `edd-core` builds annotated float graphs out of its
@@ -35,6 +40,7 @@ pub mod exec;
 pub mod graph;
 pub mod passes;
 pub mod patch;
+pub mod pulse;
 
 pub use exec::CompiledModel;
 pub use graph::{
@@ -45,3 +51,4 @@ pub use passes::{
     PassReport, PASS_NAMES,
 };
 pub use patch::Patch;
+pub use pulse::{PulsedModel, PulsedProgram, PulsedState, Row};

@@ -1208,6 +1208,31 @@ impl QMbConv {
         self.out_scale
     }
 
+    /// The compiled expand stage (absent for expand-ratio-1 blocks).
+    #[must_use]
+    pub fn expand(&self) -> Option<&QConv2d> {
+        self.expand.as_ref()
+    }
+
+    /// The compiled depthwise stage.
+    #[must_use]
+    pub fn depthwise(&self) -> &QDwConv2d {
+        &self.depthwise
+    }
+
+    /// The compiled projection stage.
+    #[must_use]
+    pub fn project(&self) -> &QConv2d {
+        &self.project
+    }
+
+    /// The residual-input requantizer (block input → block-output grid),
+    /// `None` for non-residual blocks.
+    #[must_use]
+    pub fn residual(&self) -> Option<&Requant> {
+        self.residual.as_ref()
+    }
+
     /// Runs the quantized block on an NCHW [`QTensor`].
     ///
     /// # Errors

@@ -3,10 +3,10 @@
 //!
 //! `edd-runtime` sits below the model crates in the workspace graph, so the
 //! server is generic over anything that can turn a batch of images into a
-//! batch of logits — the integer [`QuantizedModel`] in `edd-core`
+//! batch of logits — the integer `QuantizedModel` in `edd-core`
 //! implements [`BatchModel`] and is the intended occupant. The server
 //! counts requests and images, tracks total and worst-case wall time, and
-//! mirrors every request into the global [`telemetry`](crate::telemetry)
+//! mirrors every request into the global [`telemetry`]
 //! sink (`infer.requests` / `infer.images` counters, `infer.latency_us`
 //! gauge) so traces line up with search-loop spans.
 

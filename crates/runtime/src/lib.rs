@@ -20,6 +20,12 @@
 //!   requests/images and tracks latency, wired into the telemetry sink.
 //!   The integer quantized-inference engine in `edd-core` serves through
 //!   this.
+//! - **Streaming (pulsed) inference** ([`stream`]): a
+//!   `push(slice) -> Option<window>` [`StreamModel`] contract for
+//!   continuous signals under a bounded memory budget, with a
+//!   [`StreamSession`] wrapper feeding `pulse.*` counters and a carried
+//!   state-bytes gauge into the telemetry sink. The pulsed executor in
+//!   `edd-ir` implements it.
 //! - **Multi-tenant dynamic batching** ([`serve`]): an async front end
 //!   over [`BatchModel`] — a pure, clock-injected [`serve::Batcher`]
 //!   state machine (deterministically testable without threads or wall
@@ -39,6 +45,7 @@ pub mod crc32;
 pub mod infer;
 pub mod serve;
 pub mod snapshot;
+pub mod stream;
 pub mod telemetry;
 
 pub use crc32::crc32;
@@ -52,6 +59,7 @@ pub use snapshot::{
     read as read_snapshot, write_atomic, write_atomic_raw, ByteReader, ByteWriter, SectionWriter,
     Sections, SnapshotError,
 };
+pub use stream::{StreamModel, StreamSession, StreamStats, StreamWindow};
 pub use telemetry::{
     CsvSink, Event, EventKind, FanoutSink, Histogram, JsonlSink, NoopSink, Sink, Span, Value,
 };

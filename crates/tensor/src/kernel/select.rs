@@ -12,7 +12,7 @@
 //! * [`GemmClass::SkinnyN`] (`n < NR`) — packed `A` panel with the whole
 //!   (narrow) output row held in one accumulator tile; no column strips.
 //! * [`GemmClass::Square`] / [`GemmClass::Conv`] — packed `A` panel +
-//!   `MR x NRV` unchecked microkernel ([`super::pack::pack_a_panel`]);
+//!   `MR x NRV` unchecked microkernel (`super::pack::pack_a_panel`);
 //!   `Conv` is the same blueprint tagged by the im2col lowering so the
 //!   dispatch counters separate convolution traffic.
 //!
@@ -73,7 +73,7 @@ fn parse_gemm_setting(raw: Option<&str>) -> (GemmMode, bool) {
 }
 
 /// Reads `EDD_GEMM` once (relaxed-atomic cached), warning on unrecognized
-/// values like the `EDD_SIMD` handling in [`super::use_avx2`] and the
+/// values like the `EDD_SIMD` handling in `super::use_avx2` and the
 /// `EDD_NUM_THREADS` handling in `edd-runtime`.
 #[must_use]
 pub fn gemm_mode() -> GemmMode {

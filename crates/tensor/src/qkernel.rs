@@ -11,7 +11,7 @@
 //! as `q = round(v / s)` clamped to `[-qmax, qmax]`, with one scale `s` per
 //! tensor (activations) or per output channel (weights). `qmax` is
 //! `2^(bits-1) - 1` — 127 for int8, 7 for int4 — so the grid matches
-//! [`Tensor::fake_quantize`]`(bits, range)` exactly when
+//! `Tensor::fake_quantize(bits, range)` exactly when
 //! `range = s · 2^(bits-1)` (the fake-quant step is `range / 2^(bits-1)`).
 //! Int4 weights are stored bit-packed, two sign-extended nibbles per byte.
 //!
@@ -31,7 +31,7 @@
 //! # Threading and dispatch
 //!
 //! The GEMM front partitions output rows over the persistent worker
-//! [`pool`](crate::kernel::pool), exactly like the f32 kernels in
+//! [`pool`], exactly like the f32 kernels in
 //! [`kernel`](crate::kernel); every output element is written by exactly one
 //! task. Hot kernels are declared through the same `avx2_dispatch!` macro,
 //! so `EDD_SIMD=scalar` forces the scalar bodies and the dispatched fronts

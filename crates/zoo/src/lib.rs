@@ -10,7 +10,9 @@
 //! * [`published`] — the paper's published numbers (Tables 1–3) for
 //!   paper-vs-modeled comparison in the benchmark harnesses;
 //! * [`tiny`] — laptop-scale trainable counterparts for the SynthImageNet
-//!   experiments.
+//!   experiments;
+//! * [`signal`] — deterministic synthetic long signals for streaming
+//!   (pulsed) inference demos and determinism suites.
 
 #![warn(missing_docs)]
 
@@ -18,6 +20,7 @@ pub mod baselines;
 mod builders;
 pub mod edd_nets;
 pub mod published;
+pub mod signal;
 pub mod tiny;
 
 pub use baselines::{
@@ -27,6 +30,7 @@ pub use baselines::{
 pub use builders::ShapeBuilder;
 pub use edd_nets::{edd_net_1, edd_net_2, edd_net_3};
 pub use published::{Table1Row, Table2Entry, Table3Row, TABLE_1, TABLE_2, TABLE_3};
+pub use signal::{signal_row, signal_window, synthetic_signal};
 pub use tiny::{
     compile_tiny_zoo, compile_tiny_zoo_ir, prepare_tiny_zoo, random_arch, tiny_derived_arch,
     tiny_mobilenet_v2, tiny_model_zoo, tiny_quant_arch, tiny_resnet, tiny_vgg,

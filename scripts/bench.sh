@@ -12,6 +12,8 @@
 # Usage:
 #   scripts/bench.sh            # supernet_step benches -> BENCH_supernet.json
 #   scripts/bench.sh --all      # also run the tensor_ops benches (stdout only)
+#   scripts/bench.sh --quick    # shrink per-bench time budgets (smoke mode,
+#                               # same snapshot + gate) — composable with --all
 #
 # Regression guard: when a previous BENCH_supernet.json exists, per-benchmark
 # medians are compared against it after the run. Any benchmark slower by more
@@ -25,6 +27,17 @@ cd "$(dirname "$0")/.."
 
 out=BENCH_supernet.json
 tolerance="${EDD_BENCH_TOLERANCE:-0.10}"
+run_all=0
+# --quick reaches the criterion shim through EDD_BENCH_QUICK (cargo bench
+# cannot forward flags to every bench binary), matching the --quick flag
+# the bench_serve/bench_sweep/bench_pulse scripts pass to their binaries.
+for arg in "$@"; do
+    case "$arg" in
+        --all) run_all=1 ;;
+        --quick) export EDD_BENCH_QUICK=1 ;;
+        *) echo "bench.sh: unknown flag $arg (expected --all / --quick)" >&2; exit 2 ;;
+    esac
+done
 tmp=$(mktemp)
 prev=$(mktemp)
 # The EXIT trap also emits the machine-readable verdict line CI greps for.
@@ -93,6 +106,6 @@ if [[ "$have_prev" == 1 ]]; then
     fi
 fi
 
-if [[ "${1:-}" == "--all" ]]; then
+if [[ "$run_all" == 1 ]]; then
     cargo bench --locked -p edd-bench --bench tensor_ops
 fi

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Runs the pulsed streaming-inference bench (exp_pulse) and records a
+# machine-readable snapshot at BENCH_pulse.json: one record per tiny-zoo
+# engine with the steady-state µs per pushed row, per-push latency
+# percentiles, and the peak carried state bytes (the O(window) memory
+# bound's measured number). The binary itself checks the first emitted
+# window bitwise against the batch engine before timing anything.
+#
+# exp_pulse appends JSONL records to the file named by EDD_BENCH_JSON;
+# this script collects them and wraps the lines into a JSON array with
+# plain awk/sed (no python/jq dependency), mirroring scripts/bench.sh.
+#
+# Regression gate: when a previous BENCH_pulse.json exists, each model's
+# us_per_pulse and state_bytes are compared against it. Either figure
+# worse by more than EDD_BENCH_TOLERANCE (default 0.10 = 10%) fails the
+# script — the new snapshot is still written so the regression can be
+# inspected.
+#
+# Usage:
+#   scripts/bench_pulse.sh            # full run -> BENCH_pulse.json
+#   scripts/bench_pulse.sh --quick    # shorter stream, same gates
+#
+# The last line of output is always a machine-readable verdict,
+# `BENCH_PULSE_RESULT: PASS` or `BENCH_PULSE_RESULT: FAIL (exit N)`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_pulse.json
+tolerance="${EDD_BENCH_TOLERANCE:-0.10}"
+tmp=$(mktemp)
+prev=$(mktemp)
+trap 'status=$?; rm -f "$tmp" "$prev";
+      if [[ $status -eq 0 ]]; then echo "BENCH_PULSE_RESULT: PASS";
+      else echo "BENCH_PULSE_RESULT: FAIL (exit $status)"; fi' EXIT
+
+# Snapshot the previous run's figures (if any) before overwriting.
+have_prev=0
+if [[ -s "$out" ]]; then
+    have_prev=1
+    cp "$out" "$prev"
+fi
+
+quick_flag=()
+if [[ "${1:-}" == "--quick" ]]; then
+    quick_flag=(--quick)
+fi
+
+EDD_BENCH_JSON="$tmp" cargo run --release --locked -q -p edd-bench --bin exp_pulse \
+    -- "${quick_flag[@]}" | tee /dev/stderr | grep -q "^PULSE_RESULT:.*bitwise=ok"
+
+if [[ ! -s "$tmp" ]]; then
+    echo "bench_pulse.sh: no records captured" >&2
+    exit 1
+fi
+
+# JSONL -> JSON array: comma-join all lines but the last.
+{
+    echo '['
+    awk 'NR > 1 { print prev "," } { prev = $0 } END { print prev }' "$tmp" \
+        | sed 's/^/  /'
+    echo ']'
+} > "$out"
+
+echo "wrote $out ($(wc -l < "$tmp") records)"
+
+# Gate each model's us_per_pulse and state_bytes against the previous
+# snapshot, same awk two-pass extraction as scripts/bench.sh.
+if [[ "$have_prev" == 1 ]]; then
+    if awk -v tol="$tolerance" '
+        function extract(line, key,    rest) {
+            if (index(line, "\"" key "\":") == 0) return ""
+            rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+            sub(/^"/, "", rest)
+            sub(/[",}].*$/, "", rest)
+            return rest
+        }
+        FNR == NR {
+            name = extract($0, "name")
+            if (name !~ /^pulse_/) next
+            us[name] = extract($0, "us_per_pulse") + 0
+            sb[name] = extract($0, "state_bytes") + 0
+            next
+        }
+        {
+            name = extract($0, "name")
+            if (name !~ /^pulse_/ || !(name in us)) next
+            new_us = extract($0, "us_per_pulse") + 0
+            new_sb = extract($0, "state_bytes") + 0
+            d_us = (us[name] > 0) ? (new_us / us[name] - 1) * 100 : 0
+            d_sb = (sb[name] > 0) ? (new_sb / sb[name] - 1) * 100 : 0
+            printf "  %-30s %9.2f -> %9.2f us/pulse (%+.1f%%), state %d -> %d B (%+.1f%%)\n", \
+                name, us[name], new_us, d_us, sb[name], new_sb, d_sb
+            if (new_us > us[name] * (1 + tol)) { bad++ }
+            if (new_sb > sb[name] * (1 + tol)) { bad++ }
+        }
+        END { if (bad > 0) exit 1 }
+    ' "$prev" "$out"; then
+        echo "bench_pulse.sh: no regression beyond ${tolerance} tolerance"
+    else
+        echo "bench_pulse.sh: us/pulse or state-bytes regression beyond ${tolerance} tolerance" >&2
+        echo "  (override with EDD_BENCH_TOLERANCE=<fraction>)" >&2
+        exit 1
+    fi
+fi

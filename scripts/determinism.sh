@@ -41,5 +41,11 @@ cargo test --locked -q -p edd-zoo --test artifact_serve
 # architectures, Pareto fronts, and histories across 4-vs-1 worker
 # threads and across a kill/resume through a sweep-*.edds snapshot.
 cargo test --locked -q -p edd-core --test sweep_determinism
+# Pulse leg: streaming (pulsed) execution of every tiny-zoo engine must
+# match the batch engine bit for bit on identical sliding windows, a
+# stream interrupted and resumed mid-window must continue bitwise, and
+# carried state must stay bounded by the window geometry regardless of
+# stream length.
+cargo test --locked -q -p edd-zoo --test pulse_determinism
 
 echo "DETERMINISM_RESULT: PASS"

@@ -10,7 +10,10 @@
 #   6. the runtime crate's suite on its own, which carries the serving
 #      front end's deterministic batcher simulation (serve_sim), the
 #      multi-producer concurrency stress + property suite (serve_stress),
-#      and the telemetry histogram / InferStats accounting tests.
+#      and the telemetry histogram / InferStats accounting tests;
+#   7. docs gate: rustdoc for the whole workspace with warnings denied
+#      (broken intra-doc links and malformed doc comments are errors),
+#      plus a release build of every example in examples/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,5 +23,7 @@ cargo clippy --locked --workspace -- -D warnings
 cargo test --locked -q --workspace
 cargo test --locked -q -p edd-tensor
 cargo test --locked -q -p edd-runtime
+RUSTDOCFLAGS="-D warnings" cargo doc --locked --no-deps --workspace
+cargo build --locked --release --examples
 
 echo "tier1: all green"

@@ -186,9 +186,15 @@ impl Default for Criterion {
         // A bench binary is invoked by cargo as `bench_name --bench
         // [filter]`; any non-flag argument doubles as a name filter.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        // EDD_BENCH_QUICK (any value but "" or "0") shrinks the default
+        // time budgets for smoke runs — `cargo bench` offers no way to
+        // pass flags through to every bench binary, so the scripts'
+        // shared --quick mode arrives via the environment instead.
+        let quick = std::env::var("EDD_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+        let (measure_ms, warmup_ms) = if quick { (150, 30) } else { (700, 150) };
         Criterion {
-            measurement_time: Duration::from_millis(700),
-            warm_up_time: Duration::from_millis(150),
+            measurement_time: Duration::from_millis(measure_ms),
+            warm_up_time: Duration::from_millis(warmup_ms),
             filter,
         }
     }
@@ -362,6 +368,18 @@ mod tests {
         assert!(line.contains("\"num_threads\":"));
         assert!(line.contains("\"simd\":\""));
         assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn quick_env_shrinks_default_budgets() {
+        std::env::set_var("EDD_BENCH_QUICK", "1");
+        let quick = Criterion::default();
+        std::env::set_var("EDD_BENCH_QUICK", "0");
+        let full = Criterion::default();
+        std::env::remove_var("EDD_BENCH_QUICK");
+        assert!(quick.measurement_time < full.measurement_time);
+        assert!(quick.warm_up_time < full.warm_up_time);
+        assert_eq!(full.measurement_time, Duration::from_millis(700));
     }
 
     #[test]

@@ -223,7 +223,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy produced by [`vec`].
+        /// Strategy produced by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,
